@@ -1,0 +1,148 @@
+/// E10 — extension experiments beyond the demo paper: operational
+/// maintenance of the ONEX base. (a) Parallel construction: length classes
+/// are independent, so the offline step scales with cores. (b) Incremental
+/// append vs full rebuild: a growing collection (the paper's "data sets
+/// updated with new yearly data") should not pay the full preprocessing
+/// price per arrival. (c) Base persistence: reload vs rebuild.
+#include <memory>
+#include <sstream>
+
+#include "bench_util.h"
+#include "onex/core/base_io.h"
+#include "onex/core/incremental.h"
+#include "onex/core/onex_base.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace {
+
+std::shared_ptr<const onex::Dataset> MakeData(std::size_t n,
+                                              std::uint64_t seed) {
+  onex::gen::SineFamilyOptions opt;
+  opt.num_series = n;
+  opt.length = 96;
+  opt.seed = seed;
+  auto norm = onex::Normalize(onex::gen::MakeSineFamilies(opt),
+                              onex::NormalizationKind::kMinMaxDataset);
+  return std::make_shared<const onex::Dataset>(std::move(norm).value());
+}
+
+onex::BaseBuildOptions Opt(std::size_t threads) {
+  onex::BaseBuildOptions opt;
+  opt.st = 0.15;
+  opt.min_length = 8;
+  opt.max_length = 64;
+  opt.length_step = 4;
+  opt.threads = threads;
+  return opt;
+}
+
+}  // namespace
+
+int main() {
+  using onex::bench::Fmt;
+  using onex::bench::FmtZu;
+
+  onex::bench::Banner(
+      "E10 maintenance (extension)", "beyond the demo: operating the base",
+      "parallel construction, incremental append and persistence keep the "
+      "offline step from ever being repeated in full");
+
+  auto data = MakeData(40, 3);
+
+  std::printf("\n-- parallel construction (N=40, L=96, 15 length classes) --\n");
+  {
+    onex::bench::Table table({"threads", "build_ms", "speedup", "groups"});
+    double serial_ms = 0.0;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const auto opt = Opt(threads);
+      double ms = 0.0;
+      std::size_t groups = 0;
+      ms = onex::bench::MedianMs(
+          [&] {
+            auto base = onex::OnexBase::Build(data, opt);
+            groups = base->TotalGroups();
+          },
+          3);
+      if (threads == 1) serial_ms = ms;
+      table.AddRow({FmtZu(threads), Fmt("%.1f", ms),
+                    Fmt("%.2fx", serial_ms / ms), FmtZu(groups)});
+    }
+    table.Print();
+  }
+
+  std::printf("\n-- incremental append vs full rebuild --\n");
+  {
+    onex::bench::Table table(
+        {"arrivals", "rebuild_ms", "append_ms", "speedup", "groups_delta"});
+    auto base = onex::OnexBase::Build(data, Opt(1));
+    onex::gen::SineFamilyOptions extra_opt;
+    extra_opt.num_series = 8;
+    extra_opt.length = 96;
+    extra_opt.seed = 777;
+    auto extra_norm = onex::Normalize(
+        onex::gen::MakeSineFamilies(extra_opt),
+        onex::NormalizationKind::kMinMaxDataset);
+
+    for (const std::size_t arrivals : {1u, 4u, 8u}) {
+      // Incremental: chain appends.
+      onex::OnexBase chained = *base;
+      const double append_ms = onex::bench::TimeOnceMs([&] {
+        for (std::size_t i = 0; i < arrivals; ++i) {
+          chained = std::move(
+              onex::AppendSeries(chained, (*extra_norm)[i])).value();
+        }
+      });
+      // Full rebuild over the extended collection.
+      onex::Dataset extended(data->name());
+      for (const onex::TimeSeries& ts : data->series()) extended.Add(ts);
+      for (std::size_t i = 0; i < arrivals; ++i) {
+        extended.Add((*extra_norm)[i]);
+      }
+      auto extended_ptr =
+          std::make_shared<const onex::Dataset>(std::move(extended));
+      std::size_t rebuilt_groups = 0;
+      const double rebuild_ms = onex::bench::TimeOnceMs([&] {
+        auto rebuilt = onex::OnexBase::Build(extended_ptr, Opt(1));
+        rebuilt_groups = rebuilt->TotalGroups();
+      });
+      const long long delta =
+          static_cast<long long>(chained.TotalGroups()) -
+          static_cast<long long>(rebuilt_groups);
+      table.AddRow({FmtZu(arrivals), Fmt("%.1f", rebuild_ms),
+                    Fmt("%.1f", append_ms), Fmt("%.1fx", rebuild_ms / append_ms),
+                    Fmt("%+g", static_cast<double>(delta))});
+    }
+    table.Print();
+  }
+
+  std::printf("\n-- persistence: reload vs rebuild --\n");
+  {
+    onex::bench::Table table({"operation", "ms"});
+    auto base = onex::OnexBase::Build(data, Opt(1));
+    std::stringstream buf;
+    const double save_ms =
+        onex::bench::TimeOnceMs([&] { (void)onex::SaveBase(*base, buf); });
+    const std::string payload = buf.str();
+    double load_ms = 0.0;
+    load_ms = onex::bench::MedianMs(
+        [&] {
+          std::istringstream in(payload);
+          (void)*onex::LoadBase(in);
+        },
+        3);
+    const double rebuild_ms = onex::bench::MedianMs(
+        [&] { (void)*onex::OnexBase::Build(data, Opt(1)); }, 3);
+    table.AddRow({"full rebuild", Fmt("%.1f", rebuild_ms)});
+    table.AddRow({"SaveBase", Fmt("%.1f", save_ms)});
+    table.AddRow({"LoadBase", Fmt("%.1f", load_ms)});
+    table.Print();
+  }
+
+  std::printf(
+      "\nshape check: construction parallelizes across length classes; "
+      "appending a few series is far cheaper than rebuilding (group counts "
+      "agree within leader-order noise); reloading a saved base costs I/O, "
+      "not clustering.\n");
+  return 0;
+}

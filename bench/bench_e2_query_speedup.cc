@@ -1,0 +1,134 @@
+/// E2 — headline claim: "ONEX has been shown to be several times faster than
+/// the fastest known method [UCR Suite]". Best-match latency of ONEX
+/// (grouped base + DTW) vs a UCR-style exact scan vs unpruned brute force,
+/// all searching the identical subsequence space.
+///
+/// Queries are perturbed subsequences (noise sigma 0.08): far enough from
+/// any base member that the scanners cannot rely on a near-zero best-so-far,
+/// the regime interactive exploration actually operates in.
+#include <memory>
+
+#include "bench_util.h"
+#include "onex/baseline/brute_force.h"
+#include "onex/baseline/ucr_suite.h"
+#include "onex/core/query_processor.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace {
+
+struct Workload {
+  std::shared_ptr<const onex::Dataset> data;
+  std::vector<std::vector<double>> queries;
+};
+
+Workload MakeWorkload(const char* kind, std::size_t n, std::size_t len,
+                      std::size_t qlen, std::uint64_t seed) {
+  onex::Dataset raw;
+  if (std::string(kind) == "walk") {
+    onex::gen::RandomWalkOptions opt;
+    opt.num_series = n;
+    opt.length = len;
+    opt.seed = seed;
+    raw = onex::gen::MakeRandomWalks(opt);
+  } else {
+    onex::gen::SineFamilyOptions opt;
+    opt.num_series = n;
+    opt.length = len;
+    opt.num_shapes = 6;
+    opt.seed = seed;
+    raw = onex::gen::MakeSineFamilies(opt);
+  }
+  auto norm = onex::Normalize(raw, onex::NormalizationKind::kMinMaxDataset);
+  Workload w;
+  w.data = std::make_shared<const onex::Dataset>(std::move(norm).value());
+  onex::Rng rng(seed + 99);
+  for (int q = 0; q < 8; ++q) {
+    const std::size_t series = rng.UniformIndex(w.data->size());
+    const std::size_t start =
+        rng.UniformIndex((*w.data)[series].length() - qlen + 1);
+    const std::span<const double> vals = (*w.data)[series].Slice(start, qlen);
+    std::vector<double> query(vals.begin(), vals.end());
+    for (double& v : query) v += rng.Gaussian(0.0, 0.12);
+    w.queries.push_back(std::move(query));
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  using onex::bench::Fmt;
+  using onex::bench::FmtZu;
+
+  onex::bench::Banner(
+      "E2 query speedup", "headline claim vs [6] (UCR Suite)",
+      "'several times faster than the fastest known method' — same best-match "
+      "workload, identical search space, per-query latency");
+
+  const std::size_t kMinLen = 8, kMaxLen = 32, kStep = 4, kQlen = 24;
+  onex::ScanScope scope;
+  scope.min_length = kMinLen;
+  scope.max_length = kMaxLen;
+  scope.length_step = kStep;
+
+  onex::bench::Table table({"dataset", "subseq", "groups", "onex_ms",
+                            "ucr_ms", "brute_ms", "vs_ucr", "vs_brute",
+                            "onex_vs_exact"});
+
+  for (const auto& [name, kind, n, len, seed] :
+       {std::tuple{"sine N=50 L=64", "sine", 50u, 64u, 1u},
+        std::tuple{"sine N=100 L=64", "sine", 100u, 64u, 2u},
+        std::tuple{"sine N=200 L=64", "sine", 200u, 64u, 3u},
+        std::tuple{"sine N=100 L=128", "sine", 100u, 128u, 5u},
+        std::tuple{"walk N=100 L=64", "walk", 100u, 64u, 4u}}) {
+    const Workload w = MakeWorkload(kind, n, len, kQlen, seed);
+
+    onex::BaseBuildOptions bopt;
+    bopt.st = 0.25;
+    bopt.min_length = kMinLen;
+    bopt.max_length = kMaxLen;
+    bopt.length_step = kStep;
+    auto base = onex::OnexBase::Build(w.data, bopt);
+    if (!base.ok()) return 1;
+    onex::QueryProcessor qp(&*base);
+
+    double onex_ms = 0.0, ucr_ms = 0.0, brute_ms = 0.0;
+    double quality = 0.0;
+    for (const std::vector<double>& q : w.queries) {
+      double onex_dist = 0.0, exact_dist = 0.0;
+      onex::QueryOptions qo;
+      qo.compute_path = false;
+      onex_ms += onex::bench::MedianMs(
+          [&] { onex_dist = qp.BestMatchQuery(q, qo)->normalized_dtw; }, 3);
+      onex::UcrSearchOptions uopt;
+      uopt.scope = scope;
+      ucr_ms += onex::bench::MedianMs(
+          [&] {
+            exact_dist = onex::UcrBestMatch(*w.data, q, uopt)->normalized;
+          },
+          3);
+      brute_ms += onex::bench::MedianMs(
+          [&] {
+            (void)*onex::BruteForceBestMatch(*w.data, q,
+                                             onex::ScanDistance::kDtw, scope);
+          },
+          3);
+      quality += exact_dist > 1e-12 ? onex_dist / exact_dist : 1.0;
+    }
+    const double nq = static_cast<double>(w.queries.size());
+    table.AddRow({name, FmtZu(base->TotalMembers()),
+                  FmtZu(base->TotalGroups()), Fmt("%.2f", onex_ms / nq),
+                  Fmt("%.2f", ucr_ms / nq), Fmt("%.2f", brute_ms / nq),
+                  Fmt("%.1fx", ucr_ms / onex_ms),
+                  Fmt("%.1fx", brute_ms / onex_ms),
+                  Fmt("%.2f", quality / nq)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: ONEX examines groups (<< subseq), so onex_ms beats "
+      "ucr_ms by a multiple and brute force by orders of magnitude — the "
+      "paper's 'several times faster' — while onex_vs_exact stays near 1 "
+      "(answers remain near-optimal).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// E6 — Fig 4 (Seasonal View): seasonal-similarity mining on household power
+/// usage. Planted daily periodicity must be recovered; runtime is reported
+/// as the horizon grows.
+#include "bench_util.h"
+#include "onex/engine/engine.h"
+#include "onex/gen/electricity.h"
+
+int main() {
+  using onex::bench::Fmt;
+  using onex::bench::FmtZu;
+
+  onex::bench::Banner(
+      "E6 seasonal view", "Fig 4 (patterns in the power usage dataset)",
+      "repeating patterns within one series are groups restricted to that "
+      "series; the household's daily habit appears as a pattern recurring at "
+      "24h multiples");
+
+  onex::bench::Table table({"days", "windows", "groups", "prepare_ms",
+                            "mine_ms", "top_gap_h", "occurrences",
+                            "daily_habit"});
+
+  for (const std::size_t days : {7u, 14u, 28u, 56u}) {
+    onex::Engine engine;
+    onex::gen::ElectricityOptions gen;
+    gen.num_households = 1;
+    gen.length = 24 * days;
+    gen.noise_stddev = 0.05;
+    gen.seed = 7;
+    if (!engine.LoadDataset("power", onex::gen::MakeElectricityLoad(gen))
+             .ok()) {
+      return 1;
+    }
+
+    onex::BaseBuildOptions build;
+    build.st = 0.12;
+    build.min_length = 24;
+    build.max_length = 24;
+    const double prepare_ms =
+        onex::bench::TimeOnceMs([&] { (void)engine.Prepare("power", build); });
+    const auto prepared = engine.Get("power");
+
+    onex::SeasonalOptions mine;
+    mine.length = 24;
+    std::vector<onex::SeasonalPattern> patterns;
+    const double mine_ms = onex::bench::MedianMs(
+        [&] { patterns = *engine.Seasonal("power", 0, mine); });
+    if (patterns.empty()) return 1;
+    const onex::SeasonalPattern& top = patterns.front();
+
+    table.AddRow({FmtZu(days), FmtZu((*prepared)->base->TotalMembers()),
+                  FmtZu((*prepared)->base->TotalGroups()),
+                  Fmt("%.1f", prepare_ms), Fmt("%.2f", mine_ms),
+                  FmtZu(top.typical_gap), FmtZu(top.occurrences.size()),
+                  top.typical_gap % 24 == 0 ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: the dominant pattern's gap is a multiple of 24h at "
+      "every horizon (the planted daily habit), occurrence count grows with "
+      "the horizon, and mining stays interactive while preparation scales "
+      "with data volume.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// E8 — §3.3 threshold recommendations: "the similarity in growth rate
+/// percentages may require very small thresholds, whereas similarity between
+/// unemployment figures ... uses higher thresholds". The advisor's
+/// percentile thresholds are shown for both raw domains, then one
+/// recommended (normalized) ST is applied to both bases.
+#include "bench_util.h"
+#include "onex/engine/engine.h"
+#include "onex/gen/economic_panel.h"
+
+int main() {
+  using onex::bench::Fmt;
+  using onex::bench::FmtZu;
+
+  onex::bench::Banner(
+      "E8 threshold recommendation", "§3.3 'Threshold recommendations'",
+      "data-driven ST selection bridges domains whose raw scales differ by "
+      "three orders of magnitude");
+
+  onex::Engine engine;
+  onex::gen::EconomicPanelOptions panel;
+  panel.indicator = onex::gen::Indicator::kGrowthRate;
+  engine.LoadDataset("growth", onex::gen::MakeEconomicPanel(panel));
+  panel.indicator = onex::gen::Indicator::kUnemployment;
+  engine.LoadDataset("unemployment", onex::gen::MakeEconomicPanel(panel));
+
+  onex::ThresholdAdvisorOptions advisor;
+  advisor.sample_pairs = 1500;
+  advisor.percentiles = {1.0, 5.0, 10.0, 25.0};
+
+  std::printf("\n-- raw domain units --\n");
+  {
+    onex::bench::Table table(
+        {"dataset", "p1_st", "p5_st", "p10_st", "p25_st", "median_pair_dist"});
+    for (const char* name : {"growth", "unemployment"}) {
+      const auto report = engine.RecommendThresholds(name, advisor);
+      if (!report.ok()) return 1;
+      table.AddRow({name, Fmt("%.4g", report->recommendations[0].st),
+                    Fmt("%.4g", report->recommendations[1].st),
+                    Fmt("%.4g", report->recommendations[2].st),
+                    Fmt("%.4g", report->recommendations[3].st),
+                    Fmt("%.4g", report->median_distance)});
+    }
+    table.Print();
+  }
+
+  // Normalize (Prepare) both, re-run the advisor, and apply its p5
+  // recommendation to each base.
+  onex::BaseBuildOptions build;
+  build.st = 0.2;  // placeholder; replaced by the recommendation below
+  build.min_length = 6;
+  build.max_length = 12;
+  if (!engine.Prepare("growth", build).ok()) return 1;
+  if (!engine.Prepare("unemployment", build).ok()) return 1;
+
+  std::printf("\n-- normalized space: one ST fits both domains --\n");
+  {
+    onex::bench::Table table({"dataset", "recommended_p5_st", "groups_at_p5",
+                              "subsequences", "compaction"});
+    for (const char* name : {"growth", "unemployment"}) {
+      const auto report = engine.RecommendThresholds(name, advisor);
+      if (!report.ok()) return 1;
+      const double st = report->recommendations[1].st;  // p5
+      onex::BaseBuildOptions rebuilt = build;
+      rebuilt.st = st;
+      if (!engine.Prepare(name, rebuilt).ok()) return 1;
+      const auto prepared = engine.Get(name);
+      table.AddRow({name, Fmt("%.4f", st),
+                    FmtZu((*prepared)->base->TotalGroups()),
+                    FmtZu((*prepared)->base->TotalMembers()),
+                    Fmt("%.4f", (*prepared)->base->stats().CompactionRatio())});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nshape check: raw thresholds differ by ~1000x between domains "
+      "(percent vs head-count); after ONEX normalization the recommended "
+      "thresholds land on the same scale and yield comparable compaction — "
+      "the paper's data-driven parameter story.\n");
+  return 0;
+}

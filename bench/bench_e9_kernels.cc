@@ -1,0 +1,119 @@
+/// E9 — distance-kernel microbenchmarks backing E2: the cost hierarchy the
+/// ONEX pruning cascade exploits (LB_Kim << LB_Keogh << banded DTW << full
+/// DTW, with ED as the cheap grouping workhorse). google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "onex/common/random.h"
+#include "onex/distance/dtw.h"
+#include "onex/distance/envelope.h"
+#include "onex/distance/euclidean.h"
+#include "onex/distance/lower_bounds.h"
+
+namespace {
+
+std::vector<double> MakeSeries(std::size_t n, std::uint64_t seed) {
+  onex::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  double v = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v += rng.Gaussian(0.0, 0.1);
+    out.push_back(v);
+  }
+  return out;
+}
+
+void BM_Euclidean(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::Euclidean(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Euclidean)->Range(32, 1024)->Complexity(benchmark::oN);
+
+void BM_EuclideanEarlyAbandon(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  // A tight cutoff: abandons quickly, the common case during grouping.
+  const double cutoff_sq = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        onex::SquaredEuclideanEarlyAbandon(a, b, cutoff_sq));
+  }
+}
+BENCHMARK(BM_EuclideanEarlyAbandon)->Range(32, 1024);
+
+void BM_DtwFull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::DtwDistance(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtwFull)->Range(32, 512)->Complexity(benchmark::oNSquared);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::DtwDistance(a, b, 8));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DtwBanded)->Range(32, 1024)->Complexity(benchmark::oN);
+
+void BM_DtwEarlyAbandon(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  const double cutoff = 0.05;  // tight best-so-far: abandons early
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::DtwDistanceEarlyAbandon(a, b, cutoff));
+  }
+}
+BENCHMARK(BM_DtwEarlyAbandon)->Range(32, 512);
+
+void BM_DtwWithPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::DtwWithPath(a, b).distance);
+  }
+}
+BENCHMARK(BM_DtwWithPath)->Range(32, 256);
+
+void BM_LbKim(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::LbKim(a, b));
+  }
+}
+BENCHMARK(BM_LbKim)->Range(32, 1024);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  const onex::Envelope env = onex::ComputeKeoghEnvelope(a, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::LbKeogh(env, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LbKeogh)->Range(32, 1024)->Complexity(benchmark::oN);
+
+void BM_ComputeEnvelope(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = MakeSeries(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(onex::ComputeKeoghEnvelope(a, 8).size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ComputeEnvelope)->Range(32, 1024)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

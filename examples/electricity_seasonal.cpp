@@ -1,0 +1,68 @@
+/// The paper's Seasonal-View walkthrough (Fig 4): one household's electrical
+/// consumption across a year, with repeating daily/weekly usage patterns
+/// recovered and displayed as alternating segments.
+///
+///   $ ./electricity_seasonal [days] [pattern_hours]
+#include <cstdio>
+#include <cstdlib>
+
+#include "onex/engine/engine.h"
+#include "onex/gen/electricity.h"
+#include "onex/viz/charts.h"
+
+int main(int argc, char** argv) {
+  const std::size_t days =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 28;
+  const std::size_t pattern_hours =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
+
+  onex::Engine engine;
+  onex::gen::ElectricityOptions gen_options;
+  gen_options.num_households = 1;
+  gen_options.length = 24 * days;
+  gen_options.noise_stddev = 0.05;
+  if (!engine
+           .LoadDataset("power", onex::gen::MakeElectricityLoad(gen_options))
+           .ok()) {
+    return 1;
+  }
+
+  onex::BaseBuildOptions build;
+  build.st = 0.12;
+  build.min_length = pattern_hours;
+  build.max_length = pattern_hours;
+  if (onex::Status s = engine.Prepare("power", build); !s.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto prepared = engine.Get("power");
+  std::printf(
+      "prepared %zu days of hourly consumption: %zu windows -> %zu groups\n\n",
+      days, (*prepared)->base->TotalMembers(),
+      (*prepared)->base->TotalGroups());
+
+  onex::SeasonalOptions seasonal;
+  seasonal.length = pattern_hours;
+  seasonal.top_k = 4;
+  const auto view = engine.SeasonalView("power", 0, seasonal);
+  if (!view.ok()) {
+    std::fprintf(stderr, "seasonal mining failed: %s\n",
+                 view.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== Seasonal View (b/g = alternating occurrences) ===\n%s\n",
+              onex::viz::RenderSeasonalView(*view).c_str());
+
+  // "The top graph displays a monthly pattern indicating that this household
+  // tends to use electricity in a consistent manner..."
+  if (!view->patterns.empty()) {
+    const auto& top = view->patterns.front();
+    std::printf(
+        "dominant pattern: %zu occurrences of a %zu-hour shape, typical gap "
+        "%zu h (%s)\n",
+        top.segments.size(), top.length, top.typical_gap,
+        top.typical_gap % 24 == 0 ? "a whole number of days — daily habit"
+                                  : "irregular");
+  }
+  return 0;
+}

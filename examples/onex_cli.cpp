@@ -1,0 +1,54 @@
+/// onex_cli — command-line client for onexd (the browser stand-in).
+///
+///   $ ./onex_cli PORT [command ...]    # one-shot: run commands, print JSON
+///   $ ./onex_cli PORT                  # interactive: read lines from stdin
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "onex/net/client.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s PORT [command ...]\n", argv[0]);
+    return 2;
+  }
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  onex::Result<onex::net::OnexClient> client =
+      onex::net::OnexClient::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  auto run = [&](const std::string& line) -> bool {
+    onex::Result<onex::json::Value> response = client->Call(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "transport error: %s\n",
+                   response.status().ToString().c_str());
+      return false;
+    }
+    std::printf("%s\n", response->Dump(2).c_str());
+    return true;
+  };
+
+  if (argc > 2) {
+    for (int i = 2; i < argc; ++i) {
+      if (!run(argv[i])) return 1;
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("onex> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (line == "exit" || line == "quit") break;
+    if (!line.empty() && !run(line)) break;
+    std::printf("onex> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

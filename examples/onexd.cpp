@@ -1,0 +1,48 @@
+/// onexd — the ONEX analytics server (the demo's server tier). Clients speak
+/// the newline-delimited command protocol; responses are single-line JSON.
+///
+///   $ ./onexd [port]          # default: ephemeral port, printed on stdout
+///
+/// Try it with the bundled CLI:
+///   $ ./onexd 7700 &
+///   $ ./onex_cli 7700 "GEN demo sine num=8 len=32" "PREPARE demo st=0.15"
+///   $ ./onex_cli 7700 "MATCH demo q=0:4:16"
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+#include "onex/common/logging.h"
+#include "onex/engine/engine.h"
+#include "onex/net/server.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void HandleSignal(int) { g_stop.store(true); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint16_t port =
+      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
+
+  onex::SetLogLevel(onex::LogLevel::kInfo);
+  onex::Engine engine;
+  onex::net::OnexServer server(&engine);
+  if (onex::Status s = server.Start(port); !s.ok()) {
+    std::fprintf(stderr, "onexd: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("onexd listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load() && server.running()) {
+    // The accept loop runs on its own thread; park cheaply here.
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("onexd: shutting down\n");
+  server.Stop();
+  return 0;
+}

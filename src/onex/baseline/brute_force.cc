@@ -1,0 +1,65 @@
+#include "onex/baseline/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "onex/common/string_utils.h"
+#include "onex/distance/euclidean.h"
+
+namespace onex {
+
+Result<ScanMatch> BruteForceBestMatch(const Dataset& dataset,
+                                      std::span<const double> query,
+                                      ScanDistance distance,
+                                      const ScanScope& scope, int window,
+                                      ScanStats* stats) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (query.size() < 2) {
+    return Status::InvalidArgument("query must have >= 2 points");
+  }
+  const std::size_t max_len =
+      scope.max_length == 0 ? dataset.MaxLength() : scope.max_length;
+  if (scope.min_length < 2 || scope.length_step == 0 || scope.stride == 0) {
+    return Status::InvalidArgument("invalid scan scope");
+  }
+
+  ScanMatch best;
+  best.normalized = std::numeric_limits<double>::infinity();
+  const std::size_t qn = query.size();
+
+  for (std::size_t len = scope.min_length; len <= max_len;
+       len += scope.length_step) {
+    if (distance == ScanDistance::kEuclidean && len != qn) continue;
+    const double nf = std::sqrt(static_cast<double>(std::max(qn, len)));
+    for (std::size_t s = 0; s < dataset.size(); ++s) {
+      const TimeSeries& ts = dataset[s];
+      if (ts.length() < len) continue;
+      for (std::size_t start = 0; start + len <= ts.length();
+           start += scope.stride) {
+        if (stats != nullptr) ++stats->candidates;
+        const std::span<const double> cand = ts.Slice(start, len);
+        const double raw = distance == ScanDistance::kEuclidean
+                               ? Euclidean(query, cand)
+                               : DtwDistance(query, cand, window);
+        if (stats != nullptr) ++stats->full_evaluations;
+        const double norm = raw / nf;
+        if (norm < best.normalized) {
+          best.ref = {s, start, len};
+          best.distance = raw;
+          best.normalized = norm;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best.normalized)) {
+    return Status::NotFound(StrFormat(
+        "no subsequence of admissible length in [%zu, %zu]", scope.min_length,
+        max_len));
+  }
+  return best;
+}
+
+}  // namespace onex

@@ -1,0 +1,61 @@
+#ifndef ONEX_BASELINE_BRUTE_FORCE_H_
+#define ONEX_BASELINE_BRUTE_FORCE_H_
+
+#include <span>
+
+#include "onex/common/result.h"
+#include "onex/distance/dtw.h"
+#include "onex/ts/dataset.h"
+#include "onex/ts/subsequence.h"
+
+namespace onex {
+
+/// Which distance an exact scan optimizes. kEuclidean is the "cheap but
+/// alignment-blind" competitor of the paper's accuracy claim; kDtw is the
+/// gold standard.
+enum class ScanDistance { kEuclidean = 0, kDtw = 1 };
+
+/// Subsequence space an exact scan enumerates; matches the scoping knobs of
+/// BaseBuildOptions so baselines and ONEX search the same space.
+struct ScanScope {
+  std::size_t min_length = 4;
+  std::size_t max_length = 0;  ///< 0 = longest series.
+  std::size_t length_step = 1;
+  std::size_t stride = 1;
+};
+
+/// Result of an exact scan, in the same normalized units the ONEX query
+/// processor reports (distance / sqrt(max(len_q, len_c))).
+struct ScanMatch {
+  SubseqRef ref;
+  double distance = 0.0;    ///< Raw distance.
+  double normalized = 0.0;  ///< Length-normalized distance.
+};
+
+/// Work counters (shared by the UCR-style scanner, which fills the pruning
+/// fields; brute force leaves them zero).
+struct ScanStats {
+  std::size_t candidates = 0;
+  std::size_t pruned_kim = 0;
+  std::size_t pruned_keogh = 0;
+  std::size_t pruned_keogh_reversed = 0;
+  std::size_t abandoned_dtw = 0;
+  std::size_t full_evaluations = 0;
+};
+
+/// Exhaustive exact best-match: every subsequence in scope is evaluated with
+/// the full distance, no pruning. The ground truth the tests compare ONEX
+/// and the UCR-style scanner against. ED scans skip candidate lengths !=
+/// query length (ED is undefined across lengths; this matches how
+/// ED-based systems operate and is exactly why they lose accuracy on warped
+/// data).
+Result<ScanMatch> BruteForceBestMatch(const Dataset& dataset,
+                                      std::span<const double> query,
+                                      ScanDistance distance,
+                                      const ScanScope& scope = {},
+                                      int window = kNoWindow,
+                                      ScanStats* stats = nullptr);
+
+}  // namespace onex
+
+#endif  // ONEX_BASELINE_BRUTE_FORCE_H_

@@ -1,0 +1,97 @@
+#include "onex/baseline/ucr_suite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "onex/distance/dtw.h"
+#include "onex/distance/envelope.h"
+#include "onex/distance/euclidean.h"
+#include "onex/distance/lower_bounds.h"
+
+namespace onex {
+
+Result<ScanMatch> UcrBestMatch(const Dataset& dataset,
+                               std::span<const double> query,
+                               const UcrSearchOptions& options,
+                               ScanStats* stats) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (query.size() < 2) {
+    return Status::InvalidArgument("query must have >= 2 points");
+  }
+  const ScanScope& scope = options.scope;
+  const std::size_t max_len =
+      scope.max_length == 0 ? dataset.MaxLength() : scope.max_length;
+  if (scope.min_length < 2 || scope.length_step == 0 || scope.stride == 0) {
+    return Status::InvalidArgument("invalid scan scope");
+  }
+
+  const std::size_t qn = query.size();
+  // Query envelope for the equal-length Keogh bound; band must equal the
+  // effective window the DTW below will use for (qn, qn).
+  const int eq_window =
+      options.window < 0 ? -1 : EffectiveWindow(qn, qn, options.window);
+  const Envelope query_env = ComputeKeoghEnvelope(query, eq_window);
+
+  ScanMatch best;
+  best.normalized = std::numeric_limits<double>::infinity();
+
+  for (std::size_t len = scope.min_length; len <= max_len;
+       len += scope.length_step) {
+    const double nf = std::sqrt(static_cast<double>(std::max(qn, len)));
+    for (std::size_t s = 0; s < dataset.size(); ++s) {
+      const TimeSeries& ts = dataset[s];
+      if (ts.length() < len) continue;
+      for (std::size_t start = 0; start + len <= ts.length();
+           start += scope.stride) {
+        if (stats != nullptr) ++stats->candidates;
+        const std::span<const double> cand = ts.Slice(start, len);
+        // Raw-distance pruning horizon for this candidate's length.
+        const double cutoff =
+            std::isfinite(best.normalized) ? best.normalized * nf : -1.0;
+        const bool have_cutoff = cutoff >= 0.0;
+
+        if (options.use_lb_kim && have_cutoff &&
+            LbKim(query, cand) >= cutoff) {
+          if (stats != nullptr) ++stats->pruned_kim;
+          continue;
+        }
+        if (options.use_lb_keogh && have_cutoff && len == qn &&
+            LbKeogh(query_env, cand, cutoff) >= cutoff) {
+          if (stats != nullptr) ++stats->pruned_keogh;
+          continue;
+        }
+        if (options.use_lb_keogh_reversed && have_cutoff && len == qn) {
+          const Envelope cand_env = ComputeKeoghEnvelope(cand, eq_window);
+          if (LbKeogh(cand_env, query, cutoff) >= cutoff) {
+            if (stats != nullptr) ++stats->pruned_keogh_reversed;
+            continue;
+          }
+        }
+
+        const double raw = DtwDistanceEarlyAbandon(
+            query, cand, options.use_early_abandon ? cutoff : -1.0,
+            options.window);
+        if (std::isinf(raw)) {
+          if (stats != nullptr) ++stats->abandoned_dtw;
+          continue;
+        }
+        if (stats != nullptr) ++stats->full_evaluations;
+        const double norm = raw / nf;
+        if (norm < best.normalized) {
+          best.ref = {s, start, len};
+          best.distance = raw;
+          best.normalized = norm;
+        }
+      }
+    }
+  }
+  if (!std::isfinite(best.normalized)) {
+    return Status::NotFound("no subsequence of admissible length in scope");
+  }
+  return best;
+}
+
+}  // namespace onex

@@ -1,0 +1,43 @@
+#ifndef ONEX_COMMON_LOGGING_H_
+#define ONEX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace onex {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped. Tests set kOff.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector used by the ONEX_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace onex
+
+#define ONEX_LOG(level) \
+  ::onex::internal::LogLine(::onex::LogLevel::level)
+
+#endif  // ONEX_COMMON_LOGGING_H_

@@ -1,0 +1,105 @@
+#include "onex/common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace onex {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 1) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }
+
+double Min(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> Linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> out;
+  if (n == 0) return out;
+  out.reserve(n);
+  if (n == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  return out;
+}
+
+bool AlmostEqual(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::abs(a - b);
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    num += xa * xb;
+    da += xa * xa;
+    db += xb * xb;
+  }
+  if (da == 0.0 || db == 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+double Autocorrelation(std::span<const double> xs, std::size_t k) {
+  if (k >= xs.size()) return 0.0;
+  const double mu = Mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - mu;
+    den += d * d;
+  }
+  if (den == 0.0) return 0.0;
+  for (std::size_t i = 0; i + k < xs.size(); ++i) {
+    num += (xs[i] - mu) * (xs[i + k] - mu);
+  }
+  return num / den;
+}
+
+}  // namespace onex

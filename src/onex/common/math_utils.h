@@ -1,0 +1,47 @@
+#ifndef ONEX_COMMON_MATH_UTILS_H_
+#define ONEX_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace onex {
+
+/// Small numeric helpers shared across the library. All functions take spans
+/// so they work on whole series and on subsequence views alike.
+
+/// Arithmetic mean; 0.0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Population variance (divides by n); 0.0 for spans shorter than 1.
+double Variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double StdDev(std::span<const double> xs);
+
+/// Minimum / maximum; both undefined (returns 0.0) on empty input.
+double Min(std::span<const double> xs);
+double Max(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+/// Returns 0.0 on empty input.
+double Percentile(std::span<const double> xs, double p);
+
+/// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} for n == 1.
+std::vector<double> Linspace(double lo, double hi, std::size_t n);
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double abs_tol = 1e-9,
+                 double rel_tol = 1e-9);
+
+/// Pearson correlation of two equal-length spans; 0.0 when either side is
+/// constant or lengths differ.
+double PearsonCorrelation(std::span<const double> a, std::span<const double> b);
+
+/// Lag-k autocorrelation of xs (biased estimator); 0.0 when k >= xs.size()
+/// or xs is constant. Used by tests to verify planted seasonal periods.
+double Autocorrelation(std::span<const double> xs, std::size_t k);
+
+}  // namespace onex
+
+#endif  // ONEX_COMMON_MATH_UTILS_H_

@@ -1,0 +1,47 @@
+#include "onex/common/random.h"
+
+namespace onex {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::UniformIndex(std::size_t n) {
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<double> Rng::GaussianVector(std::size_t n, double mean,
+                                        double stddev) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Gaussian(mean, stddev));
+  return out;
+}
+
+Rng Rng::Fork() {
+  // Two draws decorrelate the child stream from the parent's next draws.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace onex

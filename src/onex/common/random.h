@@ -1,0 +1,58 @@
+#ifndef ONEX_COMMON_RANDOM_H_
+#define ONEX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace onex {
+
+/// Deterministic, seedable random source used by generators, samplers and
+/// tests. A thin wrapper over std::mt19937_64 so every consumer shares one
+/// reproducibility story: same seed, same platform-independent draws for the
+/// integer helpers (the floating helpers depend only on the engine stream).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t UniformIndex(std::size_t n);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// n i.i.d. Gaussian draws.
+  std::vector<double> GaussianVector(std::size_t n, double mean = 0.0,
+                                     double stddev = 1.0);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* xs) {
+    if (xs->size() < 2) return;
+    for (std::size_t i = xs->size() - 1; i > 0; --i) {
+      std::swap((*xs)[i], (*xs)[UniformIndex(i + 1)]);
+    }
+  }
+
+  /// Derives an independent child RNG; lets parallel generators share one
+  /// top-level seed without correlated streams.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_COMMON_RANDOM_H_

@@ -1,0 +1,73 @@
+#ifndef ONEX_COMMON_RESULT_H_
+#define ONEX_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "onex/common/status.h"
+
+namespace onex {
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+/// The usual flow:
+///
+///   Result<Dataset> r = LoadUcrFile(path);
+///   if (!r.ok()) return r.status();
+///   Dataset ds = std::move(r).value();
+///
+/// Constructing a Result from an OK status is a programming error and aborts:
+/// an OK result must carry a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value, mirroring absl::StatusOr ergonomics.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status with no value is unrepresentable; fail loudly.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace onex
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors, else binds the value.
+#define ONEX_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  ONEX_ASSIGN_OR_RETURN_IMPL_(                                 \
+      ONEX_RESULT_CONCAT_(_onex_result, __LINE__), lhs, rexpr)
+
+#define ONEX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define ONEX_RESULT_CONCAT_(a, b) ONEX_RESULT_CONCAT_IMPL_(a, b)
+#define ONEX_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ONEX_COMMON_RESULT_H_

@@ -1,0 +1,91 @@
+#ifndef ONEX_COMMON_STATUS_H_
+#define ONEX_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace onex {
+
+/// Error categories used across the library. Mirrors the small, fixed set of
+/// failure classes a caller can meaningfully branch on.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< Caller passed a value outside the documented domain.
+  kNotFound = 2,         ///< Named dataset/series/group does not exist.
+  kOutOfRange = 3,       ///< Index or interval outside the addressed container.
+  kFailedPrecondition = 4,  ///< Operation ordering violated (e.g. query before build).
+  kAlreadyExists = 5,    ///< Unique name collision.
+  kIoError = 6,          ///< Filesystem or socket failure.
+  kParseError = 7,       ///< Malformed input text (UCR file, JSON, protocol line).
+  kInternal = 8,         ///< Invariant violation inside the library; a bug.
+};
+
+/// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantics status object carrying a code and a message.
+///
+/// Fallible ONEX APIs return `Status` (or `Result<T>`, see result.h) instead of
+/// throwing; exceptions are reserved for programming errors. A default
+/// constructed Status is OK, and OK statuses carry no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace onex
+
+/// Propagates a non-OK Status from the evaluated expression to the caller.
+#define ONEX_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::onex::Status _onex_status = (expr);         \
+    if (!_onex_status.ok()) return _onex_status;  \
+  } while (false)
+
+#endif  // ONEX_COMMON_STATUS_H_

@@ -1,0 +1,271 @@
+#include "onex/core/base_io.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "onex/common/string_utils.h"
+#include "onex/json/json.h"
+
+namespace onex {
+namespace {
+
+constexpr const char* kMagic = "ONEXBASE";
+constexpr int kVersion = 1;
+
+std::string Quoted(const std::string& s) {
+  std::string out;
+  const std::string escaped = json::EscapeString(s);
+  out.reserve(escaped.size() + 2);
+  out += '"';
+  out += escaped;
+  out += '"';
+  return out;
+}
+
+/// Reads one line, rejecting EOF.
+Result<std::string> NextLine(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError(StrFormat("unexpected end of base file at %s",
+                                        what));
+  }
+  return line;
+}
+
+/// "<prefix> rest..." -> rest; error when the prefix does not match.
+Result<std::string> ExpectPrefix(const std::string& line,
+                                 const std::string& prefix) {
+  if (!StartsWith(line, prefix)) {
+    return Status::ParseError("expected '" + prefix + "' line, got '" + line +
+                              "'");
+  }
+  return std::string(TrimString(line.substr(prefix.size())));
+}
+
+/// Parses a JSON-quoted string at the start of `text`; returns the remainder
+/// through `rest`.
+Result<std::string> TakeQuoted(const std::string& text, std::string* rest) {
+  if (text.empty() || text.front() != '"') {
+    return Status::ParseError("expected quoted string in: '" + text + "'");
+  }
+  // Find the closing quote, honoring backslash escapes.
+  std::size_t end = 1;
+  while (end < text.size()) {
+    if (text[end] == '\\') {
+      end += 2;
+      continue;
+    }
+    if (text[end] == '"') break;
+    ++end;
+  }
+  if (end >= text.size()) {
+    return Status::ParseError("unterminated quoted string");
+  }
+  ONEX_ASSIGN_OR_RETURN(json::Value v,
+                        json::Parse(text.substr(0, end + 1)));
+  *rest = std::string(TrimString(text.substr(end + 1)));
+  return v.as_string();
+}
+
+Result<CentroidPolicy> PolicyFromString(const std::string& name) {
+  if (name == "fixed-leader") return CentroidPolicy::kFixedLeader;
+  if (name == "running-mean") return CentroidPolicy::kRunningMean;
+  if (name == "running-mean-repair") {
+    return CentroidPolicy::kRunningMeanRepair;
+  }
+  return Status::ParseError("unknown centroid policy: '" + name + "'");
+}
+
+}  // namespace
+
+Status SaveBase(const OnexBase& base, std::ostream& out) {
+  const Dataset& ds = base.dataset();
+  const BaseBuildOptions& opt = base.options();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "name " << Quoted(ds.name()) << '\n';
+  out << StrFormat("options %.17g %zu %zu %zu %zu ", opt.st, opt.min_length,
+                   opt.max_length, opt.length_step, opt.stride)
+      << CentroidPolicyToString(opt.centroid_policy) << '\n';
+  out << "series " << ds.size() << '\n';
+  for (const TimeSeries& ts : ds.series()) {
+    out << "s " << Quoted(ts.name()) << ' ' << Quoted(ts.label()) << ' '
+        << ts.length();
+    for (double v : ts.values()) out << ' ' << StrFormat("%.17g", v);
+    out << '\n';
+  }
+  out << "classes " << base.length_classes().size() << '\n';
+  for (const LengthClass& cls : base.length_classes()) {
+    out << "class " << cls.length << " groups " << cls.groups.size() << '\n';
+    for (const SimilarityGroup& g : cls.groups) {
+      out << "g";
+      for (const SubseqRef& ref : g.members()) {
+        out << ' ' << ref.series << ':' << ref.start;
+      }
+      out << '\n';
+    }
+  }
+  out << "repaired " << base.stats().repaired_members << '\n';
+  out << "END\n";
+  if (!out) return Status::IoError("write failure while saving base");
+  return Status::OK();
+}
+
+Status SaveBaseToFile(const OnexBase& base, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  return SaveBase(base, out);
+}
+
+Result<OnexBase> LoadBase(std::istream& in) {
+  // Header.
+  ONEX_ASSIGN_OR_RETURN(std::string header, NextLine(in, "header"));
+  {
+    const std::vector<std::string> fields = SplitString(header);
+    if (fields.size() != 2 || fields[0] != kMagic) {
+      return Status::ParseError("not an ONEX base file");
+    }
+    ONEX_ASSIGN_OR_RETURN(long long version, ParseInt(fields[1]));
+    if (version != kVersion) {
+      return Status::ParseError(
+          StrFormat("unsupported base version %lld", version));
+    }
+  }
+
+  // Dataset name.
+  ONEX_ASSIGN_OR_RETURN(std::string name_line, NextLine(in, "name"));
+  ONEX_ASSIGN_OR_RETURN(std::string name_rest, ExpectPrefix(name_line, "name"));
+  std::string after;
+  ONEX_ASSIGN_OR_RETURN(std::string ds_name, TakeQuoted(name_rest, &after));
+
+  // Options.
+  BaseBuildOptions options;
+  {
+    ONEX_ASSIGN_OR_RETURN(std::string line, NextLine(in, "options"));
+    ONEX_ASSIGN_OR_RETURN(std::string rest, ExpectPrefix(line, "options"));
+    const std::vector<std::string> f = SplitString(rest);
+    if (f.size() != 6) {
+      return Status::ParseError("options line needs 6 fields");
+    }
+    ONEX_ASSIGN_OR_RETURN(options.st, ParseDouble(f[0]));
+    ONEX_ASSIGN_OR_RETURN(long long minlen, ParseInt(f[1]));
+    ONEX_ASSIGN_OR_RETURN(long long maxlen, ParseInt(f[2]));
+    ONEX_ASSIGN_OR_RETURN(long long step, ParseInt(f[3]));
+    ONEX_ASSIGN_OR_RETURN(long long stride, ParseInt(f[4]));
+    if (minlen < 0 || maxlen < 0 || step < 1 || stride < 1) {
+      return Status::ParseError("invalid scoping in options line");
+    }
+    options.min_length = static_cast<std::size_t>(minlen);
+    options.max_length = static_cast<std::size_t>(maxlen);
+    options.length_step = static_cast<std::size_t>(step);
+    options.stride = static_cast<std::size_t>(stride);
+    ONEX_ASSIGN_OR_RETURN(options.centroid_policy, PolicyFromString(f[5]));
+  }
+
+  // Dataset.
+  Dataset ds(ds_name);
+  {
+    ONEX_ASSIGN_OR_RETURN(std::string line, NextLine(in, "series count"));
+    ONEX_ASSIGN_OR_RETURN(std::string rest, ExpectPrefix(line, "series"));
+    ONEX_ASSIGN_OR_RETURN(long long count, ParseInt(rest));
+    if (count <= 0) return Status::ParseError("series count must be positive");
+    for (long long s = 0; s < count; ++s) {
+      ONEX_ASSIGN_OR_RETURN(std::string sline, NextLine(in, "series"));
+      ONEX_ASSIGN_OR_RETURN(std::string srest, ExpectPrefix(sline, "s"));
+      std::string tail;
+      ONEX_ASSIGN_OR_RETURN(std::string sname, TakeQuoted(srest, &tail));
+      std::string tail2;
+      ONEX_ASSIGN_OR_RETURN(std::string slabel, TakeQuoted(tail, &tail2));
+      const std::vector<std::string> nums = SplitString(tail2);
+      if (nums.empty()) return Status::ParseError("series line has no length");
+      ONEX_ASSIGN_OR_RETURN(long long len, ParseInt(nums[0]));
+      if (len < 0 || nums.size() != static_cast<std::size_t>(len) + 1) {
+        return Status::ParseError(
+            StrFormat("series '%s' declares %lld values but has %zu",
+                      sname.c_str(), len, nums.size() - 1));
+      }
+      std::vector<double> values;
+      values.reserve(static_cast<std::size_t>(len));
+      for (std::size_t i = 1; i < nums.size(); ++i) {
+        ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(nums[i]));
+        values.push_back(v);
+      }
+      ds.Add(TimeSeries(sname, std::move(values), slabel));
+    }
+  }
+
+  // Groups.
+  std::vector<LengthClass> classes;
+  {
+    ONEX_ASSIGN_OR_RETURN(std::string line, NextLine(in, "classes count"));
+    ONEX_ASSIGN_OR_RETURN(std::string rest, ExpectPrefix(line, "classes"));
+    ONEX_ASSIGN_OR_RETURN(long long count, ParseInt(rest));
+    if (count < 0) return Status::ParseError("negative class count");
+    for (long long c = 0; c < count; ++c) {
+      ONEX_ASSIGN_OR_RETURN(std::string cline, NextLine(in, "class"));
+      ONEX_ASSIGN_OR_RETURN(std::string crest, ExpectPrefix(cline, "class"));
+      const std::vector<std::string> f = SplitString(crest);
+      if (f.size() != 3 || f[1] != "groups") {
+        return Status::ParseError("malformed class line: '" + cline + "'");
+      }
+      ONEX_ASSIGN_OR_RETURN(long long length, ParseInt(f[0]));
+      ONEX_ASSIGN_OR_RETURN(long long group_count, ParseInt(f[2]));
+      if (length < 2 || group_count < 0) {
+        return Status::ParseError("invalid class header");
+      }
+      LengthClass cls;
+      cls.length = static_cast<std::size_t>(length);
+      for (long long g = 0; g < group_count; ++g) {
+        ONEX_ASSIGN_OR_RETURN(std::string gline, NextLine(in, "group"));
+        ONEX_ASSIGN_OR_RETURN(std::string grest, ExpectPrefix(gline, "g"));
+        SimilarityGroup group(cls.length);
+        std::vector<SubseqRef> members;
+        for (const std::string& token : SplitString(grest)) {
+          const std::vector<std::string> parts = SplitKeepEmpty(token, ':');
+          if (parts.size() != 2) {
+            return Status::ParseError("malformed member ref: '" + token + "'");
+          }
+          ONEX_ASSIGN_OR_RETURN(long long series, ParseInt(parts[0]));
+          ONEX_ASSIGN_OR_RETURN(long long start, ParseInt(parts[1]));
+          if (series < 0 || start < 0) {
+            return Status::ParseError("negative member ref: '" + token + "'");
+          }
+          members.push_back({static_cast<std::size_t>(series),
+                             static_cast<std::size_t>(start), cls.length});
+        }
+        group.SetMembers(std::move(members));
+        cls.groups.push_back(std::move(group));
+      }
+      classes.push_back(std::move(cls));
+    }
+  }
+
+  // Footer.
+  std::size_t repaired = 0;
+  {
+    ONEX_ASSIGN_OR_RETURN(std::string line, NextLine(in, "repaired"));
+    ONEX_ASSIGN_OR_RETURN(std::string rest, ExpectPrefix(line, "repaired"));
+    ONEX_ASSIGN_OR_RETURN(long long n, ParseInt(rest));
+    if (n < 0) return Status::ParseError("negative repaired count");
+    repaired = static_cast<std::size_t>(n);
+    ONEX_ASSIGN_OR_RETURN(std::string end_line, NextLine(in, "END"));
+    if (TrimString(end_line) != "END") {
+      return Status::ParseError("missing END marker");
+    }
+  }
+
+  return OnexBase::Restore(std::make_shared<const Dataset>(std::move(ds)),
+                           options, std::move(classes), repaired);
+}
+
+Result<OnexBase> LoadBaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return LoadBase(in);
+}
+
+}  // namespace onex

@@ -1,0 +1,36 @@
+#ifndef ONEX_CORE_BASE_IO_H_
+#define ONEX_CORE_BASE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "onex/common/result.h"
+#include "onex/core/onex_base.h"
+
+namespace onex {
+
+/// Persistence for the ONEX base, so the expensive offline preprocessing
+/// (paper: "loading a new dataset ... triggers the preprocessing of this
+/// data at the server side") runs once per dataset and reloads in
+/// milliseconds on every later session.
+///
+/// The format is a versioned, line-oriented text format ("ONEXBASE 1"): the
+/// normalized dataset (values with full double round-trip precision), the
+/// build options, and every group's member references. Centroids and
+/// envelopes are *recomputed* on load from the member values — they are
+/// derived state, and recomputing keeps the file small and the invariants
+/// impossible to corrupt independently of the data.
+///
+/// Note: the running-mean centroid after an out-of-order rebuild equals the
+/// member mean, which is what RecomputeFromMembers restores; for the
+/// fixed-leader policy the first stored member is the leader, so member
+/// order is preserved by the writer.
+Status SaveBase(const OnexBase& base, std::ostream& out);
+Status SaveBaseToFile(const OnexBase& base, const std::string& path);
+
+Result<OnexBase> LoadBase(std::istream& in);
+Result<OnexBase> LoadBaseFromFile(const std::string& path);
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_BASE_IO_H_

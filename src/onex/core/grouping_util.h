@@ -1,0 +1,23 @@
+#ifndef ONEX_CORE_GROUPING_UTIL_H_
+#define ONEX_CORE_GROUPING_UTIL_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "onex/core/similarity_group.h"
+
+namespace onex::internal {
+
+/// Index of the nearest group centroid under length-normalized ED, early
+/// abandoned at `radius` (only hits within the radius matter). Returns
+/// (index, distance); index == groups.size() when nothing is within radius.
+/// Shared by the offline builder and the incremental appender so both apply
+/// the identical leader-clustering rule.
+std::pair<std::size_t, double> NearestGroup(
+    const std::vector<SimilarityGroup>& groups, std::span<const double> values,
+    double radius);
+
+}  // namespace onex::internal
+
+#endif  // ONEX_CORE_GROUPING_UTIL_H_

@@ -1,0 +1,74 @@
+#include "onex/core/incremental.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "onex/common/string_utils.h"
+#include "onex/core/grouping_util.h"
+
+namespace onex {
+
+Result<OnexBase> AppendSeries(const OnexBase& base, TimeSeries series) {
+  if (series.length() < 2) {
+    return Status::InvalidArgument("appended series needs >= 2 points");
+  }
+  const BaseBuildOptions& options = base.options();
+
+  // Extended dataset: existing refs stay valid (indices unchanged), the new
+  // series gets index old_size.
+  Dataset extended(base.dataset().name());
+  for (const TimeSeries& ts : base.dataset().series()) extended.Add(ts);
+  const std::size_t new_idx = extended.size();
+  const std::size_t new_len = series.length();
+  extended.Add(std::move(series));
+  auto dataset = std::make_shared<const Dataset>(std::move(extended));
+  const Dataset& ds = *dataset;
+
+  // Deep-copy the length classes (SimilarityGroup is value-semantic), then
+  // insert the new series' subsequences.
+  std::vector<LengthClass> classes(base.length_classes());
+  const std::size_t max_len =
+      options.max_length == 0 ? std::max(base.dataset().MaxLength(), new_len)
+                              : options.max_length;
+  const double radius = options.st / 2.0;
+  const bool update_centroid =
+      options.centroid_policy != CentroidPolicy::kFixedLeader;
+
+  for (std::size_t len = options.min_length; len <= max_len;
+       len += options.length_step) {
+    if (new_len < len) continue;
+    // Find or create the class for this length, keeping the sort order.
+    auto it = std::lower_bound(classes.begin(), classes.end(), len,
+                               [](const LengthClass& cls, std::size_t value) {
+                                 return cls.length < value;
+                               });
+    if (it == classes.end() || it->length != len) {
+      LengthClass fresh;
+      fresh.length = len;
+      it = classes.insert(it, std::move(fresh));
+    }
+    LengthClass& cls = *it;
+    for (std::size_t start = 0; start + len <= new_len;
+         start += options.stride) {
+      const std::span<const double> vals = ds[new_idx].Slice(start, len);
+      const auto [idx, dist] =
+          internal::NearestGroup(cls.groups, vals, radius);
+      if (idx == cls.groups.size()) {
+        SimilarityGroup g(len);
+        g.Add({new_idx, start, len}, vals, update_centroid);
+        cls.groups.push_back(std::move(g));
+      } else {
+        cls.groups[idx].Add({new_idx, start, len}, vals, update_centroid);
+      }
+      ++cls.total_members;
+    }
+  }
+
+  // Restore recomputes centroids/envelopes/stats; note this realigns
+  // running-mean centroids to the exact member mean (insertion kept them
+  // approximately there) and keeps leaders fixed for kFixedLeader.
+  return OnexBase::Restore(std::move(dataset), options, std::move(classes),
+                           base.stats().repaired_members);
+}
+
+}  // namespace onex

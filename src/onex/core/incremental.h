@@ -1,0 +1,30 @@
+#ifndef ONEX_CORE_INCREMENTAL_H_
+#define ONEX_CORE_INCREMENTAL_H_
+
+#include "onex/common/result.h"
+#include "onex/core/onex_base.h"
+
+namespace onex {
+
+/// Incremental maintenance of the ONEX base: extend an existing base with a
+/// new series without re-grouping the whole collection. The demo loads data
+/// "with a click of a button"; production collections keep growing (a new
+/// year of state indicators, another household), and a full rebuild per
+/// arrival wastes the offline work already done.
+///
+/// Semantics: the new series' subsequences are inserted with the identical
+/// leader rule used at build time (join the nearest group whose centroid is
+/// within ST/2, else found a new group). Existing group memberships never
+/// change, so the ST/2 invariant (exact for kFixedLeader) is preserved; with
+/// kRunningMean the centroids of joined groups move, exactly as they would
+/// have during a batch build. Lengths the base has never seen (a longer
+/// series than any before, under max_length == 0 scoping) get fresh length
+/// classes.
+///
+/// The result is a new immutable base over dataset + series; the input base
+/// is untouched (readers keep their snapshot, mirroring Engine::Prepare).
+Result<OnexBase> AppendSeries(const OnexBase& base, TimeSeries series);
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_INCREMENTAL_H_

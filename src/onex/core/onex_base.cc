@@ -1,0 +1,274 @@
+#include "onex/core/onex_base.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "onex/common/logging.h"
+#include "onex/common/string_utils.h"
+#include "onex/core/grouping_util.h"
+#include "onex/distance/euclidean.h"
+
+namespace onex {
+namespace {
+
+using internal::NearestGroup;
+
+/// Builds the length-`len` class: leader clustering of every admissible
+/// subsequence, plus the optional repair pass. Returns the number of members
+/// the repair pass moved through `repaired`. Thread-safe: touches only its
+/// own outputs.
+LengthClass BuildLengthClass(const Dataset& ds, std::size_t len,
+                             const BaseBuildOptions& options,
+                             std::size_t* repaired) {
+  const double radius = options.st / 2.0;
+  const bool update_centroid =
+      options.centroid_policy != CentroidPolicy::kFixedLeader;
+  LengthClass cls;
+  cls.length = len;
+  for (std::size_t s = 0; s < ds.size(); ++s) {
+    const TimeSeries& ts = ds[s];
+    if (ts.length() < len) continue;
+    for (std::size_t start = 0; start + len <= ts.length();
+         start += options.stride) {
+      const std::span<const double> vals = ts.Slice(start, len);
+      const auto [idx, dist] = NearestGroup(cls.groups, vals, radius);
+      if (idx == cls.groups.size()) {
+        SimilarityGroup g(len);
+        g.Add({s, start, len}, vals, update_centroid);
+        cls.groups.push_back(std::move(g));
+      } else {
+        cls.groups[idx].Add({s, start, len}, vals, update_centroid);
+      }
+      ++cls.total_members;
+    }
+  }
+  if (cls.total_members == 0) return cls;
+
+  if (options.centroid_policy == CentroidPolicy::kRunningMeanRepair) {
+    // Running-mean centroids drift, so some members may no longer sit
+    // within ST/2 of their group's final centroid. Repair in bounded
+    // rounds: evict violators, recompute centroids, re-insert. Because a
+    // recomputed centroid can create new violators, the last pass evicts
+    // into singleton groups with no recomputation, which terminates with
+    // the invariant guaranteed.
+    constexpr int kRepairRounds = 4;
+    for (int round = 0; round < kRepairRounds; ++round) {
+      const bool final_round = round == kRepairRounds - 1;
+      std::vector<SubseqRef> evicted;
+      for (SimilarityGroup& g : cls.groups) {
+        std::vector<SubseqRef> keep;
+        keep.reserve(g.size());
+        for (const SubseqRef& ref : g.members()) {
+          const double d =
+              NormalizedEuclidean(g.centroid_span(), ref.Resolve(ds));
+          if (d <= radius) {
+            keep.push_back(ref);
+          } else {
+            evicted.push_back(ref);
+          }
+        }
+        if (keep.size() != g.size()) {
+          g.SetMembers(std::move(keep));
+          if (!final_round) g.RecomputeFromMembers(ds);
+        }
+      }
+      if (evicted.empty()) break;
+      *repaired += evicted.size();
+      for (const SubseqRef& ref : evicted) {
+        const std::span<const double> vals = ref.Resolve(ds);
+        const std::size_t idx =
+            final_round ? cls.groups.size()
+                        : NearestGroup(cls.groups, vals, radius).first;
+        if (idx == cls.groups.size()) {
+          SimilarityGroup g(len);
+          g.Add(ref, vals, /*update_centroid=*/false);
+          cls.groups.push_back(std::move(g));
+        } else {
+          // Fixed centroid on re-insert keeps the pass from cascading.
+          cls.groups[idx].Add(ref, vals, /*update_centroid=*/false);
+        }
+      }
+    }
+    // Drop any group the repair emptied.
+    std::erase_if(cls.groups,
+                  [](const SimilarityGroup& g) { return g.empty(); });
+  }
+  return cls;
+}
+
+}  // namespace
+
+const char* CentroidPolicyToString(CentroidPolicy policy) {
+  switch (policy) {
+    case CentroidPolicy::kFixedLeader:
+      return "fixed-leader";
+    case CentroidPolicy::kRunningMean:
+      return "running-mean";
+    case CentroidPolicy::kRunningMeanRepair:
+      return "running-mean-repair";
+  }
+  return "unknown";
+}
+
+Status BaseBuildOptions::Validate() const {
+  if (!(st > 0.0) || !std::isfinite(st)) {
+    return Status::InvalidArgument(
+        StrFormat("similarity threshold must be positive, got %g", st));
+  }
+  if (min_length < 2) {
+    return Status::InvalidArgument("min_length must be >= 2");
+  }
+  if (max_length != 0 && max_length < min_length) {
+    return Status::InvalidArgument(StrFormat(
+        "max_length (%zu) < min_length (%zu)", max_length, min_length));
+  }
+  if (length_step == 0 || stride == 0) {
+    return Status::InvalidArgument("length_step and stride must be positive");
+  }
+  return Status::OK();
+}
+
+Result<OnexBase> OnexBase::Build(std::shared_ptr<const Dataset> dataset,
+                                 const BaseBuildOptions& options) {
+  if (dataset == nullptr || dataset->empty()) {
+    return Status::InvalidArgument("cannot build a base over an empty dataset");
+  }
+  ONEX_RETURN_IF_ERROR(options.Validate());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  OnexBase base;
+  base.dataset_ = std::move(dataset);
+  base.options_ = options;
+  const Dataset& ds = *base.dataset_;
+
+  const std::size_t max_len =
+      options.max_length == 0 ? ds.MaxLength() : options.max_length;
+  std::vector<std::size_t> lengths;
+  for (std::size_t len = options.min_length; len <= max_len;
+       len += options.length_step) {
+    lengths.push_back(len);
+  }
+
+  std::vector<LengthClass> classes(lengths.size());
+  std::vector<std::size_t> repaired(lengths.size(), 0);
+  std::size_t workers = options.threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : options.threads;
+  workers = std::min(workers, lengths.size() == 0 ? 1 : lengths.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+      classes[i] = BuildLengthClass(ds, lengths[i], options, &repaired[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= lengths.size()) return;
+          classes[i] = BuildLengthClass(ds, lengths[i], options, &repaired[i]);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    LengthClass& cls = classes[i];
+    if (cls.total_members == 0) continue;
+    base.stats_.repaired_members += repaired[i];
+    base.stats_.num_subsequences += cls.total_members;
+    base.stats_.num_groups += cls.groups.size();
+    base.length_to_class_[cls.length] = base.classes_.size();
+    base.classes_.push_back(std::move(cls));
+  }
+
+  if (base.classes_.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "no subsequences: every series is shorter than min_length=%zu",
+        options.min_length));
+  }
+
+  base.stats_.num_length_classes = base.classes_.size();
+  base.stats_.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ONEX_LOG(kInfo) << "built ONEX base over '" << ds.name() << "': "
+                  << base.stats_.num_subsequences << " subsequences -> "
+                  << base.stats_.num_groups << " groups in "
+                  << base.stats_.build_seconds << "s";
+  return base;
+}
+
+Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
+                                   const BaseBuildOptions& options,
+                                   std::vector<LengthClass> classes,
+                                   std::size_t repaired_members) {
+  if (dataset == nullptr || dataset->empty()) {
+    return Status::InvalidArgument("cannot restore a base without a dataset");
+  }
+  ONEX_RETURN_IF_ERROR(options.Validate());
+  if (classes.empty()) {
+    return Status::InvalidArgument("cannot restore a base with no groups");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  OnexBase base;
+  base.dataset_ = std::move(dataset);
+  base.options_ = options;
+  base.stats_.repaired_members = repaired_members;
+  const Dataset& ds = *base.dataset_;
+  const bool leader =
+      options.centroid_policy == CentroidPolicy::kFixedLeader;
+
+  std::size_t prev_length = 0;
+  for (LengthClass& cls : classes) {
+    if (cls.length <= prev_length) {
+      return Status::InvalidArgument(
+          "length classes must be strictly increasing");
+    }
+    prev_length = cls.length;
+    cls.total_members = 0;
+    for (SimilarityGroup& g : cls.groups) {
+      if (g.empty()) {
+        return Status::InvalidArgument("restored group has no members");
+      }
+      for (const SubseqRef& ref : g.members()) {
+        ONEX_RETURN_IF_ERROR(ds.CheckRange(ref.series, ref.start, ref.length));
+        if (ref.length != cls.length) {
+          return Status::InvalidArgument(StrFormat(
+              "member %s in length class %zu", ref.ToString().c_str(),
+              cls.length));
+        }
+      }
+      g.RecomputeFromMembers(ds, leader);
+      cls.total_members += g.size();
+    }
+    base.stats_.num_subsequences += cls.total_members;
+    base.stats_.num_groups += cls.groups.size();
+    base.length_to_class_[cls.length] = base.classes_.size();
+    base.classes_.push_back(std::move(cls));
+  }
+  base.stats_.num_length_classes = base.classes_.size();
+  base.stats_.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return base;
+}
+
+Result<const LengthClass*> OnexBase::FindLengthClass(std::size_t length) const {
+  const auto it = length_to_class_.find(length);
+  if (it == length_to_class_.end()) {
+    return Status::NotFound(
+        StrFormat("no length class for length %zu", length));
+  }
+  return &classes_[it->second];
+}
+
+}  // namespace onex

@@ -1,0 +1,122 @@
+#ifndef ONEX_CORE_ONEX_BASE_H_
+#define ONEX_CORE_ONEX_BASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/core/similarity_group.h"
+#include "onex/ts/dataset.h"
+
+namespace onex {
+
+/// How the group representative evolves as members join (DESIGN.md §5).
+enum class CentroidPolicy {
+  /// The first member is the representative forever. The ST/2 radius
+  /// invariant is exact: every member was admitted against the final
+  /// centroid.
+  kFixedLeader = 0,
+  /// Representative is the running mean (the paper's "average of all
+  /// sequences in each group"). The radius invariant can drift slightly.
+  kRunningMean = 1,
+  /// Running mean plus a repair pass: members whose distance to the final
+  /// centroid exceeds ST/2 are pulled out and re-inserted.
+  kRunningMeanRepair = 2,
+};
+
+const char* CentroidPolicyToString(CentroidPolicy policy);
+
+/// Parameters of ONEX-base construction.
+struct BaseBuildOptions {
+  /// Similarity threshold ST in length-normalized ED units. Members join a
+  /// group when within ST/2 of its representative.
+  double st = 0.2;
+  /// Subsequence scoping. max_length == 0 means "up to the longest series".
+  /// Defaults cover every length >= min_length at every offset, like the
+  /// paper; benches narrow these for the big sweeps.
+  std::size_t min_length = 4;
+  std::size_t max_length = 0;
+  std::size_t length_step = 1;
+  std::size_t stride = 1;
+  CentroidPolicy centroid_policy = CentroidPolicy::kRunningMean;
+  /// Worker threads for construction. Length classes are independent, so
+  /// they parallelize perfectly; the result is bit-identical to a serial
+  /// build. 1 = serial (default), 0 = one thread per hardware core.
+  std::size_t threads = 1;
+
+  Status Validate() const;
+};
+
+/// All similarity groups for one subsequence length.
+struct LengthClass {
+  std::size_t length = 0;
+  std::vector<SimilarityGroup> groups;
+  std::size_t total_members = 0;
+};
+
+/// Construction statistics surfaced by benches and the engine.
+struct BaseStats {
+  std::size_t num_subsequences = 0;  ///< Members placed into groups.
+  std::size_t num_groups = 0;
+  std::size_t num_length_classes = 0;
+  std::size_t repaired_members = 0;  ///< Moved by the repair pass.
+  double build_seconds = 0.0;
+
+  /// Groups per subsequence: the data-reduction factor the paper's §3.1
+  /// claims ("compact ONEX base instead of the entire dataset").
+  double CompactionRatio() const {
+    return num_subsequences == 0
+               ? 1.0
+               : static_cast<double>(num_groups) /
+                     static_cast<double>(num_subsequences);
+  }
+};
+
+/// The ONEX base: a normalized dataset plus its similarity groups, the
+/// structure every exploratory operation queries. Immutable after build;
+/// safe to share across threads.
+class OnexBase {
+ public:
+  /// Groups `dataset` (already normalized; see Engine for the full
+  /// pipeline). The base keeps a shared copy so SubseqRefs stay resolvable.
+  static Result<OnexBase> Build(std::shared_ptr<const Dataset> dataset,
+                                const BaseBuildOptions& options);
+
+  /// Reassembles a base from persisted parts (base_io.h): validates member
+  /// references, recomputes centroids (policy-aware), envelopes, stats and
+  /// the length index. `classes` entries must be sorted by length and carry
+  /// their members; derived fields are ignored.
+  static Result<OnexBase> Restore(std::shared_ptr<const Dataset> dataset,
+                                  const BaseBuildOptions& options,
+                                  std::vector<LengthClass> classes,
+                                  std::size_t repaired_members);
+
+  const Dataset& dataset() const { return *dataset_; }
+  std::shared_ptr<const Dataset> shared_dataset() const { return dataset_; }
+  const BaseBuildOptions& options() const { return options_; }
+  const BaseStats& stats() const { return stats_; }
+
+  const std::vector<LengthClass>& length_classes() const { return classes_; }
+
+  /// Length class for exactly `length`, or NotFound.
+  Result<const LengthClass*> FindLengthClass(std::size_t length) const;
+
+  std::size_t TotalGroups() const { return stats_.num_groups; }
+  std::size_t TotalMembers() const { return stats_.num_subsequences; }
+
+ private:
+  OnexBase() = default;
+
+  std::shared_ptr<const Dataset> dataset_;
+  BaseBuildOptions options_;
+  BaseStats stats_;
+  std::vector<LengthClass> classes_;  ///< Sorted by length ascending.
+  std::map<std::size_t, std::size_t> length_to_class_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_ONEX_BASE_H_

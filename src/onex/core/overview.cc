@@ -1,0 +1,50 @@
+#include "onex/core/overview.h"
+
+#include <algorithm>
+
+namespace onex {
+
+Result<std::vector<OverviewEntry>> BuildOverview(
+    const OnexBase& base, const OverviewOptions& options) {
+  std::vector<OverviewEntry> entries;
+  bool saw_length = false;
+  for (const LengthClass& cls : base.length_classes()) {
+    if (options.length != 0 && cls.length != options.length) continue;
+    saw_length = true;
+    for (std::size_t gi = 0; gi < cls.groups.size(); ++gi) {
+      const SimilarityGroup& g = cls.groups[gi];
+      OverviewEntry e;
+      e.length = cls.length;
+      e.group_index = gi;
+      e.cardinality = g.size();
+      e.representative = g.centroid();
+      entries.push_back(std::move(e));
+    }
+  }
+  if (options.length != 0 && !saw_length) {
+    return Status::NotFound("base has no groups of the requested length");
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const OverviewEntry& a, const OverviewEntry& b) {
+              if (a.cardinality != b.cardinality) {
+                return a.cardinality > b.cardinality;
+              }
+              if (a.length != b.length) return a.length < b.length;
+              return a.group_index < b.group_index;
+            });
+  if (options.top_n != 0 && entries.size() > options.top_n) {
+    entries.resize(options.top_n);
+  }
+  std::size_t max_card = 0;
+  for (const OverviewEntry& e : entries) {
+    max_card = std::max(max_card, e.cardinality);
+  }
+  for (OverviewEntry& e : entries) {
+    e.intensity = max_card == 0 ? 0.0
+                                : static_cast<double>(e.cardinality) /
+                                      static_cast<double>(max_card);
+  }
+  return entries;
+}
+
+}  // namespace onex

@@ -1,0 +1,38 @@
+#ifndef ONEX_CORE_OVERVIEW_H_
+#define ONEX_CORE_OVERVIEW_H_
+
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/core/onex_base.h"
+
+namespace onex {
+
+/// Data behind the demo's Overview Pane (Fig 2, top left): "representatives
+/// of the similarity groups, color-coded such that the color intensity
+/// increases proportional with the cardinality of sequences in the group".
+struct OverviewEntry {
+  std::size_t length = 0;
+  std::size_t group_index = 0;
+  std::size_t cardinality = 0;
+  /// cardinality / max cardinality across the overview: the color intensity.
+  double intensity = 0.0;
+  /// The representative's values: the "small graph that captures the general
+  /// shape of the group".
+  std::vector<double> representative;
+};
+
+struct OverviewOptions {
+  /// Restrict to one length class (0 = all).
+  std::size_t length = 0;
+  /// Keep the top_n most populous groups (0 = all).
+  std::size_t top_n = 24;
+};
+
+/// Entries sorted by cardinality descending.
+Result<std::vector<OverviewEntry>> BuildOverview(
+    const OnexBase& base, const OverviewOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_OVERVIEW_H_

@@ -1,0 +1,206 @@
+#include "onex/core/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "onex/common/string_utils.h"
+#include "onex/distance/envelope.h"
+#include "onex/distance/lower_bounds.h"
+
+namespace onex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double NormFactor(std::size_t n, std::size_t m) {
+  return std::sqrt(static_cast<double>(std::max(n, m)));
+}
+
+}  // namespace
+
+std::vector<QueryProcessor::RankedGroup> QueryProcessor::RankGroups(
+    std::span<const double> query, const QueryOptions& options,
+    QueryStats* stats) const {
+  std::vector<RankedGroup> ranked;
+  const std::size_t qn = query.size();
+  // Keogh envelope of the query, reused for every same-length group. Its
+  // band must match the query window to stay admissible.
+  const Envelope query_env = ComputeKeoghEnvelope(
+      query, options.window < 0 ? -1
+                                : EffectiveWindow(qn, qn, options.window));
+
+  double best_norm = kInf;  // best-so-far normalized rep distance
+  for (std::size_t ci = 0; ci < base_->length_classes().size(); ++ci) {
+    const LengthClass& cls = base_->length_classes()[ci];
+    if (options.min_length != 0 && cls.length < options.min_length) continue;
+    if (options.max_length != 0 && cls.length > options.max_length) continue;
+    const double nf = NormFactor(qn, cls.length);
+    for (std::size_t gi = 0; gi < cls.groups.size(); ++gi) {
+      const SimilarityGroup& g = cls.groups[gi];
+      if (stats != nullptr) ++stats->groups_total;
+
+      if (options.use_lower_bounds) {
+        double lb = LbKim(query, g.centroid_span());
+        if (cls.length == qn) {
+          lb = std::max(lb, LbKeogh(query_env, g.centroid_span()));
+        }
+        if (lb / nf >= best_norm && std::isfinite(best_norm)) {
+          if (stats != nullptr) ++stats->groups_pruned_lb;
+          // Still rank it by its lower bound so top-K exploration can come
+          // back to it if everything else is worse.
+          ranked.push_back({lb / nf, lb, ci, gi, /*exact=*/false});
+          continue;
+        }
+      }
+
+      const double cutoff =
+          options.use_early_abandon && std::isfinite(best_norm)
+              ? best_norm * nf
+              : -1.0;
+      if (stats != nullptr) ++stats->rep_dtw_evaluations;
+      double raw = DtwDistanceEarlyAbandon(query, g.centroid_span(), cutoff,
+                                           options.window);
+      double norm = std::isinf(raw) ? kInf : raw / nf;
+      bool exact = true;
+      if (std::isinf(raw)) {
+        // Abandoned: true distance exceeds the cutoff; rank with that floor.
+        raw = cutoff;
+        norm = best_norm;
+        exact = false;
+      } else {
+        best_norm = std::min(best_norm, norm);
+      }
+      ranked.push_back({norm, raw, ci, gi, exact});
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedGroup& a, const RankedGroup& b) {
+              if (a.normalized_rep_dtw != b.normalized_rep_dtw) {
+                return a.normalized_rep_dtw < b.normalized_rep_dtw;
+              }
+              return a.exact > b.exact;  // exact values win ties
+            });
+  return ranked;
+}
+
+Result<BestMatch> QueryProcessor::BestMatchQuery(std::span<const double> query,
+                                                 const QueryOptions& options,
+                                                 QueryStats* stats) const {
+  ONEX_ASSIGN_OR_RETURN(std::vector<BestMatch> top,
+                        KnnQuery(query, 1, options, stats));
+  if (top.empty()) {
+    return Status::NotFound("no admissible groups for this query");
+  }
+  return std::move(top.front());
+}
+
+Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
+    std::span<const double> query, std::size_t k, const QueryOptions& options,
+    QueryStats* stats) const {
+  if (query.size() < 2) {
+    return Status::InvalidArgument(
+        StrFormat("query must have >= 2 points, got %zu", query.size()));
+  }
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  const std::vector<RankedGroup> ranked = RankGroups(query, options, stats);
+  if (ranked.empty()) {
+    return Status::NotFound(
+        "no groups to search (length restrictions exclude every class)");
+  }
+
+  const Dataset& ds = base_->dataset();
+  const std::size_t qn = query.size();
+  const double st = base_->options().st;
+  const Envelope query_env = ComputeKeoghEnvelope(
+      query, options.window < 0 ? -1
+                                : EffectiveWindow(qn, qn, options.window));
+
+  // Candidate answers, kept sorted ascending by normalized DTW; the k-th
+  // value is the pruning horizon.
+  std::vector<BestMatch> best;
+  auto worst_kth = [&]() {
+    return best.size() < k ? kInf : best.back().normalized_dtw;
+  };
+
+  // How many groups must be refined: at least explore_top_groups (>=1 for
+  // best-match, >=k for knn so k answers can come from k distinct groups),
+  // and keep going while a group's representative is close enough that it
+  // could still hold a better member.
+  const std::size_t must_explore =
+      std::max<std::size_t>(std::max<std::size_t>(1, options.explore_top_groups), k);
+
+  for (std::size_t r = 0; r < ranked.size(); ++r) {
+    const RankedGroup& rg = ranked[r];
+    if (r >= must_explore &&
+        (!options.exhaustive || rg.normalized_rep_dtw > worst_kth() + st)) {
+      break;
+    }
+
+    const LengthClass& cls = base_->length_classes()[rg.class_index];
+    const SimilarityGroup& g = cls.groups[rg.group_index];
+    const double nf = NormFactor(qn, cls.length);
+
+    // Group-envelope bound: no member can beat the current k-th answer.
+    if (options.use_lower_bounds && cls.length == qn && best.size() >= k) {
+      const double glb = LbKeoghGroup(query_env, g.envelope()) / nf;
+      if (glb >= worst_kth()) {
+        if (stats != nullptr) ++stats->groups_pruned_lb;
+        continue;
+      }
+    }
+
+    for (const SubseqRef& ref : g.members()) {
+      const std::span<const double> vals = ref.Resolve(ds);
+      if (options.use_lower_bounds) {
+        double lb = LbKim(query, vals);
+        if (cls.length == qn) {
+          lb = std::max(lb, LbKeogh(query_env, vals));
+        }
+        if (lb / nf >= worst_kth()) {
+          if (stats != nullptr) ++stats->members_pruned_lb;
+          continue;
+        }
+      }
+      const double cutoff = options.use_early_abandon && best.size() >= k
+                                ? worst_kth() * nf
+                                : -1.0;
+      if (stats != nullptr) ++stats->member_dtw_evaluations;
+      const double raw =
+          DtwDistanceEarlyAbandon(query, vals, cutoff, options.window);
+      if (std::isinf(raw)) continue;
+      const double norm = raw / nf;
+      if (best.size() >= k && norm >= worst_kth()) continue;
+
+      BestMatch m;
+      m.ref = ref;
+      m.length = cls.length;
+      m.group_index = rg.group_index;
+      m.dtw = raw;
+      m.normalized_dtw = norm;
+      m.rep_dtw = rg.raw_rep_dtw;
+      m.normalized_rep_dtw = rg.normalized_rep_dtw;
+      best.insert(std::upper_bound(best.begin(), best.end(), m,
+                                   [](const BestMatch& a, const BestMatch& b) {
+                                     return a.normalized_dtw <
+                                            b.normalized_dtw;
+                                   }),
+                  std::move(m));
+      if (best.size() > k) best.pop_back();
+    }
+  }
+
+  if (best.empty()) {
+    return Status::NotFound("no match found (base has no members)");
+  }
+  if (options.compute_path) {
+    for (BestMatch& m : best) {
+      m.path = DtwWithPath(query, m.ref.Resolve(ds), options.window).path;
+    }
+  }
+  return best;
+}
+
+}  // namespace onex

@@ -1,0 +1,116 @@
+#ifndef ONEX_CORE_QUERY_PROCESSOR_H_
+#define ONEX_CORE_QUERY_PROCESSOR_H_
+
+#include <span>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/core/onex_base.h"
+#include "onex/distance/dtw.h"
+#include "onex/distance/warping_path.h"
+
+namespace onex {
+
+/// Knobs of the DTW-side exploration (paper §3.2/§3.3). Defaults enable the
+/// full pruning cascade; the ablation bench (E7) toggles the flags.
+struct QueryOptions {
+  /// Sakoe-Chiba half-width for query-time DTW; kNoWindow = unconstrained.
+  int window = kNoWindow;
+  /// Group-envelope + Keogh lower-bound pruning ("indexing of time series
+  /// using bounding envelopes").
+  bool use_lower_bounds = true;
+  /// Early-abandoning DTW against the best-so-far ("early pruning of
+  /// unpromising candidates").
+  bool use_early_abandon = true;
+  /// How many of the best-representative groups to refine. 1 reproduces the
+  /// paper's "best match representative" rule; larger values trade time for
+  /// accuracy.
+  std::size_t explore_top_groups = 1;
+  /// When set, keeps refining groups whose representative lies within ST of
+  /// the current k-th answer instead of stopping after explore_top_groups.
+  /// Stronger answers, but the scan can touch a large share of the base —
+  /// the paper's speed claim assumes this is off.
+  bool exhaustive = false;
+  /// Restrict searched lengths (0 = no bound). The demo's Similarity View
+  /// searches all lengths; Seasonal View pins one.
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  /// Extract the warping path of the final answer (Fig 2's dotted lines).
+  bool compute_path = true;
+};
+
+/// Work counters for one query; benches report these to show where pruning
+/// pays off.
+struct QueryStats {
+  std::size_t groups_total = 0;
+  std::size_t groups_pruned_lb = 0;       ///< Skipped by lower bound alone.
+  std::size_t rep_dtw_evaluations = 0;    ///< DTW calls against centroids.
+  std::size_t member_dtw_evaluations = 0; ///< DTW calls against members.
+  std::size_t members_pruned_lb = 0;
+};
+
+/// A retrieved match. Distances come in raw (sqrt of summed squared costs)
+/// and length-normalized (raw / sqrt(max(n,m))) forms; normalized values are
+/// comparable across lengths and against the build threshold ST.
+struct BestMatch {
+  SubseqRef ref;
+  std::size_t length = 0;
+  std::size_t group_index = 0;   ///< Group's index inside its length class.
+  double dtw = 0.0;              ///< Raw DTW(query, match).
+  double normalized_dtw = 0.0;
+  double rep_dtw = 0.0;          ///< Raw DTW(query, group representative).
+  double normalized_rep_dtw = 0.0;
+  WarpingPath path;              ///< Query-to-match alignment (optional).
+};
+
+/// DTW-side exploration over a built ONEX base (paper §3.2): rank groups by
+/// representative DTW, refine inside the winner(s). The base must outlive
+/// the processor.
+class QueryProcessor {
+ public:
+  explicit QueryProcessor(const OnexBase* base) : base_(base) {}
+
+  /// The demo's similarity search: the best match to `query` across every
+  /// group of every (admissible) length. The triangle-inequality foundation
+  /// guarantees the answer's DTW is within ST of the true optimum.
+  Result<BestMatch> BestMatchQuery(std::span<const double> query,
+                                   const QueryOptions& options = {},
+                                   QueryStats* stats = nullptr) const;
+
+  /// k nearest groups' best members, ascending by normalized DTW. Examines
+  /// the max(k, explore_top_groups) best-representative groups (plus, with
+  /// options.exhaustive, any group whose representative is within ST of the
+  /// current k-th answer); a documented extension of the paper's best-match
+  /// rule.
+  Result<std::vector<BestMatch>> KnnQuery(std::span<const double> query,
+                                          std::size_t k,
+                                          const QueryOptions& options = {},
+                                          QueryStats* stats = nullptr) const;
+
+  const OnexBase& base() const { return *base_; }
+
+ private:
+  struct RankedGroup {
+    double normalized_rep_dtw;
+    double raw_rep_dtw;
+    std::size_t class_index;
+    std::size_t group_index;
+    /// True when normalized_rep_dtw is the exact representative DTW; false
+    /// when it is only a lower bound (group was pruned or abandoned during
+    /// ranking). Exact entries win sorting ties so pruning can never demote
+    /// the true argmin group below a bound-valued one.
+    bool exact;
+  };
+
+  /// Pass 1: every group scored by (lower-bounded, early-abandoned) DTW
+  /// between query and representative, ascending.
+  std::vector<RankedGroup> RankGroups(std::span<const double> query,
+                                      const QueryOptions& options,
+                                      QueryStats* stats) const;
+
+  const OnexBase* base_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_QUERY_PROCESSOR_H_

@@ -1,0 +1,93 @@
+#include "onex/core/seasonal.h"
+
+#include <algorithm>
+#include <map>
+
+#include "onex/distance/euclidean.h"
+
+namespace onex {
+namespace {
+
+/// Greedy left-to-right selection of non-overlapping occurrences (sorted by
+/// start); keeps the earliest of each overlapping run.
+std::vector<SubseqRef> DropOverlaps(std::vector<SubseqRef> refs) {
+  std::vector<SubseqRef> out;
+  for (const SubseqRef& r : refs) {
+    if (out.empty() || r.start >= out.back().end()) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TypicalGap(const std::vector<SubseqRef>& refs) {
+  if (refs.size() < 2) return 0;
+  std::map<std::size_t, std::size_t> votes;
+  for (std::size_t i = 1; i < refs.size(); ++i) {
+    ++votes[refs[i].start - refs[i - 1].start];
+  }
+  std::size_t best_gap = 0, best_votes = 0;
+  for (const auto& [gap, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_gap = gap;
+    }
+  }
+  return best_gap;
+}
+
+}  // namespace
+
+Result<std::vector<SeasonalPattern>> FindSeasonalPatterns(
+    const OnexBase& base, std::size_t series_idx,
+    const SeasonalOptions& options) {
+  ONEX_RETURN_IF_ERROR(base.dataset().CheckIndex(series_idx));
+  if (options.min_occurrences < 2) {
+    return Status::InvalidArgument(
+        "a pattern needs at least 2 occurrences to repeat");
+  }
+
+  std::vector<SeasonalPattern> patterns;
+  const Dataset& ds = base.dataset();
+  for (const LengthClass& cls : base.length_classes()) {
+    if (options.length != 0 && cls.length != options.length) continue;
+    for (const SimilarityGroup& g : cls.groups) {
+      // Occurrences of this group's shape inside the probed series.
+      std::vector<SubseqRef> occ;
+      for (const SubseqRef& ref : g.members()) {
+        if (ref.series == series_idx) occ.push_back(ref);
+      }
+      if (occ.size() < options.min_occurrences) continue;
+      std::sort(occ.begin(), occ.end(),
+                [](const SubseqRef& a, const SubseqRef& b) {
+                  return a.start < b.start;
+                });
+      if (!options.allow_overlap) occ = DropOverlaps(std::move(occ));
+      if (occ.size() < options.min_occurrences) continue;
+
+      SeasonalPattern p;
+      p.length = cls.length;
+      p.representative = g.centroid();
+      double cohesion = 0.0;
+      for (const SubseqRef& r : occ) {
+        cohesion += NormalizedEuclidean(g.centroid_span(), r.Resolve(ds));
+      }
+      p.cohesion = cohesion / static_cast<double>(occ.size());
+      p.typical_gap = TypicalGap(occ);
+      p.occurrences = std::move(occ);
+      patterns.push_back(std::move(p));
+    }
+  }
+
+  std::sort(patterns.begin(), patterns.end(),
+            [](const SeasonalPattern& a, const SeasonalPattern& b) {
+              if (a.occurrences.size() != b.occurrences.size()) {
+                return a.occurrences.size() > b.occurrences.size();
+              }
+              return a.cohesion < b.cohesion;
+            });
+  if (options.top_k != 0 && patterns.size() > options.top_k) {
+    patterns.resize(options.top_k);
+  }
+  return patterns;
+}
+
+}  // namespace onex

@@ -1,0 +1,51 @@
+#ifndef ONEX_CORE_SEASONAL_H_
+#define ONEX_CORE_SEASONAL_H_
+
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/core/onex_base.h"
+
+namespace onex {
+
+/// Parameters for seasonal-similarity mining (the demo's Seasonal View,
+/// Fig 4: "find repeated patterns within a given time series").
+struct SeasonalOptions {
+  /// Pattern length(s) to mine. 0 = every length class in the base.
+  std::size_t length = 0;
+  /// A pattern needs at least this many (non-overlapping) occurrences.
+  std::size_t min_occurrences = 2;
+  /// Whether two occurrences of one pattern may overlap in time. The demo's
+  /// alternating blue/green segments are non-overlapping; allowing overlap
+  /// reveals sliding self-similarity instead.
+  bool allow_overlap = false;
+  /// Keep at most this many patterns (by occurrence count, then tightness).
+  /// 0 = all.
+  std::size_t top_k = 10;
+};
+
+/// One repeated pattern: a similarity group restricted to the probed series.
+struct SeasonalPattern {
+  std::size_t length = 0;
+  /// Occurrences sorted by start index; non-overlapping unless allow_overlap.
+  std::vector<SubseqRef> occurrences;
+  /// The group representative (shape of the pattern).
+  std::vector<double> representative;
+  /// Mean normalized ED from occurrences to the representative (tightness;
+  /// smaller = crisper pattern).
+  double cohesion = 0.0;
+  /// Dominant gap between consecutive occurrence starts; the recovered
+  /// "period" when the pattern is truly seasonal.
+  std::size_t typical_gap = 0;
+};
+
+/// Mines repeating patterns of `series_idx` from the base's groups: a group
+/// whose members cluster inside one series *is* a repeated motif. Returns
+/// patterns ranked by occurrence count (desc), then cohesion (asc).
+Result<std::vector<SeasonalPattern>> FindSeasonalPatterns(
+    const OnexBase& base, std::size_t series_idx,
+    const SeasonalOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_SEASONAL_H_

@@ -1,0 +1,39 @@
+#include "onex/core/similarity_group.h"
+
+namespace onex {
+
+void SimilarityGroup::Add(const SubseqRef& ref, std::span<const double> values,
+                          bool update_centroid) {
+  members_.push_back(ref);
+  if (centroid_.empty()) {
+    centroid_.assign(values.begin(), values.end());
+  } else if (update_centroid) {
+    // Incremental running mean: c += (x - c) / k.
+    const double k = static_cast<double>(members_.size());
+    for (std::size_t i = 0; i < centroid_.size(); ++i) {
+      centroid_[i] += (values[i] - centroid_[i]) / k;
+    }
+  }
+  AccumulateEnvelope(&envelope_, values);
+}
+
+void SimilarityGroup::RecomputeFromMembers(const Dataset& dataset,
+                                           bool leader_centroid) {
+  centroid_.assign(length_, 0.0);
+  envelope_ = Envelope();
+  if (members_.empty()) return;
+  for (const SubseqRef& ref : members_) {
+    const std::span<const double> vals = ref.Resolve(dataset);
+    for (std::size_t i = 0; i < length_; ++i) centroid_[i] += vals[i];
+    AccumulateEnvelope(&envelope_, vals);
+  }
+  if (leader_centroid) {
+    const std::span<const double> leader = members_.front().Resolve(dataset);
+    centroid_.assign(leader.begin(), leader.end());
+    return;
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (double& c : centroid_) c *= inv;
+}
+
+}  // namespace onex

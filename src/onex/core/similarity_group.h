@@ -1,0 +1,65 @@
+#ifndef ONEX_CORE_SIMILARITY_GROUP_H_
+#define ONEX_CORE_SIMILARITY_GROUP_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "onex/distance/envelope.h"
+#include "onex/ts/subsequence.h"
+
+namespace onex {
+
+/// One "ONEX similarity group" (paper §3.1): same-length subsequences that
+/// are pairwise similar within the threshold ST under (length-normalized)
+/// Euclidean distance, summarized by a centroid representative. Construction
+/// guarantees every member was within ST/2 of the centroid at insertion
+/// time, which by the ED triangle inequality makes members pairwise-similar
+/// within ST.
+class SimilarityGroup {
+ public:
+  explicit SimilarityGroup(std::size_t length) : length_(length) {}
+
+  std::size_t length() const { return length_; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  const std::vector<SubseqRef>& members() const { return members_; }
+
+  /// The representative: running mean of member values (or the first member
+  /// under the fixed-leader policy; see CentroidPolicy).
+  const std::vector<double>& centroid() const { return centroid_; }
+  std::span<const double> centroid_span() const {
+    return std::span<const double>(centroid_);
+  }
+
+  /// Pointwise min/max over all member values, for group-level LB pruning.
+  const Envelope& envelope() const { return envelope_; }
+
+  /// Adds a member. `values` must resolve `ref` against the base's dataset.
+  /// When `update_centroid` is set the centroid moves to the running mean.
+  void Add(const SubseqRef& ref, std::span<const double> values,
+           bool update_centroid);
+
+  /// Replaces the member list (used by the repair pass). Does not touch the
+  /// centroid; callers decide whether to recompute.
+  void SetMembers(std::vector<SubseqRef> members) {
+    members_ = std::move(members);
+  }
+
+  /// Recomputes centroid and envelope from scratch out of `dataset`. With
+  /// `leader_centroid` the centroid is the first member's values (the
+  /// fixed-leader policy's representative) instead of the member mean.
+  void RecomputeFromMembers(const Dataset& dataset,
+                            bool leader_centroid = false);
+
+ private:
+  std::size_t length_;
+  std::vector<SubseqRef> members_;
+  std::vector<double> centroid_;
+  Envelope envelope_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_SIMILARITY_GROUP_H_

@@ -1,0 +1,81 @@
+#include "onex/core/threshold_advisor.h"
+
+#include <algorithm>
+
+#include "onex/common/math_utils.h"
+#include "onex/common/random.h"
+#include "onex/common/string_utils.h"
+#include "onex/distance/euclidean.h"
+
+namespace onex {
+
+Result<ThresholdReport> RecommendThresholds(
+    const Dataset& dataset, const ThresholdAdvisorOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot sample an empty dataset");
+  }
+  if (options.sample_pairs == 0) {
+    return Status::InvalidArgument("sample_pairs must be positive");
+  }
+  const std::size_t max_len =
+      options.max_length == 0 ? dataset.MaxLength() : options.max_length;
+  if (options.min_length < 2 || options.min_length > max_len) {
+    return Status::InvalidArgument(
+        StrFormat("invalid length range [%zu, %zu]", options.min_length,
+                  max_len));
+  }
+
+  // Series long enough to host at least a min_length subsequence.
+  std::vector<std::size_t> eligible;
+  for (std::size_t s = 0; s < dataset.size(); ++s) {
+    if (dataset[s].length() >= options.min_length) eligible.push_back(s);
+  }
+  if (eligible.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "no series is at least %zu points long", options.min_length));
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> distances;
+  distances.reserve(options.sample_pairs);
+  // Rejection-sample pairs; with ragged series a drawn length may not fit a
+  // drawn series, so bound the attempts.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = options.sample_pairs * 20;
+  while (distances.size() < options.sample_pairs && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t len = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<std::int64_t>(options.min_length),
+                       static_cast<std::int64_t>(max_len)));
+    const std::size_t sa = eligible[rng.UniformIndex(eligible.size())];
+    const std::size_t sb = eligible[rng.UniformIndex(eligible.size())];
+    if (dataset[sa].length() < len || dataset[sb].length() < len) continue;
+    const std::size_t pa = rng.UniformIndex(dataset[sa].length() - len + 1);
+    const std::size_t pb = rng.UniformIndex(dataset[sb].length() - len + 1);
+    if (sa == sb && pa == pb) continue;  // identical subsequence: distance 0
+    distances.push_back(NormalizedEuclidean(dataset[sa].Slice(pa, len),
+                                            dataset[sb].Slice(pb, len)));
+  }
+  if (distances.empty()) {
+    return Status::Internal("sampling produced no subsequence pairs");
+  }
+
+  ThresholdReport report;
+  report.pairs_sampled = distances.size();
+  report.min_distance = Min(distances);
+  report.median_distance = Percentile(distances, 50.0);
+  report.max_distance = Max(distances);
+  for (double p : options.percentiles) {
+    if (p < 0.0 || p > 100.0) {
+      return Status::InvalidArgument(
+          StrFormat("percentile %g outside [0, 100]", p));
+    }
+    report.recommendations.push_back({Percentile(distances, p), p});
+  }
+  std::sort(report.recommendations.begin(), report.recommendations.end(),
+            [](const ThresholdRecommendation& a,
+               const ThresholdRecommendation& b) { return a.st < b.st; });
+  return report;
+}
+
+}  // namespace onex

@@ -1,0 +1,54 @@
+#ifndef ONEX_CORE_THRESHOLD_ADVISOR_H_
+#define ONEX_CORE_THRESHOLD_ADVISOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/ts/dataset.h"
+
+namespace onex {
+
+/// Data-driven similarity-threshold recommendation (paper §3.3: "Threshold
+/// recommendations help analysts to select appropriate parameter settings in
+/// a data-driven fashion"). The advisor samples the distribution of
+/// length-normalized Euclidean distances between random same-length
+/// subsequence pairs and proposes ST values at chosen percentiles: the
+/// percentile directly states what fraction of random pairs would count as
+/// "similar" under that threshold — a scale-free notion that transfers
+/// between growth-rate percents and unemployment head-counts.
+struct ThresholdAdvisorOptions {
+  /// Number of random subsequence pairs to sample.
+  std::size_t sample_pairs = 2000;
+  /// Percentiles of the sampled distance distribution to turn into
+  /// recommendations.
+  std::vector<double> percentiles = {1.0, 5.0, 10.0, 25.0};
+  /// Subsequence lengths sampled uniformly from [min_length, max_length]
+  /// (max 0 = longest series).
+  std::size_t min_length = 4;
+  std::size_t max_length = 0;
+  std::uint64_t seed = 42;
+};
+
+struct ThresholdRecommendation {
+  double st = 0.0;          ///< Recommended similarity threshold.
+  double percentile = 0.0;  ///< Fraction (in %) of sampled pairs within st.
+};
+
+struct ThresholdReport {
+  std::vector<ThresholdRecommendation> recommendations;
+  /// Summary of the sampled distance distribution, for display.
+  double min_distance = 0.0;
+  double median_distance = 0.0;
+  double max_distance = 0.0;
+  std::size_t pairs_sampled = 0;
+};
+
+/// Samples `dataset` (normalize it first if you intend to build the base on
+/// normalized data — recommendations are in the same units as the input).
+Result<ThresholdReport> RecommendThresholds(
+    const Dataset& dataset, const ThresholdAdvisorOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_THRESHOLD_ADVISOR_H_

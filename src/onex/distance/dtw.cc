@@ -1,0 +1,151 @@
+#include "onex/distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace onex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Column range [lo, hi] admissible for row i under the (already effective)
+/// band half-width `w`: |i - j| <= w. With w >= |n - m| the band is
+/// row-to-row connected and contains both corners.
+inline void BandRange(std::size_t i, std::size_t m, int w, std::size_t* lo,
+                      std::size_t* hi) {
+  if (w < 0) {
+    *lo = 0;
+    *hi = m - 1;
+    return;
+  }
+  const long long lo_ll = static_cast<long long>(i) - w;
+  const long long hi_ll = static_cast<long long>(i) + w;
+  *lo = lo_ll < 0 ? 0 : static_cast<std::size_t>(lo_ll);
+  *hi = hi_ll >= static_cast<long long>(m)
+            ? m - 1
+            : static_cast<std::size_t>(hi_ll);
+}
+
+}  // namespace
+
+int EffectiveWindow(std::size_t n, std::size_t m, int window) {
+  if (window < 0) return kNoWindow;
+  const long long skew = static_cast<long long>(n > m ? n - m : m - n);
+  return std::max<long long>(window, skew);
+}
+
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   int window) {
+  return DtwDistanceEarlyAbandon(a, b, -1.0, window);
+}
+
+double NormalizedDtwDistance(std::span<const double> a,
+                             std::span<const double> b, int window) {
+  const double d = DtwDistance(a, b, window);
+  if (std::isinf(d)) return kInf;
+  return d / std::sqrt(static_cast<double>(std::max(a.size(), b.size())));
+}
+
+double DtwDistanceEarlyAbandon(std::span<const double> a,
+                               std::span<const double> b, double cutoff,
+                               int window) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return kInf;
+  const int w = EffectiveWindow(n, m, window);
+  const double cutoff_sq = cutoff < 0.0 ? kInf : cutoff * cutoff;
+
+  // Two-row rolling DP over squared costs.
+  std::vector<double> prev(m, kInf);
+  std::vector<double> curr(m, kInf);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo, hi;
+    BandRange(i, m, w, &lo, &hi);
+    std::fill(curr.begin(), curr.end(), kInf);
+    double row_min = kInf;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d = a[i] - b[j];
+      const double cost = d * d;
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);            // insertion
+        if (j > 0) best = std::min(best, curr[j - 1]);        // deletion
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);  // match
+      }
+      curr[j] = best + cost;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > cutoff_sq) return kInf;  // every extension only grows
+    std::swap(prev, curr);
+  }
+  const double final_sq = prev[m - 1];
+  return std::isinf(final_sq) ? kInf : std::sqrt(final_sq);
+}
+
+DtwAlignment DtwWithPath(std::span<const double> a, std::span<const double> b,
+                         int window) {
+  DtwAlignment out;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) {
+    out.distance = kInf;
+    return out;
+  }
+  const int w = EffectiveWindow(n, m, window);
+
+  std::vector<double> dp(n * m, kInf);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return dp[i * m + j];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo, hi;
+    BandRange(i, m, w, &lo, &hi);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d = a[i] - b[j];
+      const double cost = d * d;
+      if (i == 0 && j == 0) {
+        at(i, j) = cost;
+        continue;
+      }
+      double best = kInf;
+      if (i > 0) best = std::min(best, at(i - 1, j));
+      if (j > 0) best = std::min(best, at(i, j - 1));
+      if (i > 0 && j > 0) best = std::min(best, at(i - 1, j - 1));
+      at(i, j) = best + cost;
+    }
+  }
+
+  out.distance = std::sqrt(at(n - 1, m - 1));
+
+  // Backtrack, preferring the diagonal on ties so paths stay short.
+  WarpingPath rev;
+  std::size_t i = n - 1, j = m - 1;
+  rev.emplace_back(i, j);
+  while (i > 0 || j > 0) {
+    double diag = kInf, up = kInf, left = kInf;
+    if (i > 0 && j > 0) diag = at(i - 1, j - 1);
+    if (i > 0) up = at(i - 1, j);
+    if (j > 0) left = at(i, j - 1);
+    if (diag <= up && diag <= left) {
+      --i;
+      --j;
+    } else if (up <= left) {
+      --i;
+    } else {
+      --j;
+    }
+    rev.emplace_back(i, j);
+  }
+  out.path.assign(rev.rbegin(), rev.rend());
+  return out;
+}
+
+}  // namespace onex

@@ -1,0 +1,58 @@
+#ifndef ONEX_DISTANCE_DTW_H_
+#define ONEX_DISTANCE_DTW_H_
+
+#include <span>
+
+#include "onex/distance/warping_path.h"
+
+namespace onex {
+
+/// Sentinel for an unconstrained warping window.
+inline constexpr int kNoWindow = -1;
+
+/// Dynamic Time Warping with squared point costs: the distance is
+/// sqrt(min over warping paths of sum (a_i - b_j)^2). With this convention
+/// DTW(a,b) <= ED(a,b) for equal lengths (the identity path is a warping
+/// path), the inequality the ONEX base construction relies on.
+///
+/// `window` is a Sakoe-Chiba band half-width: cell (i, j) is admissible iff
+/// |i - j| <= w. For sequences of different lengths the band is widened to
+/// w = max(window, |n - m|), the minimum that keeps corner (n-1, m-1)
+/// reachable, so every window value yields a finite distance. kNoWindow
+/// disables the constraint. Empty inputs yield +infinity.
+double DtwDistance(std::span<const double> a, std::span<const double> b,
+                   int window = kNoWindow);
+
+/// Length-normalized DTW: DtwDistance / sqrt(max(n, m)); comparable with
+/// NormalizedEuclidean under a shared threshold.
+double NormalizedDtwDistance(std::span<const double> a,
+                             std::span<const double> b,
+                             int window = kNoWindow);
+
+/// DTW with early abandoning: returns +infinity as soon as every cell of a
+/// DP row exceeds cutoff^2 (the true distance is then provably > cutoff);
+/// otherwise the exact DTW distance. `cutoff` is in distance units (not
+/// squared). Negative cutoff never abandons.
+double DtwDistanceEarlyAbandon(std::span<const double> a,
+                               std::span<const double> b, double cutoff,
+                               int window = kNoWindow);
+
+/// DTW distance plus one optimal alignment.
+struct DtwAlignment {
+  double distance = 0.0;
+  WarpingPath path;
+};
+
+/// Computes the distance and backtracks one optimal warping path (ties break
+/// toward the diagonal, keeping paths short). O(n*m) memory.
+DtwAlignment DtwWithPath(std::span<const double> a, std::span<const double> b,
+                         int window = kNoWindow);
+
+/// Effective band half-width actually used for lengths (n, m): the requested
+/// window widened to the minimum feasible value. Exposed so envelope-based
+/// lower bounds stay consistent with the DP they prune for.
+int EffectiveWindow(std::size_t n, std::size_t m, int window);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_DTW_H_

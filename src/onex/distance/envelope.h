@@ -1,0 +1,38 @@
+#ifndef ONEX_DISTANCE_ENVELOPE_H_
+#define ONEX_DISTANCE_ENVELOPE_H_
+
+#include <span>
+#include <vector>
+
+namespace onex {
+
+/// A pointwise band [lower[i], upper[i]] around one or more sequences.
+/// Two uses in ONEX, both from the paper's §3.3 "indexing of time series
+/// using bounding envelopes":
+///  * Keogh query envelope: upper/lower over a sliding window of the query,
+///    feeding LB_Keogh.
+///  * Group envelope: pointwise min/max over every member of a similarity
+///    group, letting the query processor lower-bound the DTW to *all*
+///    members with one comparison.
+struct Envelope {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  std::size_t size() const { return lower.size(); }
+  bool empty() const { return lower.empty(); }
+};
+
+/// Keogh envelope of `x` with band half-width `window`:
+/// upper[i] = max(x[i-w..i+w]), lower[i] = min(x[i-w..i+w]).
+/// A negative window means unconstrained DTW; the envelope degenerates to the
+/// global min/max repeated n times (still a valid, if weak, bound).
+/// O(n) via monotonic deques.
+Envelope ComputeKeoghEnvelope(std::span<const double> x, int window);
+
+/// Pointwise min/max accumulator for group envelopes. `acc` must be empty or
+/// sized like `x`; the first call initializes it to x's values.
+void AccumulateEnvelope(Envelope* acc, std::span<const double> x);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_ENVELOPE_H_

@@ -1,0 +1,45 @@
+#include "onex/distance/euclidean.h"
+
+#include <cmath>
+#include <limits>
+
+namespace onex {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return kInf;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Euclidean(std::span<const double> a, std::span<const double> b) {
+  const double sq = SquaredEuclidean(a, b);
+  return std::isinf(sq) ? kInf : std::sqrt(sq);
+}
+
+double NormalizedEuclidean(std::span<const double> a,
+                           std::span<const double> b) {
+  const double d = Euclidean(a, b);
+  return std::isinf(d) ? kInf : d / std::sqrt(static_cast<double>(a.size()));
+}
+
+double SquaredEuclideanEarlyAbandon(std::span<const double> a,
+                                    std::span<const double> b,
+                                    double cutoff_squared) {
+  if (a.size() != b.size() || a.empty()) return kInf;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+    if (acc > cutoff_squared) return kInf;
+  }
+  return acc;
+}
+
+}  // namespace onex

@@ -1,0 +1,35 @@
+#ifndef ONEX_DISTANCE_EUCLIDEAN_H_
+#define ONEX_DISTANCE_EUCLIDEAN_H_
+
+#include <span>
+
+namespace onex {
+
+/// Euclidean (L2) distance kernels. All functions require a.size() ==
+/// b.size(); mismatched or empty inputs return +infinity so that callers
+/// comparing against thresholds treat them as "not similar" rather than
+/// crashing — the ONEX base only ever compares equal lengths, and the public
+/// API layers validate before reaching these kernels.
+
+/// Sum of squared differences (no sqrt); the building block the others share.
+double SquaredEuclidean(std::span<const double> a, std::span<const double> b);
+
+/// sqrt(sum (a_i - b_i)^2).
+double Euclidean(std::span<const double> a, std::span<const double> b);
+
+/// Length-normalized ED: Euclidean / sqrt(n). Comparable across lengths, so
+/// one similarity threshold ST covers the whole multi-length ONEX base
+/// (DESIGN.md §7.1).
+double NormalizedEuclidean(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Early-abandoning squared ED: returns +infinity as soon as the running sum
+/// exceeds `cutoff_squared`, otherwise the exact squared distance. Used by
+/// grouping (radius test against ST/2) and the UCR-style baseline.
+double SquaredEuclideanEarlyAbandon(std::span<const double> a,
+                                    std::span<const double> b,
+                                    double cutoff_squared);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_EUCLIDEAN_H_

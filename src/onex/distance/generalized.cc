@@ -1,0 +1,92 @@
+#include "onex/distance/generalized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "onex/common/string_utils.h"
+#include "onex/distance/dtw.h"
+
+namespace onex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double StepCost(double a, double b, PointCost cost) {
+  const double d = a - b;
+  return cost == PointCost::kSquared ? d * d : std::abs(d);
+}
+
+inline double Finish(double acc, PointCost cost) {
+  return cost == PointCost::kSquared ? std::sqrt(acc) : acc;
+}
+
+}  // namespace
+
+const char* PointCostToString(PointCost cost) {
+  switch (cost) {
+    case PointCost::kSquared:
+      return "squared";
+    case PointCost::kAbsolute:
+      return "absolute";
+  }
+  return "unknown";
+}
+
+Result<PointCost> PointCostFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "squared" || lower == "l2") return PointCost::kSquared;
+  if (lower == "absolute" || lower == "l1") return PointCost::kAbsolute;
+  return Status::InvalidArgument("unknown point cost: '" + name + "'");
+}
+
+double GeneralizedStraightDistance(std::span<const double> a,
+                                   std::span<const double> b, PointCost cost) {
+  if (a.size() != b.size() || a.empty()) return kInf;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += StepCost(a[i], b[i], cost);
+  }
+  return Finish(acc, cost);
+}
+
+double GeneralizedDtwDistance(std::span<const double> a,
+                              std::span<const double> b, PointCost cost,
+                              int window) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return kInf;
+  const int w = EffectiveWindow(n, m, window);
+
+  std::vector<double> prev(m, kInf);
+  std::vector<double> curr(m, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo = 0, hi = m - 1;
+    if (w >= 0) {
+      const long long lo_ll = static_cast<long long>(i) - w;
+      const long long hi_ll = static_cast<long long>(i) + w;
+      lo = lo_ll < 0 ? 0 : static_cast<std::size_t>(lo_ll);
+      hi = hi_ll >= static_cast<long long>(m) ? m - 1
+                                              : static_cast<std::size_t>(hi_ll);
+    }
+    std::fill(curr.begin(), curr.end(), kInf);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double step = StepCost(a[i], b[j], cost);
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);
+        if (j > 0) best = std::min(best, curr[j - 1]);
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);
+      }
+      curr[j] = best + step;
+    }
+    std::swap(prev, curr);
+  }
+  return std::isinf(prev[m - 1]) ? kInf : Finish(prev[m - 1], cost);
+}
+
+}  // namespace onex

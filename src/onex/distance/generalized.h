@@ -1,0 +1,43 @@
+#ifndef ONEX_DISTANCE_GENERALIZED_H_
+#define ONEX_DISTANCE_GENERALIZED_H_
+
+#include <span>
+#include <string>
+
+#include "onex/common/result.h"
+
+namespace onex {
+
+/// Pluggable point-wise costs for the warped and straight distances — the
+/// generalization direction the ONEX authors pursued after the demo (their
+/// follow-up system accepts arbitrary point distances). The default
+/// squared-L2 kernels in dtw.h/euclidean.h stay untouched (hot path); this
+/// module provides the generalized pair.
+enum class PointCost {
+  /// (a-b)^2 accumulated, sqrt at the end: the default DTW/ED pair with
+  /// DTW <= ED on equal lengths.
+  kSquared = 0,
+  /// |a-b| accumulated, no final transform: Manhattan-flavored DTW whose
+  /// straight-line analog is the L1 distance.
+  kAbsolute = 1,
+};
+
+const char* PointCostToString(PointCost cost);
+Result<PointCost> PointCostFromString(const std::string& name);
+
+/// Straight-line (no warping) distance under `cost`: sqrt(sum (a_i-b_i)^2)
+/// or sum |a_i-b_i|. +infinity on length mismatch or empty input.
+double GeneralizedStraightDistance(std::span<const double> a,
+                                   std::span<const double> b, PointCost cost);
+
+/// DTW under `cost` with the same Sakoe-Chiba band semantics as
+/// DtwDistance. For every cost the warped distance never exceeds the
+/// straight distance on equal lengths (the identity alignment is a warping
+/// path) — the property ONEX-style grouping needs of any distance pair.
+double GeneralizedDtwDistance(std::span<const double> a,
+                              std::span<const double> b, PointCost cost,
+                              int window = -1);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_GENERALIZED_H_

@@ -1,0 +1,57 @@
+#include "onex/distance/lower_bounds.h"
+
+#include <cmath>
+#include <limits>
+
+namespace onex {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double LbKim(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const double df = a.front() - b.front();
+  const double dl = a.back() - b.back();
+  return std::sqrt(df * df + dl * dl);
+}
+
+double LbKeogh(const Envelope& query_envelope,
+               std::span<const double> candidate, double cutoff) {
+  const std::size_t n = candidate.size();
+  if (query_envelope.size() != n || n == 0) return 0.0;
+  const double cutoff_sq = cutoff < 0.0 ? kInf : cutoff * cutoff;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = candidate[i];
+    if (c > query_envelope.upper[i]) {
+      const double d = c - query_envelope.upper[i];
+      acc += d * d;
+    } else if (c < query_envelope.lower[i]) {
+      const double d = query_envelope.lower[i] - c;
+      acc += d * d;
+    }
+    if (acc > cutoff_sq) return kInf;
+  }
+  return std::sqrt(acc);
+}
+
+double LbKeoghGroup(const Envelope& query_envelope,
+                    const Envelope& group_envelope) {
+  const std::size_t n = group_envelope.size();
+  if (query_envelope.size() != n || n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Tightest penalty any member could incur: members live inside
+    // [group.lower, group.upper] pointwise.
+    if (group_envelope.lower[i] > query_envelope.upper[i]) {
+      const double d = group_envelope.lower[i] - query_envelope.upper[i];
+      acc += d * d;
+    } else if (group_envelope.upper[i] < query_envelope.lower[i]) {
+      const double d = query_envelope.lower[i] - group_envelope.upper[i];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace onex

@@ -1,0 +1,39 @@
+#ifndef ONEX_DISTANCE_LOWER_BOUNDS_H_
+#define ONEX_DISTANCE_LOWER_BOUNDS_H_
+
+#include <span>
+
+#include "onex/distance/envelope.h"
+
+namespace onex {
+
+/// Cheap lower bounds on the DTW distance, used for the paper's "early
+/// pruning of unpromising candidates" (§3.3). Every function here is
+/// admissible: LB(x, y) <= DtwDistance(x, y) under the stated window, a
+/// property the test suite checks exhaustively.
+
+/// LB_Kim (endpoint form): sqrt((a_first-b_first)^2 + (a_last-b_last)^2).
+/// Valid for any window and any pair of lengths, because every warping path
+/// aligns the two first points and the two last points. Returns 0 on empty
+/// input (vacuously admissible).
+double LbKim(std::span<const double> a, std::span<const double> b);
+
+/// LB_Keogh: given the Keogh envelope of the query computed with band
+/// half-width w (see ComputeKeoghEnvelope), lower-bounds DtwDistance(query,
+/// candidate, w) for equal-length inputs. Returns 0 when lengths differ
+/// (trivially admissible; ONEX only applies it within one length class).
+/// `cutoff` enables early abandoning: once the partial sum exceeds cutoff^2
+/// the function returns +infinity. Negative cutoff never abandons.
+double LbKeogh(const Envelope& query_envelope, std::span<const double> candidate,
+               double cutoff = -1.0);
+
+/// Group-envelope bound: lower-bounds DtwDistance(query, member, w) for
+/// EVERY member of a similarity group, given the group's pointwise min/max
+/// envelope. Equal lengths required (else 0). One evaluation prunes a whole
+/// group (DESIGN.md §7.3).
+double LbKeoghGroup(const Envelope& query_envelope,
+                    const Envelope& group_envelope);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_LOWER_BOUNDS_H_

@@ -1,0 +1,51 @@
+#include "onex/distance/warping_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onex {
+
+bool IsValidWarpingPath(const WarpingPath& path, std::size_t n,
+                        std::size_t m) {
+  if (path.empty() || n == 0 || m == 0) return false;
+  if (path.front() != std::make_pair<std::size_t, std::size_t>(0, 0)) {
+    return false;
+  }
+  if (path.back().first != n - 1 || path.back().second != m - 1) return false;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const std::size_t di = path[k].first - path[k - 1].first;
+    const std::size_t dj = path[k].second - path[k - 1].second;
+    // Underflow of unsigned subtraction yields huge values, caught here.
+    if (di > 1 || dj > 1 || (di == 0 && dj == 0)) return false;
+  }
+  return true;
+}
+
+double WarpingPathCost(std::span<const double> a, std::span<const double> b,
+                       const WarpingPath& path) {
+  double acc = 0.0;
+  for (const auto& [i, j] : path) {
+    const double d = a[i] - b[j];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::size_t MaxSecondIndexMultiplicity(const WarpingPath& path) {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  std::size_t prev_j = static_cast<std::size_t>(-1);
+  for (const auto& [i, j] : path) {
+    (void)i;
+    if (j == prev_j) {
+      ++run;
+    } else {
+      run = 1;
+      prev_j = j;
+    }
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+}  // namespace onex

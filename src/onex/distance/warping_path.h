@@ -1,0 +1,33 @@
+#ifndef ONEX_DISTANCE_WARPING_PATH_H_
+#define ONEX_DISTANCE_WARPING_PATH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace onex {
+
+/// A DTW alignment: ordered (i, j) index pairs matching position i of the
+/// first sequence to position j of the second. The demo's "matched points"
+/// dotted lines (Fig 2) and the connected scatter plot (Fig 3b) are direct
+/// renderings of this structure.
+using WarpingPath = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// True when `path` is a legal warping path for sequences of length n and m:
+/// starts at (0,0), ends at (n-1,m-1), and advances by (1,0), (0,1) or (1,1)
+/// at every step (monotone and continuous).
+bool IsValidWarpingPath(const WarpingPath& path, std::size_t n, std::size_t m);
+
+/// Cost of an explicit alignment: sqrt of the summed squared differences
+/// along the path. For the optimal path this equals the DTW distance.
+double WarpingPathCost(std::span<const double> a, std::span<const double> b,
+                       const WarpingPath& path);
+
+/// Largest number of consecutive path steps that pin one index of the second
+/// sequence (the multiplicity M in the ED->DTW bridging bound; DESIGN.md §5).
+std::size_t MaxSecondIndexMultiplicity(const WarpingPath& path);
+
+}  // namespace onex
+
+#endif  // ONEX_DISTANCE_WARPING_PATH_H_

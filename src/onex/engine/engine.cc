@@ -1,0 +1,445 @@
+#include "onex/engine/engine.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "onex/common/math_utils.h"
+#include "onex/common/string_utils.h"
+#include "onex/core/base_io.h"
+#include "onex/core/incremental.h"
+#include "onex/distance/dtw.h"
+#include "onex/ts/paa.h"
+#include "onex/ts/ucr_io.h"
+
+namespace onex {
+
+Status Engine::LoadDataset(const std::string& name, Dataset dataset) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset '" + name + "' has no series");
+  }
+  auto prepared = std::make_shared<PreparedDataset>();
+  prepared->name = name;
+  dataset.set_name(name);
+  prepared->raw = std::make_shared<const Dataset>(std::move(dataset));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = datasets_.emplace(name, std::move(prepared));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' is already loaded");
+  }
+  return Status::OK();
+}
+
+Status Engine::LoadUcrFile(const std::string& name, const std::string& path) {
+  ONEX_ASSIGN_OR_RETURN(Dataset ds, ReadUcrFile(path));
+  return LoadDataset(name, std::move(ds));
+}
+
+Status Engine::DropDataset(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("dataset '" + name + "' is not loaded");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Engine::ListDatasets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) names.push_back(name);
+  return names;
+}
+
+Result<std::shared_ptr<const PreparedDataset>> Engine::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not loaded");
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<const PreparedDataset>> Engine::GetPrepared(
+    const std::string& name) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds, Get(name));
+  if (!ds->prepared()) {
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' has not been prepared; call Prepare first");
+  }
+  return ds;
+}
+
+Status Engine::Prepare(const std::string& name,
+                       const BaseBuildOptions& options,
+                       NormalizationKind normalization) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
+                        Get(name));
+
+  auto next = std::make_shared<PreparedDataset>();
+  next->name = current->name;
+  next->raw = current->raw;
+  next->norm_kind = normalization;
+  ONEX_ASSIGN_OR_RETURN(
+      Dataset normalized, Normalize(*next->raw, normalization,
+                                    &next->norm_params));
+  next->normalized = std::make_shared<const Dataset>(std::move(normalized));
+  ONEX_ASSIGN_OR_RETURN(OnexBase base,
+                        OnexBase::Build(next->normalized, options));
+  next->base = std::make_shared<const OnexBase>(std::move(base));
+  next->build_options = options;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_[name] = std::move(next);  // atomic swap; readers keep old snapshot
+  return Status::OK();
+}
+
+Status Engine::AppendSeries(const std::string& name, TimeSeries series) {
+  if (series.length() < 2) {
+    return Status::InvalidArgument("appended series needs >= 2 points");
+  }
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
+                        Get(name));
+
+  auto next = std::make_shared<PreparedDataset>(*current);
+  // Extended raw dataset.
+  Dataset raw(current->raw->name());
+  for (const TimeSeries& ts : current->raw->series()) raw.Add(ts);
+  raw.Add(series);
+  next->raw = std::make_shared<const Dataset>(std::move(raw));
+
+  if (current->prepared()) {
+    // Normalize the newcomer with the frozen parameters, then insert it into
+    // the base without re-grouping the rest.
+    std::vector<double> normalized;
+    normalized.reserve(series.length());
+    switch (current->norm_kind) {
+      case NormalizationKind::kNone:
+        normalized = series.values();
+        break;
+      case NormalizationKind::kMinMaxDataset: {
+        const double lo = current->norm_params.min;
+        const double span = current->norm_params.max - current->norm_params.min;
+        for (double v : series.values()) {
+          normalized.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+        }
+        break;
+      }
+      case NormalizationKind::kMinMaxSeries: {
+        const double lo = Min(series.AsSpan());
+        const double span = Max(series.AsSpan()) - lo;
+        for (double v : series.values()) {
+          normalized.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+        }
+        next->norm_params.per_series.emplace_back(lo,
+                                                  span > 0.0 ? span : 1.0);
+        break;
+      }
+      case NormalizationKind::kZScoreSeries: {
+        const double mu = Mean(series.AsSpan());
+        const double sigma = StdDev(series.AsSpan());
+        for (double v : series.values()) {
+          normalized.push_back(sigma > 0.0 ? (v - mu) / sigma : 0.0);
+        }
+        next->norm_params.per_series.emplace_back(mu,
+                                                  sigma > 0.0 ? sigma : 1.0);
+        break;
+      }
+    }
+    TimeSeries norm_series(series.name(), std::move(normalized),
+                           series.label());
+    ONEX_ASSIGN_OR_RETURN(OnexBase extended,
+                          onex::AppendSeries(*next->base,
+                                             std::move(norm_series)));
+    next->base = std::make_shared<const OnexBase>(std::move(extended));
+    next->normalized = next->base->shared_dataset();
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_[name] = std::move(next);
+  return Status::OK();
+}
+
+namespace {
+
+/// Framing for SavePrepared/LoadPrepared: one header line with the
+/// normalization parameters, then the core base_io payload.
+constexpr const char* kPrepMagic = "ONEXPREP";
+constexpr int kPrepVersion = 1;
+
+}  // namespace
+
+Status Engine::SavePrepared(const std::string& name,
+                            const std::string& path) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << kPrepMagic << ' ' << kPrepVersion << ' '
+      << NormalizationKindToString(ds->norm_kind) << ' '
+      << StrFormat("%.17g %.17g", ds->norm_params.min, ds->norm_params.max)
+      << ' ' << ds->norm_params.per_series.size();
+  for (const auto& [offset, scale] : ds->norm_params.per_series) {
+    out << ' ' << StrFormat("%.17g %.17g", offset, scale);
+  }
+  out << '\n';
+  return SaveBase(*ds->base, out);
+}
+
+Status Engine::LoadPrepared(const std::string& name, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::ParseError("empty prepared-dataset file");
+  }
+  const std::vector<std::string> fields = SplitString(header);
+  if (fields.size() < 5 || fields[0] != kPrepMagic) {
+    return Status::ParseError("not an ONEX prepared-dataset file");
+  }
+  ONEX_ASSIGN_OR_RETURN(long long version, ParseInt(fields[1]));
+  if (version != kPrepVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported prepared-dataset version %lld", version));
+  }
+  auto next = std::make_shared<PreparedDataset>();
+  next->name = name;
+  ONEX_ASSIGN_OR_RETURN(next->norm_kind,
+                        NormalizationKindFromString(fields[2]));
+  next->norm_params.kind = next->norm_kind;
+  ONEX_ASSIGN_OR_RETURN(next->norm_params.min, ParseDouble(fields[3]));
+  ONEX_ASSIGN_OR_RETURN(next->norm_params.max, ParseDouble(fields[4]));
+  if (fields.size() < 6) {
+    return Status::ParseError("prepared header missing per-series count");
+  }
+  ONEX_ASSIGN_OR_RETURN(long long per_series, ParseInt(fields[5]));
+  if (per_series < 0 ||
+      fields.size() != 6 + 2 * static_cast<std::size_t>(per_series)) {
+    return Status::ParseError("prepared header per-series mismatch");
+  }
+  for (long long i = 0; i < per_series; ++i) {
+    ONEX_ASSIGN_OR_RETURN(double offset,
+                          ParseDouble(fields[6 + 2 * static_cast<std::size_t>(i)]));
+    ONEX_ASSIGN_OR_RETURN(double scale,
+                          ParseDouble(fields[7 + 2 * static_cast<std::size_t>(i)]));
+    next->norm_params.per_series.emplace_back(offset, scale);
+  }
+
+  ONEX_ASSIGN_OR_RETURN(OnexBase base, LoadBase(in));
+  next->base = std::make_shared<const OnexBase>(std::move(base));
+  next->normalized = next->base->shared_dataset();
+  next->build_options = next->base->options();
+
+  // Recover original units through the stored normalization parameters.
+  Dataset raw(next->normalized->name());
+  for (std::size_t s = 0; s < next->normalized->size(); ++s) {
+    const TimeSeries& ts = (*next->normalized)[s];
+    std::vector<double> values;
+    values.reserve(ts.length());
+    for (double v : ts.values()) {
+      values.push_back(Denormalize(next->norm_params, s, v));
+    }
+    raw.Add(TimeSeries(ts.name(), std::move(values), ts.label()));
+  }
+  next->raw = std::make_shared<const Dataset>(std::move(raw));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = datasets_.emplace(name, std::move(next));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' is already loaded");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> Engine::ResolveQuery(const PreparedDataset& target,
+                                                 const QuerySpec& spec) const {
+  if (spec.is_inline()) {
+    if (spec.inline_values.size() < 2) {
+      return Status::InvalidArgument("inline query needs >= 2 values");
+    }
+    // Map analyst-provided raw units into the target's normalized space.
+    std::vector<double> out;
+    out.reserve(spec.inline_values.size());
+    switch (target.norm_kind) {
+      case NormalizationKind::kNone:
+        out = spec.inline_values;
+        break;
+      case NormalizationKind::kMinMaxDataset: {
+        const double lo = target.norm_params.min;
+        const double span = target.norm_params.max - target.norm_params.min;
+        for (double v : spec.inline_values) {
+          out.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "inline queries require dataset-level normalization (none or "
+            "minmax-dataset); per-series normalization has no global map");
+    }
+    return out;
+  }
+
+  // Reference into a loaded dataset: resolve against its *normalized* copy
+  // when the source is the target (same units as the base), else normalize
+  // the foreign values with the target's parameters.
+  std::shared_ptr<const PreparedDataset> source;
+  if (spec.dataset.empty() || spec.dataset == target.name) {
+    const Dataset& norm = *target.normalized;
+    ONEX_RETURN_IF_ERROR(norm.CheckIndex(spec.series));
+    const std::size_t n = norm[spec.series].length();
+    const std::size_t len = spec.length == 0
+                                ? (spec.start < n ? n - spec.start : 0)
+                                : spec.length;
+    ONEX_RETURN_IF_ERROR(norm.CheckRange(spec.series, spec.start, len));
+    const std::span<const double> vals =
+        norm[spec.series].Slice(spec.start, len);
+    return std::vector<double>(vals.begin(), vals.end());
+  }
+  ONEX_ASSIGN_OR_RETURN(source, Get(spec.dataset));
+  const Dataset& raw = *source->raw;
+  ONEX_RETURN_IF_ERROR(raw.CheckIndex(spec.series));
+  const std::size_t n = raw[spec.series].length();
+  const std::size_t len =
+      spec.length == 0 ? (spec.start < n ? n - spec.start : 0) : spec.length;
+  ONEX_RETURN_IF_ERROR(raw.CheckRange(spec.series, spec.start, len));
+  const std::span<const double> vals = raw[spec.series].Slice(spec.start, len);
+  QuerySpec inline_spec;
+  inline_spec.inline_values.assign(vals.begin(), vals.end());
+  return ResolveQuery(target, inline_spec);
+}
+
+Result<std::vector<MatchResult>> Engine::Knn(const std::string& name,
+                                             const QuerySpec& query,
+                                             std::size_t k,
+                                             const QueryOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  ONEX_ASSIGN_OR_RETURN(std::vector<double> qvals, ResolveQuery(*ds, query));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryProcessor qp(ds->base.get());
+  QueryStats stats;
+  ONEX_ASSIGN_OR_RETURN(std::vector<BestMatch> matches,
+                        qp.KnnQuery(qvals, k, options, &stats));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<MatchResult> out;
+  out.reserve(matches.size());
+  for (BestMatch& m : matches) {
+    MatchResult r;
+    r.matched_series_name = (*ds->normalized)[m.ref.series].name();
+    const std::span<const double> mv = m.ref.Resolve(*ds->normalized);
+    r.match_values.assign(mv.begin(), mv.end());
+    r.query_values = qvals;
+    r.stats = stats;
+    r.elapsed_ms = elapsed_ms;
+    r.match = std::move(m);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<MatchResult> Engine::SimilaritySearch(const std::string& name,
+                                             const QuerySpec& query,
+                                             const QueryOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::vector<MatchResult> top,
+                        Knn(name, query, 1, options));
+  if (top.empty()) return Status::NotFound("no match found");
+  return std::move(top.front());
+}
+
+Result<std::vector<SeasonalPattern>> Engine::Seasonal(
+    const std::string& name, std::size_t series_idx,
+    const SeasonalOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  return FindSeasonalPatterns(*ds->base, series_idx, options);
+}
+
+Result<ThresholdReport> Engine::RecommendThresholds(
+    const std::string& name, const ThresholdAdvisorOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds, Get(name));
+  const Dataset& target = ds->prepared() ? *ds->normalized : *ds->raw;
+  return onex::RecommendThresholds(target, options);
+}
+
+Result<std::vector<OverviewEntry>> Engine::Overview(
+    const std::string& name, const OverviewOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  return BuildOverview(*ds->base, options);
+}
+
+Result<std::vector<Engine::CatalogEntry>> Engine::Catalog(
+    const std::string& name, std::size_t preview_points) const {
+  if (preview_points == 0) {
+    return Status::InvalidArgument("preview_points must be positive");
+  }
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds, Get(name));
+  std::vector<CatalogEntry> out;
+  out.reserve(ds->raw->size());
+  for (const TimeSeries& ts : ds->raw->series()) {
+    CatalogEntry entry;
+    entry.series_name = ts.name();
+    entry.label = ts.label();
+    entry.length = ts.length();
+    entry.preview = Paa(ts.AsSpan(), preview_points);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<viz::MultiLineChartData> Engine::MatchMultiLineChart(
+    const std::string& name, const MatchResult& result) const {
+  (void)name;
+  return viz::BuildMultiLineChart("query", result.query_values,
+                                  result.matched_series_name,
+                                  result.match_values, result.match.path);
+}
+
+Result<viz::RadialChartData> Engine::MatchRadialChart(
+    const std::string& name, const MatchResult& result) const {
+  (void)name;
+  return viz::BuildRadialChart("query", result.query_values,
+                               result.matched_series_name,
+                               result.match_values);
+}
+
+Result<viz::ConnectedScatterData> Engine::MatchConnectedScatter(
+    const std::string& name, const MatchResult& result) const {
+  (void)name;
+  if (result.match.path.empty()) {
+    return Status::FailedPrecondition(
+        "match has no warping path; run the query with compute_path=true");
+  }
+  return viz::BuildConnectedScatter("query", result.query_values,
+                                    result.matched_series_name,
+                                    result.match_values, result.match.path);
+}
+
+Result<viz::SeasonalViewData> Engine::SeasonalView(
+    const std::string& name, std::size_t series_idx,
+    const SeasonalOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  ONEX_ASSIGN_OR_RETURN(std::vector<SeasonalPattern> patterns,
+                        FindSeasonalPatterns(*ds->base, series_idx, options));
+  const TimeSeries& ts = (*ds->normalized)[series_idx];
+  return viz::BuildSeasonalView(ts.name(), ts.values(), patterns);
+}
+
+}  // namespace onex

@@ -1,0 +1,161 @@
+#ifndef ONEX_ENGINE_ENGINE_H_
+#define ONEX_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/core/onex_base.h"
+#include "onex/core/overview.h"
+#include "onex/core/query_processor.h"
+#include "onex/core/seasonal.h"
+#include "onex/core/threshold_advisor.h"
+#include "onex/engine/query_spec.h"
+#include "onex/ts/normalization.h"
+#include "onex/viz/chart_data.h"
+
+namespace onex {
+
+/// A dataset registered with the engine: raw values, their normalized copy,
+/// and (after Prepare) the ONEX base. Immutable once built, so concurrent
+/// readers share it without locking.
+struct PreparedDataset {
+  std::string name;
+  std::shared_ptr<const Dataset> raw;
+  std::shared_ptr<const Dataset> normalized;
+  NormalizationParams norm_params;
+  NormalizationKind norm_kind = NormalizationKind::kMinMaxDataset;
+  /// Null until Prepare() has run.
+  std::shared_ptr<const OnexBase> base;
+  BaseBuildOptions build_options;
+
+  bool prepared() const { return base != nullptr; }
+};
+
+/// A similarity-search answer enriched with display context.
+struct MatchResult {
+  BestMatch match;
+  std::string matched_series_name;
+  /// Normalized values of query and match (the units the base compares in).
+  std::vector<double> query_values;
+  std::vector<double> match_values;
+  QueryStats stats;
+  double elapsed_ms = 0.0;
+};
+
+/// The ONEX server-side session (Fig 1's middle tier): dataset registry,
+/// preprocessing into the ONEX base, and every exploratory operation the
+/// visual front-end invokes. Thread-safe: the registry is mutex-guarded and
+/// all query state is immutable shared data, matching the demo's
+/// client-server deployment where many browser sessions hit one engine.
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Registers a dataset ("Data Loading into ONEX": one click). Fails with
+  /// AlreadyExists on name collision.
+  Status LoadDataset(const std::string& name, Dataset dataset);
+
+  /// Loads a UCR-format file from disk under `name`.
+  Status LoadUcrFile(const std::string& name, const std::string& path);
+
+  Status DropDataset(const std::string& name);
+  std::vector<std::string> ListDatasets() const;
+
+  /// Immutable snapshot of a registered dataset.
+  Result<std::shared_ptr<const PreparedDataset>> Get(
+      const std::string& name) const;
+
+  /// Normalizes and groups: "triggers the preprocessing of this data at the
+  /// server side and its loading into the respective ONEX Base". Re-prepare
+  /// with different options replaces the base atomically.
+  Status Prepare(const std::string& name, const BaseBuildOptions& options,
+                 NormalizationKind normalization =
+                     NormalizationKind::kMinMaxDataset);
+
+  /// Appends one series (original units) to a loaded dataset. If the dataset
+  /// is prepared, the series is normalized with the dataset's frozen
+  /// normalization parameters and inserted into the base incrementally
+  /// (core/incremental.h) — no full re-preprocessing. Snapshot semantics:
+  /// concurrent readers keep the pre-append state.
+  Status AppendSeries(const std::string& name, TimeSeries series);
+
+  /// Persists a prepared dataset (normalized values, groups, build options
+  /// and normalization parameters) so later sessions skip preprocessing.
+  Status SavePrepared(const std::string& name, const std::string& path) const;
+
+  /// Loads a dataset persisted by SavePrepared and registers it as `name`
+  /// (AlreadyExists on collision). The dataset arrives prepared; the raw
+  /// values are recovered through the stored normalization parameters.
+  Status LoadPrepared(const std::string& name, const std::string& path);
+
+  /// Best match for the query across the prepared base (Similarity View).
+  Result<MatchResult> SimilaritySearch(const std::string& name,
+                                       const QuerySpec& query,
+                                       const QueryOptions& options = {}) const;
+
+  /// k best matches, ascending by normalized DTW.
+  Result<std::vector<MatchResult>> Knn(const std::string& name,
+                                       const QuerySpec& query, std::size_t k,
+                                       const QueryOptions& options = {}) const;
+
+  /// Repeating patterns within one series (Seasonal View).
+  Result<std::vector<SeasonalPattern>> Seasonal(
+      const std::string& name, std::size_t series_idx,
+      const SeasonalOptions& options = {}) const;
+
+  /// Data-driven ST suggestions, computed on the normalized values when the
+  /// dataset is prepared (so they are directly usable as build thresholds)
+  /// and on raw values otherwise (so the analyst sees domain units).
+  Result<ThresholdReport> RecommendThresholds(
+      const std::string& name,
+      const ThresholdAdvisorOptions& options = {}) const;
+
+  /// Overview Pane data: top groups by cardinality.
+  Result<std::vector<OverviewEntry>> Overview(
+      const std::string& name, const OverviewOptions& options = {}) const;
+
+  /// One Query-Selection-Pane entry: "each visualized by its name and a
+  /// small line graph" (Fig 2, bottom left). The preview is a PAA sketch of
+  /// the raw series, cheap enough to ship for every series in the catalog.
+  struct CatalogEntry {
+    std::string series_name;
+    std::string label;
+    std::size_t length = 0;
+    std::vector<double> preview;  ///< PAA of the raw values.
+  };
+
+  /// Catalog of all series in a loaded dataset (prepared or not), in
+  /// dataset order. `preview_points` bounds the thumbnail resolution.
+  Result<std::vector<CatalogEntry>> Catalog(
+      const std::string& name, std::size_t preview_points = 24) const;
+
+  /// Chart builders for a previously obtained match (Figs 2-3).
+  Result<viz::MultiLineChartData> MatchMultiLineChart(
+      const std::string& name, const MatchResult& result) const;
+  Result<viz::RadialChartData> MatchRadialChart(
+      const std::string& name, const MatchResult& result) const;
+  Result<viz::ConnectedScatterData> MatchConnectedScatter(
+      const std::string& name, const MatchResult& result) const;
+  Result<viz::SeasonalViewData> SeasonalView(
+      const std::string& name, std::size_t series_idx,
+      const SeasonalOptions& options = {}) const;
+
+  /// Resolves a QuerySpec to normalized values against `target`'s
+  /// normalization (public for tests and benches).
+  Result<std::vector<double>> ResolveQuery(const PreparedDataset& target,
+                                           const QuerySpec& spec) const;
+
+ private:
+  Result<std::shared_ptr<const PreparedDataset>> GetPrepared(
+      const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const PreparedDataset>> datasets_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_ENGINE_ENGINE_H_

@@ -1,0 +1,28 @@
+#ifndef ONEX_ENGINE_QUERY_SPEC_H_
+#define ONEX_ENGINE_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+namespace onex {
+
+/// How a client names a query sequence (the demo's Query Selection +
+/// Preview panes: pick a series, brush a sub-range). Either a reference
+/// into a loaded dataset, or inline values typed/uploaded by the analyst.
+struct QuerySpec {
+  /// Dataset holding the query series; empty = the dataset being searched.
+  std::string dataset;
+  std::size_t series = 0;
+  /// Brushed range [start, start+length); length 0 = rest of the series.
+  std::size_t start = 0;
+  std::size_t length = 0;
+  /// When non-empty, used verbatim (original units) instead of the
+  /// reference; normalized with the target dataset's parameters.
+  std::vector<double> inline_values;
+
+  bool is_inline() const { return !inline_values.empty(); }
+};
+
+}  // namespace onex
+
+#endif  // ONEX_ENGINE_QUERY_SPEC_H_

@@ -1,0 +1,136 @@
+#include "onex/gen/economic_panel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "onex/common/random.h"
+#include "onex/common/string_utils.h"
+
+namespace onex::gen {
+
+const char* IndicatorToString(Indicator indicator) {
+  switch (indicator) {
+    case Indicator::kGrowthRate:
+      return "growth_rate";
+    case Indicator::kUnemployment:
+      return "unemployment";
+    case Indicator::kTechEmployment:
+      return "tech_employment";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& StateNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{
+          "Alabama",       "Alaska",        "Arizona",       "Arkansas",
+          "California",    "Colorado",      "Connecticut",   "Delaware",
+          "Florida",       "Georgia",       "Hawaii",        "Idaho",
+          "Illinois",      "Indiana",       "Iowa",          "Kansas",
+          "Kentucky",      "Louisiana",     "Maine",         "Maryland",
+          "Massachusetts", "Michigan",      "Minnesota",     "Mississippi",
+          "Missouri",      "Montana",       "Nebraska",      "Nevada",
+          "NewHampshire",  "NewJersey",     "NewMexico",     "NewYork",
+          "NorthCarolina", "NorthDakota",   "Ohio",          "Oklahoma",
+          "Oregon",        "Pennsylvania",  "RhodeIsland",   "SouthCarolina",
+          "SouthDakota",   "Tennessee",     "Texas",         "Utah",
+          "Vermont",       "Virginia",      "Washington",    "WestVirginia",
+          "Wisconsin",     "Wyoming"};
+  return *kNames;
+}
+
+namespace {
+
+/// Indicator-specific level, amplitude and noise so the three domains land on
+/// genuinely different numeric scales (the paper's threshold-recommendation
+/// motivation).
+struct IndicatorScale {
+  double base;
+  double trend_amp;
+  double noise;
+  double drift;
+};
+
+IndicatorScale ScaleFor(Indicator ind) {
+  switch (ind) {
+    case Indicator::kGrowthRate:
+      return {2.0, 2.5, 0.4, 0.0};  // percent
+    case Indicator::kUnemployment:
+      return {120000.0, 35000.0, 4000.0, 1500.0};  // people
+    case Indicator::kTechEmployment:
+      return {80.0, 20.0, 3.0, 2.2};  // thousand jobs
+  }
+  return {0.0, 1.0, 0.1, 0.0};
+}
+
+}  // namespace
+
+Dataset MakeEconomicPanel(const EconomicPanelOptions& options) {
+  const std::vector<std::string>& states = StateNames();
+  Rng rng(options.seed);
+  const IndicatorScale scale = ScaleFor(options.indicator);
+  const std::size_t blocks = std::max<std::size_t>(1, options.num_blocks);
+  const std::size_t years = std::max<std::size_t>(4, options.years);
+
+  // Latent block trends: smooth AR(1)-style paths with a shared recession dip
+  // around 40% of the horizon (the 2008-shaped event every state shows).
+  std::vector<std::vector<double>> block_trend(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    Rng brng = rng.Fork();
+    std::vector<double>& trend = block_trend[b];
+    trend.resize(years);
+    double v = brng.Gaussian(0.0, 0.5);
+    for (std::size_t t = 0; t < years; ++t) {
+      v = 0.75 * v + brng.Gaussian(0.0, 0.45);
+      const double recession =
+          -1.4 * std::exp(-0.5 * std::pow((static_cast<double>(t) -
+                                           0.4 * static_cast<double>(years)) /
+                                              1.6,
+                                          2));
+      trend[t] = v + recession;
+    }
+  }
+
+  Dataset ds(StrFormat("matters_%s", IndicatorToString(options.indicator)));
+  std::vector<double> ma_values;  // filled when Massachusetts is generated
+
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    const std::size_t block = s % blocks;
+    Rng srng = rng.Fork();
+    std::vector<double> vals(years);
+    for (std::size_t t = 0; t < years; ++t) {
+      const double shape =
+          block_trend[block][t] + srng.Gaussian(0.0, scale.noise / scale.trend_amp);
+      vals[t] = scale.base + scale.trend_amp * shape +
+                scale.drift * static_cast<double>(t);
+    }
+    if (states[s] == "Massachusetts") ma_values = vals;
+    ds.Add(TimeSeries(states[s], std::move(vals), StrFormat("%zu", block)));
+  }
+
+  // Rewrite the partner state as a 1-year-lagged, lightly perturbed copy of
+  // Massachusetts: the demo's "find the state most similar to MA" answer.
+  if (!ma_values.empty()) {
+    for (std::size_t s = 0; s < ds.size(); ++s) {
+      if (ds[s].name() != options.partner_state || states[s] == "Massachusetts") {
+        continue;
+      }
+      Rng prng = rng.Fork();
+      std::vector<double> partner(years);
+      for (std::size_t t = 0; t < years; ++t) {
+        const std::size_t src = t == 0 ? 0 : t - 1;  // one-year lag
+        partner[t] = ma_values[src] + prng.Gaussian(0.0, scale.noise * 0.3);
+      }
+      TimeSeries replaced(ds[s].name(), std::move(partner), ds[s].label());
+      Dataset rebuilt(ds.name());
+      for (std::size_t k = 0; k < ds.size(); ++k) {
+        rebuilt.Add(k == s ? replaced : ds[k]);
+      }
+      ds = std::move(rebuilt);
+      break;
+    }
+  }
+  return ds;
+}
+
+}  // namespace onex::gen

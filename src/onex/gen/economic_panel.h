@@ -1,0 +1,45 @@
+#ifndef ONEX_GEN_ECONOMIC_PANEL_H_
+#define ONEX_GEN_ECONOMIC_PANEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "onex/ts/dataset.h"
+
+namespace onex::gen {
+
+/// Synthetic MATTERS-style state economic panel (DESIGN.md §3). One series
+/// per US state for a chosen indicator. States are grouped into economic
+/// "blocks" that share a latent trend, so cross-state similarity has ground
+/// truth; Massachusetts gets a designated partner state whose indicator
+/// tracks MA's with a small lag — the pair the demo walkthrough finds.
+enum class Indicator {
+  kGrowthRate,       ///< Percent units, range roughly [-4, 8].
+  kUnemployment,     ///< People, tens of thousands: a ~1000x larger scale.
+  kTechEmployment,   ///< Thousand jobs; trending with moderate noise.
+};
+
+const char* IndicatorToString(Indicator indicator);
+
+struct EconomicPanelOptions {
+  Indicator indicator = Indicator::kGrowthRate;
+  /// Yearly observations per state (the demo shows "the last 6 years"; the
+  /// underlying MATTERS series are a few decades).
+  std::size_t years = 25;
+  /// Number of latent economic blocks sharing a trend.
+  std::size_t num_blocks = 5;
+  /// Partner state whose series is a lagged, lightly warped copy of MA's.
+  std::string partner_state = "Arkansas";
+  std::uint64_t seed = 2013;  ///< The motivating example's tax-repeal year.
+};
+
+/// All fifty state names, postal order (used as series names).
+const std::vector<std::string>& StateNames();
+
+/// Builds the panel: one series per state, labeled by latent block id.
+Dataset MakeEconomicPanel(const EconomicPanelOptions& options);
+
+}  // namespace onex::gen
+
+#endif  // ONEX_GEN_ECONOMIC_PANEL_H_

@@ -1,0 +1,50 @@
+#include "onex/gen/electricity.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "onex/common/random.h"
+#include "onex/common/string_utils.h"
+
+namespace onex::gen {
+
+Dataset MakeElectricityLoad(const ElectricityOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds(options.name);
+  const double spd = static_cast<double>(options.samples_per_day);
+  for (std::size_t h = 0; h < options.num_households; ++h) {
+    // Per-household phase offsets: households differ in habits, not physics.
+    const double morning = rng.Uniform(6.0, 9.0);
+    const double evening = rng.Uniform(17.0, 21.0);
+    const double habit_scale = rng.Uniform(0.8, 1.2);
+    std::vector<double> vals;
+    vals.reserve(options.length);
+    for (std::size_t i = 0; i < options.length; ++i) {
+      const double day = static_cast<double>(i) / spd;
+      const double hour = std::fmod(static_cast<double>(i), spd) / spd * 24.0;
+      // Daily: two Gaussian bumps at the morning and evening peaks.
+      const double daily =
+          options.daily_amplitude *
+          (std::exp(-0.5 * std::pow((hour - morning) / 1.5, 2)) +
+           1.3 * std::exp(-0.5 * std::pow((hour - evening) / 2.0, 2)));
+      // Weekly: weekends run flatter and slightly higher at midday.
+      const int dow = static_cast<int>(day) % 7;
+      const double weekly =
+          options.weekly_amplitude * ((dow == 5 || dow == 6) ? 1.0 : 0.0) *
+          std::exp(-0.5 * std::pow((hour - 13.0) / 3.0, 2));
+      // Annual: winter heating + summer cooling humps.
+      const double year_frac = day / 365.0;
+      const double annual =
+          options.annual_amplitude *
+          (0.6 * std::cos(2.0 * std::numbers::pi * year_frac) +
+           0.4 * std::cos(4.0 * std::numbers::pi * year_frac));
+      vals.push_back(options.base_load +
+                     habit_scale * (daily + weekly) + annual +
+                     rng.Gaussian(0.0, options.noise_stddev));
+    }
+    ds.Add(TimeSeries(StrFormat("household_%zu", h), std::move(vals)));
+  }
+  return ds;
+}
+
+}  // namespace onex::gen

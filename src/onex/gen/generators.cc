@@ -1,0 +1,154 @@
+#include "onex/gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "onex/common/string_utils.h"
+
+namespace onex::gen {
+namespace {
+
+/// Smooth monotone time distortion on [0,1]: identity plus a few random
+/// sinusoidal bumps, clamped so the slope stays positive.
+class TimeWarp {
+ public:
+  TimeWarp(Rng* rng, double intensity) {
+    for (int k = 1; k <= 3; ++k) {
+      amps_.push_back(rng->Uniform(-intensity, intensity) /
+                      (std::numbers::pi * k * 2.0));
+      phases_.push_back(rng->Uniform(0.0, 2.0 * std::numbers::pi));
+    }
+  }
+
+  /// Maps t in [0,1] to a warped position in [0,1], monotone by construction
+  /// (derivative >= 1 - sum |amp|*2*pi*k > 0 for intensity < 1).
+  double operator()(double t) const {
+    double out = t;
+    for (std::size_t k = 0; k < amps_.size(); ++k) {
+      const double freq = 2.0 * std::numbers::pi * static_cast<double>(k + 1);
+      out += amps_[k] * (std::sin(freq * t + phases_[k]) - std::sin(phases_[k]));
+    }
+    return std::clamp(out, 0.0, 1.0);
+  }
+
+ private:
+  std::vector<double> amps_;
+  std::vector<double> phases_;
+};
+
+/// Linear interpolation into a template sampled at `n` points.
+double SampleTemplate(const std::vector<double>& tpl, double t) {
+  const double pos = t * static_cast<double>(tpl.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, tpl.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return tpl[lo] * (1.0 - frac) + tpl[hi] * frac;
+}
+
+/// Classic cylinder-bell-funnel style templates plus a ramp, all on [0,1].
+std::vector<double> MakeTemplate(std::size_t shape, std::size_t n, Rng* rng) {
+  std::vector<double> tpl(n, 0.0);
+  const std::size_t a = n / 8 + rng->UniformIndex(n / 8 + 1);
+  const std::size_t b = n - n / 8 - rng->UniformIndex(n / 8 + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    switch (shape % 4) {
+      case 0:  // cylinder: plateau between a and b
+        tpl[i] = (i >= a && i <= b) ? 1.0 : 0.0;
+        break;
+      case 1:  // bell: linear rise across [a, b]
+        tpl[i] = (i >= a && i <= b)
+                     ? static_cast<double>(i - a) /
+                           std::max<std::size_t>(1, b - a)
+                     : 0.0;
+        break;
+      case 2:  // funnel: linear fall across [a, b]
+        tpl[i] = (i >= a && i <= b)
+                     ? static_cast<double>(b - i) /
+                           std::max<std::size_t>(1, b - a)
+                     : 0.0;
+        break;
+      default:  // smooth ramp + dip
+        tpl[i] = t * t - 0.5 * std::sin(3.0 * std::numbers::pi * t);
+        break;
+    }
+  }
+  return tpl;
+}
+
+}  // namespace
+
+Dataset MakeRandomWalks(const RandomWalkOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds(options.name);
+  for (std::size_t s = 0; s < options.num_series; ++s) {
+    std::vector<double> vals;
+    vals.reserve(options.length);
+    double v = options.start_value;
+    for (std::size_t i = 0; i < options.length; ++i) {
+      v += rng.Gaussian(0.0, options.step_stddev);
+      vals.push_back(v);
+    }
+    ds.Add(TimeSeries(StrFormat("%s_%zu", options.name.c_str(), s),
+                      std::move(vals)));
+  }
+  return ds;
+}
+
+Dataset MakeSineFamilies(const SineFamilyOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds(options.name);
+  struct Shape {
+    double freq, phase, amp;
+  };
+  std::vector<Shape> shapes;
+  for (std::size_t k = 0; k < options.num_shapes; ++k) {
+    shapes.push_back({rng.Uniform(1.0, 4.0), rng.Uniform(0.0, 2.0 * std::numbers::pi),
+                      rng.Uniform(0.5, 1.5)});
+  }
+  for (std::size_t s = 0; s < options.num_series; ++s) {
+    const std::size_t k = s % std::max<std::size_t>(1, options.num_shapes);
+    const Shape& sh = shapes[k];
+    std::vector<double> vals;
+    vals.reserve(options.length);
+    for (std::size_t i = 0; i < options.length; ++i) {
+      const double t =
+          static_cast<double>(i) / static_cast<double>(options.length - 1);
+      vals.push_back(sh.amp * std::sin(2.0 * std::numbers::pi * sh.freq * t +
+                                       sh.phase) +
+                     rng.Gaussian(0.0, options.noise_stddev));
+    }
+    ds.Add(TimeSeries(StrFormat("%s_%zu", options.name.c_str(), s),
+                      std::move(vals), StrFormat("%zu", k)));
+  }
+  return ds;
+}
+
+Dataset MakeWarpedShapes(const WarpedShapeOptions& options) {
+  Rng rng(options.seed);
+  Dataset ds(options.name);
+  std::vector<std::vector<double>> templates;
+  Rng tpl_rng = options.template_seed == 0 ? rng.Fork()
+                                           : Rng(options.template_seed);
+  for (std::size_t k = 0; k < options.num_shapes; ++k) {
+    templates.push_back(MakeTemplate(k, options.length, &tpl_rng));
+  }
+  for (std::size_t s = 0; s < options.num_series; ++s) {
+    const std::size_t k = s % std::max<std::size_t>(1, options.num_shapes);
+    TimeWarp warp(&rng, options.warp_intensity);
+    std::vector<double> vals;
+    vals.reserve(options.length);
+    for (std::size_t i = 0; i < options.length; ++i) {
+      const double t =
+          static_cast<double>(i) / static_cast<double>(options.length - 1);
+      vals.push_back(SampleTemplate(templates[k], warp(t)) +
+                     rng.Gaussian(0.0, options.noise_stddev));
+    }
+    ds.Add(TimeSeries(StrFormat("%s_%zu", options.name.c_str(), s),
+                      std::move(vals), StrFormat("%zu", k)));
+  }
+  return ds;
+}
+
+}  // namespace onex::gen

@@ -1,0 +1,72 @@
+#ifndef ONEX_GEN_GENERATORS_H_
+#define ONEX_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "onex/common/random.h"
+#include "onex/common/result.h"
+#include "onex/ts/dataset.h"
+
+namespace onex::gen {
+
+/// Basic synthetic collections standing in for the UCR archive datasets used
+/// by the paper's timing experiments (DESIGN.md §3). All generators are
+/// deterministic given the seed.
+
+struct RandomWalkOptions {
+  std::size_t num_series = 50;
+  std::size_t length = 100;
+  double step_stddev = 1.0;
+  double start_value = 0.0;
+  std::uint64_t seed = 42;
+  std::string name = "random_walk";
+};
+
+/// Gaussian random walks: the canonical hard case for grouping (little shared
+/// structure), used to measure construction cost and compaction honestly.
+Dataset MakeRandomWalks(const RandomWalkOptions& options);
+
+struct SineFamilyOptions {
+  std::size_t num_series = 50;
+  std::size_t length = 100;
+  /// Series are drawn from `num_shapes` base sinusoids (random frequency and
+  /// phase per shape), plus per-series noise: a clustered collection where
+  /// similarity groups are meaningful.
+  std::size_t num_shapes = 5;
+  double noise_stddev = 0.05;
+  std::uint64_t seed = 42;
+  std::string name = "sine_family";
+};
+
+/// Noisy sinusoid families; labels record the generating shape, giving tests
+/// a clustering ground truth.
+Dataset MakeSineFamilies(const SineFamilyOptions& options);
+
+struct WarpedShapeOptions {
+  std::size_t num_series = 50;
+  std::size_t length = 100;
+  /// Number of distinct base templates.
+  std::size_t num_shapes = 4;
+  /// Maximum local time-warp: each series is the template resampled through a
+  /// smooth monotone time distortion whose slope varies in
+  /// [1-warp_intensity, 1+warp_intensity]. This is the regime where DTW and
+  /// ED disagree, the ingredient of the accuracy experiment E3.
+  double warp_intensity = 0.4;
+  double noise_stddev = 0.02;
+  std::uint64_t seed = 42;
+  /// Seed of the template shapes themselves. Two datasets generated with the
+  /// same template_seed but different `seed`s contain fresh warped instances
+  /// of the SAME shapes — the query-vs-corpus setup of the accuracy
+  /// experiment (E3). 0 derives the templates from `seed`.
+  std::uint64_t template_seed = 0;
+  std::string name = "warped_shapes";
+};
+
+/// Time-warped instances of shared templates (cylinder / bell / funnel /
+/// ramp). Labels record the template.
+Dataset MakeWarpedShapes(const WarpedShapeOptions& options);
+
+}  // namespace onex::gen
+
+#endif  // ONEX_GEN_GENERATORS_H_

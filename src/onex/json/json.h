@@ -1,0 +1,96 @@
+#ifndef ONEX_JSON_JSON_H_
+#define ONEX_JSON_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "onex/common/result.h"
+
+namespace onex::json {
+
+/// Minimal JSON document model used by the server protocol and the chart
+/// exporters. Supports the full JSON grammar; numbers are doubles (the only
+/// numeric type ONEX emits). Object keys keep insertion order out of scope —
+/// std::map gives deterministic (sorted) serialization, which the tests rely
+/// on.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}            // NOLINT
+  Value(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Value(double d) : type_(Type::kNumber), number_(d) {}    // NOLINT
+  Value(int i) : type_(Type::kNumber), number_(i) {}       // NOLINT
+  Value(std::size_t i)                                     // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  static Value MakeArray() { return Value(Array{}); }
+  static Value MakeObject() { return Value(Object{}); }
+  /// Converts a numeric span/vector in one call: Value::NumberArray(xs).
+  static Value NumberArray(const std::vector<double>& xs);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error with a
+  /// defined fallback (false / 0.0 / empty) rather than UB.
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  double as_number() const { return is_number() ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  const Object& as_object() const { return object_; }
+  Array& mutable_array() { return array_; }
+  Object& mutable_object() { return object_; }
+
+  /// Object field access; returns a shared null for missing keys.
+  const Value& operator[](const std::string& key) const;
+  /// Array element access; returns a shared null when out of range.
+  const Value& operator[](std::size_t index) const;
+
+  void Set(const std::string& key, Value v) {
+    object_[key] = std::move(v);
+  }
+  void Append(Value v) { array_.push_back(std::move(v)); }
+
+  /// Compact serialization (no whitespace). `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Strict parser: rejects trailing garbage, invalid escapes, bad numbers.
+/// Depth-limited to keep adversarial inputs from overflowing the stack.
+Result<Value> Parse(std::string_view text);
+
+/// JSON string escaping (used directly by the streaming exporters).
+std::string EscapeString(std::string_view s);
+
+}  // namespace onex::json
+
+#endif  // ONEX_JSON_JSON_H_

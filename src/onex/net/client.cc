@@ -1,0 +1,29 @@
+#include "onex/net/client.h"
+
+namespace onex::net {
+
+Result<OnexClient> OnexClient::Connect(const std::string& host,
+                                       std::uint16_t port) {
+  ONEX_ASSIGN_OR_RETURN(Socket sock, ConnectTcp(host, port));
+  OnexClient client;
+  client.socket_ = std::make_unique<Socket>(std::move(sock));
+  client.reader_ = std::make_unique<LineReader>(client.socket_.get());
+  return client;
+}
+
+Result<json::Value> OnexClient::Call(const std::string& command_line) {
+  if (socket_ == nullptr || !socket_->valid()) {
+    return Status::IoError("client is not connected");
+  }
+  std::string line = command_line;
+  if (line.empty() || line.back() != '\n') line += '\n';
+  ONEX_RETURN_IF_ERROR(socket_->SendAll(line));
+  ONEX_ASSIGN_OR_RETURN(std::string response, reader_->ReadLine());
+  return json::Parse(response);
+}
+
+void OnexClient::Close() {
+  if (socket_ != nullptr) socket_->Close();
+}
+
+}  // namespace onex::net

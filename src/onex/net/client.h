@@ -1,0 +1,37 @@
+#ifndef ONEX_NET_CLIENT_H_
+#define ONEX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "onex/common/result.h"
+#include "onex/json/json.h"
+#include "onex/net/socket.h"
+
+namespace onex::net {
+
+/// Synchronous client for the ONEX line protocol — what the demo's browser
+/// front-end would be. One command in flight at a time.
+class OnexClient {
+ public:
+  static Result<OnexClient> Connect(const std::string& host,
+                                    std::uint16_t port);
+
+  /// Sends one protocol line and parses the JSON response. A transport
+  /// failure returns IoError; a server-side error returns the decoded
+  /// {"ok":false} payload (callers check ["ok"]).
+  Result<json::Value> Call(const std::string& command_line);
+
+  void Close();
+
+ private:
+  OnexClient() = default;
+
+  std::unique_ptr<Socket> socket_;
+  std::unique_ptr<LineReader> reader_;
+};
+
+}  // namespace onex::net
+
+#endif  // ONEX_NET_CLIENT_H_

@@ -1,0 +1,459 @@
+#include "onex/net/protocol.h"
+
+#include <algorithm>
+
+#include "onex/common/string_utils.h"
+#include "onex/gen/economic_panel.h"
+#include "onex/gen/electricity.h"
+#include "onex/gen/generators.h"
+
+namespace onex::net {
+namespace {
+
+/// Typed option lookups with defaults.
+Result<long long> OptInt(const Command& cmd, const std::string& key,
+                         long long fallback) {
+  const auto it = cmd.options.find(key);
+  if (it == cmd.options.end()) return fallback;
+  return ParseInt(it->second);
+}
+
+Result<double> OptDouble(const Command& cmd, const std::string& key,
+                         double fallback) {
+  const auto it = cmd.options.find(key);
+  if (it == cmd.options.end()) return fallback;
+  return ParseDouble(it->second);
+}
+
+std::string OptString(const Command& cmd, const std::string& key,
+                      const std::string& fallback) {
+  const auto it = cmd.options.find(key);
+  return it == cmd.options.end() ? fallback : it->second;
+}
+
+Status NeedArgs(const Command& cmd, std::size_t n) {
+  if (cmd.args.size() < n) {
+    return Status::InvalidArgument(StrFormat(
+        "%s needs %zu positional argument(s), got %zu", cmd.verb.c_str(), n,
+        cmd.args.size()));
+  }
+  return Status::OK();
+}
+
+json::Value Ok() {
+  json::Value v = json::Value::MakeObject();
+  v.Set("ok", true);
+  return v;
+}
+
+/// Parses "series:start:len" into a QuerySpec.
+Result<QuerySpec> ParseQueryRef(const std::string& text) {
+  const std::vector<std::string> parts = SplitKeepEmpty(text, ':');
+  if (parts.size() != 3) {
+    return Status::ParseError("query must be <series>:<start>:<len>, got '" +
+                              text + "'");
+  }
+  QuerySpec spec;
+  ONEX_ASSIGN_OR_RETURN(long long series, ParseInt(parts[0]));
+  ONEX_ASSIGN_OR_RETURN(long long start, ParseInt(parts[1]));
+  ONEX_ASSIGN_OR_RETURN(long long len, ParseInt(parts[2]));
+  if (series < 0 || start < 0 || len < 0) {
+    return Status::InvalidArgument("query fields must be non-negative");
+  }
+  spec.series = static_cast<std::size_t>(series);
+  spec.start = static_cast<std::size_t>(start);
+  spec.length = static_cast<std::size_t>(len);
+  return spec;
+}
+
+json::Value MatchToJson(const MatchResult& r) {
+  json::Value m = json::Value::MakeObject();
+  m.Set("series", r.match.ref.series);
+  m.Set("series_name", r.matched_series_name);
+  m.Set("start", r.match.ref.start);
+  m.Set("length", r.match.ref.length);
+  m.Set("dtw", r.match.dtw);
+  m.Set("normalized_dtw", r.match.normalized_dtw);
+  m.Set("rep_dtw", r.match.normalized_rep_dtw);
+  m.Set("group", r.match.group_index);
+  m.Set("elapsed_ms", r.elapsed_ms);
+  json::Value links = json::Value::MakeArray();
+  for (const auto& [i, j] : r.match.path) {
+    json::Value pair = json::Value::MakeArray();
+    pair.Append(json::Value(i));
+    pair.Append(json::Value(j));
+    links.Append(std::move(pair));
+  }
+  m.Set("path", std::move(links));
+  return m;
+}
+
+Result<json::Value> DoGen(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
+  const std::string& name = cmd.args[0];
+  const std::string kind = ToLower(cmd.args[1]);
+  ONEX_ASSIGN_OR_RETURN(long long num, OptInt(cmd, "num", 50));
+  ONEX_ASSIGN_OR_RETURN(long long len, OptInt(cmd, "len", 100));
+  ONEX_ASSIGN_OR_RETURN(long long seed, OptInt(cmd, "seed", 42));
+  if (num <= 0 || len < 2) {
+    return Status::InvalidArgument("num must be > 0 and len >= 2");
+  }
+
+  Dataset ds;
+  if (kind == "walk") {
+    gen::RandomWalkOptions opt;
+    opt.num_series = static_cast<std::size_t>(num);
+    opt.length = static_cast<std::size_t>(len);
+    opt.seed = static_cast<std::uint64_t>(seed);
+    ds = gen::MakeRandomWalks(opt);
+  } else if (kind == "sine") {
+    gen::SineFamilyOptions opt;
+    opt.num_series = static_cast<std::size_t>(num);
+    opt.length = static_cast<std::size_t>(len);
+    opt.seed = static_cast<std::uint64_t>(seed);
+    ds = gen::MakeSineFamilies(opt);
+  } else if (kind == "shapes") {
+    gen::WarpedShapeOptions opt;
+    opt.num_series = static_cast<std::size_t>(num);
+    opt.length = static_cast<std::size_t>(len);
+    opt.seed = static_cast<std::uint64_t>(seed);
+    ds = gen::MakeWarpedShapes(opt);
+  } else if (kind == "electricity") {
+    gen::ElectricityOptions opt;
+    opt.num_households = static_cast<std::size_t>(num);
+    opt.length = static_cast<std::size_t>(len);
+    opt.seed = static_cast<std::uint64_t>(seed);
+    ds = gen::MakeElectricityLoad(opt);
+  } else if (kind == "economic") {
+    gen::EconomicPanelOptions opt;
+    opt.years = static_cast<std::size_t>(len);
+    opt.seed = static_cast<std::uint64_t>(seed);
+    ds = gen::MakeEconomicPanel(opt);
+  } else {
+    return Status::InvalidArgument("unknown generator kind: '" + kind + "'");
+  }
+  ONEX_RETURN_IF_ERROR(engine->LoadDataset(name, std::move(ds)));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  return v;
+}
+
+Result<json::Value> DoPrepare(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  BaseBuildOptions opt;
+  ONEX_ASSIGN_OR_RETURN(opt.st, OptDouble(cmd, "st", opt.st));
+  ONEX_ASSIGN_OR_RETURN(long long minlen, OptInt(cmd, "minlen", 4));
+  ONEX_ASSIGN_OR_RETURN(long long maxlen, OptInt(cmd, "maxlen", 0));
+  ONEX_ASSIGN_OR_RETURN(long long lenstep, OptInt(cmd, "lenstep", 1));
+  ONEX_ASSIGN_OR_RETURN(long long stride, OptInt(cmd, "stride", 1));
+  if (minlen < 2 || maxlen < 0 || lenstep < 1 || stride < 1) {
+    return Status::InvalidArgument("invalid scoping options");
+  }
+  opt.min_length = static_cast<std::size_t>(minlen);
+  opt.max_length = static_cast<std::size_t>(maxlen);
+  opt.length_step = static_cast<std::size_t>(lenstep);
+  opt.stride = static_cast<std::size_t>(stride);
+
+  const std::string policy = OptString(cmd, "policy", "running-mean");
+  if (policy == "fixed-leader") {
+    opt.centroid_policy = CentroidPolicy::kFixedLeader;
+  } else if (policy == "running-mean") {
+    opt.centroid_policy = CentroidPolicy::kRunningMean;
+  } else if (policy == "running-mean-repair") {
+    opt.centroid_policy = CentroidPolicy::kRunningMeanRepair;
+  } else {
+    return Status::InvalidArgument("unknown centroid policy: '" + policy + "'");
+  }
+
+  ONEX_ASSIGN_OR_RETURN(
+      NormalizationKind norm,
+      NormalizationKindFromString(OptString(cmd, "norm", "minmax-dataset")));
+  ONEX_RETURN_IF_ERROR(engine->Prepare(cmd.args[0], opt, norm));
+
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        engine->Get(cmd.args[0]));
+  json::Value v = Ok();
+  v.Set("dataset", cmd.args[0]);
+  v.Set("groups", ds->base->stats().num_groups);
+  v.Set("subsequences", ds->base->stats().num_subsequences);
+  v.Set("length_classes", ds->base->stats().num_length_classes);
+  v.Set("compaction", ds->base->stats().CompactionRatio());
+  v.Set("build_seconds", ds->base->stats().build_seconds);
+  return v;
+}
+
+Result<json::Value> DoStats(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        engine->Get(cmd.args[0]));
+  json::Value v = Ok();
+  v.Set("dataset", ds->name);
+  v.Set("series", ds->raw->size());
+  v.Set("total_points", ds->raw->TotalPoints());
+  v.Set("min_length", ds->raw->MinLength());
+  v.Set("max_length", ds->raw->MaxLength());
+  v.Set("prepared", ds->prepared());
+  if (ds->prepared()) {
+    v.Set("groups", ds->base->stats().num_groups);
+    v.Set("subsequences", ds->base->stats().num_subsequences);
+    v.Set("st", ds->build_options.st);
+    v.Set("normalization", NormalizationKindToString(ds->norm_kind));
+  }
+  return v;
+}
+
+Result<json::Value> DoMatch(Engine* engine, const Command& cmd, bool knn) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  const auto qit = cmd.options.find("q");
+  if (qit == cmd.options.end()) {
+    return Status::InvalidArgument("missing q=<series>:<start>:<len>");
+  }
+  ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(qit->second));
+  QueryOptions qopt;
+  ONEX_ASSIGN_OR_RETURN(long long window, OptInt(cmd, "window", -1));
+  ONEX_ASSIGN_OR_RETURN(long long topg, OptInt(cmd, "topgroups", 1));
+  ONEX_ASSIGN_OR_RETURN(long long exhaustive, OptInt(cmd, "exhaustive", 0));
+  qopt.window = static_cast<int>(window);
+  qopt.explore_top_groups = topg < 1 ? 1 : static_cast<std::size_t>(topg);
+  qopt.exhaustive = exhaustive != 0;
+
+  json::Value v = Ok();
+  if (knn) {
+    ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 3));
+    if (k < 1) return Status::InvalidArgument("k must be >= 1");
+    ONEX_ASSIGN_OR_RETURN(
+        std::vector<MatchResult> results,
+        engine->Knn(cmd.args[0], spec, static_cast<std::size_t>(k), qopt));
+    json::Value arr = json::Value::MakeArray();
+    for (const MatchResult& r : results) arr.Append(MatchToJson(r));
+    v.Set("matches", std::move(arr));
+  } else {
+    ONEX_ASSIGN_OR_RETURN(MatchResult r,
+                          engine->SimilaritySearch(cmd.args[0], spec, qopt));
+    v.Set("match", MatchToJson(r));
+  }
+  return v;
+}
+
+Result<json::Value> DoSeasonal(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  ONEX_ASSIGN_OR_RETURN(long long series, OptInt(cmd, "series", 0));
+  ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
+  ONEX_ASSIGN_OR_RETURN(long long minocc, OptInt(cmd, "minocc", 2));
+  ONEX_ASSIGN_OR_RETURN(long long top, OptInt(cmd, "top", 5));
+  if (series < 0 || length < 0 || minocc < 2 || top < 0) {
+    return Status::InvalidArgument("invalid seasonal options");
+  }
+  SeasonalOptions opt;
+  opt.length = static_cast<std::size_t>(length);
+  opt.min_occurrences = static_cast<std::size_t>(minocc);
+  opt.top_k = static_cast<std::size_t>(top);
+  ONEX_ASSIGN_OR_RETURN(
+      std::vector<SeasonalPattern> patterns,
+      engine->Seasonal(cmd.args[0], static_cast<std::size_t>(series), opt));
+  json::Value v = Ok();
+  json::Value arr = json::Value::MakeArray();
+  for (const SeasonalPattern& p : patterns) {
+    json::Value row = json::Value::MakeObject();
+    row.Set("length", p.length);
+    row.Set("occurrences", p.occurrences.size());
+    row.Set("typical_gap", p.typical_gap);
+    row.Set("cohesion", p.cohesion);
+    json::Value occ = json::Value::MakeArray();
+    for (const SubseqRef& r : p.occurrences) occ.Append(json::Value(r.start));
+    row.Set("starts", std::move(occ));
+    arr.Append(std::move(row));
+  }
+  v.Set("patterns", std::move(arr));
+  return v;
+}
+
+Result<json::Value> DoOverview(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
+  ONEX_ASSIGN_OR_RETURN(long long top, OptInt(cmd, "top", 12));
+  if (length < 0 || top < 0) {
+    return Status::InvalidArgument("invalid overview options");
+  }
+  OverviewOptions opt;
+  opt.length = static_cast<std::size_t>(length);
+  opt.top_n = static_cast<std::size_t>(top);
+  ONEX_ASSIGN_OR_RETURN(std::vector<OverviewEntry> entries,
+                        engine->Overview(cmd.args[0], opt));
+  json::Value v = Ok();
+  v.Set("overview", viz::BuildOverviewPane(entries).ToJson());
+  return v;
+}
+
+Result<json::Value> DoThreshold(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  ThresholdAdvisorOptions opt;
+  ONEX_ASSIGN_OR_RETURN(long long pairs, OptInt(cmd, "pairs", 2000));
+  ONEX_ASSIGN_OR_RETURN(long long minlen, OptInt(cmd, "minlen", 4));
+  ONEX_ASSIGN_OR_RETURN(long long maxlen, OptInt(cmd, "maxlen", 0));
+  if (pairs < 1 || minlen < 2 || maxlen < 0) {
+    return Status::InvalidArgument("invalid threshold options");
+  }
+  opt.sample_pairs = static_cast<std::size_t>(pairs);
+  opt.min_length = static_cast<std::size_t>(minlen);
+  opt.max_length = static_cast<std::size_t>(maxlen);
+  ONEX_ASSIGN_OR_RETURN(ThresholdReport report,
+                        engine->RecommendThresholds(cmd.args[0], opt));
+  json::Value v = Ok();
+  json::Value arr = json::Value::MakeArray();
+  for (const ThresholdRecommendation& r : report.recommendations) {
+    json::Value row = json::Value::MakeObject();
+    row.Set("st", r.st);
+    row.Set("percentile", r.percentile);
+    arr.Append(std::move(row));
+  }
+  v.Set("recommendations", std::move(arr));
+  v.Set("median_distance", report.median_distance);
+  v.Set("pairs_sampled", report.pairs_sampled);
+  return v;
+}
+
+Result<json::Value> DoAppend(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  const auto vit = cmd.options.find("v");
+  if (vit == cmd.options.end()) {
+    return Status::InvalidArgument("missing v=<comma-separated values>");
+  }
+  std::vector<double> values;
+  for (const std::string& token : SplitKeepEmpty(vit->second, ',')) {
+    ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+    values.push_back(v);
+  }
+  const std::string sname = OptString(cmd, "series", "appended");
+  ONEX_RETURN_IF_ERROR(
+      engine->AppendSeries(cmd.args[0], TimeSeries(sname, std::move(values))));
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        engine->Get(cmd.args[0]));
+  json::Value v = Ok();
+  v.Set("dataset", cmd.args[0]);
+  v.Set("series", ds->raw->size());
+  if (ds->prepared()) v.Set("groups", ds->base->stats().num_groups);
+  return v;
+}
+
+Result<json::Value> Dispatch(Engine* engine, const Command& cmd) {
+  if (cmd.verb == "PING") {
+    json::Value v = Ok();
+    v.Set("pong", true);
+    return v;
+  }
+  if (cmd.verb == "LIST") {
+    json::Value v = Ok();
+    json::Value arr = json::Value::MakeArray();
+    for (const std::string& name : engine->ListDatasets()) {
+      arr.Append(json::Value(name));
+    }
+    v.Set("datasets", std::move(arr));
+    return v;
+  }
+  if (cmd.verb == "GEN") return DoGen(engine, cmd);
+  if (cmd.verb == "LOAD") {
+    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
+    ONEX_RETURN_IF_ERROR(engine->LoadUcrFile(cmd.args[0], cmd.args[1]));
+    json::Value v = Ok();
+    v.Set("dataset", cmd.args[0]);
+    return v;
+  }
+  if (cmd.verb == "DROP") {
+    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+    ONEX_RETURN_IF_ERROR(engine->DropDataset(cmd.args[0]));
+    return Ok();
+  }
+  if (cmd.verb == "PREPARE") return DoPrepare(engine, cmd);
+  if (cmd.verb == "APPEND") return DoAppend(engine, cmd);
+  if (cmd.verb == "SAVEBASE") {
+    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
+    ONEX_RETURN_IF_ERROR(engine->SavePrepared(cmd.args[0], cmd.args[1]));
+    json::Value v = Ok();
+    v.Set("path", cmd.args[1]);
+    return v;
+  }
+  if (cmd.verb == "LOADBASE") {
+    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
+    ONEX_RETURN_IF_ERROR(engine->LoadPrepared(cmd.args[0], cmd.args[1]));
+    json::Value v = Ok();
+    v.Set("dataset", cmd.args[0]);
+    return v;
+  }
+  if (cmd.verb == "CATALOG") {
+    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+    ONEX_ASSIGN_OR_RETURN(long long points, OptInt(cmd, "points", 24));
+    if (points < 1) {
+      return Status::InvalidArgument("points must be positive");
+    }
+    ONEX_ASSIGN_OR_RETURN(
+        std::vector<Engine::CatalogEntry> entries,
+        engine->Catalog(cmd.args[0], static_cast<std::size_t>(points)));
+    json::Value v = Ok();
+    json::Value arr = json::Value::MakeArray();
+    for (const Engine::CatalogEntry& e : entries) {
+      json::Value row = json::Value::MakeObject();
+      row.Set("name", e.series_name);
+      row.Set("label", e.label);
+      row.Set("length", e.length);
+      row.Set("preview", json::Value::NumberArray(e.preview));
+      arr.Append(std::move(row));
+    }
+    v.Set("series", std::move(arr));
+    return v;
+  }
+  if (cmd.verb == "STATS") return DoStats(engine, cmd);
+  if (cmd.verb == "OVERVIEW") return DoOverview(engine, cmd);
+  if (cmd.verb == "MATCH") return DoMatch(engine, cmd, /*knn=*/false);
+  if (cmd.verb == "KNN") return DoMatch(engine, cmd, /*knn=*/true);
+  if (cmd.verb == "SEASONAL") return DoSeasonal(engine, cmd);
+  if (cmd.verb == "THRESHOLD") return DoThreshold(engine, cmd);
+  if (cmd.verb == "QUIT") {
+    json::Value v = Ok();
+    v.Set("bye", true);
+    return v;
+  }
+  return Status::InvalidArgument("unknown command: '" + cmd.verb + "'");
+}
+
+}  // namespace
+
+Result<Command> ParseCommandLine(const std::string& line) {
+  const std::vector<std::string> tokens = SplitString(TrimString(line));
+  if (tokens.empty()) {
+    return Status::ParseError("empty command line");
+  }
+  Command cmd;
+  cmd.verb = tokens[0];
+  std::transform(cmd.verb.begin(), cmd.verb.end(), cmd.verb.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      cmd.args.push_back(tokens[i]);
+    } else {
+      cmd.options[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+  }
+  return cmd;
+}
+
+json::Value ErrorResponse(const Status& status) {
+  json::Value v = json::Value::MakeObject();
+  v.Set("ok", false);
+  v.Set("error", status.message());
+  v.Set("code", StatusCodeToString(status.code()));
+  return v;
+}
+
+json::Value ExecuteCommand(Engine* engine, const Command& command) {
+  Result<json::Value> result = Dispatch(engine, command);
+  if (!result.ok()) return ErrorResponse(result.status());
+  return std::move(result).value();
+}
+
+std::string FormatResponse(const json::Value& response) {
+  return response.Dump() + "\n";
+}
+
+}  // namespace onex::net

@@ -1,0 +1,62 @@
+#ifndef ONEX_NET_PROTOCOL_H_
+#define ONEX_NET_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/engine/engine.h"
+#include "onex/json/json.h"
+
+namespace onex::net {
+
+/// The wire protocol the ONEX server speaks: one command per line, one JSON
+/// response per line — the minimal stand-in for the demo's HTTP/JSON web
+/// API. Commands are a verb, positional arguments and key=value options:
+///
+///   PING
+///   LIST
+///   GEN <name> <kind> [num=50] [len=100] [seed=42]   kind: walk|sine|shapes|
+///                                                    electricity|economic
+///   LOAD <name> <path>                               UCR-format file
+///   DROP <name>
+///   PREPARE <name> [st=0.2] [minlen=4] [maxlen=0] [lenstep=1] [stride=1]
+///                  [norm=minmax-dataset] [policy=running-mean]
+///   APPEND <name> v=<v1,v2,...> [series=appended]    incremental insert
+///   SAVEBASE <name> <path>                           persist prepared state
+///   LOADBASE <name> <path>                           restore prepared state
+///   STATS <name>
+///   CATALOG <name> [points=24]                      series list + previews
+///   OVERVIEW <name> [length=0] [top=12]
+///   MATCH <name> q=<series>:<start>:<len> [window=-1] [topgroups=1]
+///                [exhaustive=0]
+///   KNN <name> q=<series>:<start>:<len> [k=3] [window=-1] [exhaustive=0]
+///   SEASONAL <name> series=<idx> [length=0] [minocc=2] [top=5]
+///   THRESHOLD <name> [pairs=2000] [minlen=4] [maxlen=0]
+///   QUIT
+///
+/// Responses: {"ok":true, ...payload...} or {"ok":false,"error":"...",
+/// "code":"..."} — always a single line.
+struct Command {
+  std::string verb;  ///< Upper-cased.
+  std::vector<std::string> args;
+  std::map<std::string, std::string> options;
+};
+
+/// Splits a protocol line; ParseError on empty input or malformed k=v.
+Result<Command> ParseCommandLine(const std::string& line);
+
+/// Runs one command against the engine. Never fails — errors become
+/// {"ok":false,...} payloads, so one bad command cannot kill a session.
+json::Value ExecuteCommand(Engine* engine, const Command& command);
+
+/// Serializes a response (single line + '\n').
+std::string FormatResponse(const json::Value& response);
+
+/// Convenience: error payload with a status.
+json::Value ErrorResponse(const Status& status);
+
+}  // namespace onex::net
+
+#endif  // ONEX_NET_PROTOCOL_H_

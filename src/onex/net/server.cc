@@ -1,0 +1,79 @@
+#include "onex/net/server.h"
+
+#include "onex/common/logging.h"
+#include "onex/net/protocol.h"
+
+namespace onex::net {
+
+Status OnexServer::Start(std::uint16_t port) {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  ONEX_ASSIGN_OR_RETURN(listener_, ServerSocket::Listen(port));
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ONEX_LOG(kInfo) << "onexd listening on 127.0.0.1:" << listener_.port();
+  return Status::OK();
+}
+
+void OnexServer::Stop() {
+  if (!running_.exchange(false)) return;
+  listener_.Close();  // unblocks accept()
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::weak_ptr<Socket>& weak : live_sockets_) {
+      if (const std::shared_ptr<Socket> sock = weak.lock()) {
+        sock->Shutdown();  // unblocks recv()
+      }
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers.swap(workers_);
+    live_sockets_.clear();
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void OnexServer::AcceptLoop() {
+  while (running_.load()) {
+    Result<Socket> conn = listener_.Accept();
+    if (!conn.ok()) {
+      // Listener closed during Stop(): normal shutdown path.
+      if (running_.load()) {
+        ONEX_LOG(kWarning) << "accept failed: " << conn.status().ToString();
+      }
+      return;
+    }
+    auto socket = std::make_shared<Socket>(std::move(conn).value());
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load()) return;
+    live_sockets_.push_back(socket);
+    workers_.emplace_back(
+        [this, socket = std::move(socket)] { ServeConnection(socket); });
+  }
+}
+
+void OnexServer::ServeConnection(std::shared_ptr<Socket> socket) {
+  LineReader reader(socket.get());
+  while (running_.load()) {
+    Result<std::string> line = reader.ReadLine();
+    if (!line.ok()) return;  // client hung up (or server stopping)
+    if (TrimString(*line).empty()) continue;
+
+    Result<Command> cmd = ParseCommandLine(*line);
+    json::Value response = cmd.ok() ? ExecuteCommand(engine_, *cmd)
+                                    : ErrorResponse(cmd.status());
+    if (!socket->SendAll(FormatResponse(response)).ok()) return;
+    if (cmd.ok() && cmd->verb == "QUIT") {
+      socket->Shutdown();
+      return;
+    }
+  }
+}
+
+}  // namespace onex::net

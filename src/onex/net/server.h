@@ -1,0 +1,60 @@
+#ifndef ONEX_NET_SERVER_H_
+#define ONEX_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/engine/engine.h"
+#include "onex/net/socket.h"
+
+namespace onex::net {
+
+/// The ONEX analytics server: accepts loopback TCP clients, runs the line
+/// protocol against a shared Engine, one thread per connection. This is the
+/// substitute for the demo's web server tier (DESIGN.md §3): the engine
+/// provides "near real-time responsiveness to the analyst exploring the
+/// data via a client-server architecture".
+class OnexServer {
+ public:
+  /// The engine must outlive the server. Does not take ownership: several
+  /// servers (or in-process callers) may share one engine.
+  explicit OnexServer(Engine* engine) : engine_(engine) {}
+  ~OnexServer() { Stop(); }
+
+  OnexServer(const OnexServer&) = delete;
+  OnexServer& operator=(const OnexServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  Status Start(std::uint16_t port = 0);
+
+  /// Bound port, valid after Start().
+  std::uint16_t port() const { return listener_.port(); }
+
+  bool running() const { return running_.load(); }
+
+  /// Stops accepting, closes live connections, joins every thread. Safe to
+  /// call twice.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Socket> socket);
+
+  Engine* engine_;
+  ServerSocket listener_;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<std::weak_ptr<Socket>> live_sockets_;
+};
+
+}  // namespace onex::net
+
+#endif  // ONEX_NET_SERVER_H_

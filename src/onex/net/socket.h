@@ -1,0 +1,102 @@
+#ifndef ONEX_NET_SOCKET_H_
+#define ONEX_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "onex/common/result.h"
+
+namespace onex::net {
+
+/// Move-only RAII wrapper over a connected TCP socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes the whole buffer, retrying on short writes and EINTR.
+  Status SendAll(std::string_view data);
+
+  /// Half-closes the write side then closes; unblocks a peer's read.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Buffered line reader over a Socket: the protocol is newline-delimited.
+class LineReader {
+ public:
+  explicit LineReader(Socket* socket) : socket_(socket) {}
+
+  /// Next '\n'-terminated line (terminator stripped, trailing '\r' too).
+  /// IoError on EOF with no pending data ("connection closed").
+  Result<std::string> ReadLine();
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Client-side connect to host:port ("127.0.0.1" etc.; no DNS needed for
+/// the loopback deployments this library targets).
+Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port);
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port,
+/// readable via port() — tests rely on this.
+class ServerSocket {
+ public:
+  static Result<ServerSocket> Listen(std::uint16_t port);
+
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+  ServerSocket(ServerSocket&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  ServerSocket& operator=(ServerSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects; IoError once Close() has been called.
+  Result<Socket> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace onex::net
+
+#endif  // ONEX_NET_SOCKET_H_

@@ -1,0 +1,110 @@
+#include "onex/ts/csv_io.h"
+
+#include <fstream>
+
+#include "onex/common/string_utils.h"
+
+namespace onex {
+
+Result<Dataset> ReadCsvPanelStream(std::istream& in,
+                                   const std::string& dataset_name,
+                                   const CsvPanelReadOptions& options) {
+  Dataset ds(dataset_name);
+  std::string line;
+  bool header_pending = options.has_header;
+  std::size_t row = 0;
+  while (std::getline(in, line)) {
+    ++row;
+    const std::string_view trimmed = TrimString(line);
+    if (trimmed.empty()) continue;
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    const std::vector<std::string> cells = SplitKeepEmpty(trimmed, ',');
+    if (cells.size() < 2) {
+      return Status::ParseError(StrFormat(
+          "row %zu of '%s': need an entity name plus at least one value",
+          row, dataset_name.c_str()));
+    }
+    const std::string name(TrimString(cells[0]));
+    if (name.empty()) {
+      return Status::ParseError(
+          StrFormat("row %zu of '%s': empty entity name", row,
+                    dataset_name.c_str()));
+    }
+    std::vector<double> values;
+    values.reserve(cells.size() - 1);
+    for (std::size_t c = 1; c < cells.size(); ++c) {
+      const std::string_view cell = TrimString(cells[c]);
+      if (cell.empty()) {
+        if (!options.allow_missing) {
+          return Status::ParseError(
+              StrFormat("row %zu column %zu of '%s': empty cell "
+                        "(set allow_missing to impute)",
+                        row, c, dataset_name.c_str()));
+        }
+        values.push_back(options.missing_value);
+        continue;
+      }
+      Result<double> v = ParseDouble(cell);
+      if (!v.ok()) {
+        return Status::ParseError(
+            StrFormat("row %zu column %zu of '%s': ", row, c,
+                      dataset_name.c_str()) +
+            v.status().message());
+      }
+      values.push_back(*v);
+    }
+    ds.Add(TimeSeries(name, std::move(values)));
+  }
+  if (ds.empty()) {
+    return Status::ParseError("no data rows in '" + dataset_name + "'");
+  }
+  return ds;
+}
+
+Result<Dataset> ReadCsvPanelFile(const std::string& path,
+                                 const CsvPanelReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return ReadCsvPanelStream(in, name, options);
+}
+
+Status WriteCsvPanelStream(const Dataset& ds, std::ostream& out,
+                           bool write_header) {
+  if (write_header) {
+    out << "name";
+    for (std::size_t i = 0; i < ds.MaxLength(); ++i) out << ',' << i;
+    out << '\n';
+  }
+  for (const TimeSeries& ts : ds.series()) {
+    if (ts.name().find(',') != std::string::npos) {
+      return Status::InvalidArgument("series name '" + ts.name() +
+                                     "' contains a comma");
+    }
+    out << ts.name();
+    for (double v : ts.values()) out << ',' << StrFormat("%.17g", v);
+    out << '\n';
+  }
+  if (!out) return Status::IoError("CSV write failure");
+  return Status::OK();
+}
+
+Status WriteCsvPanelFile(const Dataset& ds, const std::string& path,
+                         bool write_header) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsvPanelStream(ds, out, write_header);
+}
+
+}  // namespace onex

@@ -1,0 +1,42 @@
+#ifndef ONEX_TS_CSV_IO_H_
+#define ONEX_TS_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "onex/common/result.h"
+#include "onex/ts/dataset.h"
+
+namespace onex {
+
+/// Reader/writer for the wide CSV layout economic panels like MATTERS ship
+/// in: a header row of period labels, then one row per entity
+/// ("Massachusetts,2.3,2.5,..."). Complements the UCR reader (ucr_io.h)
+/// whose first column is a class label rather than an entity name.
+struct CsvPanelReadOptions {
+  /// First row holds column labels (years), skipped for values.
+  bool has_header = true;
+  /// Empty cells become this value when allow_missing is set; otherwise a
+  /// row with an empty cell is a ParseError. NaN is not allowed (distances
+  /// would silently break), so gaps must be imputed by the caller's choice
+  /// of constant.
+  bool allow_missing = false;
+  double missing_value = 0.0;
+};
+
+Result<Dataset> ReadCsvPanelStream(std::istream& in,
+                                   const std::string& dataset_name,
+                                   const CsvPanelReadOptions& options = {});
+
+Result<Dataset> ReadCsvPanelFile(const std::string& path,
+                                 const CsvPanelReadOptions& options = {});
+
+/// Writes name,v1,v2,... rows with an optional "name,0,1,2,..." header.
+Status WriteCsvPanelStream(const Dataset& ds, std::ostream& out,
+                           bool write_header = true);
+Status WriteCsvPanelFile(const Dataset& ds, const std::string& path,
+                         bool write_header = true);
+
+}  // namespace onex
+
+#endif  // ONEX_TS_CSV_IO_H_

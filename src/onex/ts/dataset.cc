@@ -1,0 +1,101 @@
+#include "onex/ts/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "onex/common/string_utils.h"
+
+namespace onex {
+
+Result<std::size_t> Dataset::FindByName(const std::string& name) const {
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (series_[i].name() == name) return i;
+  }
+  return Status::NotFound("no series named '" + name + "' in dataset '" +
+                          name_ + "'");
+}
+
+Status Dataset::CheckIndex(std::size_t series_idx) const {
+  if (series_idx >= series_.size()) {
+    return Status::OutOfRange(StrFormat(
+        "series index %zu out of range (dataset '%s' has %zu series)",
+        series_idx, name_.c_str(), series_.size()));
+  }
+  return Status::OK();
+}
+
+Status Dataset::CheckRange(std::size_t series_idx, std::size_t start,
+                           std::size_t len) const {
+  ONEX_RETURN_IF_ERROR(CheckIndex(series_idx));
+  const std::size_t n = series_[series_idx].length();
+  if (len == 0) {
+    return Status::InvalidArgument("subsequence length must be positive");
+  }
+  if (start > n || len > n - start) {
+    return Status::OutOfRange(StrFormat(
+        "range [%zu, %zu) out of bounds for series %zu of length %zu", start,
+        start + len, series_idx, n));
+  }
+  return Status::OK();
+}
+
+Result<std::span<const double>> Dataset::GetSlice(std::size_t series_idx,
+                                                  std::size_t start,
+                                                  std::size_t len) const {
+  ONEX_RETURN_IF_ERROR(CheckRange(series_idx, start, len));
+  return series_[series_idx].Slice(start, len);
+}
+
+std::size_t Dataset::MinLength() const {
+  std::size_t out = std::numeric_limits<std::size_t>::max();
+  for (const TimeSeries& ts : series_) out = std::min(out, ts.length());
+  return series_.empty() ? 0 : out;
+}
+
+std::size_t Dataset::MaxLength() const {
+  std::size_t out = 0;
+  for (const TimeSeries& ts : series_) out = std::max(out, ts.length());
+  return out;
+}
+
+std::size_t Dataset::TotalPoints() const {
+  std::size_t out = 0;
+  for (const TimeSeries& ts : series_) out += ts.length();
+  return out;
+}
+
+std::pair<double, double> Dataset::ValueRange() const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const TimeSeries& ts : series_) {
+    for (double v : ts.values()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      any = true;
+    }
+  }
+  if (!any) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+std::size_t Dataset::CountSubsequences(std::size_t min_len,
+                                       std::size_t max_len,
+                                       std::size_t length_step,
+                                       std::size_t stride) const {
+  if (min_len == 0 || length_step == 0 || stride == 0 || max_len < min_len) {
+    return 0;
+  }
+  std::size_t count = 0;
+  for (const TimeSeries& ts : series_) {
+    const std::size_t n = ts.length();
+    for (std::size_t len = min_len; len <= std::min(max_len, n);
+         len += length_step) {
+      const std::size_t positions = n - len + 1;
+      count += (positions + stride - 1) / stride;
+    }
+  }
+  return count;
+}
+
+}  // namespace onex

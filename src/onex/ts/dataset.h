@@ -1,0 +1,70 @@
+#ifndef ONEX_TS_DATASET_H_
+#define ONEX_TS_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/ts/time_series.h"
+
+namespace onex {
+
+/// An ordered collection of (possibly variable-length) time series; the unit
+/// ONEX loads, normalizes, groups and queries. Series are addressed by index;
+/// names are secondary and need not be unique.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+  Dataset(std::string name, std::vector<TimeSeries> series)
+      : name_(std::move(name)), series_(std::move(series)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return series_.size(); }
+  bool empty() const { return series_.empty(); }
+
+  const TimeSeries& operator[](std::size_t i) const { return series_[i]; }
+  const std::vector<TimeSeries>& series() const { return series_; }
+
+  void Add(TimeSeries ts) { series_.push_back(std::move(ts)); }
+
+  /// Bounds-checked access.
+  Result<std::size_t> FindByName(const std::string& name) const;
+  Status CheckIndex(std::size_t series_idx) const;
+  Status CheckRange(std::size_t series_idx, std::size_t start,
+                    std::size_t len) const;
+
+  /// Span over series `series_idx`, positions [start, start+len).
+  /// The dataset must outlive the span.
+  Result<std::span<const double>> GetSlice(std::size_t series_idx,
+                                           std::size_t start,
+                                           std::size_t len) const;
+
+  std::size_t MinLength() const;
+  std::size_t MaxLength() const;
+  std::size_t TotalPoints() const;
+
+  /// Global extrema over every point of every series (0,0 when empty);
+  /// dataset-wide min-max normalization uses these.
+  std::pair<double, double> ValueRange() const;
+
+  /// Count of subsequences with length in [min_len, max_len] and start
+  /// offsets stepped by `stride`. This is the size of the space the ONEX
+  /// base summarizes (the paper's "huge number of such subsequences").
+  std::size_t CountSubsequences(std::size_t min_len, std::size_t max_len,
+                                std::size_t length_step = 1,
+                                std::size_t stride = 1) const;
+
+ private:
+  std::string name_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_TS_DATASET_H_

@@ -1,0 +1,117 @@
+#include "onex/ts/normalization.h"
+
+#include <cmath>
+
+#include "onex/common/math_utils.h"
+#include "onex/common/string_utils.h"
+
+namespace onex {
+
+const char* NormalizationKindToString(NormalizationKind kind) {
+  switch (kind) {
+    case NormalizationKind::kNone:
+      return "none";
+    case NormalizationKind::kMinMaxDataset:
+      return "minmax-dataset";
+    case NormalizationKind::kMinMaxSeries:
+      return "minmax-series";
+    case NormalizationKind::kZScoreSeries:
+      return "zscore-series";
+  }
+  return "unknown";
+}
+
+Result<NormalizationKind> NormalizationKindFromString(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "none") return NormalizationKind::kNone;
+  if (lower == "minmax-dataset" || lower == "minmax") {
+    return NormalizationKind::kMinMaxDataset;
+  }
+  if (lower == "minmax-series") return NormalizationKind::kMinMaxSeries;
+  if (lower == "zscore-series" || lower == "zscore") {
+    return NormalizationKind::kZScoreSeries;
+  }
+  return Status::InvalidArgument("unknown normalization kind: '" + name + "'");
+}
+
+Result<Dataset> Normalize(const Dataset& ds, NormalizationKind kind,
+                          NormalizationParams* params) {
+  NormalizationParams local;
+  local.kind = kind;
+  Dataset out(ds.name());
+
+  switch (kind) {
+    case NormalizationKind::kNone: {
+      out = ds;
+      break;
+    }
+    case NormalizationKind::kMinMaxDataset: {
+      const auto [lo, hi] = ds.ValueRange();
+      local.min = lo;
+      local.max = hi;
+      const double span = hi - lo;
+      for (const TimeSeries& ts : ds.series()) {
+        std::vector<double> vals;
+        vals.reserve(ts.length());
+        for (double v : ts.values()) {
+          vals.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+        }
+        out.Add(TimeSeries(ts.name(), std::move(vals), ts.label()));
+      }
+      break;
+    }
+    case NormalizationKind::kMinMaxSeries: {
+      for (const TimeSeries& ts : ds.series()) {
+        const double lo = Min(ts.AsSpan());
+        const double hi = Max(ts.AsSpan());
+        const double span = hi - lo;
+        std::vector<double> vals;
+        vals.reserve(ts.length());
+        for (double v : ts.values()) {
+          vals.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+        }
+        local.per_series.emplace_back(lo, span > 0.0 ? span : 1.0);
+        out.Add(TimeSeries(ts.name(), std::move(vals), ts.label()));
+      }
+      break;
+    }
+    case NormalizationKind::kZScoreSeries: {
+      for (const TimeSeries& ts : ds.series()) {
+        const double mu = Mean(ts.AsSpan());
+        const double sigma = StdDev(ts.AsSpan());
+        std::vector<double> vals;
+        vals.reserve(ts.length());
+        for (double v : ts.values()) {
+          vals.push_back(sigma > 0.0 ? (v - mu) / sigma : 0.0);
+        }
+        local.per_series.emplace_back(mu, sigma > 0.0 ? sigma : 1.0);
+        out.Add(TimeSeries(ts.name(), std::move(vals), ts.label()));
+      }
+      break;
+    }
+  }
+
+  if (params != nullptr) *params = std::move(local);
+  return out;
+}
+
+double Denormalize(const NormalizationParams& params, std::size_t series_idx,
+                   double value) {
+  switch (params.kind) {
+    case NormalizationKind::kNone:
+      return value;
+    case NormalizationKind::kMinMaxDataset: {
+      const double span = params.max - params.min;
+      return span > 0.0 ? value * span + params.min : params.min;
+    }
+    case NormalizationKind::kMinMaxSeries:
+    case NormalizationKind::kZScoreSeries: {
+      if (series_idx >= params.per_series.size()) return value;
+      const auto [offset, scale] = params.per_series[series_idx];
+      return value * scale + offset;
+    }
+  }
+  return value;
+}
+
+}  // namespace onex

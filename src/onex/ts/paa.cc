@@ -1,0 +1,36 @@
+#include "onex/ts/paa.h"
+
+#include <cmath>
+#include <limits>
+
+#include "onex/distance/euclidean.h"
+
+namespace onex {
+
+std::vector<double> Paa(std::span<const double> x, std::size_t segments) {
+  const std::size_t n = x.size();
+  if (segments == 0 || n == 0) return {};
+  if (segments >= n) return {x.begin(), x.end()};
+  std::vector<double> out(segments, 0.0);
+  for (std::size_t k = 0; k < segments; ++k) {
+    const std::size_t begin = k * n / segments;
+    std::size_t end = (k + 1) * n / segments;
+    if (end <= begin) end = begin + 1;
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) acc += x[i];
+    out[k] = acc / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+double PaaLowerBound(std::span<const double> paa_x,
+                     std::span<const double> paa_y, std::size_t original_n) {
+  if (paa_x.size() != paa_y.size() || paa_x.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double scale = std::sqrt(static_cast<double>(original_n) /
+                                 static_cast<double>(paa_x.size()));
+  return scale * Euclidean(paa_x, paa_y);
+}
+
+}  // namespace onex

@@ -1,0 +1,28 @@
+#ifndef ONEX_TS_PAA_H_
+#define ONEX_TS_PAA_H_
+
+#include <span>
+#include <vector>
+
+namespace onex {
+
+/// Piecewise Aggregate Approximation (Keogh et al.): a series of length n
+/// reduced to m segment means. Used by the front-end for cheap preview
+/// rendering (the demo's "small line graph" thumbnails) and usable as a
+/// coarse pre-filter: PAA distance lower-bounds Euclidean distance.
+///
+/// Segments follow the standard fractional partition: segment k covers
+/// [k*n/m, (k+1)*n/m), so lengths differ by at most one point. m >= n
+/// returns the series unchanged; m == 0 returns empty.
+std::vector<double> Paa(std::span<const double> x, std::size_t segments);
+
+/// The classic PAA lower bound on Euclidean distance for equal-length x, y
+/// reduced to the same segment count m (exact when n % m == 0):
+///   sqrt(n/m) * ED(paa_x, paa_y) <= ED(x, y).
+/// Returns that left-hand side; +infinity on size mismatch.
+double PaaLowerBound(std::span<const double> paa_x,
+                     std::span<const double> paa_y, std::size_t original_n);
+
+}  // namespace onex
+
+#endif  // ONEX_TS_PAA_H_

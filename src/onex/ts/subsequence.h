@@ -1,0 +1,46 @@
+#ifndef ONEX_TS_SUBSEQUENCE_H_
+#define ONEX_TS_SUBSEQUENCE_H_
+
+#include <compare>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "onex/common/string_utils.h"
+#include "onex/ts/dataset.h"
+
+namespace onex {
+
+/// Lightweight reference to a contiguous subsequence of one series in a
+/// Dataset: the currency of the ONEX base. Groups store millions of these
+/// instead of materialized copies.
+struct SubseqRef {
+  std::size_t series = 0;  ///< Index of the owning series in the Dataset.
+  std::size_t start = 0;   ///< First position (inclusive).
+  std::size_t length = 0;  ///< Number of points.
+
+  std::size_t end() const { return start + length; }
+
+  /// Resolves the reference against its dataset. The caller guarantees the
+  /// ref was created for `ds` (debug-checked by Dataset::GetSlice callers).
+  std::span<const double> Resolve(const Dataset& ds) const {
+    return ds[series].Slice(start, length);
+  }
+
+  /// True when both refs address the same series and their index intervals
+  /// intersect; seasonal mining uses this to discard trivial self-overlaps.
+  bool Overlaps(const SubseqRef& other) const {
+    return series == other.series && start < other.end() &&
+           other.start < end();
+  }
+
+  std::string ToString() const {
+    return StrFormat("s%zu[%zu..%zu)", series, start, start + length);
+  }
+
+  friend auto operator<=>(const SubseqRef&, const SubseqRef&) = default;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_TS_SUBSEQUENCE_H_

@@ -1,0 +1,57 @@
+#ifndef ONEX_TS_TIME_SERIES_H_
+#define ONEX_TS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace onex {
+
+/// A single univariate time series: an ordered vector of real observations
+/// plus a display name and an optional class label (UCR datasets carry one).
+///
+/// Values are owned; all ONEX structures that reference *subsequences* of a
+/// series do so with (index, start, length) references into the owning
+/// Dataset, never with copies (see subsequence.h).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(std::string name, std::vector<double> values,
+             std::string label = "")
+      : name_(std::move(name)),
+        label_(std::move(label)),
+        values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& label() const { return label_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  std::size_t length() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](std::size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// View of [start, start+len). The caller must keep this TimeSeries alive
+  /// and unmodified while using the span.
+  std::span<const double> Slice(std::size_t start, std::size_t len) const {
+    return std::span<const double>(values_).subspan(start, len);
+  }
+
+  std::span<const double> AsSpan() const {
+    return std::span<const double>(values_);
+  }
+
+ private:
+  std::string name_;
+  std::string label_;
+  std::vector<double> values_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_TS_TIME_SERIES_H_

@@ -1,0 +1,93 @@
+#include "onex/ts/ucr_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "onex/common/string_utils.h"
+
+namespace onex {
+
+Result<Dataset> ReadUcrStream(std::istream& in, const std::string& dataset_name,
+                              const UcrReadOptions& options) {
+  Dataset ds(dataset_name);
+  std::string line;
+  std::size_t row = 0;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;  // comments/blank
+    const std::vector<std::string> fields = SplitString(trimmed, " \t,");
+    std::string label;
+    std::size_t first_value = 0;
+    if (options.first_column_is_label) {
+      if (fields.size() < 2) {
+        return Status::ParseError(StrFormat(
+            "row %zu of '%s' has %zu fields; need a label plus data",
+            row, dataset_name.c_str(), fields.size()));
+      }
+      label = fields[0];
+      first_value = 1;
+    }
+    std::vector<double> values;
+    values.reserve(fields.size() - first_value);
+    for (std::size_t i = first_value; i < fields.size(); ++i) {
+      Result<double> v = ParseDouble(fields[i]);
+      if (!v.ok()) {
+        return Status::ParseError(
+            StrFormat("row %zu field %zu of '%s': ", row, i,
+                      dataset_name.c_str()) +
+            v.status().message());
+      }
+      values.push_back(*v);
+    }
+    if (values.size() < options.min_length) {
+      return Status::ParseError(StrFormat(
+          "row %zu of '%s' has %zu values; minimum is %zu", row,
+          dataset_name.c_str(), values.size(), options.min_length));
+    }
+    ds.Add(TimeSeries(StrFormat("%s_%zu", dataset_name.c_str(), row),
+                      std::move(values), label));
+    ++row;
+    if (options.max_series != 0 && ds.size() >= options.max_series) break;
+  }
+  if (ds.empty()) {
+    return Status::ParseError("no series found in '" + dataset_name + "'");
+  }
+  return ds;
+}
+
+Result<Dataset> ReadUcrFile(const std::string& path,
+                            const UcrReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  // Name the dataset after the file's basename, sans extension.
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return ReadUcrStream(in, name, options);
+}
+
+Status WriteUcrStream(const Dataset& ds, std::ostream& out) {
+  for (const TimeSeries& ts : ds.series()) {
+    out << (ts.label().empty() ? "0" : ts.label());
+    for (double v : ts.values()) {
+      out << ' ' << StrFormat("%.17g", v);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failure");
+  return Status::OK();
+}
+
+Status WriteUcrFile(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  return WriteUcrStream(ds, out);
+}
+
+}  // namespace onex

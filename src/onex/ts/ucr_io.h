@@ -1,0 +1,43 @@
+#ifndef ONEX_TS_UCR_IO_H_
+#define ONEX_TS_UCR_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "onex/common/result.h"
+#include "onex/ts/dataset.h"
+
+namespace onex {
+
+/// Reader/writer for the UCR time-series archive text format the paper's
+/// datasets ship in: one series per line, the first field being the class
+/// label, the remaining fields the observations, separated by commas or
+/// whitespace. Rows may be ragged (ONEX explicitly supports variable-length
+/// collections).
+struct UcrReadOptions {
+  /// When false, the first field is treated as data, not a label (MATTERS
+  /// exports carry no class column).
+  bool first_column_is_label = true;
+  /// Series shorter than this are rejected with ParseError. DTW needs >= 2
+  /// points for any meaningful alignment; 1 is accepted by default and only
+  /// empty rows fail.
+  std::size_t min_length = 1;
+  /// Cap on series read (0 = no cap); handy for smoke tests over big files.
+  std::size_t max_series = 0;
+};
+
+/// Parses UCR text from a stream; series are named "<dataset>_<row>".
+Result<Dataset> ReadUcrStream(std::istream& in, const std::string& dataset_name,
+                              const UcrReadOptions& options = {});
+
+/// Loads a UCR file from disk.
+Result<Dataset> ReadUcrFile(const std::string& path,
+                            const UcrReadOptions& options = {});
+
+/// Writes `ds` in UCR format (label first when non-empty, else "0").
+Status WriteUcrStream(const Dataset& ds, std::ostream& out);
+Status WriteUcrFile(const Dataset& ds, const std::string& path);
+
+}  // namespace onex
+
+#endif  // ONEX_TS_UCR_IO_H_

@@ -1,0 +1,45 @@
+#include "onex/viz/ascii_canvas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace onex::viz {
+
+void AsciiCanvas::VLine(std::size_t x, std::size_t y0, std::size_t y1,
+                        char c) {
+  if (y0 > y1) std::swap(y0, y1);
+  for (std::size_t y = y0; y <= y1; ++y) Set(x, y, c);
+}
+
+void AsciiCanvas::PlotSeries(std::span<const double> values, double lo,
+                             double hi, char marker, bool overwrite) {
+  if (values.empty() || width_ == 0 || height_ == 0) return;
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t x =
+        values.size() == 1
+            ? 0
+            : static_cast<std::size_t>(std::llround(
+                  static_cast<double>(i) * static_cast<double>(width_ - 1) /
+                  static_cast<double>(values.size() - 1)));
+    const double frac = (values[i] - lo) / span;
+    const std::size_t y = static_cast<std::size_t>(std::llround(
+        (1.0 - std::clamp(frac, 0.0, 1.0)) * static_cast<double>(height_ - 1)));
+    if (overwrite || At(x, y) == ' ') Set(x, y, marker);
+  }
+}
+
+std::string AsciiCanvas::Render() const {
+  std::string out;
+  out.reserve((width_ + 1) * height_);
+  for (std::size_t y = 0; y < height_; ++y) {
+    out.append(cells_.begin() + static_cast<std::ptrdiff_t>(y * width_),
+               cells_.begin() + static_cast<std::ptrdiff_t>((y + 1) * width_));
+    // Trim trailing spaces per row for tidy terminal output.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace onex::viz

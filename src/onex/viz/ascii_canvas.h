@@ -1,0 +1,49 @@
+#ifndef ONEX_VIZ_ASCII_CANVAS_H_
+#define ONEX_VIZ_ASCII_CANVAS_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace onex::viz {
+
+/// A fixed-size character grid the terminal renderers draw onto. Origin
+/// (0,0) is the top-left; x grows right, y grows down. Out-of-bounds writes
+/// are clipped, so plot code never needs bounds arithmetic.
+class AsciiCanvas {
+ public:
+  AsciiCanvas(std::size_t width, std::size_t height)
+      : width_(width), height_(height),
+        cells_(width * height, ' ') {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  void Set(std::size_t x, std::size_t y, char c) {
+    if (x < width_ && y < height_) cells_[y * width_ + x] = c;
+  }
+  char At(std::size_t x, std::size_t y) const {
+    return (x < width_ && y < height_) ? cells_[y * width_ + x] : ' ';
+  }
+
+  /// Vertical line segment (used for warped-link markers).
+  void VLine(std::size_t x, std::size_t y0, std::size_t y1, char c);
+
+  /// Plots `values` scaled into the canvas: index -> column, value -> row
+  /// (row 0 = `hi`). Existing non-space cells are only overwritten when
+  /// `overwrite` is set, letting two series share a canvas.
+  void PlotSeries(std::span<const double> values, double lo, double hi,
+                  char marker, bool overwrite = true);
+
+  std::string Render() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<char> cells_;
+};
+
+}  // namespace onex::viz
+
+#endif  // ONEX_VIZ_ASCII_CANVAS_H_

@@ -1,0 +1,228 @@
+#include "onex/viz/chart_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "onex/common/math_utils.h"
+
+namespace onex::viz {
+namespace {
+
+json::Value LinksToJson(const WarpingPath& links) {
+  json::Value arr = json::Value::MakeArray();
+  for (const auto& [i, j] : links) {
+    json::Value pair = json::Value::MakeArray();
+    pair.Append(json::Value(i));
+    pair.Append(json::Value(j));
+    arr.Append(std::move(pair));
+  }
+  return arr;
+}
+
+}  // namespace
+
+json::Value MultiLineChartData::ToJson() const {
+  json::Value obj = json::Value::MakeObject();
+  obj.Set("type", "multi_line");
+  obj.Set("name_a", name_a);
+  obj.Set("name_b", name_b);
+  obj.Set("series_a", json::Value::NumberArray(series_a));
+  obj.Set("series_b", json::Value::NumberArray(series_b));
+  obj.Set("links", LinksToJson(links));
+  return obj;
+}
+
+MultiLineChartData BuildMultiLineChart(std::string name_a,
+                                       std::vector<double> series_a,
+                                       std::string name_b,
+                                       std::vector<double> series_b,
+                                       WarpingPath links) {
+  MultiLineChartData data;
+  data.name_a = std::move(name_a);
+  data.series_a = std::move(series_a);
+  data.name_b = std::move(name_b);
+  data.series_b = std::move(series_b);
+  data.links = std::move(links);
+  return data;
+}
+
+json::Value RadialChartData::ToJson() const {
+  json::Value obj = json::Value::MakeObject();
+  obj.Set("type", "radial");
+  obj.Set("name_a", name_a);
+  obj.Set("name_b", name_b);
+  auto points_to_json = [](const std::vector<RadialPoint>& pts) {
+    json::Value arr = json::Value::MakeArray();
+    for (const RadialPoint& p : pts) {
+      json::Value pair = json::Value::MakeArray();
+      pair.Append(json::Value(p.angle));
+      pair.Append(json::Value(p.radius));
+      arr.Append(std::move(pair));
+    }
+    return arr;
+  };
+  obj.Set("points_a", points_to_json(points_a));
+  obj.Set("points_b", points_to_json(points_b));
+  return obj;
+}
+
+RadialChartData BuildRadialChart(std::string name_a,
+                                 const std::vector<double>& series_a,
+                                 std::string name_b,
+                                 const std::vector<double>& series_b,
+                                 double inner_radius) {
+  RadialChartData data;
+  data.name_a = std::move(name_a);
+  data.name_b = std::move(name_b);
+  // Shared radial scale so both traces are comparable, like the demo's
+  // "consistent compression of the data".
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : series_a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : series_b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  auto build = [&](const std::vector<double>& xs) {
+    std::vector<RadialPoint> pts;
+    pts.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      RadialPoint p;
+      p.angle = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                static_cast<double>(std::max<std::size_t>(1, xs.size()));
+      p.radius = inner_radius + (xs[i] - lo) / span;
+      pts.push_back(p);
+    }
+    return pts;
+  };
+  data.points_a = build(series_a);
+  data.points_b = build(series_b);
+  return data;
+}
+
+json::Value ConnectedScatterData::ToJson() const {
+  json::Value obj = json::Value::MakeObject();
+  obj.Set("type", "connected_scatter");
+  obj.Set("name_a", name_a);
+  obj.Set("name_b", name_b);
+  json::Value arr = json::Value::MakeArray();
+  for (const auto& [x, y] : points) {
+    json::Value pair = json::Value::MakeArray();
+    pair.Append(json::Value(x));
+    pair.Append(json::Value(y));
+    arr.Append(std::move(pair));
+  }
+  obj.Set("points", std::move(arr));
+  obj.Set("diagonal_deviation", diagonal_deviation);
+  return obj;
+}
+
+ConnectedScatterData BuildConnectedScatter(std::string name_a,
+                                           const std::vector<double>& series_a,
+                                           std::string name_b,
+                                           const std::vector<double>& series_b,
+                                           const WarpingPath& path) {
+  ConnectedScatterData data;
+  data.name_a = std::move(name_a);
+  data.name_b = std::move(name_b);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  double dev = 0.0;
+  for (const auto& [i, j] : path) {
+    const double x = series_a[i];
+    const double y = series_b[j];
+    data.points.emplace_back(x, y);
+    lo = std::min({lo, x, y});
+    hi = std::max({hi, x, y});
+    dev += std::abs(x - y);
+  }
+  if (!data.points.empty()) {
+    const double span = hi > lo ? hi - lo : 1.0;
+    data.diagonal_deviation =
+        dev / static_cast<double>(data.points.size()) / span;
+  }
+  return data;
+}
+
+json::Value SeasonalViewData::ToJson() const {
+  json::Value obj = json::Value::MakeObject();
+  obj.Set("type", "seasonal_view");
+  obj.Set("series_name", series_name);
+  obj.Set("series", json::Value::NumberArray(series));
+  json::Value rows = json::Value::MakeArray();
+  for (const PatternRow& row : patterns) {
+    json::Value r = json::Value::MakeObject();
+    r.Set("length", row.length);
+    r.Set("typical_gap", row.typical_gap);
+    r.Set("cohesion", row.cohesion);
+    r.Set("representative", json::Value::NumberArray(row.representative));
+    json::Value segs = json::Value::MakeArray();
+    for (const SeasonalSegment& s : row.segments) {
+      json::Value seg = json::Value::MakeObject();
+      seg.Set("start", s.start);
+      seg.Set("length", s.length);
+      seg.Set("color", s.color);
+      segs.Append(std::move(seg));
+    }
+    r.Set("segments", std::move(segs));
+    rows.Append(std::move(r));
+  }
+  obj.Set("patterns", std::move(rows));
+  return obj;
+}
+
+SeasonalViewData BuildSeasonalView(
+    std::string series_name, std::vector<double> series,
+    const std::vector<SeasonalPattern>& patterns) {
+  SeasonalViewData data;
+  data.series_name = std::move(series_name);
+  data.series = std::move(series);
+  for (const SeasonalPattern& p : patterns) {
+    SeasonalViewData::PatternRow row;
+    row.length = p.length;
+    row.typical_gap = p.typical_gap;
+    row.cohesion = p.cohesion;
+    row.representative = p.representative;
+    int color = 0;
+    for (const SubseqRef& occ : p.occurrences) {
+      // "The alternating blue and green coloration ... clarify instances of
+      // consecutive segments."
+      row.segments.push_back({occ.start, occ.length, color});
+      color ^= 1;
+    }
+    data.patterns.push_back(std::move(row));
+  }
+  return data;
+}
+
+json::Value OverviewPaneData::ToJson() const {
+  json::Value obj = json::Value::MakeObject();
+  obj.Set("type", "overview");
+  json::Value arr = json::Value::MakeArray();
+  for (const Cell& c : cells) {
+    json::Value cell = json::Value::MakeObject();
+    cell.Set("length", c.length);
+    cell.Set("cardinality", c.cardinality);
+    cell.Set("intensity", c.intensity);
+    cell.Set("representative", json::Value::NumberArray(c.representative));
+    arr.Append(std::move(cell));
+  }
+  obj.Set("cells", std::move(arr));
+  return obj;
+}
+
+OverviewPaneData BuildOverviewPane(const std::vector<OverviewEntry>& entries) {
+  OverviewPaneData data;
+  for (const OverviewEntry& e : entries) {
+    data.cells.push_back(
+        {e.length, e.cardinality, e.intensity, e.representative});
+  }
+  return data;
+}
+
+}  // namespace onex::viz

@@ -1,0 +1,131 @@
+#ifndef ONEX_VIZ_CHART_DATA_H_
+#define ONEX_VIZ_CHART_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "onex/core/overview.h"
+#include "onex/core/seasonal.h"
+#include "onex/distance/warping_path.h"
+#include "onex/json/json.h"
+
+namespace onex::viz {
+
+/// Data models behind each view of the ONEX web interface (paper §3.4 and
+/// Figs 2-4). The demo's D3 charts are pure functions of these structures;
+/// this module builds them from engine outputs and serializes them to JSON
+/// (for a web client) or ASCII (for the CLI examples).
+
+/// "Multiple Lines Charts display dotted lines between corresponding points
+/// of the sequences highlighting the role of the time-warped matching."
+struct MultiLineChartData {
+  std::string name_a;
+  std::string name_b;
+  std::vector<double> series_a;
+  std::vector<double> series_b;
+  /// The warped point correspondences (the dotted lines of Fig 2).
+  WarpingPath links;
+
+  json::Value ToJson() const;
+};
+
+MultiLineChartData BuildMultiLineChart(std::string name_a,
+                                       std::vector<double> series_a,
+                                       std::string name_b,
+                                       std::vector<double> series_b,
+                                       WarpingPath links);
+
+/// "Radial Plots compact the time series to a radial display": point i of a
+/// series of length n maps to angle 2*pi*i/n and radius value.
+struct RadialPoint {
+  double angle = 0.0;   ///< Radians, [0, 2*pi).
+  double radius = 0.0;  ///< The (display-scaled) value.
+};
+
+struct RadialChartData {
+  std::string name_a;
+  std::string name_b;
+  std::vector<RadialPoint> points_a;
+  std::vector<RadialPoint> points_b;
+
+  json::Value ToJson() const;
+};
+
+/// Radii are shifted so the minimum value sits at `inner_radius` (> 0 keeps
+/// the trace off the origin, matching the demo's rendering).
+RadialChartData BuildRadialChart(std::string name_a,
+                                 const std::vector<double>& series_a,
+                                 std::string name_b,
+                                 const std::vector<double>& series_b,
+                                 double inner_radius = 0.25);
+
+/// "Connected Scatter Plots showcase the ordering of a sequence by
+/// connecting consecutive points": one (x, y) point per warped pair, x from
+/// the first series, y from the second. Points near the 45-degree diagonal
+/// indicate a close match.
+struct ConnectedScatterData {
+  std::string name_a;
+  std::string name_b;
+  /// In warping-path order.
+  std::vector<std::pair<double, double>> points;
+  /// Mean |x - y| over points, normalized by the value range: 0 = every
+  /// point on the diagonal (the demo's "extremely close" reading).
+  double diagonal_deviation = 0.0;
+
+  json::Value ToJson() const;
+};
+
+ConnectedScatterData BuildConnectedScatter(std::string name_a,
+                                           const std::vector<double>& series_a,
+                                           std::string name_b,
+                                           const std::vector<double>& series_b,
+                                           const WarpingPath& path);
+
+/// Seasonal View (Fig 4): the full series plus the recurring segments,
+/// alternately "colored" for display.
+struct SeasonalSegment {
+  std::size_t start = 0;
+  std::size_t length = 0;
+  /// Alternating 0/1 like the demo's blue/green.
+  int color = 0;
+};
+
+struct SeasonalViewData {
+  std::string series_name;
+  std::vector<double> series;
+  /// One entry per displayed pattern, each with its segments.
+  struct PatternRow {
+    std::size_t length = 0;
+    std::size_t typical_gap = 0;
+    double cohesion = 0.0;
+    std::vector<SeasonalSegment> segments;
+    std::vector<double> representative;
+  };
+  std::vector<PatternRow> patterns;
+
+  json::Value ToJson() const;
+};
+
+SeasonalViewData BuildSeasonalView(std::string series_name,
+                                   std::vector<double> series,
+                                   const std::vector<SeasonalPattern>& patterns);
+
+/// Overview Pane (Fig 2 top-left): group representatives with cardinality-
+/// scaled intensity.
+struct OverviewPaneData {
+  struct Cell {
+    std::size_t length = 0;
+    std::size_t cardinality = 0;
+    double intensity = 0.0;
+    std::vector<double> representative;
+  };
+  std::vector<Cell> cells;
+
+  json::Value ToJson() const;
+};
+
+OverviewPaneData BuildOverviewPane(const std::vector<OverviewEntry>& entries);
+
+}  // namespace onex::viz
+
+#endif  // ONEX_VIZ_CHART_DATA_H_

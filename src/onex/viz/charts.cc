@@ -1,0 +1,190 @@
+#include "onex/viz/charts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "onex/common/string_utils.h"
+#include "onex/viz/ascii_canvas.h"
+
+namespace onex::viz {
+namespace {
+
+/// UTF-8 lower block glyphs, 1/8 through 8/8.
+const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                "▅", "▆", "▇", "█"};
+
+std::pair<double, double> RangeOf(std::span<const double> xs) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (double v : xs) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return {lo, hi};
+}
+
+std::pair<double, double> JointRange(std::span<const double> a,
+                                     std::span<const double> b) {
+  const auto [la, ha] = RangeOf(a);
+  const auto [lb, hb] = RangeOf(b);
+  return {std::min(la, lb), std::max(ha, hb)};
+}
+
+/// Mean of values mapped into bucket `k` of `width` buckets.
+double Resample(std::span<const double> values, std::size_t k,
+                std::size_t width) {
+  const std::size_t n = values.size();
+  const std::size_t begin = k * n / width;
+  std::size_t end = (k + 1) * n / width;
+  if (end <= begin) end = begin + 1;
+  double acc = 0.0;
+  for (std::size_t i = begin; i < std::min(end, n); ++i) acc += values[i];
+  return acc / static_cast<double>(std::min(end, n) - begin);
+}
+
+}  // namespace
+
+std::string RenderSparkline(std::span<const double> values,
+                            std::size_t width) {
+  if (values.empty() || width == 0) return "";
+  const std::size_t w = std::min(width, values.size());
+  const auto [lo, hi] = RangeOf(values);
+  const double span = hi - lo;
+  std::string out;
+  for (std::size_t k = 0; k < w; ++k) {
+    const double v = Resample(values, k, w);
+    const int level = std::clamp(
+        static_cast<int>((v - lo) / span * 8.0), 0, 7);
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string RenderMultiLineChart(const MultiLineChartData& data,
+                                 std::size_t width, std::size_t height) {
+  AsciiCanvas canvas(width, height);
+  const auto [lo, hi] = JointRange(data.series_a, data.series_b);
+  canvas.PlotSeries(data.series_b, lo, hi, 'o');
+  // Second pass: overlapping cells become '+'.
+  {
+    AsciiCanvas probe(width, height);
+    probe.PlotSeries(data.series_a, lo, hi, '*');
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const char a = probe.At(x, y);
+        if (a == ' ') continue;
+        canvas.Set(x, y, canvas.At(x, y) == 'o' ? '+' : '*');
+      }
+    }
+  }
+  std::string out = canvas.Render();
+  out += StrFormat("legend: * %s   o %s   + overlap   (%zu warped links)\n",
+                   data.name_a.c_str(), data.name_b.c_str(),
+                   data.links.size());
+  return out;
+}
+
+std::string RenderRadialChart(const RadialChartData& data, std::size_t size) {
+  AsciiCanvas canvas(size, size);
+  double max_r = 0.0;
+  for (const RadialPoint& p : data.points_a) max_r = std::max(max_r, p.radius);
+  for (const RadialPoint& p : data.points_b) max_r = std::max(max_r, p.radius);
+  if (max_r <= 0.0) max_r = 1.0;
+  const double c = static_cast<double>(size - 1) / 2.0;
+  auto plot = [&](const std::vector<RadialPoint>& pts, char marker) {
+    for (const RadialPoint& p : pts) {
+      const double r = p.radius / max_r * c;
+      const std::size_t x =
+          static_cast<std::size_t>(std::llround(c + r * std::cos(p.angle)));
+      const std::size_t y =
+          static_cast<std::size_t>(std::llround(c - r * std::sin(p.angle)));
+      canvas.Set(x, y, canvas.At(x, y) == ' ' || canvas.At(x, y) == marker
+                           ? marker
+                           : '+');
+    }
+  };
+  canvas.Set(static_cast<std::size_t>(c), static_cast<std::size_t>(c), '.');
+  plot(data.points_a, '*');
+  plot(data.points_b, 'o');
+  std::string out = canvas.Render();
+  out += StrFormat("radial: * %s   o %s   + overlap\n", data.name_a.c_str(),
+                   data.name_b.c_str());
+  return out;
+}
+
+std::string RenderConnectedScatter(const ConnectedScatterData& data,
+                                   std::size_t size) {
+  AsciiCanvas canvas(size, size);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& [x, y] : data.points) {
+    lo = std::min({lo, x, y});
+    hi = std::max({hi, x, y});
+  }
+  if (!(hi > lo)) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  const double span = hi - lo;
+  // 45-degree reference diagonal: bottom-left to top-right.
+  for (std::size_t k = 0; k < size; ++k) {
+    canvas.Set(k, size - 1 - k, '.');
+  }
+  for (const auto& [xv, yv] : data.points) {
+    const std::size_t x = static_cast<std::size_t>(
+        std::llround((xv - lo) / span * static_cast<double>(size - 1)));
+    const std::size_t y = static_cast<std::size_t>(std::llround(
+        (1.0 - (yv - lo) / span) * static_cast<double>(size - 1)));
+    canvas.Set(x, y, 'x');
+  }
+  std::string out = canvas.Render();
+  out += StrFormat(
+      "connected scatter: x=%s  y=%s  diagonal deviation=%.4f "
+      "(0 = identical)\n",
+      data.name_a.c_str(), data.name_b.c_str(), data.diagonal_deviation);
+  return out;
+}
+
+std::string RenderSeasonalView(const SeasonalViewData& data,
+                               std::size_t width) {
+  std::string out;
+  out += StrFormat("series %s (%zu points)\n", data.series_name.c_str(),
+                   data.series.size());
+  out += RenderSparkline(data.series, width);
+  out += '\n';
+  const std::size_t n = std::max<std::size_t>(1, data.series.size());
+  for (const SeasonalViewData::PatternRow& row : data.patterns) {
+    std::string bar(width, '.');
+    for (const SeasonalSegment& seg : row.segments) {
+      const std::size_t x0 = seg.start * width / n;
+      std::size_t x1 = (seg.start + seg.length) * width / n;
+      if (x1 <= x0) x1 = x0 + 1;
+      for (std::size_t x = x0; x < std::min(x1, width); ++x) {
+        bar[x] = seg.color == 0 ? 'b' : 'g';
+      }
+    }
+    out += bar;
+    out += StrFormat("  len=%zu x%zu gap~%zu cohesion=%.4f\n", row.length,
+                     row.segments.size(), row.typical_gap, row.cohesion);
+  }
+  return out;
+}
+
+std::string RenderOverviewPane(const OverviewPaneData& data,
+                               std::size_t sparkline_width) {
+  std::string out;
+  out += "overview: group representatives (by cardinality)\n";
+  for (const OverviewPaneData::Cell& cell : data.cells) {
+    out += RenderSparkline(cell.representative, sparkline_width);
+    out += StrFormat("  len=%-4zu n=%-5zu intensity=%.2f\n", cell.length,
+                     cell.cardinality, cell.intensity);
+  }
+  return out;
+}
+
+}  // namespace onex::viz

@@ -1,0 +1,46 @@
+#ifndef ONEX_VIZ_CHARTS_H_
+#define ONEX_VIZ_CHARTS_H_
+
+#include <span>
+#include <string>
+
+#include "onex/viz/chart_data.h"
+
+namespace onex::viz {
+
+/// Terminal renderers for the chart-data models: the CLI stand-ins for the
+/// demo's D3 views. All return multi-line strings ready for stdout.
+
+/// One-row block-character sketch of a series (the Overview Pane's "small
+/// graph that captures the general shape"). Uses the eight UTF-8 block
+/// glyphs; width is in glyphs.
+std::string RenderSparkline(std::span<const double> values,
+                            std::size_t width = 32);
+
+/// Two overlaid series ('*' = first, 'o' = second, '+' = both on one cell)
+/// with a legend and the count of warped links.
+std::string RenderMultiLineChart(const MultiLineChartData& data,
+                                 std::size_t width = 72,
+                                 std::size_t height = 16);
+
+/// Polar scatter of both traces on a square canvas.
+std::string RenderRadialChart(const RadialChartData& data,
+                              std::size_t size = 33);
+
+/// Scatter of warped value pairs with the 45-degree diagonal drawn as '.',
+/// plus the diagonal-deviation readout.
+std::string RenderConnectedScatter(const ConnectedScatterData& data,
+                                   std::size_t size = 33);
+
+/// The series sparkline with one occurrence-bar row per pattern, alternating
+/// 'b'/'g' segment glyphs like the demo's blue/green.
+std::string RenderSeasonalView(const SeasonalViewData& data,
+                               std::size_t width = 72);
+
+/// Grid of sparkline cells ordered by cardinality, intensity as a column.
+std::string RenderOverviewPane(const OverviewPaneData& data,
+                               std::size_t sparkline_width = 24);
+
+}  // namespace onex::viz
+
+#endif  // ONEX_VIZ_CHARTS_H_

@@ -1,0 +1,61 @@
+#include "onex/viz/exporters.h"
+
+#include <ostream>
+
+#include "onex/common/string_utils.h"
+
+namespace onex::viz {
+namespace {
+
+Status CheckStream(const std::ostream& out) {
+  return out ? Status::OK() : Status::IoError("CSV write failure");
+}
+
+}  // namespace
+
+Status WriteMultiLineCsv(const MultiLineChartData& data, std::ostream& out) {
+  out << "index_a,value_a,index_b,value_b\n";
+  for (const auto& [i, j] : data.links) {
+    if (i >= data.series_a.size() || j >= data.series_b.size()) {
+      return Status::InvalidArgument("link index outside series bounds");
+    }
+    out << StrFormat("%zu,%.10g,%zu,%.10g\n", i, data.series_a[i], j,
+                     data.series_b[j]);
+  }
+  return CheckStream(out);
+}
+
+Status WriteRadialCsv(const RadialChartData& data, std::ostream& out) {
+  out << "series,angle,radius\n";
+  for (const RadialPoint& p : data.points_a) {
+    out << StrFormat("%s,%.10g,%.10g\n", data.name_a.c_str(), p.angle,
+                     p.radius);
+  }
+  for (const RadialPoint& p : data.points_b) {
+    out << StrFormat("%s,%.10g,%.10g\n", data.name_b.c_str(), p.angle,
+                     p.radius);
+  }
+  return CheckStream(out);
+}
+
+Status WriteConnectedScatterCsv(const ConnectedScatterData& data,
+                                std::ostream& out) {
+  out << "x,y\n";
+  for (const auto& [x, y] : data.points) {
+    out << StrFormat("%.10g,%.10g\n", x, y);
+  }
+  return CheckStream(out);
+}
+
+Status WriteSeasonalCsv(const SeasonalViewData& data, std::ostream& out) {
+  out << "pattern,start,length,color\n";
+  for (std::size_t p = 0; p < data.patterns.size(); ++p) {
+    for (const SeasonalSegment& seg : data.patterns[p].segments) {
+      out << StrFormat("%zu,%zu,%zu,%d\n", p, seg.start, seg.length,
+                       seg.color);
+    }
+  }
+  return CheckStream(out);
+}
+
+}  // namespace onex::viz

@@ -1,0 +1,30 @@
+#ifndef ONEX_VIZ_EXPORTERS_H_
+#define ONEX_VIZ_EXPORTERS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "onex/common/status.h"
+#include "onex/viz/chart_data.h"
+
+namespace onex::viz {
+
+/// CSV exports for spreadsheet-side replication of the demo's views. Each
+/// writer emits a header row and returns IoError on stream failure.
+
+/// Columns: index_a,value_a,index_b,value_b — one row per warped link.
+Status WriteMultiLineCsv(const MultiLineChartData& data, std::ostream& out);
+
+/// Columns: series,angle,radius.
+Status WriteRadialCsv(const RadialChartData& data, std::ostream& out);
+
+/// Columns: x,y in path order.
+Status WriteConnectedScatterCsv(const ConnectedScatterData& data,
+                                std::ostream& out);
+
+/// Columns: pattern,start,length,color.
+Status WriteSeasonalCsv(const SeasonalViewData& data, std::ostream& out);
+
+}  // namespace onex::viz
+
+#endif  // ONEX_VIZ_EXPORTERS_H_

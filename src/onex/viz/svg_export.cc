@@ -1,0 +1,303 @@
+#include "onex/viz/svg_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "onex/common/string_utils.h"
+#include "onex/json/json.h"
+
+namespace onex::viz {
+namespace {
+
+constexpr double kPad = 24.0;  // plot margin inside the SVG viewport
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+/// Maps value v in [r.lo, r.hi] to pixel space [from, to].
+double Scale(double v, const Range& r, double from, double to) {
+  return from + (v - r.lo) / r.span() * (to - from);
+}
+
+std::string Escaped(const std::string& s) { return json::EscapeString(s); }
+
+std::string OpenSvg(const SvgOptions& opt) {
+  return StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\" style=\"background:#ffffff\">\n",
+      opt.width, opt.height, opt.width, opt.height);
+}
+
+/// Polyline through (x(i), y(values[i])).
+std::string Polyline(const std::vector<double>& values, const Range& y_range,
+                     const SvgOptions& opt, const std::string& color,
+                     double stroke_width = 1.5) {
+  std::string points;
+  const double w = static_cast<double>(opt.width);
+  const double h = static_cast<double>(opt.height);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x =
+        values.size() == 1
+            ? kPad
+            : kPad + static_cast<double>(i) /
+                         static_cast<double>(values.size() - 1) *
+                         (w - 2.0 * kPad);
+    const double y = Scale(values[i], y_range, h - kPad, kPad);
+    points += StrFormat("%.1f,%.1f ", x, y);
+  }
+  return StrFormat(
+      "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"%.1f\" "
+      "points=\"%s\"/>\n",
+      color.c_str(), stroke_width, points.c_str());
+}
+
+}  // namespace
+
+std::string RenderSvgMultiLine(const MultiLineChartData& data,
+                               const SvgOptions& opt) {
+  Range y;
+  for (double v : data.series_a) y.Add(v);
+  for (double v : data.series_b) y.Add(v);
+  const double w = static_cast<double>(opt.width);
+  const double h = static_cast<double>(opt.height);
+  auto x_of = [&](std::size_t i, std::size_t n) {
+    return n <= 1 ? kPad
+                  : kPad + static_cast<double>(i) / static_cast<double>(n - 1) *
+                               (w - 2.0 * kPad);
+  };
+
+  std::string svg = OpenSvg(opt);
+  // Warped links first so the traces draw on top ("matched points are
+  // connected with dotted lines", Fig 2).
+  for (const auto& [i, j] : data.links) {
+    if (i >= data.series_a.size() || j >= data.series_b.size()) continue;
+    svg += StrFormat(
+        "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"%s\" stroke-width=\"0.6\" stroke-dasharray=\"2,3\"/>\n",
+        x_of(i, data.series_a.size()),
+        Scale(data.series_a[i], y, h - kPad, kPad),
+        x_of(j, data.series_b.size()),
+        Scale(data.series_b[j], y, h - kPad, kPad), opt.link_color.c_str());
+  }
+  svg += Polyline(data.series_a, y, opt, opt.color_a);
+  svg += Polyline(data.series_b, y, opt, opt.color_b);
+  svg += StrFormat(
+      "<text x=\"%.1f\" y=\"14\" font-size=\"11\" fill=\"%s\">%s</text>\n",
+      kPad, opt.color_a.c_str(), Escaped(data.name_a).c_str());
+  svg += StrFormat(
+      "<text x=\"%.1f\" y=\"14\" font-size=\"11\" fill=\"%s\" "
+      "text-anchor=\"end\">%s</text>\n",
+      w - kPad, opt.color_b.c_str(), Escaped(data.name_b).c_str());
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderSvgRadial(const RadialChartData& data,
+                            const SvgOptions& opt) {
+  const double size = std::min(opt.width, opt.height);
+  const double c = size / 2.0;
+  Range r;
+  for (const RadialPoint& p : data.points_a) r.Add(p.radius);
+  for (const RadialPoint& p : data.points_b) r.Add(p.radius);
+  r.Add(0.0);  // keep the origin at the center
+
+  auto trace = [&](const std::vector<RadialPoint>& pts,
+                   const std::string& color) {
+    if (pts.empty()) return std::string();
+    std::string points;
+    for (const RadialPoint& p : pts) {
+      const double rho = Scale(p.radius, r, 0.0, c - kPad);
+      points += StrFormat("%.1f,%.1f ", c + rho * std::cos(p.angle),
+                          c - rho * std::sin(p.angle));
+    }
+    // Close the loop back to the first point (the demo's compact ring).
+    const double rho0 = Scale(pts.front().radius, r, 0.0, c - kPad);
+    points += StrFormat("%.1f,%.1f", c + rho0 * std::cos(pts.front().angle),
+                        c - rho0 * std::sin(pts.front().angle));
+    return StrFormat(
+        "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.2\" "
+        "points=\"%s\"/>\n",
+        color.c_str(), points.c_str());
+  };
+
+  SvgOptions square = opt;
+  square.width = static_cast<int>(size);
+  square.height = static_cast<int>(size);
+  std::string svg = OpenSvg(square);
+  svg += StrFormat(
+      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"none\" "
+      "stroke=\"#dddddd\"/>\n",
+      c, c, c - kPad);
+  svg += trace(data.points_a, opt.color_a);
+  svg += trace(data.points_b, opt.color_b);
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderSvgConnectedScatter(const ConnectedScatterData& data,
+                                      const SvgOptions& opt) {
+  const double size = std::min(opt.width, opt.height);
+  Range r;
+  for (const auto& [x, y] : data.points) {
+    r.Add(x);
+    r.Add(y);
+  }
+  SvgOptions square = opt;
+  square.width = static_cast<int>(size);
+  square.height = static_cast<int>(size);
+  std::string svg = OpenSvg(square);
+  // 45-degree reference diagonal.
+  svg += StrFormat(
+      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+      "stroke=\"#cccccc\" stroke-dasharray=\"4,4\"/>\n",
+      kPad, size - kPad, size - kPad, kPad);
+  // Connected points in warping-path order.
+  std::string points;
+  for (const auto& [x, y] : data.points) {
+    points += StrFormat("%.1f,%.1f ", Scale(x, r, kPad, size - kPad),
+                        Scale(y, r, size - kPad, kPad));
+  }
+  svg += StrFormat(
+      "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.0\" "
+      "points=\"%s\"/>\n",
+      opt.color_a.c_str(), points.c_str());
+  for (const auto& [x, y] : data.points) {
+    svg += StrFormat(
+        "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.2\" fill=\"%s\"/>\n",
+        Scale(x, r, kPad, size - kPad), Scale(y, r, size - kPad, kPad),
+        opt.color_b.c_str());
+  }
+  svg += StrFormat(
+      "<text x=\"%.1f\" y=\"14\" font-size=\"11\" fill=\"#333333\">"
+      "diagonal deviation %.4f</text>\n",
+      kPad, data.diagonal_deviation);
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderSvgSeasonal(const SeasonalViewData& data,
+                              const SvgOptions& opt) {
+  Range y;
+  for (double v : data.series) y.Add(v);
+  const double w = static_cast<double>(opt.width);
+  const double h = static_cast<double>(opt.height);
+  const double band_h = 10.0;
+  const double plot_bottom =
+      h - kPad - band_h * static_cast<double>(data.patterns.size());
+
+  std::string svg = OpenSvg(opt);
+  // Alternating occurrence bands, one row per pattern (Fig 4's blue/green).
+  const std::size_t n = std::max<std::size_t>(1, data.series.size());
+  for (std::size_t p = 0; p < data.patterns.size(); ++p) {
+    const double band_y =
+        plot_bottom + band_h * static_cast<double>(p) + 2.0;
+    for (const SeasonalSegment& seg : data.patterns[p].segments) {
+      const double x0 = kPad + static_cast<double>(seg.start) /
+                                   static_cast<double>(n) * (w - 2.0 * kPad);
+      const double x1 =
+          kPad + static_cast<double>(seg.start + seg.length) /
+                     static_cast<double>(n) * (w - 2.0 * kPad);
+      svg += StrFormat(
+          "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+          "fill=\"%s\" opacity=\"0.8\"/>\n",
+          x0, band_y, std::max(1.0, x1 - x0), band_h - 3.0,
+          (seg.color == 0 ? opt.color_a : opt.color_b).c_str());
+    }
+  }
+  // The series itself, above the bands.
+  std::string points;
+  for (std::size_t i = 0; i < data.series.size(); ++i) {
+    const double x = data.series.size() == 1
+                         ? kPad
+                         : kPad + static_cast<double>(i) /
+                                      static_cast<double>(data.series.size() -
+                                                          1) *
+                                      (w - 2.0 * kPad);
+    points += StrFormat("%.1f,%.1f ", x,
+                        Scale(data.series[i], y, plot_bottom - 4.0, kPad));
+  }
+  svg += StrFormat(
+      "<polyline fill=\"none\" stroke=\"#555555\" stroke-width=\"1.0\" "
+      "points=\"%s\"/>\n",
+      points.c_str());
+  svg += StrFormat(
+      "<text x=\"%.1f\" y=\"14\" font-size=\"11\" fill=\"#333333\">"
+      "%s</text>\n",
+      kPad, Escaped(data.series_name).c_str());
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderSvgOverview(const OverviewPaneData& data,
+                              const SvgOptions& opt) {
+  constexpr int kCols = 4;
+  constexpr double kCellH = 64.0;
+  const int rows =
+      static_cast<int>((data.cells.size() + kCols - 1) / kCols);
+  SvgOptions grid = opt;
+  grid.height = static_cast<int>(kCellH * std::max(1, rows)) + 8;
+  const double cell_w = static_cast<double>(grid.width) / kCols;
+
+  std::string svg = OpenSvg(grid);
+  for (std::size_t k = 0; k < data.cells.size(); ++k) {
+    const OverviewPaneData::Cell& cell = data.cells[k];
+    const double ox = static_cast<double>(k % kCols) * cell_w;
+    const double oy = static_cast<double>(k / kCols) * kCellH;
+    Range y;
+    for (double v : cell.representative) y.Add(v);
+    std::string points;
+    const std::size_t n = cell.representative.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x =
+          n <= 1 ? ox + 6.0
+                 : ox + 6.0 + static_cast<double>(i) /
+                                  static_cast<double>(n - 1) * (cell_w - 12.0);
+      points += StrFormat(
+          "%.1f,%.1f ", x,
+          Scale(cell.representative[i], y, oy + kCellH - 18.0, oy + 6.0));
+    }
+    // Intensity = opacity, the demo's cardinality coding.
+    svg += StrFormat(
+        "<polyline fill=\"none\" stroke=\"%s\" stroke-opacity=\"%.2f\" "
+        "stroke-width=\"1.5\" points=\"%s\"/>\n",
+        opt.color_a.c_str(), 0.25 + 0.75 * cell.intensity, points.c_str());
+    svg += StrFormat(
+        "<text x=\"%.1f\" y=\"%.1f\" font-size=\"9\" fill=\"#666666\">"
+        "len %zu · n=%zu</text>\n",
+        ox + 6.0, oy + kCellH - 5.0, cell.length, cell.cardinality);
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string WrapHtmlPage(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& titled_svgs) {
+  std::string html;
+  html += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n";
+  html += StrFormat("<title>%s</title>\n", Escaped(title).c_str());
+  html +=
+      "<style>body{font-family:sans-serif;margin:24px;background:#fafafa}"
+      "h1{font-size:20px}h2{font-size:14px;margin-bottom:4px}"
+      "section{background:#fff;border:1px solid #ddd;border-radius:6px;"
+      "padding:12px;margin-bottom:16px;display:inline-block}</style>\n";
+  html += "</head><body>\n";
+  html += StrFormat("<h1>%s</h1>\n", Escaped(title).c_str());
+  for (const auto& [section_title, svg] : titled_svgs) {
+    html += StrFormat("<section><h2>%s</h2>\n%s</section>\n",
+                      Escaped(section_title).c_str(), svg.c_str());
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+}  // namespace onex::viz

@@ -1,0 +1,56 @@
+#ifndef ONEX_VIZ_SVG_EXPORT_H_
+#define ONEX_VIZ_SVG_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "onex/viz/chart_data.h"
+
+namespace onex::viz {
+
+/// SVG renderers for the chart-data models: the faithful substitute for the
+/// demo's D3 web views (DESIGN.md §3). Each function returns a standalone
+/// `<svg>` element; WrapHtmlPage assembles a self-contained report the
+/// analyst opens in any browser — no server required.
+
+struct SvgOptions {
+  int width = 640;
+  int height = 320;
+  /// Stroke colors for the first/second trace (any CSS color).
+  std::string color_a = "#1f77b4";  // the demo's blue
+  std::string color_b = "#2ca02c";  // and green
+  /// Color of the warped-link dotted lines in the multi-line chart.
+  std::string link_color = "#999999";
+};
+
+/// Fig 2's Results Pane: both series as polylines over a shared scale with
+/// dotted lines between warped point pairs.
+std::string RenderSvgMultiLine(const MultiLineChartData& data,
+                               const SvgOptions& options = {});
+
+/// Fig 3a: both traces as closed polar polylines.
+std::string RenderSvgRadial(const RadialChartData& data,
+                            const SvgOptions& options = {});
+
+/// Fig 3b: the connected scatter plot with the 45-degree reference diagonal.
+std::string RenderSvgConnectedScatter(const ConnectedScatterData& data,
+                                      const SvgOptions& options = {});
+
+/// Fig 4: the series polyline with alternately colored occurrence bands
+/// under it, one band row per pattern.
+std::string RenderSvgSeasonal(const SeasonalViewData& data,
+                              const SvgOptions& options = {});
+
+/// Overview Pane: a grid of small representative polylines, opacity scaled
+/// by group cardinality (the demo's intensity coding).
+std::string RenderSvgOverview(const OverviewPaneData& data,
+                              const SvgOptions& options = {});
+
+/// Assembles titled SVG sections into one self-contained HTML document.
+std::string WrapHtmlPage(const std::string& title,
+                         const std::vector<std::pair<std::string, std::string>>&
+                             titled_svgs);
+
+}  // namespace onex::viz
+
+#endif  // ONEX_VIZ_SVG_EXPORT_H_

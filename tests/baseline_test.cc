@@ -1,0 +1,188 @@
+#include "onex/baseline/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "onex/baseline/ucr_suite.h"
+#include "onex/distance/dtw.h"
+#include "onex/distance/euclidean.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+Dataset WalksNormalized(std::size_t num = 6, std::size_t len = 18,
+                        std::uint64_t seed = 42) {
+  gen::RandomWalkOptions opt;
+  opt.num_series = num;
+  opt.length = len;
+  opt.seed = seed;
+  return std::move(Normalize(gen::MakeRandomWalks(opt),
+                             NormalizationKind::kMinMaxDataset))
+      .value();
+}
+
+TEST(BruteForceTest, FindsPlantedExactMatch) {
+  const Dataset ds = WalksNormalized();
+  // The query is a subsequence of the dataset: distance 0 at that ref.
+  const std::span<const double> q = ds[2].Slice(4, 8);
+  ScanScope scope;
+  scope.min_length = 4;
+  scope.max_length = 12;
+  Result<ScanMatch> m =
+      BruteForceBestMatch(ds, q, ScanDistance::kDtw, scope);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->normalized, 0.0, 1e-12);
+  Result<ScanMatch> ed =
+      BruteForceBestMatch(ds, q, ScanDistance::kEuclidean, scope);
+  ASSERT_TRUE(ed.ok());
+  EXPECT_NEAR(ed->normalized, 0.0, 1e-12);
+  EXPECT_EQ(ed->ref, (SubseqRef{2, 4, 8}));
+}
+
+TEST(BruteForceTest, EuclideanScanOnlyConsidersQueryLength) {
+  const Dataset ds = WalksNormalized();
+  const std::span<const double> q = ds[0].Slice(0, 6);
+  ScanScope scope;
+  scope.min_length = 4;
+  scope.max_length = 12;
+  Result<ScanMatch> m =
+      BruteForceBestMatch(ds, q, ScanDistance::kEuclidean, scope);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->ref.length, 6u);
+}
+
+TEST(BruteForceTest, InvalidInputs) {
+  const Dataset ds = WalksNormalized();
+  const std::vector<double> q{0.1, 0.2, 0.3};
+  EXPECT_FALSE(
+      BruteForceBestMatch(Dataset(), q, ScanDistance::kDtw).ok());
+  EXPECT_FALSE(BruteForceBestMatch(ds, std::vector<double>{0.5},
+                                   ScanDistance::kDtw)
+                   .ok());
+  ScanScope bad;
+  bad.min_length = 0;
+  EXPECT_FALSE(BruteForceBestMatch(ds, q, ScanDistance::kDtw, bad).ok());
+  bad = ScanScope();
+  bad.stride = 0;
+  EXPECT_FALSE(BruteForceBestMatch(ds, q, ScanDistance::kDtw, bad).ok());
+}
+
+TEST(BruteForceTest, NotFoundWhenScopeExcludesEverything) {
+  const Dataset ds = WalksNormalized(3, 10);
+  const std::vector<double> q{0.1, 0.2, 0.3};
+  ScanScope scope;
+  scope.min_length = 50;
+  scope.max_length = 60;
+  Result<ScanMatch> m = BruteForceBestMatch(ds, q, ScanDistance::kDtw, scope);
+  EXPECT_EQ(m.status().code(), StatusCode::kNotFound);
+}
+
+TEST(UcrSuiteTest, StatsAccountForEveryCandidate) {
+  const Dataset ds = WalksNormalized(5, 16, 9);
+  const std::span<const double> q = ds[1].Slice(2, 7);
+  UcrSearchOptions opt;
+  opt.scope.min_length = 7;
+  opt.scope.max_length = 7;
+  ScanStats stats;
+  Result<ScanMatch> m = UcrBestMatch(ds, q, opt, &stats);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(stats.candidates, ds.CountSubsequences(7, 7));
+  EXPECT_EQ(stats.candidates,
+            stats.pruned_kim + stats.pruned_keogh +
+                stats.pruned_keogh_reversed + stats.abandoned_dtw +
+                stats.full_evaluations);
+}
+
+TEST(UcrSuiteTest, PruningReducesFullEvaluations) {
+  const Dataset ds = WalksNormalized(8, 40, 15);
+  const std::span<const double> q = ds[0].Slice(5, 12);
+  UcrSearchOptions cascade;
+  cascade.scope.min_length = 12;
+  cascade.scope.max_length = 12;
+  UcrSearchOptions naive = cascade;
+  naive.use_lb_kim = false;
+  naive.use_lb_keogh = false;
+  naive.use_lb_keogh_reversed = false;
+  naive.use_early_abandon = false;
+  ScanStats with_pruning, without_pruning;
+  ASSERT_TRUE(UcrBestMatch(ds, q, cascade, &with_pruning).ok());
+  ASSERT_TRUE(UcrBestMatch(ds, q, naive, &without_pruning).ok());
+  EXPECT_LT(with_pruning.full_evaluations, without_pruning.full_evaluations);
+  EXPECT_EQ(without_pruning.full_evaluations, without_pruning.candidates);
+}
+
+TEST(UcrSuiteTest, InvalidInputsMirrorBruteForce) {
+  const Dataset ds = WalksNormalized();
+  EXPECT_FALSE(UcrBestMatch(Dataset(), std::vector<double>{0.1, 0.2}).ok());
+  EXPECT_FALSE(UcrBestMatch(ds, std::vector<double>{0.1}).ok());
+  UcrSearchOptions bad;
+  bad.scope.length_step = 0;
+  EXPECT_FALSE(UcrBestMatch(ds, std::vector<double>{0.1, 0.2}, bad).ok());
+}
+
+/// Exactness: the UCR-style cascade must return the brute-force optimum on
+/// every dataset, window, and query. Parameter = (seed, window).
+class UcrExactnessTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(UcrExactnessTest, MatchesBruteForceAcrossLengths) {
+  const auto [seed, window] = GetParam();
+  const Dataset ds = WalksNormalized(5, 20, seed);
+  Rng rng(seed + 7);
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::size_t qlen = 5 + rng.UniformIndex(8);
+    const std::size_t series = rng.UniformIndex(ds.size());
+    const std::size_t start =
+        rng.UniformIndex(ds[series].length() - qlen + 1);
+    const std::span<const double> q = ds[series].Slice(start, qlen);
+
+    ScanScope scope;
+    scope.min_length = 4;
+    scope.max_length = 14;
+    UcrSearchOptions opt;
+    opt.scope = scope;
+    opt.window = window;
+    Result<ScanMatch> fast = UcrBestMatch(ds, q, opt);
+    Result<ScanMatch> slow =
+        BruteForceBestMatch(ds, q, ScanDistance::kDtw, scope, window);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_NEAR(fast->normalized, slow->normalized, 1e-9)
+        << "window=" << window << " qlen=" << qlen;
+  }
+}
+
+TEST_P(UcrExactnessTest, EachFilterAloneIsStillExact) {
+  const auto [seed, window] = GetParam();
+  const Dataset ds = WalksNormalized(4, 16, seed + 100);
+  const std::span<const double> q = ds[0].Slice(3, 8);
+  ScanScope scope;
+  scope.min_length = 8;
+  scope.max_length = 8;
+  Result<ScanMatch> truth =
+      BruteForceBestMatch(ds, q, ScanDistance::kDtw, scope, window);
+  ASSERT_TRUE(truth.ok());
+
+  for (int mask = 0; mask < 16; ++mask) {
+    UcrSearchOptions opt;
+    opt.scope = scope;
+    opt.window = window;
+    opt.use_lb_kim = mask & 1;
+    opt.use_lb_keogh = mask & 2;
+    opt.use_lb_keogh_reversed = mask & 4;
+    opt.use_early_abandon = mask & 8;
+    Result<ScanMatch> m = UcrBestMatch(ds, q, opt);
+    ASSERT_TRUE(m.ok());
+    EXPECT_NEAR(m->normalized, truth->normalized, 1e-9) << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWindows, UcrExactnessTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values(-1, 0, 2, 5)));
+
+}  // namespace
+}  // namespace onex

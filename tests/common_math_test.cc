@@ -1,0 +1,160 @@
+#include "onex/common/math_utils.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+
+namespace onex {
+namespace {
+
+TEST(MathTest, MeanBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(MathTest, VarianceAndStdDev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(xs), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(StdDev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(MathTest, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 4.0, 1.5};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 4.0);
+  EXPECT_DOUBLE_EQ(Min(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Max(std::vector<double>{}), 0.0);
+}
+
+TEST(MathTest, PercentileEndpointsAndMedian) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 2.0);
+}
+
+TEST(MathTest, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 10.0), 1.0);
+}
+
+TEST(MathTest, PercentileIgnoresInputOrder) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+}
+
+TEST(MathTest, PercentileClampsArgument) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 250.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{}, 50.0), 0.0);
+}
+
+TEST(MathTest, Linspace) {
+  const std::vector<double> xs = Linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+  EXPECT_EQ(Linspace(0.0, 1.0, 0).size(), 0u);
+  const std::vector<double> one = Linspace(3.0, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 3.0);
+}
+
+TEST(MathTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+  EXPECT_TRUE(AlmostEqual(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(MathTest, PearsonCorrelationPerfect) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(MathTest, PearsonCorrelationDegenerate) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, flat), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, std::vector<double>{1.0}), 0.0);
+}
+
+TEST(MathTest, AutocorrelationDetectsPeriod) {
+  // Strict sine with period 16: autocorrelation at lag 16 near 1.
+  std::vector<double> xs;
+  for (int i = 0; i < 160; ++i) {
+    xs.push_back(std::sin(2.0 * M_PI * i / 16.0));
+  }
+  EXPECT_GT(Autocorrelation(xs, 16), 0.8);
+  EXPECT_LT(Autocorrelation(xs, 8), 0.0);  // anti-phase at half period
+}
+
+TEST(MathTest, AutocorrelationEdgeCases) {
+  const std::vector<double> flat{1.0, 1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Autocorrelation(flat, 1), 0.0);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 3), 0.0);   // lag >= n
+  EXPECT_DOUBLE_EQ(Autocorrelation(xs, 10), 0.0);  // lag >> n
+}
+
+/// Property sweep: variance is never negative and matches the two-pass
+/// definition on random data.
+class MathPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MathPropertyTest, VarianceNonNegativeAndConsistent) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  const std::size_t n = 1 + rng.UniformIndex(100);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.Uniform(-50.0, 50.0));
+  const double var = Variance(xs);
+  EXPECT_GE(var, 0.0);
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  EXPECT_NEAR(var, acc / static_cast<double>(n), 1e-9);
+}
+
+TEST_P(MathPropertyTest, PercentileMonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  const std::size_t n = 2 + rng.UniformIndex(60);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.Uniform(-10.0, 10.0));
+  double prev = Percentile(xs, 0.0);
+  for (double p = 10.0; p <= 100.0; p += 10.0) {
+    const double cur = Percentile(xs, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_P(MathPropertyTest, CorrelationBounded) {
+  Rng rng(GetParam());
+  const std::size_t n = 3 + rng.UniformIndex(40);
+  std::vector<double> a, b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(rng.Gaussian());
+    b.push_back(rng.Gaussian());
+  }
+  const double r = PearsonCorrelation(a, b);
+  EXPECT_GE(r, -1.0 - 1e-12);
+  EXPECT_LE(r, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MathPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace onex

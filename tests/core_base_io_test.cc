@@ -1,0 +1,236 @@
+#include "onex/core/base_io.h"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "onex/core/query_processor.h"
+#include "onex/distance/euclidean.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+namespace {
+
+OnexBase MakeBase(CentroidPolicy policy = CentroidPolicy::kRunningMean,
+                  std::uint64_t seed = 42) {
+  gen::SineFamilyOptions gopt;
+  gopt.num_series = 6;
+  gopt.length = 20;
+  gopt.seed = seed;
+  Result<Dataset> norm = Normalize(gen::MakeSineFamilies(gopt),
+                                   NormalizationKind::kMinMaxDataset);
+  auto ds = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.length_step = 2;
+  opt.centroid_policy = policy;
+  return std::move(OnexBase::Build(ds, opt)).value();
+}
+
+void ExpectBasesEquivalent(const OnexBase& a, const OnexBase& b) {
+  ASSERT_EQ(a.length_classes().size(), b.length_classes().size());
+  EXPECT_EQ(a.TotalGroups(), b.TotalGroups());
+  EXPECT_EQ(a.TotalMembers(), b.TotalMembers());
+  for (std::size_t c = 0; c < a.length_classes().size(); ++c) {
+    const LengthClass& ca = a.length_classes()[c];
+    const LengthClass& cb = b.length_classes()[c];
+    ASSERT_EQ(ca.length, cb.length);
+    ASSERT_EQ(ca.groups.size(), cb.groups.size());
+    for (std::size_t g = 0; g < ca.groups.size(); ++g) {
+      EXPECT_EQ(ca.groups[g].members(), cb.groups[g].members());
+      ASSERT_EQ(ca.groups[g].centroid().size(), cb.groups[g].centroid().size());
+      for (std::size_t i = 0; i < ca.groups[g].centroid().size(); ++i) {
+        EXPECT_NEAR(ca.groups[g].centroid()[i], cb.groups[g].centroid()[i],
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(BaseIoTest, SaveLoadRoundTripsStructure) {
+  const OnexBase base = MakeBase();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  Result<OnexBase> back = LoadBase(buf);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectBasesEquivalent(base, *back);
+  EXPECT_EQ(back->options().st, base.options().st);
+  EXPECT_EQ(back->options().min_length, base.options().min_length);
+  EXPECT_EQ(back->options().centroid_policy, base.options().centroid_policy);
+  EXPECT_EQ(back->dataset().name(), base.dataset().name());
+  EXPECT_EQ(back->dataset().size(), base.dataset().size());
+}
+
+TEST(BaseIoTest, RoundTripPreservesDatasetValuesExactly) {
+  const OnexBase base = MakeBase();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  Result<OnexBase> back = LoadBase(buf);
+  ASSERT_TRUE(back.ok());
+  for (std::size_t s = 0; s < base.dataset().size(); ++s) {
+    EXPECT_EQ(base.dataset()[s].values(), back->dataset()[s].values())
+        << "series " << s;
+    EXPECT_EQ(base.dataset()[s].name(), back->dataset()[s].name());
+    EXPECT_EQ(base.dataset()[s].label(), back->dataset()[s].label());
+  }
+}
+
+TEST(BaseIoTest, RoundTripPreservesQueryAnswers) {
+  const OnexBase base = MakeBase();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  Result<OnexBase> back = LoadBase(buf);
+  ASSERT_TRUE(back.ok());
+
+  QueryProcessor before(&base);
+  QueryProcessor after(&*back);
+  const std::span<const double> q = base.dataset()[2].Slice(3, 8);
+  QueryOptions opt;
+  opt.exhaustive = true;
+  Result<BestMatch> m0 = before.BestMatchQuery(q, opt);
+  Result<BestMatch> m1 = after.BestMatchQuery(q, opt);
+  ASSERT_TRUE(m0.ok());
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m0->ref, m1->ref);
+  EXPECT_NEAR(m0->normalized_dtw, m1->normalized_dtw, 1e-12);
+}
+
+TEST(BaseIoTest, FixedLeaderCentroidSurvivesRoundTrip) {
+  const OnexBase base = MakeBase(CentroidPolicy::kFixedLeader);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  Result<OnexBase> back = LoadBase(buf);
+  ASSERT_TRUE(back.ok());
+  ExpectBasesEquivalent(base, *back);
+  // The leader invariant holds after restore: members within ST/2.
+  for (const LengthClass& cls : back->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_LE(NormalizedEuclidean(g.centroid_span(),
+                                      ref.Resolve(back->dataset())),
+                  back->options().st / 2.0 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BaseIoTest, QuotedNamesWithSpecialCharacters) {
+  Dataset ds("data \"set\" with\ttabs");
+  ds.Add(TimeSeries("series \"x\"", {0.1, 0.2, 0.3, 0.4, 0.5}, "l\\bel"));
+  ds.Add(TimeSeries("plain", {0.5, 0.4, 0.3, 0.2, 0.1}));
+  BaseBuildOptions opt;
+  opt.st = 0.3;
+  opt.min_length = 3;
+  Result<OnexBase> base =
+      OnexBase::Build(std::make_shared<const Dataset>(ds), opt);
+  ASSERT_TRUE(base.ok());
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(*base, buf).ok());
+  Result<OnexBase> back = LoadBase(buf);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->dataset().name(), "data \"set\" with\ttabs");
+  EXPECT_EQ(back->dataset()[0].name(), "series \"x\"");
+  EXPECT_EQ(back->dataset()[0].label(), "l\\bel");
+}
+
+TEST(BaseIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/onex_base_test.onex";
+  const OnexBase base = MakeBase();
+  ASSERT_TRUE(SaveBaseToFile(base, path).ok());
+  Result<OnexBase> back = LoadBaseFromFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectBasesEquivalent(base, *back);
+  std::remove(path.c_str());
+}
+
+TEST(BaseIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadBaseFromFile("/no/such/base.onex").status().code(),
+            StatusCode::kIoError);
+  const OnexBase base = MakeBase();
+  EXPECT_EQ(SaveBaseToFile(base, "/no/such/dir/base.onex").code(),
+            StatusCode::kIoError);
+}
+
+TEST(BaseIoTest, RejectsCorruptedInput) {
+  const OnexBase base = MakeBase();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  const std::string good = buf.str();
+
+  // Wrong magic.
+  {
+    std::istringstream in("NOTABASE 1\n" + good.substr(good.find('\n') + 1));
+    EXPECT_EQ(LoadBase(in).status().code(), StatusCode::kParseError);
+  }
+  // Unsupported version.
+  {
+    std::istringstream in("ONEXBASE 99\n" + good.substr(good.find('\n') + 1));
+    EXPECT_EQ(LoadBase(in).status().code(), StatusCode::kParseError);
+  }
+  // Truncated file (cut in the middle).
+  {
+    std::istringstream in(good.substr(0, good.size() / 2));
+    EXPECT_FALSE(LoadBase(in).ok());
+  }
+  // Member reference out of range.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.find("\ng ");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 3, "\ng 99:0 ");
+    std::istringstream in(bad);
+    EXPECT_FALSE(LoadBase(in).ok());
+  }
+  // Garbage member token.
+  {
+    std::string bad = good;
+    const std::size_t pos = bad.find("\ng ");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 3, "\ng xx ");
+    std::istringstream in(bad);
+    EXPECT_FALSE(LoadBase(in).ok());
+  }
+  // Empty stream.
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(LoadBase(in).ok());
+  }
+}
+
+TEST(BaseIoTest, RestoreValidatesArguments) {
+  const OnexBase base = MakeBase();
+  auto ds = base.shared_dataset();
+  // Null dataset.
+  EXPECT_FALSE(OnexBase::Restore(nullptr, base.options(), {}, 0).ok());
+  // No classes.
+  EXPECT_FALSE(OnexBase::Restore(ds, base.options(), {}, 0).ok());
+  // Unsorted classes.
+  {
+    std::vector<LengthClass> classes(2);
+    classes[0].length = 8;
+    classes[1].length = 4;
+    SimilarityGroup g8(8), g4(4);
+    g8.SetMembers({{0, 0, 8}});
+    g4.SetMembers({{0, 0, 4}});
+    classes[0].groups.push_back(g8);
+    classes[1].groups.push_back(g4);
+    EXPECT_FALSE(OnexBase::Restore(ds, base.options(), classes, 0).ok());
+  }
+  // Member length disagrees with its class.
+  {
+    std::vector<LengthClass> classes(1);
+    classes[0].length = 6;
+    SimilarityGroup g(6);
+    g.SetMembers({{0, 0, 4}});
+    classes[0].groups.push_back(g);
+    EXPECT_FALSE(OnexBase::Restore(ds, base.options(), classes, 0).ok());
+  }
+}
+
+}  // namespace
+}  // namespace onex

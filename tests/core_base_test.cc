@@ -1,0 +1,304 @@
+#include "onex/core/onex_base.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "onex/distance/euclidean.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+std::shared_ptr<const Dataset> NormalizedWalks(std::size_t num = 8,
+                                               std::size_t len = 20,
+                                               std::uint64_t seed = 42) {
+  gen::RandomWalkOptions opt;
+  opt.num_series = num;
+  opt.length = len;
+  opt.seed = seed;
+  Result<Dataset> norm =
+      Normalize(gen::MakeRandomWalks(opt), NormalizationKind::kMinMaxDataset);
+  return std::make_shared<const Dataset>(std::move(norm).value());
+}
+
+BaseBuildOptions SmallOptions() {
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  return opt;
+}
+
+TEST(BaseBuildOptionsTest, Validation) {
+  BaseBuildOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.st = 0.0;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+  opt = BaseBuildOptions();
+  opt.st = -1.0;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = BaseBuildOptions();
+  opt.min_length = 1;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = BaseBuildOptions();
+  opt.max_length = 3;  // < min_length 4
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = BaseBuildOptions();
+  opt.length_step = 0;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = BaseBuildOptions();
+  opt.stride = 0;
+  EXPECT_FALSE(opt.Validate().ok());
+}
+
+TEST(OnexBaseTest, RejectsEmptyDataset) {
+  auto empty = std::make_shared<const Dataset>();
+  EXPECT_FALSE(OnexBase::Build(empty, SmallOptions()).ok());
+  EXPECT_FALSE(OnexBase::Build(nullptr, SmallOptions()).ok());
+}
+
+TEST(OnexBaseTest, RejectsAllTooShortSeries) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0}));
+  BaseBuildOptions opt = SmallOptions();
+  opt.min_length = 10;
+  opt.max_length = 12;
+  Result<OnexBase> base =
+      OnexBase::Build(std::make_shared<const Dataset>(ds), opt);
+  EXPECT_FALSE(base.ok());
+}
+
+TEST(OnexBaseTest, EverySubsequenceLandsInExactlyOneGroup) {
+  auto ds = NormalizedWalks();
+  Result<OnexBase> base = OnexBase::Build(ds, SmallOptions());
+  ASSERT_TRUE(base.ok());
+
+  const std::size_t expected = ds->CountSubsequences(4, 10);
+  EXPECT_EQ(base->TotalMembers(), expected);
+
+  std::set<SubseqRef> seen;
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      EXPECT_FALSE(g.empty());
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_EQ(ref.length, cls.length);
+        EXPECT_TRUE(seen.insert(ref).second)
+            << ref.ToString() << " appears in two groups";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), expected);
+}
+
+TEST(OnexBaseTest, FixedLeaderRadiusInvariantIsExact) {
+  auto ds = NormalizedWalks(10, 24, 7);
+  BaseBuildOptions opt = SmallOptions();
+  opt.centroid_policy = CentroidPolicy::kFixedLeader;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_LE(NormalizedEuclidean(g.centroid_span(), ref.Resolve(*ds)),
+                  opt.st / 2.0 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(OnexBaseTest, RepairPolicyRestoresRadiusInvariant) {
+  auto ds = NormalizedWalks(10, 24, 13);
+  BaseBuildOptions opt = SmallOptions();
+  opt.centroid_policy = CentroidPolicy::kRunningMeanRepair;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_LE(NormalizedEuclidean(g.centroid_span(), ref.Resolve(*ds)),
+                  opt.st / 2.0 + 1e-9)
+            << "repair pass left a member outside ST/2";
+      }
+    }
+  }
+  // Membership is still a partition after repair.
+  EXPECT_EQ(base->TotalMembers(), ds->CountSubsequences(4, 10));
+}
+
+TEST(OnexBaseTest, PairwiseSimilarityWithinStUnderFixedLeader) {
+  // Members within ST/2 of the representative are pairwise within ST by the
+  // ED triangle inequality (the paper's §3.1 guarantee).
+  auto ds = NormalizedWalks(6, 16, 3);
+  BaseBuildOptions opt = SmallOptions();
+  opt.max_length = 8;
+  opt.centroid_policy = CentroidPolicy::kFixedLeader;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        for (std::size_t j = i + 1; j < g.size(); ++j) {
+          EXPECT_LE(NormalizedEuclidean(g.members()[i].Resolve(*ds),
+                                        g.members()[j].Resolve(*ds)),
+                    opt.st + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(OnexBaseTest, CentroidIsMeanUnderRunningMeanPolicy) {
+  auto ds = NormalizedWalks(5, 14, 23);
+  BaseBuildOptions opt = SmallOptions();
+  opt.max_length = 6;
+  opt.centroid_policy = CentroidPolicy::kRunningMean;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      std::vector<double> mean(cls.length, 0.0);
+      for (const SubseqRef& ref : g.members()) {
+        const std::span<const double> vals = ref.Resolve(*ds);
+        for (std::size_t i = 0; i < cls.length; ++i) mean[i] += vals[i];
+      }
+      for (double& v : mean) v /= static_cast<double>(g.size());
+      for (std::size_t i = 0; i < cls.length; ++i) {
+        EXPECT_NEAR(g.centroid()[i], mean[i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(OnexBaseTest, GroupEnvelopeContainsAllMembers) {
+  auto ds = NormalizedWalks(6, 18, 29);
+  Result<OnexBase> base = OnexBase::Build(ds, SmallOptions());
+  ASSERT_TRUE(base.ok());
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      ASSERT_EQ(g.envelope().size(), cls.length);
+      for (const SubseqRef& ref : g.members()) {
+        const std::span<const double> vals = ref.Resolve(*ds);
+        for (std::size_t i = 0; i < cls.length; ++i) {
+          EXPECT_LE(g.envelope().lower[i], vals[i] + 1e-12);
+          EXPECT_GE(g.envelope().upper[i], vals[i] - 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(OnexBaseTest, LargerThresholdYieldsFewerGroups) {
+  auto ds = NormalizedWalks(10, 24, 31);
+  std::size_t prev = std::numeric_limits<std::size_t>::max();
+  for (const double st : {0.05, 0.15, 0.4, 1.0}) {
+    BaseBuildOptions opt = SmallOptions();
+    opt.st = st;
+    Result<OnexBase> base = OnexBase::Build(ds, opt);
+    ASSERT_TRUE(base.ok());
+    EXPECT_LE(base->TotalGroups(), prev) << "st=" << st;
+    prev = base->TotalGroups();
+  }
+}
+
+TEST(OnexBaseTest, HugeThresholdCollapsesToOneGroupPerLength) {
+  auto ds = NormalizedWalks(5, 12, 37);
+  BaseBuildOptions opt = SmallOptions();
+  opt.st = 1e6;
+  opt.max_length = 8;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  for (const LengthClass& cls : base->length_classes()) {
+    EXPECT_EQ(cls.groups.size(), 1u) << "length " << cls.length;
+  }
+  EXPECT_EQ(base->TotalGroups(), base->length_classes().size());
+}
+
+TEST(OnexBaseTest, StatsAreConsistent) {
+  auto ds = NormalizedWalks();
+  Result<OnexBase> base = OnexBase::Build(ds, SmallOptions());
+  ASSERT_TRUE(base.ok());
+  const BaseStats& stats = base->stats();
+  EXPECT_EQ(stats.num_length_classes, base->length_classes().size());
+  std::size_t groups = 0, members = 0;
+  for (const LengthClass& cls : base->length_classes()) {
+    groups += cls.groups.size();
+    members += cls.total_members;
+  }
+  EXPECT_EQ(stats.num_groups, groups);
+  EXPECT_EQ(stats.num_subsequences, members);
+  EXPECT_GT(stats.build_seconds, 0.0);
+  EXPECT_GT(stats.CompactionRatio(), 0.0);
+  EXPECT_LE(stats.CompactionRatio(), 1.0);
+}
+
+TEST(OnexBaseTest, StrideAndLengthStepScoping) {
+  auto ds = NormalizedWalks(4, 20, 41);
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 12;
+  opt.length_step = 4;  // lengths 4, 8, 12
+  opt.stride = 3;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->length_classes().size(), 3u);
+  EXPECT_EQ(base->TotalMembers(), ds->CountSubsequences(4, 12, 4, 3));
+  for (const LengthClass& cls : base->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_EQ(ref.start % 3, 0u);  // stride respected
+      }
+    }
+  }
+}
+
+TEST(OnexBaseTest, FindLengthClass) {
+  auto ds = NormalizedWalks();
+  Result<OnexBase> base = OnexBase::Build(ds, SmallOptions());
+  ASSERT_TRUE(base.ok());
+  Result<const LengthClass*> cls = base->FindLengthClass(5);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ((*cls)->length, 5u);
+  EXPECT_EQ(base->FindLengthClass(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(OnexBaseTest, VariableLengthSeriesAreGrouped) {
+  Dataset raw("ragged");
+  Rng rng(51);
+  raw.Add(TimeSeries("short", testing::SmoothSeries(&rng, 6)));
+  raw.Add(TimeSeries("long", testing::SmoothSeries(&rng, 18)));
+  Result<Dataset> norm = Normalize(raw, NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(norm.ok());
+  auto ds = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions opt;
+  opt.st = 0.3;
+  opt.min_length = 4;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  // Length classes beyond 6 only contain the long series.
+  Result<const LengthClass*> cls12 = base->FindLengthClass(12);
+  ASSERT_TRUE(cls12.ok());
+  for (const SimilarityGroup& g : (*cls12)->groups) {
+    for (const SubseqRef& ref : g.members()) {
+      EXPECT_EQ(ref.series, 1u);
+    }
+  }
+  EXPECT_EQ(base->TotalMembers(), ds->CountSubsequences(4, 18));
+}
+
+TEST(CentroidPolicyTest, Names) {
+  EXPECT_STREQ(CentroidPolicyToString(CentroidPolicy::kFixedLeader),
+               "fixed-leader");
+  EXPECT_STREQ(CentroidPolicyToString(CentroidPolicy::kRunningMean),
+               "running-mean");
+  EXPECT_STREQ(CentroidPolicyToString(CentroidPolicy::kRunningMeanRepair),
+               "running-mean-repair");
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,197 @@
+#include "onex/core/incremental.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "onex/core/query_processor.h"
+#include "onex/distance/euclidean.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+OnexBase MakeBase(std::size_t num = 6, std::size_t len = 16,
+                  CentroidPolicy policy = CentroidPolicy::kRunningMean) {
+  gen::SineFamilyOptions gopt;
+  gopt.num_series = num;
+  gopt.length = len;
+  gopt.seed = 42;
+  Result<Dataset> norm = Normalize(gen::MakeSineFamilies(gopt),
+                                   NormalizationKind::kMinMaxDataset);
+  auto ds = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 0;  // dataset max: grows when a longer series arrives
+  opt.length_step = 2;
+  opt.centroid_policy = policy;
+  return std::move(OnexBase::Build(ds, opt)).value();
+}
+
+TEST(IncrementalTest, AppendExtendsCoverage) {
+  const OnexBase base = MakeBase();
+  const std::size_t before_members = base.TotalMembers();
+
+  Rng rng(7);
+  TimeSeries fresh("fresh", testing::SmoothSeries(&rng, 16));
+  Result<OnexBase> extended = AppendSeries(base, fresh);
+  ASSERT_TRUE(extended.ok()) << extended.status();
+
+  EXPECT_EQ(extended->dataset().size(), base.dataset().size() + 1);
+  // Every subsequence of the extended dataset (per scoping) is a member.
+  EXPECT_EQ(extended->TotalMembers(),
+            extended->dataset().CountSubsequences(4, 16, 2, 1));
+  EXPECT_GT(extended->TotalMembers(), before_members);
+
+  // Membership is still a partition.
+  std::set<SubseqRef> seen;
+  for (const LengthClass& cls : extended->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_TRUE(seen.insert(ref).second);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), extended->TotalMembers());
+}
+
+TEST(IncrementalTest, OriginalBaseIsUntouched) {
+  const OnexBase base = MakeBase();
+  const std::size_t groups_before = base.TotalGroups();
+  const std::size_t members_before = base.TotalMembers();
+  Rng rng(11);
+  Result<OnexBase> extended =
+      AppendSeries(base, TimeSeries("x", testing::SmoothSeries(&rng, 16)));
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(base.TotalGroups(), groups_before);
+  EXPECT_EQ(base.TotalMembers(), members_before);
+  EXPECT_EQ(base.dataset().size(), 6u);
+}
+
+TEST(IncrementalTest, LongerSeriesCreatesNewLengthClasses) {
+  const OnexBase base = MakeBase();  // max length 16
+  EXPECT_FALSE(base.FindLengthClass(20).ok());
+  Rng rng(13);
+  Result<OnexBase> extended =
+      AppendSeries(base, TimeSeries("long", testing::SmoothSeries(&rng, 20)));
+  ASSERT_TRUE(extended.ok());
+  // New classes for lengths 18 and 20 (step 2), holding only the new series.
+  Result<const LengthClass*> cls20 = extended->FindLengthClass(20);
+  ASSERT_TRUE(cls20.ok());
+  for (const SimilarityGroup& g : (*cls20)->groups) {
+    for (const SubseqRef& ref : g.members()) {
+      EXPECT_EQ(ref.series, 6u);
+    }
+  }
+  // Length classes remain sorted.
+  std::size_t prev = 0;
+  for (const LengthClass& cls : extended->length_classes()) {
+    EXPECT_GT(cls.length, prev);
+    prev = cls.length;
+  }
+}
+
+TEST(IncrementalTest, FixedLeaderInvariantHoldsAfterAppend) {
+  const OnexBase base = MakeBase(6, 16, CentroidPolicy::kFixedLeader);
+  Rng rng(17);
+  Result<OnexBase> extended =
+      AppendSeries(base, TimeSeries("y", testing::SmoothSeries(&rng, 16)));
+  ASSERT_TRUE(extended.ok());
+  const double radius = extended->options().st / 2.0;
+  for (const LengthClass& cls : extended->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_LE(NormalizedEuclidean(g.centroid_span(),
+                                      ref.Resolve(extended->dataset())),
+                  radius + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(IncrementalTest, AppendedSubsequencesAreQueryable) {
+  const OnexBase base = MakeBase();
+  Rng rng(23);
+  const std::vector<double> values = testing::SmoothSeries(&rng, 16);
+  Result<OnexBase> extended =
+      AppendSeries(base, TimeSeries("target", values));
+  ASSERT_TRUE(extended.ok());
+
+  QueryProcessor qp(&*extended);
+  // Query a subsequence of the appended series: exhaustive search finds it
+  // exactly (distance 0 at its own position).
+  const std::span<const double> q =
+      extended->dataset()[6].Slice(4, 8);
+  QueryOptions opt;
+  opt.exhaustive = true;
+  Result<BestMatch> m = qp.BestMatchQuery(q, opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->normalized_dtw, 0.0, 1e-9);
+}
+
+TEST(IncrementalTest, ChainedAppendsMatchDatasetGrowth) {
+  OnexBase base = MakeBase();
+  Rng rng(29);
+  for (int i = 0; i < 3; ++i) {
+    Result<OnexBase> next = AppendSeries(
+        base, TimeSeries("extra_" + std::to_string(i),
+                         testing::SmoothSeries(&rng, 16)));
+    ASSERT_TRUE(next.ok());
+    base = std::move(next).value();
+  }
+  EXPECT_EQ(base.dataset().size(), 9u);
+  EXPECT_EQ(base.TotalMembers(),
+            base.dataset().CountSubsequences(4, 16, 2, 1));
+}
+
+TEST(IncrementalTest, RunningMeanCentroidsStayExactMeans) {
+  const OnexBase base = MakeBase();
+  Rng rng(31);
+  Result<OnexBase> extended =
+      AppendSeries(base, TimeSeries("z", testing::SmoothSeries(&rng, 16)));
+  ASSERT_TRUE(extended.ok());
+  for (const LengthClass& cls : extended->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      std::vector<double> mean(cls.length, 0.0);
+      for (const SubseqRef& ref : g.members()) {
+        const std::span<const double> vals = ref.Resolve(extended->dataset());
+        for (std::size_t i = 0; i < cls.length; ++i) mean[i] += vals[i];
+      }
+      for (double& v : mean) v /= static_cast<double>(g.size());
+      for (std::size_t i = 0; i < cls.length; ++i) {
+        EXPECT_NEAR(g.centroid()[i], mean[i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(IncrementalTest, RejectsDegenerateSeries) {
+  const OnexBase base = MakeBase();
+  EXPECT_FALSE(AppendSeries(base, TimeSeries("tiny", {1.0})).ok());
+  EXPECT_FALSE(AppendSeries(base, TimeSeries("empty", {})).ok());
+}
+
+TEST(IncrementalTest, ShortSeriesOnlyJoinsAdmissibleLengths) {
+  const OnexBase base = MakeBase();
+  Rng rng(37);
+  // A 6-point series participates only in length classes 4 and 6.
+  Result<OnexBase> extended =
+      AppendSeries(base, TimeSeries("short", testing::SmoothSeries(&rng, 6)));
+  ASSERT_TRUE(extended.ok());
+  for (const LengthClass& cls : extended->length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        if (ref.series == 6) {
+          EXPECT_LE(cls.length, 6u);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace onex

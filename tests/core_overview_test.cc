@@ -1,0 +1,104 @@
+#include "onex/core/overview.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+namespace {
+
+OnexBase MakeBase(double st = 0.15) {
+  gen::SineFamilyOptions gopt;
+  gopt.num_series = 8;
+  gopt.length = 18;
+  gopt.seed = 77;
+  Result<Dataset> norm = Normalize(gen::MakeSineFamilies(gopt),
+                                   NormalizationKind::kMinMaxDataset);
+  auto ds = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions opt;
+  opt.st = st;
+  opt.min_length = 6;
+  opt.max_length = 10;
+  return std::move(OnexBase::Build(ds, opt)).value();
+}
+
+TEST(OverviewTest, SortedByCardinalityDescending) {
+  const OnexBase base = MakeBase();
+  Result<std::vector<OverviewEntry>> entries = BuildOverview(base, {});
+  ASSERT_TRUE(entries.ok());
+  ASSERT_FALSE(entries->empty());
+  for (std::size_t i = 1; i < entries->size(); ++i) {
+    EXPECT_GE((*entries)[i - 1].cardinality, (*entries)[i].cardinality);
+  }
+}
+
+TEST(OverviewTest, IntensityIsNormalizedToTopGroup) {
+  const OnexBase base = MakeBase();
+  Result<std::vector<OverviewEntry>> entries = BuildOverview(base, {});
+  ASSERT_TRUE(entries.ok());
+  EXPECT_DOUBLE_EQ(entries->front().intensity, 1.0);
+  for (const OverviewEntry& e : *entries) {
+    EXPECT_GT(e.intensity, 0.0);
+    EXPECT_LE(e.intensity, 1.0);
+    EXPECT_NEAR(e.intensity,
+                static_cast<double>(e.cardinality) /
+                    static_cast<double>(entries->front().cardinality),
+                1e-12);
+  }
+}
+
+TEST(OverviewTest, TopNTruncates) {
+  const OnexBase base = MakeBase();
+  OverviewOptions opt;
+  opt.top_n = 3;
+  Result<std::vector<OverviewEntry>> entries = BuildOverview(base, opt);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_LE(entries->size(), 3u);
+  opt.top_n = 0;  // unlimited
+  Result<std::vector<OverviewEntry>> all = BuildOverview(base, opt);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), base.TotalGroups());
+}
+
+TEST(OverviewTest, LengthFilter) {
+  const OnexBase base = MakeBase();
+  OverviewOptions opt;
+  opt.length = 8;
+  opt.top_n = 0;
+  Result<std::vector<OverviewEntry>> entries = BuildOverview(base, opt);
+  ASSERT_TRUE(entries.ok());
+  Result<const LengthClass*> cls = base.FindLengthClass(8);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(entries->size(), (*cls)->groups.size());
+  for (const OverviewEntry& e : *entries) {
+    EXPECT_EQ(e.length, 8u);
+    EXPECT_EQ(e.representative.size(), 8u);
+  }
+}
+
+TEST(OverviewTest, UnknownLengthIsNotFound) {
+  const OnexBase base = MakeBase();
+  OverviewOptions opt;
+  opt.length = 999;
+  EXPECT_EQ(BuildOverview(base, opt).status().code(), StatusCode::kNotFound);
+}
+
+TEST(OverviewTest, RepresentativesCarryGroupShape) {
+  const OnexBase base = MakeBase();
+  Result<std::vector<OverviewEntry>> entries = BuildOverview(base, {});
+  ASSERT_TRUE(entries.ok());
+  for (const OverviewEntry& e : *entries) {
+    ASSERT_EQ(e.representative.size(), e.length);
+    const LengthClass& cls =
+        **base.FindLengthClass(e.length);
+    ASSERT_LT(e.group_index, cls.groups.size());
+    EXPECT_EQ(e.representative, cls.groups[e.group_index].centroid());
+    EXPECT_EQ(e.cardinality, cls.groups[e.group_index].size());
+  }
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,90 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "onex/core/onex_base.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+namespace {
+
+std::shared_ptr<const Dataset> MakeData(std::uint64_t seed) {
+  gen::RandomWalkOptions opt;
+  opt.num_series = 12;
+  opt.length = 40;
+  opt.seed = seed;
+  Result<Dataset> norm = Normalize(gen::MakeRandomWalks(opt),
+                                   NormalizationKind::kMinMaxDataset);
+  return std::make_shared<const Dataset>(std::move(norm).value());
+}
+
+void ExpectIdentical(const OnexBase& a, const OnexBase& b) {
+  ASSERT_EQ(a.length_classes().size(), b.length_classes().size());
+  EXPECT_EQ(a.TotalGroups(), b.TotalGroups());
+  EXPECT_EQ(a.TotalMembers(), b.TotalMembers());
+  EXPECT_EQ(a.stats().repaired_members, b.stats().repaired_members);
+  for (std::size_t c = 0; c < a.length_classes().size(); ++c) {
+    const LengthClass& ca = a.length_classes()[c];
+    const LengthClass& cb = b.length_classes()[c];
+    ASSERT_EQ(ca.length, cb.length);
+    ASSERT_EQ(ca.groups.size(), cb.groups.size());
+    for (std::size_t g = 0; g < ca.groups.size(); ++g) {
+      EXPECT_EQ(ca.groups[g].members(), cb.groups[g].members())
+          << "length " << ca.length << " group " << g;
+      EXPECT_EQ(ca.groups[g].centroid(), cb.groups[g].centroid());
+    }
+  }
+}
+
+class ParallelBuildTest : public ::testing::TestWithParam<CentroidPolicy> {};
+
+TEST_P(ParallelBuildTest, ParallelBuildIsBitIdenticalToSerial) {
+  auto ds = MakeData(5);
+  BaseBuildOptions serial;
+  serial.st = 0.15;
+  serial.min_length = 4;
+  serial.max_length = 24;
+  serial.centroid_policy = GetParam();
+  serial.threads = 1;
+  BaseBuildOptions parallel = serial;
+  parallel.threads = 8;
+
+  Result<OnexBase> a = OnexBase::Build(ds, serial);
+  Result<OnexBase> b = OnexBase::Build(ds, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdentical(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ParallelBuildTest,
+                         ::testing::Values(CentroidPolicy::kFixedLeader,
+                                           CentroidPolicy::kRunningMean,
+                                           CentroidPolicy::kRunningMeanRepair));
+
+TEST(ParallelBuildTest, HardwareConcurrencyMode) {
+  auto ds = MakeData(9);
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 16;
+  opt.threads = 0;  // one thread per core
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->TotalMembers(), ds->CountSubsequences(4, 16));
+}
+
+TEST(ParallelBuildTest, MoreThreadsThanClassesIsSafe) {
+  auto ds = MakeData(13);
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 10;
+  opt.max_length = 12;  // only 3 classes
+  opt.threads = 16;
+  Result<OnexBase> base = OnexBase::Build(ds, opt);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->length_classes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace onex

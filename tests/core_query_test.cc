@@ -1,0 +1,303 @@
+#include "onex/core/query_processor.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "onex/baseline/brute_force.h"
+#include "onex/distance/warping_path.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const Dataset> dataset;
+  std::unique_ptr<OnexBase> base;
+};
+
+Fixture MakeFixture(double st = 0.15, std::uint64_t seed = 42,
+                    std::size_t num = 8, std::size_t len = 20,
+                    CentroidPolicy policy = CentroidPolicy::kRunningMean) {
+  gen::SineFamilyOptions gopt;
+  gopt.num_series = num;
+  gopt.length = len;
+  gopt.seed = seed;
+  Result<Dataset> norm = Normalize(gen::MakeSineFamilies(gopt),
+                                   NormalizationKind::kMinMaxDataset);
+  Fixture f;
+  f.dataset = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions bopt;
+  bopt.st = st;
+  bopt.min_length = 4;
+  bopt.max_length = 12;
+  bopt.centroid_policy = policy;
+  f.base = std::make_unique<OnexBase>(
+      std::move(OnexBase::Build(f.dataset, bopt)).value());
+  return f;
+}
+
+std::vector<double> QueryFrom(const Fixture& f, std::size_t series,
+                              std::size_t start, std::size_t len) {
+  const std::span<const double> s = (*f.dataset)[series].Slice(start, len);
+  return {s.begin(), s.end()};
+}
+
+TEST(QueryProcessorTest, RejectsDegenerateInputs) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  EXPECT_FALSE(qp.BestMatchQuery(std::vector<double>{}).ok());
+  EXPECT_FALSE(qp.BestMatchQuery(std::vector<double>{1.0}).ok());
+  EXPECT_FALSE(qp.KnnQuery(std::vector<double>{1.0, 2.0}, 0).ok());
+}
+
+TEST(QueryProcessorTest, ExactSubsequenceIsItsOwnBestMatch) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  const std::vector<double> q = QueryFrom(f, 2, 3, 8);
+  // Exhaustive mode keeps refining groups within the ST slack, which always
+  // reaches the query's own group (its representative is within ST/2).
+  QueryOptions opt;
+  opt.exhaustive = true;
+  Result<BestMatch> m = qp.BestMatchQuery(q, opt);
+  ASSERT_TRUE(m.ok());
+  // The query IS in the base, so the best match has distance 0 (itself or an
+  // identical subsequence).
+  EXPECT_NEAR(m->normalized_dtw, 0.0, 1e-9);
+}
+
+TEST(QueryProcessorTest, MatchCarriesValidPathAndMetadata) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  const std::vector<double> q = QueryFrom(f, 0, 0, 10);
+  Result<BestMatch> m = qp.BestMatchQuery(q);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->length, m->ref.length);
+  EXPECT_TRUE(IsValidWarpingPath(m->path, q.size(), m->ref.length));
+  // Path cost equals the reported distance.
+  const std::span<const double> mv = m->ref.Resolve(*f.dataset);
+  EXPECT_NEAR(WarpingPathCost(q, mv, m->path), m->dtw, 1e-9);
+  // Group index refers into the right length class.
+  Result<const LengthClass*> cls = f.base->FindLengthClass(m->length);
+  ASSERT_TRUE(cls.ok());
+  ASSERT_LT(m->group_index, (*cls)->groups.size());
+}
+
+TEST(QueryProcessorTest, PathComputationCanBeDisabled) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  QueryOptions opt;
+  opt.compute_path = false;
+  Result<BestMatch> m = qp.BestMatchQuery(QueryFrom(f, 1, 2, 8), opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->path.empty());
+}
+
+TEST(QueryProcessorTest, LengthRestrictionsAreHonored) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  QueryOptions opt;
+  opt.min_length = 6;
+  opt.max_length = 8;
+  Result<BestMatch> m = qp.BestMatchQuery(QueryFrom(f, 0, 0, 10), opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GE(m->length, 6u);
+  EXPECT_LE(m->length, 8u);
+
+  opt.min_length = 100;
+  opt.max_length = 200;
+  EXPECT_FALSE(qp.BestMatchQuery(QueryFrom(f, 0, 0, 10), opt).ok());
+}
+
+TEST(QueryProcessorTest, PruningTogglesPreserveTheAnswer) {
+  const Fixture f = MakeFixture(0.12, 77);
+  QueryProcessor qp(f.base.get());
+  const std::vector<double> q = QueryFrom(f, 3, 1, 9);
+
+  QueryOptions all_on;
+  QueryOptions no_lb;
+  no_lb.use_lower_bounds = false;
+  QueryOptions no_ea;
+  no_ea.use_early_abandon = false;
+  QueryOptions none;
+  none.use_lower_bounds = false;
+  none.use_early_abandon = false;
+
+  Result<BestMatch> m0 = qp.BestMatchQuery(q, all_on);
+  Result<BestMatch> m1 = qp.BestMatchQuery(q, no_lb);
+  Result<BestMatch> m2 = qp.BestMatchQuery(q, no_ea);
+  Result<BestMatch> m3 = qp.BestMatchQuery(q, none);
+  ASSERT_TRUE(m0.ok());
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_TRUE(m3.ok());
+  EXPECT_NEAR(m0->normalized_dtw, m3->normalized_dtw, 1e-9);
+  EXPECT_NEAR(m1->normalized_dtw, m3->normalized_dtw, 1e-9);
+  EXPECT_NEAR(m2->normalized_dtw, m3->normalized_dtw, 1e-9);
+}
+
+TEST(QueryProcessorTest, StatsCountWork) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  QueryStats stats;
+  ASSERT_TRUE(qp.BestMatchQuery(QueryFrom(f, 0, 0, 8), {}, &stats).ok());
+  EXPECT_EQ(stats.groups_total, f.base->TotalGroups());
+  EXPECT_GT(stats.rep_dtw_evaluations, 0u);
+  EXPECT_GT(stats.member_dtw_evaluations, 0u);
+}
+
+TEST(QueryProcessorTest, LowerBoundsReduceWork) {
+  const Fixture f = MakeFixture(0.1, 5, 10, 24);
+  QueryProcessor qp(f.base.get());
+  const std::vector<double> q = QueryFrom(f, 4, 2, 10);
+
+  QueryStats pruned, unpruned;
+  QueryOptions on;
+  QueryOptions off;
+  off.use_lower_bounds = false;
+  off.use_early_abandon = false;
+  ASSERT_TRUE(qp.BestMatchQuery(q, on, &pruned).ok());
+  ASSERT_TRUE(qp.BestMatchQuery(q, off, &unpruned).ok());
+  EXPECT_LE(pruned.rep_dtw_evaluations, unpruned.rep_dtw_evaluations);
+}
+
+TEST(QueryProcessorTest, KnnReturnsSortedDistinctMatches) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  Result<std::vector<BestMatch>> knn =
+      qp.KnnQuery(QueryFrom(f, 0, 0, 8), 5);
+  ASSERT_TRUE(knn.ok());
+  ASSERT_EQ(knn->size(), 5u);
+  for (std::size_t i = 1; i < knn->size(); ++i) {
+    EXPECT_LE((*knn)[i - 1].normalized_dtw, (*knn)[i].normalized_dtw);
+  }
+  // All answers are distinct subsequences.
+  std::set<SubseqRef> refs;
+  for (const BestMatch& m : *knn) {
+    EXPECT_TRUE(refs.insert(m.ref).second);
+  }
+}
+
+TEST(QueryProcessorTest, KnnFirstEqualsBestMatch) {
+  const Fixture f = MakeFixture();
+  QueryProcessor qp(f.base.get());
+  const std::vector<double> q = QueryFrom(f, 5, 0, 12);
+  Result<BestMatch> best = qp.BestMatchQuery(q);
+  Result<std::vector<BestMatch>> knn = qp.KnnQuery(q, 4);
+  ASSERT_TRUE(best.ok());
+  ASSERT_TRUE(knn.ok());
+  EXPECT_NEAR(best->normalized_dtw, knn->front().normalized_dtw, 1e-12);
+}
+
+TEST(QueryProcessorTest, ExploringMoreGroupsNeverWorsensTheAnswer) {
+  const Fixture f = MakeFixture(0.25, 11);
+  QueryProcessor qp(f.base.get());
+  const std::vector<double> q = QueryFrom(f, 6, 3, 9);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    QueryOptions opt;
+    opt.explore_top_groups = k;
+    Result<BestMatch> m = qp.BestMatchQuery(q, opt);
+    ASSERT_TRUE(m.ok());
+    EXPECT_LE(m->normalized_dtw, prev + 1e-12);
+    prev = m->normalized_dtw;
+  }
+}
+
+/// The paper's §3.2 guarantee, tested as a property over datasets: the ONEX
+/// answer is within the similarity threshold of the exact optimum.
+class QueryQualityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryQualityTest, AnswerWithinStOfExactOptimum) {
+  const double st = 0.15;
+  const Fixture f = MakeFixture(st, GetParam(), 6, 16);
+  QueryProcessor qp(f.base.get());
+  Rng rng(GetParam() + 100);
+
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t series = rng.UniformIndex(f.dataset->size());
+    const std::size_t len = 5 + rng.UniformIndex(6);
+    const std::size_t start =
+        rng.UniformIndex((*f.dataset)[series].length() - len + 1);
+    const std::vector<double> q = QueryFrom(f, series, start, len);
+
+    QueryOptions opt;
+    opt.exhaustive = true;  // the mode that carries the paper's ST guarantee
+    Result<BestMatch> onex_ans = qp.BestMatchQuery(q, opt);
+    ASSERT_TRUE(onex_ans.ok());
+
+    ScanScope scope;
+    scope.min_length = 4;
+    scope.max_length = 12;
+    Result<ScanMatch> exact =
+        BruteForceBestMatch(*f.dataset, q, ScanDistance::kDtw, scope);
+    ASSERT_TRUE(exact.ok());
+
+    EXPECT_LE(onex_ans->normalized_dtw, exact->normalized + st + 1e-9)
+        << "series=" << series << " start=" << start << " len=" << len;
+  }
+}
+
+TEST_P(QueryQualityTest, AnswerQualityHoldsForEveryCentroidPolicy) {
+  const double st = 0.2;
+  for (const CentroidPolicy policy :
+       {CentroidPolicy::kFixedLeader, CentroidPolicy::kRunningMean,
+        CentroidPolicy::kRunningMeanRepair}) {
+    const Fixture f = MakeFixture(st, GetParam(), 5, 14, policy);
+    QueryProcessor qp(f.base.get());
+    const std::vector<double> q = QueryFrom(f, 0, 2, 7);
+    QueryOptions opt;
+    opt.exhaustive = true;
+    Result<BestMatch> ans = qp.BestMatchQuery(q, opt);
+    ASSERT_TRUE(ans.ok());
+    ScanScope scope;
+    scope.min_length = 4;
+    scope.max_length = 12;
+    Result<ScanMatch> exact =
+        BruteForceBestMatch(*f.dataset, q, ScanDistance::kDtw, scope);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(ans->normalized_dtw, exact->normalized + st + 1e-9);
+  }
+}
+
+TEST_P(QueryQualityTest, DefaultModeSatisfiesBridgingBound) {
+  // The provable form of the paper's guarantee for the default (single
+  // best-representative group) mode, under the fixed-leader policy where the
+  // ST/2 radius is exact (DESIGN.md §5):
+  //   DTW(q, ans) <= DTW(q, r*) + sqrt(M) * (ST/2) * sqrt(len)
+  // with M the max multiplicity of the optimal q<->r* warping path.
+  const double st = 0.2;
+  const Fixture f =
+      MakeFixture(st, GetParam(), 6, 16, CentroidPolicy::kFixedLeader);
+  QueryProcessor qp(f.base.get());
+  Rng rng(GetParam() + 400);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t series = rng.UniformIndex(f.dataset->size());
+    const std::size_t len = 5 + rng.UniformIndex(6);
+    const std::size_t start =
+        rng.UniformIndex((*f.dataset)[series].length() - len + 1);
+    std::vector<double> q = QueryFrom(f, series, start, len);
+    for (double& v : q) v += rng.Uniform(-0.05, 0.05);
+
+    Result<BestMatch> ans = qp.BestMatchQuery(q);  // default: paper mode
+    ASSERT_TRUE(ans.ok());
+    const LengthClass& cls = **f.base->FindLengthClass(ans->length);
+    const SimilarityGroup& g = cls.groups[ans->group_index];
+    const DtwAlignment align = DtwWithPath(q, g.centroid_span());
+    const double mult =
+        static_cast<double>(MaxSecondIndexMultiplicity(align.path));
+    const double ed_radius =
+        (st / 2.0) * std::sqrt(static_cast<double>(ans->length));
+    EXPECT_LE(ans->dtw,
+              align.distance + std::sqrt(mult) * ed_radius + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryQualityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace onex

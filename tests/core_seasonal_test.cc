@@ -1,0 +1,203 @@
+#include "onex/core/seasonal.h"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+namespace {
+
+/// A series with an exact planted period: sin with period `period`, lightly
+/// noised, `cycles` repetitions.
+std::shared_ptr<const Dataset> PeriodicDataset(std::size_t period,
+                                               std::size_t cycles,
+                                               double noise = 0.01,
+                                               std::uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < period * cycles; ++i) {
+    vals.push_back(std::sin(2.0 * std::numbers::pi *
+                            static_cast<double>(i) /
+                            static_cast<double>(period)) +
+                   rng.Gaussian(0.0, noise));
+  }
+  Dataset ds("periodic");
+  ds.Add(TimeSeries("wave", std::move(vals)));
+  Result<Dataset> norm = Normalize(ds, NormalizationKind::kMinMaxDataset);
+  return std::make_shared<const Dataset>(std::move(norm).value());
+}
+
+OnexBase BuildBase(std::shared_ptr<const Dataset> ds, std::size_t length,
+                   double st = 0.1) {
+  BaseBuildOptions opt;
+  opt.st = st;
+  opt.min_length = length;
+  opt.max_length = length;
+  return std::move(OnexBase::Build(std::move(ds), opt)).value();
+}
+
+TEST(SeasonalTest, RecoversPlantedPeriod) {
+  const std::size_t period = 12;
+  auto ds = PeriodicDataset(period, 8);
+  const OnexBase base = BuildBase(ds, period);
+
+  SeasonalOptions opt;
+  opt.length = period;
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_FALSE(patterns->empty());
+  const SeasonalPattern& top = patterns->front();
+  // The dominant pattern repeats at the planted period.
+  EXPECT_EQ(top.typical_gap, period);
+  EXPECT_GE(top.occurrences.size(), 6u);
+  EXPECT_EQ(top.length, period);
+}
+
+TEST(SeasonalTest, OccurrencesAreSortedAndNonOverlapping) {
+  auto ds = PeriodicDataset(10, 10);
+  const OnexBase base = BuildBase(ds, 10);
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, {});
+  ASSERT_TRUE(patterns.ok());
+  for (const SeasonalPattern& p : *patterns) {
+    for (std::size_t i = 1; i < p.occurrences.size(); ++i) {
+      EXPECT_LT(p.occurrences[i - 1].start, p.occurrences[i].start);
+      EXPECT_GE(p.occurrences[i].start, p.occurrences[i - 1].end())
+          << "occurrences overlap";
+    }
+  }
+}
+
+TEST(SeasonalTest, AllowOverlapFindsMorOccurrences) {
+  auto ds = PeriodicDataset(16, 6, 0.005);
+  const OnexBase base = BuildBase(ds, 16, 0.15);
+  SeasonalOptions strict;
+  strict.length = 16;
+  SeasonalOptions loose = strict;
+  loose.allow_overlap = true;
+  Result<std::vector<SeasonalPattern>> a =
+      FindSeasonalPatterns(base, 0, strict);
+  Result<std::vector<SeasonalPattern>> b =
+      FindSeasonalPatterns(base, 0, loose);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->empty());
+  ASSERT_FALSE(b->empty());
+  EXPECT_GE(b->front().occurrences.size(), a->front().occurrences.size());
+}
+
+TEST(SeasonalTest, MinOccurrencesFilters) {
+  auto ds = PeriodicDataset(12, 5);
+  const OnexBase base = BuildBase(ds, 12);
+  SeasonalOptions opt;
+  opt.min_occurrences = 100;  // nothing repeats 100 times
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+TEST(SeasonalTest, TopKLimitsOutput) {
+  auto ds = PeriodicDataset(8, 12, 0.05);
+  const OnexBase base = BuildBase(ds, 8, 0.08);
+  SeasonalOptions opt;
+  opt.top_k = 2;
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_LE(patterns->size(), 2u);
+}
+
+TEST(SeasonalTest, RankedByOccurrenceCountThenCohesion) {
+  auto ds = PeriodicDataset(10, 10, 0.03);
+  const OnexBase base = BuildBase(ds, 10, 0.12);
+  SeasonalOptions opt;
+  opt.top_k = 0;
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  for (std::size_t i = 1; i < patterns->size(); ++i) {
+    const SeasonalPattern& prev = (*patterns)[i - 1];
+    const SeasonalPattern& cur = (*patterns)[i];
+    EXPECT_TRUE(prev.occurrences.size() > cur.occurrences.size() ||
+                (prev.occurrences.size() == cur.occurrences.size() &&
+                 prev.cohesion <= cur.cohesion + 1e-12));
+  }
+}
+
+TEST(SeasonalTest, PatternsBelongToProbedSeriesOnly) {
+  // Two series: a periodic one and a flat one; probing the flat one must
+  // not return the wave's patterns.
+  Rng rng(5);
+  Dataset raw("two");
+  std::vector<double> wave;
+  for (int i = 0; i < 96; ++i) {
+    wave.push_back(std::sin(2.0 * std::numbers::pi * i / 12.0));
+  }
+  raw.Add(TimeSeries("wave", std::move(wave)));
+  std::vector<double> drift;
+  double v = 0.0;
+  for (int i = 0; i < 96; ++i) {
+    v += rng.Gaussian(0.0, 0.3);
+    drift.push_back(v);
+  }
+  raw.Add(TimeSeries("drift", std::move(drift)));
+  Result<Dataset> norm = Normalize(raw, NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(norm.ok());
+  auto ds = std::make_shared<const Dataset>(std::move(norm).value());
+  const OnexBase base = BuildBase(ds, 12, 0.08);
+
+  Result<std::vector<SeasonalPattern>> wave_patterns =
+      FindSeasonalPatterns(base, 0, {});
+  Result<std::vector<SeasonalPattern>> drift_patterns =
+      FindSeasonalPatterns(base, 1, {});
+  ASSERT_TRUE(wave_patterns.ok());
+  ASSERT_TRUE(drift_patterns.ok());
+  for (const SeasonalPattern& p : *wave_patterns) {
+    for (const SubseqRef& occ : p.occurrences) EXPECT_EQ(occ.series, 0u);
+  }
+  for (const SeasonalPattern& p : *drift_patterns) {
+    for (const SubseqRef& occ : p.occurrences) EXPECT_EQ(occ.series, 1u);
+  }
+  // The wave has far more repeating structure than the drift.
+  std::size_t wave_occ = 0, drift_occ = 0;
+  for (const SeasonalPattern& p : *wave_patterns) {
+    wave_occ = std::max(wave_occ, p.occurrences.size());
+  }
+  for (const SeasonalPattern& p : *drift_patterns) {
+    drift_occ = std::max(drift_occ, p.occurrences.size());
+  }
+  EXPECT_GT(wave_occ, drift_occ);
+}
+
+TEST(SeasonalTest, InvalidArguments) {
+  auto ds = PeriodicDataset(8, 4);
+  const OnexBase base = BuildBase(ds, 8);
+  SeasonalOptions opt;
+  opt.min_occurrences = 1;
+  EXPECT_EQ(FindSeasonalPatterns(base, 0, opt).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FindSeasonalPatterns(base, 99, {}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SeasonalTest, RepresentativeMatchesGroupLength) {
+  auto ds = PeriodicDataset(12, 6);
+  const OnexBase base = BuildBase(ds, 12);
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, {});
+  ASSERT_TRUE(patterns.ok());
+  for (const SeasonalPattern& p : *patterns) {
+    EXPECT_EQ(p.representative.size(), p.length);
+    EXPECT_GE(p.cohesion, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace onex

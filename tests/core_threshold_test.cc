@@ -1,0 +1,129 @@
+#include "onex/core/threshold_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "onex/gen/economic_panel.h"
+#include "onex/gen/generators.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(ThresholdAdvisorTest, RecommendationsAreSortedAndOrderedByPercentile) {
+  const Dataset ds = testing::SmallDataset(8, 30, 7);
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 500;
+  opt.percentiles = {25.0, 1.0, 10.0, 5.0};
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->recommendations.size(), 4u);
+  for (std::size_t i = 1; i < report->recommendations.size(); ++i) {
+    EXPECT_LE(report->recommendations[i - 1].st,
+              report->recommendations[i].st);
+    EXPECT_LE(report->recommendations[i - 1].percentile,
+              report->recommendations[i].percentile);
+  }
+  EXPECT_GT(report->pairs_sampled, 0u);
+  EXPECT_LE(report->min_distance, report->median_distance);
+  EXPECT_LE(report->median_distance, report->max_distance);
+}
+
+TEST(ThresholdAdvisorTest, Deterministic) {
+  const Dataset ds = testing::SmallDataset(6, 24, 11);
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 300;
+  opt.seed = 5;
+  Result<ThresholdReport> a = RecommendThresholds(ds, opt);
+  Result<ThresholdReport> b = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->recommendations.size(), b->recommendations.size());
+  for (std::size_t i = 0; i < a->recommendations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->recommendations[i].st, b->recommendations[i].st);
+  }
+}
+
+TEST(ThresholdAdvisorTest, DomainScalesDriveRecommendations) {
+  // The paper's motivation: growth-rate percents need tiny thresholds,
+  // unemployment head-counts need huge ones. On raw (unnormalized) data the
+  // advisor must reflect that gap.
+  gen::EconomicPanelOptions gopt;
+  gopt.indicator = gen::Indicator::kGrowthRate;
+  const Dataset growth = gen::MakeEconomicPanel(gopt);
+  gopt.indicator = gen::Indicator::kUnemployment;
+  const Dataset unemployment = gen::MakeEconomicPanel(gopt);
+
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 800;
+  opt.min_length = 4;
+  Result<ThresholdReport> g = RecommendThresholds(growth, opt);
+  Result<ThresholdReport> u = RecommendThresholds(unemployment, opt);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(u.ok());
+  EXPECT_GT(u->median_distance, g->median_distance * 100.0)
+      << "unemployment distances should dwarf growth-rate distances";
+  EXPECT_GT(u->recommendations.front().st, g->recommendations.front().st);
+}
+
+TEST(ThresholdAdvisorTest, PercentileSemantics) {
+  // Roughly p% of sampled distances fall below the p-percentile threshold.
+  const Dataset ds = testing::SmallDataset(10, 40, 23);
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 2000;
+  opt.percentiles = {10.0};
+  opt.seed = 9;
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok());
+  const double st = report->recommendations.front().st;
+  EXPECT_GT(st, report->min_distance);
+  EXPECT_LT(st, report->max_distance);
+}
+
+TEST(ThresholdAdvisorTest, LengthRangeIsRespected) {
+  const Dataset ds = testing::SmallDataset(6, 30, 3);
+  ThresholdAdvisorOptions opt;
+  opt.min_length = 5;
+  opt.max_length = 8;
+  opt.sample_pairs = 200;
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->pairs_sampled, 0u);
+}
+
+TEST(ThresholdAdvisorTest, InvalidInputs) {
+  const Dataset ds = testing::SmallDataset(4, 20, 5);
+  EXPECT_FALSE(RecommendThresholds(Dataset(), {}).ok());
+
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 0;
+  EXPECT_FALSE(RecommendThresholds(ds, opt).ok());
+
+  opt = ThresholdAdvisorOptions();
+  opt.min_length = 1;
+  EXPECT_FALSE(RecommendThresholds(ds, opt).ok());
+
+  opt = ThresholdAdvisorOptions();
+  opt.min_length = 50;  // longer than any series
+  EXPECT_FALSE(RecommendThresholds(ds, opt).ok());
+
+  opt = ThresholdAdvisorOptions();
+  opt.percentiles = {120.0};
+  EXPECT_FALSE(RecommendThresholds(ds, opt).ok());
+}
+
+TEST(ThresholdAdvisorTest, ConstantDatasetGivesZeroThresholds) {
+  Dataset ds("flat");
+  ds.Add(TimeSeries("a", std::vector<double>(20, 3.0)));
+  ds.Add(TimeSeries("b", std::vector<double>(20, 3.0)));
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 100;
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->median_distance, 0.0);
+  for (const ThresholdRecommendation& r : report->recommendations) {
+    EXPECT_DOUBLE_EQ(r.st, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,222 @@
+#include "onex/distance/dtw.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/distance/euclidean.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a, 1), 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // [0,1] vs [0,0,1]: the warp repeats the 0; perfect alignment.
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 0.0);
+}
+
+TEST(DtwTest, KnownNonZeroExample) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  // Diagonal path: two unit costs -> sqrt(2).
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), std::sqrt(2.0));
+}
+
+TEST(DtwTest, ShiftedSpikeAlignsUnderWarping) {
+  // The same spike at different offsets: DTW nearly zero, ED large.
+  std::vector<double> a(20, 0.0), b(20, 0.0);
+  a[5] = 1.0;
+  b[12] = 1.0;
+  EXPECT_LT(DtwDistance(a, b), 1e-9);
+  EXPECT_GT(Euclidean(a, b), 1.0);
+}
+
+TEST(DtwTest, EmptyInputIsInfinite) {
+  const std::vector<double> empty;
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_TRUE(std::isinf(DtwDistance(empty, a)));
+  EXPECT_TRUE(std::isinf(DtwDistance(a, empty)));
+  EXPECT_TRUE(std::isinf(NormalizedDtwDistance(empty, empty)));
+}
+
+TEST(DtwTest, SinglePointPairs) {
+  const std::vector<double> a{2.0};
+  const std::vector<double> b{5.0};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), 3.0);
+  const std::vector<double> c{1.0, 3.0};
+  // One point vs two: both of c's points align with a's single point.
+  EXPECT_DOUBLE_EQ(DtwDistance(a, c), std::sqrt(1.0 + 1.0));
+}
+
+TEST(DtwTest, EffectiveWindowWidensForSkewedLengths) {
+  EXPECT_EQ(EffectiveWindow(10, 10, 3), 3);
+  EXPECT_EQ(EffectiveWindow(10, 20, 3), 10);
+  EXPECT_EQ(EffectiveWindow(20, 10, 0), 10);
+  EXPECT_EQ(EffectiveWindow(10, 10, -1), kNoWindow);
+}
+
+TEST(DtwTest, WindowZeroOnEqualLengthsIsEuclidean) {
+  // Band 0 admits only the diagonal: DTW == ED.
+  Rng rng(99);
+  const std::vector<double> a = testing::RandomSeries(&rng, 24);
+  const std::vector<double> b = testing::RandomSeries(&rng, 24);
+  EXPECT_NEAR(DtwDistance(a, b, 0), Euclidean(a, b), 1e-9);
+}
+
+TEST(DtwTest, BandedDistanceAlwaysFinite) {
+  // Even with tiny windows and skewed lengths the widened band keeps the
+  // corner reachable.
+  Rng rng(7);
+  const std::vector<double> a = testing::RandomSeries(&rng, 5);
+  const std::vector<double> b = testing::RandomSeries(&rng, 37);
+  EXPECT_TRUE(std::isfinite(DtwDistance(a, b, 0)));
+  EXPECT_TRUE(std::isfinite(DtwDistance(a, b, 1)));
+}
+
+TEST(DtwTest, EarlyAbandonNegativeCutoffNeverAbandons) {
+  Rng rng(3);
+  const std::vector<double> a = testing::RandomSeries(&rng, 16);
+  const std::vector<double> b = testing::RandomSeries(&rng, 16);
+  EXPECT_DOUBLE_EQ(DtwDistanceEarlyAbandon(a, b, -1.0), DtwDistance(a, b));
+}
+
+TEST(DtwTest, EarlyAbandonAboveTrueDistanceIsExact) {
+  Rng rng(4);
+  const std::vector<double> a = testing::RandomSeries(&rng, 20);
+  const std::vector<double> b = testing::RandomSeries(&rng, 20);
+  const double exact = DtwDistance(a, b);
+  EXPECT_DOUBLE_EQ(DtwDistanceEarlyAbandon(a, b, exact * 1.01 + 0.01), exact);
+}
+
+TEST(DtwTest, EarlyAbandonBelowTrueDistanceAbandons) {
+  const std::vector<double> a(16, 0.0);
+  const std::vector<double> b(16, 10.0);
+  const double exact = DtwDistance(a, b);
+  EXPECT_TRUE(std::isinf(DtwDistanceEarlyAbandon(a, b, exact * 0.5)));
+}
+
+TEST(DtwPathTest, PathForIdenticalSeriesIsDiagonal) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const DtwAlignment al = DtwWithPath(a, a);
+  EXPECT_DOUBLE_EQ(al.distance, 0.0);
+  ASSERT_EQ(al.path.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(al.path[k].first, k);
+    EXPECT_EQ(al.path[k].second, k);
+  }
+}
+
+TEST(DtwPathTest, EmptyInputsYieldEmptyPath) {
+  const std::vector<double> empty;
+  const DtwAlignment al = DtwWithPath(empty, empty);
+  EXPECT_TRUE(std::isinf(al.distance));
+  EXPECT_TRUE(al.path.empty());
+}
+
+class DtwPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DtwPropertyTest, Symmetry) {
+  Rng rng(GetParam());
+  const std::vector<double> a =
+      testing::RandomSeries(&rng, 2 + rng.UniformIndex(30));
+  const std::vector<double> b =
+      testing::RandomSeries(&rng, 2 + rng.UniformIndex(30));
+  EXPECT_NEAR(DtwDistance(a, b), DtwDistance(b, a), 1e-9);
+}
+
+TEST_P(DtwPropertyTest, BoundedAboveByEuclideanOnEqualLengths) {
+  // The core inequality the ONEX base construction rests on (DESIGN.md §5).
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.UniformIndex(40);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  EXPECT_LE(DtwDistance(a, b), Euclidean(a, b) + 1e-9);
+  EXPECT_LE(NormalizedDtwDistance(a, b), NormalizedEuclidean(a, b) + 1e-9);
+}
+
+TEST_P(DtwPropertyTest, WideningTheBandNeverIncreasesDistance) {
+  Rng rng(GetParam());
+  const std::size_t n = 4 + rng.UniformIndex(24);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  double prev = DtwDistance(a, b, 0);
+  for (int w = 1; w <= static_cast<int>(n); w += 3) {
+    const double cur = DtwDistance(a, b, w);
+    EXPECT_LE(cur, prev + 1e-9) << "window " << w;
+    prev = cur;
+  }
+  EXPECT_NEAR(DtwDistance(a, b, static_cast<int>(n)), DtwDistance(a, b), 1e-9);
+}
+
+TEST_P(DtwPropertyTest, PathIsValidAndCostMatchesDistance) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.UniformIndex(25);
+  const std::size_t m = 2 + rng.UniformIndex(25);
+  const std::vector<double> a = testing::SmoothSeries(&rng, n);
+  const std::vector<double> b = testing::SmoothSeries(&rng, m);
+  const DtwAlignment al = DtwWithPath(a, b);
+  ASSERT_TRUE(IsValidWarpingPath(al.path, n, m));
+  EXPECT_NEAR(WarpingPathCost(a, b, al.path), al.distance, 1e-9);
+  EXPECT_NEAR(al.distance, DtwDistance(a, b), 1e-9);
+}
+
+TEST_P(DtwPropertyTest, BandedPathRespectsBand) {
+  Rng rng(GetParam());
+  const std::size_t n = 6 + rng.UniformIndex(20);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  const int w = 2;
+  const DtwAlignment al = DtwWithPath(a, b, w);
+  ASSERT_TRUE(IsValidWarpingPath(al.path, n, n));
+  for (const auto& [i, j] : al.path) {
+    EXPECT_LE(std::abs(static_cast<long long>(i) - static_cast<long long>(j)),
+              w);
+  }
+  EXPECT_NEAR(al.distance, DtwDistance(a, b, w), 1e-9);
+}
+
+TEST_P(DtwPropertyTest, BridgingBoundWithMultiplicity) {
+  // DTW(q,s) <= DTW(q,r) + sqrt(M) * ED(r,s): the ED->DTW triangle bound the
+  // ONEX exploration model is built on (DESIGN.md §5).
+  Rng rng(GetParam());
+  const std::size_t qn = 4 + rng.UniformIndex(16);
+  const std::size_t rn = 4 + rng.UniformIndex(16);
+  const std::vector<double> q = testing::SmoothSeries(&rng, qn);
+  const std::vector<double> r = testing::SmoothSeries(&rng, rn);
+  std::vector<double> s = r;  // member within a small ED ball of r
+  for (double& v : s) v += rng.Uniform(-0.05, 0.05);
+
+  const DtwAlignment qr = DtwWithPath(q, r);
+  const std::size_t mult = MaxSecondIndexMultiplicity(qr.path);
+  const double bound = qr.distance +
+                       std::sqrt(static_cast<double>(mult)) * Euclidean(r, s);
+  EXPECT_LE(DtwDistance(q, s), bound + 1e-9);
+}
+
+TEST_P(DtwPropertyTest, NormalizedDtwMatchesDefinition) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.UniformIndex(20);
+  const std::size_t m = 2 + rng.UniformIndex(20);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, m);
+  EXPECT_NEAR(
+      NormalizedDtwDistance(a, b),
+      DtwDistance(a, b) / std::sqrt(static_cast<double>(std::max(n, m))),
+      1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DtwPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,140 @@
+#include "onex/distance/envelope.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+/// Reference O(n*w) envelope for validating the deque implementation.
+Envelope BruteEnvelope(const std::vector<double>& x, int window) {
+  Envelope env;
+  const std::size_t n = x.size();
+  env.lower.resize(n);
+  env.upper.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo, hi;
+    if (window < 0 || static_cast<std::size_t>(window) >= n) {
+      lo = 0;
+      hi = n - 1;
+    } else {
+      const std::size_t w = static_cast<std::size_t>(window);
+      lo = i >= w ? i - w : 0;
+      hi = std::min(i + w, n - 1);
+    }
+    env.lower[i] = *std::min_element(x.begin() + lo, x.begin() + hi + 1);
+    env.upper[i] = *std::max_element(x.begin() + lo, x.begin() + hi + 1);
+  }
+  return env;
+}
+
+TEST(EnvelopeTest, EmptyInput) {
+  const Envelope env = ComputeKeoghEnvelope(std::vector<double>{}, 2);
+  EXPECT_TRUE(env.empty());
+  EXPECT_EQ(env.size(), 0u);
+}
+
+TEST(EnvelopeTest, WindowZeroIsIdentity) {
+  const std::vector<double> x{3.0, 1.0, 4.0, 1.0, 5.0};
+  const Envelope env = ComputeKeoghEnvelope(x, 0);
+  EXPECT_EQ(env.lower, x);
+  EXPECT_EQ(env.upper, x);
+}
+
+TEST(EnvelopeTest, NegativeWindowIsGlobalMinMax) {
+  const std::vector<double> x{3.0, 1.0, 4.0, 1.0, 5.0};
+  const Envelope env = ComputeKeoghEnvelope(x, -1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.lower[i], 1.0);
+    EXPECT_DOUBLE_EQ(env.upper[i], 5.0);
+  }
+}
+
+TEST(EnvelopeTest, KnownSmallWindow) {
+  const std::vector<double> x{0.0, 2.0, 1.0, 3.0};
+  const Envelope env = ComputeKeoghEnvelope(x, 1);
+  EXPECT_EQ(env.upper, (std::vector<double>{2.0, 2.0, 3.0, 3.0}));
+  EXPECT_EQ(env.lower, (std::vector<double>{0.0, 0.0, 1.0, 1.0}));
+}
+
+TEST(EnvelopeTest, WindowLargerThanSeriesIsGlobal) {
+  const std::vector<double> x{2.0, 7.0, 5.0};
+  const Envelope env = ComputeKeoghEnvelope(x, 100);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(env.lower[i], 2.0);
+    EXPECT_DOUBLE_EQ(env.upper[i], 7.0);
+  }
+}
+
+TEST(EnvelopeTest, AccumulateFromEmpty) {
+  Envelope acc;
+  const std::vector<double> x{1.0, 5.0};
+  AccumulateEnvelope(&acc, x);
+  EXPECT_EQ(acc.lower, x);
+  EXPECT_EQ(acc.upper, x);
+}
+
+TEST(EnvelopeTest, AccumulateWidensPointwise) {
+  Envelope acc;
+  AccumulateEnvelope(&acc, std::vector<double>{1.0, 5.0, 3.0});
+  AccumulateEnvelope(&acc, std::vector<double>{2.0, 4.0, 6.0});
+  AccumulateEnvelope(&acc, std::vector<double>{0.0, 5.0, 4.0});
+  EXPECT_EQ(acc.lower, (std::vector<double>{0.0, 4.0, 3.0}));
+  EXPECT_EQ(acc.upper, (std::vector<double>{2.0, 5.0, 6.0}));
+}
+
+class EnvelopePropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(EnvelopePropertyTest, MatchesBruteForce) {
+  const auto [seed, window] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 1 + rng.UniformIndex(80);
+  const std::vector<double> x = testing::RandomSeries(&rng, n);
+  const Envelope fast = ComputeKeoghEnvelope(x, window);
+  const Envelope slow = BruteEnvelope(x, window);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(fast.lower[i], slow.lower[i]) << "i=" << i;
+    EXPECT_DOUBLE_EQ(fast.upper[i], slow.upper[i]) << "i=" << i;
+  }
+}
+
+TEST_P(EnvelopePropertyTest, EnvelopeContainsSeries) {
+  const auto [seed, window] = GetParam();
+  Rng rng(seed + 1000);
+  const std::size_t n = 1 + rng.UniformIndex(60);
+  const std::vector<double> x = testing::RandomSeries(&rng, n);
+  const Envelope env = ComputeKeoghEnvelope(x, window);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(env.lower[i], x[i]);
+    EXPECT_GE(env.upper[i], x[i]);
+  }
+}
+
+TEST_P(EnvelopePropertyTest, WiderWindowsNest) {
+  const auto [seed, window] = GetParam();
+  if (window < 0) return;  // global case has nothing wider
+  Rng rng(seed + 2000);
+  const std::size_t n = 2 + rng.UniformIndex(50);
+  const std::vector<double> x = testing::RandomSeries(&rng, n);
+  const Envelope narrow = ComputeKeoghEnvelope(x, window);
+  const Envelope wide = ComputeKeoghEnvelope(x, window + 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(wide.lower[i], narrow.lower[i]);
+    EXPECT_GE(wide.upper[i], narrow.upper[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWindows, EnvelopePropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5),
+                       ::testing::Values(-1, 0, 1, 2, 5, 17)));
+
+}  // namespace
+}  // namespace onex

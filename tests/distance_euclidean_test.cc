@@ -1,0 +1,103 @@
+#include "onex/distance/euclidean.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(EuclideanTest, KnownValues) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(NormalizedEuclidean(a, b), 5.0 / std::sqrt(2.0));
+}
+
+TEST(EuclideanTest, IdenticalInputsAreZero) {
+  const std::vector<double> a{1.0, -2.0, 3.5};
+  EXPECT_DOUBLE_EQ(Euclidean(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEuclidean(a, a), 0.0);
+}
+
+TEST(EuclideanTest, MismatchedLengthsAreInfinite) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isinf(Euclidean(a, b)));
+  EXPECT_TRUE(std::isinf(SquaredEuclidean(a, b)));
+  EXPECT_TRUE(std::isinf(NormalizedEuclidean(a, b)));
+}
+
+TEST(EuclideanTest, EmptyInputsAreInfinite) {
+  const std::vector<double> empty;
+  const std::vector<double> a{1.0};
+  EXPECT_TRUE(std::isinf(Euclidean(empty, empty)));
+  EXPECT_TRUE(std::isinf(Euclidean(empty, a)));
+}
+
+TEST(EuclideanTest, Symmetry) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{0.0, -1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Euclidean(a, b), Euclidean(b, a));
+}
+
+TEST(EuclideanTest, EarlyAbandonExactBelowCutoff) {
+  const std::vector<double> a{0.0, 0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0, 1.0};
+  // Squared distance 3, cutoff above it: exact result.
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, 4.0), 3.0);
+  // Cutoff below: abandoned.
+  EXPECT_TRUE(std::isinf(SquaredEuclideanEarlyAbandon(a, b, 2.0)));
+}
+
+TEST(EuclideanTest, EarlyAbandonCutoffIsExclusive) {
+  const std::vector<double> a{0.0};
+  // Exactly at the cutoff: not abandoned (uses strict >).
+  EXPECT_DOUBLE_EQ(
+      SquaredEuclideanEarlyAbandon(a, std::vector<double>{2.0}, 4.0), 4.0);
+}
+
+class EuclideanPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EuclideanPropertyTest, TriangleInequality) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.UniformIndex(60);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  const std::vector<double> c = testing::RandomSeries(&rng, n);
+  EXPECT_LE(Euclidean(a, c), Euclidean(a, b) + Euclidean(b, c) + 1e-9);
+}
+
+TEST_P(EuclideanPropertyTest, NormalizedMatchesDefinition) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.UniformIndex(40);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  EXPECT_NEAR(NormalizedEuclidean(a, b),
+              Euclidean(a, b) / std::sqrt(static_cast<double>(n)), 1e-12);
+}
+
+TEST_P(EuclideanPropertyTest, EarlyAbandonAgreesWithExact) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.UniformIndex(50);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  const double exact = SquaredEuclidean(a, b);
+  // Generous cutoff: must be exact.
+  EXPECT_DOUBLE_EQ(SquaredEuclideanEarlyAbandon(a, b, exact + 1.0), exact);
+  // Tight cutoff below the true value: must abandon.
+  if (exact > 1e-9) {
+    EXPECT_TRUE(std::isinf(SquaredEuclideanEarlyAbandon(a, b, exact * 0.5)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EuclideanPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,114 @@
+#include "onex/distance/generalized.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/distance/dtw.h"
+#include "onex/distance/euclidean.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(GeneralizedTest, SquaredCostMatchesDefaultKernels) {
+  Rng rng(3);
+  const std::vector<double> a = testing::RandomSeries(&rng, 20);
+  const std::vector<double> b = testing::RandomSeries(&rng, 20);
+  EXPECT_NEAR(GeneralizedStraightDistance(a, b, PointCost::kSquared),
+              Euclidean(a, b), 1e-12);
+  EXPECT_NEAR(GeneralizedDtwDistance(a, b, PointCost::kSquared),
+              DtwDistance(a, b), 1e-9);
+  EXPECT_NEAR(GeneralizedDtwDistance(a, b, PointCost::kSquared, 3),
+              DtwDistance(a, b, 3), 1e-9);
+}
+
+TEST(GeneralizedTest, AbsoluteCostKnownValues) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(GeneralizedStraightDistance(a, b, PointCost::kAbsolute),
+                   4.0);
+  // Warping can't help identical-length monotone gaps here: |0-1| + |0-3|.
+  EXPECT_DOUBLE_EQ(GeneralizedDtwDistance(a, b, PointCost::kAbsolute), 4.0);
+}
+
+TEST(GeneralizedTest, AbsoluteDtwAbsorbsShifts) {
+  std::vector<double> a(16, 0.0), b(16, 0.0);
+  a[4] = 1.0;
+  b[10] = 1.0;
+  EXPECT_LT(GeneralizedDtwDistance(a, b, PointCost::kAbsolute), 1e-9);
+  EXPECT_GT(GeneralizedStraightDistance(a, b, PointCost::kAbsolute), 1.9);
+}
+
+TEST(GeneralizedTest, DegenerateInputs) {
+  const std::vector<double> empty;
+  const std::vector<double> a{1.0};
+  EXPECT_TRUE(std::isinf(
+      GeneralizedStraightDistance(empty, a, PointCost::kAbsolute)));
+  EXPECT_TRUE(
+      std::isinf(GeneralizedDtwDistance(empty, a, PointCost::kAbsolute)));
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_TRUE(
+      std::isinf(GeneralizedStraightDistance(a, b, PointCost::kSquared)));
+}
+
+TEST(GeneralizedTest, CostNamesRoundTrip) {
+  for (const PointCost cost : {PointCost::kSquared, PointCost::kAbsolute}) {
+    Result<PointCost> back = PointCostFromString(PointCostToString(cost));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, cost);
+  }
+  EXPECT_EQ(*PointCostFromString("L1"), PointCost::kAbsolute);
+  EXPECT_EQ(*PointCostFromString("l2"), PointCost::kSquared);
+  EXPECT_FALSE(PointCostFromString("cosine").ok());
+}
+
+class GeneralizedPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, PointCost>> {};
+
+TEST_P(GeneralizedPropertyTest, WarpedNeverExceedsStraight) {
+  // The property any ONEX-style distance pair must satisfy (DESIGN.md §5).
+  const auto [seed, cost] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 2 + rng.UniformIndex(40);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  EXPECT_LE(GeneralizedDtwDistance(a, b, cost),
+            GeneralizedStraightDistance(a, b, cost) + 1e-9);
+}
+
+TEST_P(GeneralizedPropertyTest, SymmetricAndZeroOnIdentity) {
+  const auto [seed, cost] = GetParam();
+  Rng rng(seed + 77);
+  const std::vector<double> a =
+      testing::RandomSeries(&rng, 2 + rng.UniformIndex(25));
+  const std::vector<double> b =
+      testing::RandomSeries(&rng, 2 + rng.UniformIndex(25));
+  EXPECT_NEAR(GeneralizedDtwDistance(a, b, cost),
+              GeneralizedDtwDistance(b, a, cost), 1e-9);
+  EXPECT_NEAR(GeneralizedDtwDistance(a, a, cost), 0.0, 1e-12);
+}
+
+TEST_P(GeneralizedPropertyTest, BandWideningIsMonotone) {
+  const auto [seed, cost] = GetParam();
+  Rng rng(seed + 200);
+  const std::size_t n = 4 + rng.UniformIndex(20);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, n);
+  double prev = GeneralizedDtwDistance(a, b, cost, 0);
+  for (int w = 2; w <= static_cast<int>(n); w += 2) {
+    const double cur = GeneralizedDtwDistance(a, b, cost, w);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCosts, GeneralizedPropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(PointCost::kSquared,
+                                         PointCost::kAbsolute)));
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,164 @@
+#include "onex/distance/lower_bounds.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/distance/dtw.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(LbKimTest, KnownValue) {
+  const std::vector<double> a{0.0, 5.0, 1.0};
+  const std::vector<double> b{3.0, 9.0, 5.0};
+  EXPECT_DOUBLE_EQ(LbKim(a, b), std::sqrt(9.0 + 16.0));
+}
+
+TEST(LbKimTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(LbKim(std::vector<double>{}, std::vector<double>{1.0}), 0.0);
+}
+
+TEST(LbKimTest, DifferentLengthsStillValid) {
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{0.5, 2.0, 1.5};
+  EXPECT_LE(LbKim(a, b), DtwDistance(a, b) + 1e-12);
+}
+
+TEST(LbKeoghTest, LengthMismatchReturnsZero) {
+  const std::vector<double> q{1.0, 2.0, 3.0};
+  const Envelope env = ComputeKeoghEnvelope(q, 1);
+  EXPECT_DOUBLE_EQ(LbKeogh(env, std::vector<double>{1.0, 2.0}), 0.0);
+}
+
+TEST(LbKeoghTest, CandidateInsideEnvelopeGivesZero) {
+  const std::vector<double> q{0.0, 1.0, 0.0, -1.0};
+  const Envelope env = ComputeKeoghEnvelope(q, -1);  // global [-1, 1]
+  EXPECT_DOUBLE_EQ(LbKeogh(env, std::vector<double>{0.5, -0.5, 0.9, 0.0}),
+                   0.0);
+}
+
+TEST(LbKeoghTest, EarlyAbandonConsistency) {
+  const std::vector<double> q{0.0, 0.0, 0.0, 0.0};
+  const Envelope env = ComputeKeoghEnvelope(q, 0);
+  const std::vector<double> far{5.0, 5.0, 5.0, 5.0};
+  const double exact = LbKeogh(env, far);
+  EXPECT_DOUBLE_EQ(exact, 10.0);  // sqrt(4 * 25)
+  EXPECT_TRUE(std::isinf(LbKeogh(env, far, 5.0)));   // cutoff below
+  EXPECT_DOUBLE_EQ(LbKeogh(env, far, 20.0), exact);  // cutoff above
+}
+
+TEST(LbKeoghGroupTest, OverlappingEnvelopesGiveZero) {
+  Envelope q_env;
+  q_env.lower = {0.0, 0.0};
+  q_env.upper = {1.0, 1.0};
+  Envelope g_env;
+  g_env.lower = {0.5, -1.0};
+  g_env.upper = {2.0, 0.5};
+  EXPECT_DOUBLE_EQ(LbKeoghGroup(q_env, g_env), 0.0);
+}
+
+TEST(LbKeoghGroupTest, DisjointEnvelopesGivePositiveBound) {
+  Envelope q_env;
+  q_env.lower = {0.0, 0.0};
+  q_env.upper = {1.0, 1.0};
+  Envelope g_env;
+  g_env.lower = {3.0, 3.0};
+  g_env.upper = {4.0, 4.0};
+  // Each point at least distance 2 -> sqrt(8).
+  EXPECT_DOUBLE_EQ(LbKeoghGroup(q_env, g_env), std::sqrt(8.0));
+}
+
+TEST(LbKeoghGroupTest, SizeMismatchReturnsZero) {
+  Envelope q_env;
+  q_env.lower = {0.0};
+  q_env.upper = {1.0};
+  Envelope g_env;
+  g_env.lower = {0.0, 0.0};
+  g_env.upper = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(LbKeoghGroup(q_env, g_env), 0.0);
+}
+
+/// Admissibility sweeps: every lower bound must stay below the true banded
+/// DTW on random inputs. Parameter = (seed, window).
+class LowerBoundPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(LowerBoundPropertyTest, LbKimAdmissible) {
+  const auto [seed, window] = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 2 + rng.UniformIndex(30);
+  const std::size_t m = 2 + rng.UniformIndex(30);
+  const std::vector<double> a = testing::RandomSeries(&rng, n);
+  const std::vector<double> b = testing::RandomSeries(&rng, m);
+  EXPECT_LE(LbKim(a, b), DtwDistance(a, b, window) + 1e-9);
+}
+
+TEST_P(LowerBoundPropertyTest, LbKeoghAdmissibleForBandedDtw) {
+  const auto [seed, window] = GetParam();
+  Rng rng(seed + 500);
+  const std::size_t n = 2 + rng.UniformIndex(40);
+  const std::vector<double> q = testing::RandomSeries(&rng, n);
+  const std::vector<double> c = testing::RandomSeries(&rng, n);
+  const int eff = window < 0 ? -1 : EffectiveWindow(n, n, window);
+  const Envelope env = ComputeKeoghEnvelope(q, eff);
+  EXPECT_LE(LbKeogh(env, c), DtwDistance(q, c, window) + 1e-9)
+      << "n=" << n << " window=" << window;
+}
+
+TEST_P(LowerBoundPropertyTest, GroupBoundAdmissibleForEveryMember) {
+  const auto [seed, window] = GetParam();
+  Rng rng(seed + 900);
+  const std::size_t n = 2 + rng.UniformIndex(24);
+  const std::vector<double> q = testing::RandomSeries(&rng, n);
+  const int eff = window < 0 ? -1 : EffectiveWindow(n, n, window);
+  const Envelope q_env = ComputeKeoghEnvelope(q, eff);
+
+  // A synthetic group: perturbed copies of one shape.
+  const std::vector<double> center = testing::RandomSeries(&rng, n);
+  Envelope g_env;
+  std::vector<std::vector<double>> members;
+  for (int k = 0; k < 6; ++k) {
+    std::vector<double> m = center;
+    for (double& v : m) v += rng.Uniform(-0.2, 0.2);
+    AccumulateEnvelope(&g_env, m);
+    members.push_back(std::move(m));
+  }
+  const double bound = LbKeoghGroup(q_env, g_env);
+  for (const std::vector<double>& m : members) {
+    EXPECT_LE(bound, DtwDistance(q, m, window) + 1e-9);
+  }
+}
+
+TEST_P(LowerBoundPropertyTest, GroupBoundNeverExceedsMemberKeogh) {
+  // The group bound relaxes the member bound; verify the dominance that
+  // makes it safe to test the group before its members.
+  const auto [seed, window] = GetParam();
+  Rng rng(seed + 1300);
+  const std::size_t n = 2 + rng.UniformIndex(24);
+  const std::vector<double> q = testing::RandomSeries(&rng, n);
+  const int eff = window < 0 ? -1 : EffectiveWindow(n, n, window);
+  const Envelope q_env = ComputeKeoghEnvelope(q, eff);
+  Envelope g_env;
+  std::vector<std::vector<double>> members;
+  for (int k = 0; k < 4; ++k) {
+    std::vector<double> m = testing::RandomSeries(&rng, n);
+    AccumulateEnvelope(&g_env, m);
+    members.push_back(std::move(m));
+  }
+  const double group_bound = LbKeoghGroup(q_env, g_env);
+  for (const std::vector<double>& m : members) {
+    EXPECT_LE(group_bound, LbKeogh(q_env, m) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWindows, LowerBoundPropertyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Values(-1, 0, 1, 3, 8)));
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,163 @@
+/// Concurrency stress over the engine: the demo's deployment serves many
+/// analysts against one engine, with occasional re-preparation. Snapshot
+/// semantics must keep readers consistent throughout.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/engine/engine.h"
+#include "onex/gen/generators.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+Dataset MakeData(std::uint64_t seed = 42) {
+  gen::SineFamilyOptions opt;
+  opt.num_series = 8;
+  opt.length = 24;
+  opt.seed = seed;
+  return gen::MakeSineFamilies(opt);
+}
+
+BaseBuildOptions Quick() {
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  return opt;
+}
+
+TEST(EngineConcurrencyTest, ParallelQueriesShareOnePreparedDataset) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData()).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&engine, &failures, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 7);
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        QuerySpec spec;
+        spec.series = rng.UniformIndex(8);
+        spec.start = rng.UniformIndex(12);
+        spec.length = 6 + rng.UniformIndex(5);
+        Result<MatchResult> m = engine.SimilaritySearch("a", spec);
+        if (!m.ok() || !(m->match.normalized_dtw >= 0.0)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, QueriesRaceWithRepreparation) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData()).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> query_failures{0};
+  std::atomic<int> queries_done{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 100);
+      while (!stop.load()) {
+        QuerySpec spec;
+        spec.series = rng.UniformIndex(8);
+        spec.length = 8;
+        Result<MatchResult> m = engine.SimilaritySearch("a", spec);
+        if (!m.ok()) query_failures.fetch_add(1);
+        queries_done.fetch_add(1);
+      }
+    });
+  }
+
+  // Writer: flip between two thresholds while readers hammer the engine.
+  for (int round = 0; round < 6; ++round) {
+    BaseBuildOptions opt = Quick();
+    opt.st = round % 2 == 0 ? 0.1 : 0.3;
+    ASSERT_TRUE(engine.Prepare("a", opt).ok()) << "round " << round;
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_GT(queries_done.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, AppendsRaceWithQueries) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData()).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread reader([&] {
+    Rng rng(55);
+    while (!stop.load()) {
+      QuerySpec spec;
+      spec.series = rng.UniformIndex(8);  // original series stay valid
+      spec.length = 8;
+      if (!engine.SimilaritySearch("a", spec).ok()) failures.fetch_add(1);
+    }
+  });
+
+  Rng rng(77);
+  for (int i = 0; i < 5; ++i) {
+    std::string series_name = "n";
+    series_name += std::to_string(i);
+    ASSERT_TRUE(engine
+                    .AppendSeries("a", TimeSeries(std::move(series_name),
+                                                  testing::SmoothSeries(
+                                                      &rng, 24)))
+                    .ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  Result<std::shared_ptr<const PreparedDataset>> ds = engine.Get("a");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->raw->size(), 13u);
+}
+
+TEST(EngineConcurrencyTest, DistinctDatasetsAreIndependent) {
+  Engine engine;
+  constexpr int kDatasets = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int d = 0; d < kDatasets; ++d) {
+    threads.emplace_back([&engine, &failures, d] {
+      const std::string name = "ds_" + std::to_string(d);
+      if (!engine.LoadDataset(name, MakeData(static_cast<std::uint64_t>(d)))
+               .ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (!engine.Prepare(name, Quick()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      QuerySpec spec;
+      spec.series = 0;
+      spec.length = 8;
+      if (!engine.SimilaritySearch(name, spec).ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.ListDatasets().size(), static_cast<std::size_t>(kDatasets));
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,247 @@
+#include "onex/gen/generators.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/math_utils.h"
+#include "onex/distance/dtw.h"
+#include "onex/gen/economic_panel.h"
+#include "onex/gen/electricity.h"
+
+namespace onex::gen {
+namespace {
+
+TEST(RandomWalkTest, ShapeAndDeterminism) {
+  RandomWalkOptions opt;
+  opt.num_series = 7;
+  opt.length = 33;
+  opt.seed = 11;
+  const Dataset a = MakeRandomWalks(opt);
+  const Dataset b = MakeRandomWalks(opt);
+  ASSERT_EQ(a.size(), 7u);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].length(), 33u);
+    EXPECT_EQ(a[s].values(), b[s].values());  // same seed, same data
+  }
+  opt.seed = 12;
+  const Dataset c = MakeRandomWalks(opt);
+  EXPECT_NE(a[0].values(), c[0].values());
+}
+
+TEST(RandomWalkTest, StepsLookLikeGaussianIncrements) {
+  RandomWalkOptions opt;
+  opt.num_series = 1;
+  opt.length = 5000;
+  opt.step_stddev = 2.0;
+  const Dataset ds = MakeRandomWalks(opt);
+  std::vector<double> steps;
+  for (std::size_t i = 1; i < ds[0].length(); ++i) {
+    steps.push_back(ds[0][i] - ds[0][i - 1]);
+  }
+  EXPECT_NEAR(Mean(steps), 0.0, 0.15);
+  EXPECT_NEAR(StdDev(steps), 2.0, 0.15);
+}
+
+TEST(SineFamilyTest, LabelsPartitionIntoShapes) {
+  SineFamilyOptions opt;
+  opt.num_series = 20;
+  opt.num_shapes = 4;
+  opt.seed = 5;
+  const Dataset ds = MakeSineFamilies(opt);
+  std::set<std::string> labels;
+  for (const TimeSeries& ts : ds.series()) labels.insert(ts.label());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(SineFamilyTest, SameShapeSeriesAreCloserThanCrossShape) {
+  SineFamilyOptions opt;
+  opt.num_series = 8;
+  opt.num_shapes = 2;
+  opt.noise_stddev = 0.02;
+  opt.seed = 21;
+  const Dataset ds = MakeSineFamilies(opt);
+  // Series 0 and 2 share shape 0; series 1 has shape 1.
+  const double same = DtwDistance(ds[0].AsSpan(), ds[2].AsSpan());
+  const double cross = DtwDistance(ds[0].AsSpan(), ds[1].AsSpan());
+  EXPECT_LT(same, cross);
+}
+
+TEST(WarpedShapeTest, WarpingCreatesEdDtwGap) {
+  // The regime the accuracy experiment needs: same-template series remain
+  // DTW-close but drift apart under ED.
+  WarpedShapeOptions opt;
+  opt.num_series = 8;
+  opt.num_shapes = 2;
+  opt.warp_intensity = 0.4;
+  opt.noise_stddev = 0.01;
+  opt.seed = 9;
+  const Dataset ds = MakeWarpedShapes(opt);
+  // 0, 2, 4, 6 share template 0.
+  double dtw_sum = 0.0;
+  double ed_proxy_sum = 0.0;
+  int pairs = 0;
+  for (const std::size_t i : {0u, 2u, 4u}) {
+    for (const std::size_t j : {2u, 4u, 6u}) {
+      if (i >= j) continue;
+      dtw_sum += DtwDistance(ds[i].AsSpan(), ds[j].AsSpan());
+      ed_proxy_sum += DtwDistance(ds[i].AsSpan(), ds[j].AsSpan(), 0);  // = ED
+      ++pairs;
+    }
+  }
+  EXPECT_LT(dtw_sum / pairs, 0.7 * ed_proxy_sum / pairs)
+      << "warping should make DTW meaningfully tighter than ED";
+}
+
+TEST(WarpedShapeTest, SharedTemplateSeedAlignsCorpusAndProbes) {
+  // Two datasets with the same template_seed but different instance seeds:
+  // cross-dataset same-template pairs stay DTW-close (fresh warps of one
+  // shape), while datasets with different template seeds drift apart.
+  WarpedShapeOptions a_opt;
+  a_opt.num_series = 8;
+  a_opt.num_shapes = 2;
+  a_opt.seed = 1;
+  a_opt.template_seed = 77;
+  WarpedShapeOptions b_opt = a_opt;
+  b_opt.seed = 2;  // same templates, new instances
+  WarpedShapeOptions c_opt = a_opt;
+  c_opt.seed = 2;
+  c_opt.template_seed = 991;  // different templates
+  const Dataset a = MakeWarpedShapes(a_opt);
+  const Dataset b = MakeWarpedShapes(b_opt);
+  const Dataset c = MakeWarpedShapes(c_opt);
+  EXPECT_NE(a[0].values(), b[0].values());  // instances differ
+  const double same_tpl = DtwDistance(a[0].AsSpan(), b[0].AsSpan());
+  const double diff_tpl = DtwDistance(a[0].AsSpan(), c[0].AsSpan());
+  EXPECT_LT(same_tpl, diff_tpl);
+}
+
+TEST(WarpedShapeTest, Deterministic) {
+  WarpedShapeOptions opt;
+  opt.seed = 31;
+  opt.num_series = 4;
+  opt.length = 40;
+  const Dataset a = MakeWarpedShapes(opt);
+  const Dataset b = MakeWarpedShapes(opt);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].values(), b[s].values());
+  }
+}
+
+TEST(ElectricityTest, PlantedDailyPeriodIsRecoverable) {
+  ElectricityOptions opt;
+  opt.num_households = 1;
+  opt.length = 24 * 60;  // 60 days hourly
+  opt.samples_per_day = 24;
+  opt.noise_stddev = 0.05;
+  const Dataset ds = MakeElectricityLoad(opt);
+  ASSERT_EQ(ds.size(), 1u);
+  // Autocorrelation peaks at the daily lag.
+  const double daily = Autocorrelation(ds[0].AsSpan(), 24);
+  const double off_period = Autocorrelation(ds[0].AsSpan(), 17);
+  EXPECT_GT(daily, 0.5);
+  EXPECT_GT(daily, off_period + 0.2);
+}
+
+TEST(ElectricityTest, WeeklyStructurePresent) {
+  ElectricityOptions opt;
+  opt.num_households = 1;
+  opt.length = 24 * 7 * 20;  // 20 weeks
+  opt.weekly_amplitude = 0.8;
+  const Dataset ds = MakeElectricityLoad(opt);
+  const double weekly = Autocorrelation(ds[0].AsSpan(), 24 * 7);
+  const double daily = Autocorrelation(ds[0].AsSpan(), 24);
+  EXPECT_GT(weekly, daily - 0.05)
+      << "weekly lag should correlate at least as well as daily";
+}
+
+TEST(ElectricityTest, MultipleHouseholdsDiffer) {
+  ElectricityOptions opt;
+  opt.num_households = 3;
+  opt.length = 24 * 10;
+  const Dataset ds = MakeElectricityLoad(opt);
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_NE(ds[0].values(), ds[1].values());
+  EXPECT_NE(ds[1].values(), ds[2].values());
+}
+
+TEST(EconomicPanelTest, FiftyStates) {
+  EXPECT_EQ(StateNames().size(), 50u);
+  const Dataset ds = MakeEconomicPanel({});
+  ASSERT_EQ(ds.size(), 50u);
+  ASSERT_TRUE(ds.FindByName("Massachusetts").ok());
+  ASSERT_TRUE(ds.FindByName("Arkansas").ok());
+}
+
+TEST(EconomicPanelTest, PartnerTracksMassachusetts) {
+  EconomicPanelOptions opt;
+  opt.years = 30;
+  const Dataset ds = MakeEconomicPanel(opt);
+  const std::size_t ma = *ds.FindByName("Massachusetts");
+  const std::size_t partner = *ds.FindByName(opt.partner_state);
+  // The partner is MA lagged by one year: shifted correlation is very high.
+  std::vector<double> ma_head(ds[ma].values().begin(),
+                              ds[ma].values().end() - 1);
+  std::vector<double> partner_tail(ds[partner].values().begin() + 1,
+                                   ds[partner].values().end());
+  EXPECT_GT(PearsonCorrelation(ma_head, partner_tail), 0.95);
+
+  // And the partner is the closest state to MA under DTW.
+  double partner_dtw =
+      DtwDistance(ds[ma].AsSpan(), ds[partner].AsSpan());
+  int closer = 0;
+  for (std::size_t s = 0; s < ds.size(); ++s) {
+    if (s == ma || s == partner) continue;
+    if (DtwDistance(ds[ma].AsSpan(), ds[s].AsSpan()) < partner_dtw) ++closer;
+  }
+  EXPECT_EQ(closer, 0) << "a non-partner state is closer to MA than the "
+                          "planted partner";
+}
+
+TEST(EconomicPanelTest, IndicatorScalesDifferByOrdersOfMagnitude) {
+  EconomicPanelOptions growth_opt;
+  growth_opt.indicator = Indicator::kGrowthRate;
+  EconomicPanelOptions unemp_opt;
+  unemp_opt.indicator = Indicator::kUnemployment;
+  const Dataset growth = MakeEconomicPanel(growth_opt);
+  const Dataset unemp = MakeEconomicPanel(unemp_opt);
+  const auto [glo, ghi] = growth.ValueRange();
+  const auto [ulo, uhi] = unemp.ValueRange();
+  // Growth rates are single-digit percents; unemployment is tens of
+  // thousands of people: the threshold-recommendation motivation.
+  EXPECT_LT(ghi - glo, 100.0);
+  EXPECT_GT(uhi - ulo, 10000.0);
+}
+
+TEST(EconomicPanelTest, LabelsEncodeBlocks) {
+  EconomicPanelOptions opt;
+  opt.num_blocks = 5;
+  const Dataset ds = MakeEconomicPanel(opt);
+  std::set<std::string> labels;
+  for (const TimeSeries& ts : ds.series()) labels.insert(ts.label());
+  EXPECT_EQ(labels.size(), 5u);
+}
+
+TEST(EconomicPanelTest, TechEmploymentTrendsUpward) {
+  EconomicPanelOptions opt;
+  opt.indicator = Indicator::kTechEmployment;
+  opt.years = 30;
+  const Dataset ds = MakeEconomicPanel(opt);
+  // Drift dominates: most states end higher than they start.
+  int rising = 0;
+  for (const TimeSeries& ts : ds.series()) {
+    if (ts.values().back() > ts.values().front()) ++rising;
+  }
+  EXPECT_GT(rising, 40);
+}
+
+TEST(IndicatorTest, Names) {
+  EXPECT_STREQ(IndicatorToString(Indicator::kGrowthRate), "growth_rate");
+  EXPECT_STREQ(IndicatorToString(Indicator::kUnemployment), "unemployment");
+  EXPECT_STREQ(IndicatorToString(Indicator::kTechEmployment),
+               "tech_employment");
+}
+
+}  // namespace
+}  // namespace onex::gen

@@ -1,0 +1,274 @@
+/// End-to-end walkthroughs of the paper's demonstration scenarios (Section
+/// 4), exercised through the public Engine API exactly as the web front-end
+/// would drive them.
+#include <gtest/gtest.h>
+
+#include "onex/baseline/brute_force.h"
+#include "onex/baseline/ucr_suite.h"
+#include "onex/engine/engine.h"
+#include "onex/gen/economic_panel.h"
+#include "onex/gen/electricity.h"
+#include "onex/gen/generators.h"
+#include "onex/viz/charts.h"
+#include "onex/viz/exporters.h"
+
+#include <sstream>
+
+namespace onex {
+namespace {
+
+TEST(IntegrationTest, SimilarityViewWalkthrough) {
+  // "Making Sense of Overall Time Series Trends" + "Honing in On Specific
+  // Temporal Trends" + "Highlighting Time-Warped Shape Matching" (Fig 2).
+  Engine engine;
+  gen::EconomicPanelOptions gopt;
+  gopt.years = 25;
+  ASSERT_TRUE(
+      engine.LoadDataset("growth", gen::MakeEconomicPanel(gopt)).ok());
+
+  // Load -> Prepare: the server-side preprocessing click.
+  BaseBuildOptions bopt;
+  bopt.st = 0.1;
+  bopt.min_length = 6;
+  ASSERT_TRUE(engine.Prepare("growth", bopt).ok());
+
+  // Overview Pane: group representatives with intensity coding.
+  Result<std::vector<OverviewEntry>> overview = engine.Overview("growth");
+  ASSERT_TRUE(overview.ok());
+  ASSERT_FALSE(overview->empty());
+  const std::string pane =
+      viz::RenderOverviewPane(viz::BuildOverviewPane(*overview));
+  EXPECT_NE(pane.find("intensity"), std::string::npos);
+
+  // Query Selection Pane: pick MA; Query Preview: brush the second half.
+  Result<std::shared_ptr<const PreparedDataset>> ds = engine.Get("growth");
+  ASSERT_TRUE(ds.ok());
+  const std::size_t ma = *(*ds)->raw->FindByName("Massachusetts");
+  QuerySpec brushed;
+  brushed.series = ma;
+  brushed.start = 12;  // second half of 25 years: recent trends
+  brushed.length = 0;
+
+  // Results Pane: best match with warped links.
+  QueryOptions qopt;
+  qopt.min_length = 8;
+  Result<MatchResult> match = engine.SimilaritySearch("growth", brushed, qopt);
+  ASSERT_TRUE(match.ok());
+  EXPECT_FALSE(match->match.path.empty());
+
+  Result<viz::MultiLineChartData> chart =
+      engine.MatchMultiLineChart("growth", *match);
+  ASSERT_TRUE(chart.ok());
+  const std::string rendered = viz::RenderMultiLineChart(*chart);
+  EXPECT_NE(rendered.find("warped links"), std::string::npos);
+}
+
+TEST(IntegrationTest, LinkedViewsWalkthrough) {
+  // "Contrasting Trends Across Multiple Linked Perspectives" (Fig 3): the
+  // same match viewed as radial chart and connected scatter plot.
+  Engine engine;
+  gen::EconomicPanelOptions gopt;
+  gopt.indicator = gen::Indicator::kTechEmployment;
+  ASSERT_TRUE(engine.LoadDataset("tech", gen::MakeEconomicPanel(gopt)).ok());
+  BaseBuildOptions bopt;
+  bopt.st = 0.1;
+  bopt.min_length = 6;
+  ASSERT_TRUE(engine.Prepare("tech", bopt).ok());
+
+  Result<std::shared_ptr<const PreparedDataset>> ds = engine.Get("tech");
+  ASSERT_TRUE(ds.ok());
+  QuerySpec spec;
+  spec.series = *(*ds)->raw->FindByName("Massachusetts");
+  spec.length = 0;
+  QueryOptions exhaustive;
+  exhaustive.exhaustive = true;
+  Result<MatchResult> match = engine.SimilaritySearch("tech", spec, exhaustive);
+  ASSERT_TRUE(match.ok());
+
+  Result<viz::RadialChartData> radial = engine.MatchRadialChart("tech", *match);
+  ASSERT_TRUE(radial.ok());
+  EXPECT_FALSE(viz::RenderRadialChart(*radial).empty());
+
+  Result<viz::ConnectedScatterData> scatter =
+      engine.MatchConnectedScatter("tech", *match);
+  ASSERT_TRUE(scatter.ok());
+  // A self-match (distance 0) lies on the 45-degree diagonal, the demo's
+  // "extremely close" indicator.
+  EXPECT_NEAR(scatter->diagonal_deviation, 0.0, 1e-9);
+
+  // All three CSV exports succeed.
+  std::ostringstream r, s;
+  EXPECT_TRUE(viz::WriteRadialCsv(*radial, r).ok());
+  EXPECT_TRUE(viz::WriteConnectedScatterCsv(*scatter, s).ok());
+}
+
+TEST(IntegrationTest, SeasonalViewWalkthrough) {
+  // "Exploring Re-occurrence of Motives Within Time Series" (Fig 4): one
+  // household's consumption, repeated daily patterns recovered.
+  Engine engine;
+  gen::ElectricityOptions eopt;
+  eopt.num_households = 1;
+  eopt.length = 24 * 28;  // four weeks, hourly
+  eopt.noise_stddev = 0.04;
+  ASSERT_TRUE(
+      engine.LoadDataset("power", gen::MakeElectricityLoad(eopt)).ok());
+
+  BaseBuildOptions bopt;
+  bopt.st = 0.12;
+  bopt.min_length = 24;
+  bopt.max_length = 24;  // daily patterns
+  ASSERT_TRUE(engine.Prepare("power", bopt).ok());
+
+  SeasonalOptions sopt;
+  sopt.length = 24;
+  Result<viz::SeasonalViewData> view = engine.SeasonalView("power", 0, sopt);
+  ASSERT_TRUE(view.ok());
+  ASSERT_FALSE(view->patterns.empty());
+  // The dominant pattern recurs at (a multiple of) the daily period.
+  const auto& top = view->patterns.front();
+  EXPECT_GE(top.segments.size(), 2u);
+  EXPECT_EQ(top.typical_gap % 24, 0u)
+      << "daily pattern should repeat at 24h multiples, gap="
+      << top.typical_gap;
+  EXPECT_FALSE(viz::RenderSeasonalView(*view).empty());
+}
+
+TEST(IntegrationTest, OnexAgreementWithExactSearch) {
+  // The headline behaviour: ONEX answers match exact DTW search quality-wise
+  // while examining the compact base. Checked across three datasets.
+  struct Case {
+    std::string name;
+    Dataset dataset;
+  };
+  gen::SineFamilyOptions sopt;
+  sopt.num_series = 6;
+  sopt.length = 18;
+  gen::WarpedShapeOptions wopt;
+  wopt.num_series = 6;
+  wopt.length = 18;
+  gen::RandomWalkOptions ropt;
+  ropt.num_series = 6;
+  ropt.length = 18;
+  std::vector<Case> cases;
+  cases.push_back({"sine", gen::MakeSineFamilies(sopt)});
+  cases.push_back({"warped", gen::MakeWarpedShapes(wopt)});
+  cases.push_back({"walk", gen::MakeRandomWalks(ropt)});
+
+  for (Case& c : cases) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadDataset(c.name, std::move(c.dataset)).ok());
+    const double st = 0.15;
+    BaseBuildOptions bopt;
+    bopt.st = st;
+    bopt.min_length = 4;
+    bopt.max_length = 10;
+    ASSERT_TRUE(engine.Prepare(c.name, bopt).ok());
+    Result<std::shared_ptr<const PreparedDataset>> ds = engine.Get(c.name);
+    ASSERT_TRUE(ds.ok());
+
+    QuerySpec spec;
+    spec.series = 2;
+    spec.start = 3;
+    spec.length = 8;
+    QueryOptions exhaustive;
+    exhaustive.exhaustive = true;  // the mode carrying the ST guarantee
+    Result<MatchResult> onex_match =
+        engine.SimilaritySearch(c.name, spec, exhaustive);
+    ASSERT_TRUE(onex_match.ok());
+
+    Result<std::vector<double>> q = engine.ResolveQuery(**ds, spec);
+    ASSERT_TRUE(q.ok());
+    ScanScope scope;
+    scope.min_length = 4;
+    scope.max_length = 10;
+    Result<ScanMatch> exact =
+        BruteForceBestMatch(*(*ds)->normalized, *q, ScanDistance::kDtw, scope);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_LE(onex_match->match.normalized_dtw, exact->normalized + st + 1e-9)
+        << "dataset " << c.name;
+
+    // And the UCR-style scanner agrees with brute force exactly.
+    UcrSearchOptions uopt;
+    uopt.scope = scope;
+    Result<ScanMatch> ucr = UcrBestMatch(*(*ds)->normalized, *q, uopt);
+    ASSERT_TRUE(ucr.ok());
+    EXPECT_NEAR(ucr->normalized, exact->normalized, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, ThresholdRecommendationAcrossDomains) {
+  // §3.3: growth-rate thresholds vs unemployment thresholds differ by orders
+  // of magnitude on raw data; after preparation both live in normalized
+  // space where one ST serves both.
+  Engine engine;
+  gen::EconomicPanelOptions gopt;
+  gopt.indicator = gen::Indicator::kGrowthRate;
+  ASSERT_TRUE(engine.LoadDataset("growth", gen::MakeEconomicPanel(gopt)).ok());
+  gopt.indicator = gen::Indicator::kUnemployment;
+  ASSERT_TRUE(
+      engine.LoadDataset("unemployment", gen::MakeEconomicPanel(gopt)).ok());
+
+  ThresholdAdvisorOptions topt;
+  topt.sample_pairs = 600;
+  Result<ThresholdReport> raw_growth =
+      engine.RecommendThresholds("growth", topt);
+  Result<ThresholdReport> raw_unemployment =
+      engine.RecommendThresholds("unemployment", topt);
+  ASSERT_TRUE(raw_growth.ok());
+  ASSERT_TRUE(raw_unemployment.ok());
+  EXPECT_GT(raw_unemployment->median_distance,
+            raw_growth->median_distance * 100.0);
+
+  BaseBuildOptions bopt;
+  bopt.st = 0.1;
+  bopt.min_length = 6;
+  bopt.max_length = 12;
+  ASSERT_TRUE(engine.Prepare("growth", bopt).ok());
+  ASSERT_TRUE(engine.Prepare("unemployment", bopt).ok());
+  Result<ThresholdReport> norm_growth =
+      engine.RecommendThresholds("growth", topt);
+  Result<ThresholdReport> norm_unemployment =
+      engine.RecommendThresholds("unemployment", topt);
+  ASSERT_TRUE(norm_growth.ok());
+  ASSERT_TRUE(norm_unemployment.ok());
+  // Normalized: same order of magnitude.
+  EXPECT_LT(norm_unemployment->median_distance,
+            norm_growth->median_distance * 10.0 + 1.0);
+  EXPECT_LT(norm_growth->median_distance, 1.0);
+  EXPECT_LT(norm_unemployment->median_distance, 1.0);
+}
+
+TEST(IntegrationTest, RepreparationWithRecommendedThreshold) {
+  // The advisor's output feeds directly back into Prepare: the data-driven
+  // parameter loop the paper describes.
+  Engine engine;
+  gen::SineFamilyOptions sopt;
+  sopt.num_series = 6;
+  sopt.length = 20;
+  ASSERT_TRUE(engine.LoadDataset("s", gen::MakeSineFamilies(sopt)).ok());
+  BaseBuildOptions bopt;
+  bopt.st = 0.5;  // deliberately coarse first guess
+  bopt.min_length = 4;
+  bopt.max_length = 10;
+  ASSERT_TRUE(engine.Prepare("s", bopt).ok());
+
+  ThresholdAdvisorOptions topt;
+  topt.sample_pairs = 500;
+  topt.percentiles = {5.0};
+  Result<ThresholdReport> report = engine.RecommendThresholds("s", topt);
+  ASSERT_TRUE(report.ok());
+  const double recommended = report->recommendations.front().st;
+  ASSERT_GT(recommended, 0.0);
+
+  bopt.st = recommended;
+  ASSERT_TRUE(engine.Prepare("s", bopt).ok());
+  Result<std::shared_ptr<const PreparedDataset>> ds = engine.Get("s");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ((*ds)->build_options.st, recommended);
+  // A 5th-percentile threshold groups tightly: far more groups than the
+  // coarse 0.5 build would produce.
+  EXPECT_GT((*ds)->base->TotalGroups(), 10u);
+}
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,188 @@
+#include "onex/json/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace onex::json {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value(7).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value::MakeArray().is_array());
+  EXPECT_TRUE(Value::MakeObject().is_object());
+}
+
+TEST(JsonValueTest, AccessorsWithDefinedFallbacks) {
+  EXPECT_FALSE(Value(3.0).as_bool());
+  EXPECT_DOUBLE_EQ(Value("x").as_number(), 0.0);
+  EXPECT_TRUE(Value(1.0).as_string().empty());
+}
+
+TEST(JsonValueTest, ObjectSetAndIndex) {
+  Value obj = Value::MakeObject();
+  obj.Set("a", 1.5);
+  obj.Set("b", "text");
+  EXPECT_DOUBLE_EQ(obj["a"].as_number(), 1.5);
+  EXPECT_EQ(obj["b"].as_string(), "text");
+  EXPECT_TRUE(obj["missing"].is_null());
+  EXPECT_TRUE(Value(1.0)["key"].is_null());  // non-object index
+}
+
+TEST(JsonValueTest, ArrayAppendAndIndex) {
+  Value arr = Value::MakeArray();
+  arr.Append(1);
+  arr.Append("two");
+  EXPECT_DOUBLE_EQ(arr[0].as_number(), 1.0);
+  EXPECT_EQ(arr[1].as_string(), "two");
+  EXPECT_TRUE(arr[5].is_null());
+}
+
+TEST(JsonValueTest, NumberArrayHelper) {
+  const Value arr = Value::NumberArray({1.0, 2.5, -3.0});
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[2].as_number(), -3.0);
+}
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(Value().Dump(), "null");
+  EXPECT_EQ(Value(true).Dump(), "true");
+  EXPECT_EQ(Value(false).Dump(), "false");
+  EXPECT_EQ(Value(3.5).Dump(), "3.5");
+  EXPECT_EQ(Value(42).Dump(), "42");
+  EXPECT_EQ(Value("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonDumpTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(Value("a\"b").Dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Value("line\nbreak\t").Dump(), "\"line\\nbreak\\t\"");
+  EXPECT_EQ(Value(std::string(1, '\x01')).Dump(), "\"\\u0001\"");
+  EXPECT_EQ(Value("back\\slash").Dump(), "\"back\\\\slash\"");
+}
+
+TEST(JsonDumpTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Value(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonDumpTest, CompactObjectIsSortedAndTight) {
+  Value obj = Value::MakeObject();
+  obj.Set("b", 2);
+  obj.Set("a", 1);
+  EXPECT_EQ(obj.Dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonDumpTest, PrettyPrint) {
+  Value obj = Value::MakeObject();
+  obj.Set("k", Value::NumberArray({1.0}));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->as_bool());
+  EXPECT_FALSE(Parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(Parse("3.25")->as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("-1e3")->as_number(), -1000.0);
+  EXPECT_EQ(Parse("\"str\"")->as_string(), "str");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  Result<Value> v = Parse(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ((*v)["a"][1].as_number(), 2.0);
+  EXPECT_TRUE((*v)["a"][2]["b"].is_null());
+  EXPECT_TRUE((*v)["c"]["d"].as_bool());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  Result<Value> v = Parse("  { \"a\" :\n[ 1 , 2 ]\t} ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"].as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b")")->as_string(), "a\"b");
+  EXPECT_EQ(Parse(R"("tab\there")")->as_string(), "tab\there");
+  EXPECT_EQ(Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(Parse(R"("é")")->as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(Parse("[]")->as_array().empty());
+  EXPECT_TRUE(Parse("{}")->as_object().empty());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Parse("{'a':1}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("1.2.3").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("\"bad\\escape\"").ok());
+  EXPECT_FALSE(Parse("\"short\\u12\"").ok());
+}
+
+TEST(JsonParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("{} extra").ok());
+  EXPECT_FALSE(Parse("[1] ]").ok());
+}
+
+TEST(JsonParseTest, DepthLimitStopsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  Result<Value> v = Parse(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonRoundTripTest, DumpThenParsePreservesValue) {
+  Value obj = Value::MakeObject();
+  obj.Set("name", "onex");
+  obj.Set("pi", 3.14159265358979);
+  obj.Set("flags", [] {
+    Value a = Value::MakeArray();
+    a.Append(true);
+    a.Append(Value());
+    a.Append(-0.125);
+    return a;
+  }());
+  Value inner = Value::MakeObject();
+  inner.Set("deep", "value with \"quotes\" and \n newline");
+  obj.Set("inner", std::move(inner));
+
+  Result<Value> back = Parse(obj.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, obj);
+  // Pretty-printed form round-trips too.
+  Result<Value> pretty = Parse(obj.Dump(2));
+  ASSERT_TRUE(pretty.ok());
+  EXPECT_EQ(*pretty, obj);
+}
+
+TEST(JsonRoundTripTest, DoublesSurviveExactly) {
+  for (const double v : {0.1, 1e-300, 1e300, -2.5e-7, 123456789.123456789}) {
+    Result<Value> back = Parse(Value(v).Dump());
+    ASSERT_TRUE(back.ok());
+    EXPECT_DOUBLE_EQ(back->as_number(), v);
+  }
+}
+
+TEST(JsonEscapeTest, EscapeString) {
+  EXPECT_EQ(EscapeString("plain"), "plain");
+  EXPECT_EQ(EscapeString("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(EscapeString("\r\n"), "\\r\\n");
+}
+
+}  // namespace
+}  // namespace onex::json

@@ -1,0 +1,306 @@
+#include "onex/net/protocol.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace onex::net {
+namespace {
+
+TEST(ParseCommandTest, VerbIsUppercased) {
+  Result<Command> cmd = ParseCommandLine("ping");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->verb, "PING");
+  EXPECT_TRUE(cmd->args.empty());
+  EXPECT_TRUE(cmd->options.empty());
+}
+
+TEST(ParseCommandTest, PositionalAndKeyValueArguments) {
+  Result<Command> cmd =
+      ParseCommandLine("PREPARE mydata st=0.15 minlen=6 norm=zscore");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->args, (std::vector<std::string>{"mydata"}));
+  EXPECT_EQ(cmd->options.at("st"), "0.15");
+  EXPECT_EQ(cmd->options.at("minlen"), "6");
+  EXPECT_EQ(cmd->options.at("norm"), "zscore");
+}
+
+TEST(ParseCommandTest, LeadingEqualsIsPositional) {
+  Result<Command> cmd = ParseCommandLine("CMD =weird");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->args, (std::vector<std::string>{"=weird"}));
+}
+
+TEST(ParseCommandTest, EmptyLineIsParseError) {
+  EXPECT_FALSE(ParseCommandLine("").ok());
+  EXPECT_FALSE(ParseCommandLine("   \t ").ok());
+}
+
+TEST(ProtocolTest, PingPong) {
+  Engine engine;
+  const json::Value v =
+      ExecuteCommand(&engine, *ParseCommandLine("PING"));
+  EXPECT_TRUE(v["ok"].as_bool());
+  EXPECT_TRUE(v["pong"].as_bool());
+}
+
+TEST(ProtocolTest, UnknownVerb) {
+  Engine engine;
+  const json::Value v =
+      ExecuteCommand(&engine, *ParseCommandLine("FROBNICATE x"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_EQ(v["code"].as_string(), "InvalidArgument");
+}
+
+TEST(ProtocolTest, GenPrepareStatsFlow) {
+  Engine engine;
+  json::Value v = ExecuteCommand(
+      &engine, *ParseCommandLine("GEN walks walk num=5 len=16 seed=3"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+
+  v = ExecuteCommand(&engine, *ParseCommandLine("LIST"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  ASSERT_EQ(v["datasets"].as_array().size(), 1u);
+  EXPECT_EQ(v["datasets"][0].as_string(), "walks");
+
+  v = ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE walks st=0.2 maxlen=8"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_GT(v["groups"].as_number(), 0.0);
+  EXPECT_GT(v["subsequences"].as_number(), v["groups"].as_number() - 1);
+
+  v = ExecuteCommand(&engine, *ParseCommandLine("STATS walks"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  EXPECT_TRUE(v["prepared"].as_bool());
+  EXPECT_DOUBLE_EQ(v["series"].as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(v["st"].as_number(), 0.2);
+}
+
+TEST(ProtocolTest, GenValidatesArguments) {
+  Engine engine;
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine("GEN x"))["ok"]
+                   .as_bool());
+  EXPECT_FALSE(
+      ExecuteCommand(&engine, *ParseCommandLine("GEN x nosuchkind"))["ok"]
+          .as_bool());
+  EXPECT_FALSE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("GEN x walk num=0"))["ok"]
+          .as_bool());
+  EXPECT_FALSE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("GEN x walk num=abc"))["ok"]
+          .as_bool());
+}
+
+TEST(ProtocolTest, MatchQueryFlow) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=6 len=18"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine, *ParseCommandLine(
+                                  "PREPARE s st=0.2 maxlen=10"))["ok"]
+          .as_bool());
+  const json::Value v =
+      ExecuteCommand(&engine, *ParseCommandLine("MATCH s q=0:2:8 exhaustive=1"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  const json::Value& m = v["match"];
+  EXPECT_NEAR(m["normalized_dtw"].as_number(), 0.0, 1e-9);
+  EXPECT_FALSE(m["series_name"].as_string().empty());
+  EXPECT_FALSE(m["path"].as_array().empty());
+}
+
+TEST(ProtocolTest, MatchValidatesQuerySyntax) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=4 len=16"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=8"))["ok"]
+          .as_bool());
+  EXPECT_FALSE(
+      ExecuteCommand(&engine, *ParseCommandLine("MATCH s"))["ok"].as_bool());
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine(
+                                           "MATCH s q=0:2"))["ok"]
+                   .as_bool());
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine(
+                                           "MATCH s q=a:b:c"))["ok"]
+                   .as_bool());
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine(
+                                           "MATCH s q=-1:0:5"))["ok"]
+                   .as_bool());
+}
+
+TEST(ProtocolTest, KnnReturnsRequestedCount) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=8 len=20"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=10"))["ok"]
+          .as_bool());
+  const json::Value v =
+      ExecuteCommand(&engine, *ParseCommandLine("KNN s q=0:0:8 k=4"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_EQ(v["matches"].as_array().size(), 4u);
+}
+
+TEST(ProtocolTest, SeasonalFlow) {
+  Engine engine;
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine(
+                         "GEN e electricity num=1 len=240"))["ok"]
+          .as_bool());
+  ASSERT_TRUE(ExecuteCommand(
+                  &engine,
+                  *ParseCommandLine(
+                      "PREPARE e st=0.12 minlen=24 maxlen=24"))["ok"]
+                  .as_bool());
+  const json::Value v = ExecuteCommand(
+      &engine, *ParseCommandLine("SEASONAL e series=0 length=24"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  ASSERT_FALSE(v["patterns"].as_array().empty());
+  const json::Value& top = v["patterns"][0];
+  EXPECT_GE(top["occurrences"].as_number(), 2.0);
+}
+
+TEST(ProtocolTest, OverviewAndThreshold) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=6 len=18"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=10"))["ok"]
+          .as_bool());
+  json::Value v =
+      ExecuteCommand(&engine, *ParseCommandLine("OVERVIEW s top=5"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  EXPECT_LE(v["overview"]["cells"].as_array().size(), 5u);
+
+  v = ExecuteCommand(&engine, *ParseCommandLine("THRESHOLD s pairs=200"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  EXPECT_FALSE(v["recommendations"].as_array().empty());
+}
+
+TEST(ProtocolTest, DropAndErrors) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s walk num=3 len=12"))["ok"]
+                  .as_bool());
+  EXPECT_TRUE(
+      ExecuteCommand(&engine, *ParseCommandLine("DROP s"))["ok"].as_bool());
+  const json::Value v = ExecuteCommand(&engine, *ParseCommandLine("DROP s"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_EQ(v["code"].as_string(), "NotFound");
+  // Operations on missing datasets surface NotFound, not crashes.
+  EXPECT_EQ(ExecuteCommand(&engine,
+                           *ParseCommandLine("MATCH s q=0:0:4"))["code"]
+                .as_string(),
+            "NotFound");
+}
+
+TEST(ProtocolTest, LoadMissingFileFails) {
+  Engine engine;
+  const json::Value v = ExecuteCommand(
+      &engine, *ParseCommandLine("LOAD x /no/such/file.tsv"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_EQ(v["code"].as_string(), "IoError");
+}
+
+TEST(ProtocolTest, ResponsesAreSingleLineJson) {
+  Engine engine;
+  const std::string wire =
+      FormatResponse(ExecuteCommand(&engine, *ParseCommandLine("PING")));
+  ASSERT_FALSE(wire.empty());
+  EXPECT_EQ(wire.back(), '\n');
+  EXPECT_EQ(std::count(wire.begin(), wire.end(), '\n'), 1);
+  EXPECT_TRUE(json::Parse(wire.substr(0, wire.size() - 1)).ok());
+}
+
+TEST(ProtocolTest, QuitAcknowledges) {
+  Engine engine;
+  const json::Value v = ExecuteCommand(&engine, *ParseCommandLine("QUIT"));
+  EXPECT_TRUE(v["ok"].as_bool());
+  EXPECT_TRUE(v["bye"].as_bool());
+}
+
+
+TEST(ProtocolTest, CatalogFlow) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=5 len=20"))["ok"]
+                  .as_bool());
+  const json::Value v =
+      ExecuteCommand(&engine, *ParseCommandLine("CATALOG s points=6"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  ASSERT_EQ(v["series"].as_array().size(), 5u);
+  EXPECT_EQ(v["series"][0]["preview"].as_array().size(), 6u);
+  EXPECT_FALSE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("CATALOG s points=0"))["ok"]
+          .as_bool());
+}
+
+TEST(ProtocolTest, AppendFlow) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=4 len=12"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=8"))["ok"]
+          .as_bool());
+  const json::Value v = ExecuteCommand(
+      &engine, *ParseCommandLine(
+                   "APPEND s series=novel v=0.1,0.2,0.4,0.3,0.2,0.1,0.0,0.1,"
+                   "0.3,0.5,0.4,0.2"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_DOUBLE_EQ(v["series"].as_number(), 5.0);
+  EXPECT_GT(v["groups"].as_number(), 0.0);
+}
+
+TEST(ProtocolTest, AppendValidatesValues) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=4 len=12"))["ok"]
+                  .as_bool());
+  EXPECT_FALSE(
+      ExecuteCommand(&engine, *ParseCommandLine("APPEND s"))["ok"].as_bool());
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine(
+                                           "APPEND s v=1,abc"))["ok"]
+                   .as_bool());
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine(
+                                           "APPEND s v=1"))["ok"]
+                   .as_bool());
+}
+
+TEST(ProtocolTest, SaveAndLoadBaseFlow) {
+  const std::string path = ::testing::TempDir() + "/onex_proto_base.onex";
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=4 len=12"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=8"))["ok"]
+          .as_bool());
+  const json::Value saved = ExecuteCommand(
+      &engine, *ParseCommandLine("SAVEBASE s " + path));
+  ASSERT_TRUE(saved["ok"].as_bool()) << saved.Dump();
+
+  const json::Value loaded = ExecuteCommand(
+      &engine, *ParseCommandLine("LOADBASE restored " + path));
+  ASSERT_TRUE(loaded["ok"].as_bool()) << loaded.Dump();
+  const json::Value stats =
+      ExecuteCommand(&engine, *ParseCommandLine("STATS restored"));
+  EXPECT_TRUE(stats["prepared"].as_bool());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace onex::net

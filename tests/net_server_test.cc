@@ -1,0 +1,182 @@
+#include "onex/net/server.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/net/client.h"
+
+namespace onex::net {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<OnexServer>(&engine_);
+    ASSERT_TRUE(server_->Start(0).ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  OnexClient Connect() {
+    Result<OnexClient> client = OnexClient::Connect("127.0.0.1",
+                                                    server_->port());
+    EXPECT_TRUE(client.ok()) << client.status();
+    return std::move(client).value();
+  }
+
+  Engine engine_;
+  std::unique_ptr<OnexServer> server_;
+};
+
+TEST_F(ServerTest, PingRoundTrip) {
+  OnexClient client = Connect();
+  Result<json::Value> v = client.Call("PING");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE((*v)["ok"].as_bool());
+  EXPECT_TRUE((*v)["pong"].as_bool());
+}
+
+TEST_F(ServerTest, FullAnalyticsSessionOverTheWire) {
+  OnexClient client = Connect();
+  Result<json::Value> v = client.Call("GEN demo sine num=6 len=18 seed=5");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+
+  v = client.Call("PREPARE demo st=0.2 maxlen=10");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+  EXPECT_GT((*v)["groups"].as_number(), 0.0);
+
+  v = client.Call("MATCH demo q=0:2:8 exhaustive=1");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+  EXPECT_NEAR((*v)["match"]["normalized_dtw"].as_number(), 0.0, 1e-9);
+
+  v = client.Call("OVERVIEW demo top=4");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*v)["ok"].as_bool());
+  EXPECT_LE((*v)["overview"]["cells"].as_array().size(), 4u);
+}
+
+TEST_F(ServerTest, MalformedCommandGetsErrorNotDisconnect) {
+  OnexClient client = Connect();
+  Result<json::Value> v = client.Call("NOT_A_COMMAND foo");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE((*v)["ok"].as_bool());
+  // Session continues after the error.
+  v = client.Call("PING");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)["ok"].as_bool());
+}
+
+TEST_F(ServerTest, EmptyLinesAreIgnored) {
+  OnexClient client = Connect();
+  // A blank line produces no response; the next command still works.
+  Result<json::Value> v = client.Call("\nPING");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)["pong"].as_bool());
+}
+
+TEST_F(ServerTest, MultipleSequentialClients) {
+  for (int round = 0; round < 3; ++round) {
+    OnexClient client = Connect();
+    Result<json::Value> v = client.Call("PING");
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE((*v)["ok"].as_bool());
+    client.Close();
+  }
+}
+
+TEST_F(ServerTest, ConcurrentClientsShareTheEngine) {
+  // One client loads; others see the dataset: a shared server-side session
+  // like the demo's.
+  OnexClient loader = Connect();
+  Result<json::Value> v = loader.Call("GEN shared walk num=4 len=12");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*v)["ok"].as_bool());
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::vector<bool> results(kClients, false);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &results] {
+      Result<OnexClient> client =
+          OnexClient::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) return;
+      Result<json::Value> r = client->Call("LIST");
+      if (r.ok() && (*r)["ok"].as_bool() &&
+          (*r)["datasets"].as_array().size() == 1) {
+        results[static_cast<std::size_t>(c)] = true;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(results[static_cast<std::size_t>(c)]) << "client " << c;
+  }
+}
+
+TEST_F(ServerTest, QuitClosesTheConnection) {
+  OnexClient client = Connect();
+  Result<json::Value> v = client.Call("QUIT");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)["bye"].as_bool());
+  // Further calls fail: the server hung up.
+  Result<json::Value> after = client.Call("PING");
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_F(ServerTest, StopUnblocksConnectedClients) {
+  OnexClient client = Connect();
+  ASSERT_TRUE(client.Call("PING").ok());
+  server_->Stop();
+  // The stopped server must not accept new connections.
+  Result<OnexClient> late = OnexClient::Connect("127.0.0.1", server_->port());
+  if (late.ok()) {
+    EXPECT_FALSE(late->Call("PING").ok());
+  }
+}
+
+TEST_F(ServerTest, DoubleStartFails) {
+  EXPECT_EQ(server_->Start(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServerLifecycleTest, StopWithoutStartIsSafe) {
+  Engine engine;
+  OnexServer server(&engine);
+  server.Stop();  // no-op
+  SUCCEED();
+}
+
+TEST(ServerLifecycleTest, RestartAfterStop) {
+  Engine engine;
+  OnexServer server(&engine);
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::uint16_t old_port = server.port();
+  server.Stop();
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  (void)old_port;
+  Result<OnexClient> client = OnexClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client->Call("PING").ok());
+  server.Stop();
+}
+
+TEST(ClientTest, ConnectToClosedPortFails) {
+  // Port 1 on loopback is essentially never listening.
+  Result<OnexClient> client = OnexClient::Connect("127.0.0.1", 1);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(ClientTest, BadAddressFails) {
+  Result<Socket> sock = ConnectTcp("not-an-ip", 80);
+  EXPECT_FALSE(sock.ok());
+  EXPECT_EQ(sock.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace onex::net

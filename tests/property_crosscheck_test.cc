@@ -1,0 +1,194 @@
+/// Cross-validation suites: the optimized kernels against independent naive
+/// reference implementations, plus randomized round-trip ("fuzz-lite")
+/// sweeps over the serialization layers.
+#include <cmath>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/distance/dtw.h"
+#include "onex/json/json.h"
+#include "onex/ts/ucr_io.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+/// Naive memoized-recursion DTW, written deliberately differently from the
+/// production iterative DP (top-down vs bottom-up) so a shared bug is
+/// unlikely.
+class ReferenceDtw {
+ public:
+  ReferenceDtw(std::span<const double> a, std::span<const double> b)
+      : a_(a), b_(b) {}
+
+  double Distance() {
+    if (a_.empty() || b_.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::sqrt(Solve(a_.size() - 1, b_.size() - 1));
+  }
+
+ private:
+  double Solve(std::size_t i, std::size_t j) {
+    const auto key = std::make_pair(i, j);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const double d = a_[i] - b_[j];
+    const double cost = d * d;
+    double best;
+    if (i == 0 && j == 0) {
+      best = cost;
+    } else if (i == 0) {
+      best = Solve(0, j - 1) + cost;
+    } else if (j == 0) {
+      best = Solve(i - 1, 0) + cost;
+    } else {
+      best = std::min({Solve(i - 1, j - 1), Solve(i - 1, j), Solve(i, j - 1)}) +
+             cost;
+    }
+    memo_[key] = best;
+    return best;
+  }
+
+  std::span<const double> a_;
+  std::span<const double> b_;
+  std::map<std::pair<std::size_t, std::size_t>, double> memo_;
+};
+
+class CrossCheckTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossCheckTest, DtwMatchesNaiveRecursiveReference) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 2 + rng.UniformIndex(20);
+    const std::size_t m = 2 + rng.UniformIndex(20);
+    const std::vector<double> a = testing::RandomSeries(&rng, n);
+    const std::vector<double> b = testing::RandomSeries(&rng, m);
+    ReferenceDtw ref(a, b);
+    EXPECT_NEAR(DtwDistance(a, b), ref.Distance(), 1e-9)
+        << "n=" << n << " m=" << m;
+  }
+}
+
+/// Random JSON document generator for round-trip fuzzing.
+json::Value RandomJson(Rng* rng, int depth) {
+  const int kind = depth > 3 ? static_cast<int>(rng->UniformIndex(4))
+                             : static_cast<int>(rng->UniformIndex(6));
+  switch (kind) {
+    case 0:
+      return json::Value();
+    case 1:
+      return json::Value(rng->Bernoulli(0.5));
+    case 2: {
+      // Mix of magnitudes, including negatives and tiny values.
+      const double mag = std::pow(10.0, rng->Uniform(-8.0, 8.0));
+      return json::Value(rng->Uniform(-1.0, 1.0) * mag);
+    }
+    case 3: {
+      std::string s;
+      const std::size_t len = rng->UniformIndex(12);
+      for (std::size_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the escape-relevant characters.
+        const char* alphabet = "abcXYZ 019\"\\\n\t/{}[]:,";
+        s += alphabet[rng->UniformIndex(22)];
+      }
+      return json::Value(std::move(s));
+    }
+    case 4: {
+      json::Value arr = json::Value::MakeArray();
+      const std::size_t len = rng->UniformIndex(5);
+      for (std::size_t i = 0; i < len; ++i) {
+        arr.Append(RandomJson(rng, depth + 1));
+      }
+      return arr;
+    }
+    default: {
+      json::Value obj = json::Value::MakeObject();
+      const std::size_t len = rng->UniformIndex(5);
+      for (std::size_t i = 0; i < len; ++i) {
+        std::string key = "k";
+        key += std::to_string(i);
+        obj.Set(key, RandomJson(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST_P(CrossCheckTest, JsonRoundTripsRandomDocuments) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 25; ++trial) {
+    const json::Value doc = RandomJson(&rng, 0);
+    Result<json::Value> compact = json::Parse(doc.Dump());
+    ASSERT_TRUE(compact.ok()) << doc.Dump();
+    EXPECT_EQ(*compact, doc);
+    Result<json::Value> pretty = json::Parse(doc.Dump(2));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(*pretty, doc);
+  }
+}
+
+TEST_P(CrossCheckTest, UcrRoundTripsRandomDatasets) {
+  Rng rng(GetParam() + 2000);
+  Dataset ds("fuzz");
+  const std::size_t num = 1 + rng.UniformIndex(6);
+  for (std::size_t s = 0; s < num; ++s) {
+    const std::size_t len = 2 + rng.UniformIndex(30);
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < len; ++i) {
+      vals.push_back(rng.Uniform(-1.0, 1.0) *
+                     std::pow(10.0, rng.Uniform(-6.0, 6.0)));
+    }
+    std::string series_name = "s";
+    series_name += std::to_string(s);
+    ds.Add(TimeSeries(std::move(series_name), std::move(vals),
+                      std::to_string(rng.UniformIndex(5))));
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WriteUcrStream(ds, out).ok());
+  std::istringstream in(out.str());
+  Result<Dataset> back = ReadUcrStream(in, "fuzz");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), ds.size());
+  for (std::size_t s = 0; s < ds.size(); ++s) {
+    ASSERT_EQ((*back)[s].length(), ds[s].length());
+    for (std::size_t i = 0; i < ds[s].length(); ++i) {
+      EXPECT_DOUBLE_EQ((*back)[s][i], ds[s][i]);
+    }
+    EXPECT_EQ((*back)[s].label(), ds[s].label());
+  }
+}
+
+TEST_P(CrossCheckTest, JsonParserSurvivesMutatedInput) {
+  // Mutation fuzzing: flip bytes of valid JSON; the parser must either
+  // succeed or fail cleanly (no crash, no hang) — never anything else.
+  Rng rng(GetParam() + 3000);
+  const json::Value doc = RandomJson(&rng, 0);
+  std::string text = doc.Dump();
+  if (text.empty()) return;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string mutated = text;
+    const std::size_t edits = 1 + rng.UniformIndex(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.UniformIndex(mutated.size());
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    Result<json::Value> result = json::Parse(mutated);
+    if (result.ok()) {
+      // Whatever parsed must re-serialize and re-parse consistently.
+      Result<json::Value> again = json::Parse(result->Dump());
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *result);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossCheckTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace onex

@@ -1,0 +1,128 @@
+#include "onex/ts/csv_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace onex {
+namespace {
+
+TEST(CsvPanelTest, ReadsWideFormatWithHeader) {
+  std::istringstream in(
+      "state,2000,2001,2002\n"
+      "Massachusetts,2.3,2.5,1.9\n"
+      "Arkansas,1.1,2.2,2.4\n");
+  Result<Dataset> ds = ReadCsvPanelStream(in, "growth");
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_EQ((*ds)[0].name(), "Massachusetts");
+  EXPECT_EQ((*ds)[0].length(), 3u);
+  EXPECT_DOUBLE_EQ((*ds)[0][1], 2.5);
+  EXPECT_EQ((*ds)[1].name(), "Arkansas");
+}
+
+TEST(CsvPanelTest, HeaderlessMode) {
+  std::istringstream in("a,1,2\nb,3,4\n");
+  CsvPanelReadOptions opt;
+  opt.has_header = false;
+  Result<Dataset> ds = ReadCsvPanelStream(in, "d", opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_DOUBLE_EQ((*ds)[0][0], 1.0);
+}
+
+TEST(CsvPanelTest, RaggedRowsAreAllowed) {
+  std::istringstream in("h,1,2,3\nshort,1,2\nlong,1,2,3,4\n");
+  Result<Dataset> ds = ReadCsvPanelStream(in, "d");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)[0].length(), 2u);
+  EXPECT_EQ((*ds)[1].length(), 4u);
+}
+
+TEST(CsvPanelTest, WhitespaceTolerant) {
+  std::istringstream in("h,1\n  Maine , 3.5 \n");
+  Result<Dataset> ds = ReadCsvPanelStream(in, "d");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)[0].name(), "Maine");
+  EXPECT_DOUBLE_EQ((*ds)[0][0], 3.5);
+}
+
+TEST(CsvPanelTest, MissingCellsRejectedByDefault) {
+  std::istringstream in("h,1,2\nstate,1.0,\n");
+  Result<Dataset> ds = ReadCsvPanelStream(in, "d");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvPanelTest, MissingCellsImputedWhenAllowed) {
+  std::istringstream in("h,1,2,3\nstate,1.0,,3.0\n");
+  CsvPanelReadOptions opt;
+  opt.allow_missing = true;
+  opt.missing_value = -1.0;
+  Result<Dataset> ds = ReadCsvPanelStream(in, "d", opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ((*ds)[0][1], -1.0);
+}
+
+TEST(CsvPanelTest, RejectsMalformedRows) {
+  {
+    std::istringstream in("h,1\nonlyname\n");
+    EXPECT_FALSE(ReadCsvPanelStream(in, "d").ok());
+  }
+  {
+    std::istringstream in("h,1\n,1.0\n");  // empty name
+    EXPECT_FALSE(ReadCsvPanelStream(in, "d").ok());
+  }
+  {
+    std::istringstream in("h,1\nstate,abc\n");
+    EXPECT_FALSE(ReadCsvPanelStream(in, "d").ok());
+  }
+  {
+    std::istringstream in("h,1,2\n");  // header only
+    EXPECT_FALSE(ReadCsvPanelStream(in, "d").ok());
+  }
+}
+
+TEST(CsvPanelTest, WriteThenReadRoundTrips) {
+  Dataset ds("panel");
+  ds.Add(TimeSeries("Massachusetts", {2.25, -1.5, 3.75}));
+  ds.Add(TimeSeries("Vermont", {0.001, 1e6}));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsvPanelStream(ds, out).ok());
+  std::istringstream in(out.str());
+  Result<Dataset> back = ReadCsvPanelStream(in, "panel");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].name(), "Massachusetts");
+  EXPECT_DOUBLE_EQ((*back)[0][2], 3.75);
+  EXPECT_DOUBLE_EQ((*back)[1][1], 1e6);
+}
+
+TEST(CsvPanelTest, WriteRejectsCommasInNames) {
+  Dataset ds("panel");
+  ds.Add(TimeSeries("bad,name", {1.0}));
+  std::ostringstream out;
+  EXPECT_EQ(WriteCsvPanelStream(ds, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CsvPanelTest, FileRoundTripAndNaming) {
+  const std::string path = ::testing::TempDir() + "/onex_panel_test.csv";
+  Dataset ds("whatever");
+  ds.Add(TimeSeries("Texas", {1.0, 2.0}));
+  ASSERT_TRUE(WriteCsvPanelFile(ds, path).ok());
+  Result<Dataset> back = ReadCsvPanelFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name(), "onex_panel_test");
+  EXPECT_EQ((*back)[0].name(), "Texas");
+  std::remove(path.c_str());
+}
+
+TEST(CsvPanelTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsvPanelFile("/no/such/panel.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace onex

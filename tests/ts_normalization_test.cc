@@ -1,0 +1,148 @@
+#include "onex/ts/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include "onex/common/math_utils.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+Dataset TwoSeries() {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {0.0, 5.0, 10.0}));
+  ds.Add(TimeSeries("b", {-10.0, 0.0}));
+  return ds;
+}
+
+TEST(NormalizationTest, NoneIsIdentity) {
+  const Dataset ds = TwoSeries();
+  Result<Dataset> out = Normalize(ds, NormalizationKind::kNone);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_DOUBLE_EQ((*out)[0][1], 5.0);
+  EXPECT_DOUBLE_EQ((*out)[1][0], -10.0);
+}
+
+TEST(NormalizationTest, MinMaxDatasetUsesGlobalRange) {
+  NormalizationParams params;
+  Result<Dataset> out =
+      Normalize(TwoSeries(), NormalizationKind::kMinMaxDataset, &params);
+  ASSERT_TRUE(out.ok());
+  // Global range [-10, 10].
+  EXPECT_DOUBLE_EQ(params.min, -10.0);
+  EXPECT_DOUBLE_EQ(params.max, 10.0);
+  EXPECT_DOUBLE_EQ((*out)[0][0], 0.5);   // 0 -> 0.5
+  EXPECT_DOUBLE_EQ((*out)[0][2], 1.0);   // 10 -> 1
+  EXPECT_DOUBLE_EQ((*out)[1][0], 0.0);   // -10 -> 0
+}
+
+TEST(NormalizationTest, MinMaxDatasetBoundsHold) {
+  const Dataset ds = testing::SmallDataset(8, 40, 3);
+  Result<Dataset> out = Normalize(ds, NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(out.ok());
+  const auto [lo, hi] = out->ValueRange();
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+  EXPECT_DOUBLE_EQ(lo, 0.0);  // extrema are attained
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(NormalizationTest, MinMaxSeriesEachSeriesSpansUnitInterval) {
+  Result<Dataset> out =
+      Normalize(TwoSeries(), NormalizationKind::kMinMaxSeries);
+  ASSERT_TRUE(out.ok());
+  for (const TimeSeries& ts : out->series()) {
+    EXPECT_DOUBLE_EQ(Min(ts.AsSpan()), 0.0);
+    EXPECT_DOUBLE_EQ(Max(ts.AsSpan()), 1.0);
+  }
+}
+
+TEST(NormalizationTest, ZScoreSeriesMoments) {
+  const Dataset ds = testing::SmallDataset(5, 50, 9);
+  Result<Dataset> out = Normalize(ds, NormalizationKind::kZScoreSeries);
+  ASSERT_TRUE(out.ok());
+  for (const TimeSeries& ts : out->series()) {
+    EXPECT_NEAR(Mean(ts.AsSpan()), 0.0, 1e-9);
+    EXPECT_NEAR(StdDev(ts.AsSpan()), 1.0, 1e-9);
+  }
+}
+
+TEST(NormalizationTest, ConstantSeriesMapsToZeros) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("flat", {4.0, 4.0, 4.0}));
+  for (const NormalizationKind kind :
+       {NormalizationKind::kMinMaxSeries, NormalizationKind::kZScoreSeries}) {
+    Result<Dataset> out = Normalize(ds, kind);
+    ASSERT_TRUE(out.ok());
+    for (double v : (*out)[0].values()) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(NormalizationTest, ConstantDatasetMinMaxDataset) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("flat", {4.0, 4.0}));
+  ds.Add(TimeSeries("flat2", {4.0, 4.0, 4.0}));
+  Result<Dataset> out = Normalize(ds, NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(out.ok());
+  for (const TimeSeries& ts : out->series()) {
+    for (double v : ts.values()) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(NormalizationTest, DenormalizeRoundTripsMinMaxDataset) {
+  NormalizationParams params;
+  const Dataset raw = TwoSeries();
+  Result<Dataset> out =
+      Normalize(raw, NormalizationKind::kMinMaxDataset, &params);
+  ASSERT_TRUE(out.ok());
+  for (std::size_t s = 0; s < raw.size(); ++s) {
+    for (std::size_t i = 0; i < raw[s].length(); ++i) {
+      EXPECT_NEAR(Denormalize(params, s, (*out)[s][i]), raw[s][i], 1e-12);
+    }
+  }
+}
+
+TEST(NormalizationTest, DenormalizeRoundTripsPerSeriesKinds) {
+  const Dataset raw = testing::SmallDataset(4, 20, 5);
+  for (const NormalizationKind kind :
+       {NormalizationKind::kMinMaxSeries, NormalizationKind::kZScoreSeries}) {
+    NormalizationParams params;
+    Result<Dataset> out = Normalize(raw, kind, &params);
+    ASSERT_TRUE(out.ok());
+    for (std::size_t s = 0; s < raw.size(); ++s) {
+      for (std::size_t i = 0; i < raw[s].length(); ++i) {
+        EXPECT_NEAR(Denormalize(params, s, (*out)[s][i]), raw[s][i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(NormalizationTest, KindStringsRoundTrip) {
+  for (const NormalizationKind kind :
+       {NormalizationKind::kNone, NormalizationKind::kMinMaxDataset,
+        NormalizationKind::kMinMaxSeries, NormalizationKind::kZScoreSeries}) {
+    Result<NormalizationKind> back =
+        NormalizationKindFromString(NormalizationKindToString(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(NormalizationKindFromString("bogus").ok());
+  // Aliases.
+  EXPECT_EQ(*NormalizationKindFromString("minmax"),
+            NormalizationKind::kMinMaxDataset);
+  EXPECT_EQ(*NormalizationKindFromString("zscore"),
+            NormalizationKind::kZScoreSeries);
+}
+
+TEST(NormalizationTest, PreservesNamesAndLabels) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("alpha", {1.0, 2.0}, "labelled"));
+  Result<Dataset> out = Normalize(ds, NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].name(), "alpha");
+  EXPECT_EQ((*out)[0].label(), "labelled");
+}
+
+}  // namespace
+}  // namespace onex

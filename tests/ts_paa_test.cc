@@ -1,0 +1,93 @@
+#include "onex/ts/paa.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/math_utils.h"
+#include "onex/common/random.h"
+#include "onex/distance/euclidean.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(PaaTest, ExactDivisionAverages) {
+  const std::vector<double> x{1.0, 3.0, 2.0, 4.0, 10.0, 20.0};
+  const std::vector<double> paa = Paa(x, 3);
+  ASSERT_EQ(paa.size(), 3u);
+  EXPECT_DOUBLE_EQ(paa[0], 2.0);
+  EXPECT_DOUBLE_EQ(paa[1], 3.0);
+  EXPECT_DOUBLE_EQ(paa[2], 15.0);
+}
+
+TEST(PaaTest, RaggedDivisionCoversEveryPoint) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> paa = Paa(x, 2);
+  ASSERT_EQ(paa.size(), 2u);
+  // Segments [0,2) and [2,5).
+  EXPECT_DOUBLE_EQ(paa[0], 1.5);
+  EXPECT_DOUBLE_EQ(paa[1], 4.0);
+}
+
+TEST(PaaTest, DegenerateInputs) {
+  EXPECT_TRUE(Paa(std::vector<double>{}, 4).empty());
+  EXPECT_TRUE(Paa(std::vector<double>{1.0, 2.0}, 0).empty());
+  // m >= n: identity.
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_EQ(Paa(x, 3), x);
+  EXPECT_EQ(Paa(x, 10), x);
+}
+
+TEST(PaaTest, ConstantSeriesStaysConstant) {
+  const std::vector<double> x(17, 4.5);
+  for (double v : Paa(x, 5)) EXPECT_DOUBLE_EQ(v, 4.5);
+}
+
+TEST(PaaTest, GlobalMeanPreservedOnExactDivision) {
+  Rng rng(3);
+  const std::vector<double> x = testing::RandomSeries(&rng, 32);
+  const std::vector<double> paa = Paa(x, 8);  // 32 / 8 exact
+  EXPECT_NEAR(Mean(paa), Mean(x), 1e-12);
+}
+
+TEST(PaaTest, LowerBoundSizeMismatchIsInfinite) {
+  EXPECT_TRUE(std::isinf(PaaLowerBound(std::vector<double>{1.0},
+                                       std::vector<double>{1.0, 2.0}, 8)));
+  EXPECT_TRUE(std::isinf(
+      PaaLowerBound(std::vector<double>{}, std::vector<double>{}, 8)));
+}
+
+class PaaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaaPropertyTest, LowerBoundsEuclideanOnExactDivision) {
+  Rng rng(GetParam());
+  // n divisible by m: the classic bound is exact-form.
+  const std::size_t m = 2 + rng.UniformIndex(6);
+  const std::size_t n = m * (2 + rng.UniformIndex(8));
+  const std::vector<double> x = testing::RandomSeries(&rng, n);
+  const std::vector<double> y = testing::RandomSeries(&rng, n);
+  const double lb = PaaLowerBound(Paa(x, m), Paa(y, m), n);
+  EXPECT_LE(lb, Euclidean(x, y) + 1e-9)
+      << "n=" << n << " m=" << m;
+}
+
+TEST_P(PaaPropertyTest, MoreSegmentsTightenTheBound) {
+  Rng rng(GetParam() + 50);
+  const std::size_t n = 48;
+  const std::vector<double> x = testing::RandomSeries(&rng, n);
+  const std::vector<double> y = testing::RandomSeries(&rng, n);
+  // Divisor chain keeps every reduction exact.
+  const double lb4 = PaaLowerBound(Paa(x, 4), Paa(y, 4), n);
+  const double lb12 = PaaLowerBound(Paa(x, 12), Paa(y, 12), n);
+  const double lb48 = PaaLowerBound(Paa(x, 48), Paa(y, 48), n);
+  EXPECT_LE(lb4, lb12 + 1e-9);
+  EXPECT_LE(lb12, lb48 + 1e-9);
+  EXPECT_NEAR(lb48, Euclidean(x, y), 1e-9);  // full resolution: equality
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaaPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace onex

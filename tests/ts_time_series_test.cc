@@ -1,0 +1,165 @@
+#include "onex/ts/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include "onex/ts/dataset.h"
+#include "onex/ts/subsequence.h"
+
+namespace onex {
+namespace {
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries ts("growth", {1.0, 2.0, 3.0}, "MA");
+  EXPECT_EQ(ts.name(), "growth");
+  EXPECT_EQ(ts.label(), "MA");
+  EXPECT_EQ(ts.length(), 3u);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts[1], 2.0);
+}
+
+TEST(TimeSeriesTest, SliceViewsUnderlyingData) {
+  TimeSeries ts("s", {0.0, 1.0, 2.0, 3.0, 4.0});
+  const std::span<const double> mid = ts.Slice(1, 3);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[2], 3.0);
+  EXPECT_EQ(mid.data(), ts.values().data() + 1);  // a view, not a copy
+}
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.length(), 0u);
+}
+
+TEST(DatasetTest, AddAndIndex) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0}));
+  ds.Add(TimeSeries("b", {3.0, 4.0, 5.0}));
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[1].name(), "b");
+  EXPECT_EQ(ds.name(), "d");
+}
+
+TEST(DatasetTest, FindByName) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("alpha", {1.0, 2.0}));
+  ds.Add(TimeSeries("beta", {1.0, 2.0}));
+  ASSERT_TRUE(ds.FindByName("beta").ok());
+  EXPECT_EQ(*ds.FindByName("beta"), 1u);
+  EXPECT_EQ(ds.FindByName("gamma").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, CheckIndexAndRange) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_TRUE(ds.CheckIndex(0).ok());
+  EXPECT_EQ(ds.CheckIndex(1).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(ds.CheckRange(0, 0, 4).ok());
+  EXPECT_TRUE(ds.CheckRange(0, 3, 1).ok());
+  EXPECT_EQ(ds.CheckRange(0, 0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ds.CheckRange(0, 4, 1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ds.CheckRange(0, 0, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ds.CheckRange(2, 0, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, GetSlice) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0, 3.0}));
+  Result<std::span<const double>> ok = ds.GetSlice(0, 1, 2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ((*ok)[0], 2.0);
+  EXPECT_FALSE(ds.GetSlice(0, 2, 2).ok());
+}
+
+TEST(DatasetTest, LengthAggregates) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0}));
+  ds.Add(TimeSeries("b", {1.0, 2.0, 3.0, 4.0, 5.0}));
+  EXPECT_EQ(ds.MinLength(), 2u);
+  EXPECT_EQ(ds.MaxLength(), 5u);
+  EXPECT_EQ(ds.TotalPoints(), 7u);
+}
+
+TEST(DatasetTest, EmptyAggregates) {
+  Dataset ds;
+  EXPECT_EQ(ds.MinLength(), 0u);
+  EXPECT_EQ(ds.MaxLength(), 0u);
+  EXPECT_EQ(ds.TotalPoints(), 0u);
+  const auto [lo, hi] = ds.ValueRange();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 0.0);
+}
+
+TEST(DatasetTest, ValueRange) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {-2.0, 5.0}));
+  ds.Add(TimeSeries("b", {1.0, 7.5, 0.0}));
+  const auto [lo, hi] = ds.ValueRange();
+  EXPECT_DOUBLE_EQ(lo, -2.0);
+  EXPECT_DOUBLE_EQ(hi, 7.5);
+}
+
+TEST(DatasetTest, CountSubsequencesSingleLength) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", std::vector<double>(10, 0.0)));
+  // Length 4 over 10 points: 7 start positions.
+  EXPECT_EQ(ds.CountSubsequences(4, 4), 7u);
+  // Stride 2 -> ceil(7/2) = 4.
+  EXPECT_EQ(ds.CountSubsequences(4, 4, 1, 2), 4u);
+}
+
+TEST(DatasetTest, CountSubsequencesAllLengths) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", std::vector<double>(5, 0.0)));
+  // Lengths 2..5 over 5 points: 4+3+2+1 = 10.
+  EXPECT_EQ(ds.CountSubsequences(2, 5), 10u);
+  // Series shorter than min_length contribute nothing.
+  EXPECT_EQ(ds.CountSubsequences(6, 10), 0u);
+  // Degenerate arguments.
+  EXPECT_EQ(ds.CountSubsequences(0, 5), 0u);
+  EXPECT_EQ(ds.CountSubsequences(3, 2), 0u);
+  EXPECT_EQ(ds.CountSubsequences(2, 5, 0), 0u);
+}
+
+TEST(DatasetTest, CountSubsequencesMixedLengths) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", std::vector<double>(4, 0.0)));  // len 2,3,4: 3+2+1
+  ds.Add(TimeSeries("b", std::vector<double>(3, 0.0)));  // len 2,3: 2+1
+  EXPECT_EQ(ds.CountSubsequences(2, 4), 9u);
+}
+
+TEST(SubseqRefTest, ResolveAndToString) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {0.0, 10.0, 20.0, 30.0}));
+  const SubseqRef ref{0, 1, 2};
+  const std::span<const double> vals = ref.Resolve(ds);
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_DOUBLE_EQ(vals[0], 10.0);
+  EXPECT_EQ(ref.ToString(), "s0[1..3)");
+  EXPECT_EQ(ref.end(), 3u);
+}
+
+TEST(SubseqRefTest, Overlaps) {
+  const SubseqRef a{0, 0, 4};   // [0,4)
+  const SubseqRef b{0, 3, 4};   // [3,7)
+  const SubseqRef c{0, 4, 2};   // [4,6)
+  const SubseqRef d{1, 0, 10};  // other series
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  EXPECT_FALSE(a.Overlaps(c));  // touching, not overlapping
+  EXPECT_FALSE(a.Overlaps(d));
+  EXPECT_TRUE(b.Overlaps(c));
+}
+
+TEST(SubseqRefTest, Ordering) {
+  const SubseqRef a{0, 1, 3};
+  const SubseqRef b{0, 2, 3};
+  const SubseqRef c{1, 0, 3};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (SubseqRef{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace onex

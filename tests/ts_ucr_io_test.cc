@@ -1,0 +1,149 @@
+#include "onex/ts/ucr_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace onex {
+namespace {
+
+TEST(UcrIoTest, ParsesWhitespaceSeparated) {
+  std::istringstream in("1 0.5 0.6 0.7\n2 1.0 1.1 1.2\n");
+  Result<Dataset> ds = ReadUcrStream(in, "demo");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ((*ds)[0].label(), "1");
+  EXPECT_EQ((*ds)[0].length(), 3u);
+  EXPECT_DOUBLE_EQ((*ds)[1][2], 1.2);
+  EXPECT_EQ((*ds)[0].name(), "demo_0");
+}
+
+TEST(UcrIoTest, ParsesCommaSeparated) {
+  std::istringstream in("-1,0.5,0.6\n1,0.9,1.0\n");
+  Result<Dataset> ds = ReadUcrStream(in, "csv");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ((*ds)[0].label(), "-1");
+  EXPECT_DOUBLE_EQ((*ds)[0][1], 0.6);
+}
+
+TEST(UcrIoTest, SupportsRaggedRows) {
+  std::istringstream in("0 1 2 3 4\n0 1 2\n");
+  Result<Dataset> ds = ReadUcrStream(in, "ragged");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)[0].length(), 4u);
+  EXPECT_EQ((*ds)[1].length(), 2u);
+}
+
+TEST(UcrIoTest, SkipsBlankLinesAndComments) {
+  std::istringstream in("# header comment\n\n1 2 3\n   \n2 4 5\n");
+  Result<Dataset> ds = ReadUcrStream(in, "c");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST(UcrIoTest, NoLabelMode) {
+  std::istringstream in("0.5 0.6 0.7\n");
+  UcrReadOptions opt;
+  opt.first_column_is_label = false;
+  Result<Dataset> ds = ReadUcrStream(in, "nolabel", opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)[0].length(), 3u);
+  EXPECT_TRUE((*ds)[0].label().empty());
+  EXPECT_DOUBLE_EQ((*ds)[0][0], 0.5);
+}
+
+TEST(UcrIoTest, RejectsMalformedNumbers) {
+  std::istringstream in("1 0.5 oops 0.7\n");
+  Result<Dataset> ds = ReadUcrStream(in, "bad");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+}
+
+TEST(UcrIoTest, RejectsLabelOnlyRow) {
+  std::istringstream in("1\n");
+  Result<Dataset> ds = ReadUcrStream(in, "short");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+}
+
+TEST(UcrIoTest, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadUcrStream(in, "empty").ok());
+  std::istringstream comments("# only\n# comments\n");
+  EXPECT_FALSE(ReadUcrStream(comments, "empty").ok());
+}
+
+TEST(UcrIoTest, EnforcesMinLength) {
+  std::istringstream in("1 2 3\n");
+  UcrReadOptions opt;
+  opt.min_length = 5;
+  Result<Dataset> ds = ReadUcrStream(in, "tooshort", opt);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kParseError);
+}
+
+TEST(UcrIoTest, MaxSeriesCapsReading) {
+  std::istringstream in("1 1 1\n2 2 2\n3 3 3\n");
+  UcrReadOptions opt;
+  opt.max_series = 2;
+  Result<Dataset> ds = ReadUcrStream(in, "capped", opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST(UcrIoTest, WriteThenReadRoundTrips) {
+  Dataset ds("roundtrip");
+  ds.Add(TimeSeries("a", {0.125, -3.5, 2.75}, "1"));
+  ds.Add(TimeSeries("b", {1e-9, 1e9}, "2"));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteUcrStream(ds, out).ok());
+  std::istringstream in(out.str());
+  Result<Dataset> back = ReadUcrStream(in, "roundtrip");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].label(), "1");
+  ASSERT_EQ((*back)[0].length(), 3u);
+  EXPECT_DOUBLE_EQ((*back)[0][0], 0.125);
+  EXPECT_DOUBLE_EQ((*back)[0][1], -3.5);
+  EXPECT_DOUBLE_EQ((*back)[1][1], 1e9);
+}
+
+TEST(UcrIoTest, WriteUsesDefaultLabelWhenEmpty) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0}));  // no label
+  std::ostringstream out;
+  ASSERT_TRUE(WriteUcrStream(ds, out).ok());
+  EXPECT_EQ(out.str().substr(0, 2), "0 ");
+}
+
+TEST(UcrIoTest, FileRoundTripAndNaming) {
+  const std::string path = ::testing::TempDir() + "/onex_ucr_test.tsv";
+  Dataset ds("ignored");
+  ds.Add(TimeSeries("a", {1.0, 2.0, 3.0}, "7"));
+  ASSERT_TRUE(WriteUcrFile(ds, path).ok());
+  Result<Dataset> back = ReadUcrFile(path);
+  ASSERT_TRUE(back.ok());
+  // Dataset named after the file's basename sans extension.
+  EXPECT_EQ(back->name(), "onex_ucr_test");
+  EXPECT_EQ((*back)[0].label(), "7");
+  std::remove(path.c_str());
+}
+
+TEST(UcrIoTest, MissingFileIsIoError) {
+  Result<Dataset> ds = ReadUcrFile("/nonexistent/path/file.tsv");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIoError);
+}
+
+TEST(UcrIoTest, UnwritablePathIsIoError) {
+  Dataset ds("d");
+  ds.Add(TimeSeries("a", {1.0, 2.0}));
+  EXPECT_EQ(WriteUcrFile(ds, "/nonexistent/dir/out.tsv").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace onex

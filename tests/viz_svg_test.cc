@@ -1,0 +1,130 @@
+#include "onex/viz/svg_export.h"
+
+#include <gtest/gtest.h>
+
+#include "onex/distance/dtw.h"
+
+namespace onex::viz {
+namespace {
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+MultiLineChartData SampleMultiLine() {
+  const std::vector<double> a{0.0, 1.0, 2.0, 1.0};
+  const std::vector<double> b{0.0, 0.0, 1.0, 2.0, 1.0};
+  return BuildMultiLineChart("query", a, "match", b, DtwWithPath(a, b).path);
+}
+
+TEST(SvgMultiLineTest, ContainsTracesAndLinks) {
+  const MultiLineChartData data = SampleMultiLine();
+  const std::string svg = RenderSvgMultiLine(data);
+  EXPECT_EQ(svg.substr(0, 4), "<svg");
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Two polylines (one per series) and one dashed line per warped link.
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 2u);
+  EXPECT_EQ(CountOccurrences(svg, "stroke-dasharray=\"2,3\""),
+            data.links.size());
+  // Series names appear as labels.
+  EXPECT_NE(svg.find(">query<"), std::string::npos);
+  EXPECT_NE(svg.find(">match<"), std::string::npos);
+}
+
+TEST(SvgMultiLineTest, CustomColorsAndSize) {
+  SvgOptions opt;
+  opt.width = 200;
+  opt.height = 100;
+  opt.color_a = "#ff0000";
+  const std::string svg = RenderSvgMultiLine(SampleMultiLine(), opt);
+  EXPECT_NE(svg.find("width=\"200\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"100\""), std::string::npos);
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+}
+
+TEST(SvgRadialTest, ClosedTracesInsideReferenceCircle) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 2.0};
+  const RadialChartData data = BuildRadialChart("a", a, "b", a);
+  const std::string svg = RenderSvgRadial(data);
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 2u);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 1u);  // reference ring
+}
+
+TEST(SvgScatterTest, DiagonalPointsAndDeviationLabel) {
+  const std::vector<double> a{0.2, 0.4, 0.6};
+  const ConnectedScatterData data =
+      BuildConnectedScatter("a", a, "b", a, DtwWithPath(a, a).path);
+  const std::string svg = RenderSvgConnectedScatter(data);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), data.points.size());
+  EXPECT_NE(svg.find("diagonal deviation 0.0000"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray=\"4,4\""), std::string::npos);
+}
+
+TEST(SvgSeasonalTest, BandsPerOccurrenceWithAlternatingColors) {
+  SeasonalPattern p;
+  p.length = 4;
+  p.occurrences = {{0, 0, 4}, {0, 8, 4}, {0, 16, 4}};
+  p.representative = {0.0, 1.0, 1.0, 0.0};
+  const SeasonalViewData data =
+      BuildSeasonalView("hh", std::vector<double>(24, 0.5), {p});
+  SvgOptions opt;
+  const std::string svg = RenderSvgSeasonal(data, opt);
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), 3u);
+  // Colors alternate: 2 bands of color_a, 1 of color_b.
+  EXPECT_EQ(CountOccurrences(svg, opt.color_a), 2u);
+  EXPECT_EQ(CountOccurrences(svg, opt.color_b), 1u);
+  EXPECT_NE(svg.find(">hh<"), std::string::npos);
+}
+
+TEST(SvgOverviewTest, OneCellPerGroupWithIntensityOpacity) {
+  OverviewPaneData data;
+  data.cells.push_back({6, 10, 1.0, {0.0, 0.5, 1.0, 0.5, 0.0, 0.2}});
+  data.cells.push_back({6, 5, 0.5, {1.0, 0.5, 0.0, 0.5, 1.0, 0.8}});
+  const std::string svg = RenderSvgOverview(data);
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find("stroke-opacity=\"1.00\""), std::string::npos);
+  EXPECT_NE(svg.find("stroke-opacity=\"0.62\""), std::string::npos);
+  EXPECT_NE(svg.find("n=10"), std::string::npos);
+}
+
+TEST(HtmlPageTest, WrapsSectionsIntoDocument) {
+  const std::string html = WrapHtmlPage(
+      "Report <Title>", {{"Section A", "<svg>a</svg>"},
+                         {"Section B", "<svg>b</svg>"}});
+  EXPECT_EQ(html.substr(0, 15), "<!DOCTYPE html>");
+  EXPECT_EQ(CountOccurrences(html, "<section>"), 2u);
+  EXPECT_NE(html.find("Section A"), std::string::npos);
+  EXPECT_NE(html.find("<svg>b</svg>"), std::string::npos);
+  EXPECT_NE(html.find("</body></html>"), std::string::npos);
+}
+
+TEST(SvgEdgeCaseTest, DegenerateInputsProduceValidSvg) {
+  // Single-point series, empty links, empty patterns: still well-formed.
+  const MultiLineChartData tiny =
+      BuildMultiLineChart("a", {1.0}, "b", {2.0}, {});
+  EXPECT_NE(RenderSvgMultiLine(tiny).find("</svg>"), std::string::npos);
+
+  const SeasonalViewData no_patterns =
+      BuildSeasonalView("s", {1.0, 2.0, 3.0}, {});
+  EXPECT_NE(RenderSvgSeasonal(no_patterns).find("</svg>"),
+            std::string::npos);
+
+  const OverviewPaneData empty_overview;
+  EXPECT_NE(RenderSvgOverview(empty_overview).find("</svg>"),
+            std::string::npos);
+
+  // Constant series: no division by zero in scaling.
+  const MultiLineChartData flat = BuildMultiLineChart(
+      "a", std::vector<double>(5, 3.0), "b", std::vector<double>(5, 3.0), {});
+  EXPECT_NE(RenderSvgMultiLine(flat).find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onex::viz

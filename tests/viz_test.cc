@@ -1,0 +1,257 @@
+#include "onex/viz/chart_data.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "onex/distance/dtw.h"
+#include "onex/viz/ascii_canvas.h"
+#include "onex/viz/charts.h"
+#include "onex/viz/exporters.h"
+
+namespace onex::viz {
+namespace {
+
+MultiLineChartData SampleMultiLine() {
+  const std::vector<double> a{0.0, 1.0, 2.0, 1.0};
+  const std::vector<double> b{0.0, 0.0, 1.0, 2.0, 1.0};
+  const DtwAlignment al = DtwWithPath(a, b);
+  return BuildMultiLineChart("q", a, "m", b, al.path);
+}
+
+TEST(AsciiCanvasTest, SetAndRender) {
+  AsciiCanvas canvas(4, 2);
+  canvas.Set(0, 0, 'a');
+  canvas.Set(3, 1, 'z');
+  EXPECT_EQ(canvas.Render(), "a\n   z\n");
+  EXPECT_EQ(canvas.At(0, 0), 'a');
+  EXPECT_EQ(canvas.At(2, 1), ' ');
+}
+
+TEST(AsciiCanvasTest, OutOfBoundsWritesAreClipped) {
+  AsciiCanvas canvas(2, 2);
+  canvas.Set(5, 5, 'x');  // silently ignored
+  canvas.Set(2, 0, 'x');
+  EXPECT_EQ(canvas.Render(), "\n\n");
+  EXPECT_EQ(canvas.At(9, 9), ' ');
+}
+
+TEST(AsciiCanvasTest, PlotSeriesSpansCanvas) {
+  AsciiCanvas canvas(10, 5);
+  canvas.PlotSeries(std::vector<double>{0.0, 1.0}, 0.0, 1.0, '*');
+  // First point at bottom-left, last at top-right.
+  EXPECT_EQ(canvas.At(0, 4), '*');
+  EXPECT_EQ(canvas.At(9, 0), '*');
+}
+
+TEST(AsciiCanvasTest, VLine) {
+  AsciiCanvas canvas(3, 5);
+  canvas.VLine(1, 3, 1, '|');  // reversed order still works
+  EXPECT_EQ(canvas.At(1, 1), '|');
+  EXPECT_EQ(canvas.At(1, 2), '|');
+  EXPECT_EQ(canvas.At(1, 3), '|');
+  EXPECT_EQ(canvas.At(1, 0), ' ');
+}
+
+TEST(MultiLineChartTest, LinksAreValidIndices) {
+  const MultiLineChartData data = SampleMultiLine();
+  ASSERT_FALSE(data.links.empty());
+  for (const auto& [i, j] : data.links) {
+    EXPECT_LT(i, data.series_a.size());
+    EXPECT_LT(j, data.series_b.size());
+  }
+}
+
+TEST(MultiLineChartTest, JsonShape) {
+  const json::Value v = SampleMultiLine().ToJson();
+  EXPECT_EQ(v["type"].as_string(), "multi_line");
+  EXPECT_EQ(v["series_a"].as_array().size(), 4u);
+  EXPECT_EQ(v["series_b"].as_array().size(), 5u);
+  EXPECT_EQ(v["links"].as_array().size(), SampleMultiLine().links.size());
+  // Round-trips through the parser.
+  EXPECT_TRUE(json::Parse(v.Dump()).ok());
+}
+
+TEST(MultiLineChartTest, RenderContainsLegend) {
+  const std::string out = RenderMultiLineChart(SampleMultiLine(), 40, 8);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(RadialChartTest, AnglesCoverTheCircle) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const RadialChartData data = BuildRadialChart("a", a, "b", a);
+  ASSERT_EQ(data.points_a.size(), 4u);
+  EXPECT_DOUBLE_EQ(data.points_a.front().angle, 0.0);
+  for (std::size_t i = 1; i < data.points_a.size(); ++i) {
+    EXPECT_GT(data.points_a[i].angle, data.points_a[i - 1].angle);
+    EXPECT_LT(data.points_a[i].angle, 2.0 * 3.14159265358979 + 1e-9);
+  }
+}
+
+TEST(RadialChartTest, RadiiRespectInnerRadiusAndSharedScale) {
+  const std::vector<double> a{0.0, 10.0};
+  const std::vector<double> b{5.0, 5.0};
+  const RadialChartData data = BuildRadialChart("a", a, "b", b, 0.25);
+  // Shared scale: min value 0 -> 0.25, max value 10 -> 1.25.
+  EXPECT_DOUBLE_EQ(data.points_a[0].radius, 0.25);
+  EXPECT_DOUBLE_EQ(data.points_a[1].radius, 1.25);
+  EXPECT_DOUBLE_EQ(data.points_b[0].radius, 0.75);
+}
+
+TEST(RadialChartTest, RenderProducesSquareChart) {
+  const std::vector<double> a{1.0, 2.0, 1.5, 0.5};
+  const RadialChartData data = BuildRadialChart("a", a, "b", a);
+  const std::string out = RenderRadialChart(data, 21);
+  EXPECT_NE(out.find("radial"), std::string::npos);
+}
+
+TEST(ConnectedScatterTest, IdenticalSeriesSitOnDiagonal) {
+  const std::vector<double> a{0.2, 0.4, 0.6, 0.8};
+  const DtwAlignment al = DtwWithPath(a, a);
+  const ConnectedScatterData data =
+      BuildConnectedScatter("a", a, "a2", a, al.path);
+  EXPECT_DOUBLE_EQ(data.diagonal_deviation, 0.0);
+  for (const auto& [x, y] : data.points) EXPECT_DOUBLE_EQ(x, y);
+}
+
+TEST(ConnectedScatterTest, DeviationGrowsWithMismatch) {
+  const std::vector<double> a{0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> close{0.05, 0.0, 0.05, 0.0};
+  const std::vector<double> far{1.0, 1.0, 1.0, 1.0};
+  const ConnectedScatterData near_data = BuildConnectedScatter(
+      "a", a, "b", close, DtwWithPath(a, close).path);
+  const ConnectedScatterData far_data =
+      BuildConnectedScatter("a", a, "b", far, DtwWithPath(a, far).path);
+  EXPECT_LT(near_data.diagonal_deviation, far_data.diagonal_deviation);
+}
+
+TEST(ConnectedScatterTest, PointsFollowWarpingPathOrder) {
+  const std::vector<double> a{0.0, 1.0};
+  const std::vector<double> b{0.0, 0.5, 1.0};
+  const WarpingPath path = DtwWithPath(a, b).path;
+  const ConnectedScatterData data =
+      BuildConnectedScatter("a", a, "b", b, path);
+  ASSERT_EQ(data.points.size(), path.size());
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    EXPECT_DOUBLE_EQ(data.points[k].first, a[path[k].first]);
+    EXPECT_DOUBLE_EQ(data.points[k].second, b[path[k].second]);
+  }
+}
+
+TEST(SeasonalViewTest, SegmentsAlternateColors) {
+  SeasonalPattern p;
+  p.length = 4;
+  p.occurrences = {{0, 0, 4}, {0, 8, 4}, {0, 16, 4}};
+  p.representative = {0.0, 1.0, 1.0, 0.0};
+  const SeasonalViewData data =
+      BuildSeasonalView("s", std::vector<double>(24, 0.0), {p});
+  ASSERT_EQ(data.patterns.size(), 1u);
+  const auto& segs = data.patterns.front().segments;
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].color, 0);
+  EXPECT_EQ(segs[1].color, 1);
+  EXPECT_EQ(segs[2].color, 0);
+}
+
+TEST(SeasonalViewTest, RenderMarksSegments) {
+  SeasonalPattern p;
+  p.length = 6;
+  p.occurrences = {{0, 0, 6}, {0, 12, 6}};
+  p.representative = std::vector<double>(6, 0.5);
+  std::vector<double> series(24);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = static_cast<double>(i % 6);
+  }
+  const SeasonalViewData data = BuildSeasonalView("hh", series, {p});
+  const std::string out = RenderSeasonalView(data, 24);
+  EXPECT_NE(out.find('b'), std::string::npos);
+  EXPECT_NE(out.find('g'), std::string::npos);
+  EXPECT_NE(out.find("len=6"), std::string::npos);
+}
+
+TEST(SparklineTest, WidthAndExtremes) {
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(static_cast<double>(i));
+  const std::string line = RenderSparkline(xs, 16);
+  // 16 glyphs, each 3 UTF-8 bytes.
+  EXPECT_EQ(line.size(), 16u * 3u);
+  EXPECT_EQ(line.substr(0, 3), "▁");       // lowest block first
+  EXPECT_EQ(line.substr(line.size() - 3), "█");  // full block last
+}
+
+TEST(SparklineTest, DegenerateInputs) {
+  EXPECT_EQ(RenderSparkline(std::vector<double>{}, 10), "");
+  EXPECT_FALSE(RenderSparkline(std::vector<double>{1.0}, 10).empty());
+  // Constant input renders without dividing by zero.
+  EXPECT_FALSE(
+      RenderSparkline(std::vector<double>(8, 3.0), 8).empty());
+}
+
+TEST(OverviewPaneTest, BuildAndRender) {
+  std::vector<OverviewEntry> entries(2);
+  entries[0].length = 6;
+  entries[0].cardinality = 10;
+  entries[0].intensity = 1.0;
+  entries[0].representative = {0.0, 0.5, 1.0, 0.5, 0.0, 0.2};
+  entries[1].length = 6;
+  entries[1].cardinality = 5;
+  entries[1].intensity = 0.5;
+  entries[1].representative = {1.0, 0.5, 0.0, 0.5, 1.0, 0.8};
+  const OverviewPaneData data = BuildOverviewPane(entries);
+  ASSERT_EQ(data.cells.size(), 2u);
+  EXPECT_EQ(data.cells[0].cardinality, 10u);
+  const std::string out = RenderOverviewPane(data);
+  EXPECT_NE(out.find("n=10"), std::string::npos);
+  EXPECT_NE(out.find("intensity=0.50"), std::string::npos);
+  const json::Value v = data.ToJson();
+  EXPECT_EQ(v["cells"].as_array().size(), 2u);
+}
+
+TEST(ExportersTest, MultiLineCsv) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMultiLineCsv(SampleMultiLine(), out).ok());
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "index_a,value_a,index_b,value_b");
+  // One data row per link plus header.
+  const std::size_t rows =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, SampleMultiLine().links.size() + 1);
+}
+
+TEST(ExportersTest, MultiLineCsvRejectsBadLinks) {
+  MultiLineChartData data = SampleMultiLine();
+  data.links.push_back({99, 0});
+  std::ostringstream out;
+  EXPECT_EQ(WriteMultiLineCsv(data, out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExportersTest, RadialAndScatterAndSeasonalCsv) {
+  const std::vector<double> a{0.1, 0.2, 0.3};
+  const RadialChartData radial = BuildRadialChart("x", a, "y", a);
+  std::ostringstream r;
+  ASSERT_TRUE(WriteRadialCsv(radial, r).ok());
+  EXPECT_NE(r.str().find("series,angle,radius"), std::string::npos);
+
+  const ConnectedScatterData scatter =
+      BuildConnectedScatter("x", a, "y", a, DtwWithPath(a, a).path);
+  std::ostringstream s;
+  ASSERT_TRUE(WriteConnectedScatterCsv(scatter, s).ok());
+  EXPECT_NE(s.str().find("x,y"), std::string::npos);
+
+  SeasonalPattern p;
+  p.length = 2;
+  p.occurrences = {{0, 0, 2}, {0, 4, 2}};
+  p.representative = {0.0, 1.0};
+  const SeasonalViewData seasonal =
+      BuildSeasonalView("s", std::vector<double>(8, 0.0), {p});
+  std::ostringstream t;
+  ASSERT_TRUE(WriteSeasonalCsv(seasonal, t).ok());
+  EXPECT_NE(t.str().find("pattern,start,length,color"), std::string::npos);
+  EXPECT_NE(t.str().find("0,4,2,1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace onex::viz
