@@ -4,8 +4,13 @@
 /// append vs full rebuild: a growing collection (the paper's "data sets
 /// updated with new yearly data") should not pay the full preprocessing
 /// price per arrival. (c) Base persistence: reload vs rebuild.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "bench_util.h"
 #include "onex/core/base_io.h"

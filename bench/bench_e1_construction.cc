@@ -1,7 +1,11 @@
 /// E1 — Fig 1 / "Data Loading into ONEX": offline preprocessing cost and the
 /// compaction the ONEX base achieves (groups << subsequences), across
 /// dataset cardinality and similarity threshold.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "bench_util.h"
 #include "onex/core/onex_base.h"

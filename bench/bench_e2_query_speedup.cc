@@ -6,7 +6,15 @@
 /// Queries are perturbed subsequences (noise sigma 0.08): far enough from
 /// any base member that the scanners cannot rely on a near-zero best-so-far,
 /// the regime interactive exploration actually operates in.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <span>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "onex/baseline/brute_force.h"

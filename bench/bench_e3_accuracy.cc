@@ -3,7 +3,13 @@
 /// twins; ONEX's DTW-over-groups retrieval recovers them. Accuracy is scored
 /// against the exact-DTW optimum: accuracy(X) = optimum_dtw / dtw(X's
 /// answer), 1.0 = perfect.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <span>
+#include <string>
+#include <utility>
 
 #include "bench_util.h"
 #include "onex/baseline/brute_force.h"

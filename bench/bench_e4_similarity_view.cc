@@ -3,6 +3,11 @@
 /// demo's promise is "near real-time responsiveness" after one offline
 /// preprocessing step.
 #include "bench_util.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
 #include "onex/engine/engine.h"
 #include "onex/gen/economic_panel.h"
 #include "onex/viz/charts.h"

@@ -3,6 +3,11 @@
 /// scatter's diagonal-deviation metric separates close matches from poor
 /// ones (the demo's "close to a 45 degree angle" reading).
 #include "bench_util.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
 #include "onex/engine/engine.h"
 #include "onex/gen/economic_panel.h"
 #include "onex/viz/charts.h"

@@ -2,6 +2,11 @@
 /// usage. Planted daily periodicity must be recovered; runtime is reported
 /// as the horizon grows.
 #include "bench_util.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <vector>
+
 #include "onex/engine/engine.h"
 #include "onex/gen/electricity.h"
 

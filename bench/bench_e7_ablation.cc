@@ -2,7 +2,14 @@
 /// indexing of time series using bounding envelopes to early pruning of
 /// unpromising candidates". Each pruning stage is toggled; centroid policies
 /// (DESIGN.md §5) are compared on build cost and answer quality.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "onex/baseline/brute_force.h"

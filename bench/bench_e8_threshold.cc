@@ -4,6 +4,9 @@
 /// percentile thresholds are shown for both raw domains, then one
 /// recommended (normalized) ST is applied to both bases.
 #include "bench_util.h"
+
+#include <cstdio>
+
 #include "onex/engine/engine.h"
 #include "onex/gen/economic_panel.h"
 

@@ -2,6 +2,9 @@
 /// ONEX pruning cascade exploits (LB_Kim << LB_Keogh << banded DTW << full
 /// DTW, with ED as the cheap grouping workhorse). google-benchmark binary.
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "onex/common/random.h"
 #include "onex/distance/dtw.h"

@@ -5,6 +5,7 @@
 ///   $ ./economic_explorer [--csv-dir DIR]
 ///
 /// With --csv-dir, the three chart datasets are also exported as CSV files.
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <string>

@@ -3,6 +3,7 @@
 /// recovered and displayed as alternating segments.
 ///
 ///   $ ./electricity_seasonal [days] [pattern_hours]
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/engine/engine.h"
 #include "onex/gen/economic_panel.h"

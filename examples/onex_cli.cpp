@@ -2,6 +2,7 @@
 ///
 ///   $ ./onex_cli PORT [command ...]    # one-shot: run commands, print JSON
 ///   $ ./onex_cli PORT                  # interactive: read lines from stdin
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>

@@ -9,6 +9,7 @@
 ///   $ ./onex_cli 7700 "MATCH demo q=0:4:16"
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 

@@ -3,9 +3,13 @@
 /// The lifecycle a production deployment of the demo's server would run.
 ///
 ///   $ ./persistence_pipeline [workdir]
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/engine/engine.h"
 #include "onex/gen/economic_panel.h"

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build everything (library, tests, benches,
+# examples), run the full test suite. CI runs exactly this script; run it
+# locally before pushing.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j"$(nproc)"

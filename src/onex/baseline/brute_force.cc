@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <span>
 
 #include "onex/common/string_utils.h"
 #include "onex/distance/euclidean.h"

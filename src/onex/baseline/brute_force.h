@@ -1,6 +1,7 @@
 #ifndef ONEX_BASELINE_BRUTE_FORCE_H_
 #define ONEX_BASELINE_BRUTE_FORCE_H_
 
+#include <cstddef>
 #include <span>
 
 #include "onex/common/result.h"

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <span>
 
 #include "onex/distance/dtw.h"
 #include "onex/distance/envelope.h"

@@ -1,5 +1,10 @@
 #include "onex/common/random.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
 namespace onex {
 
 std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {

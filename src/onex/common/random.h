@@ -1,8 +1,10 @@
 #ifndef ONEX_COMMON_RANDOM_H_
 #define ONEX_COMMON_RANDOM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
+#include <utility>
 #include <vector>
 
 namespace onex {

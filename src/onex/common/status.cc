@@ -1,5 +1,7 @@
 #include "onex/common/status.h"
 
+#include <string>
+
 namespace onex {
 
 const char* StatusCodeToString(StatusCode code) {

@@ -3,8 +3,12 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdarg>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
 
 namespace onex {
 

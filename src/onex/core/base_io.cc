@@ -1,8 +1,12 @@
 #include "onex/core/base_io.h"
 
+#include <cstddef>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 #include "onex/json/json.h"

@@ -1,6 +1,10 @@
 #include "onex/core/grouping_util.h"
 
 #include <cmath>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "onex/distance/euclidean.h"
 

@@ -1,6 +1,7 @@
 #ifndef ONEX_CORE_GROUPING_UTIL_H_
 #define ONEX_CORE_GROUPING_UTIL_H_
 
+#include <cstddef>
 #include <span>
 #include <utility>
 #include <vector>

@@ -1,7 +1,11 @@
 #include "onex/core/incremental.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 #include "onex/core/grouping_util.h"

@@ -4,7 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
+#include <memory>
+#include <span>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "onex/common/logging.h"
 #include "onex/common/string_utils.h"

@@ -1,6 +1,7 @@
 #ifndef ONEX_CORE_ONEX_BASE_H_
 #define ONEX_CORE_ONEX_BASE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>

@@ -1,6 +1,9 @@
 #include "onex/core/overview.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 namespace onex {
 

@@ -1,6 +1,7 @@
 #ifndef ONEX_CORE_OVERVIEW_H_
 #define ONEX_CORE_OVERVIEW_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "onex/common/result.h"

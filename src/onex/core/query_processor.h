@@ -1,6 +1,7 @@
 #ifndef ONEX_CORE_QUERY_PROCESSOR_H_
 #define ONEX_CORE_QUERY_PROCESSOR_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

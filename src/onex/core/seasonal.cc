@@ -1,7 +1,10 @@
 #include "onex/core/seasonal.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "onex/distance/euclidean.h"
 

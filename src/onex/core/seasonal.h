@@ -1,6 +1,7 @@
 #ifndef ONEX_CORE_SEASONAL_H_
 #define ONEX_CORE_SEASONAL_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "onex/common/result.h"

@@ -1,5 +1,8 @@
 #include "onex/core/similarity_group.h"
 
+#include <cstddef>
+#include <span>
+
 namespace onex {
 
 void SimilarityGroup::Add(const SubseqRef& ref, std::span<const double> values,

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "onex/distance/envelope.h"

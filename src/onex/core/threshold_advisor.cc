@@ -1,6 +1,9 @@
 #include "onex/core/threshold_advisor.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "onex/common/math_utils.h"
 #include "onex/common/random.h"

@@ -1,6 +1,7 @@
 #ifndef ONEX_CORE_THRESHOLD_ADVISOR_H_
 #define ONEX_CORE_THRESHOLD_ADVISOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

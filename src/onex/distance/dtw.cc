@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <limits>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace onex {

@@ -1,6 +1,7 @@
 #ifndef ONEX_DISTANCE_DTW_H_
 #define ONEX_DISTANCE_DTW_H_
 
+#include <cstddef>
 #include <span>
 
 #include "onex/distance/warping_path.h"

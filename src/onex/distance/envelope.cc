@@ -1,7 +1,9 @@
 #include "onex/distance/envelope.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <deque>
+#include <span>
 
 namespace onex {
 

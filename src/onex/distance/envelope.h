@@ -1,6 +1,7 @@
 #ifndef ONEX_DISTANCE_ENVELOPE_H_
 #define ONEX_DISTANCE_ENVELOPE_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

@@ -1,7 +1,9 @@
 #include "onex/distance/euclidean.h"
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <span>
 
 namespace onex {
 namespace {

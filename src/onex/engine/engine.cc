@@ -1,7 +1,14 @@
 #include "onex/engine/engine.h"
 
 #include <chrono>
+#include <cstddef>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/common/math_utils.h"
 #include "onex/common/string_utils.h"

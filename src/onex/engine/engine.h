@@ -1,6 +1,8 @@
 #ifndef ONEX_ENGINE_ENGINE_H_
 #define ONEX_ENGINE_ENGINE_H_
 
+#include <cstddef>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>

@@ -1,6 +1,7 @@
 #ifndef ONEX_ENGINE_QUERY_SPEC_H_
 #define ONEX_ENGINE_QUERY_SPEC_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,7 +1,10 @@
 #include "onex/gen/electricity.h"
 
 #include <cmath>
+#include <cstddef>
 #include <numbers>
+#include <utility>
+#include <vector>
 
 #include "onex/common/random.h"
 #include "onex/common/string_utils.h"

@@ -1,6 +1,7 @@
 #ifndef ONEX_GEN_ELECTRICITY_H_
 #define ONEX_GEN_ELECTRICITY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <numbers>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 

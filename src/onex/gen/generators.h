@@ -1,6 +1,7 @@
 #ifndef ONEX_GEN_GENERATORS_H_
 #define ONEX_GEN_GENERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

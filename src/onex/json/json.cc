@@ -1,7 +1,12 @@
 #include "onex/json/json.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 

@@ -1,10 +1,13 @@
 #ifndef ONEX_JSON_JSON_H_
 #define ONEX_JSON_JSON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "onex/common/result.h"

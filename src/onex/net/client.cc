@@ -1,5 +1,10 @@
 #include "onex/net/client.h"
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
 namespace onex::net {
 
 Result<OnexClient> OnexClient::Connect(const std::string& host,

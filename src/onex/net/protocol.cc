@@ -1,6 +1,12 @@
 #include "onex/net/protocol.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 #include "onex/gen/economic_panel.h"

@@ -1,5 +1,13 @@
 #include "onex/net/server.h"
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "onex/common/logging.h"
 #include "onex/net/protocol.h"
 

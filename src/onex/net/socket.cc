@@ -2,8 +2,12 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <netinet/in.h>
+#include <string>
+#include <string_view>
 #include <sys/socket.h>
 #include <unistd.h>
 

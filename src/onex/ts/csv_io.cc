@@ -1,6 +1,11 @@
 #include "onex/ts/csv_io.h"
 
+#include <cstddef>
 #include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 

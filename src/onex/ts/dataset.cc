@@ -1,7 +1,11 @@
 #include "onex/ts/dataset.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
+#include <span>
+#include <string>
+#include <utility>
 
 #include "onex/common/string_utils.h"
 

@@ -1,6 +1,10 @@
 #include "onex/ts/normalization.h"
 
 #include <cmath>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/common/math_utils.h"
 #include "onex/common/string_utils.h"

@@ -1,7 +1,10 @@
 #ifndef ONEX_TS_NORMALIZATION_H_
 #define ONEX_TS_NORMALIZATION_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/common/result.h"
 #include "onex/ts/dataset.h"

@@ -1,7 +1,10 @@
 #include "onex/ts/paa.h"
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "onex/distance/euclidean.h"
 

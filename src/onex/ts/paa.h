@@ -1,6 +1,7 @@
 #ifndef ONEX_TS_PAA_H_
 #define ONEX_TS_PAA_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

@@ -1,7 +1,12 @@
 #include "onex/ts/ucr_io.h"
 
+#include <cstddef>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "onex/common/string_utils.h"
 

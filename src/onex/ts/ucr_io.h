@@ -1,6 +1,7 @@
 #ifndef ONEX_TS_UCR_IO_H_
 #define ONEX_TS_UCR_IO_H_
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 

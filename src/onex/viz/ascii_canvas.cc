@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <utility>
 
 namespace onex::viz {
 

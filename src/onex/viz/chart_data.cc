@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <limits>
 #include <numbers>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/common/math_utils.h"
 

@@ -1,7 +1,9 @@
 #ifndef ONEX_VIZ_CHART_DATA_H_
 #define ONEX_VIZ_CHART_DATA_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "onex/core/overview.h"

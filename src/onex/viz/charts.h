@@ -1,6 +1,7 @@
 #ifndef ONEX_VIZ_CHARTS_H_
 #define ONEX_VIZ_CHARTS_H_
 
+#include <cstddef>
 #include <span>
 #include <string>
 

@@ -1,5 +1,6 @@
 #include "onex/viz/exporters.h"
 
+#include <cstddef>
 #include <ostream>
 
 #include "onex/common/string_utils.h"

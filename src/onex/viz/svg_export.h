@@ -2,6 +2,7 @@
 #define ONEX_VIZ_SVG_EXPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "onex/viz/chart_data.h"

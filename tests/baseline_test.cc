@@ -1,6 +1,12 @@
 #include "onex/baseline/brute_force.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "onex/baseline/ucr_suite.h"
 #include "onex/distance/dtw.h"

@@ -1,0 +1,56 @@
+/// Fast whole-stack smoke test: if the build system or any core layer
+/// regresses, this one suite fails in milliseconds before the full matrix
+/// runs. Exercises dataset generation -> normalization -> base construction
+/// -> the stats invariants every downstream view relies on.
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "onex/core/onex_base.h"
+#include "onex/ts/normalization.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+TEST(BuildSanityTest, SmallDatasetProducesValidBase) {
+  Result<Dataset> norm =
+      Normalize(testing::SmallDataset(), NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(norm.ok()) << norm.status().ToString();
+  auto dataset = std::make_shared<const Dataset>(std::move(norm).value());
+
+  BaseBuildOptions options;
+  options.st = 0.2;
+  options.min_length = 4;
+  options.max_length = 12;
+
+  Result<OnexBase> base = OnexBase::Build(dataset, options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  EXPECT_GT(base->TotalGroups(), 0u);
+  EXPECT_GT(base->TotalMembers(), 0u);
+  EXPECT_LE(base->TotalGroups(), base->TotalMembers());
+
+  // CompactionRatio is groups per subsequence: in (0, 1] whenever members
+  // exist, and consistent with the raw stats counters.
+  const BaseStats& stats = base->stats();
+  const double ratio = stats.CompactionRatio();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+  EXPECT_DOUBLE_EQ(ratio, static_cast<double>(stats.num_groups) /
+                              static_cast<double>(stats.num_subsequences));
+
+  // Every length class must hold at least one group and the per-class
+  // member counts must add up to the global counter.
+  std::size_t members = 0;
+  for (const LengthClass& cls : base->length_classes()) {
+    EXPECT_FALSE(cls.groups.empty()) << "empty class at length " << cls.length;
+    members += cls.total_members;
+  }
+  EXPECT_EQ(members, stats.num_subsequences);
+}
+
+}  // namespace
+}  // namespace onex

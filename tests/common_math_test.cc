@@ -1,6 +1,8 @@
 #include "onex/common/math_utils.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -1,6 +1,8 @@
 #include "onex/common/random.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <set>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #include "onex/common/status.h"
 
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 

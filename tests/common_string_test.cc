@@ -1,6 +1,8 @@
 #include "onex/common/string_utils.h"
 
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 namespace onex {
 namespace {

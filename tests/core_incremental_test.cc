@@ -1,7 +1,12 @@
 #include "onex/core/incremental.h"
 
+#include <cstddef>
 #include <memory>
 #include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

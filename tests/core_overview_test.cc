@@ -1,6 +1,9 @@
 #include "onex/core/overview.h"
 
+#include <cstddef>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

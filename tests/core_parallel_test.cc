@@ -1,4 +1,7 @@
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 

@@ -1,8 +1,13 @@
 #include "onex/core/seasonal.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <numbers>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

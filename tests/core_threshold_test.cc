@@ -1,6 +1,8 @@
 #include "onex/core/threshold_advisor.h"
 
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <vector>
 
 #include "onex/gen/economic_panel.h"
 #include "onex/gen/generators.h"

@@ -1,6 +1,9 @@
 #include "onex/distance/dtw.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -1,6 +1,9 @@
 #include "onex/distance/envelope.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -1,6 +1,8 @@
 #include "onex/distance/euclidean.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -1,6 +1,10 @@
 #include "onex/distance/generalized.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,10 @@
 #include "onex/distance/lower_bounds.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>

@@ -2,7 +2,12 @@
 /// analysts against one engine, with occasional re-preparation. Snapshot
 /// semantics must keep readers consistent throughout.
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +86,11 @@ TEST(EngineConcurrencyTest, QueriesRaceWithRepreparation) {
       }
     });
   }
+
+  // On a loaded machine the six Prepare rounds below can finish before the
+  // reader threads are even scheduled; wait for the first query so the
+  // writer genuinely races live readers and the assertions are meaningful.
+  while (queries_done.load() == 0) std::this_thread::yield();
 
   // Writer: flip between two thresholds while readers hammer the engine.
   for (int round = 0; round < 6; ++round) {

@@ -1,7 +1,15 @@
 #include "onex/engine/engine.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

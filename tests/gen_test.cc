@@ -1,7 +1,10 @@
 #include "onex/gen/generators.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,7 +1,12 @@
 /// End-to-end walkthroughs of the paper's demonstration scenarios (Section
 /// 4), exercised through the public Engine API exactly as the web front-end
 /// would drive them.
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "onex/baseline/brute_force.h"
 #include "onex/baseline/ucr_suite.h"

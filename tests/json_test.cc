@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,9 @@
 #include "onex/net/protocol.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 

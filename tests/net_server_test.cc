@@ -1,6 +1,10 @@
 #include "onex/net/server.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>

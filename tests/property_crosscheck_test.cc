@@ -1,10 +1,18 @@
 /// Cross-validation suites: the optimized kernels against independent naive
 /// reference implementations, plus randomized round-trip ("fuzz-lite")
 /// sweeps over the serialization layers.
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
+#include <span>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,7 +1,9 @@
 #ifndef ONEX_TESTS_TEST_UTIL_H_
 #define ONEX_TESTS_TEST_UTIL_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "onex/common/random.h"

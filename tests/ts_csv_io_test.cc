@@ -1,7 +1,9 @@
 #include "onex/ts/csv_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 

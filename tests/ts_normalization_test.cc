@@ -1,5 +1,6 @@
 #include "onex/ts/normalization.h"
 
+#include <cstddef>
 #include <gtest/gtest.h>
 
 #include "onex/common/math_utils.h"

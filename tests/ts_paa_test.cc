@@ -1,6 +1,9 @@
 #include "onex/ts/paa.h"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,8 @@
 #include "onex/ts/time_series.h"
 
 #include <gtest/gtest.h>
+#include <span>
+#include <vector>
 
 #include "onex/ts/dataset.h"
 #include "onex/ts/subsequence.h"

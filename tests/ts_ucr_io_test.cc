@@ -1,8 +1,10 @@
 #include "onex/ts/ucr_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 

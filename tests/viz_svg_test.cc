@@ -1,6 +1,9 @@
 #include "onex/viz/svg_export.h"
 
+#include <cstddef>
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 #include "onex/distance/dtw.h"
 

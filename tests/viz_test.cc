@@ -1,6 +1,10 @@
 #include "onex/viz/chart_data.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
