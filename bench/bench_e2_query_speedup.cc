@@ -1,14 +1,21 @@
 /// E2 — headline claim: "ONEX has been shown to be several times faster than
 /// the fastest known method [UCR Suite]". Best-match latency of ONEX
 /// (grouped base + DTW) vs a UCR-style exact scan vs unpruned brute force,
-/// all searching the identical subsequence space.
+/// all searching the identical subsequence space. A second sweep measures
+/// the parallel query path (QueryOptions::threads over the shared TaskPool)
+/// and batch fan-out: per-query latency and 8-query batch throughput at
+/// 1/2/4/N threads, with a determinism crosscheck against the serial run.
 ///
 /// Queries are perturbed subsequences (noise sigma 0.08): far enough from
 /// any base member that the scanners cannot rely on a near-zero best-so-far,
 /// the regime interactive exploration actually operates in.
+///
+/// With --json <path>, machine-readable results land in <path> (the repo's
+/// BENCH_query.json trajectory file; see scripts/bench.sh).
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -19,8 +26,10 @@
 #include "bench_util.h"
 #include "onex/baseline/brute_force.h"
 #include "onex/baseline/ucr_suite.h"
+#include "onex/common/task_pool.h"
 #include "onex/core/query_processor.h"
 #include "onex/gen/generators.h"
+#include "onex/json/json.h"
 #include "onex/ts/normalization.h"
 
 namespace {
@@ -63,16 +72,33 @@ Workload MakeWorkload(const char* kind, std::size_t n, std::size_t len,
   return w;
 }
 
+/// Thread counts for the scaling sweep: 1/2/4 plus the machine width.
+std::vector<std::size_t> SweepThreads() {
+  std::vector<std::size_t> threads{1, 2, 4};
+  const std::size_t hw = onex::TaskPool::Shared().worker_count() + 1;
+  if (hw > 4) threads.push_back(hw);
+  return threads;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using onex::bench::Fmt;
   using onex::bench::FmtZu;
+
+  std::string json_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]) == "--json" && a + 1 < argc) {
+      json_path = argv[a + 1];
+      ++a;
+    }
+  }
 
   onex::bench::Banner(
       "E2 query speedup", "headline claim vs [6] (UCR Suite)",
       "'several times faster than the fastest known method' — same best-match "
-      "workload, identical search space, per-query latency");
+      "workload, identical search space, per-query latency; plus the "
+      "parallel-path scaling sweep");
 
   const std::size_t kMinLen = 8, kMaxLen = 32, kStep = 4, kQlen = 24;
   onex::ScanScope scope;
@@ -83,6 +109,19 @@ int main() {
   onex::bench::Table table({"dataset", "subseq", "groups", "onex_ms",
                             "ucr_ms", "brute_ms", "vs_ucr", "vs_brute",
                             "onex_vs_exact"});
+  const std::vector<std::size_t> sweep = SweepThreads();
+  std::vector<std::string> scale_headers{"dataset"};
+  for (const std::size_t t : sweep) {
+    scale_headers.push_back("q_ms@" + std::to_string(t) + "t");
+  }
+  for (const std::size_t t : sweep) {
+    scale_headers.push_back("batch8_ms@" + std::to_string(t) + "t");
+  }
+  scale_headers.push_back("batch_speedup");
+  scale_headers.push_back("identical");
+  onex::bench::Table scale_table(scale_headers);
+
+  onex::json::Value datasets_json = onex::json::Value::MakeArray();
 
   for (const auto& [name, kind, n, len, seed] :
        {std::tuple{"sine N=50 L=64", "sine", 50u, 64u, 1u},
@@ -131,12 +170,120 @@ int main() {
                   Fmt("%.1fx", ucr_ms / onex_ms),
                   Fmt("%.1fx", brute_ms / onex_ms),
                   Fmt("%.2f", quality / nq)});
+
+    // ---- Parallel scaling sweep: per-query latency and batch throughput.
+    // Exhaustive mode touches far more of the base than the default
+    // best-representative rule, which is the regime where intra-query
+    // parallelism matters; it is also the strongest determinism stressor.
+    onex::QueryOptions pq;
+    pq.compute_path = false;
+    pq.exhaustive = true;
+
+    std::vector<double> serial_dists;
+    for (const std::vector<double>& q : w.queries) {
+      serial_dists.push_back(qp.BestMatchQuery(q, pq)->normalized_dtw);
+    }
+
+    bool identical = true;
+    std::vector<double> latency_ms;  // mean per-query latency per thread cnt
+    std::vector<double> batch_ms;    // wall time for all 8 queries per cnt
+    for (const std::size_t t : sweep) {
+      onex::QueryOptions opt = pq;
+      opt.threads = t;
+      double lat = 0.0;
+      for (std::size_t qi = 0; qi < w.queries.size(); ++qi) {
+        double dist = 0.0;
+        lat += onex::bench::MedianMs(
+            [&] {
+              dist = qp.BestMatchQuery(w.queries[qi], opt)->normalized_dtw;
+            },
+            3);
+        if (dist != serial_dists[qi]) identical = false;
+      }
+      latency_ms.push_back(lat / nq);
+
+      // Batch fan-out: independent queries across the pool, the
+      // Engine::SimilaritySearchBatch / net BATCH shape. Per-query serial,
+      // parallelism across queries.
+      onex::QueryOptions bq = pq;
+      bq.threads = 1;
+      batch_ms.push_back(onex::bench::MedianMs(
+          [&] {
+            std::vector<double> out(w.queries.size());
+            onex::TaskPool::Shared().ParallelFor(
+                w.queries.size(),
+                [&](std::size_t qi) {
+                  out[qi] =
+                      qp.BestMatchQuery(w.queries[qi], bq)->normalized_dtw;
+                },
+                t);
+            for (std::size_t qi = 0; qi < out.size(); ++qi) {
+              if (out[qi] != serial_dists[qi]) identical = false;
+            }
+          },
+          3));
+    }
+
+    std::vector<std::string> row{name};
+    for (const double v : latency_ms) row.push_back(Fmt("%.2f", v));
+    for (const double v : batch_ms) row.push_back(Fmt("%.2f", v));
+    // Speedup at the 4-thread point (index 2 of the sweep) vs serial.
+    const double batch_speedup = batch_ms[0] / batch_ms[2];
+    row.push_back(Fmt("%.2fx", batch_speedup));
+    row.push_back(identical ? "yes" : "NO");
+    scale_table.AddRow(row);
+
+    onex::json::Value d = onex::json::Value::MakeObject();
+    d.Set("name", name);
+    d.Set("subsequences", base->TotalMembers());
+    d.Set("groups", base->TotalGroups());
+    d.Set("onex_ms", onex_ms / nq);
+    d.Set("ucr_ms", ucr_ms / nq);
+    d.Set("brute_ms", brute_ms / nq);
+    d.Set("speedup_vs_ucr", ucr_ms / onex_ms);
+    d.Set("quality_vs_exact", quality / nq);
+    onex::json::Value lat_obj = onex::json::Value::MakeObject();
+    onex::json::Value batch_obj = onex::json::Value::MakeObject();
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      lat_obj.Set(std::to_string(sweep[i]), latency_ms[i]);
+      batch_obj.Set(std::to_string(sweep[i]), batch_ms[i]);
+    }
+    d.Set("query_latency_ms_by_threads", std::move(lat_obj));
+    d.Set("batch8_wall_ms_by_threads", std::move(batch_obj));
+    d.Set("latency_speedup_4t", latency_ms[0] / latency_ms[2]);
+    d.Set("batch_speedup_4t", batch_speedup);
+    d.Set("parallel_identical_to_serial", identical);
+    datasets_json.Append(std::move(d));
   }
   table.Print();
+  std::printf("\n-- parallel query scaling (exhaustive mode, 8 queries) --\n");
+  scale_table.Print();
   std::printf(
       "\nshape check: ONEX examines groups (<< subseq), so onex_ms beats "
       "ucr_ms by a multiple and brute force by orders of magnitude — the "
       "paper's 'several times faster' — while onex_vs_exact stays near 1 "
-      "(answers remain near-optimal).\n");
+      "(answers remain near-optimal). The scaling table must say "
+      "identical=yes everywhere: threads are a pure latency knob. Speedups "
+      "track physical cores (a 1-core container legitimately reports ~1x).\n");
+
+  if (!json_path.empty()) {
+    onex::json::Value root = onex::json::Value::MakeObject();
+    root.Set("bench", "e2_query_speedup");
+    root.Set("hardware_threads",
+             onex::TaskPool::Shared().worker_count());
+    onex::json::Value sweep_arr = onex::json::Value::MakeArray();
+    for (const std::size_t t : sweep) {
+      sweep_arr.Append(onex::json::Value(t));
+    }
+    root.Set("thread_sweep", std::move(sweep_arr));
+    root.Set("datasets", std::move(datasets_json));
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << root.Dump() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

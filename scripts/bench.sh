@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Query-speedup benchmark runner: builds (reusing ./build), runs
+# bench_e2_query_speedup — the ONEX-vs-UCR headline comparison plus the
+# parallel query scaling sweep (serial vs 1/2/4/N threads) — and drops
+# machine-readable results into BENCH_query.json at the repo root so the
+# perf trajectory accumulates across PRs.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_query.json}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_e2_query_speedup >/dev/null
+
+./build/bench_e2_query_speedup --json "$OUT"
+echo "perf record: $OUT"

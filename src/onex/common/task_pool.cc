@@ -1,0 +1,168 @@
+#include "onex/common/task_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <utility>
+
+namespace onex {
+namespace {
+
+/// Queue index meaning "not a pool worker" (external ParallelFor callers).
+constexpr std::size_t kExternal = std::numeric_limits<std::size_t>::max();
+
+std::size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+TaskPool::TaskPool(std::size_t threads)
+    : target_workers_(threads == 0 ? HardwareThreads() : threads) {
+  queues_.reserve(target_workers_);
+  for (std::size_t i = 0; i < target_workers_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::EnsureStarted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(target_workers_);
+  for (std::size_t i = 0; i < target_workers_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void TaskPool::Submit(std::function<void()> task) {
+  EnsureStarted();
+  pending_.fetch_add(1);
+  std::size_t slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool TaskPool::TryRunOneTask(std::size_t self) {
+  std::function<void()> task;
+  // Own queue first, newest task (back): it is the one whose data is still
+  // hot in this worker's cache.
+  if (self != kExternal) {
+    std::lock_guard<std::mutex> lock(queues_[self]->mutex);
+    if (!queues_[self]->tasks.empty()) {
+      task = std::move(queues_[self]->tasks.back());
+      queues_[self]->tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal the oldest task (front) from a sibling, scanning round-robin
+    // from the slot after ours so thieves spread across victims.
+    const std::size_t start = self == kExternal ? 0 : self + 1;
+    for (std::size_t k = 0; k < queues_.size() && !task; ++k) {
+      WorkerQueue& q = *queues_[(start + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  // Last task out wakes the pool: shutting-down workers (and the
+  // destructor) park on wake_ until pending_ drains.
+  if (pending_.fetch_sub(1) == 1) wake_.notify_all();
+  return true;
+}
+
+void TaskPool::WorkerLoop(std::size_t self) {
+  while (true) {
+    if (TryRunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Exit only when shutdown is flagged AND nothing is left to run: a
+    // worker whose first (empty) queue scan raced ahead of the initial
+    // Submit burst must not retire while those tasks sit queued.
+    if (shutdown_ && pending_.load() == 0) return;
+    // Timed wait as lost-wakeup insurance: a Submit that raced our queue
+    // scan has already notified, so the 50ms cap keeps the worker live.
+    wake_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+void TaskPool::ParallelFor(std::size_t n,
+                           const std::function<void(std::size_t)>& body,
+                           std::size_t max_concurrency) {
+  if (n == 0) return;
+  std::size_t width =
+      max_concurrency == 0 ? target_workers_ + 1 : max_concurrency;
+  width = std::min(width, n);
+  if (width <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};       ///< Next unclaimed iteration.
+    std::atomic<std::size_t> live_helpers{0};
+    std::mutex mutex;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<State>();
+  // The caller blocks in this frame until every helper retires, so `body`
+  // may be captured by reference.
+  auto drain = [state, &body, n] {
+    std::size_t i;
+    while ((i = state->next.fetch_add(1)) < n) body(i);
+  };
+
+  const std::size_t helpers = width - 1;  // the caller takes one lane
+  state->live_helpers.store(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] {
+      drain();
+      if (state->live_helpers.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done.notify_all();
+      }
+    });
+  }
+
+  drain();  // caller participates
+
+  // Help-first join: while helpers are outstanding, execute queued pool
+  // tasks (ours or anyone's) instead of parking. This is what makes nested
+  // ParallelFor deadlock-free: a caller never sleeps while runnable work
+  // exists, so queued helper tasks always find a thread.
+  while (state->live_helpers.load() != 0) {
+    if (TryRunOneTask(kExternal)) continue;
+    std::unique_lock<std::mutex> lock(state->mutex);
+    if (state->live_helpers.load() == 0) break;
+    state->done.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+TaskPool& TaskPool::Shared() {
+  static TaskPool pool(0);
+  return pool;
+}
+
+}  // namespace onex

@@ -201,7 +201,7 @@ Result<OnexBase> LoadBase(std::istream& in) {
   }
 
   // Groups.
-  std::vector<LengthClass> classes;
+  std::vector<LengthClassDraft> classes;
   {
     ONEX_ASSIGN_OR_RETURN(std::string line, NextLine(in, "classes count"));
     ONEX_ASSIGN_OR_RETURN(std::string rest, ExpectPrefix(line, "classes"));
@@ -219,12 +219,12 @@ Result<OnexBase> LoadBase(std::istream& in) {
       if (length < 2 || group_count < 0) {
         return Status::ParseError("invalid class header");
       }
-      LengthClass cls;
+      LengthClassDraft cls;
       cls.length = static_cast<std::size_t>(length);
       for (long long g = 0; g < group_count; ++g) {
         ONEX_ASSIGN_OR_RETURN(std::string gline, NextLine(in, "group"));
         ONEX_ASSIGN_OR_RETURN(std::string grest, ExpectPrefix(gline, "g"));
-        SimilarityGroup group(cls.length);
+        GroupBuilder group(cls.length);
         std::vector<SubseqRef> members;
         for (const std::string& token : SplitString(grest)) {
           const std::vector<std::string> parts = SplitKeepEmpty(token, ':');

@@ -1,0 +1,72 @@
+#include "onex/core/group_store.h"
+
+#include <cstddef>
+#include <span>
+
+namespace onex {
+
+void GroupBuilder::Add(const SubseqRef& ref, std::span<const double> values,
+                       bool update_centroid) {
+  members_.push_back(ref);
+  if (centroid_.empty()) {
+    centroid_.assign(values.begin(), values.end());
+  } else if (update_centroid) {
+    // Incremental running mean: c += (x - c) / k.
+    const double k = static_cast<double>(members_.size());
+    for (std::size_t i = 0; i < centroid_.size(); ++i) {
+      centroid_[i] += (values[i] - centroid_[i]) / k;
+    }
+  }
+  AccumulateEnvelope(&envelope_, values);
+}
+
+void GroupBuilder::RecomputeFromMembers(const Dataset& dataset,
+                                        bool leader_centroid) {
+  centroid_.assign(length_, 0.0);
+  envelope_ = Envelope();
+  if (members_.empty()) return;
+  for (const SubseqRef& ref : members_) {
+    const std::span<const double> vals = ref.Resolve(dataset);
+    for (std::size_t i = 0; i < length_; ++i) centroid_[i] += vals[i];
+    AccumulateEnvelope(&envelope_, vals);
+  }
+  if (leader_centroid) {
+    const std::span<const double> leader = members_.front().Resolve(dataset);
+    centroid_.assign(leader.begin(), leader.end());
+    return;
+  }
+  const double inv = 1.0 / static_cast<double>(members_.size());
+  for (double& c : centroid_) c *= inv;
+}
+
+GroupStore GroupStore::Pack(std::size_t length,
+                            const std::vector<GroupBuilder>& groups) {
+  GroupStore store;
+  store.length_ = length;
+  const std::size_t n = groups.size();
+  store.centroids_.reserve(n * length);
+  store.env_lower_.reserve(n * length);
+  store.env_upper_.reserve(n * length);
+  store.member_offsets_.reserve(n + 1);
+  std::size_t total = 0;
+  for (const GroupBuilder& g : groups) total += g.size();
+  store.member_arena_.reserve(total);
+
+  store.member_offsets_.push_back(0);
+  for (const GroupBuilder& g : groups) {
+    store.centroids_.insert(store.centroids_.end(), g.centroid().begin(),
+                            g.centroid().end());
+    store.env_lower_.insert(store.env_lower_.end(),
+                            g.envelope().lower.begin(),
+                            g.envelope().lower.end());
+    store.env_upper_.insert(store.env_upper_.end(),
+                            g.envelope().upper.begin(),
+                            g.envelope().upper.end());
+    store.member_arena_.insert(store.member_arena_.end(), g.members().begin(),
+                               g.members().end());
+    store.member_offsets_.push_back(store.member_arena_.size());
+  }
+  return store;
+}
+
+}  // namespace onex

@@ -1,0 +1,134 @@
+#ifndef ONEX_CORE_GROUP_STORE_H_
+#define ONEX_CORE_GROUP_STORE_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "onex/distance/envelope.h"
+#include "onex/ts/subsequence.h"
+
+namespace onex {
+
+/// Mutable, value-semantic similarity group used while a length class is
+/// under construction (offline build, repair pass, incremental append, base
+/// restore). Once a class is final its builders are packed into a columnar
+/// GroupStore and discarded; query-time code only ever sees the store
+/// (DESIGN.md §4).
+class GroupBuilder {
+ public:
+  explicit GroupBuilder(std::size_t length) : length_(length) {}
+
+  std::size_t length() const { return length_; }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  const std::vector<SubseqRef>& members() const { return members_; }
+
+  /// The representative: running mean of member values (or the first member
+  /// under the fixed-leader policy; see CentroidPolicy).
+  const std::vector<double>& centroid() const { return centroid_; }
+  std::span<const double> centroid_span() const {
+    return std::span<const double>(centroid_);
+  }
+
+  /// Pointwise min/max over all member values, for group-level LB pruning.
+  const Envelope& envelope() const { return envelope_; }
+
+  /// Adds a member. `values` must resolve `ref` against the base's dataset.
+  /// When `update_centroid` is set the centroid moves to the running mean.
+  void Add(const SubseqRef& ref, std::span<const double> values,
+           bool update_centroid);
+
+  /// Replaces the member list (used by the repair pass). Does not touch the
+  /// centroid; callers decide whether to recompute.
+  void SetMembers(std::vector<SubseqRef> members) {
+    members_ = std::move(members);
+  }
+
+  /// Seeds the centroid directly — how the incremental appender thaws a
+  /// columnar group back into a builder without losing the exact
+  /// representative the base was querying with.
+  void SetCentroid(std::span<const double> values) {
+    centroid_.assign(values.begin(), values.end());
+  }
+
+  /// Recomputes centroid and envelope from scratch out of `dataset`. With
+  /// `leader_centroid` the centroid is the first member's values (the
+  /// fixed-leader policy's representative) instead of the member mean.
+  void RecomputeFromMembers(const Dataset& dataset,
+                            bool leader_centroid = false);
+
+ private:
+  std::size_t length_;
+  std::vector<SubseqRef> members_;
+  std::vector<double> centroid_;
+  Envelope envelope_;
+};
+
+/// Columnar storage for every similarity group of one length class
+/// (DESIGN.md §4). Instead of per-group heap vectors scattered across the
+/// allocator, the store keeps four flat arrays:
+///
+///   centroids    num_groups x length  row-major centroid matrix
+///   env_lower    num_groups x length  pointwise member minima
+///   env_upper    num_groups x length  pointwise member maxima
+///   member arena                      all SubseqRefs back to back, with a
+///                                     num_groups+1 offset table
+///
+/// The query processor's group scan walks the centroid matrix linearly —
+/// one allocation, no pointer chasing, hardware-prefetcher friendly — which
+/// is what makes the parallel RankGroups pass memory-bandwidth-bound rather
+/// than latency-bound. Immutable after Pack; safe to share across threads.
+class GroupStore {
+ public:
+  GroupStore() = default;
+
+  /// Packs finished builders into columnar form. Builders must all have
+  /// centroids/envelopes of exactly `length` points (enforced by the build
+  /// and restore paths, which recompute before packing).
+  static GroupStore Pack(std::size_t length,
+                         const std::vector<GroupBuilder>& groups);
+
+  std::size_t length() const { return length_; }
+  std::size_t num_groups() const {
+    return member_offsets_.empty() ? 0 : member_offsets_.size() - 1;
+  }
+  std::size_t total_members() const { return member_arena_.size(); }
+
+  std::span<const double> centroid(std::size_t g) const {
+    return std::span<const double>(centroids_).subspan(g * length_, length_);
+  }
+  EnvelopeView envelope(std::size_t g) const {
+    return EnvelopeView{
+        std::span<const double>(env_lower_).subspan(g * length_, length_),
+        std::span<const double>(env_upper_).subspan(g * length_, length_)};
+  }
+  std::span<const SubseqRef> members(std::size_t g) const {
+    return std::span<const SubseqRef>(member_arena_)
+        .subspan(member_offsets_[g], member_offsets_[g + 1] -
+                                         member_offsets_[g]);
+  }
+  std::size_t group_size(std::size_t g) const {
+    return member_offsets_[g + 1] - member_offsets_[g];
+  }
+
+  /// The whole centroid matrix (num_groups x length, row-major); benches
+  /// and kernels that want one linear pass read it directly.
+  std::span<const double> centroid_matrix() const {
+    return std::span<const double>(centroids_);
+  }
+
+ private:
+  std::size_t length_ = 0;
+  std::vector<double> centroids_;
+  std::vector<double> env_lower_;
+  std::vector<double> env_upper_;
+  std::vector<SubseqRef> member_arena_;
+  std::vector<std::size_t> member_offsets_;  ///< num_groups + 1 entries.
+};
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_GROUP_STORE_H_

@@ -11,7 +11,7 @@
 namespace onex::internal {
 
 std::pair<std::size_t, double> NearestGroup(
-    const std::vector<SimilarityGroup>& groups, std::span<const double> values,
+    const std::vector<GroupBuilder>& groups, std::span<const double> values,
     double radius) {
   std::size_t best_idx = groups.size();
   double best = radius;

@@ -6,7 +6,7 @@
 #include <utility>
 #include <vector>
 
-#include "onex/core/similarity_group.h"
+#include "onex/core/group_store.h"
 
 namespace onex::internal {
 
@@ -14,9 +14,11 @@ namespace onex::internal {
 /// abandoned at `radius` (only hits within the radius matter). Returns
 /// (index, distance); index == groups.size() when nothing is within radius.
 /// Shared by the offline builder and the incremental appender so both apply
-/// the identical leader-clustering rule.
+/// the identical leader-clustering rule. Operates on builders: grouping is
+/// a construction-time activity; finished classes live in the columnar
+/// GroupStore instead.
 std::pair<std::size_t, double> NearestGroup(
-    const std::vector<SimilarityGroup>& groups, std::span<const double> values,
+    const std::vector<GroupBuilder>& groups, std::span<const double> values,
     double radius);
 
 }  // namespace onex::internal

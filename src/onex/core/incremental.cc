@@ -28,9 +28,25 @@ Result<OnexBase> AppendSeries(const OnexBase& base, TimeSeries series) {
   auto dataset = std::make_shared<const Dataset>(std::move(extended));
   const Dataset& ds = *dataset;
 
-  // Deep-copy the length classes (SimilarityGroup is value-semantic), then
-  // insert the new series' subsequences.
-  std::vector<LengthClass> classes(base.length_classes());
+  // Thaw the columnar classes back into mutable drafts: member lists copied
+  // out of the store's arena, centroids seeded verbatim from the store so
+  // the insertion radius test sees exactly the representatives the base
+  // queries with. Then insert the new series' subsequences.
+  std::vector<LengthClassDraft> classes;
+  classes.reserve(base.length_classes().size());
+  for (const LengthClass& cls : base.length_classes()) {
+    LengthClassDraft draft;
+    draft.length = cls.length;
+    draft.groups.reserve(cls.groups.size());
+    for (const SimilarityGroup& g : cls.groups) {
+      GroupBuilder b(cls.length);
+      b.SetMembers({g.members().begin(), g.members().end()});
+      b.SetCentroid(g.centroid());
+      draft.groups.push_back(std::move(b));
+    }
+    classes.push_back(std::move(draft));
+  }
+
   const std::size_t max_len =
       options.max_length == 0 ? std::max(base.dataset().MaxLength(), new_len)
                               : options.max_length;
@@ -42,35 +58,36 @@ Result<OnexBase> AppendSeries(const OnexBase& base, TimeSeries series) {
        len += options.length_step) {
     if (new_len < len) continue;
     // Find or create the class for this length, keeping the sort order.
-    auto it = std::lower_bound(classes.begin(), classes.end(), len,
-                               [](const LengthClass& cls, std::size_t value) {
-                                 return cls.length < value;
-                               });
+    auto it = std::lower_bound(
+        classes.begin(), classes.end(), len,
+        [](const LengthClassDraft& cls, std::size_t value) {
+          return cls.length < value;
+        });
     if (it == classes.end() || it->length != len) {
-      LengthClass fresh;
+      LengthClassDraft fresh;
       fresh.length = len;
       it = classes.insert(it, std::move(fresh));
     }
-    LengthClass& cls = *it;
+    LengthClassDraft& cls = *it;
     for (std::size_t start = 0; start + len <= new_len;
          start += options.stride) {
       const std::span<const double> vals = ds[new_idx].Slice(start, len);
       const auto [idx, dist] =
           internal::NearestGroup(cls.groups, vals, radius);
       if (idx == cls.groups.size()) {
-        SimilarityGroup g(len);
+        GroupBuilder g(len);
         g.Add({new_idx, start, len}, vals, update_centroid);
         cls.groups.push_back(std::move(g));
       } else {
         cls.groups[idx].Add({new_idx, start, len}, vals, update_centroid);
       }
-      ++cls.total_members;
     }
   }
 
-  // Restore recomputes centroids/envelopes/stats; note this realigns
-  // running-mean centroids to the exact member mean (insertion kept them
-  // approximately there) and keeps leaders fixed for kFixedLeader.
+  // Restore recomputes centroids/envelopes/stats and repacks the columnar
+  // stores; note this realigns running-mean centroids to the exact member
+  // mean (insertion kept them approximately there) and keeps leaders fixed
+  // for kFixedLeader.
   return OnexBase::Restore(std::move(dataset), options, std::move(classes),
                            base.stats().repaired_members);
 }

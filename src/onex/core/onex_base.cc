@@ -1,18 +1,17 @@
 #include "onex/core/onex_base.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <memory>
 #include <span>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "onex/common/logging.h"
 #include "onex/common/string_utils.h"
+#include "onex/common/task_pool.h"
 #include "onex/core/grouping_util.h"
 #include "onex/distance/euclidean.h"
 
@@ -20,6 +19,23 @@ namespace onex {
 namespace {
 
 using internal::NearestGroup;
+
+/// Packs finished builders into a LengthClass: columnar store + one view
+/// per group. `total_members` is recounted from the builders so callers
+/// cannot desynchronize it.
+LengthClass FinalizeLengthClass(std::size_t length,
+                                const std::vector<GroupBuilder>& builders) {
+  LengthClass cls;
+  cls.length = length;
+  cls.store =
+      std::make_shared<const GroupStore>(GroupStore::Pack(length, builders));
+  cls.groups.reserve(builders.size());
+  for (std::size_t g = 0; g < builders.size(); ++g) {
+    cls.groups.emplace_back(cls.store.get(), g);
+  }
+  cls.total_members = cls.store->total_members();
+  return cls;
+}
 
 /// Builds the length-`len` class: leader clustering of every admissible
 /// subsequence, plus the optional repair pass. Returns the number of members
@@ -31,26 +47,26 @@ LengthClass BuildLengthClass(const Dataset& ds, std::size_t len,
   const double radius = options.st / 2.0;
   const bool update_centroid =
       options.centroid_policy != CentroidPolicy::kFixedLeader;
-  LengthClass cls;
-  cls.length = len;
+  std::vector<GroupBuilder> groups;
+  std::size_t members = 0;
   for (std::size_t s = 0; s < ds.size(); ++s) {
     const TimeSeries& ts = ds[s];
     if (ts.length() < len) continue;
     for (std::size_t start = 0; start + len <= ts.length();
          start += options.stride) {
       const std::span<const double> vals = ts.Slice(start, len);
-      const auto [idx, dist] = NearestGroup(cls.groups, vals, radius);
-      if (idx == cls.groups.size()) {
-        SimilarityGroup g(len);
+      const auto [idx, dist] = NearestGroup(groups, vals, radius);
+      if (idx == groups.size()) {
+        GroupBuilder g(len);
         g.Add({s, start, len}, vals, update_centroid);
-        cls.groups.push_back(std::move(g));
+        groups.push_back(std::move(g));
       } else {
-        cls.groups[idx].Add({s, start, len}, vals, update_centroid);
+        groups[idx].Add({s, start, len}, vals, update_centroid);
       }
-      ++cls.total_members;
+      ++members;
     }
   }
-  if (cls.total_members == 0) return cls;
+  if (members == 0) return LengthClass{len, nullptr, {}, 0};
 
   if (options.centroid_policy == CentroidPolicy::kRunningMeanRepair) {
     // Running-mean centroids drift, so some members may no longer sit
@@ -63,7 +79,7 @@ LengthClass BuildLengthClass(const Dataset& ds, std::size_t len,
     for (int round = 0; round < kRepairRounds; ++round) {
       const bool final_round = round == kRepairRounds - 1;
       std::vector<SubseqRef> evicted;
-      for (SimilarityGroup& g : cls.groups) {
+      for (GroupBuilder& g : groups) {
         std::vector<SubseqRef> keep;
         keep.reserve(g.size());
         for (const SubseqRef& ref : g.members()) {
@@ -85,23 +101,22 @@ LengthClass BuildLengthClass(const Dataset& ds, std::size_t len,
       for (const SubseqRef& ref : evicted) {
         const std::span<const double> vals = ref.Resolve(ds);
         const std::size_t idx =
-            final_round ? cls.groups.size()
-                        : NearestGroup(cls.groups, vals, radius).first;
-        if (idx == cls.groups.size()) {
-          SimilarityGroup g(len);
+            final_round ? groups.size()
+                        : NearestGroup(groups, vals, radius).first;
+        if (idx == groups.size()) {
+          GroupBuilder g(len);
           g.Add(ref, vals, /*update_centroid=*/false);
-          cls.groups.push_back(std::move(g));
+          groups.push_back(std::move(g));
         } else {
           // Fixed centroid on re-insert keeps the pass from cascading.
-          cls.groups[idx].Add(ref, vals, /*update_centroid=*/false);
+          groups[idx].Add(ref, vals, /*update_centroid=*/false);
         }
       }
     }
     // Drop any group the repair emptied.
-    std::erase_if(cls.groups,
-                  [](const SimilarityGroup& g) { return g.empty(); });
+    std::erase_if(groups, [](const GroupBuilder& g) { return g.empty(); });
   }
-  return cls;
+  return FinalizeLengthClass(len, groups);
 }
 
 }  // namespace
@@ -137,7 +152,8 @@ Status BaseBuildOptions::Validate() const {
 }
 
 Result<OnexBase> OnexBase::Build(std::shared_ptr<const Dataset> dataset,
-                                 const BaseBuildOptions& options) {
+                                 const BaseBuildOptions& options,
+                                 TaskPool* pool) {
   if (dataset == nullptr || dataset->empty()) {
     return Status::InvalidArgument("cannot build a base over an empty dataset");
   }
@@ -159,9 +175,9 @@ Result<OnexBase> OnexBase::Build(std::shared_ptr<const Dataset> dataset,
 
   std::vector<LengthClass> classes(lengths.size());
   std::vector<std::size_t> repaired(lengths.size(), 0);
-  std::size_t workers = options.threads == 0
-                            ? std::max(1u, std::thread::hardware_concurrency())
-                            : options.threads;
+  TaskPool& tasks = pool != nullptr ? *pool : TaskPool::Shared();
+  std::size_t workers = options.threads == 0 ? tasks.worker_count() + 1
+                                             : options.threads;
   workers = std::min(workers, lengths.size() == 0 ? 1 : lengths.size());
 
   if (workers <= 1) {
@@ -169,19 +185,16 @@ Result<OnexBase> OnexBase::Build(std::shared_ptr<const Dataset> dataset,
       classes[i] = BuildLengthClass(ds, lengths[i], options, &repaired[i]);
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= lengths.size()) return;
+    // Length classes are independent work items; the pool dynamically
+    // balances them (long lengths cost more than short ones). Each item
+    // writes only its own slot, so the result is bit-identical to the
+    // serial loop regardless of scheduling.
+    tasks.ParallelFor(
+        lengths.size(),
+        [&](std::size_t i) {
           classes[i] = BuildLengthClass(ds, lengths[i], options, &repaired[i]);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
+        },
+        workers);
   }
 
   for (std::size_t i = 0; i < classes.size(); ++i) {
@@ -190,7 +203,6 @@ Result<OnexBase> OnexBase::Build(std::shared_ptr<const Dataset> dataset,
     base.stats_.repaired_members += repaired[i];
     base.stats_.num_subsequences += cls.total_members;
     base.stats_.num_groups += cls.groups.size();
-    base.length_to_class_[cls.length] = base.classes_.size();
     base.classes_.push_back(std::move(cls));
   }
 
@@ -213,7 +225,7 @@ Result<OnexBase> OnexBase::Build(std::shared_ptr<const Dataset> dataset,
 
 Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
                                    const BaseBuildOptions& options,
-                                   std::vector<LengthClass> classes,
+                                   std::vector<LengthClassDraft> classes,
                                    std::size_t repaired_members) {
   if (dataset == nullptr || dataset->empty()) {
     return Status::InvalidArgument("cannot restore a base without a dataset");
@@ -233,31 +245,29 @@ Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
       options.centroid_policy == CentroidPolicy::kFixedLeader;
 
   std::size_t prev_length = 0;
-  for (LengthClass& cls : classes) {
-    if (cls.length <= prev_length) {
+  for (LengthClassDraft& draft : classes) {
+    if (draft.length <= prev_length) {
       return Status::InvalidArgument(
           "length classes must be strictly increasing");
     }
-    prev_length = cls.length;
-    cls.total_members = 0;
-    for (SimilarityGroup& g : cls.groups) {
+    prev_length = draft.length;
+    for (GroupBuilder& g : draft.groups) {
       if (g.empty()) {
         return Status::InvalidArgument("restored group has no members");
       }
       for (const SubseqRef& ref : g.members()) {
         ONEX_RETURN_IF_ERROR(ds.CheckRange(ref.series, ref.start, ref.length));
-        if (ref.length != cls.length) {
+        if (ref.length != draft.length) {
           return Status::InvalidArgument(StrFormat(
               "member %s in length class %zu", ref.ToString().c_str(),
-              cls.length));
+              draft.length));
         }
       }
       g.RecomputeFromMembers(ds, leader);
-      cls.total_members += g.size();
     }
+    LengthClass cls = FinalizeLengthClass(draft.length, draft.groups);
     base.stats_.num_subsequences += cls.total_members;
     base.stats_.num_groups += cls.groups.size();
-    base.length_to_class_[cls.length] = base.classes_.size();
     base.classes_.push_back(std::move(cls));
   }
   base.stats_.num_length_classes = base.classes_.size();
@@ -268,12 +278,18 @@ Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
 }
 
 Result<const LengthClass*> OnexBase::FindLengthClass(std::size_t length) const {
-  const auto it = length_to_class_.find(length);
-  if (it == length_to_class_.end()) {
+  // classes_ is sorted by length: binary search replaces the old
+  // std::map index, which duplicated information the vector already has.
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), length,
+      [](const LengthClass& cls, std::size_t value) {
+        return cls.length < value;
+      });
+  if (it == classes_.end() || it->length != length) {
     return Status::NotFound(
         StrFormat("no length class for length %zu", length));
   }
-  return &classes_[it->second];
+  return &*it;
 }
 
 }  // namespace onex

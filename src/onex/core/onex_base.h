@@ -3,12 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "onex/common/result.h"
+#include "onex/common/task_pool.h"
+#include "onex/core/group_store.h"
 #include "onex/core/similarity_group.h"
 #include "onex/ts/dataset.h"
 
@@ -43,19 +44,32 @@ struct BaseBuildOptions {
   std::size_t length_step = 1;
   std::size_t stride = 1;
   CentroidPolicy centroid_policy = CentroidPolicy::kRunningMean;
-  /// Worker threads for construction. Length classes are independent, so
-  /// they parallelize perfectly; the result is bit-identical to a serial
-  /// build. 1 = serial (default), 0 = one thread per hardware core.
+  /// Worker threads for construction, scheduled over the shared TaskPool.
+  /// Length classes are independent, so they parallelize perfectly; the
+  /// result is bit-identical to a serial build. 1 = serial (default),
+  /// 0 = one thread per hardware core.
   std::size_t threads = 1;
 
   Status Validate() const;
 };
 
-/// All similarity groups for one subsequence length.
+/// All similarity groups for one subsequence length: a columnar GroupStore
+/// holding the data (DESIGN.md §4) plus one two-word view per group. The
+/// store sits behind a shared_ptr so the views stay valid when a
+/// LengthClass is moved or copied (copies share the immutable store).
 struct LengthClass {
   std::size_t length = 0;
-  std::vector<SimilarityGroup> groups;
+  std::shared_ptr<const GroupStore> store;
+  std::vector<SimilarityGroup> groups;  ///< Views into *store, by index.
   std::size_t total_members = 0;
+};
+
+/// A length class still under construction: plain mutable builders, the
+/// form Restore accepts from the persistence and incremental layers before
+/// centroids/envelopes are recomputed and packed into the columnar store.
+struct LengthClassDraft {
+  std::size_t length = 0;
+  std::vector<GroupBuilder> groups;
 };
 
 /// Construction statistics surfaced by benches and the engine.
@@ -83,16 +97,20 @@ class OnexBase {
  public:
   /// Groups `dataset` (already normalized; see Engine for the full
   /// pipeline). The base keeps a shared copy so SubseqRefs stay resolvable.
+  /// With options.threads != 1, construction fans out over `pool` (the
+  /// process-wide TaskPool::Shared() when none is injected — the Engine
+  /// passes its own so build and query work share one set of lanes).
   static Result<OnexBase> Build(std::shared_ptr<const Dataset> dataset,
-                                const BaseBuildOptions& options);
+                                const BaseBuildOptions& options,
+                                TaskPool* pool = nullptr);
 
   /// Reassembles a base from persisted parts (base_io.h): validates member
-  /// references, recomputes centroids (policy-aware), envelopes, stats and
-  /// the length index. `classes` entries must be sorted by length and carry
-  /// their members; derived fields are ignored.
+  /// references, recomputes centroids (policy-aware) and envelopes, packs
+  /// each class into its columnar store, and rebuilds stats. `classes`
+  /// entries must be sorted by length and carry their members.
   static Result<OnexBase> Restore(std::shared_ptr<const Dataset> dataset,
                                   const BaseBuildOptions& options,
-                                  std::vector<LengthClass> classes,
+                                  std::vector<LengthClassDraft> classes,
                                   std::size_t repaired_members);
 
   const Dataset& dataset() const { return *dataset_; }
@@ -102,7 +120,8 @@ class OnexBase {
 
   const std::vector<LengthClass>& length_classes() const { return classes_; }
 
-  /// Length class for exactly `length`, or NotFound.
+  /// Length class for exactly `length`, or NotFound. Binary search over the
+  /// length-sorted classes_ vector.
   Result<const LengthClass*> FindLengthClass(std::size_t length) const;
 
   std::size_t TotalGroups() const { return stats_.num_groups; }
@@ -115,7 +134,6 @@ class OnexBase {
   BaseBuildOptions options_;
   BaseStats stats_;
   std::vector<LengthClass> classes_;  ///< Sorted by length ascending.
-  std::map<std::size_t, std::size_t> length_to_class_;
 };
 
 }  // namespace onex

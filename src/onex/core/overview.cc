@@ -20,7 +20,7 @@ Result<std::vector<OverviewEntry>> BuildOverview(
       e.length = cls.length;
       e.group_index = gi;
       e.cardinality = g.size();
-      e.representative = g.centroid();
+      e.representative.assign(g.centroid().begin(), g.centroid().end());
       entries.push_back(std::move(e));
     }
   }

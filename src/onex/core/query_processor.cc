@@ -1,6 +1,7 @@
 #include "onex/core/query_processor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -21,12 +22,33 @@ double NormFactor(std::size_t n, std::size_t m) {
   return std::sqrt(static_cast<double>(std::max(n, m)));
 }
 
+/// Thread-safe work counters. Totals are sums of per-iteration increments,
+/// so they are identical however iterations are partitioned — the property
+/// that lets QueryStats stay deterministic under options.threads.
+struct StatsAcc {
+  std::atomic<std::size_t> groups_pruned_lb{0};
+  std::atomic<std::size_t> rep_dtw_evaluations{0};
+  std::atomic<std::size_t> member_dtw_evaluations{0};
+  std::atomic<std::size_t> members_pruned_lb{0};
+
+  void FlushInto(QueryStats* stats) const {
+    if (stats == nullptr) return;
+    stats->groups_pruned_lb += groups_pruned_lb.load();
+    stats->rep_dtw_evaluations += rep_dtw_evaluations.load();
+    stats->member_dtw_evaluations += member_dtw_evaluations.load();
+    stats->members_pruned_lb += members_pruned_lb.load();
+  }
+};
+
+/// Below this many items a per-group fan-out costs more than it buys;
+/// gating on size is safe because partitioning never affects results.
+constexpr std::size_t kMinItemsForFanOut = 16;
+
 }  // namespace
 
 std::vector<QueryProcessor::RankedGroup> QueryProcessor::RankGroups(
     std::span<const double> query, const QueryOptions& options,
     QueryStats* stats) const {
-  std::vector<RankedGroup> ranked;
   const std::size_t qn = query.size();
   // Keogh envelope of the query, reused for every same-length group. Its
   // band must match the query window to stay admissible.
@@ -34,56 +56,109 @@ std::vector<QueryProcessor::RankedGroup> QueryProcessor::RankGroups(
       query, options.window < 0 ? -1
                                 : EffectiveWindow(qn, qn, options.window));
 
-  double best_norm = kInf;  // best-so-far normalized rep distance
+  // Admissible (class, group) pairs, in deterministic class-major order.
+  // The columnar store makes the per-class portion of this scan a linear
+  // walk over one centroid matrix.
+  struct Entry {
+    std::size_t class_index;
+    std::size_t group_index;
+    double nf;
+    bool same_length;
+  };
+  std::vector<Entry> entries;
   for (std::size_t ci = 0; ci < base_->length_classes().size(); ++ci) {
     const LengthClass& cls = base_->length_classes()[ci];
     if (options.min_length != 0 && cls.length < options.min_length) continue;
     if (options.max_length != 0 && cls.length > options.max_length) continue;
     const double nf = NormFactor(qn, cls.length);
-    for (std::size_t gi = 0; gi < cls.groups.size(); ++gi) {
-      const SimilarityGroup& g = cls.groups[gi];
-      if (stats != nullptr) ++stats->groups_total;
-
-      if (options.use_lower_bounds) {
-        double lb = LbKim(query, g.centroid_span());
-        if (cls.length == qn) {
-          lb = std::max(lb, LbKeogh(query_env, g.centroid_span()));
-        }
-        if (lb / nf >= best_norm && std::isfinite(best_norm)) {
-          if (stats != nullptr) ++stats->groups_pruned_lb;
-          // Still rank it by its lower bound so top-K exploration can come
-          // back to it if everything else is worse.
-          ranked.push_back({lb / nf, lb, ci, gi, /*exact=*/false});
-          continue;
-        }
-      }
-
-      const double cutoff =
-          options.use_early_abandon && std::isfinite(best_norm)
-              ? best_norm * nf
-              : -1.0;
-      if (stats != nullptr) ++stats->rep_dtw_evaluations;
-      double raw = DtwDistanceEarlyAbandon(query, g.centroid_span(), cutoff,
-                                           options.window);
-      double norm = std::isinf(raw) ? kInf : raw / nf;
-      bool exact = true;
-      if (std::isinf(raw)) {
-        // Abandoned: true distance exceeds the cutoff; rank with that floor.
-        raw = cutoff;
-        norm = best_norm;
-        exact = false;
-      } else {
-        best_norm = std::min(best_norm, norm);
-      }
-      ranked.push_back({norm, raw, ci, gi, exact});
+    for (std::size_t gi = 0; gi < cls.store->num_groups(); ++gi) {
+      entries.push_back({ci, gi, nf, cls.length == qn});
     }
   }
+  if (stats != nullptr) stats->groups_total += entries.size();
+  std::vector<RankedGroup> ranked(entries.size());
+  if (entries.empty()) return ranked;
+
+  StatsAcc acc;
+  auto centroid_of = [&](const Entry& e) {
+    return base_->length_classes()[e.class_index].store->centroid(
+        e.group_index);
+  };
+
+  // Small bases don't amortize a fan-out; the gate never changes results
+  // (partitioning is outcome-neutral by design).
+  const std::size_t rank_threads =
+      entries.size() >= kMinItemsForFanOut ? options.threads : 1;
+
+  // Stage 1 (parallel): admissible lower bounds for every group.
+  std::vector<double> lb_raw(entries.size(), 0.0);
+  if (options.use_lower_bounds) {
+    ForEach(entries.size(), rank_threads, [&](std::size_t i) {
+      const Entry& e = entries[i];
+      double lb = LbKim(query, centroid_of(e));
+      if (e.same_length) {
+        lb = std::max(lb, LbKeogh(query_env, centroid_of(e)));
+      }
+      lb_raw[i] = lb;
+    });
+  }
+
+  // Stage 2: seed the pruning horizon with the exact representative DTW of
+  // the most promising group (smallest normalized lower bound; lowest index
+  // on ties). One group, computed once, deterministically.
+  std::size_t seed = 0;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (lb_raw[i] / entries[i].nf < lb_raw[seed] / entries[seed].nf) seed = i;
+  }
+  acc.rep_dtw_evaluations.fetch_add(1);
+  const double seed_raw = DtwDistanceEarlyAbandon(
+      query, centroid_of(entries[seed]), /*cutoff=*/-1.0, options.window);
+  const double horizon = seed_raw / entries[seed].nf;
+  ranked[seed] = {horizon, seed_raw, entries[seed].class_index,
+                  entries[seed].group_index, /*exact=*/true};
+
+  // Stage 3 (parallel): score every other group against the fixed horizon.
+  // Because the horizon never moves, each group's prune/evaluate/abandon
+  // outcome depends only on the group itself — any partition of this loop
+  // over threads produces the identical ranked list and identical stats.
+  ForEach(entries.size(), rank_threads, [&](std::size_t i) {
+    if (i == seed) return;
+    const Entry& e = entries[i];
+    if (options.use_lower_bounds && lb_raw[i] / e.nf >= horizon) {
+      acc.groups_pruned_lb.fetch_add(1);
+      // Still rank it by its lower bound so top-K exploration can come
+      // back to it if everything else is worse.
+      ranked[i] = {lb_raw[i] / e.nf, lb_raw[i], e.class_index, e.group_index,
+                   /*exact=*/false};
+      return;
+    }
+    const double cutoff =
+        options.use_early_abandon ? horizon * e.nf : -1.0;
+    acc.rep_dtw_evaluations.fetch_add(1);
+    double raw =
+        DtwDistanceEarlyAbandon(query, centroid_of(e), cutoff, options.window);
+    double norm = std::isinf(raw) ? kInf : raw / e.nf;
+    bool exact = true;
+    if (std::isinf(raw)) {
+      // Abandoned: true distance exceeds the horizon; rank with that floor.
+      raw = cutoff;
+      norm = horizon;
+      exact = false;
+    }
+    ranked[i] = {norm, raw, e.class_index, e.group_index, exact};
+  });
+  acc.FlushInto(stats);
+
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedGroup& a, const RankedGroup& b) {
               if (a.normalized_rep_dtw != b.normalized_rep_dtw) {
                 return a.normalized_rep_dtw < b.normalized_rep_dtw;
               }
-              return a.exact > b.exact;  // exact values win ties
+              if (a.exact != b.exact) return a.exact;  // exact values win ties
+              if (a.class_index != b.class_index) {
+                return a.class_index < b.class_index;
+              }
+              return a.group_index < b.group_index;
             });
   return ranked;
 }
@@ -136,6 +211,8 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
   const std::size_t must_explore =
       std::max<std::size_t>(std::max<std::size_t>(1, options.explore_top_groups), k);
 
+  StatsAcc acc;
+  std::vector<double> dist;  // per-member distances, reused across groups
   for (std::size_t r = 0; r < ranked.size(); ++r) {
     const RankedGroup& rg = ranked[r];
     if (r >= must_explore &&
@@ -144,45 +221,60 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
     }
 
     const LengthClass& cls = base_->length_classes()[rg.class_index];
-    const SimilarityGroup& g = cls.groups[rg.group_index];
+    const GroupStore& store = *cls.store;
     const double nf = NormFactor(qn, cls.length);
 
     // Group-envelope bound: no member can beat the current k-th answer.
     if (options.use_lower_bounds && cls.length == qn && best.size() >= k) {
-      const double glb = LbKeoghGroup(query_env, g.envelope()) / nf;
+      const double glb =
+          LbKeoghGroup(query_env, store.envelope(rg.group_index)) / nf;
       if (glb >= worst_kth()) {
-        if (stats != nullptr) ++stats->groups_pruned_lb;
+        acc.groups_pruned_lb.fetch_add(1);
         continue;
       }
     }
 
-    for (const SubseqRef& ref : g.members()) {
-      const std::span<const double> vals = ref.Resolve(ds);
+    // Refine this group in two deterministic phases. Phase 1 scores every
+    // member against the horizon as it stood when the group was entered
+    // (fixed, so the member scan parallelizes with bit-identical outcomes);
+    // phase 2 merges the survivors into the top-k sequentially in member
+    // order, exactly as a serial scan would.
+    const std::span<const SubseqRef> members = store.members(rg.group_index);
+    const double entry_horizon = worst_kth();
+    const bool have_k = best.size() >= k;
+    dist.assign(members.size(), kInf);
+    const std::size_t scan_threads =
+        members.size() >= kMinItemsForFanOut ? options.threads : 1;
+    ForEach(members.size(), scan_threads, [&](std::size_t i) {
+      const std::span<const double> vals = members[i].Resolve(ds);
       if (options.use_lower_bounds) {
         double lb = LbKim(query, vals);
         if (cls.length == qn) {
           lb = std::max(lb, LbKeogh(query_env, vals));
         }
-        if (lb / nf >= worst_kth()) {
-          if (stats != nullptr) ++stats->members_pruned_lb;
-          continue;
+        if (lb / nf >= entry_horizon) {
+          acc.members_pruned_lb.fetch_add(1);
+          return;
         }
       }
-      const double cutoff = options.use_early_abandon && best.size() >= k
-                                ? worst_kth() * nf
-                                : -1.0;
-      if (stats != nullptr) ++stats->member_dtw_evaluations;
+      const double cutoff =
+          options.use_early_abandon && have_k ? entry_horizon * nf : -1.0;
+      acc.member_dtw_evaluations.fetch_add(1);
       const double raw =
           DtwDistanceEarlyAbandon(query, vals, cutoff, options.window);
-      if (std::isinf(raw)) continue;
-      const double norm = raw / nf;
+      if (!std::isinf(raw)) dist[i] = raw;
+    });
+
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (std::isinf(dist[i])) continue;
+      const double norm = dist[i] / nf;
       if (best.size() >= k && norm >= worst_kth()) continue;
 
       BestMatch m;
-      m.ref = ref;
+      m.ref = members[i];
       m.length = cls.length;
       m.group_index = rg.group_index;
-      m.dtw = raw;
+      m.dtw = dist[i];
       m.normalized_dtw = norm;
       m.rep_dtw = rg.raw_rep_dtw;
       m.normalized_rep_dtw = rg.normalized_rep_dtw;
@@ -195,14 +287,18 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
       if (best.size() > k) best.pop_back();
     }
   }
+  acc.FlushInto(stats);
 
   if (best.empty()) {
     return Status::NotFound("no match found (base has no members)");
   }
   if (options.compute_path) {
-    for (BestMatch& m : best) {
-      m.path = DtwWithPath(query, m.ref.Resolve(ds), options.window).path;
-    }
+    // Final answers are fixed; their alignments are independent (and each
+    // is a full O(n*m) DP, heavy enough to fan out even for small k).
+    ForEach(best.size(), options.threads, [&](std::size_t i) {
+      best[i].path =
+          DtwWithPath(query, best[i].ref.Resolve(ds), options.window).path;
+    });
   }
   return best;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "onex/common/result.h"
+#include "onex/common/task_pool.h"
 #include "onex/core/onex_base.h"
 #include "onex/distance/dtw.h"
 #include "onex/distance/warping_path.h"
@@ -38,10 +39,18 @@ struct QueryOptions {
   std::size_t max_length = 0;
   /// Extract the warping path of the final answer (Fig 2's dotted lines).
   bool compute_path = true;
+  /// Worker threads for this query (DESIGN.md §6). 1 = run everything on
+  /// the calling thread (default); 0 = the shared pool's full width; N > 1
+  /// caps the pool lanes used. Every pruning decision is made against
+  /// deterministic horizons (fixed per ranking pass / per refined group),
+  /// so matches, distances AND QueryStats are bit-identical for every
+  /// thread count — parallelism is a pure latency knob.
+  std::size_t threads = 1;
 };
 
 /// Work counters for one query; benches report these to show where pruning
-/// pays off.
+/// pays off. Deterministic for a given (base, query, options) regardless of
+/// options.threads.
 struct QueryStats {
   std::size_t groups_total = 0;
   std::size_t groups_pruned_lb = 0;       ///< Skipped by lower bound alone.
@@ -66,10 +75,13 @@ struct BestMatch {
 
 /// DTW-side exploration over a built ONEX base (paper §3.2): rank groups by
 /// representative DTW, refine inside the winner(s). The base must outlive
-/// the processor.
+/// the processor. Stateless between calls and safe to share across threads;
+/// with options.threads != 1 a single query fans out over `pool` (or the
+/// process-wide TaskPool::Shared() when none was injected).
 class QueryProcessor {
  public:
-  explicit QueryProcessor(const OnexBase* base) : base_(base) {}
+  explicit QueryProcessor(const OnexBase* base, TaskPool* pool = nullptr)
+      : base_(base), pool_(pool) {}
 
   /// The demo's similarity search: the best match to `query` across every
   /// group of every (admissible) length. The triangle-inequality foundation
@@ -103,13 +115,32 @@ class QueryProcessor {
     bool exact;
   };
 
-  /// Pass 1: every group scored by (lower-bounded, early-abandoned) DTW
-  /// between query and representative, ascending.
+  /// Pass 1: every group scored by DTW between query and representative,
+  /// ascending. Pruning runs against a fixed horizon — the exact
+  /// representative DTW of the group with the smallest lower bound — so the
+  /// scored list, the stats and all tie-breaks are independent of how the
+  /// scan is partitioned over threads (DESIGN.md §6).
   std::vector<RankedGroup> RankGroups(std::span<const double> query,
                                       const QueryOptions& options,
                                       QueryStats* stats) const;
 
+  /// Runs body(i) for i in [0, n): inline when `threads` is 1 (or the item
+  /// count is too small to amortize a fan-out), otherwise over the pool.
+  /// Templated so the serial path pays no std::function type erasure.
+  /// Bodies write only index-addressed slots, so the partition never
+  /// affects results.
+  template <typename Body>
+  void ForEach(std::size_t n, std::size_t threads, Body&& body) const {
+    if (threads == 1 || n < 2) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    TaskPool& pool = pool_ != nullptr ? *pool_ : TaskPool::Shared();
+    pool.ParallelFor(n, body, threads);
+  }
+
   const OnexBase* base_;
+  TaskPool* pool_;
 };
 
 }  // namespace onex

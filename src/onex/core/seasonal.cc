@@ -68,7 +68,7 @@ Result<std::vector<SeasonalPattern>> FindSeasonalPatterns(
 
       SeasonalPattern p;
       p.length = cls.length;
-      p.representative = g.centroid();
+      p.representative.assign(g.centroid().begin(), g.centroid().end());
       double cohesion = 0.0;
       for (const SubseqRef& r : occ) {
         cohesion += NormalizedEuclidean(g.centroid_span(), r.Resolve(ds));

@@ -3,9 +3,8 @@
 
 #include <cstddef>
 #include <span>
-#include <utility>
-#include <vector>
 
+#include "onex/core/group_store.h"
 #include "onex/distance/envelope.h"
 #include "onex/ts/subsequence.h"
 
@@ -17,48 +16,40 @@ namespace onex {
 /// guarantees every member was within ST/2 of the centroid at insertion
 /// time, which by the ED triangle inequality makes members pairwise-similar
 /// within ST.
+///
+/// A SimilarityGroup is a two-word view — (store, index) — over the length
+/// class's columnar GroupStore (DESIGN.md §4). Centroids, envelopes and
+/// member lists live in the store's flat matrices/arena; this type only
+/// addresses them. Copying a group copies the view, never the data. Groups
+/// under construction use GroupBuilder (group_store.h) instead; stores and
+/// their views are immutable once built.
 class SimilarityGroup {
  public:
-  explicit SimilarityGroup(std::size_t length) : length_(length) {}
+  SimilarityGroup(const GroupStore* store, std::size_t index)
+      : store_(store), index_(index) {}
 
-  std::size_t length() const { return length_; }
-  std::size_t size() const { return members_.size(); }
-  bool empty() const { return members_.empty(); }
+  std::size_t length() const { return store_->length(); }
+  std::size_t size() const { return store_->group_size(index_); }
+  bool empty() const { return size() == 0; }
+  /// This group's index inside its length class (and store).
+  std::size_t index() const { return index_; }
 
-  const std::vector<SubseqRef>& members() const { return members_; }
+  std::span<const SubseqRef> members() const {
+    return store_->members(index_);
+  }
 
   /// The representative: running mean of member values (or the first member
-  /// under the fixed-leader policy; see CentroidPolicy).
-  const std::vector<double>& centroid() const { return centroid_; }
-  std::span<const double> centroid_span() const {
-    return std::span<const double>(centroid_);
-  }
+  /// under the fixed-leader policy; see CentroidPolicy). A row of the
+  /// store's centroid matrix.
+  std::span<const double> centroid() const { return store_->centroid(index_); }
+  std::span<const double> centroid_span() const { return centroid(); }
 
   /// Pointwise min/max over all member values, for group-level LB pruning.
-  const Envelope& envelope() const { return envelope_; }
-
-  /// Adds a member. `values` must resolve `ref` against the base's dataset.
-  /// When `update_centroid` is set the centroid moves to the running mean.
-  void Add(const SubseqRef& ref, std::span<const double> values,
-           bool update_centroid);
-
-  /// Replaces the member list (used by the repair pass). Does not touch the
-  /// centroid; callers decide whether to recompute.
-  void SetMembers(std::vector<SubseqRef> members) {
-    members_ = std::move(members);
-  }
-
-  /// Recomputes centroid and envelope from scratch out of `dataset`. With
-  /// `leader_centroid` the centroid is the first member's values (the
-  /// fixed-leader policy's representative) instead of the member mean.
-  void RecomputeFromMembers(const Dataset& dataset,
-                            bool leader_centroid = false);
+  EnvelopeView envelope() const { return store_->envelope(index_); }
 
  private:
-  std::size_t length_;
-  std::vector<SubseqRef> members_;
-  std::vector<double> centroid_;
-  Envelope envelope_;
+  const GroupStore* store_;
+  std::size_t index_;
 };
 
 }  // namespace onex

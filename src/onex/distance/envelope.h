@@ -23,6 +23,18 @@ struct Envelope {
   bool empty() const { return lower.empty(); }
 };
 
+/// Non-owning view of an envelope whose bands live in columnar storage
+/// (core/group_store.h keeps all group envelopes of a length class in two
+/// contiguous matrices). Mirrors Envelope's read API so pruning code and
+/// tests work with either representation.
+struct EnvelopeView {
+  std::span<const double> lower;
+  std::span<const double> upper;
+
+  std::size_t size() const { return lower.size(); }
+  bool empty() const { return lower.empty(); }
+};
+
 /// Keogh envelope of `x` with band half-width `window`:
 /// upper[i] = max(x[i-w..i+w]), lower[i] = min(x[i-w..i+w]).
 /// A negative window means unconstrained DTW; the envelope degenerates to the

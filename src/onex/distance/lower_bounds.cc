@@ -37,23 +37,40 @@ double LbKeogh(const Envelope& query_envelope,
   return std::sqrt(acc);
 }
 
-double LbKeoghGroup(const Envelope& query_envelope,
-                    const Envelope& group_envelope) {
-  const std::size_t n = group_envelope.size();
+namespace {
+
+double LbKeoghGroupImpl(const Envelope& query_envelope,
+                        std::span<const double> group_lower,
+                        std::span<const double> group_upper) {
+  const std::size_t n = group_lower.size();
   if (query_envelope.size() != n || n == 0) return 0.0;
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     // Tightest penalty any member could incur: members live inside
     // [group.lower, group.upper] pointwise.
-    if (group_envelope.lower[i] > query_envelope.upper[i]) {
-      const double d = group_envelope.lower[i] - query_envelope.upper[i];
+    if (group_lower[i] > query_envelope.upper[i]) {
+      const double d = group_lower[i] - query_envelope.upper[i];
       acc += d * d;
-    } else if (group_envelope.upper[i] < query_envelope.lower[i]) {
-      const double d = query_envelope.lower[i] - group_envelope.upper[i];
+    } else if (group_upper[i] < query_envelope.lower[i]) {
+      const double d = query_envelope.lower[i] - group_upper[i];
       acc += d * d;
     }
   }
   return std::sqrt(acc);
+}
+
+}  // namespace
+
+double LbKeoghGroup(const Envelope& query_envelope,
+                    const Envelope& group_envelope) {
+  return LbKeoghGroupImpl(query_envelope, group_envelope.lower,
+                          group_envelope.upper);
+}
+
+double LbKeoghGroup(const Envelope& query_envelope,
+                    const EnvelopeView& group_envelope) {
+  return LbKeoghGroupImpl(query_envelope, group_envelope.lower,
+                          group_envelope.upper);
 }
 
 }  // namespace onex

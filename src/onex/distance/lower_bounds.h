@@ -34,6 +34,12 @@ double LbKeogh(const Envelope& query_envelope, std::span<const double> candidate
 double LbKeoghGroup(const Envelope& query_envelope,
                     const Envelope& group_envelope);
 
+/// Same bound over a columnar group envelope (an EnvelopeView into the
+/// GroupStore's min/max matrices); the hot-path form the query processor
+/// uses so group pruning never materializes per-group Envelope objects.
+double LbKeoghGroup(const Envelope& query_envelope,
+                    const EnvelopeView& group_envelope);
+
 }  // namespace onex
 
 #endif  // ONEX_DISTANCE_LOWER_BOUNDS_H_

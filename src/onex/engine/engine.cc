@@ -97,7 +97,7 @@ Status Engine::Prepare(const std::string& name,
                                     &next->norm_params));
   next->normalized = std::make_shared<const Dataset>(std::move(normalized));
   ONEX_ASSIGN_OR_RETURN(OnexBase base,
-                        OnexBase::Build(next->normalized, options));
+                        OnexBase::Build(next->normalized, options, &pool_));
   next->base = std::make_shared<const OnexBase>(std::move(base));
   next->build_options = options;
 
@@ -326,16 +326,11 @@ Result<std::vector<double>> Engine::ResolveQuery(const PreparedDataset& target,
   return ResolveQuery(target, inline_spec);
 }
 
-Result<std::vector<MatchResult>> Engine::Knn(const std::string& name,
-                                             const QuerySpec& query,
-                                             std::size_t k,
-                                             const QueryOptions& options) const {
-  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
-                        GetPrepared(name));
-  ONEX_ASSIGN_OR_RETURN(std::vector<double> qvals, ResolveQuery(*ds, query));
-
+Result<std::vector<MatchResult>> Engine::RunKnn(
+    const PreparedDataset& ds, std::vector<double> qvals, std::size_t k,
+    const QueryOptions& options) const {
   const auto t0 = std::chrono::steady_clock::now();
-  QueryProcessor qp(ds->base.get());
+  QueryProcessor qp(ds.base.get(), &pool_);
   QueryStats stats;
   ONEX_ASSIGN_OR_RETURN(std::vector<BestMatch> matches,
                         qp.KnnQuery(qvals, k, options, &stats));
@@ -348,14 +343,69 @@ Result<std::vector<MatchResult>> Engine::Knn(const std::string& name,
   out.reserve(matches.size());
   for (BestMatch& m : matches) {
     MatchResult r;
-    r.matched_series_name = (*ds->normalized)[m.ref.series].name();
-    const std::span<const double> mv = m.ref.Resolve(*ds->normalized);
+    r.matched_series_name = (*ds.normalized)[m.ref.series].name();
+    const std::span<const double> mv = m.ref.Resolve(*ds.normalized);
     r.match_values.assign(mv.begin(), mv.end());
     r.query_values = qvals;
     r.stats = stats;
     r.elapsed_ms = elapsed_ms;
     r.match = std::move(m);
     out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::vector<MatchResult>> Engine::Knn(const std::string& name,
+                                             const QuerySpec& query,
+                                             std::size_t k,
+                                             const QueryOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  ONEX_ASSIGN_OR_RETURN(std::vector<double> qvals, ResolveQuery(*ds, query));
+  return RunKnn(*ds, std::move(qvals), k, options);
+}
+
+Result<std::vector<std::vector<MatchResult>>> Engine::KnnBatch(
+    const std::string& name, const std::vector<QuerySpec>& queries,
+    std::size_t k, const QueryOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  std::vector<std::vector<MatchResult>> out(queries.size());
+  if (queries.empty()) return out;
+
+  // Resolve sequentially (cheap, and resolution errors surface before any
+  // work starts), then fan the heavy searches across the pool. Every query
+  // writes only its own slot, so results match the one-at-a-time path.
+  std::vector<std::vector<double>> qvals(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ONEX_ASSIGN_OR_RETURN(qvals[i], ResolveQuery(*ds, queries[i]));
+  }
+  std::vector<Status> failures(queries.size(), Status::OK());
+  pool_.ParallelFor(queries.size(), [&](std::size_t i) {
+    Result<std::vector<MatchResult>> r =
+        RunKnn(*ds, std::move(qvals[i]), k, options);
+    if (r.ok()) {
+      out[i] = std::move(r).value();
+    } else {
+      failures[i] = r.status();
+    }
+  });
+  for (const Status& s : failures) {
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+Result<std::vector<MatchResult>> Engine::SimilaritySearchBatch(
+    const std::string& name, const std::vector<QuerySpec>& queries,
+    const QueryOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::vector<std::vector<MatchResult>> per_query,
+                        KnnBatch(name, queries, 1, options));
+  std::vector<MatchResult> out;
+  out.reserve(per_query.size());
+  for (std::vector<MatchResult>& matches : per_query) {
+    if (matches.empty()) return Status::NotFound("no match found");
+    out.push_back(std::move(matches.front()));
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "onex/common/result.h"
+#include "onex/common/task_pool.h"
 #include "onex/core/onex_base.h"
 #include "onex/core/overview.h"
 #include "onex/core/query_processor.h"
@@ -103,6 +104,23 @@ class Engine {
                                        const QuerySpec& query, std::size_t k,
                                        const QueryOptions& options = {}) const;
 
+  /// Executes many independent similarity searches in one call, fanned
+  /// across the engine's task pool — one round-trip serves a dashboard's
+  /// worth of linked-view queries (DESIGN.md §6). Results arrive in query
+  /// order and are identical to issuing the same SimilaritySearch calls one
+  /// at a time; on any per-query failure the whole batch reports the
+  /// lowest-indexed error. Empty input yields an empty result.
+  Result<std::vector<MatchResult>> SimilaritySearchBatch(
+      const std::string& name, const std::vector<QuerySpec>& queries,
+      const QueryOptions& options = {}) const;
+
+  /// Batch form of Knn: results[i] holds the k best matches for queries[i].
+  /// Same ordering, determinism and error semantics as
+  /// SimilaritySearchBatch.
+  Result<std::vector<std::vector<MatchResult>>> KnnBatch(
+      const std::string& name, const std::vector<QuerySpec>& queries,
+      std::size_t k, const QueryOptions& options = {}) const;
+
   /// Repeating patterns within one series (Seasonal View).
   Result<std::vector<SeasonalPattern>> Seasonal(
       const std::string& name, std::size_t series_idx,
@@ -154,8 +172,19 @@ class Engine {
   Result<std::shared_ptr<const PreparedDataset>> GetPrepared(
       const std::string& name) const;
 
+  /// One resolved query against one prepared snapshot; shared by the single
+  /// and batch entry points so both produce identical results.
+  Result<std::vector<MatchResult>> RunKnn(const PreparedDataset& ds,
+                                          std::vector<double> qvals,
+                                          std::size_t k,
+                                          const QueryOptions& options) const;
+
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const PreparedDataset>> datasets_;
+  /// Batch fan-out and parallel queries run here. Lazy: threads spawn on
+  /// first parallel call, so engines that never ask for parallelism cost
+  /// nothing extra.
+  mutable TaskPool pool_;
 };
 
 }  // namespace onex

@@ -152,13 +152,15 @@ Result<json::Value> DoPrepare(Engine* engine, const Command& cmd) {
   ONEX_ASSIGN_OR_RETURN(long long maxlen, OptInt(cmd, "maxlen", 0));
   ONEX_ASSIGN_OR_RETURN(long long lenstep, OptInt(cmd, "lenstep", 1));
   ONEX_ASSIGN_OR_RETURN(long long stride, OptInt(cmd, "stride", 1));
-  if (minlen < 2 || maxlen < 0 || lenstep < 1 || stride < 1) {
+  ONEX_ASSIGN_OR_RETURN(long long threads, OptInt(cmd, "threads", 1));
+  if (minlen < 2 || maxlen < 0 || lenstep < 1 || stride < 1 || threads < 0) {
     return Status::InvalidArgument("invalid scoping options");
   }
   opt.min_length = static_cast<std::size_t>(minlen);
   opt.max_length = static_cast<std::size_t>(maxlen);
   opt.length_step = static_cast<std::size_t>(lenstep);
   opt.stride = static_cast<std::size_t>(stride);
+  opt.threads = static_cast<std::size_t>(threads);
 
   const std::string policy = OptString(cmd, "policy", "running-mean");
   if (policy == "fixed-leader") {
@@ -208,6 +210,23 @@ Result<json::Value> DoStats(Engine* engine, const Command& cmd) {
   return v;
 }
 
+/// Shared query-option parsing for MATCH/KNN/BATCH.
+Result<QueryOptions> ParseQueryOptions(const Command& cmd) {
+  QueryOptions qopt;
+  ONEX_ASSIGN_OR_RETURN(long long window, OptInt(cmd, "window", -1));
+  ONEX_ASSIGN_OR_RETURN(long long topg, OptInt(cmd, "topgroups", 1));
+  ONEX_ASSIGN_OR_RETURN(long long exhaustive, OptInt(cmd, "exhaustive", 0));
+  ONEX_ASSIGN_OR_RETURN(long long threads, OptInt(cmd, "threads", 1));
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  qopt.window = static_cast<int>(window);
+  qopt.explore_top_groups = topg < 1 ? 1 : static_cast<std::size_t>(topg);
+  qopt.exhaustive = exhaustive != 0;
+  qopt.threads = static_cast<std::size_t>(threads);
+  return qopt;
+}
+
 Result<json::Value> DoMatch(Engine* engine, const Command& cmd, bool knn) {
   ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
   const auto qit = cmd.options.find("q");
@@ -215,13 +234,7 @@ Result<json::Value> DoMatch(Engine* engine, const Command& cmd, bool knn) {
     return Status::InvalidArgument("missing q=<series>:<start>:<len>");
   }
   ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(qit->second));
-  QueryOptions qopt;
-  ONEX_ASSIGN_OR_RETURN(long long window, OptInt(cmd, "window", -1));
-  ONEX_ASSIGN_OR_RETURN(long long topg, OptInt(cmd, "topgroups", 1));
-  ONEX_ASSIGN_OR_RETURN(long long exhaustive, OptInt(cmd, "exhaustive", 0));
-  qopt.window = static_cast<int>(window);
-  qopt.explore_top_groups = topg < 1 ? 1 : static_cast<std::size_t>(topg);
-  qopt.exhaustive = exhaustive != 0;
+  ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
 
   json::Value v = Ok();
   if (knn) {
@@ -238,6 +251,39 @@ Result<json::Value> DoMatch(Engine* engine, const Command& cmd, bool knn) {
                           engine->SimilaritySearch(cmd.args[0], spec, qopt));
     v.Set("match", MatchToJson(r));
   }
+  return v;
+}
+
+Result<json::Value> DoBatch(Engine* engine, const Command& cmd) {
+  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+  const auto qit = cmd.options.find("q");
+  if (qit == cmd.options.end()) {
+    return Status::InvalidArgument(
+        "missing q=<series>:<start>:<len>[;<series>:<start>:<len>...]");
+  }
+  std::vector<QuerySpec> specs;
+  for (const std::string& ref : SplitKeepEmpty(qit->second, ';')) {
+    ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(ref));
+    specs.push_back(std::move(spec));
+  }
+  ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
+  ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 1));
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+
+  ONEX_ASSIGN_OR_RETURN(
+      std::vector<std::vector<MatchResult>> per_query,
+      engine->KnnBatch(cmd.args[0], specs, static_cast<std::size_t>(k),
+                       qopt));
+  json::Value v = Ok();
+  json::Value results = json::Value::MakeArray();
+  for (const std::vector<MatchResult>& matches : per_query) {
+    json::Value entry = json::Value::MakeObject();
+    json::Value arr = json::Value::MakeArray();
+    for (const MatchResult& r : matches) arr.Append(MatchToJson(r));
+    entry.Set("matches", std::move(arr));
+    results.Append(std::move(entry));
+  }
+  v.Set("results", std::move(results));
   return v;
 }
 
@@ -412,6 +458,7 @@ Result<json::Value> Dispatch(Engine* engine, const Command& cmd) {
   if (cmd.verb == "OVERVIEW") return DoOverview(engine, cmd);
   if (cmd.verb == "MATCH") return DoMatch(engine, cmd, /*knn=*/false);
   if (cmd.verb == "KNN") return DoMatch(engine, cmd, /*knn=*/true);
+  if (cmd.verb == "BATCH") return DoBatch(engine, cmd);
   if (cmd.verb == "SEASONAL") return DoSeasonal(engine, cmd);
   if (cmd.verb == "THRESHOLD") return DoThreshold(engine, cmd);
   if (cmd.verb == "QUIT") {

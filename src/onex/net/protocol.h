@@ -22,7 +22,7 @@ namespace onex::net {
 ///   LOAD <name> <path>                               UCR-format file
 ///   DROP <name>
 ///   PREPARE <name> [st=0.2] [minlen=4] [maxlen=0] [lenstep=1] [stride=1]
-///                  [norm=minmax-dataset] [policy=running-mean]
+///                  [norm=minmax-dataset] [policy=running-mean] [threads=1]
 ///   APPEND <name> v=<v1,v2,...> [series=appended]    incremental insert
 ///   SAVEBASE <name> <path>                           persist prepared state
 ///   LOADBASE <name> <path>                           restore prepared state
@@ -30,8 +30,15 @@ namespace onex::net {
 ///   CATALOG <name> [points=24]                      series list + previews
 ///   OVERVIEW <name> [length=0] [top=12]
 ///   MATCH <name> q=<series>:<start>:<len> [window=-1] [topgroups=1]
-///                [exhaustive=0]
+///                [exhaustive=0] [threads=1]
 ///   KNN <name> q=<series>:<start>:<len> [k=3] [window=-1] [exhaustive=0]
+///              [threads=1]
+///   BATCH <name> q=<s>:<st>:<len>[;<s>:<st>:<len>...] [k=1] [window=-1]
+///                [topgroups=1] [exhaustive=0] [threads=1]
+///       Executes every query in one round-trip, fanned across the engine's
+///       task pool (a dashboard refreshing its linked views issues one
+///       BATCH instead of N MATCHes). Responds with results in query order:
+///       {"ok":true,"results":[{"matches":[...]}, ...]}.
 ///   SEASONAL <name> series=<idx> [length=0] [minocc=2] [top=5]
 ///   THRESHOLD <name> [pairs=2000] [minlen=4] [maxlen=0]
 ///   QUIT

@@ -26,7 +26,10 @@ Status OnexServer::Start(std::uint16_t port) {
 
 void OnexServer::Stop() {
   if (!running_.exchange(false)) return;
-  listener_.Close();  // unblocks accept()
+  // Shutdown (not Close) unblocks accept() while keeping the fd number
+  // reserved, so a concurrent open() cannot recycle it under the accept
+  // loop; the descriptor is released only after the acceptor is joined.
+  listener_.Shutdown();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const std::weak_ptr<Socket>& weak : live_sockets_) {
@@ -36,6 +39,7 @@ void OnexServer::Stop() {
     }
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -19,6 +19,11 @@ namespace onex::net {
 /// substitute for the demo's web server tier (DESIGN.md §3): the engine
 /// provides "near real-time responsiveness to the analyst exploring the
 /// data via a client-server architecture".
+///
+/// Connection threads only shuttle lines; the compute for every session —
+/// parallel queries, BATCH fan-out, threaded PREPAREs — multiplexes over
+/// the shared engine's one task pool (DESIGN.md §6), so N dashboards cannot
+/// oversubscribe the machine with N private thread herds.
 class OnexServer {
  public:
   /// The engine must outlive the server. Does not take ownership: several

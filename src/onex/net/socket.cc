@@ -119,21 +119,29 @@ Result<ServerSocket> ServerSocket::Listen(std::uint16_t port) {
 }
 
 Result<Socket> ServerSocket::Accept() {
-  if (!valid()) return Status::IoError("accept on closed listener");
+  const int listener = fd_.load();
+  if (listener < 0) return Status::IoError("accept on closed listener");
   while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept(listener, nullptr, nullptr);
     if (fd >= 0) return Socket(fd);
     if (errno == EINTR) continue;
     return Errno("accept");
   }
 }
 
+void ServerSocket::Shutdown() {
+  const int fd = fd_.load();
+  // shutdown() on a listening socket unblocks a parked accept() (EINVAL on
+  // Linux) and fails later ones, while the fd number stays ours.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
 void ServerSocket::Close() {
-  if (valid()) {
-    // shutdown() unblocks a thread parked in accept().
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // Exchange claims the fd exactly once, so double-closes are harmless.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef ONEX_NET_SOCKET_H_
 #define ONEX_NET_SOCKET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -63,6 +64,11 @@ Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port);
 
 /// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port,
 /// readable via port() — tests rely on this.
+///
+/// The fd is atomic because Shutdown() is the documented cross-thread
+/// unblock for a server's accept loop (OnexServer::Stop shuts down from
+/// another thread while AcceptLoop sits in Accept); exchange-based Close
+/// also makes concurrent double-closes harmless.
 class ServerSocket {
  public:
   static Result<ServerSocket> Listen(std::uint16_t port);
@@ -72,29 +78,36 @@ class ServerSocket {
   ServerSocket(const ServerSocket&) = delete;
   ServerSocket& operator=(const ServerSocket&) = delete;
   ServerSocket(ServerSocket&& other) noexcept
-      : fd_(other.fd_), port_(other.port_) {
-    other.fd_ = -1;
-  }
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
   ServerSocket& operator=(ServerSocket&& other) noexcept {
     if (this != &other) {
       Close();
-      fd_ = other.fd_;
+      fd_.store(other.fd_.exchange(-1));
       port_ = other.port_;
-      other.fd_ = -1;
     }
     return *this;
   }
 
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const { return fd_.load() >= 0; }
   std::uint16_t port() const { return port_; }
 
-  /// Blocks until a client connects; IoError once Close() has been called.
+  /// Blocks until a client connects; IoError once Shutdown()/Close() has
+  /// been called.
   Result<Socket> Accept();
 
+  /// Unblocks any thread parked in Accept() and makes future Accepts fail,
+  /// WITHOUT releasing the fd number. This is the safe cross-thread stop
+  /// signal: because the descriptor stays reserved, a concurrent open()
+  /// elsewhere in the process cannot recycle it under a racing accept().
+  void Shutdown();
+
+  /// Releases the descriptor. Only call once no other thread can still be
+  /// inside Accept() (e.g. after joining the acceptor); use Shutdown() to
+  /// get it out of there first.
   void Close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

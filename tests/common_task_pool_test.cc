@@ -1,0 +1,130 @@
+#include "onex/common/task_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace onex {
+namespace {
+
+TEST(TaskPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskPoolTest, ParallelForZeroAndOneAreTrivial) {
+  TaskPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskPoolTest, MaxConcurrencyOneRunsInline) {
+  TaskPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  pool.ParallelFor(
+      64,
+      [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) all_inline = false;
+      },
+      /*max_concurrency=*/1);
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(TaskPoolTest, IndexAddressedWritesProduceDeterministicResults) {
+  TaskPool pool(8);
+  constexpr std::size_t kN = 512;
+  std::vector<double> a(kN), b(kN);
+  auto fill = [](std::vector<double>* out) {
+    return [out](std::size_t i) {
+      (*out)[i] = static_cast<double>(i) * 1.5 + 1.0;
+    };
+  };
+  pool.ParallelFor(kN, fill(&a));
+  pool.ParallelFor(kN, fill(&b), /*max_concurrency=*/3);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(std::accumulate(a.begin(), a.end(), 0.0),
+                   1.5 * (kN * (kN - 1)) / 2.0 + kN);
+}
+
+TEST(TaskPoolTest, NestedParallelForDoesNotDeadlock) {
+  TaskPool pool(2);  // fewer workers than outer iterations forces nesting
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    pool.ParallelFor(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(TaskPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    TaskPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queues
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TaskPoolTest, SubmitWakesASleepingWorker) {
+  TaskPool pool(1);
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  EXPECT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+}
+
+TEST(TaskPoolTest, SharedPoolIsUsableAndStable) {
+  TaskPool& a = TaskPool::Shared();
+  TaskPool& b = TaskPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.worker_count(), 1u);
+  std::atomic<int> total{0};
+  a.ParallelFor(10, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(TaskPoolTest, ManyConcurrentParallelForsFromExternalThreads) {
+  TaskPool pool(4);
+  constexpr int kCallers = 6;
+  std::vector<std::thread> callers;
+  std::atomic<int> total{0};
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 5; ++round) {
+        pool.ParallelFor(50, [&](std::size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * 5 * 50);
+}
+
+}  // namespace
+}  // namespace onex

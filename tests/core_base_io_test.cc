@@ -49,7 +49,8 @@ void ExpectBasesEquivalent(const OnexBase& a, const OnexBase& b) {
     ASSERT_EQ(ca.length, cb.length);
     ASSERT_EQ(ca.groups.size(), cb.groups.size());
     for (std::size_t g = 0; g < ca.groups.size(); ++g) {
-      EXPECT_EQ(ca.groups[g].members(), cb.groups[g].members());
+      EXPECT_TRUE(std::ranges::equal(ca.groups[g].members(),
+                                     cb.groups[g].members()));
       ASSERT_EQ(ca.groups[g].centroid().size(), cb.groups[g].centroid().size());
       for (std::size_t i = 0; i < ca.groups[g].centroid().size(); ++i) {
         EXPECT_NEAR(ca.groups[g].centroid()[i], cb.groups[g].centroid()[i],
@@ -218,24 +219,26 @@ TEST(BaseIoTest, RestoreValidatesArguments) {
   EXPECT_FALSE(OnexBase::Restore(ds, base.options(), {}, 0).ok());
   // Unsorted classes.
   {
-    std::vector<LengthClass> classes(2);
+    std::vector<LengthClassDraft> classes(2);
     classes[0].length = 8;
     classes[1].length = 4;
-    SimilarityGroup g8(8), g4(4);
+    GroupBuilder g8(8), g4(4);
     g8.SetMembers({{0, 0, 8}});
     g4.SetMembers({{0, 0, 4}});
     classes[0].groups.push_back(g8);
     classes[1].groups.push_back(g4);
-    EXPECT_FALSE(OnexBase::Restore(ds, base.options(), classes, 0).ok());
+    EXPECT_FALSE(
+        OnexBase::Restore(ds, base.options(), std::move(classes), 0).ok());
   }
   // Member length disagrees with its class.
   {
-    std::vector<LengthClass> classes(1);
+    std::vector<LengthClassDraft> classes(1);
     classes[0].length = 6;
-    SimilarityGroup g(6);
+    GroupBuilder g(6);
     g.SetMembers({{0, 0, 4}});
     classes[0].groups.push_back(g);
-    EXPECT_FALSE(OnexBase::Restore(ds, base.options(), classes, 0).ok());
+    EXPECT_FALSE(
+        OnexBase::Restore(ds, base.options(), std::move(classes), 0).ok());
   }
 }
 

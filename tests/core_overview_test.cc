@@ -1,5 +1,6 @@
 #include "onex/core/overview.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -98,7 +99,8 @@ TEST(OverviewTest, RepresentativesCarryGroupShape) {
     const LengthClass& cls =
         **base.FindLengthClass(e.length);
     ASSERT_LT(e.group_index, cls.groups.size());
-    EXPECT_EQ(e.representative, cls.groups[e.group_index].centroid());
+    EXPECT_TRUE(std::ranges::equal(e.representative,
+                                   cls.groups[e.group_index].centroid()));
     EXPECT_EQ(e.cardinality, cls.groups[e.group_index].size());
   }
 }

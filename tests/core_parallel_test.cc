@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -33,9 +34,11 @@ void ExpectIdentical(const OnexBase& a, const OnexBase& b) {
     ASSERT_EQ(ca.length, cb.length);
     ASSERT_EQ(ca.groups.size(), cb.groups.size());
     for (std::size_t g = 0; g < ca.groups.size(); ++g) {
-      EXPECT_EQ(ca.groups[g].members(), cb.groups[g].members())
+      EXPECT_TRUE(std::ranges::equal(ca.groups[g].members(),
+                                     cb.groups[g].members()))
           << "length " << ca.length << " group " << g;
-      EXPECT_EQ(ca.groups[g].centroid(), cb.groups[g].centroid());
+      EXPECT_TRUE(std::ranges::equal(ca.groups[g].centroid(),
+                                     cb.groups[g].centroid()));
     }
   }
 }

@@ -1,0 +1,197 @@
+/// Parallel-vs-serial determinism crosscheck (DESIGN.md §6): the parallel
+/// query path is a pure latency knob. For random datasets and queries,
+/// KnnQuery under threads ∈ {1, 2, 8} must return identical matches,
+/// identical distances (bit-for-bit, not approximately) and identical merged
+/// QueryStats totals, because every pruning decision is made against
+/// deterministic horizons rather than cross-thread racing best-so-fars.
+#include "onex/core/query_processor.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const Dataset> dataset;
+  std::unique_ptr<OnexBase> base;
+};
+
+Fixture MakeFixture(std::uint64_t seed, const char* kind = "sine",
+                    std::size_t num = 10, std::size_t len = 32) {
+  Dataset raw;
+  if (std::string_view(kind) == "walk") {
+    gen::RandomWalkOptions opt;
+    opt.num_series = num;
+    opt.length = len;
+    opt.seed = seed;
+    raw = gen::MakeRandomWalks(opt);
+  } else {
+    gen::SineFamilyOptions opt;
+    opt.num_series = num;
+    opt.length = len;
+    opt.seed = seed;
+    raw = gen::MakeSineFamilies(opt);
+  }
+  Result<Dataset> norm = Normalize(raw, NormalizationKind::kMinMaxDataset);
+  Fixture f;
+  f.dataset = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions bopt;
+  bopt.st = 0.18;
+  bopt.min_length = 4;
+  bopt.max_length = 16;
+  bopt.length_step = 2;
+  f.base = std::make_unique<OnexBase>(
+      std::move(OnexBase::Build(f.dataset, bopt)).value());
+  return f;
+}
+
+void ExpectSameStats(const QueryStats& a, const QueryStats& b) {
+  EXPECT_EQ(a.groups_total, b.groups_total);
+  EXPECT_EQ(a.groups_pruned_lb, b.groups_pruned_lb);
+  EXPECT_EQ(a.rep_dtw_evaluations, b.rep_dtw_evaluations);
+  EXPECT_EQ(a.member_dtw_evaluations, b.member_dtw_evaluations);
+  EXPECT_EQ(a.members_pruned_lb, b.members_pruned_lb);
+}
+
+void ExpectSameMatches(const std::vector<BestMatch>& a,
+                       const std::vector<BestMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ref, b[i].ref) << "match " << i;
+    EXPECT_EQ(a[i].length, b[i].length);
+    EXPECT_EQ(a[i].group_index, b[i].group_index);
+    // Bit-identical, not near: both paths must run the same arithmetic.
+    EXPECT_EQ(a[i].dtw, b[i].dtw);
+    EXPECT_EQ(a[i].normalized_dtw, b[i].normalized_dtw);
+    EXPECT_EQ(a[i].rep_dtw, b[i].rep_dtw);
+    EXPECT_EQ(a[i].normalized_rep_dtw, b[i].normalized_rep_dtw);
+    EXPECT_EQ(a[i].path, b[i].path);
+  }
+}
+
+class ThreadCrosscheckTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreadCrosscheckTest, KnnIsBitIdenticalAcrossThreadCounts) {
+  const Fixture f = MakeFixture(GetParam());
+  QueryProcessor qp(f.base.get());
+  Rng rng(GetParam() + 71);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t series = rng.UniformIndex(f.dataset->size());
+    const std::size_t qlen = 6 + rng.UniformIndex(8);
+    const std::size_t start =
+        rng.UniformIndex((*f.dataset)[series].length() - qlen + 1);
+    std::vector<double> q;
+    const std::span<const double> vals =
+        (*f.dataset)[series].Slice(start, qlen);
+    q.assign(vals.begin(), vals.end());
+    for (double& v : q) v += rng.Gaussian(0.0, 0.05);
+
+    for (const std::size_t k : {1u, 3u}) {
+      QueryOptions serial;
+      serial.threads = 1;
+      QueryStats serial_stats;
+      Result<std::vector<BestMatch>> expect =
+          qp.KnnQuery(q, k, serial, &serial_stats);
+      ASSERT_TRUE(expect.ok()) << expect.status();
+
+      for (const std::size_t threads : {2u, 8u}) {
+        QueryOptions par = serial;
+        par.threads = threads;
+        QueryStats par_stats;
+        Result<std::vector<BestMatch>> got =
+            qp.KnnQuery(q, k, par, &par_stats);
+        ASSERT_TRUE(got.ok()) << got.status();
+        ExpectSameMatches(*expect, *got);
+        ExpectSameStats(serial_stats, par_stats);
+      }
+    }
+  }
+}
+
+TEST_P(ThreadCrosscheckTest, ExhaustiveModeStaysDeterministicToo) {
+  const Fixture f = MakeFixture(GetParam(), "walk", 8, 28);
+  QueryProcessor qp(f.base.get());
+  const std::span<const double> q = (*f.dataset)[1].Slice(2, 10);
+
+  QueryOptions serial;
+  serial.exhaustive = true;
+  serial.threads = 1;
+  QueryStats s1;
+  Result<std::vector<BestMatch>> expect = qp.KnnQuery(q, 2, serial, &s1);
+  ASSERT_TRUE(expect.ok());
+
+  QueryOptions par = serial;
+  par.threads = 8;
+  QueryStats s8;
+  Result<std::vector<BestMatch>> got = qp.KnnQuery(q, 2, par, &s8);
+  ASSERT_TRUE(got.ok());
+  ExpectSameMatches(*expect, *got);
+  ExpectSameStats(s1, s8);
+}
+
+TEST_P(ThreadCrosscheckTest, PruningTogglesStayDeterministic) {
+  const Fixture f = MakeFixture(GetParam());
+  QueryProcessor qp(f.base.get());
+  const std::span<const double> q = (*f.dataset)[0].Slice(0, 8);
+
+  for (const bool lb : {true, false}) {
+    for (const bool ea : {true, false}) {
+      QueryOptions serial;
+      serial.use_lower_bounds = lb;
+      serial.use_early_abandon = ea;
+      serial.threads = 1;
+      QueryStats s1;
+      Result<std::vector<BestMatch>> expect = qp.KnnQuery(q, 2, serial, &s1);
+      ASSERT_TRUE(expect.ok());
+
+      QueryOptions par = serial;
+      par.threads = 8;
+      QueryStats s8;
+      Result<std::vector<BestMatch>> got = qp.KnnQuery(q, 2, par, &s8);
+      ASSERT_TRUE(got.ok());
+      ExpectSameMatches(*expect, *got);
+      ExpectSameStats(s1, s8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadCrosscheckTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(ThreadCrosscheckTest, ThreadsZeroMeansPoolWidthAndStaysIdentical) {
+  const Fixture f = MakeFixture(7);
+  QueryProcessor qp(f.base.get());
+  const std::span<const double> q = (*f.dataset)[2].Slice(1, 9);
+
+  QueryOptions serial;
+  serial.threads = 1;
+  QueryStats s1;
+  Result<BestMatch> expect = qp.BestMatchQuery(q, serial, &s1);
+  ASSERT_TRUE(expect.ok());
+
+  QueryOptions hw;
+  hw.threads = 0;  // full pool width
+  QueryStats s0;
+  Result<BestMatch> got = qp.BestMatchQuery(q, hw, &s0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(expect->ref, got->ref);
+  EXPECT_EQ(expect->dtw, got->dtw);
+  EXPECT_EQ(expect->normalized_dtw, got->normalized_dtw);
+  ExpectSameStats(s1, s0);
+}
+
+}  // namespace
+}  // namespace onex
