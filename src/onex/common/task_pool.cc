@@ -62,6 +62,31 @@ void TaskPool::Submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
+bool TaskHandle::done() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void TaskHandle::Wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+TaskHandle TaskPool::SubmitWithHandle(std::function<void()> task) {
+  auto state = std::make_shared<TaskHandle::State>();
+  Submit([state, task = std::move(task)] {
+    task();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return TaskHandle(std::move(state));
+}
+
 bool TaskPool::TryRunOneTask(std::size_t self) {
   std::function<void()> task;
   // Own queue first, newest task (back): it is the one whose data is still

@@ -13,6 +13,37 @@
 
 namespace onex {
 
+/// Completion handle for a task submitted with TaskPool::SubmitWithHandle.
+/// Copyable (handles share one completion record); a default-constructed
+/// handle is empty and reports done. Wait() parks the caller — it does not
+/// help drain the pool — so waiting from inside a pool task on a saturated
+/// pool can stall; callers inside the pool should poll done() or structure
+/// the work as ParallelFor instead.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the task body has returned (always true for empty handles).
+  bool done() const;
+
+  /// Blocks until the task body has returned. No-op for empty handles.
+  void Wait() const;
+
+ private:
+  friend class TaskPool;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  explicit TaskHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
 /// Shared work-stealing thread pool (DESIGN.md §6): the one execution
 /// substrate behind base construction, the parallel query path and the
 /// engine's batch APIs. One process-wide pool (Shared()) sized to the
@@ -49,6 +80,11 @@ class TaskPool {
 
   /// Enqueues one fire-and-forget task.
   void Submit(std::function<void()> task);
+
+  /// Enqueues one task and returns a handle the caller can poll or wait on —
+  /// how the engine's dataset registry tracks asynchronous preparation jobs
+  /// (DESIGN.md §11).
+  TaskHandle SubmitWithHandle(std::function<void()> task);
 
   /// Runs body(i) for every i in [0, n), distributing iterations over up to
   /// `max_concurrency` threads (0 = pool width + caller). Blocks until all

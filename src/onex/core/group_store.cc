@@ -39,6 +39,14 @@ void GroupBuilder::RecomputeFromMembers(const Dataset& dataset,
   for (double& c : centroid_) c *= inv;
 }
 
+std::size_t GroupStore::MemoryUsage() const {
+  return sizeof(GroupStore) +
+         (centroids_.size() + env_lower_.size() + env_upper_.size()) *
+             sizeof(double) +
+         member_arena_.size() * sizeof(SubseqRef) +
+         member_offsets_.size() * sizeof(std::size_t);
+}
+
 GroupStore GroupStore::Pack(std::size_t length,
                             const std::vector<GroupBuilder>& groups) {
   GroupStore store;

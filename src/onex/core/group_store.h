@@ -120,6 +120,12 @@ class GroupStore {
     return std::span<const double>(centroids_);
   }
 
+  /// Payload bytes of this store: centroid + envelope matrices, member
+  /// arena and offset table. Deterministic for a given base (element counts,
+  /// not allocator capacities), so the engine's LRU cache can budget
+  /// prepared bases reproducibly (DESIGN.md §11).
+  std::size_t MemoryUsage() const;
+
  private:
   std::size_t length_ = 0;
   std::vector<double> centroids_;

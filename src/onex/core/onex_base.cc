@@ -277,6 +277,15 @@ Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
   return base;
 }
 
+std::size_t OnexBase::MemoryUsage() const {
+  std::size_t total = 0;
+  for (const LengthClass& cls : classes_) {
+    if (cls.store != nullptr) total += cls.store->MemoryUsage();
+    total += cls.groups.size() * sizeof(SimilarityGroup);
+  }
+  return total;
+}
+
 Result<const LengthClass*> OnexBase::FindLengthClass(std::size_t length) const {
   // classes_ is sorted by length: binary search replaces the old
   // std::map index, which duplicated information the vector already has.

@@ -127,6 +127,12 @@ class OnexBase {
   std::size_t TotalGroups() const { return stats_.num_groups; }
   std::size_t TotalMembers() const { return stats_.num_subsequences; }
 
+  /// Byte footprint of the grouping structures (sum of every length class's
+  /// GroupStore plus the view vectors). This is the cost the engine's
+  /// prepared-base LRU cache accounts against its budget (DESIGN.md §11);
+  /// the shared dataset is excluded — it stays resident after eviction.
+  std::size_t MemoryUsage() const;
+
  private:
   OnexBase() = default;
 

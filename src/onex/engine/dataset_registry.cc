@@ -1,0 +1,398 @@
+#include "onex/engine/dataset_registry.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace onex {
+namespace {
+
+/// The one preparation pipeline, shared by Prepare and the transparent
+/// rebuild after eviction. With `renormalize` (explicit Prepare) the
+/// normalization always re-runs from raw, re-baselining dataset-level
+/// extrema exactly as a fresh Prepare always has — the analyst's one knob
+/// for folding appended out-of-range values into the scale. Without it
+/// (the transparent rebuild) the snapshot's frozen normalization is
+/// preserved: the existing copy is reused, and newcomers appended while
+/// the slot sat evicted are normalized with the frozen parameters, so
+/// rebuilt answers match what a resident base would have returned. Runs
+/// with no lock held.
+Result<std::shared_ptr<const PreparedDataset>> BuildSnapshot(
+    const std::shared_ptr<const PreparedDataset>& current,
+    const BaseBuildOptions& options, NormalizationKind norm, bool renormalize,
+    TaskPool* pool) {
+  auto next = std::make_shared<PreparedDataset>();
+  next->name = current->name;
+  next->raw = current->raw;
+  next->norm_kind = norm;
+  if (!renormalize && current->normalized != nullptr &&
+      current->norm_kind == norm &&
+      current->normalized->size() == current->raw->size()) {
+    next->normalized = current->normalized;
+    next->norm_params = current->norm_params;
+  } else if (!renormalize && current->normalized != nullptr &&
+             current->norm_kind == norm &&
+             current->normalized->size() < current->raw->size()) {
+    // Series were appended while the base sat evicted. Honor the frozen-
+    // normalization contract: normalize only the newcomers with the
+    // existing parameters — exactly what a resident append would have done
+    // — instead of renormalizing (and silently rescaling) the whole
+    // dataset.
+    next->norm_params = current->norm_params;
+    Dataset normalized(current->normalized->name());
+    for (const TimeSeries& ts : current->normalized->series()) {
+      normalized.Add(ts);
+    }
+    for (std::size_t s = current->normalized->size();
+         s < current->raw->size(); ++s) {
+      normalized.Add(
+          NormalizeAppended((*current->raw)[s], norm, &next->norm_params));
+    }
+    next->normalized =
+        std::make_shared<const Dataset>(std::move(normalized));
+  } else {
+    ONEX_ASSIGN_OR_RETURN(Dataset normalized,
+                          Normalize(*next->raw, norm, &next->norm_params));
+    next->normalized =
+        std::make_shared<const Dataset>(std::move(normalized));
+  }
+  ONEX_ASSIGN_OR_RETURN(OnexBase base,
+                        OnexBase::Build(next->normalized, options, pool));
+  next->base = std::make_shared<const OnexBase>(std::move(base));
+  next->build_options = options;
+  return std::shared_ptr<const PreparedDataset>(std::move(next));
+}
+
+}  // namespace
+
+Status PrepareTicket::Wait() const {
+  if (result_ == nullptr) {
+    return Status::Internal("empty prepare ticket");
+  }
+  handle_.Wait();
+  return *result_;
+}
+
+DatasetRegistry::DatasetRegistry(TaskPool* pool,
+                                 const DatasetRegistryOptions& options)
+    : pool_(pool != nullptr ? pool : &TaskPool::Shared()),
+      budget_bytes_(options.prepared_budget_bytes) {}
+
+DatasetRegistry::~DatasetRegistry() {
+  std::vector<TaskHandle> jobs;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs.swap(jobs_);
+  }
+  for (const TaskHandle& job : jobs) job.Wait();
+}
+
+Result<std::shared_ptr<DatasetRegistry::Slot>> DatasetRegistry::FindSlot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not loaded");
+  }
+  return it->second;
+}
+
+void DatasetRegistry::TouchLocked(Slot* slot) const {
+  slot->last_used.store(clock_.fetch_add(1) + 1);
+}
+
+Status DatasetRegistry::Load(const std::string& name, Dataset dataset) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset '" + name + "' has no series");
+  }
+  auto snapshot = std::make_shared<PreparedDataset>();
+  snapshot->name = name;
+  dataset.set_name(name);
+  snapshot->raw = std::make_shared<const Dataset>(std::move(dataset));
+  return Adopt(name, std::move(snapshot));
+}
+
+Status DatasetRegistry::Adopt(const std::string& name,
+                              std::shared_ptr<const PreparedDataset> snapshot) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  if (snapshot == nullptr || snapshot->raw == nullptr) {
+    return Status::InvalidArgument("cannot adopt an empty snapshot");
+  }
+  auto slot = std::make_shared<Slot>();
+  slot->snapshot = std::move(snapshot);
+  if (slot->snapshot->prepared()) {
+    slot->has_recipe = true;
+    slot->recipe_options = slot->snapshot->build_options;
+    slot->recipe_norm = slot->snapshot->norm_kind;
+    slot->base_bytes.store(slot->snapshot->base->MemoryUsage());
+  }
+  TouchLocked(slot.get());
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    const auto [it, inserted] = slots_.emplace(name, slot);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("dataset '" + name + "' is already loaded");
+    }
+    total_bytes_ += slot->base_bytes.load();
+  }
+  EvictOverBudget(slot.get());
+  return Status::OK();
+}
+
+Result<bool> DatasetRegistry::Replace(
+    const std::string& name, std::shared_ptr<const PreparedDataset> snapshot,
+    const PreparedDataset* expected) {
+  if (snapshot == nullptr || snapshot->raw == nullptr) {
+    return Status::InvalidArgument("cannot install an empty snapshot");
+  }
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  return Install(slot, name, std::move(snapshot), expected);
+}
+
+Status DatasetRegistry::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  const auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not loaded");
+  }
+  total_bytes_ -= it->second->base_bytes.load();
+  it->second->base_bytes.store(0);
+  slots_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> DatasetRegistry::List() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) names.push_back(name);
+  return names;
+}
+
+std::vector<DatasetSlotInfo> DatasetRegistry::Describe() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Slot>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    entries.assign(slots_.begin(), slots_.end());
+  }
+  std::vector<DatasetSlotInfo> out;
+  out.reserve(entries.size());
+  for (const auto& [name, slot] : entries) {
+    DatasetSlotInfo info;
+    info.name = name;
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    if (slot->snapshot != nullptr && slot->snapshot->raw != nullptr) {
+      info.series = slot->snapshot->raw->size();
+    }
+    info.prepared = slot->snapshot != nullptr && slot->snapshot->prepared();
+    info.evicted = slot->has_recipe && !info.prepared;
+    info.prepared_bytes = slot->base_bytes.load();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const PreparedDataset>> DatasetRegistry::Get(
+    const std::string& name) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  std::shared_lock<std::shared_mutex> lock(slot->mutex);
+  return slot->snapshot;
+}
+
+Result<std::shared_ptr<const PreparedDataset>> DatasetRegistry::GetPrepared(
+    const std::string& name) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    if (slot->snapshot->prepared()) {
+      TouchLocked(slot.get());
+      return slot->snapshot;
+    }
+    if (!slot->has_recipe) {
+      return Status::FailedPrecondition(
+          "dataset '" + name + "' has not been prepared; call Prepare first");
+    }
+  }
+
+  // The base was evicted: replay the remembered recipe. One rebuilder runs;
+  // concurrent callers queue on the slot's reprepare mutex and pick up its
+  // result. Queries on every other slot proceed untouched.
+  std::lock_guard<std::mutex> rebuild(slot->reprepare_mutex);
+  while (true) {
+    std::shared_ptr<const PreparedDataset> current;
+    BaseBuildOptions options;
+    NormalizationKind norm;
+    {
+      std::shared_lock<std::shared_mutex> lock(slot->mutex);
+      if (slot->snapshot->prepared()) {  // a racing writer beat us to it
+        TouchLocked(slot.get());
+        return slot->snapshot;
+      }
+      current = slot->snapshot;
+      options = slot->recipe_options;
+      norm = slot->recipe_norm;
+    }
+
+    ONEX_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedDataset> next,
+        BuildSnapshot(current, options, norm, /*renormalize=*/false, pool_));
+    // Conditional install: a Replace (append) or explicit Prepare that
+    // landed while we built must not be clobbered by our rebuild of the
+    // older snapshot — on a lost race, re-read the slot and go again.
+    if (Install(slot, name, next, current.get())) return next;
+  }
+}
+
+Status DatasetRegistry::Prepare(const std::string& name,
+                                const BaseBuildOptions& options,
+                                NormalizationKind normalization) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  while (true) {
+    std::shared_ptr<const PreparedDataset> current;
+    {
+      std::shared_lock<std::shared_mutex> lock(slot->mutex);
+      current = slot->snapshot;
+    }
+
+    // The expensive part — normalization and grouping — runs with no lock
+    // held, so every query (including queries on this dataset, served from
+    // the old snapshot) proceeds while the new base builds. The install is
+    // conditional: an AppendSeries that landed while we built carries data
+    // this build has not seen, so on a lost race we rebuild from the newer
+    // snapshot instead of clobbering it.
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> next,
+                          BuildSnapshot(current, options, normalization,
+                                        /*renormalize=*/true, pool_));
+    if (Install(slot, name, std::move(next), current.get())) {
+      return Status::OK();
+    }
+  }
+}
+
+PrepareTicket DatasetRegistry::PrepareAsync(const std::string& name,
+                                            const BaseBuildOptions& options,
+                                            NormalizationKind normalization) {
+  PrepareTicket ticket;
+  ticket.result_ =
+      std::make_shared<Status>(Status::Internal("prepare job never ran"));
+  auto result = ticket.result_;
+  ticket.handle_ = pool_->SubmitWithHandle(
+      [this, name, options, normalization, result] {
+        *result = Prepare(name, options, normalization);
+      });
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    // Retire finished handles so long-lived registries don't accumulate.
+    std::erase_if(jobs_, [](const TaskHandle& h) { return h.done(); });
+    jobs_.push_back(ticket.handle_);
+  }
+  return ticket;
+}
+
+bool DatasetRegistry::Install(const std::shared_ptr<Slot>& slot,
+                              const std::string& name,
+                              std::shared_ptr<const PreparedDataset> snapshot,
+                              const PreparedDataset* expected) {
+  const std::size_t new_bytes =
+      snapshot->prepared() ? snapshot->base->MemoryUsage() : 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(slot->mutex);
+    if (expected != nullptr && slot->snapshot.get() != expected) {
+      return false;  // lost the race; the caller re-evaluates
+    }
+    slot->snapshot = std::move(snapshot);
+    if (slot->snapshot->prepared()) {
+      slot->has_recipe = true;
+      slot->recipe_options = slot->snapshot->build_options;
+      slot->recipe_norm = slot->snapshot->norm_kind;
+    }
+    TouchLocked(slot.get());
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    const auto it = slots_.find(name);
+    if (it != slots_.end() && it->second == slot) {
+      total_bytes_ += new_bytes;
+      total_bytes_ -= slot->base_bytes.load();
+      slot->base_bytes.store(new_bytes);
+    }
+    // else: the slot was dropped while the snapshot built; leave the
+    // orphan unaccounted — it dies with the last reference.
+  }
+  EvictOverBudget(slot.get());
+  return true;
+}
+
+void DatasetRegistry::EvictOverBudget(const Slot* keep) {
+  while (true) {
+    std::string victim_name;
+    std::shared_ptr<Slot> victim;
+    std::uint64_t victim_stamp = 0;
+    {
+      std::lock_guard<std::mutex> lock(map_mutex_);
+      if (budget_bytes_ == 0 || total_bytes_ <= budget_bytes_) return;
+      std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& [name, slot] : slots_) {
+        if (slot.get() == keep || slot->base_bytes.load() == 0) continue;
+        const std::uint64_t used = slot->last_used.load();
+        if (used < oldest) {
+          oldest = used;
+          victim_name = name;
+          victim = slot;
+        }
+      }
+      if (victim == nullptr) return;  // only `keep` is resident
+      victim_stamp = oldest;
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(victim->mutex);
+      if (victim->last_used.load() != victim_stamp) {
+        // Touched or reinstalled between selection and locking: it is no
+        // longer the LRU slot, so re-run the selection rather than evict a
+        // base someone just paid for.
+        continue;
+      }
+      if (victim->snapshot != nullptr && victim->snapshot->prepared()) {
+        auto stripped = std::make_shared<PreparedDataset>(*victim->snapshot);
+        stripped->base = nullptr;
+        victim->snapshot = std::move(stripped);
+      }
+      std::lock_guard<std::mutex> map_lock(map_mutex_);
+      const auto it = slots_.find(victim_name);
+      if (it != slots_.end() && it->second == victim) {
+        total_bytes_ -= victim->base_bytes.load();
+      }
+      victim->base_bytes.store(0);
+    }
+  }
+}
+
+void DatasetRegistry::SetPreparedBudget(std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    budget_bytes_ = bytes;
+  }
+  EvictOverBudget(nullptr);
+}
+
+std::size_t DatasetRegistry::prepared_budget() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return budget_bytes_;
+}
+
+std::size_t DatasetRegistry::prepared_bytes() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return total_bytes_;
+}
+
+}  // namespace onex

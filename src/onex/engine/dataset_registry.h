@@ -1,0 +1,212 @@
+#ifndef ONEX_ENGINE_DATASET_REGISTRY_H_
+#define ONEX_ENGINE_DATASET_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/common/task_pool.h"
+#include "onex/core/onex_base.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+
+/// A dataset registered with the engine: raw values, their normalized copy,
+/// and (after Prepare) the ONEX base. Immutable once built, so concurrent
+/// readers share it without locking.
+struct PreparedDataset {
+  std::string name;
+  std::shared_ptr<const Dataset> raw;
+  std::shared_ptr<const Dataset> normalized;
+  NormalizationParams norm_params;
+  NormalizationKind norm_kind = NormalizationKind::kMinMaxDataset;
+  /// Null until Prepare() has run (or after the LRU cache evicted the base).
+  std::shared_ptr<const OnexBase> base;
+  BaseBuildOptions build_options;
+
+  bool prepared() const { return base != nullptr; }
+};
+
+/// Completion ticket for an asynchronous preparation job scheduled on the
+/// shared TaskPool. Copyable; a default-constructed ticket is empty and
+/// reports done with an Internal status.
+class PrepareTicket {
+ public:
+  PrepareTicket() = default;
+
+  bool valid() const { return result_ != nullptr; }
+  bool done() const { return handle_.done(); }
+
+  /// Blocks until the job retires and returns its outcome.
+  Status Wait() const;
+
+ private:
+  friend class DatasetRegistry;
+  TaskHandle handle_;
+  std::shared_ptr<Status> result_;
+};
+
+struct DatasetRegistryOptions {
+  /// Byte budget for resident prepared bases, measured as the sum of
+  /// OnexBase::MemoryUsage() (GroupStore footprints). 0 = unlimited. When a
+  /// newly prepared base pushes the total over budget, the least recently
+  /// used other bases are evicted; a single base larger than the whole
+  /// budget stays resident while it is the most recent.
+  std::size_t prepared_budget_bytes = 0;
+};
+
+/// One row of DatasetRegistry::Describe().
+struct DatasetSlotInfo {
+  std::string name;
+  std::size_t series = 0;
+  bool prepared = false;
+  /// The base was dropped by the LRU policy; the next query re-prepares it
+  /// transparently from the remembered build recipe.
+  bool evicted = false;
+  std::size_t prepared_bytes = 0;
+};
+
+/// The engine's sharded dataset store (DESIGN.md §11): named slots, each
+/// owning an immutable PreparedDataset snapshot, with
+///
+///   - per-slot shared/exclusive locking, so queries on dataset A proceed
+///     while dataset B is being prepared, replaced or evicted;
+///   - an LRU cache over prepared bases bounded by a configurable byte
+///     budget (cost = GroupStore footprint via OnexBase::MemoryUsage());
+///     evicted bases re-prepare transparently on the next query;
+///   - preparation jobs schedulable on the shared TaskPool (PrepareAsync),
+///     so a server session can stage the next dashboard's dataset while the
+///     current one keeps answering.
+///
+/// Lock order: a slot lock may be taken while no registry lock is held, and
+/// the registry map lock may be taken while holding one slot lock — never
+/// the reverse, and never two slot locks at once.
+class DatasetRegistry {
+ public:
+  /// `pool` runs async preparation jobs (nullptr = TaskPool::Shared()). The
+  /// pool must outlive the registry.
+  explicit DatasetRegistry(TaskPool* pool = nullptr,
+                           const DatasetRegistryOptions& options = {});
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Destruction waits for in-flight async preparation jobs so their slots
+  /// cannot outlive the registry's accounting.
+  ~DatasetRegistry();
+
+  /// Creates a slot holding `dataset` (unprepared). AlreadyExists on name
+  /// collision; InvalidArgument on empty name or dataset.
+  Status Load(const std::string& name, Dataset dataset);
+
+  /// Creates a slot from an externally assembled snapshot (the engine's
+  /// LoadPrepared path). AlreadyExists on name collision.
+  Status Adopt(const std::string& name,
+               std::shared_ptr<const PreparedDataset> snapshot);
+
+  /// Atomically replaces `name`'s snapshot (the engine's append path).
+  /// Readers holding the old snapshot keep it; accounting and the LRU
+  /// policy see the new one. With `expected` non-null the swap is
+  /// conditional on the slot still holding `expected`; returns whether the
+  /// swap happened (always true when unconditional), so callers can
+  /// rebuild-and-retry instead of clobbering a concurrent writer.
+  Result<bool> Replace(const std::string& name,
+                       std::shared_ptr<const PreparedDataset> snapshot,
+                       const PreparedDataset* expected = nullptr);
+
+  Status Drop(const std::string& name);
+  std::vector<std::string> List() const;
+  std::vector<DatasetSlotInfo> Describe() const;
+
+  /// Immutable snapshot of a slot, prepared or not.
+  Result<std::shared_ptr<const PreparedDataset>> Get(
+      const std::string& name) const;
+
+  /// Prepared snapshot for query execution. Touches the slot's LRU stamp;
+  /// if the base was evicted, rebuilds it from the remembered recipe before
+  /// returning (concurrent callers rebuild once). FailedPrecondition when
+  /// the slot was never prepared.
+  Result<std::shared_ptr<const PreparedDataset>> GetPrepared(
+      const std::string& name);
+
+  /// Normalizes and groups `name`'s raw data, swapping the new snapshot in
+  /// atomically. The expensive build runs outside every lock, so concurrent
+  /// queries — including queries on this dataset, against the old snapshot —
+  /// are never blocked.
+  Status Prepare(const std::string& name, const BaseBuildOptions& options,
+                 NormalizationKind normalization);
+
+  /// Prepare scheduled as a job on the task pool; returns immediately.
+  PrepareTicket PrepareAsync(const std::string& name,
+                             const BaseBuildOptions& options,
+                             NormalizationKind normalization);
+
+  /// Current byte budget for resident prepared bases (0 = unlimited).
+  /// Shrinking the budget evicts immediately.
+  void SetPreparedBudget(std::size_t bytes);
+  std::size_t prepared_budget() const;
+
+  /// Bytes of currently resident prepared bases.
+  std::size_t prepared_bytes() const;
+
+ private:
+  struct Slot {
+    /// Shared by queries reading the snapshot pointer, exclusive for swaps
+    /// and evictions. Held only for pointer reads/writes, never across a
+    /// build or a query.
+    mutable std::shared_mutex mutex;
+    /// Serializes transparent re-preparation so one rebuilder runs while
+    /// late arrivals wait for its result.
+    std::mutex reprepare_mutex;
+    std::shared_ptr<const PreparedDataset> snapshot;
+    /// Set once the slot has been prepared: the recipe GetPrepared replays
+    /// after an eviction.
+    bool has_recipe = false;
+    BaseBuildOptions recipe_options;
+    NormalizationKind recipe_norm = NormalizationKind::kMinMaxDataset;
+    /// LRU stamp (registry clock value at last prepared use).
+    std::atomic<std::uint64_t> last_used{0};
+    /// Accounted base bytes while resident; mutated under map_mutex_.
+    std::atomic<std::size_t> base_bytes{0};
+  };
+
+  Result<std::shared_ptr<Slot>> FindSlot(const std::string& name) const;
+  void TouchLocked(Slot* slot) const;
+
+  /// Swaps `snapshot` into `slot` (exclusive lock), updates the byte
+  /// accounting — skipping it if the slot was dropped from the map while an
+  /// async job built the snapshot — and evicts LRU victims over budget.
+  /// With `expected` non-null the swap is conditional: it only happens if
+  /// the slot still holds `expected` (returns false otherwise), which is
+  /// how the transparent rebuild avoids clobbering a Replace or Prepare
+  /// that landed while it was building.
+  bool Install(const std::shared_ptr<Slot>& slot, const std::string& name,
+               std::shared_ptr<const PreparedDataset> snapshot,
+               const PreparedDataset* expected = nullptr);
+
+  /// Evicts least-recently-used prepared bases until the total fits the
+  /// budget. `keep` (may be null) is never evicted — it is the slot whose
+  /// base was just installed for immediate use.
+  void EvictOverBudget(const Slot* keep);
+
+  TaskPool* pool_;
+  mutable std::mutex map_mutex_;  ///< Guards slots_, budget_, total_bytes_.
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  std::size_t budget_bytes_ = 0;
+  std::size_t total_bytes_ = 0;
+  mutable std::atomic<std::uint64_t> clock_{0};
+
+  std::mutex jobs_mutex_;  ///< Guards jobs_.
+  std::vector<TaskHandle> jobs_;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_ENGINE_DATASET_REGISTRY_H_

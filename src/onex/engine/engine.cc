@@ -4,13 +4,11 @@
 #include <cstddef>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "onex/common/math_utils.h"
 #include "onex/common/string_utils.h"
 #include "onex/core/base_io.h"
 #include "onex/core/incremental.h"
@@ -21,24 +19,7 @@
 namespace onex {
 
 Status Engine::LoadDataset(const std::string& name, Dataset dataset) {
-  if (name.empty()) {
-    return Status::InvalidArgument("dataset name must be non-empty");
-  }
-  if (dataset.empty()) {
-    return Status::InvalidArgument("dataset '" + name + "' has no series");
-  }
-  auto prepared = std::make_shared<PreparedDataset>();
-  prepared->name = name;
-  dataset.set_name(name);
-  prepared->raw = std::make_shared<const Dataset>(std::move(dataset));
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = datasets_.emplace(name, std::move(prepared));
-  (void)it;
-  if (!inserted) {
-    return Status::AlreadyExists("dataset '" + name + "' is already loaded");
-  }
-  return Status::OK();
+  return registry_.Load(name, std::move(dataset));
 }
 
 Status Engine::LoadUcrFile(const std::string& name, const std::string& path) {
@@ -47,129 +28,72 @@ Status Engine::LoadUcrFile(const std::string& name, const std::string& path) {
 }
 
 Status Engine::DropDataset(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (datasets_.erase(name) == 0) {
-    return Status::NotFound("dataset '" + name + "' is not loaded");
-  }
-  return Status::OK();
+  return registry_.Drop(name);
 }
 
 std::vector<std::string> Engine::ListDatasets() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<std::string> names;
-  names.reserve(datasets_.size());
-  for (const auto& [name, ds] : datasets_) names.push_back(name);
-  return names;
+  return registry_.List();
 }
 
 Result<std::shared_ptr<const PreparedDataset>> Engine::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = datasets_.find(name);
-  if (it == datasets_.end()) {
-    return Status::NotFound("dataset '" + name + "' is not loaded");
-  }
-  return it->second;
+  return registry_.Get(name);
 }
 
 Result<std::shared_ptr<const PreparedDataset>> Engine::GetPrepared(
     const std::string& name) const {
-  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds, Get(name));
-  if (!ds->prepared()) {
-    return Status::FailedPrecondition(
-        "dataset '" + name + "' has not been prepared; call Prepare first");
-  }
-  return ds;
+  return registry_.GetPrepared(name);
 }
 
 Status Engine::Prepare(const std::string& name,
                        const BaseBuildOptions& options,
                        NormalizationKind normalization) {
-  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
-                        Get(name));
+  return registry_.Prepare(name, options, normalization);
+}
 
-  auto next = std::make_shared<PreparedDataset>();
-  next->name = current->name;
-  next->raw = current->raw;
-  next->norm_kind = normalization;
-  ONEX_ASSIGN_OR_RETURN(
-      Dataset normalized, Normalize(*next->raw, normalization,
-                                    &next->norm_params));
-  next->normalized = std::make_shared<const Dataset>(std::move(normalized));
-  ONEX_ASSIGN_OR_RETURN(OnexBase base,
-                        OnexBase::Build(next->normalized, options, &pool_));
-  next->base = std::make_shared<const OnexBase>(std::move(base));
-  next->build_options = options;
-
-  std::lock_guard<std::mutex> lock(mutex_);
-  datasets_[name] = std::move(next);  // atomic swap; readers keep old snapshot
-  return Status::OK();
+PrepareTicket Engine::PrepareAsync(const std::string& name,
+                                   const BaseBuildOptions& options,
+                                   NormalizationKind normalization) {
+  return registry_.PrepareAsync(name, options, normalization);
 }
 
 Status Engine::AppendSeries(const std::string& name, TimeSeries series) {
   if (series.length() < 2) {
     return Status::InvalidArgument("appended series needs >= 2 points");
   }
-  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
-                        Get(name));
+  // Conditional-install loop: if another append or prepare swaps the slot
+  // while this one builds, rebuild from the newer snapshot instead of
+  // clobbering it (no acknowledged write may be lost). `series` is only
+  // read, never consumed, so retries reuse it.
+  while (true) {
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
+                          Get(name));
 
-  auto next = std::make_shared<PreparedDataset>(*current);
-  // Extended raw dataset.
-  Dataset raw(current->raw->name());
-  for (const TimeSeries& ts : current->raw->series()) raw.Add(ts);
-  raw.Add(series);
-  next->raw = std::make_shared<const Dataset>(std::move(raw));
+    auto next = std::make_shared<PreparedDataset>(*current);
+    // Extended raw dataset.
+    Dataset raw(current->raw->name());
+    for (const TimeSeries& ts : current->raw->series()) raw.Add(ts);
+    raw.Add(series);
+    next->raw = std::make_shared<const Dataset>(std::move(raw));
 
-  if (current->prepared()) {
-    // Normalize the newcomer with the frozen parameters, then insert it into
-    // the base without re-grouping the rest.
-    std::vector<double> normalized;
-    normalized.reserve(series.length());
-    switch (current->norm_kind) {
-      case NormalizationKind::kNone:
-        normalized = series.values();
-        break;
-      case NormalizationKind::kMinMaxDataset: {
-        const double lo = current->norm_params.min;
-        const double span = current->norm_params.max - current->norm_params.min;
-        for (double v : series.values()) {
-          normalized.push_back(span > 0.0 ? (v - lo) / span : 0.0);
-        }
-        break;
-      }
-      case NormalizationKind::kMinMaxSeries: {
-        const double lo = Min(series.AsSpan());
-        const double span = Max(series.AsSpan()) - lo;
-        for (double v : series.values()) {
-          normalized.push_back(span > 0.0 ? (v - lo) / span : 0.0);
-        }
-        next->norm_params.per_series.emplace_back(lo,
-                                                  span > 0.0 ? span : 1.0);
-        break;
-      }
-      case NormalizationKind::kZScoreSeries: {
-        const double mu = Mean(series.AsSpan());
-        const double sigma = StdDev(series.AsSpan());
-        for (double v : series.values()) {
-          normalized.push_back(sigma > 0.0 ? (v - mu) / sigma : 0.0);
-        }
-        next->norm_params.per_series.emplace_back(mu,
-                                                  sigma > 0.0 ? sigma : 1.0);
-        break;
-      }
+    if (current->prepared()) {
+      // Normalize the newcomer with the frozen parameters, then insert it
+      // into the base without re-grouping the rest.
+      TimeSeries norm_series =
+          NormalizeAppended(series, current->norm_kind, &next->norm_params);
+      ONEX_ASSIGN_OR_RETURN(OnexBase extended,
+                            onex::AppendSeries(*next->base,
+                                               std::move(norm_series)));
+      next->base = std::make_shared<const OnexBase>(std::move(extended));
+      next->normalized = next->base->shared_dataset();
     }
-    TimeSeries norm_series(series.name(), std::move(normalized),
-                           series.label());
-    ONEX_ASSIGN_OR_RETURN(OnexBase extended,
-                          onex::AppendSeries(*next->base,
-                                             std::move(norm_series)));
-    next->base = std::make_shared<const OnexBase>(std::move(extended));
-    next->normalized = next->base->shared_dataset();
-  }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  datasets_[name] = std::move(next);
-  return Status::OK();
+    ONEX_ASSIGN_OR_RETURN(
+        bool installed,
+        registry_.Replace(name, std::move(next), current.get()));
+    if (installed) return Status::OK();
+    // Lost the race; go again from the newer snapshot.
+  }
 }
 
 namespace {
@@ -259,13 +183,7 @@ Status Engine::LoadPrepared(const std::string& name, const std::string& path) {
   }
   next->raw = std::make_shared<const Dataset>(std::move(raw));
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] = datasets_.emplace(name, std::move(next));
-  (void)it;
-  if (!inserted) {
-    return Status::AlreadyExists("dataset '" + name + "' is already loaded");
-  }
-  return Status::OK();
+  return registry_.Adopt(name, std::move(next));
 }
 
 Result<std::vector<double>> Engine::ResolveQuery(const PreparedDataset& target,

@@ -2,9 +2,7 @@
 #define ONEX_ENGINE_ENGINE_H_
 
 #include <cstddef>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,27 +13,12 @@
 #include "onex/core/query_processor.h"
 #include "onex/core/seasonal.h"
 #include "onex/core/threshold_advisor.h"
+#include "onex/engine/dataset_registry.h"
 #include "onex/engine/query_spec.h"
 #include "onex/ts/normalization.h"
 #include "onex/viz/chart_data.h"
 
 namespace onex {
-
-/// A dataset registered with the engine: raw values, their normalized copy,
-/// and (after Prepare) the ONEX base. Immutable once built, so concurrent
-/// readers share it without locking.
-struct PreparedDataset {
-  std::string name;
-  std::shared_ptr<const Dataset> raw;
-  std::shared_ptr<const Dataset> normalized;
-  NormalizationParams norm_params;
-  NormalizationKind norm_kind = NormalizationKind::kMinMaxDataset;
-  /// Null until Prepare() has run.
-  std::shared_ptr<const OnexBase> base;
-  BaseBuildOptions build_options;
-
-  bool prepared() const { return base != nullptr; }
-};
 
 /// A similarity-search answer enriched with display context.
 struct MatchResult {
@@ -48,14 +31,25 @@ struct MatchResult {
   double elapsed_ms = 0.0;
 };
 
-/// The ONEX server-side session (Fig 1's middle tier): dataset registry,
-/// preprocessing into the ONEX base, and every exploratory operation the
-/// visual front-end invokes. Thread-safe: the registry is mutex-guarded and
-/// all query state is immutable shared data, matching the demo's
-/// client-server deployment where many browser sessions hit one engine.
+/// The ONEX server-side session (Fig 1's middle tier): a thin façade over
+/// the multi-dataset DatasetRegistry (DESIGN.md §11) plus every exploratory
+/// operation the visual front-end invokes. Thread-safe: slots are
+/// individually locked and all query state is immutable shared data,
+/// matching the demo's client-server deployment where many browser sessions
+/// hit one engine serving a whole dashboard of datasets.
 class Engine {
  public:
-  Engine() = default;
+  Engine() : registry_(&pool_) {}
+
+  /// `registry_options` configures the prepared-base LRU cache (byte
+  /// budget; see DatasetRegistryOptions).
+  explicit Engine(const DatasetRegistryOptions& registry_options)
+      : registry_(&pool_, registry_options) {}
+
+  /// The dataset registry behind this engine: slot inspection
+  /// (Describe), LRU budget control and async preparation tickets.
+  DatasetRegistry& registry() { return registry_; }
+  const DatasetRegistry& registry() const { return registry_; }
 
   /// Registers a dataset ("Data Loading into ONEX": one click). Fails with
   /// AlreadyExists on name collision.
@@ -77,6 +71,14 @@ class Engine {
   Status Prepare(const std::string& name, const BaseBuildOptions& options,
                  NormalizationKind normalization =
                      NormalizationKind::kMinMaxDataset);
+
+  /// Prepare scheduled on the engine's task pool; the returned ticket
+  /// reports completion and status. Queries against the old base (and every
+  /// other dataset) keep running while the job builds.
+  PrepareTicket PrepareAsync(const std::string& name,
+                             const BaseBuildOptions& options,
+                             NormalizationKind normalization =
+                                 NormalizationKind::kMinMaxDataset);
 
   /// Appends one series (original units) to a loaded dataset. If the dataset
   /// is prepared, the series is normalized with the dataset's frozen
@@ -179,12 +181,14 @@ class Engine {
                                           std::size_t k,
                                           const QueryOptions& options) const;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const PreparedDataset>> datasets_;
-  /// Batch fan-out and parallel queries run here. Lazy: threads spawn on
-  /// first parallel call, so engines that never ask for parallelism cost
-  /// nothing extra.
+  /// Batch fan-out, parallel queries and async preparation jobs run here.
+  /// Lazy: threads spawn on first parallel call, so engines that never ask
+  /// for parallelism cost nothing extra. Declared before registry_, whose
+  /// destructor drains in-flight preparation jobs off this pool.
   mutable TaskPool pool_;
+  /// Mutable because read paths touch LRU stamps and may transparently
+  /// re-prepare an evicted base (DESIGN.md §11).
+  mutable DatasetRegistry registry_;
 };
 
 }  // namespace onex

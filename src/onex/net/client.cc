@@ -12,7 +12,12 @@ Result<OnexClient> OnexClient::Connect(const std::string& host,
   ONEX_ASSIGN_OR_RETURN(Socket sock, ConnectTcp(host, port));
   OnexClient client;
   client.socket_ = std::make_unique<Socket>(std::move(sock));
-  client.reader_ = std::make_unique<LineReader>(client.socket_.get());
+  // The client reads responses from the server the caller chose to trust,
+  // and legal responses (large KNN/CATALOG payloads) can exceed the
+  // server-side request cap by orders of magnitude — so the response limit
+  // is far looser than LineReader's default.
+  client.reader_ = std::make_unique<LineReader>(client.socket_.get(),
+                                                /*max_line_bytes=*/1u << 30);
   return client;
 }
 

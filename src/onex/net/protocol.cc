@@ -46,6 +46,39 @@ Status NeedArgs(const Command& cmd, std::size_t n) {
   return Status::OK();
 }
 
+/// Allocation caps (see the header's protocol table): a single text frame
+/// must not be able to command an unbounded allocation.
+constexpr long long kMaxGenPoints = 2'000'000;
+constexpr long long kMaxCatalogPoints = 100'000;
+constexpr long long kMaxKnnK = 100'000;
+constexpr long long kMaxThresholdPairs = 1'000'000;
+constexpr std::size_t kMaxBatchSpecs = 1024;
+
+/// Resolves the dataset a command targets: positional name, then
+/// `dataset=<name>`, then the session's USE default.
+Result<std::string> DatasetArg(const Command& cmd, const Session& session) {
+  if (!cmd.args.empty()) return cmd.args[0];
+  const auto it = cmd.options.find("dataset");
+  if (it != cmd.options.end()) return it->second;
+  if (!session.dataset.empty()) return session.dataset;
+  return Status::InvalidArgument(
+      cmd.verb +
+      " needs a dataset: positional name, dataset=<name>, or USE <name>");
+}
+
+/// Name argument for verbs that must not fall back to the session default
+/// (DROP, USE): positional or name=/dataset= only.
+Result<std::string> ExplicitNameArg(const Command& cmd) {
+  if (!cmd.args.empty()) return cmd.args[0];
+  for (const char* key : {"name", "dataset"}) {
+    const auto it = cmd.options.find(key);
+    if (it != cmd.options.end()) return it->second;
+  }
+  return Status::InvalidArgument(cmd.verb +
+                                 " needs a dataset name (positional or "
+                                 "name=<name>)");
+}
+
 json::Value Ok() {
   json::Value v = json::Value::MakeObject();
   v.Set("ok", true);
@@ -104,6 +137,12 @@ Result<json::Value> DoGen(Engine* engine, const Command& cmd) {
   if (num <= 0 || len < 2) {
     return Status::InvalidArgument("num must be > 0 and len >= 2");
   }
+  if (num > kMaxGenPoints || len > kMaxGenPoints ||
+      num * len > kMaxGenPoints) {
+    return Status::InvalidArgument(StrFormat(
+        "GEN would synthesize %lld x %lld points; the cap is %lld", num, len,
+        kMaxGenPoints));
+  }
 
   Dataset ds;
   if (kind == "walk") {
@@ -144,8 +183,9 @@ Result<json::Value> DoGen(Engine* engine, const Command& cmd) {
   return v;
 }
 
-Result<json::Value> DoPrepare(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoPrepare(Engine* engine, const Session& session,
+                              const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   BaseBuildOptions opt;
   ONEX_ASSIGN_OR_RETURN(opt.st, OptDouble(cmd, "st", opt.st));
   ONEX_ASSIGN_OR_RETURN(long long minlen, OptInt(cmd, "minlen", 4));
@@ -176,24 +216,32 @@ Result<json::Value> DoPrepare(Engine* engine, const Command& cmd) {
   ONEX_ASSIGN_OR_RETURN(
       NormalizationKind norm,
       NormalizationKindFromString(OptString(cmd, "norm", "minmax-dataset")));
-  ONEX_RETURN_IF_ERROR(engine->Prepare(cmd.args[0], opt, norm));
+  ONEX_RETURN_IF_ERROR(engine->Prepare(name, opt, norm));
 
   ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
-                        engine->Get(cmd.args[0]));
+                        engine->Get(name));
   json::Value v = Ok();
-  v.Set("dataset", cmd.args[0]);
-  v.Set("groups", ds->base->stats().num_groups);
-  v.Set("subsequences", ds->base->stats().num_subsequences);
-  v.Set("length_classes", ds->base->stats().num_length_classes);
-  v.Set("compaction", ds->base->stats().CompactionRatio());
-  v.Set("build_seconds", ds->base->stats().build_seconds);
+  v.Set("dataset", name);
+  if (ds->prepared()) {
+    v.Set("groups", ds->base->stats().num_groups);
+    v.Set("subsequences", ds->base->stats().num_subsequences);
+    v.Set("length_classes", ds->base->stats().num_length_classes);
+    v.Set("compaction", ds->base->stats().CompactionRatio());
+    v.Set("build_seconds", ds->base->stats().build_seconds);
+  } else {
+    // The prepare itself succeeded, but a concurrent session's install
+    // already pushed this base out of the LRU budget before we could
+    // report on it; it will transparently re-prepare on the next query.
+    v.Set("evicted", true);
+  }
   return v;
 }
 
-Result<json::Value> DoStats(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoStats(Engine* engine, const Session& session,
+                            const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
-                        engine->Get(cmd.args[0]));
+                        engine->Get(name));
   json::Value v = Ok();
   v.Set("dataset", ds->name);
   v.Set("series", ds->raw->size());
@@ -227,8 +275,9 @@ Result<QueryOptions> ParseQueryOptions(const Command& cmd) {
   return qopt;
 }
 
-Result<json::Value> DoMatch(Engine* engine, const Command& cmd, bool knn) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoMatch(Engine* engine, const Session& session,
+                            const Command& cmd, bool knn) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto qit = cmd.options.find("q");
   if (qit == cmd.options.end()) {
     return Status::InvalidArgument("missing q=<series>:<start>:<len>");
@@ -239,23 +288,27 @@ Result<json::Value> DoMatch(Engine* engine, const Command& cmd, bool knn) {
   json::Value v = Ok();
   if (knn) {
     ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 3));
-    if (k < 1) return Status::InvalidArgument("k must be >= 1");
+    if (k < 1 || k > kMaxKnnK) {
+      return Status::InvalidArgument(
+          StrFormat("k must be in [1, %lld]", kMaxKnnK));
+    }
     ONEX_ASSIGN_OR_RETURN(
         std::vector<MatchResult> results,
-        engine->Knn(cmd.args[0], spec, static_cast<std::size_t>(k), qopt));
+        engine->Knn(name, spec, static_cast<std::size_t>(k), qopt));
     json::Value arr = json::Value::MakeArray();
     for (const MatchResult& r : results) arr.Append(MatchToJson(r));
     v.Set("matches", std::move(arr));
   } else {
     ONEX_ASSIGN_OR_RETURN(MatchResult r,
-                          engine->SimilaritySearch(cmd.args[0], spec, qopt));
+                          engine->SimilaritySearch(name, spec, qopt));
     v.Set("match", MatchToJson(r));
   }
   return v;
 }
 
-Result<json::Value> DoBatch(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoBatch(Engine* engine, const Session& session,
+                            const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto qit = cmd.options.find("q");
   if (qit == cmd.options.end()) {
     return Status::InvalidArgument(
@@ -263,17 +316,29 @@ Result<json::Value> DoBatch(Engine* engine, const Command& cmd) {
   }
   std::vector<QuerySpec> specs;
   for (const std::string& ref : SplitKeepEmpty(qit->second, ';')) {
+    if (specs.size() >= kMaxBatchSpecs) {
+      return Status::InvalidArgument(StrFormat(
+          "BATCH accepts at most %zu queries per frame", kMaxBatchSpecs));
+    }
     ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(ref));
     specs.push_back(std::move(spec));
   }
   ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
   ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 1));
-  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (k < 1 || k > kMaxKnnK) {
+    return Status::InvalidArgument(
+        StrFormat("k must be in [1, %lld]", kMaxKnnK));
+  }
+  // The response carries specs x k matches; bound the product so one frame
+  // cannot command an unbounded result materialization.
+  if (static_cast<long long>(specs.size()) * k > kMaxKnnK) {
+    return Status::InvalidArgument(StrFormat(
+        "BATCH result volume (queries x k) is capped at %lld", kMaxKnnK));
+  }
 
   ONEX_ASSIGN_OR_RETURN(
       std::vector<std::vector<MatchResult>> per_query,
-      engine->KnnBatch(cmd.args[0], specs, static_cast<std::size_t>(k),
-                       qopt));
+      engine->KnnBatch(name, specs, static_cast<std::size_t>(k), qopt));
   json::Value v = Ok();
   json::Value results = json::Value::MakeArray();
   for (const std::vector<MatchResult>& matches : per_query) {
@@ -287,8 +352,9 @@ Result<json::Value> DoBatch(Engine* engine, const Command& cmd) {
   return v;
 }
 
-Result<json::Value> DoSeasonal(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoSeasonal(Engine* engine, const Session& session,
+                               const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   ONEX_ASSIGN_OR_RETURN(long long series, OptInt(cmd, "series", 0));
   ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
   ONEX_ASSIGN_OR_RETURN(long long minocc, OptInt(cmd, "minocc", 2));
@@ -302,7 +368,7 @@ Result<json::Value> DoSeasonal(Engine* engine, const Command& cmd) {
   opt.top_k = static_cast<std::size_t>(top);
   ONEX_ASSIGN_OR_RETURN(
       std::vector<SeasonalPattern> patterns,
-      engine->Seasonal(cmd.args[0], static_cast<std::size_t>(series), opt));
+      engine->Seasonal(name, static_cast<std::size_t>(series), opt));
   json::Value v = Ok();
   json::Value arr = json::Value::MakeArray();
   for (const SeasonalPattern& p : patterns) {
@@ -320,8 +386,9 @@ Result<json::Value> DoSeasonal(Engine* engine, const Command& cmd) {
   return v;
 }
 
-Result<json::Value> DoOverview(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoOverview(Engine* engine, const Session& session,
+                               const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
   ONEX_ASSIGN_OR_RETURN(long long top, OptInt(cmd, "top", 12));
   if (length < 0 || top < 0) {
@@ -331,26 +398,27 @@ Result<json::Value> DoOverview(Engine* engine, const Command& cmd) {
   opt.length = static_cast<std::size_t>(length);
   opt.top_n = static_cast<std::size_t>(top);
   ONEX_ASSIGN_OR_RETURN(std::vector<OverviewEntry> entries,
-                        engine->Overview(cmd.args[0], opt));
+                        engine->Overview(name, opt));
   json::Value v = Ok();
   v.Set("overview", viz::BuildOverviewPane(entries).ToJson());
   return v;
 }
 
-Result<json::Value> DoThreshold(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoThreshold(Engine* engine, const Session& session,
+                                const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   ThresholdAdvisorOptions opt;
   ONEX_ASSIGN_OR_RETURN(long long pairs, OptInt(cmd, "pairs", 2000));
   ONEX_ASSIGN_OR_RETURN(long long minlen, OptInt(cmd, "minlen", 4));
   ONEX_ASSIGN_OR_RETURN(long long maxlen, OptInt(cmd, "maxlen", 0));
-  if (pairs < 1 || minlen < 2 || maxlen < 0) {
+  if (pairs < 1 || pairs > kMaxThresholdPairs || minlen < 2 || maxlen < 0) {
     return Status::InvalidArgument("invalid threshold options");
   }
   opt.sample_pairs = static_cast<std::size_t>(pairs);
   opt.min_length = static_cast<std::size_t>(minlen);
   opt.max_length = static_cast<std::size_t>(maxlen);
   ONEX_ASSIGN_OR_RETURN(ThresholdReport report,
-                        engine->RecommendThresholds(cmd.args[0], opt));
+                        engine->RecommendThresholds(name, opt));
   json::Value v = Ok();
   json::Value arr = json::Value::MakeArray();
   for (const ThresholdRecommendation& r : report.recommendations) {
@@ -365,8 +433,9 @@ Result<json::Value> DoThreshold(Engine* engine, const Command& cmd) {
   return v;
 }
 
-Result<json::Value> DoAppend(Engine* engine, const Command& cmd) {
-  ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+Result<json::Value> DoAppend(Engine* engine, const Session& session,
+                             const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto vit = cmd.options.find("v");
   if (vit == cmd.options.end()) {
     return Status::InvalidArgument("missing v=<comma-separated values>");
@@ -378,17 +447,79 @@ Result<json::Value> DoAppend(Engine* engine, const Command& cmd) {
   }
   const std::string sname = OptString(cmd, "series", "appended");
   ONEX_RETURN_IF_ERROR(
-      engine->AppendSeries(cmd.args[0], TimeSeries(sname, std::move(values))));
+      engine->AppendSeries(name, TimeSeries(sname, std::move(values))));
   ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
-                        engine->Get(cmd.args[0]));
+                        engine->Get(name));
   json::Value v = Ok();
-  v.Set("dataset", cmd.args[0]);
+  v.Set("dataset", name);
   v.Set("series", ds->raw->size());
   if (ds->prepared()) v.Set("groups", ds->base->stats().num_groups);
   return v;
 }
 
-Result<json::Value> Dispatch(Engine* engine, const Command& cmd) {
+Result<json::Value> DoDatasets(Engine* engine) {
+  json::Value v = Ok();
+  json::Value arr = json::Value::MakeArray();
+  for (const DatasetSlotInfo& info : engine->registry().Describe()) {
+    json::Value row = json::Value::MakeObject();
+    row.Set("name", info.name);
+    row.Set("series", info.series);
+    row.Set("prepared", info.prepared);
+    row.Set("evicted", info.evicted);
+    row.Set("bytes", info.prepared_bytes);
+    arr.Append(std::move(row));
+  }
+  v.Set("datasets", std::move(arr));
+  v.Set("budget", engine->registry().prepared_budget());
+  v.Set("prepared_bytes", engine->registry().prepared_bytes());
+  return v;
+}
+
+Result<json::Value> DoUse(Engine* engine, Session* session,
+                          const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, ExplicitNameArg(cmd));
+  // Validate before committing so a typo does not poison the session.
+  ONEX_RETURN_IF_ERROR(engine->Get(name).status());
+  session->dataset = name;
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  return v;
+}
+
+Result<json::Value> DoBudget(Engine* engine, const Command& cmd) {
+  const auto it = cmd.options.find("bytes");
+  if (it != cmd.options.end()) {
+    ONEX_ASSIGN_OR_RETURN(long long bytes, ParseInt(it->second));
+    if (bytes < 0) {
+      return Status::InvalidArgument("budget bytes must be >= 0");
+    }
+    engine->registry().SetPreparedBudget(static_cast<std::size_t>(bytes));
+  }
+  json::Value v = Ok();
+  v.Set("budget", engine->registry().prepared_budget());
+  v.Set("prepared_bytes", engine->registry().prepared_bytes());
+  return v;
+}
+
+Result<json::Value> DoLoad(Engine* engine, const Command& cmd) {
+  // Positionals win over options, independently per field, so the mixed
+  // forms ("LOAD foo path=/x") behave like every other verb's resolution.
+  const std::string name =
+      !cmd.args.empty() ? cmd.args[0] : OptString(cmd, "name", "");
+  const std::string path =
+      cmd.args.size() >= 2 ? cmd.args[1] : OptString(cmd, "path", "");
+  if (name.empty() || path.empty()) {
+    return Status::InvalidArgument(
+        "LOAD needs <name> <path> (or name=<n> path=<p>)");
+  }
+  ONEX_RETURN_IF_ERROR(engine->LoadUcrFile(name, path));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  return v;
+}
+
+Result<json::Value> Dispatch(Engine* engine, Session* session,
+                             const Command& cmd) {
   if (cmd.verb == "PING") {
     json::Value v = Ok();
     v.Set("pong", true);
@@ -403,21 +534,19 @@ Result<json::Value> Dispatch(Engine* engine, const Command& cmd) {
     v.Set("datasets", std::move(arr));
     return v;
   }
+  if (cmd.verb == "DATASETS") return DoDatasets(engine);
+  if (cmd.verb == "USE") return DoUse(engine, session, cmd);
+  if (cmd.verb == "BUDGET") return DoBudget(engine, cmd);
   if (cmd.verb == "GEN") return DoGen(engine, cmd);
-  if (cmd.verb == "LOAD") {
-    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
-    ONEX_RETURN_IF_ERROR(engine->LoadUcrFile(cmd.args[0], cmd.args[1]));
-    json::Value v = Ok();
-    v.Set("dataset", cmd.args[0]);
-    return v;
-  }
+  if (cmd.verb == "LOAD") return DoLoad(engine, cmd);
   if (cmd.verb == "DROP") {
-    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
-    ONEX_RETURN_IF_ERROR(engine->DropDataset(cmd.args[0]));
+    ONEX_ASSIGN_OR_RETURN(std::string name, ExplicitNameArg(cmd));
+    ONEX_RETURN_IF_ERROR(engine->DropDataset(name));
+    if (session->dataset == name) session->dataset.clear();
     return Ok();
   }
-  if (cmd.verb == "PREPARE") return DoPrepare(engine, cmd);
-  if (cmd.verb == "APPEND") return DoAppend(engine, cmd);
+  if (cmd.verb == "PREPARE") return DoPrepare(engine, *session, cmd);
+  if (cmd.verb == "APPEND") return DoAppend(engine, *session, cmd);
   if (cmd.verb == "SAVEBASE") {
     ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
     ONEX_RETURN_IF_ERROR(engine->SavePrepared(cmd.args[0], cmd.args[1]));
@@ -433,14 +562,15 @@ Result<json::Value> Dispatch(Engine* engine, const Command& cmd) {
     return v;
   }
   if (cmd.verb == "CATALOG") {
-    ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 1));
+    ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, *session));
     ONEX_ASSIGN_OR_RETURN(long long points, OptInt(cmd, "points", 24));
-    if (points < 1) {
-      return Status::InvalidArgument("points must be positive");
+    if (points < 1 || points > kMaxCatalogPoints) {
+      return Status::InvalidArgument(
+          StrFormat("points must be in [1, %lld]", kMaxCatalogPoints));
     }
     ONEX_ASSIGN_OR_RETURN(
         std::vector<Engine::CatalogEntry> entries,
-        engine->Catalog(cmd.args[0], static_cast<std::size_t>(points)));
+        engine->Catalog(name, static_cast<std::size_t>(points)));
     json::Value v = Ok();
     json::Value arr = json::Value::MakeArray();
     for (const Engine::CatalogEntry& e : entries) {
@@ -454,13 +584,13 @@ Result<json::Value> Dispatch(Engine* engine, const Command& cmd) {
     v.Set("series", std::move(arr));
     return v;
   }
-  if (cmd.verb == "STATS") return DoStats(engine, cmd);
-  if (cmd.verb == "OVERVIEW") return DoOverview(engine, cmd);
-  if (cmd.verb == "MATCH") return DoMatch(engine, cmd, /*knn=*/false);
-  if (cmd.verb == "KNN") return DoMatch(engine, cmd, /*knn=*/true);
-  if (cmd.verb == "BATCH") return DoBatch(engine, cmd);
-  if (cmd.verb == "SEASONAL") return DoSeasonal(engine, cmd);
-  if (cmd.verb == "THRESHOLD") return DoThreshold(engine, cmd);
+  if (cmd.verb == "STATS") return DoStats(engine, *session, cmd);
+  if (cmd.verb == "OVERVIEW") return DoOverview(engine, *session, cmd);
+  if (cmd.verb == "MATCH") return DoMatch(engine, *session, cmd, /*knn=*/false);
+  if (cmd.verb == "KNN") return DoMatch(engine, *session, cmd, /*knn=*/true);
+  if (cmd.verb == "BATCH") return DoBatch(engine, *session, cmd);
+  if (cmd.verb == "SEASONAL") return DoSeasonal(engine, *session, cmd);
+  if (cmd.verb == "THRESHOLD") return DoThreshold(engine, *session, cmd);
   if (cmd.verb == "QUIT") {
     json::Value v = Ok();
     v.Set("bye", true);
@@ -499,10 +629,16 @@ json::Value ErrorResponse(const Status& status) {
   return v;
 }
 
-json::Value ExecuteCommand(Engine* engine, const Command& command) {
-  Result<json::Value> result = Dispatch(engine, command);
+json::Value ExecuteCommand(Engine* engine, Session* session,
+                           const Command& command) {
+  Result<json::Value> result = Dispatch(engine, session, command);
   if (!result.ok()) return ErrorResponse(result.status());
   return std::move(result).value();
+}
+
+json::Value ExecuteCommand(Engine* engine, const Command& command) {
+  Session session;
+  return ExecuteCommand(engine, &session, command);
 }
 
 std::string FormatResponse(const json::Value& response) {

@@ -13,49 +13,77 @@ namespace onex::net {
 
 /// The wire protocol the ONEX server speaks: one command per line, one JSON
 /// response per line — the minimal stand-in for the demo's HTTP/JSON web
-/// API. Commands are a verb, positional arguments and key=value options:
+/// API. Commands are a verb, positional arguments and key=value options.
+///
+/// One server session serves a whole dashboard of datasets: every
+/// dataset-scoped verb resolves its target from (in priority order) a
+/// positional name, a `dataset=<name>` option, or the session's current
+/// dataset as set by USE (DESIGN.md §11). The persistence pair
+/// (SAVEBASE/LOADBASE) is the exception: both name a dataset *and* a file,
+/// so both arguments stay positional.
 ///
 ///   PING
-///   LIST
+///   LIST                                             names only
+///   DATASETS                                         per-slot detail: series,
+///                                                    prepared/evicted flags,
+///                                                    base bytes, LRU budget
+///   USE <name>|name=<name>                           session default dataset
+///   BUDGET [bytes=N]                                 get/set prepared-base
+///                                                    LRU byte budget (0 = off)
 ///   GEN <name> <kind> [num=50] [len=100] [seed=42]   kind: walk|sine|shapes|
 ///                                                    electricity|economic
-///   LOAD <name> <path>                               UCR-format file
-///   DROP <name>
-///   PREPARE <name> [st=0.2] [minlen=4] [maxlen=0] [lenstep=1] [stride=1]
-///                  [norm=minmax-dataset] [policy=running-mean] [threads=1]
-///   APPEND <name> v=<v1,v2,...> [series=appended]    incremental insert
+///   LOAD <name> <path> | LOAD name=<n> path=<p>      UCR-format file
+///   DROP <name>|name=<name>
+///   PREPARE [st=0.2] [minlen=4] [maxlen=0] [lenstep=1] [stride=1]
+///           [norm=minmax-dataset] [policy=running-mean] [threads=1]
+///   APPEND v=<v1,v2,...> [series=appended]           incremental insert
 ///   SAVEBASE <name> <path>                           persist prepared state
 ///   LOADBASE <name> <path>                           restore prepared state
-///   STATS <name>
-///   CATALOG <name> [points=24]                      series list + previews
-///   OVERVIEW <name> [length=0] [top=12]
-///   MATCH <name> q=<series>:<start>:<len> [window=-1] [topgroups=1]
-///                [exhaustive=0] [threads=1]
-///   KNN <name> q=<series>:<start>:<len> [k=3] [window=-1] [exhaustive=0]
-///              [threads=1]
-///   BATCH <name> q=<s>:<st>:<len>[;<s>:<st>:<len>...] [k=1] [window=-1]
-///                [topgroups=1] [exhaustive=0] [threads=1]
+///   STATS
+///   CATALOG [points=24]                              series list + previews
+///   OVERVIEW [length=0] [top=12]
+///   MATCH q=<series>:<start>:<len> [window=-1] [topgroups=1]
+///         [exhaustive=0] [threads=1]
+///   KNN q=<series>:<start>:<len> [k=3] [window=-1] [exhaustive=0]
+///       [threads=1]
+///   BATCH q=<s>:<st>:<len>[;<s>:<st>:<len>...] [k=1] [window=-1]
+///         [topgroups=1] [exhaustive=0] [threads=1]
 ///       Executes every query in one round-trip, fanned across the engine's
 ///       task pool (a dashboard refreshing its linked views issues one
 ///       BATCH instead of N MATCHes). Responds with results in query order:
 ///       {"ok":true,"results":[{"matches":[...]}, ...]}.
-///   SEASONAL <name> series=<idx> [length=0] [minocc=2] [top=5]
-///   THRESHOLD <name> [pairs=2000] [minlen=4] [maxlen=0]
+///   SEASONAL series=<idx> [length=0] [minocc=2] [top=5]
+///   THRESHOLD [pairs=2000] [minlen=4] [maxlen=0]
 ///   QUIT
 ///
 /// Responses: {"ok":true, ...payload...} or {"ok":false,"error":"...",
-/// "code":"..."} — always a single line.
+/// "code":"..."} — always a single line. Size-driving options (GEN
+/// num/len, CATALOG points, KNN/BATCH k, THRESHOLD pairs) are capped so a
+/// malformed or hostile frame cannot make the server allocate unbounded
+/// memory; the caps are far above anything the line protocol can usefully
+/// carry and surface as InvalidArgument.
 struct Command {
   std::string verb;  ///< Upper-cased.
   std::vector<std::string> args;
   std::map<std::string, std::string> options;
 };
 
+/// Per-connection protocol state: the current dataset selected with USE.
+struct Session {
+  std::string dataset;
+};
+
 /// Splits a protocol line; ParseError on empty input or malformed k=v.
 Result<Command> ParseCommandLine(const std::string& line);
 
-/// Runs one command against the engine. Never fails — errors become
-/// {"ok":false,...} payloads, so one bad command cannot kill a session.
+/// Runs one command against the engine, reading and updating the session's
+/// current dataset. Never fails — errors become {"ok":false,...} payloads,
+/// so one bad command cannot kill a session.
+json::Value ExecuteCommand(Engine* engine, Session* session,
+                           const Command& command);
+
+/// Session-less convenience (in-process callers, tests): every command must
+/// carry its dataset explicitly.
 json::Value ExecuteCommand(Engine* engine, const Command& command);
 
 /// Serializes a response (single line + '\n').

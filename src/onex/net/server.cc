@@ -72,13 +72,14 @@ void OnexServer::AcceptLoop() {
 
 void OnexServer::ServeConnection(std::shared_ptr<Socket> socket) {
   LineReader reader(socket.get());
+  Session session;  // per-connection USE state
   while (running_.load()) {
     Result<std::string> line = reader.ReadLine();
     if (!line.ok()) return;  // client hung up (or server stopping)
     if (TrimString(*line).empty()) continue;
 
     Result<Command> cmd = ParseCommandLine(*line);
-    json::Value response = cmd.ok() ? ExecuteCommand(engine_, *cmd)
+    json::Value response = cmd.ok() ? ExecuteCommand(engine_, &session, *cmd)
                                     : ErrorResponse(cmd.status());
     if (!socket->SendAll(FormatResponse(response)).ok()) return;
     if (cmd.ok() && cmd->verb == "QUIT") {

@@ -50,15 +50,23 @@ void Socket::Close() {
 
 Result<std::string> LineReader::ReadLine() {
   while (true) {
-    const std::size_t pos = buffer_.find('\n');
+    const std::size_t pos = buffer_.find('\n', scanned_);
     if (pos != std::string::npos) {
       std::string line = buffer_.substr(0, pos);
       buffer_.erase(0, pos + 1);
+      scanned_ = 0;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    scanned_ = buffer_.size();
     if (eof_) {
       return Status::IoError("connection closed");
+    }
+    if (buffer_.size() > max_line_bytes_) {
+      // A peer streaming bytes with no newline must not grow the buffer
+      // without bound (see the anti-allocation contract in protocol.h).
+      return Status::IoError(StrFormat(
+          "line exceeds %zu bytes with no terminator", max_line_bytes_));
     }
     char chunk[4096];
     const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
@@ -67,8 +75,11 @@ Result<std::string> LineReader::ReadLine() {
       return Errno("recv");
     }
     if (n == 0) {
+      // An unterminated trailing fragment is deliberately discarded rather
+      // than returned: a command protocol must not execute what may be a
+      // truncated frame.
       eof_ = true;
-      continue;  // flush whatever is buffered (no trailing newline case)
+      continue;
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }

@@ -46,15 +46,35 @@ class Socket {
 /// Buffered line reader over a Socket: the protocol is newline-delimited.
 class LineReader {
  public:
-  explicit LineReader(Socket* socket) : socket_(socket) {}
+  /// A line may buffer at most `max_line_bytes` before the newline arrives;
+  /// beyond that ReadLine fails (the server then drops the connection), so
+  /// a peer streaming bytes without '\n' cannot grow the buffer without
+  /// bound — the DoS exposure per connection is this constant, not the
+  /// peer's patience. The default admits the largest frame the protocol
+  /// itself allows (an APPEND of a kMaxGenPoints-sized series is ~50 MB of
+  /// text) with headroom; clients reading trusted server responses pass a
+  /// larger cap.
+  static constexpr std::size_t kDefaultMaxLineBytes = 64u << 20;  // 64 MiB
+
+  explicit LineReader(Socket* socket,
+                      std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : socket_(socket), max_line_bytes_(max_line_bytes) {}
 
   /// Next '\n'-terminated line (terminator stripped, trailing '\r' too).
-  /// IoError on EOF with no pending data ("connection closed").
+  /// IoError on EOF ("connection closed") or when the pending line exceeds
+  /// the length cap. An unterminated fragment pending at EOF is discarded,
+  /// not returned — it may be a truncated frame, and executing truncated
+  /// commands is worse than dropping them.
   Result<std::string> ReadLine();
 
  private:
   Socket* socket_;
+  std::size_t max_line_bytes_;
   std::string buffer_;
+  /// Bytes of buffer_ already known newline-free, so each recv scans only
+  /// the new chunk (a large line costs one linear pass, not a quadratic
+  /// rescan).
+  std::size_t scanned_ = 0;
   bool eof_ = false;
 };
 

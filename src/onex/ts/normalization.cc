@@ -99,6 +99,44 @@ Result<Dataset> Normalize(const Dataset& ds, NormalizationKind kind,
   return out;
 }
 
+TimeSeries NormalizeAppended(const TimeSeries& series, NormalizationKind kind,
+                             NormalizationParams* params) {
+  std::vector<double> out;
+  out.reserve(series.length());
+  switch (kind) {
+    case NormalizationKind::kNone:
+      out = series.values();
+      break;
+    case NormalizationKind::kMinMaxDataset: {
+      const double lo = params->min;
+      const double span = params->max - params->min;
+      for (double v : series.values()) {
+        out.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+      }
+      break;
+    }
+    case NormalizationKind::kMinMaxSeries: {
+      const double lo = Min(series.AsSpan());
+      const double span = Max(series.AsSpan()) - lo;
+      for (double v : series.values()) {
+        out.push_back(span > 0.0 ? (v - lo) / span : 0.0);
+      }
+      params->per_series.emplace_back(lo, span > 0.0 ? span : 1.0);
+      break;
+    }
+    case NormalizationKind::kZScoreSeries: {
+      const double mu = Mean(series.AsSpan());
+      const double sigma = StdDev(series.AsSpan());
+      for (double v : series.values()) {
+        out.push_back(sigma > 0.0 ? (v - mu) / sigma : 0.0);
+      }
+      params->per_series.emplace_back(mu, sigma > 0.0 ? sigma : 1.0);
+      break;
+    }
+  }
+  return TimeSeries(series.name(), std::move(out), series.label());
+}
+
 double Denormalize(const NormalizationParams& params, std::size_t series_idx,
                    double value) {
   switch (params.kind) {

@@ -48,6 +48,17 @@ Result<Dataset> Normalize(const Dataset& ds, NormalizationKind kind,
 double Denormalize(const NormalizationParams& params, std::size_t series_idx,
                    double value);
 
+/// Normalizes one newcomer series against an existing dataset's *frozen*
+/// parameters — the incremental-append counterpart of Normalize. Dataset-
+/// level kinds reuse the stored extrema untouched (appending never rescales
+/// the rest of the dataset); per-series kinds compute the newcomer's own
+/// offset/scale and append it to `params->per_series`. Used by the
+/// engine's AppendSeries and by the registry's transparent rebuild of a
+/// base that was appended to while evicted, so both paths produce the same
+/// values.
+TimeSeries NormalizeAppended(const TimeSeries& series, NormalizationKind kind,
+                             NormalizationParams* params);
+
 }  // namespace onex
 
 #endif  // ONEX_TS_NORMALIZATION_H_

@@ -204,5 +204,98 @@ TEST(SeasonalTest, RepresentativeMatchesGroupLength) {
   }
 }
 
+/// Patterns feed the Seasonal View directly; NaN anywhere breaks the
+/// front-end silently, so every numeric field must be finite.
+void CheckPatternsNaNFree(const std::vector<SeasonalPattern>& patterns) {
+  for (const SeasonalPattern& p : patterns) {
+    EXPECT_TRUE(std::isfinite(p.cohesion));
+    for (const double v : p.representative) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(SeasonalTest, ConstantSeriesTilesIntoOnePerfectPattern) {
+  // Every window of a constant series is identical: one group, zero
+  // cohesion, occurrences tiling the series end to end with gap == length.
+  Dataset raw("flat");
+  raw.Add(TimeSeries("const", std::vector<double>(48, 0.5)));
+  auto ds = std::make_shared<const Dataset>(std::move(raw));
+  const OnexBase base = BuildBase(ds, 8);
+
+  SeasonalOptions opt;
+  opt.length = 8;
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  const SeasonalPattern& p = patterns->front();
+  EXPECT_EQ(p.occurrences.size(), 48u / 8u);
+  EXPECT_EQ(p.typical_gap, 8u);
+  EXPECT_DOUBLE_EQ(p.cohesion, 0.0);
+  CheckPatternsNaNFree(*patterns);
+}
+
+TEST(SeasonalTest, AllIdenticalSubsequencesAcrossSeriesStayPerSeries) {
+  // Identical twin series put every subsequence of both in one group; the
+  // miner must still report only the probed series' occurrences.
+  std::vector<double> ramp;
+  for (int i = 0; i < 32; ++i) ramp.push_back(0.02 * i);
+  Dataset raw("twins");
+  raw.Add(TimeSeries("a", ramp));
+  raw.Add(TimeSeries("b", ramp));
+  auto ds = std::make_shared<const Dataset>(std::move(raw));
+  const OnexBase base = BuildBase(ds, 8, /*st=*/10.0);  // one giant group
+
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 1, {});
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_FALSE(patterns->empty());
+  for (const SeasonalPattern& p : *patterns) {
+    for (const SubseqRef& r : p.occurrences) {
+      EXPECT_EQ(r.series, 1u);
+    }
+  }
+  CheckPatternsNaNFree(*patterns);
+}
+
+TEST(SeasonalTest, SeriesTooShortForAnyClassYieldsEmptyNotError) {
+  // A length-2 series contributes no length-8 subsequences; probing it is a
+  // valid question with an empty answer.
+  Dataset raw("mixed");
+  raw.Add(TimeSeries("long", std::vector<double>(40, 0.0)));
+  raw.Add(TimeSeries("tiny", std::vector<double>{0.1, 0.9}));
+  auto ds = std::make_shared<const Dataset>(std::move(raw));
+  const OnexBase base = BuildBase(ds, 8);
+
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 1, {});
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+TEST(SeasonalTest, LengthWithNoClassYieldsEmptyNotError) {
+  auto ds = PeriodicDataset(8, 4);
+  const OnexBase base = BuildBase(ds, 8);
+  SeasonalOptions opt;
+  opt.length = 9;  // base has only a length-8 class
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_TRUE(patterns->empty());
+}
+
+TEST(SeasonalTest, NoisyDataIsNaNFree) {
+  auto ds = PeriodicDataset(10, 6, /*noise=*/0.2, /*seed=*/17);
+  const OnexBase base = BuildBase(ds, 10, /*st=*/0.3);
+  SeasonalOptions opt;
+  opt.allow_overlap = true;
+  opt.top_k = 0;  // everything
+  Result<std::vector<SeasonalPattern>> patterns =
+      FindSeasonalPatterns(base, 0, opt);
+  ASSERT_TRUE(patterns.ok());
+  CheckPatternsNaNFree(*patterns);
+}
+
 }  // namespace
 }  // namespace onex

@@ -1,8 +1,11 @@
 #include "onex/core/threshold_advisor.h"
 
+#include <cmath>
 #include <cstddef>
 #include <gtest/gtest.h>
 #include <vector>
+
+#include "onex/common/random.h"
 
 #include "onex/gen/economic_panel.h"
 #include "onex/gen/generators.h"
@@ -125,6 +128,85 @@ TEST(ThresholdAdvisorTest, ConstantDatasetGivesZeroThresholds) {
   for (const ThresholdRecommendation& r : report->recommendations) {
     EXPECT_DOUBLE_EQ(r.st, 0.0);
   }
+}
+
+/// Every numeric field of a report must be finite — the advisor feeds its
+/// output straight into BaseBuildOptions::st, where a NaN poisons every
+/// grouping comparison.
+void CheckNaNFree(const ThresholdReport& report) {
+  EXPECT_TRUE(std::isfinite(report.min_distance));
+  EXPECT_TRUE(std::isfinite(report.median_distance));
+  EXPECT_TRUE(std::isfinite(report.max_distance));
+  for (const ThresholdRecommendation& r : report.recommendations) {
+    EXPECT_TRUE(std::isfinite(r.st));
+    EXPECT_TRUE(std::isfinite(r.percentile));
+  }
+}
+
+TEST(ThresholdAdvisorTest, Length1SeriesAreSkippedNotSampled) {
+  Rng rng(31);
+  Dataset ds("mixed");
+  ds.Add(TimeSeries("tiny", std::vector<double>{42.0}));
+  ds.Add(TimeSeries("long_a", testing::SmoothSeries(&rng, 20)));
+  ds.Add(TimeSeries("long_b", testing::SmoothSeries(&rng, 20)));
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 200;
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->pairs_sampled, 0u);
+  CheckNaNFree(*report);
+}
+
+TEST(ThresholdAdvisorTest, OnlyLength1SeriesIsCleanError) {
+  Dataset ds("tinies");
+  ds.Add(TimeSeries("a", std::vector<double>{1.0}));
+  ds.Add(TimeSeries("b", std::vector<double>{2.0}));
+  // No admissible subsequence length exists; the advisor must say so, not
+  // divide by zero or loop forever.
+  const Result<ThresholdReport> report = RecommendThresholds(ds, {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThresholdAdvisorTest, SingleSubsequenceDatasetIsCleanError) {
+  // One series of exactly min_length admits exactly one subsequence; every
+  // drawn pair is the identical-subsequence case the sampler rejects, so
+  // the report must be a clean error after bounded attempts (no hang).
+  Dataset ds("one");
+  ds.Add(TimeSeries("a", std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 50;
+  const Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+TEST(ThresholdAdvisorTest, IdenticalSeriesSampleZeroDistancesNaNFree) {
+  // All-identical subsequences across series: cross-series pairs at equal
+  // offsets have distance exactly 0; everything stays finite.
+  std::vector<double> ramp;
+  for (int i = 0; i < 24; ++i) ramp.push_back(0.25 * i);
+  Dataset ds("twins");
+  ds.Add(TimeSeries("a", ramp));
+  ds.Add(TimeSeries("b", ramp));
+  ds.Add(TimeSeries("c", ramp));
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 500;
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->min_distance, 0.0);
+  CheckNaNFree(*report);
+}
+
+TEST(ThresholdAdvisorTest, RandomDataIsNaNFree) {
+  const Dataset ds = testing::SmallDataset(8, 30, 77);
+  ThresholdAdvisorOptions opt;
+  opt.sample_pairs = 400;
+  opt.percentiles = {0.0, 1.0, 50.0, 99.0, 100.0};
+  Result<ThresholdReport> report = RecommendThresholds(ds, opt);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->recommendations.size(), 5u);
+  CheckNaNFree(*report);
 }
 
 }  // namespace

@@ -1,0 +1,368 @@
+/// DatasetRegistry behavior (DESIGN.md §11): LRU eviction under a prepared-
+/// base byte budget, transparent re-preparation of evicted bases, async
+/// preparation tickets, and the per-slot locking contract — queries on one
+/// dataset proceed while another is being prepared.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/engine/dataset_registry.h"
+#include "onex/engine/engine.h"
+#include "onex/gen/generators.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+Dataset MakeData(std::size_t num, std::size_t len, std::uint64_t seed) {
+  gen::SineFamilyOptions opt;
+  opt.num_series = num;
+  opt.length = len;
+  opt.seed = seed;
+  return gen::MakeSineFamilies(opt);
+}
+
+BaseBuildOptions Quick() {
+  BaseBuildOptions opt;
+  opt.st = 0.2;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  return opt;
+}
+
+std::map<std::string, DatasetSlotInfo> DescribeByName(const Engine& engine) {
+  std::map<std::string, DatasetSlotInfo> out;
+  for (const DatasetSlotInfo& info : engine.registry().Describe()) {
+    out[info.name] = info;
+  }
+  return out;
+}
+
+QuerySpec SmallQuery(std::size_t series = 0) {
+  QuerySpec spec;
+  spec.series = series;
+  spec.start = 0;
+  spec.length = 8;
+  return spec;
+}
+
+TEST(MemoryUsageTest, StoreAndBaseFootprintsAgree) {
+  auto ds = std::make_shared<const Dataset>(testing::SmallDataset());
+  Result<OnexBase> base = OnexBase::Build(ds, Quick());
+  ASSERT_TRUE(base.ok());
+  std::size_t sum = 0;
+  for (const LengthClass& cls : base->length_classes()) {
+    ASSERT_NE(cls.store, nullptr);
+    EXPECT_GT(cls.store->MemoryUsage(), 0u);
+    sum += cls.store->MemoryUsage();
+    sum += cls.groups.size() * sizeof(SimilarityGroup);
+  }
+  EXPECT_EQ(base->MemoryUsage(), sum);
+  EXPECT_GT(base->MemoryUsage(), 0u);
+}
+
+TEST(EngineRegistryTest, UnlimitedBudgetKeepsEveryBaseResident) {
+  Engine engine;
+  for (int d = 0; d < 3; ++d) {
+    const std::string name = "ds" + std::to_string(d);
+    ASSERT_TRUE(
+        engine.LoadDataset(name, MakeData(6, 24, 10 + static_cast<std::uint64_t>(d)))
+            .ok());
+    ASSERT_TRUE(engine.Prepare(name, Quick()).ok());
+  }
+  const auto info = DescribeByName(engine);
+  for (const auto& [name, slot] : info) {
+    EXPECT_TRUE(slot.prepared) << name;
+    EXPECT_FALSE(slot.evicted) << name;
+    EXPECT_GT(slot.prepared_bytes, 0u) << name;
+  }
+  EXPECT_EQ(engine.registry().prepared_budget(), 0u);
+  EXPECT_GT(engine.registry().prepared_bytes(), 0u);
+}
+
+TEST(EngineRegistryTest, LruEvictionHonorsBudgetAndRepreparesTransparently) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.LoadDataset("b", MakeData(6, 24, 2)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  const std::size_t bytes_a = engine.registry().prepared_bytes();
+  ASSERT_GT(bytes_a, 0u);
+  ASSERT_TRUE(engine.Prepare("b", Quick()).ok());
+  const std::size_t bytes_b = engine.registry().prepared_bytes() - bytes_a;
+  ASSERT_GT(bytes_b, 0u);
+
+  // Room for exactly one base (whichever is larger): shrinking the budget
+  // must evict the least recently used of the two, which is a.
+  const std::size_t budget = std::max(bytes_a, bytes_b) * 5 / 4;
+  engine.registry().SetPreparedBudget(budget);
+
+  auto info = DescribeByName(engine);
+  EXPECT_TRUE(info.at("b").prepared);
+  EXPECT_FALSE(info.at("a").prepared);
+  EXPECT_TRUE(info.at("a").evicted);
+  EXPECT_LE(engine.registry().prepared_bytes(), budget);
+
+  // Queries on the evicted dataset re-prepare it transparently — the caller
+  // never sees FailedPrecondition — and the LRU rolls over to b.
+  Result<MatchResult> m = engine.SimilaritySearch("a", SmallQuery());
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GE(m->match.normalized_dtw, 0.0);
+
+  info = DescribeByName(engine);
+  EXPECT_TRUE(info.at("a").prepared);
+  EXPECT_TRUE(info.at("b").evicted);
+  EXPECT_LE(engine.registry().prepared_bytes(), budget);
+
+  // The re-prepared base answers exactly like a freshly prepared one.
+  Result<MatchResult> again = engine.SimilaritySearch("a", SmallQuery());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(m->match.ref.series, again->match.ref.series);
+  EXPECT_EQ(m->match.ref.start, again->match.ref.start);
+  EXPECT_DOUBLE_EQ(m->match.normalized_dtw, again->match.normalized_dtw);
+}
+
+TEST(EngineRegistryTest, QueryTouchProtectsHotDatasetFromEviction) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.LoadDataset("b", MakeData(6, 24, 2)).ok());
+  // c is deliberately smaller than a and b so admitting it evicts exactly
+  // one victim.
+  ASSERT_TRUE(engine.LoadDataset("c", MakeData(3, 20, 3)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  ASSERT_TRUE(engine.Prepare("b", Quick()).ok());
+
+  // Budget exactly fits a and b, then touch a so b is the LRU victim.
+  engine.registry().SetPreparedBudget(engine.registry().prepared_bytes());
+  ASSERT_TRUE(engine.SimilaritySearch("a", SmallQuery()).ok());
+  ASSERT_TRUE(engine.Prepare("c", Quick()).ok());
+
+  const auto info = DescribeByName(engine);
+  EXPECT_TRUE(info.at("a").prepared) << "recently queried dataset evicted";
+  EXPECT_TRUE(info.at("c").prepared);
+  EXPECT_TRUE(info.at("b").evicted);
+}
+
+TEST(EngineRegistryTest, ShrinkingBudgetEvictsImmediately) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  ASSERT_GT(engine.registry().prepared_bytes(), 0u);
+
+  engine.registry().SetPreparedBudget(1);
+  // A single resident base is never the protected installee here, so the
+  // shrink evicts it outright.
+  EXPECT_EQ(engine.registry().prepared_bytes(), 0u);
+  const auto info = DescribeByName(engine);
+  EXPECT_TRUE(info.at("a").evicted);
+}
+
+TEST(EngineRegistryTest, SeriesAppendedWhileEvictedIsSearchableAfterRebuild) {
+  // Regression: an append that lands while the base is evicted must not be
+  // lost when the next query transparently rebuilds — the rebuild has to
+  // notice the stale normalized copy and renormalize from raw.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  const NormalizationParams frozen = (*engine.Get("a"))->norm_params;
+  engine.registry().SetPreparedBudget(1);  // evict a's base
+  ASSERT_TRUE(DescribeByName(engine).at("a").evicted);
+
+  // Values far outside the frozen min/max: a rebuild that renormalized the
+  // whole dataset would visibly move the parameters.
+  std::vector<double> big;
+  for (int i = 0; i < 24; ++i) big.push_back(50.0 + 0.5 * i);
+  ASSERT_TRUE(
+      engine.AppendSeries("a", TimeSeries("late", std::move(big))).ok());
+  engine.registry().SetPreparedBudget(0);
+
+  // Query the appended series by reference: resolvable only if the rebuilt
+  // base's normalized dataset includes it. Exhaustive search must find the
+  // subsequence itself at distance zero.
+  QueryOptions exhaustive;
+  exhaustive.exhaustive = true;
+  const Result<MatchResult> m =
+      engine.SimilaritySearch("a", SmallQuery(6), exhaustive);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_NEAR(m->match.normalized_dtw, 0.0, 1e-12);
+  EXPECT_EQ(m->match.ref.series, 6u);
+
+  const Result<std::shared_ptr<const PreparedDataset>> snapshot =
+      engine.Get("a");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ((*snapshot)->raw->size(), 7u);
+  EXPECT_EQ((*snapshot)->normalized->size(), 7u);
+  // The frozen-normalization contract survives eviction: the rebuild
+  // normalizes only the newcomer with the original parameters; it never
+  // rescales the whole dataset around the appended values.
+  EXPECT_DOUBLE_EQ((*snapshot)->norm_params.min, frozen.min);
+  EXPECT_DOUBLE_EQ((*snapshot)->norm_params.max, frozen.max);
+}
+
+TEST(EngineRegistryTest, ExplicitRePrepareRebaselinesNormalization) {
+  // The flip side of the frozen contract: a resident append keeps the old
+  // extrema (newcomer squeezed through them), and an analyst's explicit
+  // re-PREPARE is the one knob that folds the new values into the scale.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  const double frozen_max = (*engine.Get("a"))->norm_params.max;
+  ASSERT_LT(frozen_max, 10.0);  // sine families stay near [-1, 1]
+
+  std::vector<double> big;
+  for (int i = 0; i < 24; ++i) big.push_back(50.0 + 0.5 * i);
+  ASSERT_TRUE(
+      engine.AppendSeries("a", TimeSeries("late", std::move(big))).ok());
+  // Resident append froze the parameters...
+  EXPECT_DOUBLE_EQ((*engine.Get("a"))->norm_params.max, frozen_max);
+
+  // ...and re-preparing re-baselines them over the extended raw data.
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  EXPECT_GE((*engine.Get("a"))->norm_params.max, 50.0);
+  EXPECT_EQ((*engine.Get("a"))->normalized->size(), 7u);
+}
+
+TEST(EngineRegistryTest, AppendDuringTransparentRebuildIsNeverLost) {
+  // A Replace landing while the rebuild is in flight must win over the
+  // rebuild's stale snapshot (conditional install + retry): whatever the
+  // interleaving, the appended series is in the final dataset.
+  for (int round = 0; round < 5; ++round) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadDataset("a", MakeData(8, 32, 21)).ok());
+    BaseBuildOptions opt;
+    opt.st = 0.2;
+    opt.min_length = 4;
+    opt.max_length = 24;
+    ASSERT_TRUE(engine.Prepare("a", opt).ok());
+    engine.registry().SetPreparedBudget(1);  // evict
+    engine.registry().SetPreparedBudget(0);
+
+    std::thread querier([&engine] {
+      // Triggers the transparent rebuild.
+      const Result<MatchResult> m = engine.SimilaritySearch("a", SmallQuery());
+      EXPECT_TRUE(m.ok()) << m.status().ToString();
+    });
+    Rng rng(static_cast<std::uint64_t>(round) + 1);
+    const Status appended = engine.AppendSeries(
+        "a", TimeSeries("late", testing::SmoothSeries(&rng, 32)));
+    ASSERT_TRUE(appended.ok());
+    querier.join();
+
+    const Result<std::shared_ptr<const PreparedDataset>> snapshot =
+        engine.Get("a");
+    ASSERT_TRUE(snapshot.ok());
+    ASSERT_EQ((*snapshot)->raw->size(), 9u) << "append lost in round " << round;
+    // And the appended series is queryable (rebuilding again if the
+    // rebuild lost the install race and the served base predates it).
+    QueryOptions exhaustive;
+    exhaustive.exhaustive = true;
+    const Result<MatchResult> m =
+        engine.SimilaritySearch("a", SmallQuery(8), exhaustive);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+  }
+}
+
+TEST(EngineRegistryTest, NeverPreparedDatasetStillFailsPrecondition) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("raw", MakeData(4, 16, 9)).ok());
+  const Result<MatchResult> m = engine.SimilaritySearch("raw", SmallQuery());
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineRegistryTest, DropReleasesAccountedBytes) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  ASSERT_GT(engine.registry().prepared_bytes(), 0u);
+  ASSERT_TRUE(engine.DropDataset("a").ok());
+  EXPECT_EQ(engine.registry().prepared_bytes(), 0u);
+  EXPECT_TRUE(engine.registry().Describe().empty());
+}
+
+TEST(EngineRegistryTest, AsyncPrepareCompletesAndReportsStatus) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  PrepareTicket ticket = engine.PrepareAsync("a", Quick());
+  ASSERT_TRUE(ticket.valid());
+  EXPECT_TRUE(ticket.Wait().ok());
+  EXPECT_TRUE(DescribeByName(engine).at("a").prepared);
+
+  PrepareTicket missing = engine.PrepareAsync("nope", Quick());
+  EXPECT_EQ(missing.Wait().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineRegistryTest, DestructionDrainsInFlightPrepareJobs) {
+  // The registry destructor must wait for scheduled jobs; under ASan this
+  // catches any use-after-free of slots or accounting.
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadDataset("big", MakeData(10, 64, 5)).ok());
+    BaseBuildOptions opt;
+    opt.st = 0.2;
+    engine.PrepareAsync("big", opt);
+  }  // engine destroyed with the job possibly still running
+  SUCCEED();
+}
+
+TEST(EngineRegistryTest, MatchOnAIsNotBlockedByPrepareOfB) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDataset("a", MakeData(6, 24, 1)).ok());
+  ASSERT_TRUE(engine.Prepare("a", Quick()).ok());
+  // Warm up: pool started, caches touched, one query verified.
+  ASSERT_TRUE(engine.SimilaritySearch("a", SmallQuery()).ok());
+
+  BaseBuildOptions heavy;
+  heavy.st = 0.15;
+  heavy.min_length = 4;
+  heavy.max_length = 0;  // every length up to the longest series
+
+  // A full-length sweep over b is orders of magnitude heavier than one
+  // query on a, so queries must observably complete while the job runs.
+  // Wall-clock overlap can still be starved on a loaded one-core runner,
+  // so escalate b's size until at least one query lands mid-prepare
+  // instead of asserting on a single timing.
+  int overlapped = 0;
+  for (std::size_t weight = 16; weight <= 128 && overlapped == 0;
+       weight *= 2) {
+    const std::string bname = "b" + std::to_string(weight);
+    gen::RandomWalkOptions wopt;
+    wopt.num_series = weight;
+    wopt.length = 96;
+    wopt.seed = 11;
+    ASSERT_TRUE(engine.LoadDataset(bname, gen::MakeRandomWalks(wopt)).ok());
+
+    PrepareTicket ticket = engine.PrepareAsync(bname, heavy);
+    ASSERT_TRUE(ticket.valid());
+    int issued = 0;
+    while (!ticket.done()) {
+      Result<MatchResult> m = engine.SimilaritySearch(
+          "a", SmallQuery(static_cast<std::size_t>(issued % 6)));
+      ASSERT_TRUE(m.ok()) << m.status().ToString();
+      ++issued;
+      if (!ticket.done()) ++overlapped;
+    }
+    ASSERT_TRUE(ticket.Wait().ok());
+    ASSERT_TRUE(DescribeByName(engine).at(bname).prepared);
+  }
+  EXPECT_GT(overlapped, 0)
+      << "no query on dataset a completed while any prepare of b ran — "
+         "per-slot isolation is broken";
+}
+
+TEST(EngineRegistryTest, RegistryOptionsConstructorAppliesBudget) {
+  DatasetRegistryOptions opt;
+  opt.prepared_budget_bytes = 123456;
+  Engine engine(opt);
+  EXPECT_EQ(engine.registry().prepared_budget(), 123456u);
+}
+
+}  // namespace
+}  // namespace onex

@@ -282,6 +282,160 @@ TEST(ProtocolTest, AppendValidatesValues) {
                    .as_bool());
 }
 
+TEST(ProtocolTest, UseSetsSessionDefaultDataset) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN s sine num=6 len=18"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=10"))["ok"]
+          .as_bool());
+
+  // Without USE and without a name, dataset-scoped verbs must fail clean.
+  json::Value v =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("MATCH q=0:2:8"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_EQ(v["code"].as_string(), "InvalidArgument");
+
+  v = ExecuteCommand(&engine, &session, *ParseCommandLine("USE s"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_EQ(v["dataset"].as_string(), "s");
+
+  // Now the bare forms resolve against the session dataset.
+  EXPECT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("MATCH q=0:2:8"))["ok"]
+                  .as_bool());
+  EXPECT_TRUE(
+      ExecuteCommand(&engine, &session, *ParseCommandLine("STATS"))["ok"]
+          .as_bool());
+  EXPECT_TRUE(
+      ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("KNN q=0:0:8 k=2"))["ok"]
+          .as_bool());
+
+  // USE of a missing dataset must not poison the session.
+  v = ExecuteCommand(&engine, &session, *ParseCommandLine("USE nope"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("MATCH q=0:2:8"))["ok"]
+                  .as_bool());
+
+  // Dropping the session dataset clears the default.
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("DROP name=s"))["ok"]
+                  .as_bool());
+  v = ExecuteCommand(&engine, &session, *ParseCommandLine("MATCH q=0:2:8"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_EQ(v["code"].as_string(), "InvalidArgument");
+}
+
+TEST(ProtocolTest, DatasetOptionOverridesSession) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN a sine num=4 len=16"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN b walk num=4 len=16"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("PREPARE dataset=a st=0.2 "
+                                               "maxlen=8"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("USE b"))["ok"]
+                  .as_bool());
+  // dataset= beats the session default (b is not prepared; a is).
+  const json::Value v = ExecuteCommand(
+      &engine, &session, *ParseCommandLine("MATCH dataset=a q=0:2:8"));
+  EXPECT_TRUE(v["ok"].as_bool()) << v.Dump();
+  // The session default still points at b, which must fail as unprepared.
+  const json::Value unprepared =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("MATCH q=0:2:8"));
+  EXPECT_FALSE(unprepared["ok"].as_bool());
+  EXPECT_EQ(unprepared["code"].as_string(), "FailedPrecondition");
+}
+
+TEST(ProtocolTest, DatasetsReportsSlotDetailAndBudget) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN a sine num=4 len=16"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN b walk num=4 len=16"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("PREPARE a st=0.2 maxlen=8"))
+                  ["ok"]
+                      .as_bool());
+  const json::Value v =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("DATASETS"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  ASSERT_EQ(v["datasets"].as_array().size(), 2u);
+  EXPECT_GT(v["prepared_bytes"].as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(v["budget"].as_number(), 0.0);
+  for (const json::Value& row : v["datasets"].as_array()) {
+    if (row["name"].as_string() == "a") {
+      EXPECT_TRUE(row["prepared"].as_bool());
+      EXPECT_GT(row["bytes"].as_number(), 0.0);
+    } else {
+      EXPECT_FALSE(row["prepared"].as_bool());
+      EXPECT_FALSE(row["evicted"].as_bool());
+    }
+  }
+}
+
+TEST(ProtocolTest, BudgetVerbDrivesLruEviction) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN a sine num=4 len=16"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("PREPARE a st=0.2 maxlen=8"))
+                  ["ok"]
+                      .as_bool());
+  json::Value v =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("BUDGET"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  EXPECT_GT(v["prepared_bytes"].as_number(), 0.0);
+
+  // A one-byte budget evicts the resident base...
+  v = ExecuteCommand(&engine, &session, *ParseCommandLine("BUDGET bytes=1"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  EXPECT_DOUBLE_EQ(v["budget"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v["prepared_bytes"].as_number(), 0.0);
+
+  // ...and a query on the evicted dataset transparently re-prepares it.
+  v = ExecuteCommand(&engine, &session, *ParseCommandLine("MATCH a q=0:2:8"));
+  EXPECT_TRUE(v["ok"].as_bool()) << v.Dump();
+
+  EXPECT_FALSE(ExecuteCommand(&engine, &session,
+                              *ParseCommandLine("BUDGET bytes=-5"))["ok"]
+                   .as_bool());
+}
+
+TEST(ProtocolTest, LoadAcceptsKeyValueForm) {
+  Engine engine;
+  const json::Value v = ExecuteCommand(
+      &engine, *ParseCommandLine("LOAD name=x path=/no/such/file.tsv"));
+  EXPECT_FALSE(v["ok"].as_bool());
+  EXPECT_EQ(v["code"].as_string(), "IoError");  // name/path were resolved
+  // Mixed form: positional name + path= option resolves too.
+  EXPECT_EQ(ExecuteCommand(&engine, *ParseCommandLine(
+                               "LOAD y path=/no/such/file.tsv"))["code"]
+                .as_string(),
+            "IoError");
+  EXPECT_FALSE(
+      ExecuteCommand(&engine, *ParseCommandLine("LOAD name=x"))["ok"]
+          .as_bool());
+  EXPECT_FALSE(ExecuteCommand(&engine, *ParseCommandLine("LOAD"))["ok"]
+                   .as_bool());
+}
+
 TEST(ProtocolTest, SaveAndLoadBaseFlow) {
   const std::string path = ::testing::TempDir() + "/onex_proto_base.onex";
   Engine engine;

@@ -1,8 +1,11 @@
 #include "onex/net/server.h"
 
+#include <sys/socket.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -125,6 +128,56 @@ TEST_F(ServerTest, ConcurrentClientsShareTheEngine) {
   }
 }
 
+TEST_F(ServerTest, MultiDatasetDashboardSession) {
+  // One connection drives two datasets — the dashboard shape the registry
+  // exists for (DESIGN.md §11).
+  OnexClient client = Connect();
+  ASSERT_TRUE((*client.Call("GEN rates sine num=5 len=16 seed=2"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE((*client.Call("GEN loads walk num=5 len=16 seed=3"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE((*client.Call("PREPARE rates st=0.2 maxlen=8"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE((*client.Call("PREPARE dataset=loads st=0.25 maxlen=8"))["ok"]
+                  .as_bool());
+
+  Result<json::Value> v = client.Call("DATASETS");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+  ASSERT_EQ((*v)["datasets"].as_array().size(), 2u);
+  for (const json::Value& row : (*v)["datasets"].as_array()) {
+    EXPECT_TRUE(row["prepared"].as_bool()) << row.Dump();
+  }
+
+  // USE routes bare queries; dataset= overrides per command.
+  ASSERT_TRUE((*client.Call("USE rates"))["ok"].as_bool());
+  v = client.Call("MATCH q=0:2:8");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+  v = client.Call("MATCH dataset=loads q=0:2:8");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+}
+
+TEST_F(ServerTest, UseStateIsPerConnection) {
+  OnexClient first = Connect();
+  ASSERT_TRUE((*first.Call("GEN a sine num=4 len=16"))["ok"].as_bool());
+  ASSERT_TRUE((*first.Call("PREPARE a st=0.2 maxlen=8"))["ok"].as_bool());
+  ASSERT_TRUE((*first.Call("USE a"))["ok"].as_bool());
+  ASSERT_TRUE((*first.Call("MATCH q=0:2:8"))["ok"].as_bool());
+
+  // A second connection shares the engine but not the session default.
+  OnexClient second = Connect();
+  Result<json::Value> v = second.Call("MATCH q=0:2:8");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE((*v)["ok"].as_bool());
+  EXPECT_EQ((*v)["code"].as_string(), "InvalidArgument");
+  // But it can name the dataset explicitly.
+  v = second.Call("MATCH a q=0:2:8");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+}
+
 TEST_F(ServerTest, QuitClosesTheConnection) {
   OnexClient client = Connect();
   Result<json::Value> v = client.Call("QUIT");
@@ -170,6 +223,40 @@ TEST(ServerLifecycleTest, RestartAfterStop) {
   ASSERT_TRUE(client.ok());
   EXPECT_TRUE(client->Call("PING").ok());
   server.Stop();
+}
+
+TEST(LineReaderTest, UnterminatedFloodHitsTheCapNotMemory) {
+  // A peer streaming bytes with no newline must get an error once the
+  // per-line cap is hit — the buffer must not grow without bound
+  // (protocol.h's anti-allocation contract).
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket writer(fds[0]);
+  Socket receiver(fds[1]);
+  LineReader reader(&receiver, /*max_line_bytes=*/64u << 10);
+
+  std::thread feeder([&writer] {
+    const std::string chunk(64u << 10, 'A');
+    (void)writer.SendAll(chunk);  // reader consumes this past the cap
+    (void)writer.SendAll(chunk);  // parks in the kernel buffer
+  });
+  const Result<std::string> line = reader.ReadLine();
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kIoError);
+  feeder.join();
+}
+
+TEST(LineReaderTest, LineWithinTheCapStillParses) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket writer(fds[0]);
+  Socket receiver(fds[1]);
+  LineReader reader(&receiver, /*max_line_bytes=*/64u << 10);
+  const std::string payload(32u << 10, 'B');
+  ASSERT_TRUE(writer.SendAll(payload + "\n").ok());
+  const Result<std::string> line = reader.ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(*line, payload);
 }
 
 TEST(ClientTest, ConnectToClosedPortFails) {
