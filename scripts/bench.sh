@@ -1,18 +1,27 @@
 #!/usr/bin/env sh
-# Query-speedup benchmark runner: builds (reusing ./build), runs
-# bench_e2_query_speedup — the ONEX-vs-UCR headline comparison plus the
-# parallel query scaling sweep (serial vs 1/2/4/N threads) — and drops
-# machine-readable results into BENCH_query.json at the repo root so the
-# perf trajectory accumulates across PRs.
+# Perf-trajectory benchmark runner: builds (reusing ./build) and drops
+# machine-readable results at the repo root so the numbers accumulate
+# across PRs.
 #
-# Usage: scripts/bench.sh [output.json]
+#   BENCH_query.json        bench_e2_query_speedup — the ONEX-vs-UCR
+#                           headline comparison plus the parallel query
+#                           scaling sweep (serial vs 1/2/4/N threads)
+#   BENCH_maintenance.json  bench_e10_maintenance — streaming maintenance:
+#                           extend throughput, drift-regroup latency and
+#                           query latency during a background regroup
+#
+# Usage: scripts/bench.sh [query_output.json [maintenance_output.json]]
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_query.json}"
+QUERY_OUT="${1:-BENCH_query.json}"
+MAINT_OUT="${2:-BENCH_maintenance.json}"
 
-cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_e2_query_speedup >/dev/null
+cmake -B build -S . -DONEX_BUILD_BENCHES=ON >/dev/null
+cmake --build build -j --target bench_e2_query_speedup \
+  bench_e10_maintenance >/dev/null
 
-./build/bench_e2_query_speedup --json "$OUT"
-echo "perf record: $OUT"
+./build/bench_e2_query_speedup --json "$QUERY_OUT"
+echo "perf record: $QUERY_OUT"
+./build/bench_e10_maintenance --json "$MAINT_OUT"
+echo "perf record: $MAINT_OUT"

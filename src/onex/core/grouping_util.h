@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "onex/core/group_store.h"
+#include "onex/core/onex_base.h"
 
 namespace onex::internal {
 
@@ -20,6 +21,18 @@ namespace onex::internal {
 std::pair<std::size_t, double> NearestGroup(
     const std::vector<GroupBuilder>& groups, std::span<const double> values,
     double radius);
+
+/// Leader-clusters every admissible length-`len` subsequence of `ds`
+/// (policy-aware, including the kRunningMeanRepair repair rounds) and
+/// returns the finished builders. The one clustering pipeline behind the
+/// offline build (OnexBase::Build) and the drift-triggered regroup of a
+/// single length class (incremental.h), so both produce identical groupings
+/// for identical inputs. `repaired` accumulates members the repair pass
+/// moved. Thread-safe: touches only its own outputs.
+std::vector<GroupBuilder> BuildGroupsForLength(const Dataset& ds,
+                                               std::size_t len,
+                                               const BaseBuildOptions& options,
+                                               std::size_t* repaired);
 
 }  // namespace onex::internal
 

@@ -1,5 +1,6 @@
 #include "onex/engine/dataset_registry.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -33,29 +34,44 @@ Result<std::shared_ptr<const PreparedDataset>> BuildSnapshot(
   next->norm_kind = norm;
   if (!renormalize && current->normalized != nullptr &&
       current->norm_kind == norm &&
-      current->normalized->size() == current->raw->size()) {
-    next->normalized = current->normalized;
+      current->normalized->size() <= current->raw->size()) {
+    // Honor the frozen-normalization contract. The normalized copy may have
+    // gone stale while the base sat evicted: whole series appended
+    // (size grew) and/or existing series extended at the tail (lengths
+    // grew). Catch up only the missing parts with the existing parameters —
+    // exactly what a resident append/extend would have done — instead of
+    // renormalizing (and silently rescaling) the whole dataset.
     next->norm_params = current->norm_params;
-  } else if (!renormalize && current->normalized != nullptr &&
-             current->norm_kind == norm &&
-             current->normalized->size() < current->raw->size()) {
-    // Series were appended while the base sat evicted. Honor the frozen-
-    // normalization contract: normalize only the newcomers with the
-    // existing parameters — exactly what a resident append would have done
-    // — instead of renormalizing (and silently rescaling) the whole
-    // dataset.
-    next->norm_params = current->norm_params;
-    Dataset normalized(current->normalized->name());
-    for (const TimeSeries& ts : current->normalized->series()) {
-      normalized.Add(ts);
+    bool stale = current->normalized->size() < current->raw->size();
+    for (std::size_t s = 0; !stale && s < current->normalized->size(); ++s) {
+      stale = (*current->normalized)[s].length() != (*current->raw)[s].length();
     }
-    for (std::size_t s = current->normalized->size();
-         s < current->raw->size(); ++s) {
-      normalized.Add(
-          NormalizeAppended((*current->raw)[s], norm, &next->norm_params));
+    if (!stale) {
+      next->normalized = current->normalized;
+    } else {
+      Dataset normalized(current->normalized->name());
+      for (std::size_t s = 0; s < current->raw->size(); ++s) {
+        const TimeSeries& raw_ts = (*current->raw)[s];
+        if (s >= current->normalized->size()) {
+          normalized.Add(NormalizeAppended(raw_ts, norm, &next->norm_params));
+          continue;
+        }
+        const TimeSeries& have = (*current->normalized)[s];
+        if (have.length() == raw_ts.length()) {
+          normalized.Add(have);
+          continue;
+        }
+        std::vector<double> values = have.values();
+        values.reserve(raw_ts.length());
+        for (std::size_t i = have.length(); i < raw_ts.length(); ++i) {
+          values.push_back(NormalizeValue(next->norm_params, s, raw_ts[i]));
+        }
+        normalized.Add(
+            TimeSeries(have.name(), std::move(values), have.label()));
+      }
+      next->normalized =
+          std::make_shared<const Dataset>(std::move(normalized));
     }
-    next->normalized =
-        std::make_shared<const Dataset>(std::move(normalized));
   } else {
     ONEX_ASSIGN_OR_RETURN(Dataset normalized,
                           Normalize(*next->raw, norm, &next->norm_params));
@@ -82,7 +98,10 @@ Status PrepareTicket::Wait() const {
 DatasetRegistry::DatasetRegistry(TaskPool* pool,
                                  const DatasetRegistryOptions& options)
     : pool_(pool != nullptr ? pool : &TaskPool::Shared()),
-      budget_bytes_(options.prepared_budget_bytes) {}
+      budget_bytes_(options.prepared_budget_bytes),
+      drift_threshold_(options.drift_threshold < 0.0
+                           ? 0.0
+                           : options.drift_threshold) {}
 
 DatasetRegistry::~DatasetRegistry() {
   std::vector<TaskHandle> jobs;
@@ -199,6 +218,8 @@ std::vector<DatasetSlotInfo> DatasetRegistry::Describe() const {
     info.prepared = slot->snapshot != nullptr && slot->snapshot->prepared();
     info.evicted = slot->has_recipe && !info.prepared;
     info.prepared_bytes = slot->base_bytes.load();
+    info.regrouping = slot->regroup_inflight.load();
+    info.last_max_drift = slot->last_max_drift.load();
     out.push_back(std::move(info));
   }
   return out;
@@ -393,6 +414,124 @@ std::size_t DatasetRegistry::prepared_budget() const {
 std::size_t DatasetRegistry::prepared_bytes() const {
   std::lock_guard<std::mutex> lock(map_mutex_);
   return total_bytes_;
+}
+
+void DatasetRegistry::SetDriftThreshold(double fraction) {
+  drift_threshold_.store(fraction < 0.0 ? 0.0 : fraction);
+}
+
+double DatasetRegistry::drift_threshold() const {
+  return drift_threshold_.load();
+}
+
+Result<MaintenanceStatus> DatasetRegistry::Maintenance(
+    const std::string& name) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  MaintenanceStatus status;
+  status.drift_threshold = drift_threshold_.load();
+  status.last_max_drift = slot->last_max_drift.load();
+  status.regroup_in_flight = slot->regroup_inflight.load();
+  status.regroups_completed = slot->regroups_completed.load();
+  return status;
+}
+
+PrepareTicket DatasetRegistry::RegroupAsync(const std::string& name,
+                                            std::vector<std::size_t> lengths) {
+  PrepareTicket ticket;
+  Result<std::shared_ptr<Slot>> slot = FindSlot(name);
+  if (!slot.ok()) {
+    ticket.result_ = std::make_shared<Status>(slot.status());
+    return ticket;  // completed: empty handle reports done
+  }
+  if ((*slot)->regroup_inflight.exchange(true)) {
+    ticket.result_ = std::make_shared<Status>(Status::FailedPrecondition(
+        "a regroup of dataset '" + name + "' is already in flight"));
+    return ticket;
+  }
+  return ScheduleRegroup(name, *std::move(slot), std::move(lengths));
+}
+
+PrepareTicket DatasetRegistry::MaybeScheduleRegroup(
+    const std::string& name, const std::vector<LengthClassDrift>& drift) {
+  // An extend that grouped nothing (no report) carries no signal — leave
+  // the slot's gauge at its last real observation instead of zeroing it.
+  if (drift.empty()) return PrepareTicket{};
+  Result<std::shared_ptr<Slot>> slot = FindSlot(name);
+  if (!slot.ok()) return PrepareTicket{};  // dropped since the extend
+  double max_fraction = 0.0;
+  std::vector<std::size_t> affected;
+  const double threshold = drift_threshold_.load();
+  for (const LengthClassDrift& d : drift) {
+    max_fraction = std::max(max_fraction, d.fraction());
+    if (threshold > 0.0 && d.fraction() > threshold) {
+      affected.push_back(d.length);
+    }
+  }
+  (*slot)->last_max_drift.store(max_fraction);
+  if (affected.empty()) return PrepareTicket{};
+  if ((*slot)->regroup_inflight.exchange(true)) {
+    return PrepareTicket{};  // the in-flight job will see the newest snapshot
+  }
+  return ScheduleRegroup(name, *std::move(slot), std::move(affected));
+}
+
+PrepareTicket DatasetRegistry::ScheduleRegroup(
+    const std::string& name, std::shared_ptr<Slot> slot,
+    std::vector<std::size_t> lengths) {
+  PrepareTicket ticket;
+  ticket.result_ =
+      std::make_shared<Status>(Status::Internal("regroup job never ran"));
+  auto result = ticket.result_;
+  ticket.handle_ = pool_->SubmitWithHandle(
+      [this, name, slot = std::move(slot), lengths = std::move(lengths),
+       result] {
+        *result = RunRegroup(name, slot, lengths);
+        if (result->ok()) slot->regroups_completed.fetch_add(1);
+        slot->regroup_inflight.store(false);
+      });
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    std::erase_if(jobs_, [](const TaskHandle& h) { return h.done(); });
+    jobs_.push_back(ticket.handle_);
+  }
+  return ticket;
+}
+
+Status DatasetRegistry::RunRegroup(const std::string& name,
+                                   const std::shared_ptr<Slot>& slot,
+                                   const std::vector<std::size_t>& lengths) {
+  while (true) {
+    std::shared_ptr<const PreparedDataset> current;
+    {
+      std::shared_lock<std::shared_mutex> lock(slot->mutex);
+      current = slot->snapshot;
+    }
+    if (current == nullptr || !current->prepared()) {
+      // Evicted (or dropped to raw) since scheduling: the transparent
+      // rebuild re-clusters every class from scratch, which subsumes this
+      // repair.
+      return Status::OK();
+    }
+
+    // The expensive re-clustering runs with no lock held; concurrent
+    // queries keep answering from `current`. The install is conditional: an
+    // extend/append/prepare that landed while we rebuilt carries data this
+    // regroup has not seen, so on a lost race we re-read and go again.
+    ONEX_ASSIGN_OR_RETURN(OnexBase rebuilt,
+                          RegroupLengthClasses(*current->base, lengths));
+    auto next = std::make_shared<PreparedDataset>(*current);
+    next->base = std::make_shared<const OnexBase>(std::move(rebuilt));
+    if (Install(slot, name, next, current.get())) {
+      // Refresh the drift the dashboard sees: the regrouped classes are the
+      // ones whose number just changed.
+      double max_fraction = 0.0;
+      for (const LengthClassDrift& d : ComputeDrift(*next->base)) {
+        max_fraction = std::max(max_fraction, d.fraction());
+      }
+      slot->last_max_drift.store(max_fraction);
+      return Status::OK();
+    }
+  }
 }
 
 }  // namespace onex

@@ -13,6 +13,7 @@
 
 #include "onex/common/result.h"
 #include "onex/common/task_pool.h"
+#include "onex/core/incremental.h"
 #include "onex/core/onex_base.h"
 #include "onex/ts/normalization.h"
 
@@ -60,6 +61,11 @@ struct DatasetRegistryOptions {
   /// used other bases are evicted; a single base larger than the whole
   /// budget stays resident while it is the most recent.
   std::size_t prepared_budget_bytes = 0;
+  /// Drift fraction (LengthClassDrift::fraction, per length class) above
+  /// which an extend schedules a background regroup of the drifted classes
+  /// (DESIGN.md §12). 0 disables automatic regrouping; DRIFT/RegroupAsync
+  /// still allow manual repair.
+  double drift_threshold = 0.0;
 };
 
 /// One row of DatasetRegistry::Describe().
@@ -71,6 +77,20 @@ struct DatasetSlotInfo {
   /// transparently from the remembered build recipe.
   bool evicted = false;
   std::size_t prepared_bytes = 0;
+  /// A background drift regroup for this slot is in flight.
+  bool regrouping = false;
+  /// Largest per-class drift fraction observed by the most recent extend or
+  /// regroup of this slot (0 until streaming writes happen).
+  double last_max_drift = 0.0;
+};
+
+/// Maintenance view of one slot: the streaming-ingest counters the DRIFT
+/// verb and dataset stats surface (DESIGN.md §12).
+struct MaintenanceStatus {
+  double drift_threshold = 0.0;  ///< Registry-wide trigger (0 = disabled).
+  double last_max_drift = 0.0;
+  bool regroup_in_flight = false;
+  std::uint64_t regroups_completed = 0;
 };
 
 /// The engine's sharded dataset store (DESIGN.md §11): named slots, each
@@ -83,7 +103,11 @@ struct DatasetSlotInfo {
 ///     evicted bases re-prepare transparently on the next query;
 ///   - preparation jobs schedulable on the shared TaskPool (PrepareAsync),
 ///     so a server session can stage the next dashboard's dataset while the
-///     current one keeps answering.
+///     current one keeps answering;
+///   - streaming maintenance (DESIGN.md §12): per-slot drift accounting fed
+///     by Engine::ExtendSeries and a drift-triggered background regroup
+///     (RegroupAsync / MaybeScheduleRegroup) that rebuilds just the drifted
+///     length classes and installs conditionally like every other writer.
 ///
 /// Lock order: a slot lock may be taken while no registry lock is held, and
 /// the registry map lock may be taken while holding one slot lock — never
@@ -156,6 +180,34 @@ class DatasetRegistry {
   /// Bytes of currently resident prepared bases.
   std::size_t prepared_bytes() const;
 
+  /// Drift fraction that triggers automatic regrouping (0 disables;
+  /// negative values clamp to 0). Applies to extends that install after the
+  /// call.
+  void SetDriftThreshold(double fraction);
+  double drift_threshold() const;
+
+  /// Maintenance counters for one slot.
+  Result<MaintenanceStatus> Maintenance(const std::string& name) const;
+
+  /// Schedules a background regroup of `lengths` (fresh leader clustering
+  /// of those classes; core/incremental.h) on the task pool. The job reads
+  /// the newest snapshot, rebuilds outside every lock and installs
+  /// conditionally — on a lost race against a concurrent writer it retries
+  /// from the newer snapshot, exactly like Prepare. At most one regroup per
+  /// slot is in flight: a second call returns a completed ticket carrying
+  /// FailedPrecondition. A slot whose base is evicted reports OK without
+  /// work (the transparent rebuild regroups everything anyway).
+  PrepareTicket RegroupAsync(const std::string& name,
+                             std::vector<std::size_t> lengths);
+
+  /// The drift policy: records `drift` (the report of an extend that just
+  /// installed into `name`) and, when any class's fraction exceeds the
+  /// threshold and no regroup is already in flight, schedules RegroupAsync
+  /// over the offending classes. Returns the scheduled job's ticket, or an
+  /// empty (invalid) ticket when nothing was scheduled.
+  PrepareTicket MaybeScheduleRegroup(const std::string& name,
+                                     const std::vector<LengthClassDrift>& drift);
+
  private:
   struct Slot {
     /// Shared by queries reading the snapshot pointer, exclusive for swaps
@@ -175,6 +227,10 @@ class DatasetRegistry {
     std::atomic<std::uint64_t> last_used{0};
     /// Accounted base bytes while resident; mutated under map_mutex_.
     std::atomic<std::size_t> base_bytes{0};
+    /// One background drift regroup per slot at a time (DESIGN.md §12).
+    std::atomic<bool> regroup_inflight{false};
+    std::atomic<double> last_max_drift{0.0};
+    std::atomic<std::uint64_t> regroups_completed{0};
   };
 
   Result<std::shared_ptr<Slot>> FindSlot(const std::string& name) const;
@@ -196,11 +252,23 @@ class DatasetRegistry {
   /// base was just installed for immediate use.
   void EvictOverBudget(const Slot* keep);
 
+  /// Enqueues the regroup job for a slot whose regroup_inflight flag the
+  /// caller just claimed; the job releases the flag when it retires.
+  PrepareTicket ScheduleRegroup(const std::string& name,
+                                std::shared_ptr<Slot> slot,
+                                std::vector<std::size_t> lengths);
+
+  /// Runs a scheduled regroup to completion: conditional-install retry loop
+  /// plus the slot's maintenance accounting.
+  Status RunRegroup(const std::string& name, const std::shared_ptr<Slot>& slot,
+                    const std::vector<std::size_t>& lengths);
+
   TaskPool* pool_;
   mutable std::mutex map_mutex_;  ///< Guards slots_, budget_, total_bytes_.
   std::map<std::string, std::shared_ptr<Slot>> slots_;
   std::size_t budget_bytes_ = 0;
   std::size_t total_bytes_ = 0;
+  std::atomic<double> drift_threshold_{0.0};
   mutable std::atomic<std::uint64_t> clock_{0};
 
   std::mutex jobs_mutex_;  ///< Guards jobs_.

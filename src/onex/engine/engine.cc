@@ -1,5 +1,6 @@
 #include "onex/engine/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <fstream>
@@ -86,6 +87,19 @@ Status Engine::AppendSeries(const std::string& name, TimeSeries series) {
                                                std::move(norm_series)));
       next->base = std::make_shared<const OnexBase>(std::move(extended));
       next->normalized = next->base->shared_dataset();
+    } else if (current->normalized != nullptr) {
+      // Base evicted: grow the frozen normalized copy in lockstep (the same
+      // values BuildSnapshot's catch-up would derive). This keeps per-series
+      // parameters frozen at the newcomer's own pre-extend values, so a
+      // later ExtendSeries of this series — and the eventual transparent
+      // rebuild — match what a resident append+extend would have produced.
+      Dataset normalized(current->normalized->name());
+      for (const TimeSeries& ts : current->normalized->series()) {
+        normalized.Add(ts);
+      }
+      normalized.Add(
+          NormalizeAppended(series, current->norm_kind, &next->norm_params));
+      next->normalized = std::make_shared<const Dataset>(std::move(normalized));
     }
 
     ONEX_ASSIGN_OR_RETURN(
@@ -93,6 +107,87 @@ Status Engine::AppendSeries(const std::string& name, TimeSeries series) {
         registry_.Replace(name, std::move(next), current.get()));
     if (installed) return Status::OK();
     // Lost the race; go again from the newer snapshot.
+  }
+}
+
+Result<Engine::ExtendSummary> Engine::ExtendSeries(const std::string& name,
+                                                   std::size_t series,
+                                                   std::vector<double> points) {
+  std::vector<ExtendSpec> extensions(1);
+  extensions[0].series = series;
+  extensions[0].points = std::move(points);
+  return ExtendSeries(name, std::move(extensions));
+}
+
+Result<Engine::ExtendSummary> Engine::ExtendSeries(
+    const std::string& name, std::vector<ExtendSpec> extensions) {
+  // Conditional-install loop, like AppendSeries: if another writer swaps
+  // the slot while this one builds, rebuild from the newer snapshot instead
+  // of clobbering it. `extensions` is only read, so retries reuse it.
+  while (true) {
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
+                          Get(name));
+
+    // One pending tail per series (validation + duplicate merge shared with
+    // the core layer).
+    ONEX_ASSIGN_OR_RETURN(
+        std::vector<std::vector<double>> pending,
+        MergeExtensions(current->raw->size(), extensions));
+
+    ExtendSummary summary;
+    for (const std::vector<double>& tail : pending) {
+      if (tail.empty()) continue;
+      ++summary.series_extended;
+      summary.points_appended += tail.size();
+    }
+    auto next = std::make_shared<PreparedDataset>(*current);
+    next->raw =
+        std::make_shared<const Dataset>(ExtendTails(*current->raw, pending));
+
+    // The same tails in normalized units: mapped through the dataset's
+    // frozen parameters, so appended values land in exactly the units the
+    // base compares in.
+    std::vector<std::vector<double>> norm_pending(pending.size());
+    for (std::size_t s = 0; s < pending.size(); ++s) {
+      norm_pending[s].reserve(pending[s].size());
+      for (const double v : pending[s]) {
+        norm_pending[s].push_back(NormalizeValue(current->norm_params, s, v));
+      }
+    }
+
+    if (current->prepared()) {
+      // Insert only the new subsequences into the base.
+      std::vector<SeriesExtension> norm_ext;
+      for (std::size_t s = 0; s < norm_pending.size(); ++s) {
+        if (norm_pending[s].empty()) continue;
+        norm_ext.push_back(SeriesExtension{s, std::move(norm_pending[s])});
+      }
+      ONEX_ASSIGN_OR_RETURN(ExtendResult extended,
+                            onex::ExtendSeries(*current->base, norm_ext));
+      next->base = std::make_shared<const OnexBase>(std::move(extended.base));
+      next->normalized = next->base->shared_dataset();
+      summary.new_members = extended.new_members;
+      summary.drift = std::move(extended.drift);
+      for (const LengthClassDrift& d : summary.drift) {
+        summary.max_drift = std::max(summary.max_drift, d.fraction());
+      }
+    } else if (current->normalized != nullptr) {
+      // Base evicted: keep the frozen normalized copy in lockstep so the
+      // transparent rebuild (DESIGN.md §11) regroups exactly the values a
+      // resident extend would have inserted.
+      next->normalized = std::make_shared<const Dataset>(
+          ExtendTails(*current->normalized, norm_pending));
+    }
+
+    ONEX_ASSIGN_OR_RETURN(bool installed,
+                          registry_.Replace(name, next, current.get()));
+    if (!installed) continue;  // lost the race; go again from the newer state
+
+    // The drift policy runs after the install so the regroup job sees (at
+    // least) the snapshot this extend produced.
+    summary.regroup = registry_.MaybeScheduleRegroup(name, summary.drift);
+    summary.regroup_scheduled = summary.regroup.valid();
+    return summary;
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "onex/common/result.h"
 #include "onex/common/task_pool.h"
+#include "onex/core/incremental.h"
 #include "onex/core/onex_base.h"
 #include "onex/core/overview.h"
 #include "onex/core/query_processor.h"
@@ -86,6 +87,52 @@ class Engine {
   /// (core/incremental.h) — no full re-preprocessing. Snapshot semantics:
   /// concurrent readers keep the pre-append state.
   Status AppendSeries(const std::string& name, TimeSeries series);
+
+  /// One pending tail for ExtendSeries: `points` (original units) to append
+  /// to series `series` of the target dataset. Same shape as the core
+  /// layer's extension record — the engine's job is only to map the points
+  /// into normalized units before handing them down.
+  using ExtendSpec = SeriesExtension;
+
+  /// What one extend did to the dataset, plus the maintenance signals the
+  /// streaming dashboard watches (DESIGN.md §12).
+  struct ExtendSummary {
+    std::size_t series_extended = 0;  ///< Distinct series that grew.
+    std::size_t points_appended = 0;
+    /// Subsequences the new points created and the base absorbed (0 when
+    /// the dataset is unprepared or its base sits evicted — the raw/
+    /// normalized tails still grow, and the transparent rebuild groups
+    /// them on the next query).
+    std::size_t new_members = 0;
+    /// Post-extend drift of the length classes this extend touched, and the
+    /// largest fraction among them.
+    std::vector<LengthClassDrift> drift;
+    double max_drift = 0.0;
+    /// Set when the drift policy scheduled a background regroup; `regroup`
+    /// is that job's ticket.
+    bool regroup_scheduled = false;
+    PrepareTicket regroup;
+  };
+
+  /// Streaming point-appends: extends existing series at the tail (the
+  /// TimePool "which and when" scenario — live feeds ticking while the
+  /// analyst explores). New points are normalized with the dataset's frozen
+  /// parameters; only the subsequences they create are generated and
+  /// inserted under the build-time leader rule (core/incremental.h), so the
+  /// offline grouping work is never repeated. When the per-class drift
+  /// crosses the registry's threshold, a background regroup of the drifted
+  /// classes is scheduled on the engine's task pool. Snapshot semantics
+  /// match AppendSeries: conditional install, retry on a lost race,
+  /// concurrent readers keep the pre-extend state.
+  Result<ExtendSummary> ExtendSeries(const std::string& name,
+                                     std::size_t series,
+                                     std::vector<double> points);
+
+  /// Batched multi-extend: all tails land in one snapshot build and one
+  /// conditional install — the shape a collector draining a poll cycle of
+  /// many feeds wants. Duplicate series entries concatenate in order.
+  Result<ExtendSummary> ExtendSeries(const std::string& name,
+                                     std::vector<ExtendSpec> extensions);
 
   /// Persists a prepared dataset (normalized values, groups, build options
   /// and normalization parameters) so later sessions skip preprocessing.

@@ -53,6 +53,9 @@ constexpr long long kMaxCatalogPoints = 100'000;
 constexpr long long kMaxKnnK = 100'000;
 constexpr long long kMaxThresholdPairs = 1'000'000;
 constexpr std::size_t kMaxBatchSpecs = 1024;
+/// A streaming tail append is a poll cycle's worth of points, not a bulk
+/// load; bulk ingest goes through LOAD/GEN.
+constexpr std::size_t kMaxExtendPoints = 100'000;
 
 /// Resolves the dataset a command targets: positional name, then
 /// `dataset=<name>`, then the session's USE default.
@@ -254,6 +257,11 @@ Result<json::Value> DoStats(Engine* engine, const Session& session,
     v.Set("subsequences", ds->base->stats().num_subsequences);
     v.Set("st", ds->build_options.st);
     v.Set("normalization", NormalizationKindToString(ds->norm_kind));
+  }
+  if (const Result<MaintenanceStatus> m = engine->registry().Maintenance(name);
+      m.ok()) {
+    v.Set("last_max_drift", m->last_max_drift);
+    v.Set("regrouping", m->regroup_in_flight);
   }
   return v;
 }
@@ -457,6 +465,112 @@ Result<json::Value> DoAppend(Engine* engine, const Session& session,
   return v;
 }
 
+json::Value DriftToJson(const LengthClassDrift& d) {
+  json::Value row = json::Value::MakeObject();
+  row.Set("length", d.length);
+  row.Set("members", d.members);
+  row.Set("outliers", d.outliers);
+  row.Set("fraction", d.fraction());
+  return row;
+}
+
+Result<json::Value> DoExtend(Engine* engine, const Session& session,
+                             const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  const auto sit = cmd.options.find("series");
+  if (sit == cmd.options.end()) {
+    return Status::InvalidArgument("missing series=<index or name>");
+  }
+  const auto pit = cmd.options.find("points");
+  if (pit == cmd.options.end()) {
+    return Status::InvalidArgument("missing points=<comma-separated values>");
+  }
+  std::vector<double> points;
+  for (const std::string& token : SplitKeepEmpty(pit->second, ',')) {
+    if (points.size() >= kMaxExtendPoints) {
+      return Status::InvalidArgument(StrFormat(
+          "EXTEND accepts at most %zu points per frame", kMaxExtendPoints));
+    }
+    ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+    points.push_back(v);
+  }
+
+  // The target series: an index, or a name resolved against the dataset.
+  std::size_t series = 0;
+  const Result<long long> idx = ParseInt(sit->second);
+  if (idx.ok()) {
+    if (*idx < 0) {
+      return Status::InvalidArgument("series index must be >= 0");
+    }
+    series = static_cast<std::size_t>(*idx);
+  } else {
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                          engine->Get(name));
+    ONEX_ASSIGN_OR_RETURN(series, ds->raw->FindByName(sit->second));
+  }
+
+  ONEX_ASSIGN_OR_RETURN(Engine::ExtendSummary summary,
+                        engine->ExtendSeries(name, series, std::move(points)));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("series", series);
+  // Best-effort length report: the write is already installed, so a
+  // concurrent DROP must not turn an acknowledged extend into an error.
+  if (const Result<std::shared_ptr<const PreparedDataset>> after =
+          engine->Get(name);
+      after.ok() && (*after)->raw->CheckIndex(series).ok()) {
+    v.Set("length", (*(*after)->raw)[series].length());
+  }
+  v.Set("points_appended", summary.points_appended);
+  v.Set("new_members", summary.new_members);
+  v.Set("max_drift", summary.max_drift);
+  v.Set("regroup_scheduled", summary.regroup_scheduled);
+  json::Value arr = json::Value::MakeArray();
+  for (const LengthClassDrift& d : summary.drift) arr.Append(DriftToJson(d));
+  v.Set("drift", std::move(arr));
+  return v;
+}
+
+Result<json::Value> DoDrift(Engine* engine, const Session& session,
+                            const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  // Validate everything before committing the (registry-wide) threshold, so
+  // a failed command leaves no side effect behind.
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        engine->Get(name));
+  const auto tit = cmd.options.find("threshold");
+  if (tit != cmd.options.end()) {
+    ONEX_ASSIGN_OR_RETURN(double threshold, ParseDouble(tit->second));
+    if (!(threshold >= 0.0) || threshold > 1.0) {
+      return Status::InvalidArgument("threshold must be in [0, 1]");
+    }
+    engine->registry().SetDriftThreshold(threshold);
+  }
+  ONEX_ASSIGN_OR_RETURN(MaintenanceStatus status,
+                        engine->registry().Maintenance(name));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("threshold", status.drift_threshold);
+  v.Set("regrouping", status.regroup_in_flight);
+  v.Set("regroups_completed", status.regroups_completed);
+  v.Set("last_max_drift", status.last_max_drift);
+  v.Set("prepared", ds->prepared());
+  if (ds->prepared()) {
+    // Full scan over the resident base. Deliberately reads the snapshot via
+    // Get, not GetPrepared: a DRIFT poll must not force an evicted base
+    // back into memory.
+    double max_drift = 0.0;
+    json::Value arr = json::Value::MakeArray();
+    for (const LengthClassDrift& d : ComputeDrift(*ds->base)) {
+      max_drift = std::max(max_drift, d.fraction());
+      arr.Append(DriftToJson(d));
+    }
+    v.Set("classes", std::move(arr));
+    v.Set("max_drift", max_drift);
+  }
+  return v;
+}
+
 Result<json::Value> DoDatasets(Engine* engine) {
   json::Value v = Ok();
   json::Value arr = json::Value::MakeArray();
@@ -467,6 +581,8 @@ Result<json::Value> DoDatasets(Engine* engine) {
     row.Set("prepared", info.prepared);
     row.Set("evicted", info.evicted);
     row.Set("bytes", info.prepared_bytes);
+    row.Set("regrouping", info.regrouping);
+    row.Set("last_max_drift", info.last_max_drift);
     arr.Append(std::move(row));
   }
   v.Set("datasets", std::move(arr));
@@ -547,6 +663,8 @@ Result<json::Value> Dispatch(Engine* engine, Session* session,
   }
   if (cmd.verb == "PREPARE") return DoPrepare(engine, *session, cmd);
   if (cmd.verb == "APPEND") return DoAppend(engine, *session, cmd);
+  if (cmd.verb == "EXTEND") return DoExtend(engine, *session, cmd);
+  if (cmd.verb == "DRIFT") return DoDrift(engine, *session, cmd);
   if (cmd.verb == "SAVEBASE") {
     ONEX_RETURN_IF_ERROR(NeedArgs(cmd, 2));
     ONEX_RETURN_IF_ERROR(engine->SavePrepared(cmd.args[0], cmd.args[1]));

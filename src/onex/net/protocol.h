@@ -37,6 +37,17 @@ namespace onex::net {
 ///   PREPARE [st=0.2] [minlen=4] [maxlen=0] [lenstep=1] [stride=1]
 ///           [norm=minmax-dataset] [policy=running-mean] [threads=1]
 ///   APPEND v=<v1,v2,...> [series=appended]           incremental insert
+///   EXTEND series=<idx|name> points=<v1,v2,...>      streaming point-append
+///       Appends points (original units) to an existing series; the tail is
+///       renormalized with the frozen dataset parameters and only the new
+///       subsequences join the base (DESIGN.md §12). Reports the per-class
+///       drift the write caused and whether a background regroup of the
+///       drifted classes was scheduled.
+///   DRIFT [threshold=f]                              maintenance report
+///       Per-length-class drift of the prepared base (members beyond ST/2
+///       of their centroid), the regroup trigger threshold, and whether a
+///       regroup is in flight. threshold= sets the registry-wide trigger
+///       (0 disables), like BUDGET sets the LRU budget.
 ///   SAVEBASE <name> <path>                           persist prepared state
 ///   LOADBASE <name> <path>                           restore prepared state
 ///   STATS

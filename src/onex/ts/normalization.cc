@@ -137,6 +137,25 @@ TimeSeries NormalizeAppended(const TimeSeries& series, NormalizationKind kind,
   return TimeSeries(series.name(), std::move(out), series.label());
 }
 
+double NormalizeValue(const NormalizationParams& params,
+                      std::size_t series_idx, double value) {
+  switch (params.kind) {
+    case NormalizationKind::kNone:
+      return value;
+    case NormalizationKind::kMinMaxDataset: {
+      const double span = params.max - params.min;
+      return span > 0.0 ? (value - params.min) / span : 0.0;
+    }
+    case NormalizationKind::kMinMaxSeries:
+    case NormalizationKind::kZScoreSeries: {
+      if (series_idx >= params.per_series.size()) return value;
+      const auto [offset, scale] = params.per_series[series_idx];
+      return scale != 0.0 ? (value - offset) / scale : 0.0;
+    }
+  }
+  return value;
+}
+
 double Denormalize(const NormalizationParams& params, std::size_t series_idx,
                    double value) {
   switch (params.kind) {

@@ -48,6 +48,16 @@ Result<Dataset> Normalize(const Dataset& ds, NormalizationKind kind,
 double Denormalize(const NormalizationParams& params, std::size_t series_idx,
                    double value);
 
+/// Inverse of Denormalize: maps one raw value of series `series_idx` into
+/// the frozen normalized space. The streaming tail path (Engine::
+/// ExtendSeries, and the registry's catch-up of a normalized copy that went
+/// stale while the base sat evicted) uses this so points appended to an
+/// existing series land in exactly the units the base compares in.
+/// Degenerate frozen scales (constant dataset) map to 0, mirroring
+/// Normalize.
+double NormalizeValue(const NormalizationParams& params,
+                      std::size_t series_idx, double value);
+
 /// Normalizes one newcomer series against an existing dataset's *frozen*
 /// parameters — the incremental-append counterpart of Normalize. Dataset-
 /// level kinds reuse the stored extrema untouched (appending never rescales

@@ -1,0 +1,277 @@
+/// Property suite for the streaming-maintenance invariants (DESIGN.md §12):
+/// after arbitrary randomized extend sequences — including lengths the base
+/// has never seen and extends that land while the base sits evicted — the
+/// leader-rule ST/2 invariant (exact under kFixedLeader), group-envelope
+/// containment (what makes LbKeoghGroup admissible over every member), the
+/// membership partition and the drift accounting all hold.
+#include "onex/core/incremental.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/core/onex_base.h"
+#include "onex/core/query_processor.h"
+#include "onex/distance/envelope.h"
+#include "onex/distance/euclidean.h"
+#include "onex/engine/engine.h"
+#include "onex/ts/normalization.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+BaseBuildOptions Options(CentroidPolicy policy, double st = 0.25) {
+  BaseBuildOptions opt;
+  opt.st = st;
+  opt.min_length = 4;
+  opt.max_length = 0;
+  opt.length_step = 2;
+  opt.centroid_policy = policy;
+  return opt;
+}
+
+OnexBase MakeBase(Rng* rng, CentroidPolicy policy, std::size_t num = 5,
+                  std::size_t len = 12) {
+  Dataset ds("maint");
+  for (std::size_t s = 0; s < num; ++s) {
+    ds.Add(TimeSeries("s" + std::to_string(s),
+                      testing::SmoothSeries(rng, len)));
+  }
+  return std::move(OnexBase::Build(std::make_shared<const Dataset>(std::move(ds)),
+                                   Options(policy)))
+      .value();
+}
+
+/// Applies a random extend schedule, returning the final base.
+OnexBase RandomExtends(Rng* rng, OnexBase base, std::size_t ops) {
+  for (std::size_t op = 0; op < ops; ++op) {
+    std::vector<SeriesExtension> batch;
+    const std::size_t specs = 1 + rng->UniformIndex(2);
+    for (std::size_t i = 0; i < specs; ++i) {
+      SeriesExtension ext;
+      ext.series = rng->UniformIndex(base.dataset().size());
+      ext.points = testing::SmoothSeries(rng, 1 + rng->UniformIndex(5));
+      batch.push_back(std::move(ext));
+    }
+    Result<ExtendResult> next = ExtendSeries(base, batch);
+    base = std::move(next.value().base);
+  }
+  return base;
+}
+
+/// The membership partition: every admissible subsequence grouped exactly
+/// once, refs valid against the dataset.
+void CheckPartition(const OnexBase& base) {
+  std::set<SubseqRef> seen;
+  for (const LengthClass& cls : base.length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        ASSERT_TRUE(base.dataset()
+                        .CheckRange(ref.series, ref.start, ref.length)
+                        .ok())
+            << ref.ToString();
+        EXPECT_EQ(ref.length, cls.length);
+        EXPECT_TRUE(seen.insert(ref).second) << ref.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), base.TotalMembers());
+  EXPECT_EQ(base.TotalMembers(),
+            base.dataset().CountSubsequences(
+                base.options().min_length, base.dataset().MaxLength(),
+                base.options().length_step, base.options().stride));
+}
+
+/// Group-envelope containment: every member's values lie pointwise inside
+/// the group's min/max envelope — the property that makes one LbKeoghGroup
+/// evaluation an admissible bound for every member (DESIGN.md §7.3).
+void CheckEnvelopeContainment(const OnexBase& base) {
+  for (const LengthClass& cls : base.length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      const EnvelopeView env = g.envelope();
+      for (const SubseqRef& ref : g.members()) {
+        const std::span<const double> vals = ref.Resolve(base.dataset());
+        for (std::size_t i = 0; i < cls.length; ++i) {
+          EXPECT_LE(env.lower[i], vals[i] + 1e-12) << ref.ToString();
+          EXPECT_GE(env.upper[i], vals[i] - 1e-12) << ref.ToString();
+        }
+      }
+    }
+  }
+}
+
+class MaintenancePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MaintenancePropertyTest, FixedLeaderInvariantSurvivesExtendSchedules) {
+  Rng rng(GetParam());
+  OnexBase base = MakeBase(&rng, CentroidPolicy::kFixedLeader);
+  base = RandomExtends(&rng, std::move(base), 6);
+
+  const double radius = base.options().st / 2.0;
+  for (const LengthClass& cls : base.length_classes()) {
+    for (const SimilarityGroup& g : cls.groups) {
+      for (const SubseqRef& ref : g.members()) {
+        EXPECT_LE(NormalizedEuclidean(g.centroid_span(),
+                                      ref.Resolve(base.dataset())),
+                  radius + 1e-9)
+            << ref.ToString();
+      }
+    }
+  }
+  // The exact invariant means zero drift, and the report must agree.
+  for (const LengthClassDrift& d : ComputeDrift(base)) {
+    EXPECT_EQ(d.outliers, 0u) << "length " << d.length;
+  }
+  CheckPartition(base);
+}
+
+TEST_P(MaintenancePropertyTest, EnvelopesContainEveryMemberForAllPolicies) {
+  for (const CentroidPolicy policy :
+       {CentroidPolicy::kFixedLeader, CentroidPolicy::kRunningMean,
+        CentroidPolicy::kRunningMeanRepair}) {
+    Rng rng(GetParam() + static_cast<std::uint64_t>(policy) * 97);
+    OnexBase base = MakeBase(&rng, policy);
+    base = RandomExtends(&rng, std::move(base), 5);
+    CheckEnvelopeContainment(base);
+    CheckPartition(base);
+  }
+}
+
+TEST_P(MaintenancePropertyTest, ExtendPastEveryKnownLengthOpensFreshClasses) {
+  Rng rng(GetParam() + 31);
+  OnexBase base = MakeBase(&rng, CentroidPolicy::kRunningMean, 4, 10);
+  const std::size_t old_max = base.dataset().MaxLength();
+  ASSERT_FALSE(base.FindLengthClass(old_max + 2).ok());
+
+  // Grow one series far past anything the base has seen: classes for the
+  // new lengths appear, hold only that series' tail subsequences, and every
+  // invariant still holds.
+  const std::size_t target = rng.UniformIndex(base.dataset().size());
+  Result<ExtendResult> grown =
+      ExtendSeries(base, target, testing::SmoothSeries(&rng, 8));
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  base = std::move(grown->base);
+
+  Result<const LengthClass*> fresh = base.FindLengthClass(old_max + 2);
+  ASSERT_TRUE(fresh.ok());
+  for (const SimilarityGroup& g : (*fresh)->groups) {
+    for (const SubseqRef& ref : g.members()) {
+      EXPECT_EQ(ref.series, target);
+    }
+  }
+  // The extend reported the classes it touched, fresh lengths included.
+  bool reported = false;
+  for (const LengthClassDrift& d : grown->drift) {
+    reported = reported || d.length == old_max + 2;
+  }
+  EXPECT_TRUE(reported);
+  CheckPartition(base);
+  CheckEnvelopeContainment(base);
+}
+
+TEST_P(MaintenancePropertyTest, RegroupPreservesPartitionAndRestoresInvariant) {
+  for (const CentroidPolicy policy :
+       {CentroidPolicy::kFixedLeader, CentroidPolicy::kRunningMean}) {
+    Rng rng(GetParam() + 59);
+    OnexBase base = MakeBase(&rng, policy);
+    base = RandomExtends(&rng, std::move(base), 6);
+    const std::size_t members_before = base.TotalMembers();
+
+    std::vector<std::size_t> lengths;
+    for (const LengthClass& cls : base.length_classes()) {
+      lengths.push_back(cls.length);
+    }
+    Result<OnexBase> regrouped = RegroupLengthClasses(base, lengths);
+    ASSERT_TRUE(regrouped.ok()) << regrouped.status();
+
+    EXPECT_EQ(regrouped->TotalMembers(), members_before);
+    CheckPartition(*regrouped);
+    CheckEnvelopeContainment(*regrouped);
+    if (policy == CentroidPolicy::kFixedLeader) {
+      for (const LengthClassDrift& d : ComputeDrift(*regrouped)) {
+        EXPECT_EQ(d.outliers, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(MaintenancePropertyTest, ExtendWhileEvictedSurvivesRegistryRebuild) {
+  // The registry path: a base pushed out by the LRU budget receives tail
+  // points; the transparent rebuild must fold them in with the frozen
+  // normalization, and the rebuilt base must satisfy every maintenance
+  // invariant — including for lengths the original base never saw.
+  Rng rng(GetParam() + 83);
+  Engine engine;
+  Dataset ds("live");
+  for (std::size_t s = 0; s < 4; ++s) {
+    ds.Add(TimeSeries("feed_" + std::to_string(s),
+                      testing::SmoothSeries(&rng, 12)));
+  }
+  ASSERT_TRUE(engine.LoadDataset("live", std::move(ds)).ok());
+  BaseBuildOptions opt = Options(CentroidPolicy::kFixedLeader);
+  ASSERT_TRUE(engine.Prepare("live", opt).ok());
+
+  // Evict by shrinking the budget to one byte.
+  engine.registry().SetPreparedBudget(1);
+  {
+    Result<std::shared_ptr<const PreparedDataset>> snap = engine.Get("live");
+    ASSERT_TRUE(snap.ok());
+    ASSERT_FALSE((*snap)->prepared());  // evicted, not dropped
+  }
+
+  // Extend while evicted: a long tail that also opens unseen lengths (8
+  // points keeps 12 + 8 = 20 on the build's step-2 length grid).
+  const std::vector<double> tail = testing::SmoothSeries(&rng, 8);
+  Result<Engine::ExtendSummary> summary = engine.ExtendSeries("live", 0, tail);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->points_appended, tail.size());
+  EXPECT_EQ(summary->new_members, 0u);  // base not resident: nothing grouped
+
+  // Lift the budget and query: the transparent rebuild runs and must cover
+  // the extended tail.
+  engine.registry().SetPreparedBudget(0);
+  Result<std::shared_ptr<const PreparedDataset>> prepared =
+      engine.registry().GetPrepared("live");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  const OnexBase& base = *(*prepared)->base;
+  EXPECT_EQ(base.dataset()[0].length(), 12u + tail.size());
+  CheckPartition(base);
+  CheckEnvelopeContainment(base);
+  ASSERT_TRUE(base.FindLengthClass(12 + tail.size()).ok());
+
+  // The rebuilt normalized tail must equal what a resident extend would
+  // have produced: the frozen parameters applied to the raw points.
+  const NormalizationParams& params = (*prepared)->norm_params;
+  const TimeSeries& norm0 = (*(*prepared)->normalized)[0];
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_NEAR(norm0[12 + i], NormalizeValue(params, 0, tail[i]), 1e-12);
+  }
+
+  // And the tail is searchable exactly.
+  QuerySpec spec;
+  spec.series = 0;
+  spec.start = 12;
+  spec.length = tail.size();
+  QueryOptions qopt;
+  qopt.exhaustive = true;
+  Result<MatchResult> match = engine.SimilaritySearch("live", spec, qopt);
+  ASSERT_TRUE(match.ok()) << match.status();
+  EXPECT_NEAR(match->match.normalized_dtw, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaintenancePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace onex

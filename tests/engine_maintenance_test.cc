@@ -1,0 +1,359 @@
+/// Engine/registry layer of the streaming-maintenance subsystem
+/// (DESIGN.md §12): ExtendSeries summaries, batched multi-extend, the
+/// drift-triggered background regroup with its ticket lifecycle, and the
+/// acceptance property that a query running concurrently with a regroup
+/// never observes a torn snapshot (run under TSan in CI).
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/core/incremental.h"
+#include "onex/engine/engine.h"
+#include "test_util.h"
+
+namespace onex {
+namespace {
+
+constexpr char kName[] = "feed";
+
+BaseBuildOptions Opt(CentroidPolicy policy = CentroidPolicy::kRunningMean) {
+  BaseBuildOptions opt;
+  opt.st = 0.25;
+  opt.min_length = 4;
+  opt.max_length = 0;
+  opt.length_step = 2;
+  opt.centroid_policy = policy;
+  return opt;
+}
+
+void LoadAndPrepare(Engine* engine, std::size_t num = 6, std::size_t len = 14,
+                    CentroidPolicy policy = CentroidPolicy::kRunningMean) {
+  ASSERT_TRUE(
+      engine->LoadDataset(kName, testing::SmallDataset(num, len, 7)).ok());
+  ASSERT_TRUE(engine->Prepare(kName, Opt(policy)).ok());
+}
+
+TEST(EngineMaintenanceTest, ExtendSummaryCountsMatchSubsequenceGrowth) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  Result<std::shared_ptr<const PreparedDataset>> before = engine.Get(kName);
+  ASSERT_TRUE(before.ok());
+  const std::size_t members_before = (*before)->base->TotalMembers();
+  const std::size_t count_before = (*before)->normalized->CountSubsequences(
+      4, (*before)->normalized->MaxLength(), 2, 1);
+
+  Rng rng(3);
+  Result<Engine::ExtendSummary> summary =
+      engine.ExtendSeries(kName, 2, testing::SmoothSeries(&rng, 4));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->series_extended, 1u);
+  EXPECT_EQ(summary->points_appended, 4u);
+
+  Result<std::shared_ptr<const PreparedDataset>> after = engine.Get(kName);
+  ASSERT_TRUE(after.ok());
+  const std::size_t count_after = (*after)->normalized->CountSubsequences(
+      4, (*after)->normalized->MaxLength(), 2, 1);
+  EXPECT_EQ(summary->new_members, count_after - count_before);
+  EXPECT_EQ((*after)->base->TotalMembers(),
+            members_before + summary->new_members);
+  EXPECT_EQ((*after)->raw->operator[](2).length(), 18u);
+  // Raw and normalized stay in lockstep.
+  EXPECT_EQ((*after)->normalized->operator[](2).length(), 18u);
+  // Drift was reported for the touched classes only, all of which exist.
+  EXPECT_FALSE(summary->drift.empty());
+  for (const LengthClassDrift& d : summary->drift) {
+    EXPECT_TRUE((*after)->base->FindLengthClass(d.length).ok());
+    EXPECT_GE(summary->max_drift, 0.0);
+  }
+}
+
+TEST(EngineMaintenanceTest, ExtendedTailIsSearchableExactly) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  Rng rng(11);
+  ASSERT_TRUE(
+      engine.ExtendSeries(kName, 0, testing::SmoothSeries(&rng, 6)).ok());
+
+  QuerySpec spec;
+  spec.series = 0;
+  spec.start = 14;  // the appended region
+  spec.length = 6;
+  QueryOptions qopt;
+  qopt.exhaustive = true;
+  Result<MatchResult> match = engine.SimilaritySearch(kName, spec, qopt);
+  ASSERT_TRUE(match.ok()) << match.status();
+  EXPECT_NEAR(match->match.normalized_dtw, 0.0, 1e-9);
+}
+
+TEST(EngineMaintenanceTest, BatchExtendMatchesMergedGrowth) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  Rng rng(17);
+  std::vector<Engine::ExtendSpec> batch(3);
+  batch[0].series = 1;
+  batch[0].points = testing::SmoothSeries(&rng, 3);
+  batch[1].series = 4;
+  batch[1].points = testing::SmoothSeries(&rng, 2);
+  batch[2].series = 1;  // duplicate target: concatenates in order
+  batch[2].points = testing::SmoothSeries(&rng, 2);
+
+  Result<Engine::ExtendSummary> summary =
+      engine.ExtendSeries(kName, std::move(batch));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->series_extended, 2u);
+  EXPECT_EQ(summary->points_appended, 7u);
+
+  Result<std::shared_ptr<const PreparedDataset>> after = engine.Get(kName);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->raw->operator[](1).length(), 19u);
+  EXPECT_EQ((*after)->raw->operator[](4).length(), 16u);
+  EXPECT_EQ((*after)->base->TotalMembers(),
+            (*after)->normalized->CountSubsequences(
+                4, (*after)->normalized->MaxLength(), 2, 1));
+}
+
+TEST(EngineMaintenanceTest, ExtendRejectsBadInput) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  EXPECT_FALSE(engine.ExtendSeries("nope", 0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(engine.ExtendSeries(kName, 99, {1.0, 2.0}).ok());
+  EXPECT_FALSE(engine.ExtendSeries(kName, 0, {}).ok());
+  EXPECT_FALSE(
+      engine.ExtendSeries(kName, std::vector<Engine::ExtendSpec>{}).ok());
+}
+
+TEST(EngineMaintenanceTest, ExtendOnUnpreparedDatasetGrowsRawOnly) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.LoadDataset(kName, testing::SmallDataset(4, 10, 5)).ok());
+  Rng rng(23);
+  Result<Engine::ExtendSummary> summary =
+      engine.ExtendSeries(kName, 1, testing::SmoothSeries(&rng, 3));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->new_members, 0u);
+  EXPECT_FALSE(summary->regroup_scheduled);
+  Result<std::shared_ptr<const PreparedDataset>> snap = engine.Get(kName);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ((*snap)->raw->operator[](1).length(), 13u);
+  EXPECT_FALSE((*snap)->prepared());
+}
+
+TEST(EngineMaintenanceTest, DriftPolicySchedulesRegroupAboveThreshold) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  DatasetRegistry& registry = engine.registry();
+  registry.SetDriftThreshold(0.5);
+  EXPECT_DOUBLE_EQ(registry.drift_threshold(), 0.5);
+
+  // Below threshold: drift is recorded, nothing scheduled.
+  std::vector<LengthClassDrift> calm{{6, 10, 2}};
+  PrepareTicket none = registry.MaybeScheduleRegroup(kName, calm);
+  EXPECT_FALSE(none.valid());
+  Result<MaintenanceStatus> status = registry.Maintenance(kName);
+  ASSERT_TRUE(status.ok());
+  EXPECT_DOUBLE_EQ(status->last_max_drift, 0.2);
+  EXPECT_FALSE(status->regroup_in_flight);
+
+  // Above threshold: a background regroup of the offending class runs and
+  // completes; the counters show it.
+  std::vector<LengthClassDrift> hot{{6, 10, 9}};
+  PrepareTicket job = registry.MaybeScheduleRegroup(kName, hot);
+  ASSERT_TRUE(job.valid());
+  ASSERT_TRUE(job.Wait().ok()) << job.Wait();
+  status = registry.Maintenance(kName);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->regroups_completed, 1u);
+  EXPECT_FALSE(status->regroup_in_flight);
+
+  // The regrouped base still answers and keeps the membership partition.
+  Result<std::shared_ptr<const PreparedDataset>> after = engine.Get(kName);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE((*after)->prepared());
+  EXPECT_EQ((*after)->base->TotalMembers(),
+            (*after)->normalized->CountSubsequences(
+                4, (*after)->normalized->MaxLength(), 2, 1));
+
+  // Threshold 0 disables the policy entirely.
+  registry.SetDriftThreshold(0.0);
+  EXPECT_FALSE(registry.MaybeScheduleRegroup(kName, hot).valid());
+}
+
+TEST(EngineMaintenanceTest, RegroupTicketLifecycle) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  DatasetRegistry& registry = engine.registry();
+
+  // Unknown dataset: a completed ticket carrying the error.
+  PrepareTicket missing = registry.RegroupAsync("nope", {6});
+  ASSERT_TRUE(missing.valid());
+  EXPECT_FALSE(missing.Wait().ok());
+
+  PrepareTicket job = registry.RegroupAsync(kName, {4, 6, 8});
+  ASSERT_TRUE(job.valid());
+  EXPECT_TRUE(job.Wait().ok()) << job.Wait();
+
+  // A regroup of an evicted slot is a clean no-op: the transparent rebuild
+  // subsumes it.
+  registry.SetPreparedBudget(1);
+  PrepareTicket evicted = registry.RegroupAsync(kName, {4});
+  ASSERT_TRUE(evicted.valid());
+  EXPECT_TRUE(evicted.Wait().ok()) << evicted.Wait();
+  registry.SetPreparedBudget(0);
+}
+
+TEST(EngineMaintenanceTest, ExtendAfterEvictionThenQueryReachesNewTail) {
+  Engine engine;
+  LoadAndPrepare(&engine);
+  engine.registry().SetPreparedBudget(1);  // evict the only base
+  Rng rng(29);
+  Result<Engine::ExtendSummary> summary =
+      engine.ExtendSeries(kName, 3, testing::SmoothSeries(&rng, 4));
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->new_members, 0u);
+  engine.registry().SetPreparedBudget(0);
+
+  QuerySpec spec;
+  spec.series = 3;
+  spec.start = 14;
+  spec.length = 4;
+  QueryOptions qopt;
+  qopt.exhaustive = true;
+  Result<MatchResult> match = engine.SimilaritySearch(kName, spec, qopt);
+  ASSERT_TRUE(match.ok()) << match.status();
+  EXPECT_NEAR(match->match.normalized_dtw, 0.0, 1e-9);
+}
+
+TEST(EngineMaintenanceTest,
+     AppendThenExtendWhileEvictedMatchesResidentNormalization) {
+  // The frozen-normalization contract under per-series parameters: a series
+  // appended and then extended while the base sits evicted must end up with
+  // exactly the normalized values the resident path produces — the newcomer's
+  // offset/scale freeze at its pre-extend extrema either way.
+  Rng rng(41);
+  const TimeSeries newcomer("late", testing::SmoothSeries(&rng, 10));
+  const std::vector<double> tail = testing::SmoothSeries(&rng, 4);
+
+  auto run = [&](bool evict) -> std::vector<double> {
+    Engine engine;
+    EXPECT_TRUE(
+        engine.LoadDataset(kName, testing::SmallDataset(4, 12, 19)).ok());
+    EXPECT_TRUE(engine
+                    .Prepare(kName, Opt(CentroidPolicy::kFixedLeader),
+                             NormalizationKind::kMinMaxSeries)
+                    .ok());
+    if (evict) engine.registry().SetPreparedBudget(1);
+    EXPECT_TRUE(engine.AppendSeries(kName, newcomer).ok());
+    EXPECT_TRUE(engine.ExtendSeries(kName, 4, tail).ok());
+    if (evict) engine.registry().SetPreparedBudget(0);
+    Result<std::shared_ptr<const PreparedDataset>> snap =
+        engine.registry().GetPrepared(kName);
+    EXPECT_TRUE(snap.ok()) << snap.status();
+    if (!snap.ok()) return {};
+    return (*(*snap)->normalized)[4].values();
+  };
+
+  const std::vector<double> resident = run(/*evict=*/false);
+  const std::vector<double> evicted = run(/*evict=*/true);
+  ASSERT_EQ(resident.size(), newcomer.length() + tail.size());
+  ASSERT_EQ(resident.size(), evicted.size());
+  for (std::size_t i = 0; i < resident.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resident[i], evicted[i]) << "point " << i;
+  }
+}
+
+/// Acceptance: queries racing extends and drift-triggered regroups never
+/// observe a torn snapshot. Readers hammer SimilaritySearch while one
+/// writer streams tails and another repeatedly schedules regroups of every
+/// class; every query must succeed against some consistent snapshot. TSan
+/// (CI) verifies the absence of data races on top of the assertions here.
+TEST(EngineMaintenanceConcurrencyTest, QueriesRaceExtendsAndRegroups) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.LoadDataset(kName, testing::SmallDataset(8, 24, 13)).ok());
+  BaseBuildOptions opt = Opt();
+  opt.max_length = 16;
+  ASSERT_TRUE(engine.Prepare(kName, opt).ok());
+  engine.registry().SetDriftThreshold(1e-6);  // hair trigger
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> queries_done{0};
+  std::atomic<std::size_t> query_failures{0};
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&engine, &stop, &queries_done, &query_failures, r] {
+      QuerySpec spec;
+      spec.series = static_cast<std::size_t>(r);
+      spec.start = 2;
+      spec.length = 8;
+      while (!stop.load()) {
+        Result<MatchResult> match = engine.SimilaritySearch(kName, spec);
+        if (!match.ok() || !(match->match.normalized_dtw >= 0.0)) {
+          query_failures.fetch_add(1);
+        }
+        queries_done.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread writer([&engine] {
+    Rng rng(31);
+    for (int i = 0; i < 12; ++i) {
+      const std::size_t series = rng.UniformIndex(8);
+      Result<Engine::ExtendSummary> summary = engine.ExtendSeries(
+          kName, series, testing::SmoothSeries(&rng, 1 + rng.UniformIndex(3)));
+      ASSERT_TRUE(summary.ok()) << summary.status();
+      if (summary->regroup_scheduled) {
+        EXPECT_TRUE(summary->regroup.Wait().ok());
+      }
+    }
+  });
+
+  std::thread regrouper([&engine, &stop] {
+    while (!stop.load()) {
+      Result<std::shared_ptr<const PreparedDataset>> snap =
+          engine.registry().GetPrepared(kName);
+      if (!snap.ok()) continue;
+      std::vector<std::size_t> lengths;
+      for (const LengthClass& cls : (*snap)->base->length_classes()) {
+        lengths.push_back(cls.length);
+      }
+      PrepareTicket job =
+          engine.registry().RegroupAsync(kName, std::move(lengths));
+      if (job.valid()) (void)job.Wait();  // FailedPrecondition races are fine
+    }
+  });
+
+  writer.join();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  regrouper.join();
+
+  EXPECT_GT(queries_done.load(), 0u);
+  EXPECT_EQ(query_failures.load(), 0u);
+
+  // The surviving snapshot is whole: raw, normalized and base agree on the
+  // final lengths, and the partition covers exactly the admissible space.
+  Result<std::shared_ptr<const PreparedDataset>> final_snap =
+      engine.registry().GetPrepared(kName);
+  ASSERT_TRUE(final_snap.ok());
+  const PreparedDataset& ds = **final_snap;
+  ASSERT_EQ(ds.raw->size(), ds.normalized->size());
+  for (std::size_t s = 0; s < ds.raw->size(); ++s) {
+    EXPECT_EQ((*ds.raw)[s].length(), (*ds.normalized)[s].length());
+  }
+  EXPECT_EQ(ds.base->TotalMembers(),
+            ds.normalized->CountSubsequences(4, 16, 2, 1));
+}
+
+}  // namespace
+}  // namespace onex

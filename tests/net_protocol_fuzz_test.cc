@@ -33,6 +33,10 @@ const std::vector<std::string>& Corpus() {
       "PREPARE s st=0.2 maxlen=8",
       "PREPARE dataset=s st=0.25 minlen=4 maxlen=8 policy=running-mean",
       "APPEND s series=x v=0.1,0.2,0.3,0.4,0.5,0.6",
+      "EXTEND s series=0 points=0.2,0.4,0.3",
+      "EXTEND dataset=s series=x points=0.1,0.9",
+      "DRIFT s",
+      "DRIFT s threshold=0.25",
       "STATS s",
       "CATALOG s points=6",
       "OVERVIEW s top=5",
@@ -216,6 +220,9 @@ TEST(ProtocolFuzzTest, SizeDrivingOptionsAreCapped) {
   // the number in the frame.
   std::string flood = "BATCH s k=100000 q=0:0:8";
   for (int i = 0; i < 2000; ++i) flood += ";0:0:8";
+  // 100001 points: one past the EXTEND cap.
+  std::string extend_flood = "EXTEND s series=0 points=0";
+  for (int i = 0; i < 100000; ++i) extend_flood += ",0";
   for (const std::string& line : {
            std::string("GEN huge walk num=1000000000 len=1000000000"),
            std::string("GEN huge walk num=2000000 len=2000000"),
@@ -224,6 +231,7 @@ TEST(ProtocolFuzzTest, SizeDrivingOptionsAreCapped) {
            std::string("BATCH s q=0:0:8 k=999999999"),
            std::string("THRESHOLD s pairs=999999999"),
            flood,  // spec-count flood: 2001 queries x max k
+           extend_flood,
        }) {
     const json::Value v =
         ExecuteCommand(&engine, &session, *ParseCommandLine(line));

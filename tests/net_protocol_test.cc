@@ -282,6 +282,117 @@ TEST(ProtocolTest, AppendValidatesValues) {
                    .as_bool());
 }
 
+TEST(ProtocolTest, ExtendFlow) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=4 len=12"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=8"))["ok"]
+          .as_bool());
+  const json::Value v = ExecuteCommand(
+      &engine, *ParseCommandLine("EXTEND s series=1 points=0.4,0.5,0.3"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_DOUBLE_EQ(v["series"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v["length"].as_number(), 15.0);
+  EXPECT_DOUBLE_EQ(v["points_appended"].as_number(), 3.0);
+  EXPECT_GT(v["new_members"].as_number(), 0.0);
+  EXPECT_FALSE(v["drift"].as_array().empty());
+  EXPECT_GE(v["max_drift"].as_number(), 0.0);
+
+  // The grown tail is immediately searchable over the same session.
+  const json::Value m = ExecuteCommand(
+      &engine, *ParseCommandLine("MATCH s q=1:7:8 exhaustive=1"));
+  ASSERT_TRUE(m["ok"].as_bool()) << m.Dump();
+  EXPECT_NEAR(m["match"]["normalized_dtw"].as_number(), 0.0, 1e-9);
+}
+
+TEST(ProtocolTest, ExtendResolvesSeriesByName) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=3 len=12"))["ok"]
+                  .as_bool());
+  // GEN sine names series sine_family_<i>; resolve the second one by name.
+  const json::Value v = ExecuteCommand(
+      &engine,
+      *ParseCommandLine("EXTEND s series=sine_family_1 points=0.1,0.2"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_DOUBLE_EQ(v["series"].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v["length"].as_number(), 14.0);
+}
+
+TEST(ProtocolTest, ExtendValidatesArguments) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=3 len=12"))["ok"]
+                  .as_bool());
+  for (const char* line : {
+           "EXTEND s",                              // missing series + points
+           "EXTEND s series=0",                     // missing points
+           "EXTEND s points=1,2",                   // missing series
+           "EXTEND s series=0 points=1,abc",        // malformed number
+           "EXTEND s series=-1 points=1,2",         // negative index
+           "EXTEND s series=99 points=1,2",         // out of range
+           "EXTEND s series=nosuch points=1,2",     // unknown name
+           "EXTEND nosuchset series=0 points=1,2",  // unknown dataset
+       }) {
+    const json::Value v = ExecuteCommand(&engine, *ParseCommandLine(line));
+    EXPECT_FALSE(v["ok"].as_bool()) << line;
+  }
+}
+
+TEST(ProtocolTest, DriftReportsAndSetsThreshold) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN s sine num=4 len=12"))["ok"]
+                  .as_bool());
+
+  // Unprepared: the report carries counters but no per-class scan.
+  json::Value v = ExecuteCommand(&engine, &session, *ParseCommandLine("DRIFT s"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_FALSE(v["prepared"].as_bool());
+  EXPECT_DOUBLE_EQ(v["threshold"].as_number(), 0.0);
+
+  ASSERT_TRUE(
+      ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=8"))["ok"]
+          .as_bool());
+  // threshold= sets the registry-wide trigger; USE makes DRIFT sessionable.
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("USE s"))["ok"]
+                  .as_bool());
+  v = ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("DRIFT threshold=0.3"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_TRUE(v["prepared"].as_bool());
+  EXPECT_DOUBLE_EQ(v["threshold"].as_number(), 0.3);
+  EXPECT_DOUBLE_EQ(engine.registry().drift_threshold(), 0.3);
+  ASSERT_FALSE(v["classes"].as_array().empty());
+  const json::Value& row = v["classes"][0];
+  EXPECT_GT(row["members"].as_number(), 0.0);
+  EXPECT_GE(row["fraction"].as_number(), 0.0);
+  EXPECT_GE(v["max_drift"].as_number(), 0.0);
+
+  // Bad thresholds — and a good threshold aimed at a bad dataset — fail
+  // clean and leave the registry-wide trigger untouched.
+  for (const char* line :
+       {"DRIFT s threshold=-0.1", "DRIFT s threshold=2", "DRIFT s threshold=nan",
+        "DRIFT s threshold=abc", "DRIFT nosuch threshold=0.9"}) {
+    const json::Value bad = ExecuteCommand(&engine, &session,
+                                           *ParseCommandLine(line));
+    EXPECT_FALSE(bad["ok"].as_bool()) << line;
+  }
+  EXPECT_DOUBLE_EQ(engine.registry().drift_threshold(), 0.3);
+
+  // STATS surfaces the maintenance counters.
+  v = ExecuteCommand(&engine, &session, *ParseCommandLine("STATS s"));
+  ASSERT_TRUE(v["ok"].as_bool());
+  EXPECT_TRUE(v["last_max_drift"].is_number());
+  EXPECT_FALSE(v["regrouping"].as_bool());
+}
+
 TEST(ProtocolTest, UseSetsSessionDefaultDataset) {
   Engine engine;
   Session session;

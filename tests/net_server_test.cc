@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -157,6 +158,100 @@ TEST_F(ServerTest, MultiDatasetDashboardSession) {
   v = client.Call("MATCH dataset=loads q=0:2:8");
   ASSERT_TRUE(v.ok());
   EXPECT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+}
+
+TEST_F(ServerTest, StreamingExtendSessionOverTheWire) {
+  // The tail-a-live-feed loop (DESIGN.md §12): prepare once, stream EXTEND
+  // frames as points arrive, watch DRIFT, query the fresh tail — all on one
+  // connection.
+  OnexClient client = Connect();
+  ASSERT_TRUE((*client.Call("GEN live sine num=5 len=16 seed=9"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE((*client.Call("PREPARE live st=0.2 maxlen=10"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE((*client.Call("USE live"))["ok"].as_bool());
+
+  std::size_t expected_len = 16;
+  for (int tick = 0; tick < 3; ++tick) {
+    Result<json::Value> v =
+        client.Call("EXTEND series=2 points=0.42,0.44,0.40");
+    ASSERT_TRUE(v.ok());
+    ASSERT_TRUE((*v)["ok"].as_bool()) << v->Dump();
+    expected_len += 3;
+    EXPECT_DOUBLE_EQ((*v)["length"].as_number(),
+                     static_cast<double>(expected_len));
+    EXPECT_GT((*v)["new_members"].as_number(), 0.0);
+  }
+
+  Result<json::Value> drift = client.Call("DRIFT");
+  ASSERT_TRUE(drift.ok());
+  ASSERT_TRUE((*drift)["ok"].as_bool()) << drift->Dump();
+  EXPECT_TRUE((*drift)["prepared"].as_bool());
+  EXPECT_FALSE((*drift)["classes"].as_array().empty());
+
+  // The newest tail is searchable exactly.
+  Result<json::Value> m = client.Call("MATCH q=2:17:8 exhaustive=1");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE((*m)["ok"].as_bool()) << m->Dump();
+  EXPECT_NEAR((*m)["match"]["normalized_dtw"].as_number(), 0.0, 1e-9);
+
+  // And STATS reflects the grown collection plus maintenance counters.
+  Result<json::Value> stats = client.Call("STATS");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE((*stats)["ok"].as_bool());
+  EXPECT_DOUBLE_EQ((*stats)["max_length"].as_number(), 25.0);
+  EXPECT_TRUE((*stats)["last_max_drift"].is_number());
+}
+
+TEST_F(ServerTest, ExtendRacesRepreparationWithoutLostWrites) {
+  // EXTEND-vs-PREPARE over the wire: one connection streams tails while
+  // another re-prepares the same dataset. Every acknowledged EXTEND must
+  // survive (the conditional-install loop retries on lost races), and the
+  // final collection length must equal the seed plus every appended point.
+  OnexClient setup = Connect();
+  ASSERT_TRUE((*setup.Call("GEN live sine num=4 len=14 seed=4"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE((*setup.Call("PREPARE live st=0.2 maxlen=8"))["ok"].as_bool());
+
+  constexpr int kTicks = 10;
+  std::atomic<int> extend_failures{0};
+  std::thread extender([this, &extend_failures] {
+    Result<OnexClient> client =
+        OnexClient::Connect("127.0.0.1", server_->port());
+    if (!client.ok()) {
+      extend_failures.fetch_add(kTicks);
+      return;
+    }
+    for (int i = 0; i < kTicks; ++i) {
+      Result<json::Value> v =
+          client->Call("EXTEND live series=0 points=0.5,0.6");
+      if (!v.ok() || !(*v)["ok"].as_bool()) extend_failures.fetch_add(1);
+    }
+  });
+  std::thread preparer([this] {
+    Result<OnexClient> client =
+        OnexClient::Connect("127.0.0.1", server_->port());
+    if (!client.ok()) return;
+    for (int i = 0; i < 4; ++i) {
+      // Alternate thresholds so each PREPARE really rebuilds.
+      (void)client->Call(i % 2 == 0 ? "PREPARE live st=0.25 maxlen=8"
+                                    : "PREPARE live st=0.2 maxlen=8");
+    }
+  });
+  extender.join();
+  preparer.join();
+
+  EXPECT_EQ(extend_failures.load(), 0);
+  Result<json::Value> stats = setup.Call("STATS live");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE((*stats)["ok"].as_bool()) << stats->Dump();
+  // Series 0 started at 14 and gained 2 points per acknowledged tick.
+  EXPECT_DOUBLE_EQ((*stats)["max_length"].as_number(),
+                   static_cast<double>(14 + 2 * kTicks));
+  // The surviving base covers the grown space consistently.
+  Result<json::Value> match = setup.Call("MATCH live q=0:26:8 exhaustive=1");
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE((*match)["ok"].as_bool()) << match->Dump();
 }
 
 TEST_F(ServerTest, UseStateIsPerConnection) {
