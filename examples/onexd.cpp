@@ -1,10 +1,17 @@
 /// onexd — the ONEX analytics server (the demo's server tier). Clients speak
 /// the newline-delimited command protocol; responses are single-line JSON.
 ///
-///   $ ./onexd [port]          # default: ephemeral port, printed on stdout
+///   $ ./onexd [port] [--data-dir=DIR] [--checkpoint-every=N] [--no-fsync]
+///
+/// With --data-dir, the server is durable (DESIGN.md §13): state found in
+/// DIR is recovered before the first client connects, every acknowledged
+/// mutation is journaled write-ahead, and prepared datasets checkpoint in
+/// the background every N journaled mutations (default 256; 0 = manual
+/// CHECKPOINT only). Kill the process however you like — the next start
+/// with the same --data-dir answers queries identically.
 ///
 /// Try it with the bundled CLI:
-///   $ ./onexd 7700 &
+///   $ ./onexd 7700 --data-dir=/tmp/onex-data &
 ///   $ ./onex_cli 7700 "GEN demo sine num=8 len=32" "PREPARE demo st=0.15"
 ///   $ ./onex_cli 7700 "MATCH demo q=0:4:16"
 #include <atomic>
@@ -12,6 +19,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "onex/common/logging.h"
 #include "onex/engine/engine.h"
@@ -23,11 +32,46 @@ void HandleSignal(int) { g_stop.store(true); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint16_t port =
-      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 0;
+  std::uint16_t port = 0;
+  onex::DurabilityOptions durability;
+  durability.checkpoint_every = 256;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--data-dir=", 0) == 0) {
+      durability.dir = arg.substr(std::strlen("--data-dir="));
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      const long long every =
+          std::atoll(arg.c_str() + std::strlen("--checkpoint-every="));
+      if (every < 0) {
+        std::fprintf(stderr, "onexd: --checkpoint-every must be >= 0\n");
+        return 2;
+      }
+      durability.checkpoint_every = static_cast<std::uint64_t>(every);
+    } else if (arg == "--no-fsync") {
+      durability.fsync = false;
+    } else if (!arg.empty() && arg[0] != '-') {
+      port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "onexd: unknown flag '%s'\nusage: onexd [port] "
+                   "[--data-dir=DIR] [--checkpoint-every=N] [--no-fsync]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
 
   onex::SetLogLevel(onex::LogLevel::kInfo);
   onex::Engine engine;
+  if (!durability.dir.empty()) {
+    if (onex::Status s = engine.EnableDurability(durability); !s.ok()) {
+      std::fprintf(stderr, "onexd: recovery failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("onexd: durable in %s (%zu dataset(s) recovered)\n",
+                durability.dir.c_str(), engine.registry().Describe().size());
+  }
   onex::net::OnexServer server(&engine);
   if (onex::Status s = server.Start(port); !s.ok()) {
     std::fprintf(stderr, "onexd: %s\n", s.ToString().c_str());

@@ -10,3 +10,8 @@ cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j"$(nproc)"
+
+# Quick durability smoke on top of the suite run: stream into a durable
+# engine, restart it, demand identical answers (DESIGN.md §13).
+./engine_recovery_test --gtest_filter='EngineRecovery.SmokeRestart' \
+  --gtest_brief=1

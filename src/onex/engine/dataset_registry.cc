@@ -1,88 +1,185 @@
 #include "onex/engine/dataset_registry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
+#include "onex/common/string_utils.h"
+#include "onex/engine/snapshot_ops.h"
+#include "onex/engine/wal.h"
+
 namespace onex {
+
+/// Per-slot durability state. The WalWriter is guarded by the slot's
+/// exclusive mutex (appends are bound to installs); the counters are
+/// atomics so Describe/STATS read them without locking.
+struct SlotJournal {
+  std::string dir;       ///< Slot directory under the registry data dir.
+  std::string wal_path;  ///< dir + "/wal".
+  std::optional<WalWriter> writer;
+  /// A replay floor (load record or checkpoint) is durable: only then may
+  /// mutation records be appended — a record with nothing before it would
+  /// make the log unreplayable. False only transiently, while a prepared
+  /// slot's bootstrap checkpoint is being written (Recover phase 2 /
+  /// prepared Adopt); installs in that window skip journaling and the
+  /// checkpoint's conditional capture folds them in.
+  std::atomic<bool> has_floor{false};
+  std::atomic<std::uint64_t> last_seq{0};
+  std::atomic<std::uint64_t> records_since_ckpt{0};
+  std::atomic<std::uint64_t> last_ckpt_seq{0};
+  std::atomic<std::uint64_t> checkpoints_completed{0};
+  /// One background checkpoint per slot at a time.
+  std::atomic<bool> ckpt_inflight{false};
+};
+
 namespace {
 
-/// The one preparation pipeline, shared by Prepare and the transparent
-/// rebuild after eviction. With `renormalize` (explicit Prepare) the
-/// normalization always re-runs from raw, re-baselining dataset-level
-/// extrema exactly as a fresh Prepare always has — the analyst's one knob
-/// for folding appended out-of-range values into the scale. Without it
-/// (the transparent rebuild) the snapshot's frozen normalization is
-/// preserved: the existing copy is reused, and newcomers appended while
-/// the slot sat evicted are normalized with the frozen parameters, so
-/// rebuilt answers match what a resident base would have returned. Runs
-/// with no lock held.
-Result<std::shared_ptr<const PreparedDataset>> BuildSnapshot(
-    const std::shared_ptr<const PreparedDataset>& current,
-    const BaseBuildOptions& options, NormalizationKind norm, bool renormalize,
-    TaskPool* pool) {
-  auto next = std::make_shared<PreparedDataset>();
-  next->name = current->name;
-  next->raw = current->raw;
-  next->norm_kind = norm;
-  if (!renormalize && current->normalized != nullptr &&
-      current->norm_kind == norm &&
-      current->normalized->size() <= current->raw->size()) {
-    // Honor the frozen-normalization contract. The normalized copy may have
-    // gone stale while the base sat evicted: whole series appended
-    // (size grew) and/or existing series extended at the tail (lengths
-    // grew). Catch up only the missing parts with the existing parameters —
-    // exactly what a resident append/extend would have done — instead of
-    // renormalizing (and silently rescaling) the whole dataset.
-    next->norm_params = current->norm_params;
-    bool stale = current->normalized->size() < current->raw->size();
-    for (std::size_t s = 0; !stale && s < current->normalized->size(); ++s) {
-      stale = (*current->normalized)[s].length() != (*current->raw)[s].length();
+std::string CheckpointPath(const std::string& dir, std::uint64_t state_seq) {
+  return dir + "/ckpt-" + std::to_string(state_seq);
+}
+
+/// Deletes checkpoint files strictly OLDER than `keep_seq` (best-effort).
+/// Only-older is what makes the deferred cleanup safe against concurrent
+/// checkpoints: state seqs are monotone, so a later checkpoint's file is
+/// always numbered past every earlier caller's keep_seq and can never be
+/// collected by a stale cleanup. A dangling NEWER file (crash between
+/// checkpoint rename and log rotation) is unreferenced garbage that the
+/// next checkpoint at that seq atomically overwrites.
+void CleanupCheckpoints(const std::string& dir, std::uint64_t keep_seq) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (!fname.starts_with("ckpt-")) continue;
+    const Result<long long> seq =
+        ParseInt(std::string_view(fname).substr(5));
+    if (!seq.ok() || *seq < 0) continue;  // not ours; leave it
+    if (static_cast<std::uint64_t>(*seq) < keep_seq) {
+      std::filesystem::remove(entry.path(), ec);
     }
-    if (!stale) {
-      next->normalized = current->normalized;
-    } else {
-      Dataset normalized(current->normalized->name());
-      for (std::size_t s = 0; s < current->raw->size(); ++s) {
-        const TimeSeries& raw_ts = (*current->raw)[s];
-        if (s >= current->normalized->size()) {
-          normalized.Add(NormalizeAppended(raw_ts, norm, &next->norm_params));
-          continue;
-        }
-        const TimeSeries& have = (*current->normalized)[s];
-        if (have.length() == raw_ts.length()) {
-          normalized.Add(have);
-          continue;
-        }
-        std::vector<double> values = have.values();
-        values.reserve(raw_ts.length());
-        for (std::size_t i = have.length(); i < raw_ts.length(); ++i) {
-          values.push_back(NormalizeValue(next->norm_params, s, raw_ts[i]));
-        }
-        normalized.Add(
-            TimeSeries(have.name(), std::move(values), have.label()));
-      }
-      next->normalized =
-          std::make_shared<const Dataset>(std::move(normalized));
-    }
-  } else {
-    ONEX_ASSIGN_OR_RETURN(Dataset normalized,
-                          Normalize(*next->raw, norm, &next->norm_params));
-    next->normalized =
-        std::make_shared<const Dataset>(std::move(normalized));
   }
-  ONEX_ASSIGN_OR_RETURN(OnexBase base,
-                        OnexBase::Build(next->normalized, options, pool));
-  next->base = std::make_shared<const OnexBase>(std::move(base));
-  next->build_options = options;
-  return std::shared_ptr<const PreparedDataset>(std::move(next));
+}
+
+/// State reconstructed from one slot's checkpoint + WAL tail.
+struct ReplayedSlot {
+  std::string name;
+  std::shared_ptr<const PreparedDataset> snapshot;
+  bool ever_prepared = false;
+  std::uint64_t last_seq = 0;
+  std::uint64_t records_since_ckpt = 0;
+  std::uint64_t last_ckpt_seq = 0;
+};
+
+/// Replays a scanned WAL through the same snapshot writers the live engine
+/// uses (snapshot_ops.h), which is what makes the recovered slot bit-equal
+/// to the pre-crash in-memory state: same inputs, same code, same order.
+Result<ReplayedSlot> ReplayWal(const std::string& dir, const WalScan& scan,
+                               TaskPool* pool) {
+  ReplayedSlot out;
+  out.name = scan.dataset_name;
+
+  // A checkpoint marker is only ever written by the log rotation, which
+  // rewrites the WAL to header + marker — so a legal log carries at most
+  // one, and only as its FIRST record (the replay floor). The loop below
+  // rejects any other placement as structured corruption.
+  std::size_t start = 0;
+  std::shared_ptr<const PreparedDataset> snap;
+  if (!scan.records.empty() &&
+      scan.records.front().type == WalRecordType::kCheckpoint) {
+    start = 1;
+    out.last_ckpt_seq = scan.records.front().checkpoint_seq;
+    out.last_seq = scan.records.front().seq;
+    ONEX_ASSIGN_OR_RETURN(
+        PreparedDataset from_ckpt,
+        ReadCheckpointFile(CheckpointPath(dir, out.last_ckpt_seq), out.name));
+    snap = std::make_shared<const PreparedDataset>(std::move(from_ckpt));
+    out.ever_prepared = true;
+  }
+
+  for (std::size_t i = start; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    if (snap == nullptr && rec.type != WalRecordType::kLoad) {
+      return Status::ParseError(StrFormat(
+          "wal record %llu (%s) arrives before any load or checkpoint",
+          static_cast<unsigned long long>(rec.seq),
+          WalRecordTypeToString(rec.type)));
+    }
+    switch (rec.type) {
+      case WalRecordType::kLoad: {
+        if (snap != nullptr) {
+          return Status::ParseError("duplicate load record in wal");
+        }
+        auto fresh = std::make_shared<PreparedDataset>();
+        fresh->name = out.name;
+        fresh->raw = std::make_shared<const Dataset>(rec.dataset);
+        snap = std::move(fresh);
+        break;
+      }
+      case WalRecordType::kAppend: {
+        ONEX_ASSIGN_OR_RETURN(snap, ApplyAppend(*snap, rec.series));
+        break;
+      }
+      case WalRecordType::kExtend: {
+        ONEX_ASSIGN_OR_RETURN(ExtendOutcome outcome,
+                              ApplyExtend(*snap, rec.extensions));
+        snap = std::move(outcome.snapshot);
+        break;
+      }
+      case WalRecordType::kPrepare: {
+        ONEX_ASSIGN_OR_RETURN(snap, BuildSnapshot(snap, rec.options, rec.norm,
+                                                  /*renormalize=*/true, pool));
+        out.ever_prepared = true;
+        break;
+      }
+      case WalRecordType::kRebuild: {
+        if (!out.ever_prepared) {
+          return Status::ParseError("rebuild record before any prepare");
+        }
+        ONEX_ASSIGN_OR_RETURN(
+            snap, BuildSnapshot(snap, snap->build_options, snap->norm_kind,
+                                /*renormalize=*/false, pool));
+        break;
+      }
+      case WalRecordType::kEvict: {
+        if (snap->prepared()) {
+          auto stripped = std::make_shared<PreparedDataset>(*snap);
+          stripped->base = nullptr;
+          snap = std::move(stripped);
+        }
+        break;
+      }
+      case WalRecordType::kRegroup: {
+        ONEX_ASSIGN_OR_RETURN(
+            std::shared_ptr<const PreparedDataset> next,
+            ApplyRegroup(*snap, rec.lengths));
+        snap = std::move(next);
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        return Status::ParseError(
+            "checkpoint record in the replay tail (log was never rotated)");
+    }
+    out.last_seq = rec.seq;
+    ++out.records_since_ckpt;
+  }
+  if (snap == nullptr) {
+    return Status::ParseError("wal holds no state (no load, no checkpoint)");
+  }
+  out.snapshot = std::move(snap);
+  return out;
 }
 
 }  // namespace
@@ -126,6 +223,12 @@ void DatasetRegistry::TouchLocked(Slot* slot) const {
   slot->last_used.store(clock_.fetch_add(1) + 1);
 }
 
+void DatasetRegistry::TrackJob(TaskHandle handle) {
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  std::erase_if(jobs_, [](const TaskHandle& h) { return h.done(); });
+  jobs_.push_back(std::move(handle));
+}
+
 Status DatasetRegistry::Load(const std::string& name, Dataset dataset) {
   if (name.empty()) {
     return Status::InvalidArgument("dataset name must be non-empty");
@@ -157,11 +260,54 @@ Status DatasetRegistry::Adopt(const std::string& name,
     slot->base_bytes.store(slot->snapshot->base->MemoryUsage());
   }
   TouchLocked(slot.get());
+  // Serialized against Recover: a slot is either fully born before the
+  // recovery snapshots the map (and is bootstrapped), or born after it
+  // (and sees durable_ decided) — never in between, where it could dodge
+  // journaling forever.
+  std::lock_guard<std::mutex> recover_lock(recover_mutex_);
+  if (durable_.load()) {
+    // Slot birth is a durable event, and the whole birth happens BEFORE
+    // the slot becomes findable: an unprepared slot journals its raw
+    // dataset as the first record; a prepared adopt (LOADBASE, whose
+    // state came from an ONEXPREP file and so is already canonical)
+    // writes its bootstrap checkpoint — the replay floor — while still
+    // unpublished. A concurrent Append/Extend therefore can never install
+    // into a journal that has no floor, and a failure here leaves nothing
+    // visible and no acknowledged write behind. The cheap map pre-check
+    // keeps the common collision an AlreadyExists; a racing double-adopt
+    // is serialized by the journal directory creation itself.
+    {
+      std::lock_guard<std::mutex> lock(map_mutex_);
+      if (slots_.contains(name)) {
+        return Status::AlreadyExists("dataset '" + name +
+                                     "' is already loaded");
+      }
+    }
+    const bool prepared = slot->snapshot->prepared();
+    Status s = CreateSlotJournal(name, slot, /*load_record=*/!prepared);
+    if (s.ok() && prepared) s = RunCheckpoint(name, slot, nullptr);
+    if (!s.ok()) {
+      std::string journal_dir;
+      {
+        std::shared_lock<std::shared_mutex> lock(slot->mutex);
+        if (slot->journal != nullptr) journal_dir = slot->journal->dir;
+      }
+      if (!journal_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(journal_dir, ec);
+      }
+      return s;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(map_mutex_);
     const auto [it, inserted] = slots_.emplace(name, slot);
     (void)it;
     if (!inserted) {
+      if (slot->journal != nullptr) {
+        std::error_code ec;
+        std::filesystem::remove_all(slot->journal->dir, ec);
+      }
       return Status::AlreadyExists("dataset '" + name + "' is already loaded");
     }
     total_bytes_ += slot->base_bytes.load();
@@ -172,23 +318,53 @@ Status DatasetRegistry::Adopt(const std::string& name,
 
 Result<bool> DatasetRegistry::Replace(
     const std::string& name, std::shared_ptr<const PreparedDataset> snapshot,
-    const PreparedDataset* expected) {
+    const PreparedDataset* expected, WalRecord* record) {
   if (snapshot == nullptr || snapshot->raw == nullptr) {
     return Status::InvalidArgument("cannot install an empty snapshot");
   }
   ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
-  return Install(slot, name, std::move(snapshot), expected);
+  return Install(slot, name, std::move(snapshot), expected, record);
 }
 
 Status DatasetRegistry::Drop(const std::string& name) {
-  std::lock_guard<std::mutex> lock(map_mutex_);
-  const auto it = slots_.find(name);
-  if (it == slots_.end()) {
-    return Status::NotFound("dataset '" + name + "' is not loaded");
+  // Serialized against Recover like Adopt: a slot must not die between
+  // the bootstrap's map snapshot and its journal creation.
+  std::lock_guard<std::mutex> recover_lock(recover_mutex_);
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  std::string journal_dir;
+  {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    if (slot->journal != nullptr) journal_dir = slot->journal->dir;
   }
-  total_bytes_ -= it->second->base_bytes.load();
-  it->second->base_bytes.store(0);
-  slots_.erase(it);
+  std::string tombstone;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    const auto it = slots_.find(name);
+    if (it == slots_.end() || it->second != slot) {
+      return Status::NotFound("dataset '" + name +
+                              "' was concurrently dropped");
+    }
+    if (!journal_dir.empty()) {
+      // Retire the journal under the map lock, with the identity check:
+      // renaming (not deleting) makes the step cheap and atomic, and a
+      // stale Drop can never destroy a freshly re-adopted slot's journal —
+      // by the time a new slot with this name can exist, this entry is
+      // gone. Tombstones are swept on the next Recover; a crash in between
+      // loses only the un-acknowledged drop.
+      tombstone = journal_dir + ".dropped-" +
+                  std::to_string(clock_.fetch_add(1) + 1);
+      if (std::rename(journal_dir.c_str(), tombstone.c_str()) != 0) {
+        return Status::IoError("cannot retire journal of '" + name + "'");
+      }
+    }
+    total_bytes_ -= it->second->base_bytes.load();
+    it->second->base_bytes.store(0);
+    slots_.erase(it);
+  }
+  if (!tombstone.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(tombstone, ec);  // best-effort; swept later
+  }
   return Status::OK();
 }
 
@@ -220,6 +396,12 @@ std::vector<DatasetSlotInfo> DatasetRegistry::Describe() const {
     info.prepared_bytes = slot->base_bytes.load();
     info.regrouping = slot->regroup_inflight.load();
     info.last_max_drift = slot->last_max_drift.load();
+    if (slot->journal != nullptr) {
+      info.durable = true;
+      info.wal_seq = slot->journal->last_seq.load();
+      info.wal_dirty = slot->journal->records_since_ckpt.load();
+      info.checkpoints = slot->journal->checkpoints_completed.load();
+    }
     out.push_back(std::move(info));
   }
   return out;
@@ -271,8 +453,14 @@ Result<std::shared_ptr<const PreparedDataset>> DatasetRegistry::GetPrepared(
         BuildSnapshot(current, options, norm, /*renormalize=*/false, pool_));
     // Conditional install: a Replace (append) or explicit Prepare that
     // landed while we built must not be clobbered by our rebuild of the
-    // older snapshot — on a lost race, re-read the slot and go again.
-    if (Install(slot, name, next, current.get())) return next;
+    // older snapshot — on a lost race, re-read the slot and go again. The
+    // rebuild is journaled: a transparent re-preparation regroups from
+    // scratch, which under running-mean policies is a real state change the
+    // log must replay at the same point (DESIGN.md §13).
+    WalRecord record = WalRebuildRecord();
+    ONEX_ASSIGN_OR_RETURN(bool installed,
+                          Install(slot, name, next, current.get(), &record));
+    if (installed) return next;
   }
 }
 
@@ -296,9 +484,11 @@ Status DatasetRegistry::Prepare(const std::string& name,
     ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> next,
                           BuildSnapshot(current, options, normalization,
                                         /*renormalize=*/true, pool_));
-    if (Install(slot, name, std::move(next), current.get())) {
-      return Status::OK();
-    }
+    WalRecord record = WalPrepareRecord(options, normalization);
+    ONEX_ASSIGN_OR_RETURN(
+        bool installed,
+        Install(slot, name, std::move(next), current.get(), &record));
+    if (installed) return Status::OK();
   }
 }
 
@@ -313,25 +503,37 @@ PrepareTicket DatasetRegistry::PrepareAsync(const std::string& name,
       [this, name, options, normalization, result] {
         *result = Prepare(name, options, normalization);
       });
-  {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
-    // Retire finished handles so long-lived registries don't accumulate.
-    std::erase_if(jobs_, [](const TaskHandle& h) { return h.done(); });
-    jobs_.push_back(ticket.handle_);
-  }
+  TrackJob(ticket.handle_);
   return ticket;
 }
 
-bool DatasetRegistry::Install(const std::shared_ptr<Slot>& slot,
-                              const std::string& name,
-                              std::shared_ptr<const PreparedDataset> snapshot,
-                              const PreparedDataset* expected) {
+Result<bool> DatasetRegistry::Install(
+    const std::shared_ptr<Slot>& slot, const std::string& name,
+    std::shared_ptr<const PreparedDataset> snapshot,
+    const PreparedDataset* expected, WalRecord* record) {
   const std::size_t new_bytes =
       snapshot->prepared() ? snapshot->base->MemoryUsage() : 0;
   {
     std::unique_lock<std::shared_mutex> lock(slot->mutex);
     if (expected != nullptr && slot->snapshot.get() != expected) {
       return false;  // lost the race; the caller re-evaluates
+    }
+    if (slot->journal != nullptr && slot->journal->has_floor.load()) {
+      // The attached journal — not the registry-wide flag — is the
+      // authority, decided under the same lock that makes the swap
+      // visible. A caller that brought no record raced PERSIST enabling
+      // durability between its (unlocked) durable() read and this install:
+      // report a lost race so its conditional-install loop re-reads the
+      // flag and journals on the retry — never acknowledge an unjournaled
+      // write on a journaled slot.
+      if (record == nullptr) return false;
+      // Write-ahead: the record becomes durable before the swap is
+      // visible, under the same lock, so WAL order always equals install
+      // order. A journal failure aborts the install — the caller sees the
+      // error and nothing was acknowledged.
+      ONEX_RETURN_IF_ERROR(slot->journal->writer->Append(record));
+      slot->journal->last_seq.store(record->seq);
+      slot->journal->records_since_ckpt.fetch_add(1);
     }
     slot->snapshot = std::move(snapshot);
     if (slot->snapshot->prepared()) {
@@ -351,6 +553,7 @@ bool DatasetRegistry::Install(const std::shared_ptr<Slot>& slot,
     // orphan unaccounted — it dies with the last reference.
   }
   EvictOverBudget(slot.get());
+  if (record != nullptr) MaybeScheduleCheckpoint(name, slot);
   return true;
 }
 
@@ -384,6 +587,17 @@ void DatasetRegistry::EvictOverBudget(const Slot* keep) {
         continue;
       }
       if (victim->snapshot != nullptr && victim->snapshot->prepared()) {
+        if (victim->journal != nullptr && victim->journal->has_floor.load()) {
+          // Evictions are journaled: the transparent rebuild they provoke
+          // regroups from scratch, so replay must strip the base at the
+          // same point to converge with the live path. If the journal
+          // cannot take the record, keep the base resident (over budget
+          // beats a log that diverges from memory).
+          WalRecord record = WalEvictRecord();
+          if (!victim->journal->writer->Append(&record).ok()) return;
+          victim->journal->last_seq.store(record.seq);
+          victim->journal->records_since_ckpt.fetch_add(1);
+        }
         auto stripped = std::make_shared<PreparedDataset>(*victim->snapshot);
         stripped->base = nullptr;
         victim->snapshot = std::move(stripped);
@@ -489,11 +703,7 @@ PrepareTicket DatasetRegistry::ScheduleRegroup(
         if (result->ok()) slot->regroups_completed.fetch_add(1);
         slot->regroup_inflight.store(false);
       });
-  {
-    std::lock_guard<std::mutex> lock(jobs_mutex_);
-    std::erase_if(jobs_, [](const TaskHandle& h) { return h.done(); });
-    jobs_.push_back(ticket.handle_);
-  }
+  TrackJob(ticket.handle_);
   return ticket;
 }
 
@@ -517,11 +727,12 @@ Status DatasetRegistry::RunRegroup(const std::string& name,
     // queries keep answering from `current`. The install is conditional: an
     // extend/append/prepare that landed while we rebuilt carries data this
     // regroup has not seen, so on a lost race we re-read and go again.
-    ONEX_ASSIGN_OR_RETURN(OnexBase rebuilt,
-                          RegroupLengthClasses(*current->base, lengths));
-    auto next = std::make_shared<PreparedDataset>(*current);
-    next->base = std::make_shared<const OnexBase>(std::move(rebuilt));
-    if (Install(slot, name, next, current.get())) {
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> next,
+                          ApplyRegroup(*current, lengths));
+    WalRecord record = WalRegroupRecord(lengths);
+    ONEX_ASSIGN_OR_RETURN(bool installed,
+                          Install(slot, name, next, current.get(), &record));
+    if (installed) {
       // Refresh the drift the dashboard sees: the regrouped classes are the
       // ones whose number just changed.
       double max_fraction = 0.0;
@@ -532,6 +743,484 @@ Status DatasetRegistry::RunRegroup(const std::string& name,
       return Status::OK();
     }
   }
+}
+
+// --- Durability ------------------------------------------------------------
+
+std::string DatasetRegistry::data_dir() const {
+  return durable_.load() ? durability_.dir : std::string();
+}
+
+Status DatasetRegistry::CreateSlotJournal(const std::string& name,
+                                          const std::shared_ptr<Slot>& slot,
+                                          bool load_record) {
+  auto journal = std::make_shared<SlotJournal>();
+  journal->dir = durability_.dir + "/" + SlotDirName(name);
+  journal->wal_path = journal->dir + "/wal";
+  std::error_code ec;
+  if (!std::filesystem::create_directory(journal->dir, ec) || ec) {
+    // NOT removed on failure: an existing directory belongs to an existing
+    // slot (or a racing creator), never to us.
+    return Status::IoError("cannot create journal dir '" + journal->dir +
+                           "': " + (ec ? ec.message() : "already exists"));
+  }
+  // From here on the directory is ours; a partial failure must not leave a
+  // husk behind (it would wedge the name for every later LOAD).
+  Status status = [&]() -> Status {
+    ONEX_ASSIGN_OR_RETURN(
+        WalWriter writer,
+        WalWriter::Create(journal->wal_path, name, durability_.fsync));
+    journal->writer.emplace(std::move(writer));
+    if (durability_.fsync) {
+      ONEX_RETURN_IF_ERROR(SyncDir(journal->dir));
+    }
+    // Snapshot capture, load-record append and journal attach are one
+    // exclusive critical section: an install cannot land between the
+    // snapshot this record freezes and the moment later installs start
+    // journaling, so no acknowledged write can fall into the gap (the
+    // PERSIST-mid-session bootstrap races live writers).
+    std::unique_lock<std::shared_mutex> lock(slot->mutex);
+    if (load_record) {
+      WalRecord record = WalLoadRecord(*slot->snapshot->raw);
+      ONEX_RETURN_IF_ERROR(journal->writer->Append(&record));
+      journal->last_seq.store(record.seq);
+      journal->records_since_ckpt.store(1);
+      journal->has_floor.store(true);
+    }
+    // Without a load record the floor arrives with the caller's bootstrap
+    // checkpoint; until then installs skip journaling.
+    slot->journal = std::move(journal);
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    if (journal != nullptr) {
+      journal->writer.reset();  // close the wal handle before removing
+      std::filesystem::remove_all(journal->dir, ec);
+    }
+    return status;
+  }
+  return Status::OK();
+}
+
+Status DatasetRegistry::RunCheckpoint(const std::string& name,
+                                      const std::shared_ptr<Slot>& slot,
+                                      CheckpointInfo* info) {
+  // Gate on the slot's journal, not the registry flag: the bootstrap
+  // checkpoints of Recover's phase 2 run before the flag arms.
+  std::shared_ptr<SlotJournal> journal;
+  {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    journal = slot->journal;
+  }
+  if (journal == nullptr) {
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' has no journal (enable durability first)");
+  }
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  while (true) {
+    std::shared_ptr<const PreparedDataset> current;
+    {
+      std::shared_lock<std::shared_mutex> lock(slot->mutex);
+      current = slot->snapshot;
+    }
+    if (current == nullptr || !current->prepared()) {
+      return Status::FailedPrecondition(
+          "dataset '" + name +
+          "' has no resident base to checkpoint (prepare it first; an "
+          "evicted base is never forced back in by a checkpoint)");
+    }
+    // The canonical image — what loading the checkpoint file will
+    // reconstruct — computed and serialized outside every lock, so readers
+    // never stall behind the big file write. Installing it below is the
+    // durability contract: after a checkpoint, live memory and the file
+    // agree bit for bit, so replay from the file converges with the live
+    // path (DESIGN.md §13).
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> canonical,
+                          CanonicalizeSnapshot(*current));
+    ONEX_ASSIGN_OR_RETURN(std::string bytes, EncodeCheckpoint(*canonical));
+    const std::string tmp_path =
+        journal->dir + "/ckpt.partial-" +
+        std::to_string(tmp_counter.fetch_add(1));
+    ONEX_RETURN_IF_ERROR(
+        WriteFileDurably(tmp_path, bytes, durability_.fsync));
+    bytes.clear();
+    bytes.shrink_to_fit();
+
+    std::unique_lock<std::shared_mutex> lock(slot->mutex);
+    if (slot->snapshot != current) {  // a writer landed; recapture
+      lock.unlock();
+      std::remove(tmp_path.c_str());
+      continue;
+    }
+    const std::uint64_t state_seq = journal->last_seq.load();
+    const std::string ckpt_path = CheckpointPath(journal->dir, state_seq);
+    // Only cheap, atomic file ops under the slot lock: the capture rename,
+    // the tiny log restart and the adoption must be one atomic step with
+    // respect to writers. Failure handling is phase-aware: before the log
+    // rotation renames, aborting is safe (the old WAL never references the
+    // new file); once the rotation rename has happened, the checkpoint is
+    // the log's replay floor and must never be deleted — an ambiguous
+    // outcome (rename done, directory fsync failed) latches the journal
+    // fail-stop instead.
+    ONEX_RETURN_IF_ERROR(
+        RenameFile(tmp_path, ckpt_path, durability_.fsync));
+    WalRecord marker = WalCheckpointRecord(state_seq);
+    marker.seq = state_seq + 1;
+    const std::string fresh_wal =
+        EncodeWalHeader(name) + EncodeWalRecord(marker);
+    const std::string wal_tmp = journal->wal_path + ".tmp";
+    if (Status s = WriteFileDurably(wal_tmp, fresh_wal, durability_.fsync);
+        !s.ok()) {
+      std::remove(ckpt_path.c_str());  // unreferenced; old WAL intact
+      return s;
+    }
+    if (std::rename(wal_tmp.c_str(), journal->wal_path.c_str()) != 0) {
+      std::remove(wal_tmp.c_str());
+      std::remove(ckpt_path.c_str());  // unreferenced; old WAL intact
+      return Status::IoError("cannot rotate wal of '" + name + "'");
+    }
+    if (durability_.fsync) {
+      if (Status s = SyncDir(journal->dir); !s.ok()) {
+        // The rotation may or may not survive a power loss from here;
+        // either on-disk shape alone is consistent, but continuing to
+        // acknowledge writes against an unknown one is not.
+        journal->writer->MarkFailed();
+        return s;
+      }
+    }
+    ONEX_RETURN_IF_ERROR(journal->writer->Reopen(state_seq + 2));
+    journal->last_seq.store(state_seq + 1);
+    journal->records_since_ckpt.store(0);
+    journal->last_ckpt_seq.store(state_seq);
+    journal->checkpoints_completed.fetch_add(1);
+    journal->has_floor.store(true);  // the checkpoint IS the replay floor
+    // Adopt the canonical image: from here on, live answers and a recovery
+    // from this checkpoint are indistinguishable.
+    slot->snapshot = canonical;
+    TouchLocked(slot.get());
+    const std::size_t new_bytes = canonical->base->MemoryUsage();
+    {
+      std::lock_guard<std::mutex> map_lock(map_mutex_);
+      const auto it = slots_.find(name);
+      if (it != slots_.end() && it->second == slot) {
+        total_bytes_ += new_bytes;
+        total_bytes_ -= slot->base_bytes.load();
+        slot->base_bytes.store(new_bytes);
+      }
+    }
+    if (info != nullptr) {
+      info->state_seq = state_seq;
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(ckpt_path, ec);
+      info->bytes = ec ? 0 : static_cast<std::size_t>(size);
+    }
+    const std::string dir = journal->dir;
+    lock.unlock();
+    CleanupCheckpoints(dir, state_seq);
+    EvictOverBudget(slot.get());
+    return Status::OK();
+  }
+}
+
+Result<CheckpointInfo> DatasetRegistry::Checkpoint(const std::string& name) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  CheckpointInfo info;
+  ONEX_RETURN_IF_ERROR(RunCheckpoint(name, slot, &info));
+  return info;
+}
+
+PrepareTicket DatasetRegistry::CheckpointAsync(const std::string& name) {
+  PrepareTicket ticket;
+  Result<std::shared_ptr<Slot>> slot = FindSlot(name);
+  if (!slot.ok()) {
+    ticket.result_ = std::make_shared<Status>(slot.status());
+    return ticket;
+  }
+  std::shared_ptr<SlotJournal> journal;
+  {
+    std::shared_lock<std::shared_mutex> lock((*slot)->mutex);
+    journal = (*slot)->journal;
+  }
+  if (journal == nullptr) {
+    ticket.result_ = std::make_shared<Status>(Status::FailedPrecondition(
+        "dataset '" + name + "' has no journal"));
+    return ticket;
+  }
+  if (journal->ckpt_inflight.exchange(true)) {
+    ticket.result_ = std::make_shared<Status>(Status::FailedPrecondition(
+        "a checkpoint of dataset '" + name + "' is already in flight"));
+    return ticket;
+  }
+  ticket.result_ =
+      std::make_shared<Status>(Status::Internal("checkpoint job never ran"));
+  auto result = ticket.result_;
+  ticket.handle_ = pool_->SubmitWithHandle(
+      [this, name, slot = *std::move(slot), journal, result] {
+        *result = RunCheckpoint(name, slot, nullptr);
+        journal->ckpt_inflight.store(false);
+      });
+  TrackJob(ticket.handle_);
+  return ticket;
+}
+
+void DatasetRegistry::MaybeScheduleCheckpoint(
+    const std::string& name, const std::shared_ptr<Slot>& slot) {
+  if (!durable_.load() || durability_.checkpoint_every == 0) return;
+  std::shared_ptr<SlotJournal> journal;
+  {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    journal = slot->journal;
+    // Checkpoints capture resident bases only; an evicted slot stays dirty
+    // until its next transparent rebuild.
+    if (slot->snapshot == nullptr || !slot->snapshot->prepared()) return;
+  }
+  if (journal == nullptr ||
+      journal->records_since_ckpt.load() < durability_.checkpoint_every) {
+    return;
+  }
+  if (journal->ckpt_inflight.exchange(true)) return;
+  TaskHandle handle = pool_->SubmitWithHandle([this, name, slot, journal] {
+    (void)RunCheckpoint(name, slot, nullptr);
+    journal->ckpt_inflight.store(false);
+  });
+  TrackJob(std::move(handle));
+}
+
+Result<std::pair<std::string, std::shared_ptr<DatasetRegistry::Slot>>>
+DatasetRegistry::RecoverSlotDir(const std::string& dir_path) {
+  // Sweep checkpoint scratch a crash may have stranded: partials were
+  // never referenced by any log. Safe here (and only here) because no
+  // checkpoint can be in flight during recovery.
+  {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_path, ec)) {
+      if (entry.path().filename().string().starts_with("ckpt.partial-")) {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
+  const std::string wal_path = dir_path + "/wal";
+  Result<WalScan> scanned = ScanWalFile(wal_path);
+  if (!scanned.ok()) {
+    return Status(scanned.status().code(),
+                  "recovering '" + dir_path + "': " +
+                      scanned.status().message());
+  }
+  WalScan scan = *std::move(scanned);
+  if (scan.embryonic || scan.records.empty()) {
+    // Torn at birth (or header-only): no write was ever acknowledged, so
+    // no slot exists. Remove the husk — leaving it would wedge the name
+    // forever (a later LOAD of the same dataset could never create its
+    // journal directory).
+    std::error_code ec;
+    std::filesystem::remove_all(dir_path, ec);
+    return std::pair<std::string, std::shared_ptr<Slot>>{};  // nothing here
+  }
+  if (scan.torn_tail) {
+    // The final append never completed, so it was never acknowledged;
+    // truncate to the clean prefix so the reopened writer extends valid
+    // history.
+    if (::truncate(wal_path.c_str(),
+                   static_cast<off_t>(scan.valid_bytes)) != 0) {
+      return Status::IoError("cannot truncate torn wal '" + wal_path + "'");
+    }
+  }
+
+  Result<ReplayedSlot> replayed = ReplayWal(dir_path, scan, pool_);
+  if (!replayed.ok()) {
+    return Status(replayed.status().code(),
+                  "recovering slot '" + scan.dataset_name + "' from '" +
+                      dir_path + "': " + replayed.status().message());
+  }
+  ReplayedSlot rs = *std::move(replayed);
+
+  auto slot = std::make_shared<Slot>();
+  slot->snapshot = rs.snapshot;
+  if (rs.ever_prepared) {
+    slot->has_recipe = true;
+    slot->recipe_options = rs.snapshot->build_options;
+    slot->recipe_norm = rs.snapshot->norm_kind;
+  }
+  if (rs.snapshot->prepared()) {
+    slot->base_bytes.store(rs.snapshot->base->MemoryUsage());
+  }
+  auto journal = std::make_shared<SlotJournal>();
+  journal->dir = dir_path;
+  journal->wal_path = wal_path;
+  ONEX_ASSIGN_OR_RETURN(
+      WalWriter writer,
+      WalWriter::OpenExisting(wal_path, rs.last_seq + 1, durability_.fsync));
+  journal->writer.emplace(std::move(writer));
+  journal->has_floor.store(true);  // a replayed log has one by construction
+  journal->last_seq.store(rs.last_seq);
+  journal->records_since_ckpt.store(rs.records_since_ckpt);
+  journal->last_ckpt_seq.store(rs.last_ckpt_seq);
+  slot->journal = std::move(journal);
+  TouchLocked(slot.get());
+  // Checkpoint files older than the one the log references are orphans
+  // from superseded rotations; drop them.
+  CleanupCheckpoints(dir_path, rs.last_ckpt_seq);
+  return std::pair<std::string, std::shared_ptr<Slot>>{rs.name,
+                                                       std::move(slot)};
+}
+
+Status DatasetRegistry::Recover(const DurabilityOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("durability needs a data directory");
+  }
+  // One enabler at a time: two concurrent PERSIST frames must not race the
+  // durability_ write or double-replay the same directories.
+  std::lock_guard<std::mutex> recover_lock(recover_mutex_);
+  if (durable_.load()) {
+    return Status::FailedPrecondition(
+        "durability is already enabled (dir '" + durability_.dir + "')");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create data dir '" + options.dir +
+                           "': " + ec.message());
+  }
+  durability_ = options;
+
+  // Phase 1: replay every slot directory found on disk into local slots.
+  // Nothing is registered and journaling stays off until every directory
+  // replayed cleanly, so a failed recovery leaves the registry exactly as
+  // it was — fix the disk and simply retry.
+  std::vector<std::string> dirs;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.dir, ec)) {
+    if (entry.is_directory()) dirs.push_back(entry.path().string());
+  }
+  if (ec) {
+    return Status::IoError("cannot list data dir '" + options.dir +
+                           "': " + ec.message());
+  }
+  std::sort(dirs.begin(), dirs.end());
+  // Directories already owned by live slots' journals are not crash state
+  // to replay — they are this process's own bootstraps from an earlier
+  // (partially failed) enable attempt; phase 2 skips those slots, so the
+  // retry converges instead of colliding with itself. Safe to read
+  // journal pointers without slot locks: every attach happened-before the
+  // slot became reachable here (Adopt attaches pre-insert; bootstraps run
+  // under recover_mutex_, which we hold).
+  std::set<std::string> owned_dirs;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    for (const auto& [slot_name, slot] : slots_) {
+      if (slot->journal != nullptr) owned_dirs.insert(slot->journal->dir);
+    }
+  }
+  std::vector<std::pair<std::string, std::shared_ptr<Slot>>> recovered;
+  for (const std::string& dir : dirs) {
+    if (std::filesystem::path(dir).filename().string().find(".dropped-") !=
+        std::string::npos) {
+      // A Drop retired this journal (rename is the commit point); the
+      // crash happened before the sweep. Finish the job.
+      std::filesystem::remove_all(dir, ec);
+      continue;
+    }
+    if (owned_dirs.contains(dir)) continue;
+    if (!std::filesystem::exists(dir + "/wal")) continue;
+    ONEX_ASSIGN_OR_RETURN(auto entry, RecoverSlotDir(dir));
+    if (entry.second != nullptr) recovered.push_back(std::move(entry));
+  }
+  {
+    // All-or-nothing collision check before anything becomes visible.
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    for (const auto& [name, slot] : recovered) {
+      if (slots_.contains(name)) {
+        return Status::AlreadyExists("recovered dataset '" + name +
+                                     "' collides with a loaded slot");
+      }
+    }
+  }
+
+  // Phase 2: bootstrap slots loaded before durability was enabled (the
+  // PERSIST-mid-session path) — while durable_ is still FALSE, so a
+  // failure here leaves the registry retryable (durability never half-on:
+  // Install journals by journal presence, not by the flag, so the slots
+  // bootstrapped before the failure journal their writes consistently
+  // either way). Adopt and Drop serialize on recover_mutex_, so no slot
+  // can be born or die around this loop's snapshot of the map.
+  std::vector<std::pair<std::string, std::shared_ptr<Slot>>> entries;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    entries.assign(slots_.begin(), slots_.end());
+  }
+  for (const auto& [name, slot] : entries) {
+    bool prepared;
+    bool evicted;
+    {
+      std::shared_lock<std::shared_mutex> lock(slot->mutex);
+      if (slot->journal != nullptr) continue;  // an earlier failed attempt
+      prepared = slot->snapshot != nullptr && slot->snapshot->prepared();
+      evicted = slot->has_recipe && !prepared;
+    }
+    if (evicted) {
+      // An evicted slot's incremental history is not reproducible from raw
+      // alone; rebuild it so the bootstrap checkpoint can capture it.
+      ONEX_RETURN_IF_ERROR(GetPrepared(name).status());
+      prepared = true;
+    }
+    ONEX_RETURN_IF_ERROR(CreateSlotJournal(name, slot, !prepared));
+    if (prepared) {
+      if (Status s = RunCheckpoint(name, slot, nullptr); !s.ok()) {
+        // Undo this slot's half-bootstrap so a retry starts clean. Nothing
+        // is lost: without a replay floor the journal accepted no records,
+        // so detaching it and removing the directory forgets nothing that
+        // was ever promised durable.
+        std::string journal_dir;
+        {
+          std::unique_lock<std::shared_mutex> lock(slot->mutex);
+          if (slot->journal != nullptr) {
+            journal_dir = slot->journal->dir;
+            slot->journal->writer.reset();
+            slot->journal = nullptr;
+          }
+        }
+        if (!journal_dir.empty()) {
+          std::filesystem::remove_all(journal_dir, ec);
+        }
+        return s;
+      }
+    }
+  }
+
+  // Phase 3: everything fallible succeeded — publish the recovered slots
+  // and arm the flag that makes new Adopts journal.
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    for (auto& [name, slot] : recovered) {
+      const auto [it, inserted] = slots_.emplace(name, slot);
+      (void)it;
+      if (!inserted) {
+        // Unreachable while Adopt holds recover_mutex_, kept as a guard:
+        // leave the directory untouched on disk and surface the conflict.
+        return Status::AlreadyExists("recovered dataset '" + name +
+                                     "' collides with a loaded slot");
+      }
+      total_bytes_ += slot->base_bytes.load();
+    }
+  }
+  durable_.store(true);
+  EvictOverBudget(nullptr);
+  return Status::OK();
+}
+
+Result<SlotDurability> DatasetRegistry::Durability(
+    const std::string& name) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  SlotDurability out;
+  std::shared_lock<std::shared_mutex> lock(slot->mutex);
+  if (slot->journal == nullptr) return out;
+  out.durable = true;
+  out.last_seq = slot->journal->last_seq.load();
+  out.records_since_checkpoint = slot->journal->records_since_ckpt.load();
+  out.last_checkpoint_seq = slot->journal->last_ckpt_seq.load();
+  out.checkpoints_completed = slot->journal->checkpoints_completed.load();
+  return out;
 }
 
 }  // namespace onex

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "onex/common/result.h"
@@ -18,6 +19,9 @@
 #include "onex/ts/normalization.h"
 
 namespace onex {
+
+struct WalRecord;    // engine/wal.h
+struct SlotJournal;  // dataset_registry.cc
 
 /// A dataset registered with the engine: raw values, their normalized copy,
 /// and (after Prepare) the ONEX base. Immutable once built, so concurrent
@@ -35,9 +39,9 @@ struct PreparedDataset {
   bool prepared() const { return base != nullptr; }
 };
 
-/// Completion ticket for an asynchronous preparation job scheduled on the
-/// shared TaskPool. Copyable; a default-constructed ticket is empty and
-/// reports done with an Internal status.
+/// Completion ticket for an asynchronous job scheduled on the shared
+/// TaskPool (preparation, regroup, checkpoint). Copyable; a default-
+/// constructed ticket is empty and reports done with an Internal status.
 class PrepareTicket {
  public:
   PrepareTicket() = default;
@@ -68,6 +72,38 @@ struct DatasetRegistryOptions {
   double drift_threshold = 0.0;
 };
 
+/// Configuration of the durability layer (DESIGN.md §13): where slot
+/// journals live and when background checkpoints fire.
+struct DurabilityOptions {
+  /// Root data directory; one subdirectory per slot. Created if missing.
+  std::string dir;
+  /// Journaled mutations since the last checkpoint that trigger a
+  /// background checkpoint of a prepared slot. 0 = manual CHECKPOINT only.
+  std::uint64_t checkpoint_every = 0;
+  /// fsync WAL appends and checkpoint files before acknowledging. Disable
+  /// only where the test harness wants speed over power-loss safety — the
+  /// data still reaches the file (flushed), so a process crash loses
+  /// nothing either way.
+  bool fsync = true;
+};
+
+/// Durability counters for one slot, surfaced by PERSIST/STATS.
+struct SlotDurability {
+  bool durable = false;
+  std::uint64_t last_seq = 0;  ///< Sequence of the newest journaled record.
+  std::uint64_t records_since_checkpoint = 0;
+  std::uint64_t last_checkpoint_seq = 0;  ///< State seq of the newest ckpt.
+  std::uint64_t checkpoints_completed = 0;
+};
+
+/// Outcome of a synchronous checkpoint.
+struct CheckpointInfo {
+  /// The log position the checkpoint captured: every record <= state_seq is
+  /// folded into the snapshot file, the WAL restarts after it.
+  std::uint64_t state_seq = 0;
+  std::size_t bytes = 0;  ///< Checkpoint file size.
+};
+
 /// One row of DatasetRegistry::Describe().
 struct DatasetSlotInfo {
   std::string name;
@@ -82,6 +118,11 @@ struct DatasetSlotInfo {
   /// Largest per-class drift fraction observed by the most recent extend or
   /// regroup of this slot (0 until streaming writes happen).
   double last_max_drift = 0.0;
+  /// Durability view (DESIGN.md §13); all zero when durability is off.
+  bool durable = false;
+  std::uint64_t wal_seq = 0;
+  std::uint64_t wal_dirty = 0;  ///< Records since the last checkpoint.
+  std::uint64_t checkpoints = 0;
 };
 
 /// Maintenance view of one slot: the streaming-ingest counters the DRIFT
@@ -107,7 +148,12 @@ struct MaintenanceStatus {
 ///   - streaming maintenance (DESIGN.md §12): per-slot drift accounting fed
 ///     by Engine::ExtendSeries and a drift-triggered background regroup
 ///     (RegroupAsync / MaybeScheduleRegroup) that rebuilds just the drifted
-///     length classes and installs conditionally like every other writer.
+///     length classes and installs conditionally like every other writer;
+///   - optional durability (DESIGN.md §13): once Recover() has run, every
+///     acknowledged mutation is journaled write-ahead into a per-slot
+///     versioned WAL, checkpoints fold the log into ONEXPREP snapshots, and
+///     the next Recover() reconstructs every slot bit-identically to the
+///     pre-crash in-memory state.
 ///
 /// Lock order: a slot lock may be taken while no registry lock is held, and
 /// the registry map lock may be taken while holding one slot lock — never
@@ -122,8 +168,8 @@ class DatasetRegistry {
   DatasetRegistry(const DatasetRegistry&) = delete;
   DatasetRegistry& operator=(const DatasetRegistry&) = delete;
 
-  /// Destruction waits for in-flight async preparation jobs so their slots
-  /// cannot outlive the registry's accounting.
+  /// Destruction waits for in-flight async jobs so their slots cannot
+  /// outlive the registry's accounting.
   ~DatasetRegistry();
 
   /// Creates a slot holding `dataset` (unprepared). AlreadyExists on name
@@ -135,15 +181,23 @@ class DatasetRegistry {
   Status Adopt(const std::string& name,
                std::shared_ptr<const PreparedDataset> snapshot);
 
-  /// Atomically replaces `name`'s snapshot (the engine's append path).
-  /// Readers holding the old snapshot keep it; accounting and the LRU
-  /// policy see the new one. With `expected` non-null the swap is
+  /// Atomically replaces `name`'s snapshot (the engine's append/extend
+  /// path). Readers holding the old snapshot keep it; accounting and the
+  /// LRU policy see the new one. With `expected` non-null the swap is
   /// conditional on the slot still holding `expected`; returns whether the
   /// swap happened (always true when unconditional), so callers can
-  /// rebuild-and-retry instead of clobbering a concurrent writer.
+  /// rebuild-and-retry instead of clobbering a concurrent writer. With
+  /// `record` non-null and the slot journaled, the record is journaled
+  /// write-ahead — under the same slot lock, before the swap is visible —
+  /// so WAL order always equals install order; a journal failure fails the
+  /// whole call and nothing is installed. A null `record` on a journaled
+  /// slot reports a lost race (false): the caller observed durability off
+  /// before PERSIST armed it, and must retry with a record — an
+  /// acknowledged write is never left out of the log.
   Result<bool> Replace(const std::string& name,
                        std::shared_ptr<const PreparedDataset> snapshot,
-                       const PreparedDataset* expected = nullptr);
+                       const PreparedDataset* expected = nullptr,
+                       WalRecord* record = nullptr);
 
   Status Drop(const std::string& name);
   std::vector<std::string> List() const;
@@ -208,11 +262,46 @@ class DatasetRegistry {
   PrepareTicket MaybeScheduleRegroup(const std::string& name,
                                      const std::vector<LengthClassDrift>& drift);
 
+  // --- Durability (DESIGN.md §13) -----------------------------------------
+
+  /// Opens `options.dir`, replays every slot directory found there
+  /// (checkpoint file + WAL tail, through the same snapshot writers the
+  /// live paths use), bootstraps journals for slots loaded before this
+  /// call, and arms write-ahead journaling for everything after. Call once,
+  /// before serving traffic; FailedPrecondition on a second call. A torn
+  /// WAL tail (crash mid-append) is truncated and recovered past — that
+  /// write was never acknowledged; any other corruption (mid-log checksum
+  /// failure, duplicated tail, damaged checkpoint) is a structured error
+  /// naming the slot, never a silently wrong base.
+  Status Recover(const DurabilityOptions& options);
+
+  bool durable() const { return durable_.load(); }
+  std::string data_dir() const;
+
+  /// Folds `name`'s journal into a fresh checkpoint file now: serializes
+  /// the current prepared snapshot (ONEXPREP payload plus exact raw
+  /// values), installs the snapshot's canonical image into the live slot
+  /// under the same critical section that restarts the WAL, and deletes
+  /// the superseded log. The adoption is what makes recovery bit-exact:
+  /// after a checkpoint, the live base and the checkpoint file agree down
+  /// to the last centroid ulp (snapshot_ops.h, CanonicalizeSnapshot).
+  /// FailedPrecondition when durability is off or the slot's base is not
+  /// resident (checkpointing never forces an evicted base back in).
+  Result<CheckpointInfo> Checkpoint(const std::string& name);
+
+  /// Checkpoint scheduled on the task pool; at most one in flight per slot
+  /// (a second call returns a completed FailedPrecondition ticket).
+  PrepareTicket CheckpointAsync(const std::string& name);
+
+  /// Durability counters for one slot.
+  Result<SlotDurability> Durability(const std::string& name) const;
+
  private:
   struct Slot {
     /// Shared by queries reading the snapshot pointer, exclusive for swaps
-    /// and evictions. Held only for pointer reads/writes, never across a
-    /// build or a query.
+    /// and evictions. Held only for pointer reads/writes — and, with
+    /// durability on, the write-ahead journal append bound to a swap —
+    /// never across a build or a query.
     mutable std::shared_mutex mutex;
     /// Serializes transparent re-preparation so one rebuilder runs while
     /// late arrivals wait for its result.
@@ -231,21 +320,27 @@ class DatasetRegistry {
     std::atomic<bool> regroup_inflight{false};
     std::atomic<double> last_max_drift{0.0};
     std::atomic<std::uint64_t> regroups_completed{0};
+    /// Write-ahead journal; null until durability is enabled.
+    std::shared_ptr<SlotJournal> journal;
   };
 
   Result<std::shared_ptr<Slot>> FindSlot(const std::string& name) const;
   void TouchLocked(Slot* slot) const;
 
-  /// Swaps `snapshot` into `slot` (exclusive lock), updates the byte
-  /// accounting — skipping it if the slot was dropped from the map while an
-  /// async job built the snapshot — and evicts LRU victims over budget.
-  /// With `expected` non-null the swap is conditional: it only happens if
-  /// the slot still holds `expected` (returns false otherwise), which is
-  /// how the transparent rebuild avoids clobbering a Replace or Prepare
-  /// that landed while it was building.
-  bool Install(const std::shared_ptr<Slot>& slot, const std::string& name,
-               std::shared_ptr<const PreparedDataset> snapshot,
-               const PreparedDataset* expected = nullptr);
+  /// Swaps `snapshot` into `slot` (exclusive lock), journaling `record`
+  /// write-ahead when durability is on, updates the byte accounting —
+  /// skipping it if the slot was dropped from the map while an async job
+  /// built the snapshot — and evicts LRU victims over budget. With
+  /// `expected` non-null the swap is conditional: it only happens if the
+  /// slot still holds `expected` (returns false otherwise), which is how
+  /// the transparent rebuild avoids clobbering a Replace or Prepare that
+  /// landed while it was building. A journal failure is an error: nothing
+  /// was installed and the slot's WAL is latched read-only.
+  Result<bool> Install(const std::shared_ptr<Slot>& slot,
+                       const std::string& name,
+                       std::shared_ptr<const PreparedDataset> snapshot,
+                       const PreparedDataset* expected = nullptr,
+                       WalRecord* record = nullptr);
 
   /// Evicts least-recently-used prepared bases until the total fits the
   /// budget. `keep` (may be null) is never evicted — it is the slot whose
@@ -263,6 +358,35 @@ class DatasetRegistry {
   Status RunRegroup(const std::string& name, const std::shared_ptr<Slot>& slot,
                     const std::vector<std::size_t>& lengths);
 
+  /// Creates `name`'s journal directory and WAL. With `load_record` the
+  /// slot's raw dataset is journaled as the first record (the Load path);
+  /// prepared slots checkpoint instead (the Adopt/bootstrap path).
+  Status CreateSlotJournal(const std::string& name,
+                           const std::shared_ptr<Slot>& slot,
+                           bool load_record);
+
+  /// The checkpoint procedure (see Checkpoint); runs the conditional
+  /// capture-adopt-rotate loop.
+  Status RunCheckpoint(const std::string& name,
+                       const std::shared_ptr<Slot>& slot,
+                       CheckpointInfo* info);
+
+  /// Schedules a background checkpoint after an install pushed a slot past
+  /// the checkpoint_every threshold.
+  void MaybeScheduleCheckpoint(const std::string& name,
+                               const std::shared_ptr<Slot>& slot);
+
+  /// Registers an async job handle for the destructor's drain, retiring
+  /// finished handles so long-lived registries don't accumulate.
+  void TrackJob(TaskHandle handle);
+
+  /// Replays one slot directory into a ready-to-register slot (not yet in
+  /// the map): Recover registers all replayed slots only after every
+  /// directory replayed cleanly, so a failed recovery leaves the registry
+  /// exactly as it was and can simply be retried.
+  Result<std::pair<std::string, std::shared_ptr<Slot>>> RecoverSlotDir(
+      const std::string& dir_path);
+
   TaskPool* pool_;
   mutable std::mutex map_mutex_;  ///< Guards slots_, budget_, total_bytes_.
   std::map<std::string, std::shared_ptr<Slot>> slots_;
@@ -270,6 +394,10 @@ class DatasetRegistry {
   std::size_t total_bytes_ = 0;
   std::atomic<double> drift_threshold_{0.0};
   mutable std::atomic<std::uint64_t> clock_{0};
+
+  std::atomic<bool> durable_{false};
+  DurabilityOptions durability_;  ///< Written once by Recover.
+  std::mutex recover_mutex_;      ///< Serializes concurrent Recover calls.
 
   std::mutex jobs_mutex_;  ///< Guards jobs_.
   std::vector<TaskHandle> jobs_;

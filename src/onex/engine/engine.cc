@@ -10,10 +10,11 @@
 #include <utility>
 #include <vector>
 
-#include "onex/common/string_utils.h"
-#include "onex/core/base_io.h"
 #include "onex/core/incremental.h"
 #include "onex/distance/dtw.h"
+#include "onex/engine/snapshot_io.h"
+#include "onex/engine/snapshot_ops.h"
+#include "onex/engine/wal.h"
 #include "onex/ts/paa.h"
 #include "onex/ts/ucr_io.h"
 
@@ -65,46 +66,21 @@ Status Engine::AppendSeries(const std::string& name, TimeSeries series) {
   // Conditional-install loop: if another append or prepare swaps the slot
   // while this one builds, rebuild from the newer snapshot instead of
   // clobbering it (no acknowledged write may be lost). `series` is only
-  // read, never consumed, so retries reuse it.
+  // read, never consumed, so retries reuse it. The transform itself lives
+  // in snapshot_ops.h, shared with WAL replay.
   while (true) {
     ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
                           Get(name));
+    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> next,
+                          ApplyAppend(*current, series));
 
-    auto next = std::make_shared<PreparedDataset>(*current);
-    // Extended raw dataset.
-    Dataset raw(current->raw->name());
-    for (const TimeSeries& ts : current->raw->series()) raw.Add(ts);
-    raw.Add(series);
-    next->raw = std::make_shared<const Dataset>(std::move(raw));
-
-    if (current->prepared()) {
-      // Normalize the newcomer with the frozen parameters, then insert it
-      // into the base without re-grouping the rest.
-      TimeSeries norm_series =
-          NormalizeAppended(series, current->norm_kind, &next->norm_params);
-      ONEX_ASSIGN_OR_RETURN(OnexBase extended,
-                            onex::AppendSeries(*next->base,
-                                               std::move(norm_series)));
-      next->base = std::make_shared<const OnexBase>(std::move(extended));
-      next->normalized = next->base->shared_dataset();
-    } else if (current->normalized != nullptr) {
-      // Base evicted: grow the frozen normalized copy in lockstep (the same
-      // values BuildSnapshot's catch-up would derive). This keeps per-series
-      // parameters frozen at the newcomer's own pre-extend values, so a
-      // later ExtendSeries of this series — and the eventual transparent
-      // rebuild — match what a resident append+extend would have produced.
-      Dataset normalized(current->normalized->name());
-      for (const TimeSeries& ts : current->normalized->series()) {
-        normalized.Add(ts);
-      }
-      normalized.Add(
-          NormalizeAppended(series, current->norm_kind, &next->norm_params));
-      next->normalized = std::make_shared<const Dataset>(std::move(normalized));
-    }
-
+    // The record always travels with the install; whether the slot is
+    // journaled is decided inside Install, under the slot lock — the only
+    // place the answer cannot go stale against a concurrent PERSIST.
+    WalRecord record = WalAppendRecord(series);
     ONEX_ASSIGN_OR_RETURN(
         bool installed,
-        registry_.Replace(name, std::move(next), current.get()));
+        registry_.Replace(name, std::move(next), current.get(), &record));
     if (installed) return Status::OK();
     // Lost the race; go again from the newer snapshot.
   }
@@ -123,64 +99,29 @@ Result<Engine::ExtendSummary> Engine::ExtendSeries(
     const std::string& name, std::vector<ExtendSpec> extensions) {
   // Conditional-install loop, like AppendSeries: if another writer swaps
   // the slot while this one builds, rebuild from the newer snapshot instead
-  // of clobbering it. `extensions` is only read, so retries reuse it.
+  // of clobbering it. `extensions` is only read, so retries reuse it; the
+  // transform itself lives in snapshot_ops.h, shared with WAL replay.
   while (true) {
     ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> current,
                           Get(name));
-
-    // One pending tail per series (validation + duplicate merge shared with
-    // the core layer).
-    ONEX_ASSIGN_OR_RETURN(
-        std::vector<std::vector<double>> pending,
-        MergeExtensions(current->raw->size(), extensions));
+    ONEX_ASSIGN_OR_RETURN(ExtendOutcome outcome,
+                          ApplyExtend(*current, extensions));
 
     ExtendSummary summary;
-    for (const std::vector<double>& tail : pending) {
-      if (tail.empty()) continue;
-      ++summary.series_extended;
-      summary.points_appended += tail.size();
-    }
-    auto next = std::make_shared<PreparedDataset>(*current);
-    next->raw =
-        std::make_shared<const Dataset>(ExtendTails(*current->raw, pending));
-
-    // The same tails in normalized units: mapped through the dataset's
-    // frozen parameters, so appended values land in exactly the units the
-    // base compares in.
-    std::vector<std::vector<double>> norm_pending(pending.size());
-    for (std::size_t s = 0; s < pending.size(); ++s) {
-      norm_pending[s].reserve(pending[s].size());
-      for (const double v : pending[s]) {
-        norm_pending[s].push_back(NormalizeValue(current->norm_params, s, v));
-      }
+    summary.series_extended = outcome.series_extended;
+    summary.points_appended = outcome.points_appended;
+    summary.new_members = outcome.new_members;
+    summary.drift = std::move(outcome.drift);
+    for (const LengthClassDrift& d : summary.drift) {
+      summary.max_drift = std::max(summary.max_drift, d.fraction());
     }
 
-    if (current->prepared()) {
-      // Insert only the new subsequences into the base.
-      std::vector<SeriesExtension> norm_ext;
-      for (std::size_t s = 0; s < norm_pending.size(); ++s) {
-        if (norm_pending[s].empty()) continue;
-        norm_ext.push_back(SeriesExtension{s, std::move(norm_pending[s])});
-      }
-      ONEX_ASSIGN_OR_RETURN(ExtendResult extended,
-                            onex::ExtendSeries(*current->base, norm_ext));
-      next->base = std::make_shared<const OnexBase>(std::move(extended.base));
-      next->normalized = next->base->shared_dataset();
-      summary.new_members = extended.new_members;
-      summary.drift = std::move(extended.drift);
-      for (const LengthClassDrift& d : summary.drift) {
-        summary.max_drift = std::max(summary.max_drift, d.fraction());
-      }
-    } else if (current->normalized != nullptr) {
-      // Base evicted: keep the frozen normalized copy in lockstep so the
-      // transparent rebuild (DESIGN.md §11) regroups exactly the values a
-      // resident extend would have inserted.
-      next->normalized = std::make_shared<const Dataset>(
-          ExtendTails(*current->normalized, norm_pending));
-    }
-
-    ONEX_ASSIGN_OR_RETURN(bool installed,
-                          registry_.Replace(name, next, current.get()));
+    // Record always attached; Install journals it iff the slot is
+    // journaled (see AppendSeries).
+    WalRecord record = WalExtendRecord(extensions);
+    ONEX_ASSIGN_OR_RETURN(
+        bool installed,
+        registry_.Replace(name, outcome.snapshot, current.get(), &record));
     if (!installed) continue;  // lost the race; go again from the newer state
 
     // The drift policy runs after the install so the regroup job sees (at
@@ -191,15 +132,6 @@ Result<Engine::ExtendSummary> Engine::ExtendSeries(
   }
 }
 
-namespace {
-
-/// Framing for SavePrepared/LoadPrepared: one header line with the
-/// normalization parameters, then the core base_io payload.
-constexpr const char* kPrepMagic = "ONEXPREP";
-constexpr int kPrepVersion = 1;
-
-}  // namespace
-
 Status Engine::SavePrepared(const std::string& name,
                             const std::string& path) const {
   ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
@@ -208,15 +140,7 @@ Status Engine::SavePrepared(const std::string& name,
   if (!out) {
     return Status::IoError("cannot open '" + path + "' for writing");
   }
-  out << kPrepMagic << ' ' << kPrepVersion << ' '
-      << NormalizationKindToString(ds->norm_kind) << ' '
-      << StrFormat("%.17g %.17g", ds->norm_params.min, ds->norm_params.max)
-      << ' ' << ds->norm_params.per_series.size();
-  for (const auto& [offset, scale] : ds->norm_params.per_series) {
-    out << ' ' << StrFormat("%.17g %.17g", offset, scale);
-  }
-  out << '\n';
-  return SaveBase(*ds->base, out);
+  return WritePreparedPayload(*ds, out);
 }
 
 Status Engine::LoadPrepared(const std::string& name, const std::string& path) {
@@ -224,61 +148,9 @@ Status Engine::LoadPrepared(const std::string& name, const std::string& path) {
   if (!in) {
     return Status::IoError("cannot open '" + path + "' for reading");
   }
-  std::string header;
-  if (!std::getline(in, header)) {
-    return Status::ParseError("empty prepared-dataset file");
-  }
-  const std::vector<std::string> fields = SplitString(header);
-  if (fields.size() < 5 || fields[0] != kPrepMagic) {
-    return Status::ParseError("not an ONEX prepared-dataset file");
-  }
-  ONEX_ASSIGN_OR_RETURN(long long version, ParseInt(fields[1]));
-  if (version != kPrepVersion) {
-    return Status::ParseError(
-        StrFormat("unsupported prepared-dataset version %lld", version));
-  }
-  auto next = std::make_shared<PreparedDataset>();
-  next->name = name;
-  ONEX_ASSIGN_OR_RETURN(next->norm_kind,
-                        NormalizationKindFromString(fields[2]));
-  next->norm_params.kind = next->norm_kind;
-  ONEX_ASSIGN_OR_RETURN(next->norm_params.min, ParseDouble(fields[3]));
-  ONEX_ASSIGN_OR_RETURN(next->norm_params.max, ParseDouble(fields[4]));
-  if (fields.size() < 6) {
-    return Status::ParseError("prepared header missing per-series count");
-  }
-  ONEX_ASSIGN_OR_RETURN(long long per_series, ParseInt(fields[5]));
-  if (per_series < 0 ||
-      fields.size() != 6 + 2 * static_cast<std::size_t>(per_series)) {
-    return Status::ParseError("prepared header per-series mismatch");
-  }
-  for (long long i = 0; i < per_series; ++i) {
-    ONEX_ASSIGN_OR_RETURN(double offset,
-                          ParseDouble(fields[6 + 2 * static_cast<std::size_t>(i)]));
-    ONEX_ASSIGN_OR_RETURN(double scale,
-                          ParseDouble(fields[7 + 2 * static_cast<std::size_t>(i)]));
-    next->norm_params.per_series.emplace_back(offset, scale);
-  }
-
-  ONEX_ASSIGN_OR_RETURN(OnexBase base, LoadBase(in));
-  next->base = std::make_shared<const OnexBase>(std::move(base));
-  next->normalized = next->base->shared_dataset();
-  next->build_options = next->base->options();
-
-  // Recover original units through the stored normalization parameters.
-  Dataset raw(next->normalized->name());
-  for (std::size_t s = 0; s < next->normalized->size(); ++s) {
-    const TimeSeries& ts = (*next->normalized)[s];
-    std::vector<double> values;
-    values.reserve(ts.length());
-    for (double v : ts.values()) {
-      values.push_back(Denormalize(next->norm_params, s, v));
-    }
-    raw.Add(TimeSeries(ts.name(), std::move(values), ts.label()));
-  }
-  next->raw = std::make_shared<const Dataset>(std::move(raw));
-
-  return registry_.Adopt(name, std::move(next));
+  ONEX_ASSIGN_OR_RETURN(PreparedDataset loaded, ReadPreparedPayload(in, name));
+  return registry_.Adopt(
+      name, std::make_shared<const PreparedDataset>(std::move(loaded)));
 }
 
 Result<std::vector<double>> Engine::ResolveQuery(const PreparedDataset& target,

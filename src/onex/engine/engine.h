@@ -52,6 +52,18 @@ class Engine {
   DatasetRegistry& registry() { return registry_; }
   const DatasetRegistry& registry() const { return registry_; }
 
+  /// Makes the engine durable (DESIGN.md §13): recovers every slot found
+  /// under `options.dir` (checkpoint + WAL tail, replayed through the same
+  /// writers the live paths use, so the recovered state is bit-identical to
+  /// the pre-crash memory image), journals every later acknowledged
+  /// mutation write-ahead, and checkpoints in the background per
+  /// `options.checkpoint_every`. Call once, before serving traffic;
+  /// datasets loaded earlier in this process are bootstrapped into the
+  /// data dir. This is what `onexd --data-dir=` and the PERSIST verb call.
+  Status EnableDurability(const DurabilityOptions& options) {
+    return registry_.Recover(options);
+  }
+
   /// Registers a dataset ("Data Loading into ONEX": one click). Fails with
   /// AlreadyExists on name collision.
   Status LoadDataset(const std::string& name, Dataset dataset);

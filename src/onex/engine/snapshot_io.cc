@@ -1,0 +1,97 @@
+#include "onex/engine/snapshot_io.h"
+
+#include <cstddef>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "onex/common/string_utils.h"
+#include "onex/core/base_io.h"
+
+namespace onex {
+namespace {
+
+constexpr const char* kPrepMagic = "ONEXPREP";
+constexpr int kPrepVersion = 1;
+
+}  // namespace
+
+Status WritePreparedPayload(const PreparedDataset& ds, std::ostream& out) {
+  if (!ds.prepared()) {
+    return Status::FailedPrecondition("snapshot '" + ds.name +
+                                      "' has no prepared base to serialize");
+  }
+  out << kPrepMagic << ' ' << kPrepVersion << ' '
+      << NormalizationKindToString(ds.norm_kind) << ' '
+      << StrFormat("%.17g %.17g", ds.norm_params.min, ds.norm_params.max)
+      << ' ' << ds.norm_params.per_series.size();
+  for (const auto& [offset, scale] : ds.norm_params.per_series) {
+    out << ' ' << StrFormat("%.17g %.17g", offset, scale);
+  }
+  out << '\n';
+  return SaveBase(*ds.base, out);
+}
+
+Result<PreparedDataset> ReadPreparedPayload(std::istream& in,
+                                            const std::string& name) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::ParseError("empty prepared-dataset payload");
+  }
+  const std::vector<std::string> fields = SplitString(header);
+  if (fields.size() < 5 || fields[0] != kPrepMagic) {
+    return Status::ParseError("not an ONEX prepared-dataset payload");
+  }
+  ONEX_ASSIGN_OR_RETURN(long long version, ParseInt(fields[1]));
+  if (version != kPrepVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported prepared-dataset version %lld", version));
+  }
+  PreparedDataset next;
+  next.name = name;
+  ONEX_ASSIGN_OR_RETURN(next.norm_kind, NormalizationKindFromString(fields[2]));
+  next.norm_params.kind = next.norm_kind;
+  ONEX_ASSIGN_OR_RETURN(next.norm_params.min, ParseDouble(fields[3]));
+  ONEX_ASSIGN_OR_RETURN(next.norm_params.max, ParseDouble(fields[4]));
+  if (fields.size() < 6) {
+    return Status::ParseError("prepared header missing per-series count");
+  }
+  ONEX_ASSIGN_OR_RETURN(long long per_series, ParseInt(fields[5]));
+  if (per_series < 0 ||
+      fields.size() != 6 + 2 * static_cast<std::size_t>(per_series)) {
+    return Status::ParseError("prepared header per-series mismatch");
+  }
+  for (long long i = 0; i < per_series; ++i) {
+    ONEX_ASSIGN_OR_RETURN(
+        double offset, ParseDouble(fields[6 + 2 * static_cast<std::size_t>(i)]));
+    ONEX_ASSIGN_OR_RETURN(
+        double scale, ParseDouble(fields[7 + 2 * static_cast<std::size_t>(i)]));
+    next.norm_params.per_series.emplace_back(offset, scale);
+  }
+
+  ONEX_ASSIGN_OR_RETURN(OnexBase base, LoadBase(in));
+  next.base = std::make_shared<const OnexBase>(std::move(base));
+  next.normalized = next.base->shared_dataset();
+  next.build_options = next.base->options();
+
+  // Recover original units through the stored normalization parameters.
+  // Checkpoint files carry the exact raw values alongside and replace this
+  // reconstruction (wal.cc); the analyst-facing LOADBASE path keeps it.
+  Dataset raw(next.normalized->name());
+  for (std::size_t s = 0; s < next.normalized->size(); ++s) {
+    const TimeSeries& ts = (*next.normalized)[s];
+    std::vector<double> values;
+    values.reserve(ts.length());
+    for (double v : ts.values()) {
+      values.push_back(Denormalize(next.norm_params, s, v));
+    }
+    raw.Add(TimeSeries(ts.name(), std::move(values), ts.label()));
+  }
+  next.raw = std::make_shared<const Dataset>(std::move(raw));
+  return next;
+}
+
+}  // namespace onex

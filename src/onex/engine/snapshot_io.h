@@ -1,0 +1,33 @@
+#ifndef ONEX_ENGINE_SNAPSHOT_IO_H_
+#define ONEX_ENGINE_SNAPSHOT_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "onex/common/result.h"
+#include "onex/engine/dataset_registry.h"
+
+namespace onex {
+
+/// Serialization of a prepared slot — the "ONEXPREP 1" format: one header
+/// line carrying the normalization kind and parameters, then the core
+/// ONEXBASE payload (base_io.h). Shared by the SAVEBASE/LOADBASE session
+/// verbs (Engine::SavePrepared / Engine::LoadPrepared) and by the durability
+/// layer's checkpoints (DESIGN.md §13), so a checkpoint is readable with the
+/// same tooling as an analyst-saved base.
+///
+/// The snapshot must be prepared (`base != nullptr`); FailedPrecondition
+/// otherwise.
+Status WritePreparedPayload(const PreparedDataset& ds, std::ostream& out);
+
+/// Parses an ONEXPREP payload into a prepared snapshot named `name`. The
+/// base arrives canonical (OnexBase::Restore: centroids and envelopes
+/// recomputed from members); `raw` is reconstructed by mapping the
+/// normalized values back through the stored parameters — callers holding
+/// the exact original raw values (the checkpoint reader) overwrite it.
+Result<PreparedDataset> ReadPreparedPayload(std::istream& in,
+                                            const std::string& name);
+
+}  // namespace onex
+
+#endif  // ONEX_ENGINE_SNAPSHOT_IO_H_

@@ -1,0 +1,835 @@
+#include "onex/engine/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "onex/common/string_utils.h"
+#include "onex/engine/snapshot_io.h"
+#include "onex/json/json.h"
+
+namespace onex {
+namespace {
+
+constexpr const char* kWalMagic = "ONEXWAL";
+constexpr int kWalVersion = 1;
+constexpr const char* kCkptMagic = "ONEXCKPT";
+constexpr int kCkptVersion = 1;
+
+/// Far above the largest legal record (a 2M-point GEN encodes to ~50 MB);
+/// a line past this is corruption, not data.
+constexpr std::size_t kMaxWalLineBytes = 512ull << 20;
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out;
+  const std::string escaped = json::EscapeString(s);
+  out.reserve(escaped.size() + 2);
+  out += '"';
+  out += escaped;
+  out += '"';
+  return out;
+}
+
+/// Sequential token reader over one record body. Counts declared by the
+/// record never drive allocation: consumers loop calling Next*, which fails
+/// at exhaustion, so memory grows only with bytes actually present.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view text) : rest_(text) {}
+
+  bool Done() {
+    SkipSpace();
+    return rest_.empty();
+  }
+
+  Result<std::string_view> Next() {
+    SkipSpace();
+    if (rest_.empty()) {
+      return Status::ParseError("wal record ends mid-field");
+    }
+    std::size_t end = 0;
+    while (end < rest_.size() && rest_[end] != ' ' && rest_[end] != '\t') {
+      ++end;
+    }
+    std::string_view token = rest_.substr(0, end);
+    rest_.remove_prefix(end);
+    return token;
+  }
+
+  Result<std::string> NextQuoted() {
+    SkipSpace();
+    if (rest_.empty() || rest_.front() != '"') {
+      return Status::ParseError("expected quoted string in wal record");
+    }
+    std::size_t end = 1;
+    while (end < rest_.size()) {
+      if (rest_[end] == '\\') {
+        end += 2;
+        continue;
+      }
+      if (rest_[end] == '"') break;
+      ++end;
+    }
+    if (end >= rest_.size()) {
+      return Status::ParseError("unterminated quoted string in wal record");
+    }
+    ONEX_ASSIGN_OR_RETURN(json::Value v,
+                          json::Parse(rest_.substr(0, end + 1)));
+    rest_.remove_prefix(end + 1);
+    return v.as_string();
+  }
+
+  Result<long long> NextInt() {
+    ONEX_ASSIGN_OR_RETURN(std::string_view token, Next());
+    return ParseInt(token);
+  }
+
+  Result<double> NextDouble() {
+    ONEX_ASSIGN_OR_RETURN(std::string_view token, Next());
+    return ParseDouble(token);
+  }
+
+ private:
+  void SkipSpace() {
+    while (!rest_.empty() && (rest_.front() == ' ' || rest_.front() == '\t')) {
+      rest_.remove_prefix(1);
+    }
+  }
+
+  std::string_view rest_;
+};
+
+Result<CentroidPolicy> PolicyFromString(std::string_view name) {
+  if (name == "fixed-leader") return CentroidPolicy::kFixedLeader;
+  if (name == "running-mean") return CentroidPolicy::kRunningMean;
+  if (name == "running-mean-repair") {
+    return CentroidPolicy::kRunningMeanRepair;
+  }
+  return Status::ParseError("unknown centroid policy in wal record");
+}
+
+Result<WalRecordType> TypeFromString(std::string_view name) {
+  if (name == "load") return WalRecordType::kLoad;
+  if (name == "append") return WalRecordType::kAppend;
+  if (name == "extend") return WalRecordType::kExtend;
+  if (name == "prepare") return WalRecordType::kPrepare;
+  if (name == "regroup") return WalRecordType::kRegroup;
+  if (name == "rebuild") return WalRecordType::kRebuild;
+  if (name == "evict") return WalRecordType::kEvict;
+  if (name == "ckpt") return WalRecordType::kCheckpoint;
+  return Status::ParseError("unknown wal record type '" + std::string(name) +
+                            "'");
+}
+
+Result<std::uint64_t> ParseHex64(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    return Status::ParseError("malformed wal checksum");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return Status::ParseError("malformed wal checksum");
+    }
+  }
+  return value;
+}
+
+void AppendSeriesText(std::string* out, const TimeSeries& ts) {
+  *out += ' ';
+  *out += Quoted(ts.name());
+  *out += ' ';
+  *out += Quoted(ts.label());
+  *out += StrFormat(" %zu", ts.length());
+  for (const double v : ts.values()) *out += StrFormat(" %.17g", v);
+}
+
+Result<TimeSeries> ParseSeriesText(TokenCursor* cur) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, cur->NextQuoted());
+  ONEX_ASSIGN_OR_RETURN(std::string label, cur->NextQuoted());
+  ONEX_ASSIGN_OR_RETURN(long long len, cur->NextInt());
+  if (len < 0) return Status::ParseError("negative series length in wal");
+  std::vector<double> values;
+  for (long long i = 0; i < len; ++i) {
+    ONEX_ASSIGN_OR_RETURN(double v, cur->NextDouble());
+    values.push_back(v);
+  }
+  return TimeSeries(std::move(name), std::move(values), std::move(label));
+}
+
+/// Reads one '\n'-terminated line of at most kMaxWalLineBytes. Returns
+/// false at clean EOF; with content, reports whether the terminator was
+/// seen and whether the cap was hit.
+bool ReadLineBounded(std::istream& in, std::string* line, bool* newline,
+                     bool* over_cap) {
+  line->clear();
+  *newline = false;
+  *over_cap = false;
+  int c;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    if (c == '\n') {
+      *newline = true;
+      return true;
+    }
+    line->push_back(static_cast<char>(c));
+    if (line->size() > kMaxWalLineBytes) {
+      *over_cap = true;
+      return true;
+    }
+  }
+  return !line->empty();
+}
+
+}  // namespace
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+const char* WalRecordTypeToString(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kLoad: return "load";
+    case WalRecordType::kAppend: return "append";
+    case WalRecordType::kExtend: return "extend";
+    case WalRecordType::kPrepare: return "prepare";
+    case WalRecordType::kRegroup: return "regroup";
+    case WalRecordType::kRebuild: return "rebuild";
+    case WalRecordType::kEvict: return "evict";
+    case WalRecordType::kCheckpoint: return "ckpt";
+  }
+  return "unknown";
+}
+
+WalRecord WalLoadRecord(const Dataset& dataset) {
+  WalRecord r;
+  r.type = WalRecordType::kLoad;
+  r.dataset = dataset;
+  return r;
+}
+
+WalRecord WalAppendRecord(TimeSeries series) {
+  WalRecord r;
+  r.type = WalRecordType::kAppend;
+  r.series = std::move(series);
+  return r;
+}
+
+WalRecord WalExtendRecord(std::vector<SeriesExtension> extensions) {
+  WalRecord r;
+  r.type = WalRecordType::kExtend;
+  r.extensions = std::move(extensions);
+  return r;
+}
+
+WalRecord WalPrepareRecord(const BaseBuildOptions& options,
+                           NormalizationKind norm) {
+  WalRecord r;
+  r.type = WalRecordType::kPrepare;
+  r.options = options;
+  r.norm = norm;
+  return r;
+}
+
+WalRecord WalRegroupRecord(std::vector<std::size_t> lengths) {
+  WalRecord r;
+  r.type = WalRecordType::kRegroup;
+  r.lengths = std::move(lengths);
+  return r;
+}
+
+WalRecord WalRebuildRecord() {
+  WalRecord r;
+  r.type = WalRecordType::kRebuild;
+  return r;
+}
+
+WalRecord WalEvictRecord() {
+  WalRecord r;
+  r.type = WalRecordType::kEvict;
+  return r;
+}
+
+WalRecord WalCheckpointRecord(std::uint64_t state_seq) {
+  WalRecord r;
+  r.type = WalRecordType::kCheckpoint;
+  r.checkpoint_seq = state_seq;
+  return r;
+}
+
+std::string EncodeWalHeader(const std::string& dataset_name) {
+  return StrFormat("%s %d ", kWalMagic, kWalVersion) + Quoted(dataset_name) +
+         "\n";
+}
+
+Result<std::string> DecodeWalHeader(std::string_view line) {
+  TokenCursor cur(line);
+  ONEX_ASSIGN_OR_RETURN(std::string_view magic, cur.Next());
+  if (magic != kWalMagic) {
+    return Status::ParseError("not an ONEX wal header");
+  }
+  ONEX_ASSIGN_OR_RETURN(long long version, cur.NextInt());
+  if (version != kWalVersion) {
+    return Status::ParseError(StrFormat("unsupported wal version %lld",
+                                        version));
+  }
+  ONEX_ASSIGN_OR_RETURN(std::string name, cur.NextQuoted());
+  if (!cur.Done()) {
+    return Status::ParseError("trailing bytes after wal header");
+  }
+  if (name.empty()) {
+    return Status::ParseError("wal header has an empty dataset name");
+  }
+  return name;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string body = StrFormat("r %llu %s",
+                               static_cast<unsigned long long>(record.seq),
+                               WalRecordTypeToString(record.type));
+  switch (record.type) {
+    case WalRecordType::kLoad: {
+      body += ' ';
+      body += Quoted(record.dataset.name());
+      body += StrFormat(" %zu", record.dataset.size());
+      for (const TimeSeries& ts : record.dataset.series()) {
+        AppendSeriesText(&body, ts);
+      }
+      break;
+    }
+    case WalRecordType::kAppend:
+      AppendSeriesText(&body, record.series);
+      break;
+    case WalRecordType::kExtend: {
+      body += StrFormat(" %zu", record.extensions.size());
+      for (const SeriesExtension& ext : record.extensions) {
+        body += StrFormat(" %zu %zu", ext.series, ext.points.size());
+        for (const double v : ext.points) body += StrFormat(" %.17g", v);
+      }
+      break;
+    }
+    case WalRecordType::kPrepare:
+      body += StrFormat(" %.17g %zu %zu %zu %zu %s %s", record.options.st,
+                        record.options.min_length, record.options.max_length,
+                        record.options.length_step, record.options.stride,
+                        CentroidPolicyToString(record.options.centroid_policy),
+                        NormalizationKindToString(record.norm));
+      break;
+    case WalRecordType::kRegroup:
+      body += StrFormat(" %zu", record.lengths.size());
+      for (const std::size_t len : record.lengths) {
+        body += StrFormat(" %zu", len);
+      }
+      break;
+    case WalRecordType::kRebuild:
+    case WalRecordType::kEvict:
+      break;
+    case WalRecordType::kCheckpoint:
+      body += StrFormat(
+          " %llu", static_cast<unsigned long long>(record.checkpoint_seq));
+      break;
+  }
+  body += StrFormat(" c=%016llx",
+                    static_cast<unsigned long long>(Fnv1a64(body)));
+  body += '\n';
+  return body;
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view line) {
+  // Split off and verify the trailing checksum first: it covers everything
+  // before it, so any flipped byte — in values, counts or framing — fails
+  // here before any field is trusted.
+  const std::size_t cpos = line.rfind(" c=");
+  if (cpos == std::string_view::npos) {
+    return Status::ParseError("wal record has no checksum field");
+  }
+  const std::string_view body = line.substr(0, cpos);
+  ONEX_ASSIGN_OR_RETURN(std::uint64_t expected, ParseHex64(line.substr(cpos + 3)));
+  if (Fnv1a64(body) != expected) {
+    return Status::ParseError("wal record checksum mismatch");
+  }
+
+  TokenCursor cur(body);
+  ONEX_ASSIGN_OR_RETURN(std::string_view tag, cur.Next());
+  if (tag != "r") {
+    return Status::ParseError("wal record does not start with 'r'");
+  }
+  WalRecord record;
+  ONEX_ASSIGN_OR_RETURN(long long seq, cur.NextInt());
+  if (seq <= 0) return Status::ParseError("wal record sequence must be > 0");
+  record.seq = static_cast<std::uint64_t>(seq);
+  ONEX_ASSIGN_OR_RETURN(std::string_view type_name, cur.Next());
+  ONEX_ASSIGN_OR_RETURN(record.type, TypeFromString(type_name));
+
+  switch (record.type) {
+    case WalRecordType::kLoad: {
+      ONEX_ASSIGN_OR_RETURN(std::string ds_name, cur.NextQuoted());
+      ONEX_ASSIGN_OR_RETURN(long long count, cur.NextInt());
+      if (count < 0) return Status::ParseError("negative series count in wal");
+      Dataset ds(std::move(ds_name));
+      for (long long s = 0; s < count; ++s) {
+        ONEX_ASSIGN_OR_RETURN(TimeSeries ts, ParseSeriesText(&cur));
+        ds.Add(std::move(ts));
+      }
+      record.dataset = std::move(ds);
+      break;
+    }
+    case WalRecordType::kAppend: {
+      ONEX_ASSIGN_OR_RETURN(record.series, ParseSeriesText(&cur));
+      break;
+    }
+    case WalRecordType::kExtend: {
+      ONEX_ASSIGN_OR_RETURN(long long count, cur.NextInt());
+      if (count < 0) {
+        return Status::ParseError("negative extension count in wal");
+      }
+      for (long long e = 0; e < count; ++e) {
+        SeriesExtension ext;
+        ONEX_ASSIGN_OR_RETURN(long long series, cur.NextInt());
+        ONEX_ASSIGN_OR_RETURN(long long points, cur.NextInt());
+        if (series < 0 || points <= 0) {
+          return Status::ParseError("malformed extension in wal");
+        }
+        ext.series = static_cast<std::size_t>(series);
+        for (long long p = 0; p < points; ++p) {
+          ONEX_ASSIGN_OR_RETURN(double v, cur.NextDouble());
+          ext.points.push_back(v);
+        }
+        record.extensions.push_back(std::move(ext));
+      }
+      break;
+    }
+    case WalRecordType::kPrepare: {
+      ONEX_ASSIGN_OR_RETURN(record.options.st, cur.NextDouble());
+      ONEX_ASSIGN_OR_RETURN(long long minlen, cur.NextInt());
+      ONEX_ASSIGN_OR_RETURN(long long maxlen, cur.NextInt());
+      ONEX_ASSIGN_OR_RETURN(long long step, cur.NextInt());
+      ONEX_ASSIGN_OR_RETURN(long long stride, cur.NextInt());
+      if (minlen < 0 || maxlen < 0 || step < 1 || stride < 1) {
+        return Status::ParseError("invalid scoping in wal prepare record");
+      }
+      record.options.min_length = static_cast<std::size_t>(minlen);
+      record.options.max_length = static_cast<std::size_t>(maxlen);
+      record.options.length_step = static_cast<std::size_t>(step);
+      record.options.stride = static_cast<std::size_t>(stride);
+      ONEX_ASSIGN_OR_RETURN(std::string_view policy, cur.Next());
+      ONEX_ASSIGN_OR_RETURN(record.options.centroid_policy,
+                            PolicyFromString(policy));
+      ONEX_ASSIGN_OR_RETURN(std::string_view norm, cur.Next());
+      ONEX_ASSIGN_OR_RETURN(record.norm,
+                            NormalizationKindFromString(std::string(norm)));
+      ONEX_RETURN_IF_ERROR(record.options.Validate());
+      break;
+    }
+    case WalRecordType::kRegroup: {
+      ONEX_ASSIGN_OR_RETURN(long long count, cur.NextInt());
+      if (count < 0) return Status::ParseError("negative length count in wal");
+      for (long long i = 0; i < count; ++i) {
+        ONEX_ASSIGN_OR_RETURN(long long len, cur.NextInt());
+        if (len < 0) return Status::ParseError("negative length in wal");
+        record.lengths.push_back(static_cast<std::size_t>(len));
+      }
+      break;
+    }
+    case WalRecordType::kRebuild:
+    case WalRecordType::kEvict:
+      break;
+    case WalRecordType::kCheckpoint: {
+      ONEX_ASSIGN_OR_RETURN(long long state_seq, cur.NextInt());
+      if (state_seq < 0) {
+        return Status::ParseError("negative checkpoint state seq in wal");
+      }
+      record.checkpoint_seq = static_cast<std::uint64_t>(state_seq);
+      break;
+    }
+  }
+  if (!cur.Done()) {
+    return Status::ParseError("trailing bytes in wal record");
+  }
+  return record;
+}
+
+Result<WalScan> ScanWal(std::istream& in) {
+  WalScan scan;
+  std::string line;
+  bool newline = false;
+  bool over_cap = false;
+
+  if (!ReadLineBounded(in, &line, &newline, &over_cap)) {
+    if (in.bad()) {
+      return Status::IoError("read error while scanning wal header");
+    }
+    scan.embryonic = true;  // empty file: the header never landed
+    return scan;
+  }
+  if (over_cap) {
+    return Status::ParseError("wal header exceeds the line cap");
+  }
+  if (!newline) {
+    if (in.bad()) {
+      return Status::IoError("read error while scanning wal header");
+    }
+    scan.embryonic = true;  // torn at slot birth; nothing was acknowledged
+    return scan;
+  }
+  ONEX_ASSIGN_OR_RETURN(scan.dataset_name, DecodeWalHeader(line));
+  scan.valid_bytes = line.size() + 1;
+
+  std::uint64_t last_seq = 0;
+  while (ReadLineBounded(in, &line, &newline, &over_cap)) {
+    if (over_cap) {
+      return Status::ParseError("wal record exceeds the line cap");
+    }
+    if (!newline) {
+      if (in.bad()) {
+        // A mid-line read ERROR is not a torn write: the rest of the line
+        // may be intact on disk, and calling it torn would let recovery
+        // truncate acknowledged history.
+        return Status::IoError("read error while scanning wal records");
+      }
+      // Torn tail: the line never finished, so the write it carried was
+      // never acknowledged. Recover the clean prefix.
+      scan.torn_tail = true;
+      return scan;
+    }
+    Result<WalRecord> record = DecodeWalRecord(line);
+    if (!record.ok()) {
+      return Status::ParseError(
+          StrFormat("wal record %zu: ", scan.records.size() + 1) +
+          record.status().message());
+    }
+    if (record->seq <= last_seq) {
+      return Status::ParseError(StrFormat(
+          "wal sequence does not advance (%llu after %llu)",
+          static_cast<unsigned long long>(record->seq),
+          static_cast<unsigned long long>(last_seq)));
+    }
+    last_seq = record->seq;
+    scan.valid_bytes += line.size() + 1;
+    scan.records.push_back(*std::move(record));
+  }
+  if (in.bad()) {
+    // A stream read ERROR is not end-of-file: acknowledged history may
+    // still follow. Classifying it as a clean EOF (or worse, a torn tail
+    // that recovery then truncates) would silently destroy valid records.
+    return Status::IoError("read error while scanning wal records");
+  }
+  return scan;
+}
+
+Result<WalScan> ScanWalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  return ScanWal(in);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      next_seq_(other.next_seq_),
+      sync_(other.sync_),
+      failed_(other.failed_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    next_seq_ = other.next_seq_;
+    sync_ = other.sync_;
+    failed_ = other.failed_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<WalWriter> WalWriter::Create(const std::string& path,
+                                    const std::string& dataset_name,
+                                    bool sync) {
+  WalWriter writer;
+  writer.path_ = path;
+  writer.sync_ = sync;
+  writer.file_ = std::fopen(path.c_str(), "wbx");
+  if (writer.file_ == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot create wal '" + path + "'"));
+  }
+  const std::string header = EncodeWalHeader(dataset_name);
+  if (std::fwrite(header.data(), 1, header.size(), writer.file_) !=
+          header.size() ||
+      std::fflush(writer.file_) != 0 ||
+      (sync && ::fsync(::fileno(writer.file_)) != 0)) {
+    return Status::IoError(ErrnoMessage("cannot write wal header to '" + path +
+                                        "'"));
+  }
+  return writer;
+}
+
+Result<WalWriter> WalWriter::OpenExisting(const std::string& path,
+                                          std::uint64_t next_seq, bool sync) {
+  WalWriter writer;
+  writer.path_ = path;
+  writer.sync_ = sync;
+  writer.next_seq_ = next_seq;
+  writer.file_ = std::fopen(path.c_str(), "ab");
+  if (writer.file_ == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot open wal '" + path + "'"));
+  }
+  return writer;
+}
+
+Status WalWriter::Append(WalRecord* record) {
+  if (file_ == nullptr || failed_) {
+    return Status::IoError("wal '" + path_ +
+                           "' is in a failed state; slot is read-only");
+  }
+  record->seq = next_seq_;
+  const std::string line = EncodeWalRecord(*record);
+  if (line.size() > kMaxWalLineBytes) {
+    // Reject BEFORE writing (the writer stays healthy — nothing was
+    // appended): a record the scanner would refuse must never be
+    // acknowledged, or it would hold the next recovery hostage.
+    return Status::InvalidArgument(StrFormat(
+        "wal record of %zu bytes exceeds the replayable line cap (%zu)",
+        line.size(), kMaxWalLineBytes));
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0 ||
+      (sync_ && ::fsync(::fileno(file_)) != 0)) {
+    // Latch: the file may now hold a partial line; appending more would
+    // corrupt acknowledged history rather than extend it.
+    failed_ = true;
+    return Status::IoError(ErrnoMessage("wal append to '" + path_ +
+                                        "' failed"));
+  }
+  ++next_seq_;
+  return Status::OK();
+}
+
+Status WalWriter::Reopen(std::uint64_t next_seq) {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    failed_ = true;
+    return Status::IoError(ErrnoMessage("cannot reopen wal '" + path_ + "'"));
+  }
+  next_seq_ = next_seq;
+  failed_ = false;
+  return Status::OK();
+}
+
+Result<std::string> EncodeCheckpoint(const PreparedDataset& ds) {
+  std::ostringstream payload;
+  payload << "raw " << ds.raw->size() << '\n';
+  for (const TimeSeries& ts : ds.raw->series()) {
+    std::string line = "s";
+    AppendSeriesText(&line, ts);
+    payload << line << '\n';
+  }
+  ONEX_RETURN_IF_ERROR(WritePreparedPayload(ds, payload));
+  const std::string body = payload.str();
+  const std::string header =
+      StrFormat("%s %d %zu %016llx\n", kCkptMagic, kCkptVersion, body.size(),
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  return header + body;
+}
+
+Status WriteCheckpointFile(const PreparedDataset& ds, const std::string& path,
+                           bool sync) {
+  ONEX_ASSIGN_OR_RETURN(std::string bytes, EncodeCheckpoint(ds));
+  return AtomicWriteFile(path, bytes, sync);
+}
+
+Result<PreparedDataset> ReadCheckpointFile(const std::string& path,
+                                           const std::string& name) {
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      return Status::IoError("cannot open checkpoint '" + path + "'");
+    }
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    content.resize(static_cast<std::size_t>(size));
+    if (!in.read(content.data(), size)) {
+      return Status::IoError("cannot read checkpoint '" + path + "'");
+    }
+  }
+  const std::size_t eol = content.find('\n');
+  if (eol == std::string::npos) {
+    return Status::ParseError("checkpoint '" + path + "' has no header");
+  }
+  {
+    TokenCursor cur(std::string_view(content).substr(0, eol));
+    ONEX_ASSIGN_OR_RETURN(std::string_view magic, cur.Next());
+    if (magic != kCkptMagic) {
+      return Status::ParseError("not an ONEX checkpoint file");
+    }
+    ONEX_ASSIGN_OR_RETURN(long long version, cur.NextInt());
+    if (version != kCkptVersion) {
+      return Status::ParseError(
+          StrFormat("unsupported checkpoint version %lld", version));
+    }
+    ONEX_ASSIGN_OR_RETURN(long long bytes, cur.NextInt());
+    ONEX_ASSIGN_OR_RETURN(std::string_view sum_text, cur.Next());
+    ONEX_ASSIGN_OR_RETURN(std::uint64_t expected, ParseHex64(sum_text));
+    if (!cur.Done()) {
+      return Status::ParseError("trailing bytes in checkpoint header");
+    }
+    const std::string_view body =
+        std::string_view(content).substr(eol + 1);
+    if (bytes < 0 || static_cast<std::size_t>(bytes) != body.size()) {
+      return Status::ParseError("checkpoint payload length mismatch");
+    }
+    if (Fnv1a64(body) != expected) {
+      return Status::ParseError("checkpoint checksum mismatch");
+    }
+  }
+
+  // One buffer end to end: the checksum above verified a view, the stream
+  // takes the string by move, and seekg skips the header line — no
+  // payload-sized copies (checkpoints are sized by whole datasets).
+  std::istringstream payload(std::move(content));
+  payload.seekg(static_cast<std::streamoff>(eol + 1));
+  // Raw section: the exact original-unit values (snapshot_io's
+  // denormalization is a display convenience, not a bit-exact inverse).
+  std::string line;
+  if (!std::getline(payload, line)) {
+    return Status::ParseError("checkpoint missing raw section");
+  }
+  Dataset raw;
+  {
+    TokenCursor cur(line);
+    ONEX_ASSIGN_OR_RETURN(std::string_view tag, cur.Next());
+    ONEX_ASSIGN_OR_RETURN(long long count, cur.NextInt());
+    if (tag != "raw" || count < 0 || !cur.Done()) {
+      return Status::ParseError("malformed checkpoint raw header");
+    }
+    for (long long s = 0; s < count; ++s) {
+      if (!std::getline(payload, line)) {
+        return Status::ParseError("checkpoint raw section ends early");
+      }
+      TokenCursor scur(line);
+      ONEX_ASSIGN_OR_RETURN(std::string_view stag, scur.Next());
+      if (stag != "s") {
+        return Status::ParseError("malformed checkpoint raw series line");
+      }
+      ONEX_ASSIGN_OR_RETURN(TimeSeries ts, ParseSeriesText(&scur));
+      if (!scur.Done()) {
+        return Status::ParseError("trailing bytes in checkpoint raw series");
+      }
+      raw.Add(std::move(ts));
+    }
+  }
+
+  ONEX_ASSIGN_OR_RETURN(PreparedDataset ds, ReadPreparedPayload(payload, name));
+  if (raw.size() != ds.normalized->size()) {
+    return Status::ParseError(
+        "checkpoint raw/normalized series count mismatch");
+  }
+  for (std::size_t s = 0; s < raw.size(); ++s) {
+    if (raw[s].length() != (*ds.normalized)[s].length()) {
+      return Status::ParseError(StrFormat(
+          "checkpoint raw/normalized length mismatch in series %zu", s));
+    }
+  }
+  raw.set_name(ds.normalized->name());
+  ds.raw = std::make_shared<const Dataset>(std::move(raw));
+  return ds;
+}
+
+Status WriteFileDurably(const std::string& path, std::string_view bytes,
+                        bool sync) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(ErrnoMessage("cannot create '" + path + "'"));
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0 && (!sync || ::fsync(::fileno(f)) == 0);
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(path.c_str());
+    return Status::IoError(ErrnoMessage("cannot write '" + path + "'"));
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to, bool sync) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    std::remove(from.c_str());
+    return Status::IoError(ErrnoMessage("cannot rename '" + from + "'"));
+  }
+  if (sync) {
+    const std::size_t slash = to.find_last_of('/');
+    ONEX_RETURN_IF_ERROR(
+        SyncDir(slash == std::string::npos ? "." : to.substr(0, slash)));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  ONEX_RETURN_IF_ERROR(WriteFileDurably(tmp, bytes, sync));
+  return RenameFile(tmp, path, sync);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("cannot open dir '" + dir + "'"));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return Status::IoError(ErrnoMessage("cannot fsync dir '" + dir + "'"));
+  }
+  return Status::OK();
+}
+
+std::string SlotDirName(const std::string& dataset_name) {
+  std::string out;
+  out.reserve(dataset_name.size());
+  for (const char c : dataset_name) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (safe) {
+      out += c;
+    } else {
+      out += StrFormat("%%%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace onex

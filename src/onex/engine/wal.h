@@ -1,0 +1,213 @@
+#ifndef ONEX_ENGINE_WAL_H_
+#define ONEX_ENGINE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "onex/common/result.h"
+#include "onex/core/incremental.h"
+#include "onex/core/onex_base.h"
+#include "onex/engine/dataset_registry.h"
+#include "onex/ts/dataset.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+
+/// The per-slot write-ahead log (DESIGN.md §13). Versioned, line-oriented
+/// text ("ONEXWAL 1", matching the ONEXBASE/ONEXPREP idiom): one header
+/// line naming the dataset, then one line per journaled mutation. Every
+/// record carries a strictly increasing sequence number and a trailing
+/// FNV-1a 64 checksum over its own bytes, so a torn tail (crash mid-append)
+/// and a flipped bit (media corruption) are both detected — the first is
+/// recovered past, the second is a structured error, never a silently
+/// wrong base.
+///
+///   ONEXWAL 1 "<dataset name>"
+///   r <seq> load "<ds>" <n> {"<name>" "<label>" <len> <v...>}*   c=<fnv64>
+///   r <seq> append "<name>" "<label>" <len> <v...>               c=<fnv64>
+///   r <seq> extend <k> {<series> <npoints> <p...>}*              c=<fnv64>
+///   r <seq> prepare <st> <minlen> <maxlen> <step> <stride> <policy> <norm>
+///   r <seq> regroup <k> <len...>                                 c=<fnv64>
+///   r <seq> rebuild                                              c=<fnv64>
+///   r <seq> evict                                                c=<fnv64>
+///   r <seq> ckpt <state_seq>                                     c=<fnv64>
+///
+/// Values travel in original (raw) units with full %.17g round-trip
+/// precision; replay renormalizes them through the same shared writers the
+/// live path used (snapshot_ops.h), which is what makes recovery converge
+/// with the live engine bit for bit.
+
+/// FNV-1a 64-bit — the record checksum (and the fingerprint the golden
+/// tests use).
+std::uint64_t Fnv1a64(std::string_view bytes);
+
+enum class WalRecordType {
+  kLoad = 0,      ///< Slot creation: the full raw dataset (LOAD/GEN).
+  kAppend = 1,    ///< One whole series appended (raw units).
+  kExtend = 2,    ///< Streaming tail points for existing series (raw units).
+  kPrepare = 3,   ///< Explicit (re-)PREPARE: build options + normalization.
+  kRegroup = 4,   ///< Drift repair of the named length classes.
+  kRebuild = 5,   ///< Transparent re-preparation of an evicted base.
+  kEvict = 6,     ///< LRU eviction stripped the base (DESIGN.md §11).
+  kCheckpoint = 7, ///< State up to seq `checkpoint_seq` lives in ckpt-<seq>.
+};
+
+const char* WalRecordTypeToString(WalRecordType type);
+
+/// One journaled mutation. Only the fields of the record's type are
+/// meaningful; the factories below build well-formed records.
+struct WalRecord {
+  std::uint64_t seq = 0;  ///< Assigned by WalWriter::Append.
+  WalRecordType type = WalRecordType::kRebuild;
+  Dataset dataset;                          // kLoad
+  TimeSeries series;                        // kAppend
+  std::vector<SeriesExtension> extensions;  // kExtend (raw units)
+  BaseBuildOptions options;                 // kPrepare
+  NormalizationKind norm = NormalizationKind::kMinMaxDataset;  // kPrepare
+  std::vector<std::size_t> lengths;         // kRegroup
+  std::uint64_t checkpoint_seq = 0;         // kCheckpoint
+};
+
+WalRecord WalLoadRecord(const Dataset& dataset);
+WalRecord WalAppendRecord(TimeSeries series);
+WalRecord WalExtendRecord(std::vector<SeriesExtension> extensions);
+WalRecord WalPrepareRecord(const BaseBuildOptions& options,
+                           NormalizationKind norm);
+WalRecord WalRegroupRecord(std::vector<std::size_t> lengths);
+WalRecord WalRebuildRecord();
+WalRecord WalEvictRecord();
+WalRecord WalCheckpointRecord(std::uint64_t state_seq);
+
+/// Header/record codec. EncodeWalRecord returns the full line including the
+/// trailing newline; DecodeWalRecord takes the line without it. Decoding
+/// validates the checksum, the type, every count against the bytes actually
+/// present (a declared count never drives an allocation — only parsed
+/// content does, so a hostile record cannot command unbounded memory), and
+/// the option/normalization domains.
+std::string EncodeWalHeader(const std::string& dataset_name);
+Result<std::string> DecodeWalHeader(std::string_view line);
+std::string EncodeWalRecord(const WalRecord& record);
+Result<WalRecord> DecodeWalRecord(std::string_view line);
+
+/// Outcome of scanning one WAL stream.
+struct WalScan {
+  std::string dataset_name;
+  std::vector<WalRecord> records;  ///< The valid prefix, seq ascending.
+  /// Byte length of the valid prefix (header + intact records); a recovery
+  /// that found a torn tail truncates the file here before reopening it
+  /// for append.
+  std::size_t valid_bytes = 0;
+  /// The final line was incomplete (no terminating newline) — the classic
+  /// torn write of a crash mid-append. The record was never acknowledged,
+  /// so recovery proceeds from the clean prefix.
+  bool torn_tail = false;
+  /// True when the header itself never finished writing (a crash at slot
+  /// birth): no slot existed as far as any client knows; recovery skips
+  /// the directory.
+  bool embryonic = false;
+};
+
+/// Scans a WAL: the valid record prefix plus torn-tail classification.
+/// Corruption that is NOT a torn tail — a checksum-failing or malformed
+/// line with durable lines after it, a sequence number that does not
+/// increase (e.g. a duplicated tail), an oversized line — is a structured
+/// ParseError: acknowledged history is damaged and silent repair would
+/// drop writes.
+Result<WalScan> ScanWal(std::istream& in);
+Result<WalScan> ScanWalFile(const std::string& path);
+
+/// Append handle over one slot's WAL file. Appends are write-ahead: the
+/// caller journals under its slot lock before publishing the new snapshot,
+/// and acknowledges only after Append returned OK (data flushed, and
+/// fsync'd unless the registry's durability options disable it). Any
+/// failure latches: later appends fail fast rather than interleave with a
+/// half-written line.
+class WalWriter {
+ public:
+  /// Creates a fresh WAL (fails if the file exists) and writes the header.
+  static Result<WalWriter> Create(const std::string& path,
+                                  const std::string& dataset_name,
+                                  bool sync);
+
+  /// Opens an existing WAL for append; `next_seq` continues the scan's
+  /// last sequence number + 1.
+  static Result<WalWriter> OpenExisting(const std::string& path,
+                                        std::uint64_t next_seq, bool sync);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Assigns the next sequence number to `record`, encodes and appends it.
+  /// A record that would encode past the scanner's line cap is rejected
+  /// with InvalidArgument BEFORE anything is written (the writer stays
+  /// healthy): what Append accepts, ScanWal must be able to replay —
+  /// otherwise an acknowledged write would hold the next recovery hostage.
+  Status Append(WalRecord* record);
+
+  /// Re-opens the handle after a rotation replaced the file on disk (the
+  /// checkpoint path), continuing at `next_seq`.
+  Status Reopen(std::uint64_t next_seq);
+
+  /// Latches the writer failed: every later Append errors out. The
+  /// checkpoint path uses this when the on-disk state became ambiguous
+  /// (e.g. a directory fsync failed after a rename) — fail-stop beats
+  /// acknowledging writes whose durable home is unknown.
+  void MarkFailed() { failed_ = true; }
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t next_seq_ = 1;
+  bool sync_ = true;
+  bool failed_ = false;
+};
+
+/// Checkpoint files ("ONEXCKPT 1"): a length- and checksum-guarded wrapper
+/// around the exact raw series values plus the standard ONEXPREP payload
+/// (snapshot_io.h). Raw values are stored verbatim because the ONEXPREP
+/// payload only carries normalized values, and denormalization does not
+/// round-trip bit-exactly; recovery must hand back the very raw bytes the
+/// live engine held.
+Status WriteCheckpointFile(const PreparedDataset& ds, const std::string& path,
+                           bool sync);
+Result<PreparedDataset> ReadCheckpointFile(const std::string& path,
+                                           const std::string& name);
+
+/// The checkpoint file's bytes (header + guarded payload) without the file
+/// write — the registry serializes outside its slot lock and then only
+/// renames inside the critical section.
+Result<std::string> EncodeCheckpoint(const PreparedDataset& ds);
+
+/// Filesystem helpers shared by the durability layer: write-then-rename
+/// with optional fsync of file and parent directory, plus the two halves
+/// separately for callers that must split the expensive write from the
+/// atomic publish.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes,
+                       bool sync);
+Status WriteFileDurably(const std::string& path, std::string_view bytes,
+                        bool sync);
+Status RenameFile(const std::string& from, const std::string& to, bool sync);
+Status SyncDir(const std::string& dir);
+
+/// Directory name for a slot: dataset names are client-controlled, so every
+/// byte outside [A-Za-z0-9_-] is %XX-encoded (no separators, no dots — a
+/// name can never traverse out of the data dir). The authoritative name
+/// lives in the WAL header, not the directory entry.
+std::string SlotDirName(const std::string& dataset_name);
+
+}  // namespace onex
+
+#endif  // ONEX_ENGINE_WAL_H_

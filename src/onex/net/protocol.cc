@@ -56,6 +56,9 @@ constexpr std::size_t kMaxBatchSpecs = 1024;
 /// A streaming tail append is a poll cycle's worth of points, not a bulk
 /// load; bulk ingest goes through LOAD/GEN.
 constexpr std::size_t kMaxExtendPoints = 100'000;
+/// Background-checkpoint threshold: one frame must not be able to arm a
+/// policy that never fires (overflow) or fires pathologically.
+constexpr long long kMaxCheckpointEvery = 1'000'000'000;
 
 /// Resolves the dataset a command targets: positional name, then
 /// `dataset=<name>`, then the session's USE default.
@@ -263,6 +266,46 @@ Result<json::Value> DoStats(Engine* engine, const Session& session,
     v.Set("last_max_drift", m->last_max_drift);
     v.Set("regrouping", m->regroup_in_flight);
   }
+  if (const Result<SlotDurability> d = engine->registry().Durability(name);
+      d.ok() && d->durable) {
+    v.Set("durable", true);
+    v.Set("wal_seq", d->last_seq);
+    v.Set("wal_dirty", d->records_since_checkpoint);
+    v.Set("checkpoints", d->checkpoints_completed);
+  }
+  return v;
+}
+
+Result<json::Value> DoPersist(Engine* engine, const Command& cmd) {
+  const auto dit = cmd.options.find("dir");
+  if (dit != cmd.options.end()) {
+    DurabilityOptions opt;
+    opt.dir = dit->second;
+    ONEX_ASSIGN_OR_RETURN(long long every, OptInt(cmd, "every", 0));
+    if (every < 0 || every > kMaxCheckpointEvery) {
+      return Status::InvalidArgument(StrFormat(
+          "every must be in [0, %lld]", kMaxCheckpointEvery));
+    }
+    opt.checkpoint_every = static_cast<std::uint64_t>(every);
+    ONEX_ASSIGN_OR_RETURN(long long fsync, OptInt(cmd, "fsync", 1));
+    opt.fsync = fsync != 0;
+    ONEX_RETURN_IF_ERROR(engine->EnableDurability(opt));
+  }
+  json::Value v = Ok();
+  v.Set("durable", engine->registry().durable());
+  v.Set("dir", engine->registry().data_dir());
+  return v;
+}
+
+Result<json::Value> DoCheckpoint(Engine* engine, const Session& session,
+                                 const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  ONEX_ASSIGN_OR_RETURN(CheckpointInfo info,
+                        engine->registry().Checkpoint(name));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("state_seq", info.state_seq);
+  v.Set("bytes", info.bytes);
   return v;
 }
 
@@ -583,11 +626,18 @@ Result<json::Value> DoDatasets(Engine* engine) {
     row.Set("bytes", info.prepared_bytes);
     row.Set("regrouping", info.regrouping);
     row.Set("last_max_drift", info.last_max_drift);
+    row.Set("durable", info.durable);
+    if (info.durable) {
+      row.Set("wal_seq", info.wal_seq);
+      row.Set("wal_dirty", info.wal_dirty);
+      row.Set("checkpoints", info.checkpoints);
+    }
     arr.Append(std::move(row));
   }
   v.Set("datasets", std::move(arr));
   v.Set("budget", engine->registry().prepared_budget());
   v.Set("prepared_bytes", engine->registry().prepared_bytes());
+  v.Set("durable", engine->registry().durable());
   return v;
 }
 
@@ -679,6 +729,8 @@ Result<json::Value> Dispatch(Engine* engine, Session* session,
     v.Set("dataset", cmd.args[0]);
     return v;
   }
+  if (cmd.verb == "PERSIST") return DoPersist(engine, cmd);
+  if (cmd.verb == "CHECKPOINT") return DoCheckpoint(engine, *session, cmd);
   if (cmd.verb == "CATALOG") {
     ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, *session));
     ONEX_ASSIGN_OR_RETURN(long long points, OptInt(cmd, "points", 24));

@@ -50,6 +50,20 @@ namespace onex::net {
 ///       (0 disables), like BUDGET sets the LRU budget.
 ///   SAVEBASE <name> <path>                           persist prepared state
 ///   LOADBASE <name> <path>                           restore prepared state
+///   PERSIST [dir=<path>] [every=<records>] [fsync=0|1]
+///       Durability control (DESIGN.md §13). With dir=, enables the
+///       write-ahead journal rooted there: existing journals are recovered
+///       (replayed bit-identically), datasets loaded earlier in this
+///       process are bootstrapped in, and every later acknowledged
+///       mutation is journaled before it is acknowledged. every= sets the
+///       background checkpoint threshold (records since the last
+///       checkpoint; 0 = manual only). Without dir=, reports the current
+///       durability state. Enabling twice is FailedPrecondition.
+///   CHECKPOINT [<name>|dataset=<name>]               checkpoint a slot now
+///       Folds the slot's journal into a fresh ONEXPREP checkpoint file
+///       and restarts its WAL; the live slot adopts the checkpoint's
+///       canonical image, so recovery from it is bit-exact. Reports the
+///       captured log position and file size.
 ///   STATS
 ///   CATALOG [points=24]                              series list + previews
 ///   OVERVIEW [length=0] [top=12]

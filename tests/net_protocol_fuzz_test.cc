@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,10 @@ const std::vector<std::string>& Corpus() {
       "BATCH s q=0:0:6;1:2:8 k=2",
       "SEASONAL s series=0 length=8",
       "THRESHOLD s pairs=50",
+      // Safe on a non-durable engine: FailedPrecondition, never a file
+      // write. PERSIST dir=... lives only in the durability fuzz below,
+      // where the engine is already rooted and re-rooting is rejected.
+      "CHECKPOINT s",
       "DROP w",
       "QUIT",
   };
@@ -204,6 +209,72 @@ TEST(ProtocolFuzzTest, MutatedSessionFramesNeverCrashExecutor) {
   const json::Value match = ExecuteCommand(
       &engine, &session, *ParseCommandLine("MATCH s q=0:2:8"));
   EXPECT_TRUE(match["ok"].as_bool()) << match.Dump();
+}
+
+TEST(ProtocolFuzzTest, DurabilityFramesNeverCrashOrEscapeTheDataDir) {
+  const std::string dir = ::testing::TempDir() + "/onex_fuzz_durability";
+  std::filesystem::remove_all(dir);
+  {
+    Engine engine;
+    Session session;
+    DurabilityOptions durability;
+    durability.dir = dir;
+    durability.fsync = false;
+    ASSERT_TRUE(engine.EnableDurability(durability).ok());
+    for (const char* line :
+         {"GEN s sine num=4 len=12 seed=7", "PREPARE s st=0.2 maxlen=8"}) {
+      const json::Value v =
+          ExecuteCommand(&engine, &session, *ParseCommandLine(line));
+      ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+    }
+
+    const std::vector<std::string> durability_corpus = {
+        "PERSIST",
+        "PERSIST dir=/definitely/not/used because=durability-is-rooted",
+        "PERSIST dir=elsewhere every=10 fsync=0",
+        "PERSIST every=999999999999999",
+        "CHECKPOINT s",
+        "CHECKPOINT",
+        "CHECKPOINT dataset=s",
+        "CHECKPOINT missing",
+        "STATS s",
+        "DATASETS",
+        "EXTEND s series=0 points=0.2,0.4",
+    };
+    Rng rng(0xD00D);
+    for (int iter = 0; iter < 3000; ++iter) {
+      std::string line =
+          durability_corpus[rng.UniformIndex(durability_corpus.size())];
+      const std::size_t rounds = rng.UniformIndex(3);
+      for (std::size_t r = 0; r < rounds; ++r) line = MutateLine(&rng, line);
+      const Result<Command> cmd = ParseCommandLine(line);
+      if (!cmd.ok()) continue;
+      const json::Value v = ExecuteCommand(&engine, &session, *cmd);
+      CheckResponse(v, line);
+      // No hostile frame may re-root the journal.
+      ASSERT_EQ(engine.registry().data_dir(), dir) << line;
+    }
+
+    // The cap: a background-checkpoint threshold past the limit is an
+    // InvalidArgument even though durability is already on.
+    const json::Value capped = ExecuteCommand(
+        &engine, &session,
+        *ParseCommandLine("PERSIST dir=x every=999999999999999"));
+    EXPECT_FALSE(capped["ok"].as_bool());
+    EXPECT_EQ(capped["code"].as_string(), "InvalidArgument");
+    // A straight CHECKPOINT still works after the bombardment.
+    const json::Value ckpt =
+        ExecuteCommand(&engine, &session, *ParseCommandLine("CHECKPOINT s"));
+    EXPECT_TRUE(ckpt["ok"].as_bool()) << ckpt.Dump();
+  }
+  // Whatever the hostile frames did, the journal they left is recoverable.
+  Engine recovered;
+  DurabilityOptions durability;
+  durability.dir = dir;
+  durability.fsync = false;
+  ASSERT_TRUE(recovered.EnableDurability(durability).ok());
+  EXPECT_TRUE(recovered.Get("s").ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ProtocolFuzzTest, SizeDrivingOptionsAreCapped) {

@@ -5,7 +5,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -352,6 +354,105 @@ TEST(LineReaderTest, LineWithinTheCapStillParses) {
   const Result<std::string> line = reader.ReadLine();
   ASSERT_TRUE(line.ok()) << line.status().ToString();
   EXPECT_EQ(*line, payload);
+}
+
+/// End-to-end restart (DESIGN.md §13): drive a full session against a
+/// durable server, stop it, start a NEW engine on the same data dir,
+/// reconnect, and get byte-identical query answers — the paper's
+/// interactive loop surviving the server.
+TEST(ServerRestartTest, DurableServerAnswersIdenticallyAfterRestart) {
+  const std::string dir = ::testing::TempDir() + "/onex_server_restart";
+  std::filesystem::remove_all(dir);
+  DurabilityOptions durability;
+  durability.dir = dir;
+  durability.fsync = false;
+
+  const std::vector<std::string> battery = {
+      "MATCH demo q=0:2:8",
+      "KNN demo q=1:0:6 k=3",
+      "KNN demo q=2:3:8 k=2 exhaustive=1",
+      "STATS demo",
+      "DRIFT demo",
+      "CATALOG demo points=6",
+  };
+  auto run_battery = [&battery](OnexClient& client) {
+    std::vector<std::string> out;
+    for (const std::string& line : battery) {
+      Result<json::Value> v = client.Call(line);
+      EXPECT_TRUE(v.ok()) << line;
+      if (!v.ok()) continue;
+      EXPECT_TRUE((*v)["ok"].as_bool()) << line << ": " << v->Dump();
+      // Scrub wall-clock and process-lifetime telemetry before comparing:
+      // elapsed_ms measures this call, "checkpoints" counts checkpoints
+      // performed by this process. Everything else must match exactly.
+      std::string filtered = std::move(v)->Dump();
+      for (const char* key : {"\"elapsed_ms\":", "\"checkpoints\":"}) {
+        std::string next;
+        std::size_t pos = 0;
+        while (pos < filtered.size()) {
+          const std::size_t hit = filtered.find(key, pos);
+          if (hit == std::string::npos) {
+            next += filtered.substr(pos);
+            break;
+          }
+          next += filtered.substr(pos, hit - pos);
+          std::size_t end = filtered.find_first_of(",}", hit);
+          if (end != std::string::npos && filtered[end] == ',') ++end;
+          pos = end == std::string::npos ? filtered.size() : end;
+        }
+        filtered = std::move(next);
+      }
+      out.push_back(std::move(filtered));
+    }
+    return out;
+  };
+
+  std::vector<std::string> before;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.EnableDurability(durability).ok());
+    OnexServer server(&engine);
+    ASSERT_TRUE(server.Start(0).ok());
+    Result<OnexClient> client =
+        OnexClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    for (const char* line : {
+             "GEN demo sine num=6 len=18 seed=5",
+             "PREPARE demo st=0.2 maxlen=10",
+             "EXTEND demo series=0 points=0.5,0.6,0.7",
+             "APPEND demo v=0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8",
+             "CHECKPOINT demo",
+             "EXTEND demo series=1 points=0.15,0.25",
+         }) {
+      Result<json::Value> v = client->Call(line);
+      ASSERT_TRUE(v.ok()) << line;
+      ASSERT_TRUE((*v)["ok"].as_bool()) << line << ": " << v->Dump();
+    }
+    before = run_battery(*client);
+    // STATS over the wire reports durability.
+    Result<json::Value> stats = client->Call("STATS demo");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE((*stats)["durable"].as_bool());
+    server.Stop();
+  }
+
+  // A NEW engine on the same data dir: recovery, then identical answers.
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.EnableDurability(durability).ok());
+    OnexServer server(&engine);
+    ASSERT_TRUE(server.Start(0).ok());
+    Result<OnexClient> client =
+        OnexClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    const std::vector<std::string> after = run_battery(*client);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i], after[i]) << "battery line: " << battery[i];
+    }
+    server.Stop();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ClientTest, ConnectToClosedPortFails) {
