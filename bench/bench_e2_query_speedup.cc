@@ -19,6 +19,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -99,6 +100,19 @@ int main(int argc, char** argv) {
       "'several times faster than the fastest known method' — same best-match "
       "workload, identical search space, per-query latency; plus the "
       "parallel-path scaling sweep");
+
+  // The thread-scaling numbers are only meaningful with real cores behind
+  // them; state the machine width up front so a reader (or a regression
+  // diff across machines) never misreads a 1-core ~1x as a regression.
+  const std::size_t hardware_threads =
+      std::thread::hardware_concurrency() == 0
+          ? 1
+          : std::thread::hardware_concurrency();
+  const bool single_core = hardware_threads <= 1;
+  std::printf("hardware_threads: %zu%s\n\n", hardware_threads,
+              single_core
+                  ? "  (single core: thread-sweep speedups reported as n/a)"
+                  : "");
 
   const std::size_t kMinLen = 8, kMaxLen = 32, kStep = 4, kQlen = 24;
   onex::ScanScope scope;
@@ -227,9 +241,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{name};
     for (const double v : latency_ms) row.push_back(Fmt("%.2f", v));
     for (const double v : batch_ms) row.push_back(Fmt("%.2f", v));
-    // Speedup at the 4-thread point (index 2 of the sweep) vs serial.
+    // Speedup at the 4-thread point (index 2 of the sweep) vs serial —
+    // meaningless without multiple cores, so report n/a there.
     const double batch_speedup = batch_ms[0] / batch_ms[2];
-    row.push_back(Fmt("%.2fx", batch_speedup));
+    row.push_back(single_core ? "n/a" : Fmt("%.2fx", batch_speedup));
     row.push_back(identical ? "yes" : "NO");
     scale_table.AddRow(row);
 
@@ -250,8 +265,15 @@ int main(int argc, char** argv) {
     }
     d.Set("query_latency_ms_by_threads", std::move(lat_obj));
     d.Set("batch8_wall_ms_by_threads", std::move(batch_obj));
-    d.Set("latency_speedup_4t", latency_ms[0] / latency_ms[2]);
-    d.Set("batch_speedup_4t", batch_speedup);
+    // On a single core the thread-sweep ratios are noise, not speedups;
+    // record null so trajectory tooling never charts them as regressions.
+    if (single_core) {
+      d.Set("latency_speedup_4t", onex::json::Value(nullptr));
+      d.Set("batch_speedup_4t", onex::json::Value(nullptr));
+    } else {
+      d.Set("latency_speedup_4t", latency_ms[0] / latency_ms[2]);
+      d.Set("batch_speedup_4t", batch_speedup);
+    }
     d.Set("parallel_identical_to_serial", identical);
     datasets_json.Append(std::move(d));
   }
@@ -269,8 +291,8 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     onex::json::Value root = onex::json::Value::MakeObject();
     root.Set("bench", "e2_query_speedup");
-    root.Set("hardware_threads",
-             onex::TaskPool::Shared().worker_count());
+    root.Set("hardware_threads", hardware_threads);
+    root.Set("thread_speedups_valid", !single_core);
     onex::json::Value sweep_arr = onex::json::Value::MakeArray();
     for (const std::size_t t : sweep) {
       sweep_arr.Append(onex::json::Value(t));

@@ -10,7 +10,7 @@
 #include "onex/distance/dtw.h"
 #include "onex/distance/envelope.h"
 #include "onex/distance/euclidean.h"
-#include "onex/distance/lower_bounds.h"
+#include "onex/distance/kernels.h"
 
 namespace {
 

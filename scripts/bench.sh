@@ -9,19 +9,25 @@
 #   BENCH_maintenance.json  bench_e10_maintenance — streaming maintenance:
 #                           extend throughput, drift-regroup latency and
 #                           query latency during a background regroup
+#   BENCH_kernels.json      bench_e11_kernel_sweep — distance-kernel layer
+#                           ablation: scalar vs SIMD tables, pruning
+#                           cascade on vs off (DESIGN.md §14)
 #
-# Usage: scripts/bench.sh [query_output.json [maintenance_output.json]]
+# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json]]]
 set -eu
 
 cd "$(dirname "$0")/.."
 QUERY_OUT="${1:-BENCH_query.json}"
 MAINT_OUT="${2:-BENCH_maintenance.json}"
+KERNEL_OUT="${3:-BENCH_kernels.json}"
 
 cmake -B build -S . -DONEX_BUILD_BENCHES=ON >/dev/null
 cmake --build build -j --target bench_e2_query_speedup \
-  bench_e10_maintenance >/dev/null
+  bench_e10_maintenance bench_e11_kernel_sweep >/dev/null
 
 ./build/bench_e2_query_speedup --json "$QUERY_OUT"
 echo "perf record: $QUERY_OUT"
 ./build/bench_e10_maintenance --json "$MAINT_OUT"
 echo "perf record: $MAINT_OUT"
+./build/bench_e11_kernel_sweep --json "$KERNEL_OUT"
+echo "perf record: $KERNEL_OUT"

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <span>
 
+#include "onex/distance/kernels.h"
+
 namespace onex {
 
 void GroupBuilder::Add(const SubseqRef& ref, std::span<const double> values,
@@ -41,7 +43,8 @@ void GroupBuilder::RecomputeFromMembers(const Dataset& dataset,
 
 std::size_t GroupStore::MemoryUsage() const {
   return sizeof(GroupStore) +
-         (centroids_.size() + env_lower_.size() + env_upper_.size()) *
+         (centroids_.size() + env_lower_.size() + env_upper_.size() +
+          cent_env_lower_.size() + cent_env_upper_.size()) *
              sizeof(double) +
          member_arena_.size() * sizeof(SubseqRef) +
          member_offsets_.size() * sizeof(std::size_t);
@@ -73,6 +76,21 @@ GroupStore GroupStore::Pack(std::size_t length,
     store.member_arena_.insert(store.member_arena_.end(), g.members().begin(),
                                g.members().end());
     store.member_offsets_.push_back(store.member_arena_.size());
+  }
+
+  // Precompute each centroid's Keogh envelope, unconstrained so it stays
+  // admissible for every query window. Min/max envelopes are exact (no FP
+  // reassociation), so the matrices are identical under every kernel table.
+  if (length > 0) {
+    store.cent_env_lower_.resize(n * length);
+    store.cent_env_upper_.resize(n * length);
+    const DistanceKernel& kernel = ActiveKernel();
+    for (std::size_t g = 0; g < n; ++g) {
+      kernel.keogh_envelope(store.centroids_.data() + g * length, length,
+                            store.cent_env_window_,
+                            store.cent_env_lower_.data() + g * length,
+                            store.cent_env_upper_.data() + g * length);
+    }
   }
   return store;
 }

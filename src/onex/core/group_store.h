@@ -71,11 +71,13 @@ class GroupBuilder {
 /// (DESIGN.md §4). Instead of per-group heap vectors scattered across the
 /// allocator, the store keeps four flat arrays:
 ///
-///   centroids    num_groups x length  row-major centroid matrix
-///   env_lower    num_groups x length  pointwise member minima
-///   env_upper    num_groups x length  pointwise member maxima
-///   member arena                      all SubseqRefs back to back, with a
-///                                     num_groups+1 offset table
+///   centroids       num_groups x length  row-major centroid matrix
+///   env_lower       num_groups x length  pointwise member minima
+///   env_upper       num_groups x length  pointwise member maxima
+///   cent_env_lower  num_groups x length  Keogh envelope of each centroid
+///   cent_env_upper  num_groups x length  (precomputed at Pack time)
+///   member arena                         all SubseqRefs back to back, with
+///                                        a num_groups+1 offset table
 ///
 /// The query processor's group scan walks the centroid matrix linearly —
 /// one allocation, no pointer chasing, hardware-prefetcher friendly — which
@@ -105,6 +107,23 @@ class GroupStore {
         std::span<const double>(env_lower_).subspan(g * length_, length_),
         std::span<const double>(env_upper_).subspan(g * length_, length_)};
   }
+  /// Keogh envelope of group g's centroid, precomputed at Pack time with
+  /// band half-width centroid_envelope_window(). Backs the reversed
+  /// LB_Keogh stage of the query cascade: the query is scored against the
+  /// candidate-side envelope, so ranking needs no per-group envelope
+  /// construction. Stored unconstrained (window < 0), it stays admissible
+  /// for every query window (see EnvelopeWindowCovers in kernels.h).
+  EnvelopeView centroid_envelope(std::size_t g) const {
+    return EnvelopeView{
+        std::span<const double>(cent_env_lower_).subspan(g * length_, length_),
+        std::span<const double>(cent_env_upper_).subspan(g * length_,
+                                                         length_)};
+  }
+  /// Band half-width the centroid envelopes were computed with (negative =
+  /// unconstrained). Callers must check EnvelopeWindowCovers against their
+  /// query window before using centroid_envelope() as a bound.
+  int centroid_envelope_window() const { return cent_env_window_; }
+
   std::span<const SubseqRef> members(std::size_t g) const {
     return std::span<const SubseqRef>(member_arena_)
         .subspan(member_offsets_[g], member_offsets_[g + 1] -
@@ -131,6 +150,9 @@ class GroupStore {
   std::vector<double> centroids_;
   std::vector<double> env_lower_;
   std::vector<double> env_upper_;
+  std::vector<double> cent_env_lower_;
+  std::vector<double> cent_env_upper_;
+  int cent_env_window_ = -1;  ///< Unconstrained: admissible for any window.
   std::vector<SubseqRef> member_arena_;
   std::vector<std::size_t> member_offsets_;  ///< num_groups + 1 entries.
 };

@@ -11,7 +11,7 @@
 
 #include "onex/common/string_utils.h"
 #include "onex/distance/envelope.h"
-#include "onex/distance/lower_bounds.h"
+#include "onex/distance/kernels.h"
 
 namespace onex {
 namespace {
@@ -30,6 +30,8 @@ struct StatsAcc {
   std::atomic<std::size_t> rep_dtw_evaluations{0};
   std::atomic<std::size_t> member_dtw_evaluations{0};
   std::atomic<std::size_t> members_pruned_lb{0};
+  std::atomic<std::size_t> pruned_kim{0};
+  std::atomic<std::size_t> pruned_keogh{0};
 
   void FlushInto(QueryStats* stats) const {
     if (stats == nullptr) return;
@@ -37,6 +39,10 @@ struct StatsAcc {
     stats->rep_dtw_evaluations += rep_dtw_evaluations.load();
     stats->member_dtw_evaluations += member_dtw_evaluations.load();
     stats->members_pruned_lb += members_pruned_lb.load();
+    stats->pruned_kim += pruned_kim.load();
+    stats->pruned_keogh += pruned_keogh.load();
+    stats->dtw_evals +=
+        rep_dtw_evaluations.load() + member_dtw_evaluations.load();
   }
 };
 
@@ -90,15 +96,32 @@ std::vector<QueryProcessor::RankedGroup> QueryProcessor::RankGroups(
   const std::size_t rank_threads =
       entries.size() >= kMinItemsForFanOut ? options.threads : 1;
 
-  // Stage 1 (parallel): admissible lower bounds for every group.
+  // Stage 1 (parallel): admissible lower bounds for every group. Three
+  // bounds per same-length group, cheapest first: LB_Kim (endpoints only),
+  // forward LB_Keogh (query envelope vs centroid), and reversed LB_Keogh
+  // against the centroid envelope the GroupStore precomputed at Pack time.
+  // Bounds are computed in full (no abandoning) because the values double
+  // as rank keys for pruned groups; LB_Kim is kept separately so stage 3
+  // can attribute each prune to the stage that achieved it.
   std::vector<double> lb_raw(entries.size(), 0.0);
+  std::vector<double> lb_kim_raw(entries.size(), 0.0);
   if (options.use_lower_bounds) {
     ForEach(entries.size(), rank_threads, [&](std::size_t i) {
       const Entry& e = entries[i];
-      double lb = LbKim(query, centroid_of(e));
+      const std::span<const double> cent = centroid_of(e);
+      const double kim = LbKim(query, cent);
+      double lb = kim;
       if (e.same_length) {
-        lb = std::max(lb, LbKeogh(query_env, centroid_of(e)));
+        lb = std::max(lb, LbKeogh(query_env, cent));
+        const GroupStore& store =
+            *base_->length_classes()[e.class_index].store;
+        if (EnvelopeWindowCovers(store.centroid_envelope_window(),
+                                 options.window)) {
+          lb = std::max(
+              lb, LbKeogh(store.centroid_envelope(e.group_index), query));
+        }
       }
+      lb_kim_raw[i] = kim;
       lb_raw[i] = lb;
     });
   }
@@ -126,6 +149,11 @@ std::vector<QueryProcessor::RankedGroup> QueryProcessor::RankGroups(
     const Entry& e = entries[i];
     if (options.use_lower_bounds && lb_raw[i] / e.nf >= horizon) {
       acc.groups_pruned_lb.fetch_add(1);
+      if (lb_kim_raw[i] / e.nf >= horizon) {
+        acc.pruned_kim.fetch_add(1);
+      } else {
+        acc.pruned_keogh.fetch_add(1);
+      }
       // Still rank it by its lower bound so top-K exploration can come
       // back to it if everything else is worse.
       ranked[i] = {lb_raw[i] / e.nf, lb_raw[i], e.class_index, e.group_index,
@@ -230,6 +258,7 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
           LbKeoghGroup(query_env, store.envelope(rg.group_index)) / nf;
       if (glb >= worst_kth()) {
         acc.groups_pruned_lb.fetch_add(1);
+        acc.pruned_keogh.fetch_add(1);
         continue;
       }
     }
@@ -248,13 +277,24 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
     ForEach(members.size(), scan_threads, [&](std::size_t i) {
       const std::span<const double> vals = members[i].Resolve(ds);
       if (options.use_lower_bounds) {
-        double lb = LbKim(query, vals);
-        if (cls.length == qn) {
-          lb = std::max(lb, LbKeogh(query_env, vals));
-        }
-        if (lb / nf >= entry_horizon) {
+        // LB_Kim → LB_Keogh cascade: each stage runs only when the previous
+        // one failed to prune, and LB_Keogh abandons once it proves the
+        // member can't beat the horizon. The prune set equals the old
+        // max(kim, keogh) >= horizon test, so results are unchanged; only
+        // the work (and the per-stage attribution) differs.
+        if (LbKim(query, vals) / nf >= entry_horizon) {
           acc.members_pruned_lb.fetch_add(1);
+          acc.pruned_kim.fetch_add(1);
           return;
+        }
+        if (cls.length == qn) {
+          const double lb_cutoff =
+              options.use_early_abandon && have_k ? entry_horizon * nf : -1.0;
+          if (LbKeogh(query_env, vals, lb_cutoff) / nf >= entry_horizon) {
+            acc.members_pruned_lb.fetch_add(1);
+            acc.pruned_keogh.fetch_add(1);
+            return;
+          }
         }
       }
       const double cutoff =

@@ -57,6 +57,15 @@ struct QueryStats {
   std::size_t rep_dtw_evaluations = 0;    ///< DTW calls against centroids.
   std::size_t member_dtw_evaluations = 0; ///< DTW calls against members.
   std::size_t members_pruned_lb = 0;
+  /// Per-stage attribution of the LB_Kim → LB_Keogh → DTW cascade
+  /// (DESIGN.md §14): which bound removed a candidate (group or member),
+  /// and how many DTW dynamic programs actually ran. pruned_kim +
+  /// pruned_keogh == groups_pruned_lb + members_pruned_lb; dtw_evals ==
+  /// rep_dtw_evaluations + member_dtw_evaluations. Surfaced on the wire in
+  /// MATCH/KNN/STATS responses.
+  std::size_t pruned_kim = 0;    ///< Candidates dropped by LB_Kim alone.
+  std::size_t pruned_keogh = 0;  ///< Dropped by an LB_Keogh-family bound.
+  std::size_t dtw_evals = 0;     ///< Total DTW evaluations (reps + members).
 };
 
 /// A retrieved match. Distances come in raw (sqrt of summed squared costs)

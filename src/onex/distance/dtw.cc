@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "onex/distance/kernels.h"
+
 namespace onex {
 namespace {
 
@@ -60,35 +62,8 @@ double DtwDistanceEarlyAbandon(std::span<const double> a,
   if (n == 0 || m == 0) return kInf;
   const int w = EffectiveWindow(n, m, window);
   const double cutoff_sq = cutoff < 0.0 ? kInf : cutoff * cutoff;
-
-  // Two-row rolling DP over squared costs.
-  std::vector<double> prev(m, kInf);
-  std::vector<double> curr(m, kInf);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    std::size_t lo, hi;
-    BandRange(i, m, w, &lo, &hi);
-    std::fill(curr.begin(), curr.end(), kInf);
-    double row_min = kInf;
-    for (std::size_t j = lo; j <= hi; ++j) {
-      const double d = a[i] - b[j];
-      const double cost = d * d;
-      double best;
-      if (i == 0 && j == 0) {
-        best = 0.0;
-      } else {
-        best = kInf;
-        if (i > 0) best = std::min(best, prev[j]);            // insertion
-        if (j > 0) best = std::min(best, curr[j - 1]);        // deletion
-        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);  // match
-      }
-      curr[j] = best + cost;
-      row_min = std::min(row_min, curr[j]);
-    }
-    if (row_min > cutoff_sq) return kInf;  // every extension only grows
-    std::swap(prev, curr);
-  }
-  const double final_sq = prev[m - 1];
+  const double final_sq = ActiveKernel().dtw_ea_sq(
+      a.data(), n, b.data(), m, cutoff_sq, w, &ThreadLocalDtwWorkspace());
   return std::isinf(final_sq) ? kInf : std::sqrt(final_sq);
 }
 

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <deque>
 #include <span>
+
+#include "onex/distance/kernels.h"
 
 namespace onex {
 
@@ -13,37 +14,8 @@ Envelope ComputeKeoghEnvelope(std::span<const double> x, int window) {
   if (n == 0) return env;
   env.lower.resize(n);
   env.upper.resize(n);
-
-  if (window < 0 || static_cast<std::size_t>(window) >= n) {
-    const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
-    std::fill(env.lower.begin(), env.lower.end(), *lo_it);
-    std::fill(env.upper.begin(), env.upper.end(), *hi_it);
-    return env;
-  }
-
-  const std::size_t w = static_cast<std::size_t>(window);
-  // Monotonic deques of indices: max_dq values are non-increasing, min_dq
-  // non-decreasing. Window for position i is [i-w, i+w].
-  std::deque<std::size_t> max_dq, min_dq;
-  std::size_t right = 0;  // next index to push
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t hi = std::min(i + w, n - 1);
-    for (; right <= hi; ++right) {
-      while (!max_dq.empty() && x[max_dq.back()] <= x[right]) {
-        max_dq.pop_back();
-      }
-      max_dq.push_back(right);
-      while (!min_dq.empty() && x[min_dq.back()] >= x[right]) {
-        min_dq.pop_back();
-      }
-      min_dq.push_back(right);
-    }
-    const std::size_t lo = i >= w ? i - w : 0;
-    while (max_dq.front() < lo) max_dq.pop_front();
-    while (min_dq.front() < lo) min_dq.pop_front();
-    env.upper[i] = x[max_dq.front()];
-    env.lower[i] = x[min_dq.front()];
-  }
+  ActiveKernel().keogh_envelope(x.data(), n, window, env.lower.data(),
+                                env.upper.data());
   return env;
 }
 

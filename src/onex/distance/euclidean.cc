@@ -5,6 +5,8 @@
 #include <limits>
 #include <span>
 
+#include "onex/distance/kernels.h"
+
 namespace onex {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -12,12 +14,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 double SquaredEuclidean(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size() || a.empty()) return kInf;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return ActiveKernel().squared_euclidean(a.data(), b.data(), a.size());
 }
 
 double Euclidean(std::span<const double> a, std::span<const double> b) {
@@ -35,13 +32,8 @@ double SquaredEuclideanEarlyAbandon(std::span<const double> a,
                                     std::span<const double> b,
                                     double cutoff_squared) {
   if (a.size() != b.size() || a.empty()) return kInf;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-    if (acc > cutoff_squared) return kInf;
-  }
-  return acc;
+  return ActiveKernel().squared_euclidean_ea(a.data(), b.data(), a.size(),
+                                             cutoff_squared);
 }
 
 }  // namespace onex

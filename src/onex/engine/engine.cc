@@ -224,6 +224,12 @@ Result<std::vector<MatchResult>> Engine::RunKnn(
           std::chrono::steady_clock::now() - t0)
           .count();
 
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  pruned_kim_total_.fetch_add(stats.pruned_kim, std::memory_order_relaxed);
+  pruned_keogh_total_.fetch_add(stats.pruned_keogh,
+                                std::memory_order_relaxed);
+  dtw_evals_total_.fetch_add(stats.dtw_evals, std::memory_order_relaxed);
+
   std::vector<MatchResult> out;
   out.reserve(matches.size());
   for (BestMatch& m : matches) {
@@ -302,6 +308,15 @@ Result<MatchResult> Engine::SimilaritySearch(const std::string& name,
                         Knn(name, query, 1, options));
   if (top.empty()) return Status::NotFound("no match found");
   return std::move(top.front());
+}
+
+Engine::QueryCounters Engine::query_counters() const {
+  QueryCounters c;
+  c.queries = queries_served_.load(std::memory_order_relaxed);
+  c.pruned_kim = pruned_kim_total_.load(std::memory_order_relaxed);
+  c.pruned_keogh = pruned_keogh_total_.load(std::memory_order_relaxed);
+  c.dtw_evals = dtw_evals_total_.load(std::memory_order_relaxed);
+  return c;
 }
 
 Result<std::vector<SeasonalPattern>> Engine::Seasonal(

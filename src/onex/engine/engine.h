@@ -1,7 +1,9 @@
 #ifndef ONEX_ENGINE_ENGINE_H_
 #define ONEX_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -229,6 +231,23 @@ class Engine {
   Result<std::vector<double>> ResolveQuery(const PreparedDataset& target,
                                            const QuerySpec& spec) const;
 
+  /// Cumulative LB_Kim → LB_Keogh → DTW cascade work over every similarity
+  /// query this engine has served (MATCH, KNN and each BATCH entry all run
+  /// through the same path). The per-query QueryStats attribution invariants
+  /// carry over: pruned_kim + pruned_keogh counts every lower-bound prune,
+  /// dtw_evals every dynamic program that actually ran. Surfaced by the
+  /// STATS verb so a dashboard can watch pruning effectiveness live.
+  struct QueryCounters {
+    std::uint64_t queries = 0;  ///< Similarity searches executed.
+    std::uint64_t pruned_kim = 0;
+    std::uint64_t pruned_keogh = 0;
+    std::uint64_t dtw_evals = 0;
+  };
+
+  /// A consistent-enough snapshot of the counters (each field is read
+  /// atomically; fields may straddle a concurrent query).
+  QueryCounters query_counters() const;
+
  private:
   Result<std::shared_ptr<const PreparedDataset>> GetPrepared(
       const std::string& name) const;
@@ -248,6 +267,14 @@ class Engine {
   /// Mutable because read paths touch LRU stamps and may transparently
   /// re-prepare an evicted base (DESIGN.md §11).
   mutable DatasetRegistry registry_;
+
+  /// Lifetime cascade counters; relaxed atomics because queries (including
+  /// batch fan-out lanes) accumulate concurrently and only monotone totals
+  /// are observed.
+  mutable std::atomic<std::uint64_t> queries_served_{0};
+  mutable std::atomic<std::uint64_t> pruned_kim_total_{0};
+  mutable std::atomic<std::uint64_t> pruned_keogh_total_{0};
+  mutable std::atomic<std::uint64_t> dtw_evals_total_{0};
 };
 
 }  // namespace onex

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "onex/common/string_utils.h"
+#include "onex/distance/kernels.h"
 #include "onex/gen/economic_panel.h"
 #include "onex/gen/electricity.h"
 #include "onex/gen/generators.h"
@@ -109,6 +110,22 @@ Result<QuerySpec> ParseQueryRef(const std::string& text) {
   spec.start = static_cast<std::size_t>(start);
   spec.length = static_cast<std::size_t>(len);
   return spec;
+}
+
+/// Per-query cascade attribution (QueryStats), shipped as a "stats" object
+/// on MATCH/KNN responses and per entry on BATCH so clients can chart where
+/// the LB_Kim → LB_Keogh → DTW cascade spent and saved work.
+json::Value StatsToJson(const QueryStats& s) {
+  json::Value v = json::Value::MakeObject();
+  v.Set("groups_total", s.groups_total);
+  v.Set("groups_pruned_lb", s.groups_pruned_lb);
+  v.Set("members_pruned_lb", s.members_pruned_lb);
+  v.Set("rep_dtw_evaluations", s.rep_dtw_evaluations);
+  v.Set("member_dtw_evaluations", s.member_dtw_evaluations);
+  v.Set("pruned_kim", s.pruned_kim);
+  v.Set("pruned_keogh", s.pruned_keogh);
+  v.Set("dtw_evals", s.dtw_evals);
+  return v;
 }
 
 json::Value MatchToJson(const MatchResult& r) {
@@ -273,6 +290,14 @@ Result<json::Value> DoStats(Engine* engine, const Session& session,
     v.Set("wal_dirty", d->records_since_checkpoint);
     v.Set("checkpoints", d->checkpoints_completed);
   }
+  // Engine-wide cascade counters (cumulative over every query this process
+  // served, all datasets) and the distance-kernel table answering them.
+  const Engine::QueryCounters qc = engine->query_counters();
+  v.Set("queries", qc.queries);
+  v.Set("pruned_kim", qc.pruned_kim);
+  v.Set("pruned_keogh", qc.pruned_keogh);
+  v.Set("dtw_evals", qc.dtw_evals);
+  v.Set("kernel", std::string(ActiveKernel().name));
   return v;
 }
 
@@ -349,10 +374,13 @@ Result<json::Value> DoMatch(Engine* engine, const Session& session,
     json::Value arr = json::Value::MakeArray();
     for (const MatchResult& r : results) arr.Append(MatchToJson(r));
     v.Set("matches", std::move(arr));
+    // One KnnQuery produced all k matches, so the stats are shared.
+    if (!results.empty()) v.Set("stats", StatsToJson(results.front().stats));
   } else {
     ONEX_ASSIGN_OR_RETURN(MatchResult r,
                           engine->SimilaritySearch(name, spec, qopt));
     v.Set("match", MatchToJson(r));
+    v.Set("stats", StatsToJson(r.stats));
   }
   return v;
 }
@@ -397,6 +425,9 @@ Result<json::Value> DoBatch(Engine* engine, const Session& session,
     json::Value arr = json::Value::MakeArray();
     for (const MatchResult& r : matches) arr.Append(MatchToJson(r));
     entry.Set("matches", std::move(arr));
+    if (!matches.empty()) {
+      entry.Set("stats", StatsToJson(matches.front().stats));
+    }
     results.Append(std::move(entry));
   }
   v.Set("results", std::move(results));

@@ -1,0 +1,240 @@
+/// Cascade-equivalence crosscheck (DESIGN.md §14): the LB_Kim → LB_Keogh →
+/// early-abandon-DTW cascade is a pure work-saving device. With
+/// explore_top_groups = k = 1 the refined group is the exact-argmin group
+/// under every toggle combination, so the best match — ref, group and
+/// bit-level distances — must be identical with the cascade on, off, or
+/// partially on, across windows including 0 and full. The suite also pins
+/// the QueryStats attribution invariants, the degenerate inputs (lengths
+/// 1–3, constant series) and scalar-vs-SIMD kernel-table agreement.
+#include "onex/core/query_processor.h"
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/distance/kernels.h"
+#include "onex/gen/generators.h"
+#include "onex/ts/normalization.h"
+
+namespace onex {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<const Dataset> dataset;
+  std::unique_ptr<OnexBase> base;
+};
+
+Fixture MakeFixture(std::uint64_t seed, std::size_t num = 10,
+                    std::size_t len = 32, std::size_t min_length = 4,
+                    std::size_t max_length = 16) {
+  gen::SineFamilyOptions opt;
+  opt.num_series = num;
+  opt.length = len;
+  opt.seed = seed;
+  Dataset raw = gen::MakeSineFamilies(opt);
+  Result<Dataset> norm = Normalize(raw, NormalizationKind::kMinMaxDataset);
+  Fixture f;
+  f.dataset = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions bopt;
+  bopt.st = 0.18;
+  bopt.min_length = min_length;
+  bopt.max_length = max_length;
+  bopt.length_step = 2;
+  f.base = std::make_unique<OnexBase>(
+      std::move(OnexBase::Build(f.dataset, bopt)).value());
+  return f;
+}
+
+/// Every QueryStats must satisfy the cascade attribution identities
+/// regardless of toggles: each lower-bound prune is credited to exactly one
+/// stage, and dtw_evals counts every dynamic program that ran.
+void CheckStatsInvariants(const QueryStats& s, const QueryOptions& opt) {
+  EXPECT_EQ(s.pruned_kim + s.pruned_keogh,
+            s.groups_pruned_lb + s.members_pruned_lb);
+  EXPECT_EQ(s.dtw_evals, s.rep_dtw_evaluations + s.member_dtw_evaluations);
+  if (!opt.use_lower_bounds) {
+    EXPECT_EQ(s.groups_pruned_lb, 0u);
+    EXPECT_EQ(s.members_pruned_lb, 0u);
+    EXPECT_EQ(s.pruned_kim, 0u);
+    EXPECT_EQ(s.pruned_keogh, 0u);
+  }
+}
+
+class CascadeCrosscheckTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CascadeCrosscheckTest, TogglesNeverChangeTheTop1Answer) {
+  const Fixture f = MakeFixture(GetParam());
+  QueryProcessor qp(f.base.get());
+  Rng rng(GetParam() * 13 + 5);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t series = rng.UniformIndex(f.dataset->size());
+    const std::size_t qlen = 6 + rng.UniformIndex(8);
+    const std::size_t start =
+        rng.UniformIndex((*f.dataset)[series].length() - qlen + 1);
+    const std::span<const double> vals =
+        (*f.dataset)[series].Slice(start, qlen);
+    std::vector<double> q(vals.begin(), vals.end());
+    for (double& v : q) v += rng.Gaussian(0.0, 0.05);
+
+    // Windows: unconstrained, degenerate 0 (diagonal-only ED), narrow, and
+    // wider than any admissible length (effectively full).
+    for (const int window : {kNoWindow, 0, 1, 3, 64}) {
+      QueryOptions off;
+      off.window = window;
+      off.use_lower_bounds = false;
+      off.use_early_abandon = false;
+      QueryStats off_stats;
+      Result<BestMatch> want = qp.BestMatchQuery(q, off, &off_stats);
+      ASSERT_TRUE(want.ok()) << want.status();
+      CheckStatsInvariants(off_stats, off);
+
+      for (const bool lb : {true, false}) {
+        for (const bool ea : {true, false}) {
+          QueryOptions on = off;
+          on.use_lower_bounds = lb;
+          on.use_early_abandon = ea;
+          QueryStats on_stats;
+          Result<BestMatch> got = qp.BestMatchQuery(q, on, &on_stats);
+          ASSERT_TRUE(got.ok()) << got.status();
+          CheckStatsInvariants(on_stats, on);
+
+          // Same answer, bit for bit: the cascade only skips candidates it
+          // proves cannot beat the horizon, and kept DTWs run the exact
+          // same arithmetic whether or not abandoning is armed.
+          EXPECT_EQ(got->ref, want->ref) << "window=" << window;
+          EXPECT_EQ(got->group_index, want->group_index);
+          EXPECT_EQ(got->dtw, want->dtw);
+          EXPECT_EQ(got->normalized_dtw, want->normalized_dtw);
+          EXPECT_EQ(got->rep_dtw, want->rep_dtw);
+
+          // Pruning can only remove work, never add it.
+          EXPECT_LE(on_stats.rep_dtw_evaluations,
+                    off_stats.rep_dtw_evaluations);
+          EXPECT_LE(on_stats.dtw_evals, off_stats.dtw_evals);
+          EXPECT_EQ(on_stats.groups_total, off_stats.groups_total);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CascadeCrosscheckTest, ScalarAndSimdTablesAgreeOnMatches) {
+  const Fixture f = MakeFixture(GetParam());
+  QueryProcessor qp(f.base.get());
+  const std::span<const double> q = (*f.dataset)[0].Slice(1, 10);
+
+  const KernelMode before = GetKernelMode();
+  for (const bool exhaustive : {false, true}) {
+    QueryOptions opt;
+    opt.exhaustive = exhaustive;
+
+    SetKernelMode(KernelMode::kScalar);
+    QueryStats ss;
+    Result<BestMatch> scalar = qp.BestMatchQuery(q, opt, &ss);
+    SetKernelMode(KernelMode::kSimd);
+    QueryStats vs;
+    Result<BestMatch> simd = qp.BestMatchQuery(q, opt, &vs);
+    SetKernelMode(before);
+
+    ASSERT_TRUE(scalar.ok()) << scalar.status();
+    ASSERT_TRUE(simd.ok()) << simd.status();
+    CheckStatsInvariants(ss, opt);
+    CheckStatsInvariants(vs, opt);
+    // The tables may differ in final ulps (documented for the AVX2 DTW
+    // prefix scan), so the answer agrees to tolerance; on this data no two
+    // candidates are within that tolerance of each other, so the ref
+    // agrees exactly.
+    EXPECT_EQ(simd->ref, scalar->ref) << "exhaustive=" << exhaustive;
+    EXPECT_NEAR(simd->dtw, scalar->dtw, 1e-9 * (1.0 + scalar->dtw));
+    EXPECT_NEAR(simd->normalized_dtw, scalar->normalized_dtw,
+                1e-9 * (1.0 + scalar->normalized_dtw));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeCrosscheckTest,
+                         ::testing::Values(3, 17, 29, 41));
+
+TEST(CascadeDegenerateTest, TinyQueriesAndValidation) {
+  const Fixture f = MakeFixture(9, 8, 24, 2, 8);
+  QueryProcessor qp(f.base.get());
+
+  // Length-1 queries are rejected up front.
+  const std::vector<double> one{0.5};
+  EXPECT_FALSE(qp.KnnQuery(one, 1).ok());
+
+  // Lengths 2 and 3 run the full cascade; answers match cascade-off.
+  for (const std::size_t qlen : {2u, 3u}) {
+    const std::span<const double> q = (*f.dataset)[1].Slice(0, qlen);
+    for (const int window : {kNoWindow, 0, 1}) {
+      QueryOptions on;
+      on.window = window;
+      QueryOptions off = on;
+      off.use_lower_bounds = false;
+      off.use_early_abandon = false;
+      QueryStats son, soff;
+      Result<BestMatch> a = qp.BestMatchQuery(q, on, &son);
+      Result<BestMatch> b = qp.BestMatchQuery(q, off, &soff);
+      ASSERT_TRUE(a.ok()) << a.status();
+      ASSERT_TRUE(b.ok()) << b.status();
+      CheckStatsInvariants(son, on);
+      CheckStatsInvariants(soff, off);
+      EXPECT_EQ(a->dtw, b->dtw) << "qlen=" << qlen << " window=" << window;
+      EXPECT_EQ(a->normalized_dtw, b->normalized_dtw);
+    }
+  }
+}
+
+TEST(CascadeDegenerateTest, ConstantSeriesFindExactZeroUnderBothTables) {
+  // A dataset of constant series: every subsequence is identical after
+  // grouping, all distances are exactly zero, and nothing the cascade or
+  // the SIMD tables do may perturb that (the zero-clamp in the AVX2 DTW
+  // scan exists precisely so self-distances stay exactly 0).
+  Dataset raw;
+  for (int s = 0; s < 4; ++s) {
+    raw.Add(TimeSeries("const" + std::to_string(s),
+                       std::vector<double>(20, 0.25 * (s + 1))));
+  }
+  Result<Dataset> norm = Normalize(raw, NormalizationKind::kMinMaxDataset);
+  ASSERT_TRUE(norm.ok());
+  auto ds = std::make_shared<const Dataset>(std::move(norm).value());
+  BaseBuildOptions bopt;
+  bopt.st = 0.1;
+  bopt.min_length = 4;
+  bopt.max_length = 12;
+  Result<OnexBase> base = OnexBase::Build(ds, bopt);
+  ASSERT_TRUE(base.ok());
+  QueryProcessor qp(&*base);
+
+  // Query an exact slice of a normalized series so a bit-equal candidate
+  // exists: every cost on the diagonal is exactly zero.
+  const std::span<const double> qs = (*ds)[1].Slice(0, 8);
+  const std::vector<double> q(qs.begin(), qs.end());
+  const KernelMode before = GetKernelMode();
+  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kSimd}) {
+    SetKernelMode(mode);
+    for (const bool lb : {true, false}) {
+      QueryOptions opt;
+      opt.use_lower_bounds = lb;
+      QueryStats stats;
+      Result<std::vector<BestMatch>> got = qp.KnnQuery(q, 2, opt, &stats);
+      ASSERT_TRUE(got.ok()) << got.status();
+      CheckStatsInvariants(stats, opt);
+      for (const BestMatch& m : *got) {
+        EXPECT_EQ(m.dtw, 0.0);
+        EXPECT_EQ(m.normalized_dtw, 0.0);
+      }
+    }
+  }
+  SetKernelMode(before);
+}
+
+}  // namespace
+}  // namespace onex

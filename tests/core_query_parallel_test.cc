@@ -63,6 +63,9 @@ void ExpectSameStats(const QueryStats& a, const QueryStats& b) {
   EXPECT_EQ(a.rep_dtw_evaluations, b.rep_dtw_evaluations);
   EXPECT_EQ(a.member_dtw_evaluations, b.member_dtw_evaluations);
   EXPECT_EQ(a.members_pruned_lb, b.members_pruned_lb);
+  EXPECT_EQ(a.pruned_kim, b.pruned_kim);
+  EXPECT_EQ(a.pruned_keogh, b.pruned_keogh);
+  EXPECT_EQ(a.dtw_evals, b.dtw_evals);
 }
 
 void ExpectSameMatches(const std::vector<BestMatch>& a,

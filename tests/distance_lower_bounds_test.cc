@@ -1,4 +1,4 @@
-#include "onex/distance/lower_bounds.h"
+#include "onex/distance/kernels.h"
 
 #include <cmath>
 #include <cstddef>

@@ -151,6 +151,58 @@ TEST(ProtocolTest, KnnReturnsRequestedCount) {
   EXPECT_EQ(v["matches"].as_array().size(), 4u);
 }
 
+// MATCH/KNN/BATCH responses carry the per-query cascade attribution and
+// STATS the engine-wide cumulative counters plus the active kernel table
+// (DESIGN.md §14).
+TEST(ProtocolTest, QueryResponsesCarryCascadeStats) {
+  Engine engine;
+  ASSERT_TRUE(ExecuteCommand(&engine, *ParseCommandLine(
+                                          "GEN s sine num=8 len=20"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine,
+                     *ParseCommandLine("PREPARE s st=0.2 maxlen=10"))["ok"]
+          .as_bool());
+
+  const auto check_stats = [](const json::Value& s) {
+    ASSERT_TRUE(s.is_object());
+    // Attribution invariants: every lower-bound prune is credited to
+    // exactly one cascade stage, and dtw_evals counts every DP that ran.
+    EXPECT_DOUBLE_EQ(
+        s["pruned_kim"].as_number() + s["pruned_keogh"].as_number(),
+        s["groups_pruned_lb"].as_number() + s["members_pruned_lb"].as_number());
+    EXPECT_DOUBLE_EQ(s["dtw_evals"].as_number(),
+                     s["rep_dtw_evaluations"].as_number() +
+                         s["member_dtw_evaluations"].as_number());
+    EXPECT_GE(s["dtw_evals"].as_number(), 1.0);
+    EXPECT_GT(s["groups_total"].as_number(), 0.0);
+  };
+
+  json::Value v = ExecuteCommand(&engine, *ParseCommandLine("MATCH s q=0:2:8"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  check_stats(v["stats"]);
+
+  v = ExecuteCommand(&engine, *ParseCommandLine("KNN s q=0:0:8 k=3"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  check_stats(v["stats"]);
+
+  v = ExecuteCommand(&engine, *ParseCommandLine("BATCH s q=0:0:8;1:2:8 k=2"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  ASSERT_EQ(v["results"].as_array().size(), 2u);
+  for (const json::Value& entry : v["results"].as_array()) {
+    check_stats(entry["stats"]);
+  }
+
+  // 4 queries so far (MATCH + KNN + 2 BATCH entries); STATS accumulates
+  // them engine-wide and names the kernel table answering them.
+  v = ExecuteCommand(&engine, *ParseCommandLine("STATS s"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_DOUBLE_EQ(v["queries"].as_number(), 4.0);
+  EXPECT_GE(v["dtw_evals"].as_number(), 4.0);
+  EXPECT_GE(v["pruned_kim"].as_number() + v["pruned_keogh"].as_number(), 0.0);
+  EXPECT_FALSE(v["kernel"].as_string().empty());
+}
+
 TEST(ProtocolTest, SeasonalFlow) {
   Engine engine;
   ASSERT_TRUE(
