@@ -1,73 +1,115 @@
-/// Live feed: the streaming-maintenance loop (DESIGN.md §12) in one
-/// process — prepare a collection once, then keep appending points to its
-/// series while querying, exactly what a dashboard tailing live feeds does
-/// against onexd with EXTEND/DRIFT frames.
+/// Live feed: the streaming-maintenance loop (DESIGN.md §12), end-to-end
+/// over TCP — an in-process reactor server (DESIGN.md §15), a client that
+/// negotiates the ONEXB binary frame, and poll cycles that ship EXTEND
+/// points as raw float64 payloads instead of ASCII.
 ///
 ///   $ ./live_feed
 ///
-/// Each simulated poll cycle extends a few series through the protocol
-/// executor (the same code path a TCP session exercises), prints the drift
-/// the write caused, and re-runs a similarity query that reaches the newest
-/// points. A hair-trigger drift threshold shows the background regroup
-/// firing and the query surviving it.
+/// Each simulated poll cycle pipelines an EXTEND (a mutator, so the server
+/// runs it as a barrier) and a STATS behind it in one SendMany, prints the
+/// drift the write caused, and re-runs a similarity query that reaches the
+/// newest points. The MATCH response frame carries the matched subsequence
+/// values in its binary section — no numbers ride as JSON text that the
+/// dashboard would immediately re-parse.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "onex/engine/engine.h"
 #include "onex/json/json.h"
-#include "onex/net/protocol.h"
+#include "onex/net/client.h"
+#include "onex/net/reactor.h"
 
 namespace {
 
-/// One protocol frame through the executor; prints the response line.
-onex::json::Value Call(onex::Engine* engine, onex::net::Session* session,
-                       const std::string& line) {
-  const onex::Result<onex::net::Command> cmd =
-      onex::net::ParseCommandLine(line);
-  if (!cmd.ok()) {
-    std::fprintf(stderr, "parse error: %s\n",
-                 cmd.status().ToString().c_str());
-    return onex::net::ErrorResponse(cmd.status());
+/// One round-trip; prints the response body like a protocol transcript.
+onex::json::Value Call(onex::net::OnexClient* client, const std::string& line) {
+  onex::Result<onex::json::Value> response = client->Call(line);
+  if (!response.ok()) {
+    std::fprintf(stderr, "transport error: %s\n",
+                 response.status().ToString().c_str());
+    return onex::json::Value();
   }
-  const onex::json::Value response =
-      onex::net::ExecuteCommand(engine, session, *cmd);
-  std::printf("> %s\n  %s", line.c_str(),
-              onex::net::FormatResponse(response).c_str());
-  return response;
+  std::printf("> %s\n  %s\n", line.c_str(), response->Dump().c_str());
+  return std::move(response).value();
 }
 
 }  // namespace
 
 int main() {
   onex::Engine engine;
-  onex::net::Session session;
+  onex::net::ReactorServer server(&engine);
+  if (onex::Status s = server.Start(0); !s.ok()) {
+    std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  onex::Result<onex::net::OnexClient> connected =
+      onex::net::OnexClient::Connect("127.0.0.1", server.port());
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  onex::net::OnexClient client = std::move(connected).value();
 
   // Seed collection + one-time preprocessing, then arm the drift trigger.
-  Call(&engine, &session, "GEN feeds sine num=8 len=48 seed=21");
-  Call(&engine, &session, "PREPARE feeds st=0.2 minlen=8 maxlen=24 lenstep=4");
-  Call(&engine, &session, "USE feeds");
-  Call(&engine, &session, "DRIFT threshold=0.001");
+  Call(&client, "GEN feeds sine num=8 len=48 seed=21");
+  Call(&client, "PREPARE feeds st=0.2 minlen=8 maxlen=24 lenstep=4");
+  Call(&client, "USE feeds");
+  Call(&client, "DRIFT threshold=0.001");
+
+  // Everything after this line is ONEXB frames on the wire.
+  if (onex::Status s = client.UpgradeBinary(); !s.ok()) {
+    std::fprintf(stderr, "BIN upgrade: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   // The tail loop: every "poll cycle" a few feeds tick forward. Values are
-  // original units; the engine renormalizes the tail with the frozen
-  // parameters before inserting the new subsequences.
+  // original units, shipped as the request frame's raw float64 section; the
+  // engine renormalizes the tail with the frozen parameters before
+  // inserting the new subsequences.
   for (int cycle = 0; cycle < 4; ++cycle) {
     std::printf("\n-- poll cycle %d --\n", cycle);
-    const std::string points =
-        cycle % 2 == 0 ? "0.31,0.52,0.44,0.39" : "-0.12,0.08,0.27,0.41";
-    Call(&engine, &session,
-         "EXTEND series=" + std::to_string(cycle % 8) + " points=" + points);
+    const std::vector<double> points =
+        cycle % 2 == 0 ? std::vector<double>{0.31, 0.52, 0.44, 0.39}
+                       : std::vector<double>{-0.12, 0.08, 0.27, 0.41};
+    std::vector<onex::net::WireRequest> cycle_requests(2);
+    cycle_requests[0].command = "EXTEND series=" + std::to_string(cycle % 8);
+    cycle_requests[0].values = points;  // in place of points=...
+    cycle_requests[1].command = "STATS";
+    onex::Result<std::vector<onex::net::WireResponse>> replies =
+        client.SendMany(cycle_requests);
+    if (!replies.ok()) {
+      std::fprintf(stderr, "pipeline: %s\n",
+                   replies.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < replies->size(); ++i) {
+      std::printf("> %s\n  %s\n", cycle_requests[i].command.c_str(),
+                  (*replies)[i].body.Dump().c_str());
+    }
     // The freshest tail is immediately searchable: query the newest window
     // of the series that just grew.
-    const onex::json::Value stats = Call(&engine, &session, "STATS");
-    const int len = static_cast<int>(stats["max_length"].as_number());
-    Call(&engine, &session,
-         "MATCH q=" + std::to_string(cycle % 8) + ":" +
-             std::to_string(len - 12) + ":12");
+    const int len =
+        static_cast<int>((*replies)[1].body["max_length"].as_number());
+    onex::net::WireRequest match;
+    match.command = "MATCH q=" + std::to_string(cycle % 8) + ":" +
+                    std::to_string(len - 12) + ":12";
+    onex::Result<onex::net::WireResponse> matched = client.CallWire(match);
+    if (!matched.ok()) {
+      std::fprintf(stderr, "match: %s\n", matched.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("> %s\n  %s\n  [%zu matched values in the binary section]\n",
+                match.command.c_str(), matched->body.Dump().c_str(),
+                matched->values.size());
   }
 
   std::printf("\n-- maintenance report --\n");
-  Call(&engine, &session, "DRIFT");
-  Call(&engine, &session, "DATASETS");
+  Call(&client, "DRIFT");
+  Call(&client, "DATASETS");
+  Call(&client, "METRICS");
+  client.Close();
+  server.Stop();
   return 0;
 }

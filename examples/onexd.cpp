@@ -1,7 +1,12 @@
 /// onexd — the ONEX analytics server (the demo's server tier). Clients speak
-/// the newline-delimited command protocol; responses are single-line JSON.
+/// the newline-delimited command protocol (single-line JSON responses) and
+/// may upgrade to the ONEXB binary frame with BIN; METRICS reports serving
+/// statistics. The default serving path is the epoll reactor (DESIGN.md
+/// §15) — thousands of connections on one thread; --legacy-threads selects
+/// the original thread-per-connection server instead.
 ///
 ///   $ ./onexd [port] [--data-dir=DIR] [--checkpoint-every=N] [--no-fsync]
+///            [--legacy-threads]
 ///
 /// With --data-dir, the server is durable (DESIGN.md §13): state found in
 /// DIR is recovered before the first client connects, every acknowledged
@@ -24,6 +29,7 @@
 
 #include "onex/common/logging.h"
 #include "onex/engine/engine.h"
+#include "onex/net/reactor.h"
 #include "onex/net/server.h"
 
 namespace {
@@ -33,12 +39,15 @@ void HandleSignal(int) { g_stop.store(true); }
 
 int main(int argc, char** argv) {
   std::uint16_t port = 0;
+  bool legacy_threads = false;
   onex::DurabilityOptions durability;
   durability.checkpoint_every = 256;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--data-dir=", 0) == 0) {
+    if (arg == "--legacy-threads") {
+      legacy_threads = true;
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
       durability.dir = arg.substr(std::strlen("--data-dir="));
     } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
       const long long every =
@@ -55,7 +64,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "onexd: unknown flag '%s'\nusage: onexd [port] "
-                   "[--data-dir=DIR] [--checkpoint-every=N] [--no-fsync]\n",
+                   "[--data-dir=DIR] [--checkpoint-every=N] [--no-fsync] "
+                   "[--legacy-threads]\n",
                    arg.c_str());
       return 2;
     }
@@ -72,22 +82,37 @@ int main(int argc, char** argv) {
     std::printf("onexd: durable in %s (%zu dataset(s) recovered)\n",
                 durability.dir.c_str(), engine.registry().Describe().size());
   }
-  onex::net::OnexServer server(&engine);
-  if (onex::Status s = server.Start(port); !s.ok()) {
-    std::fprintf(stderr, "onexd: %s\n", s.ToString().c_str());
-    return 1;
+  onex::net::OnexServer legacy_server(&engine);
+  onex::net::ReactorServer reactor_server(&engine);
+  std::uint16_t bound_port = 0;
+  if (legacy_threads) {
+    if (onex::Status s = legacy_server.Start(port); !s.ok()) {
+      std::fprintf(stderr, "onexd: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    bound_port = legacy_server.port();
+  } else {
+    if (onex::Status s = reactor_server.Start(port); !s.ok()) {
+      std::fprintf(stderr, "onexd: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    bound_port = reactor_server.port();
   }
-  std::printf("onexd listening on 127.0.0.1:%u\n", server.port());
+  std::printf("onexd listening on 127.0.0.1:%u (%s)\n", bound_port,
+              legacy_threads ? "thread-per-connection" : "epoll reactor");
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  while (!g_stop.load() && server.running()) {
-    // The accept loop runs on its own thread; park cheaply here.
+  while (!g_stop.load() &&
+         (legacy_threads ? legacy_server.running()
+                         : reactor_server.running())) {
+    // Serving runs on its own thread(s); park cheaply here.
     struct timespec ts = {0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }
   std::printf("onexd: shutting down\n");
-  server.Stop();
+  legacy_server.Stop();
+  reactor_server.Stop();
   return 0;
 }

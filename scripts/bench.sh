@@ -12,18 +12,23 @@
 #   BENCH_kernels.json      bench_e11_kernel_sweep — distance-kernel layer
 #                           ablation: scalar vs SIMD tables, pruning
 #                           cascade on vs off (DESIGN.md §14)
+#   BENCH_net.json          bench_e12_load — the serving path under load:
+#                           10k idle connections on the epoll reactor,
+#                           pipelined-binary vs blocking-text throughput,
+#                           text/binary dialect equivalence (DESIGN.md §15)
 #
-# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json]]]
+# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json [net.json]]]]
 set -eu
 
 cd "$(dirname "$0")/.."
 QUERY_OUT="${1:-BENCH_query.json}"
 MAINT_OUT="${2:-BENCH_maintenance.json}"
 KERNEL_OUT="${3:-BENCH_kernels.json}"
+NET_OUT="${4:-BENCH_net.json}"
 
 cmake -B build -S . -DONEX_BUILD_BENCHES=ON >/dev/null
 cmake --build build -j --target bench_e2_query_speedup \
-  bench_e10_maintenance bench_e11_kernel_sweep >/dev/null
+  bench_e10_maintenance bench_e11_kernel_sweep bench_e12_load >/dev/null
 
 ./build/bench_e2_query_speedup --json "$QUERY_OUT"
 echo "perf record: $QUERY_OUT"
@@ -31,3 +36,5 @@ echo "perf record: $QUERY_OUT"
 echo "perf record: $MAINT_OUT"
 ./build/bench_e11_kernel_sweep --json "$KERNEL_OUT"
 echo "perf record: $KERNEL_OUT"
+./build/bench_e12_load --json "$NET_OUT"
+echo "perf record: $NET_OUT"

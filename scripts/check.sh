@@ -15,3 +15,8 @@ ctest --output-on-failure -j"$(nproc)"
 # engine, restart it, demand identical answers (DESIGN.md §13).
 ./engine_recovery_test --gtest_filter='EngineRecovery.SmokeRestart' \
   --gtest_brief=1
+
+# Reactor smoke (DESIGN.md §15): 1k concurrent connections with a live
+# serving path underneath, a pipelined binary batch, METRICS sanity, and
+# text/binary dialect equivalence. Exits nonzero if any of those fail.
+./bench_e12_load --smoke

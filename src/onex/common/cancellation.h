@@ -1,0 +1,65 @@
+#ifndef ONEX_COMMON_CANCELLATION_H_
+#define ONEX_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "onex/common/status.h"
+
+namespace onex {
+
+/// Cooperative cancellation token for long-running queries: a monotonic
+/// deadline, an optional external kill flag, or both. The token itself is a
+/// cheap value (a time point and a pointer); the query cascade polls it at
+/// stage boundaries and between refined groups, so cancellation latency is
+/// one cascade stage, never mid-DTW.
+///
+/// Two producers feed it:
+///   - the protocol's `deadline_ms=` option (deadline measured from request
+///     *arrival*, so time spent queued behind a pipeline counts against it);
+///   - the reactor's per-connection disconnect flag, so a client that hangs
+///     up mid-request stops burning pool time on an answer nobody will read.
+///
+/// Thread-safety: the deadline is set before the token is shared and never
+/// written again; the external flag is an atomic owned by the caller (the
+/// connection), which must outlive every query holding the token.
+class Cancellation {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Cancellation() = default;
+  Cancellation(Clock::time_point deadline, const std::atomic<bool>* external)
+      : deadline_(deadline), external_(external) {}
+
+  /// Token that only watches an external flag (no deadline).
+  explicit Cancellation(const std::atomic<bool>* external)
+      : external_(external) {}
+
+  bool expired() const {
+    if (external_ != nullptr && external_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline_ != Clock::time_point::max() && Clock::now() >= deadline_;
+  }
+
+  /// OK while live; DeadlineExceeded once the deadline passed or the caller
+  /// disconnected (one code for both so clients branch on a single value,
+  /// with the message telling the two apart).
+  Status Check() const {
+    if (external_ != nullptr && external_->load(std::memory_order_relaxed)) {
+      return Status::DeadlineExceeded("request cancelled: caller disconnected");
+    }
+    if (deadline_ != Clock::time_point::max() && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Clock::time_point deadline_ = Clock::time_point::max();
+  const std::atomic<bool>* external_ = nullptr;
+};
+
+}  // namespace onex
+
+#endif  // ONEX_COMMON_CANCELLATION_H_

@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError = 6,          ///< Filesystem or socket failure.
   kParseError = 7,       ///< Malformed input text (UCR file, JSON, protocol line).
   kInternal = 8,         ///< Invariant violation inside the library; a bug.
+  kDeadlineExceeded = 9, ///< Cooperatively cancelled: deadline passed or caller gone.
 };
 
 /// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

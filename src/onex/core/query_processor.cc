@@ -212,10 +212,19 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
   if (k == 0) {
     return Status::InvalidArgument("k must be positive");
   }
+  // Cascade stage boundary 1: before ranking. Catches requests that were
+  // already over deadline when they came off the pipeline queue.
+  if (options.cancel != nullptr) {
+    ONEX_RETURN_IF_ERROR(options.cancel->Check());
+  }
   const std::vector<RankedGroup> ranked = RankGroups(query, options, stats);
   if (ranked.empty()) {
     return Status::NotFound(
         "no groups to search (length restrictions exclude every class)");
+  }
+  // Stage boundary 2: between ranking and refinement.
+  if (options.cancel != nullptr) {
+    ONEX_RETURN_IF_ERROR(options.cancel->Check());
   }
 
   const Dataset& ds = base_->dataset();
@@ -246,6 +255,13 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
     if (r >= must_explore &&
         (!options.exhaustive || rg.normalized_rep_dtw > worst_kth() + st)) {
       break;
+    }
+    // Stage boundary 3: between refined groups — the granularity that bounds
+    // how stale a doomed query can run. Checked at this sequential point
+    // (not inside the member fan-out) so a completed query's results and
+    // stats stay deterministic.
+    if (options.cancel != nullptr) {
+      ONEX_RETURN_IF_ERROR(options.cancel->Check());
     }
 
     const LengthClass& cls = base_->length_classes()[rg.class_index];
@@ -331,6 +347,10 @@ Result<std::vector<BestMatch>> QueryProcessor::KnnQuery(
 
   if (best.empty()) {
     return Status::NotFound("no match found (base has no members)");
+  }
+  // Stage boundary 4: before the (full, unabandoned) alignment DPs.
+  if (options.cancel != nullptr) {
+    ONEX_RETURN_IF_ERROR(options.cancel->Check());
   }
   if (options.compute_path) {
     // Final answers are fixed; their alignments are independent (and each

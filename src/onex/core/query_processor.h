@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "onex/common/cancellation.h"
 #include "onex/common/result.h"
 #include "onex/common/task_pool.h"
 #include "onex/core/onex_base.h"
@@ -46,6 +47,13 @@ struct QueryOptions {
   /// so matches, distances AND QueryStats are bit-identical for every
   /// thread count — parallelism is a pure latency knob.
   std::size_t threads = 1;
+  /// Optional cooperative cancellation (deadline_ms on the wire, or the
+  /// serving layer's disconnect flag). Polled between cascade stages and
+  /// between refined groups; an expired token turns the query into
+  /// DeadlineExceeded. Queries that complete before expiry are bit-identical
+  /// to uncancellable runs — the token is only ever *read* at deterministic
+  /// sequential points, never inside the horizon arithmetic.
+  const Cancellation* cancel = nullptr;
 };
 
 /// Work counters for one query; benches report these to show where pruning

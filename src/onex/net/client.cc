@@ -1,9 +1,11 @@
 #include "onex/net/client.h"
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace onex::net {
 
@@ -22,14 +24,123 @@ Result<OnexClient> OnexClient::Connect(const std::string& host,
 }
 
 Result<json::Value> OnexClient::Call(const std::string& command_line) {
+  WireRequest request;
+  request.command = command_line;
+  if (!request.command.empty() && request.command.back() == '\n') {
+    request.command.pop_back();
+  }
+  ONEX_ASSIGN_OR_RETURN(WireResponse response, CallWire(request));
+  return std::move(response.body);
+}
+
+Status OnexClient::UpgradeBinary() {
+  if (binary()) return Status::OK();
+  ONEX_ASSIGN_OR_RETURN(json::Value ack, Call("BIN"));
+  if (!ack["ok"].as_bool()) {
+    return Status::FailedPrecondition("server rejected BIN upgrade: " +
+                                      ack["error"].as_string());
+  }
+  // The ack was this connection's last text line; with no other request
+  // outstanding the line reader holds no buffered bytes, so the frame
+  // reader starts exactly at the first frame boundary.
+  frames_ = std::make_unique<FrameReader>(socket_.get(),
+                                          ResponseFrameLimits());
+  return Status::OK();
+}
+
+Result<WireResponse> OnexClient::ReadOneResponse() {
+  if (binary()) {
+    ONEX_ASSIGN_OR_RETURN(Frame frame, frames_->ReadFrame());
+    WireResponse response;
+    ONEX_ASSIGN_OR_RETURN(response.body, json::Parse(frame.text));
+    response.values = std::move(frame.values);
+    return response;
+  }
+  ONEX_ASSIGN_OR_RETURN(std::string line, reader_->ReadLine());
+  WireResponse response;
+  ONEX_ASSIGN_OR_RETURN(response.body, json::Parse(line));
+  return response;
+}
+
+Result<WireResponse> OnexClient::CallWire(const WireRequest& request) {
   if (socket_ == nullptr || !socket_->valid()) {
     return Status::IoError("client is not connected");
   }
-  std::string line = command_line;
-  if (line.empty() || line.back() != '\n') line += '\n';
-  ONEX_RETURN_IF_ERROR(socket_->SendAll(line));
-  ONEX_ASSIGN_OR_RETURN(std::string response, reader_->ReadLine());
-  return json::Parse(response);
+  if (binary()) {
+    Frame frame;
+    frame.type = FrameType::kRequest;
+    frame.request_id = next_request_id_++;
+    frame.text = request.command;
+    frame.values = request.values;
+    ONEX_RETURN_IF_ERROR(socket_->SendAll(EncodeFrame(frame)));
+  } else {
+    if (!request.values.empty()) {
+      return Status::InvalidArgument(
+          "binary value payloads need UpgradeBinary() first");
+    }
+    ONEX_RETURN_IF_ERROR(socket_->SendAll(request.command + "\n"));
+  }
+  return ReadOneResponse();
+}
+
+Result<std::vector<WireResponse>> OnexClient::SendMany(
+    const std::vector<WireRequest>& requests, std::size_t window) {
+  if (socket_ == nullptr || !socket_->valid()) {
+    return Status::IoError("client is not connected");
+  }
+  if (window == 0) window = 1;
+  const std::size_t n = requests.size();
+  std::vector<WireResponse> results(n);
+  // Frame id → request index, for matching the reactor's out-of-order
+  // binary completions back to their slots. Text responses are positional.
+  std::map<std::uint64_t, std::size_t> pending;
+
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  while (received < n) {
+    if (sent < n && sent - received < window) {
+      // Write the whole admissible burst as one buffer: pipelining's win is
+      // precisely this — many requests per syscall and per wakeup.
+      std::string burst;
+      while (sent < n && sent - received < window) {
+        const WireRequest& request = requests[sent];
+        if (binary()) {
+          Frame frame;
+          frame.type = FrameType::kRequest;
+          frame.request_id = next_request_id_++;
+          frame.text = request.command;
+          frame.values = request.values;
+          pending[frame.request_id] = sent;
+          burst += EncodeFrame(frame);
+        } else {
+          if (!request.values.empty()) {
+            return Status::InvalidArgument(
+                "binary value payloads need UpgradeBinary() first");
+          }
+          burst += request.command;
+          burst += '\n';
+        }
+        ++sent;
+      }
+      ONEX_RETURN_IF_ERROR(socket_->SendAll(burst));
+    }
+    if (binary()) {
+      ONEX_ASSIGN_OR_RETURN(Frame frame, frames_->ReadFrame());
+      auto it = pending.find(frame.request_id);
+      if (it == pending.end()) {
+        return Status::IoError("response for unknown request id " +
+                               std::to_string(frame.request_id));
+      }
+      WireResponse& slot = results[it->second];
+      pending.erase(it);
+      ONEX_ASSIGN_OR_RETURN(slot.body, json::Parse(frame.text));
+      slot.values = std::move(frame.values);
+    } else {
+      ONEX_ASSIGN_OR_RETURN(results[received], ReadOneResponse());
+    }
+    ++received;
+  }
+  return results;
 }
 
 void OnexClient::Close() {

@@ -4,32 +4,84 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "onex/common/result.h"
 #include "onex/json/json.h"
+#include "onex/net/frame.h"
 #include "onex/net/socket.h"
 
 namespace onex::net {
 
-/// Synchronous client for the ONEX line protocol — what the demo's browser
-/// front-end would be. One command in flight at a time.
+/// One request on the wire: a protocol command line plus (binary mode only)
+/// a raw float64 payload, delivered to APPEND/EXTEND in place of the ASCII
+/// v=/points= options.
+struct WireRequest {
+  std::string command;
+  std::vector<double> values;
+};
+
+/// One decoded response: the JSON body (identical across both wire
+/// dialects) plus the raw float64 section a binary response carries —
+/// MATCH/KNN/BATCH match values, concatenated in match order and sliced by
+/// each match's "length" field. Always empty in text mode.
+struct WireResponse {
+  json::Value body;
+  std::vector<double> values;
+};
+
+/// Synchronous client for the ONEX protocol — what the demo's browser
+/// front-end would be. Starts in the newline/JSON text dialect;
+/// UpgradeBinary() negotiates the ONEXB frame (frame.h) after which every
+/// request and response is a frame. SendMany() pipelines a batch of
+/// requests over the one connection with a bounded in-flight window —
+/// against the reactor server this collapses per-request round-trips into
+/// streaming writes and reads.
 class OnexClient {
  public:
   static Result<OnexClient> Connect(const std::string& host,
                                     std::uint16_t port);
 
-  /// Sends one protocol line and parses the JSON response. A transport
-  /// failure returns IoError; a server-side error returns the decoded
-  /// {"ok":false} payload (callers check ["ok"]).
+  /// Sends one protocol line and parses the JSON response (works in both
+  /// dialects; in binary mode the payload/value sections ride empty). A
+  /// transport failure returns IoError; a server-side error returns the
+  /// decoded {"ok":false} payload (callers check ["ok"]).
   Result<json::Value> Call(const std::string& command_line);
+
+  /// Negotiates the ONEXB binary frame with the BIN verb. Call with no
+  /// requests outstanding (the ack is the connection's last text line).
+  /// Fails against a server that does not speak BIN — the text dialect
+  /// keeps working in that case.
+  Status UpgradeBinary();
+
+  bool binary() const { return frames_ != nullptr; }
+
+  /// One request, full wire detail (binary payloads in, raw values out).
+  Result<WireResponse> CallWire(const WireRequest& request);
+
+  /// Pipelines `requests` over the connection, at most `window` in flight
+  /// at once (the window bounds both peers' buffering; responses drain as
+  /// requests are still being written). Responses arrive in request order
+  /// regardless of dialect: text responses are positional; binary
+  /// responses may complete out of order on the server and are matched
+  /// back by their echoed frame request id. Fails fast on the first
+  /// transport error; server-side {"ok":false} bodies are results, not
+  /// errors.
+  Result<std::vector<WireResponse>> SendMany(
+      const std::vector<WireRequest>& requests, std::size_t window = 32);
 
   void Close();
 
  private:
   OnexClient() = default;
 
+  Result<WireResponse> ReadOneResponse();
+
   std::unique_ptr<Socket> socket_;
   std::unique_ptr<LineReader> reader_;
+  /// Non-null once the connection speaks ONEXB.
+  std::unique_ptr<FrameReader> frames_;
+  std::uint64_t next_request_id_ = 1;
 };
 
 }  // namespace onex::net

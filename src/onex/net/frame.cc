@@ -1,0 +1,163 @@
+#include "onex/net/frame.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+
+#include "onex/common/string_utils.h"
+#include "onex/net/socket.h"
+
+namespace onex::net {
+namespace {
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+FrameLimits ResponseFrameLimits() {
+  FrameLimits limits;
+  limits.max_text_bytes = 1u << 30;  // matches the client's LineReader cap
+  limits.max_values = 1u << 27;      // 1 GiB of float64 payload
+  return limits;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.text.size() + 8 * frame.values.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.flags));
+  PutU64(&out, frame.request_id);
+  PutU32(&out, static_cast<std::uint32_t>(frame.text.size()));
+  PutU32(&out, static_cast<std::uint32_t>(frame.values.size()));
+  out.append(frame.text);
+  for (const double v : frame.values) {
+    // bit_cast + byte-wise emit is endian-portable; on the little-endian
+    // hosts this targets it compiles to a plain 8-byte store.
+    PutU64(&out, std::bit_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+FrameDecodeResult DecodeFrame(std::string_view buffer,
+                              const FrameLimits& limits) {
+  FrameDecodeResult r;
+  if (buffer.size() < kFrameHeaderBytes) {
+    r.state = FrameDecodeState::kNeedMore;
+    return r;
+  }
+  const char* p = buffer.data();
+  if (std::memcmp(p, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    r.state = FrameDecodeState::kError;
+    r.error = Status::ParseError("bad frame magic (not an ONEXB stream)");
+    return r;
+  }
+  const auto version = static_cast<std::uint8_t>(p[5]);
+  if (version != kFrameVersion) {
+    r.state = FrameDecodeState::kError;
+    r.error = Status::ParseError(
+        StrFormat("unsupported frame version %u", version));
+    return r;
+  }
+  const auto type = static_cast<std::uint8_t>(p[6]);
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    r.state = FrameDecodeState::kError;
+    r.error = Status::ParseError(StrFormat("unknown frame type %u", type));
+    return r;
+  }
+  const std::uint32_t text_len = GetU32(p + 16);
+  const std::uint32_t value_count = GetU32(p + 20);
+  // Caps are enforced on the *declared* lengths, before waiting for (or
+  // allocating) the body: a hostile header cannot command memory.
+  if (text_len > limits.max_text_bytes) {
+    r.state = FrameDecodeState::kError;
+    r.error = Status::InvalidArgument(StrFormat(
+        "frame text of %u bytes exceeds the %zu-byte cap", text_len,
+        limits.max_text_bytes));
+    return r;
+  }
+  if (value_count > limits.max_values) {
+    r.state = FrameDecodeState::kError;
+    r.error = Status::InvalidArgument(StrFormat(
+        "frame carries %u values; the cap is %zu", value_count,
+        limits.max_values));
+    return r;
+  }
+  const std::size_t body = static_cast<std::size_t>(text_len) +
+                           8 * static_cast<std::size_t>(value_count);
+  if (buffer.size() < kFrameHeaderBytes + body) {
+    r.state = FrameDecodeState::kNeedMore;
+    return r;
+  }
+
+  r.state = FrameDecodeState::kFrame;
+  r.consumed = kFrameHeaderBytes + body;
+  r.frame.type = static_cast<FrameType>(type);
+  r.frame.flags = static_cast<std::uint8_t>(p[7]);
+  r.frame.request_id = GetU64(p + 8);
+  r.frame.text.assign(p + kFrameHeaderBytes, text_len);
+  r.frame.values.resize(value_count);
+  const char* vp = p + kFrameHeaderBytes + text_len;
+  for (std::uint32_t i = 0; i < value_count; ++i) {
+    r.frame.values[i] = std::bit_cast<double>(GetU64(vp + 8 * i));
+  }
+  return r;
+}
+
+Result<Frame> FrameReader::ReadFrame() {
+  while (true) {
+    FrameDecodeResult r = DecodeFrame(buffer_, limits_);
+    if (r.state == FrameDecodeState::kError) return r.error;
+    if (r.state == FrameDecodeState::kFrame) {
+      buffer_.erase(0, r.consumed);
+      return std::move(r.frame);
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(socket_->fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(
+          StrFormat("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      // Same discipline as LineReader: a truncated trailing frame is
+      // dropped, never surfaced as data.
+      return Status::IoError("connection closed");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace onex::net

@@ -1,0 +1,116 @@
+#ifndef ONEX_NET_FRAME_H_
+#define ONEX_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "onex/common/result.h"
+
+namespace onex::net {
+
+class Socket;
+
+/// The ONEXB length-prefixed binary frame, negotiated per connection with
+/// the text protocol's BIN verb (protocol.h). One frame carries one request
+/// or one response; the fixed little-endian header makes it cheap to decode
+/// incrementally off a nonblocking socket:
+///
+///   offset  size  field
+///   0       5     magic "ONEXB"
+///   5       1     version (kFrameVersion)
+///   6       1     type: 1 = request, 2 = response
+///   7       1     flags (responses: bit 0 set when the body is {"ok":false})
+///   8       8     u64 request id (echoed verbatim on the response, so a
+///                 pipelining client can match out-of-order completions)
+///   16      4     u32 text length in bytes
+///   20      4     u32 value count (trailing raw IEEE-754 float64s)
+///   24      ...   text, then value_count * 8 bytes of little-endian doubles
+///
+/// `text` is a command line (requests) or a single-line JSON body byte-
+/// identical to the text protocol's (responses) — the frame changes how
+/// bytes are carried, never what they say. `values` carries the bulk floats
+/// that are wasteful as ASCII: APPEND/EXTEND points on requests (the
+/// executor consumes them in place of v=/points=), matched subsequence
+/// values on MATCH/KNN/BATCH responses (concatenated in match order; each
+/// match's "length" field in the JSON slices them apart).
+///
+/// Both declared lengths are capped *before* any allocation (FrameLimits),
+/// mirroring the text protocol's anti-allocation contract: a 16-byte header
+/// claiming a 4 GiB body is rejected for the price of reading 24 bytes.
+inline constexpr char kFrameMagic[5] = {'O', 'N', 'E', 'X', 'B'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
+inline constexpr std::uint8_t kFrameFlagError = 0x1;
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::string text;
+  std::vector<double> values;
+};
+
+/// Decode-side allocation caps. The server holds requests to the text
+/// protocol's own limits (a command line cap, an APPEND-sized value cap);
+/// clients reading trusted responses use looser ones, exactly like
+/// LineReader's asymmetric line caps.
+struct FrameLimits {
+  std::size_t max_text_bytes = 64u << 20;      // LineReader's request cap
+  std::size_t max_values = 2'000'000;          // kMaxGenPoints-sized payload
+};
+
+/// Loose limits for a client decoding responses from a server it chose to
+/// trust (large KNN/BATCH value payloads).
+FrameLimits ResponseFrameLimits();
+
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental decode from the front of `buffer`.
+enum class FrameDecodeState {
+  kNeedMore,  ///< No complete frame yet; read more bytes and retry.
+  kFrame,     ///< One frame decoded; `consumed` bytes are spent.
+  kError,     ///< Unrecoverable framing violation; close the connection.
+};
+
+struct FrameDecodeResult {
+  FrameDecodeState state = FrameDecodeState::kNeedMore;
+  std::size_t consumed = 0;  ///< Valid when state == kFrame.
+  Frame frame;               ///< Valid when state == kFrame.
+  Status error;              ///< Valid when state == kError.
+};
+
+/// Inspects the buffer head: kNeedMore while the header or body is still
+/// partial, kFrame once a whole frame is present, kError on bad magic /
+/// version / type or a declared length beyond `limits`. Never allocates
+/// more than the (capped) declared body size, and never consumes bytes on
+/// kNeedMore/kError — resynchronizing inside a corrupt binary stream is
+/// impossible, so the caller's only safe move on kError is to drop the
+/// connection.
+FrameDecodeResult DecodeFrame(std::string_view buffer,
+                              const FrameLimits& limits = {});
+
+/// Blocking frame reader for client-side use (the reactor decodes straight
+/// from its own input buffer instead). Pairs with LineReader: same Socket,
+/// same EOF discipline — a partial trailing frame at EOF is an error, not a
+/// frame.
+class FrameReader {
+ public:
+  explicit FrameReader(Socket* socket, FrameLimits limits)
+      : socket_(socket), limits_(limits) {}
+
+  Result<Frame> ReadFrame();
+
+ private:
+  Socket* socket_;
+  FrameLimits limits_;
+  std::string buffer_;
+};
+
+}  // namespace onex::net
+
+#endif  // ONEX_NET_FRAME_H_

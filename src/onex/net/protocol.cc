@@ -1,6 +1,7 @@
 #include "onex/net/protocol.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "onex/common/cancellation.h"
 #include "onex/common/string_utils.h"
 #include "onex/distance/kernels.h"
 #include "onex/gen/economic_panel.h"
@@ -351,8 +353,32 @@ Result<QueryOptions> ParseQueryOptions(const Command& cmd) {
   return qopt;
 }
 
+/// Builds the query's cancellation token from deadline_ms= and the serving
+/// layer's disconnect flag. The token lives on the Do* stack, so it must be
+/// constructed there and only *pointed to* from QueryOptions.
+Result<Cancellation> ParseCancellation(const Command& cmd,
+                                       const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(long long deadline_ms, OptInt(cmd, "deadline_ms", 0));
+  if (deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0");
+  }
+  if (deadline_ms == 0) return Cancellation(ctx.disconnected);
+  return Cancellation(ctx.arrival + std::chrono::milliseconds(deadline_ms),
+                      ctx.disconnected);
+}
+
+/// Side-band export for binary responses: the matched subsequence's
+/// normalized values, appended in match order. Never touches the JSON, so
+/// text and binary bodies stay byte-identical.
+void ExportMatchValues(const MatchResult& r, const ExecContext& ctx) {
+  if (ctx.out_values == nullptr) return;
+  ctx.out_values->insert(ctx.out_values->end(), r.match_values.begin(),
+                         r.match_values.end());
+}
+
 Result<json::Value> DoMatch(Engine* engine, const Session& session,
-                            const Command& cmd, bool knn) {
+                            const Command& cmd, bool knn,
+                            const ExecContext& ctx) {
   ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto qit = cmd.options.find("q");
   if (qit == cmd.options.end()) {
@@ -360,6 +386,8 @@ Result<json::Value> DoMatch(Engine* engine, const Session& session,
   }
   ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(qit->second));
   ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  qopt.cancel = &cancel;
 
   json::Value v = Ok();
   if (knn) {
@@ -372,7 +400,10 @@ Result<json::Value> DoMatch(Engine* engine, const Session& session,
         std::vector<MatchResult> results,
         engine->Knn(name, spec, static_cast<std::size_t>(k), qopt));
     json::Value arr = json::Value::MakeArray();
-    for (const MatchResult& r : results) arr.Append(MatchToJson(r));
+    for (const MatchResult& r : results) {
+      arr.Append(MatchToJson(r));
+      ExportMatchValues(r, ctx);
+    }
     v.Set("matches", std::move(arr));
     // One KnnQuery produced all k matches, so the stats are shared.
     if (!results.empty()) v.Set("stats", StatsToJson(results.front().stats));
@@ -381,12 +412,13 @@ Result<json::Value> DoMatch(Engine* engine, const Session& session,
                           engine->SimilaritySearch(name, spec, qopt));
     v.Set("match", MatchToJson(r));
     v.Set("stats", StatsToJson(r.stats));
+    ExportMatchValues(r, ctx);
   }
   return v;
 }
 
 Result<json::Value> DoBatch(Engine* engine, const Session& session,
-                            const Command& cmd) {
+                            const Command& cmd, const ExecContext& ctx) {
   ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto qit = cmd.options.find("q");
   if (qit == cmd.options.end()) {
@@ -403,6 +435,8 @@ Result<json::Value> DoBatch(Engine* engine, const Session& session,
     specs.push_back(std::move(spec));
   }
   ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  qopt.cancel = &cancel;
   ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 1));
   if (k < 1 || k > kMaxKnnK) {
     return Status::InvalidArgument(
@@ -423,7 +457,10 @@ Result<json::Value> DoBatch(Engine* engine, const Session& session,
   for (const std::vector<MatchResult>& matches : per_query) {
     json::Value entry = json::Value::MakeObject();
     json::Value arr = json::Value::MakeArray();
-    for (const MatchResult& r : matches) arr.Append(MatchToJson(r));
+    for (const MatchResult& r : matches) {
+      arr.Append(MatchToJson(r));
+      ExportMatchValues(r, ctx);
+    }
     entry.Set("matches", std::move(arr));
     if (!matches.empty()) {
       entry.Set("stats", StatsToJson(matches.front().stats));
@@ -518,14 +555,20 @@ Result<json::Value> DoThreshold(Engine* engine, const Session& session,
 Result<json::Value> DoAppend(Engine* engine, const Session& session,
                              const Command& cmd) {
   ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
-  const auto vit = cmd.options.find("v");
-  if (vit == cmd.options.end()) {
-    return Status::InvalidArgument("missing v=<comma-separated values>");
-  }
   std::vector<double> values;
-  for (const std::string& token : SplitKeepEmpty(vit->second, ',')) {
-    ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
-    values.push_back(v);
+  const auto vit = cmd.options.find("v");
+  if (vit != cmd.options.end()) {
+    for (const std::string& token : SplitKeepEmpty(vit->second, ',')) {
+      ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+      values.push_back(v);
+    }
+  } else if (!cmd.payload.empty()) {
+    // Binary frame: the values rode as raw float64s (already capped by the
+    // frame decoder), no ASCII parse at all.
+    values = cmd.payload;
+  } else {
+    return Status::InvalidArgument(
+        "missing v=<comma-separated values> (or a binary value payload)");
   }
   const std::string sname = OptString(cmd, "series", "appended");
   ONEX_RETURN_IF_ERROR(
@@ -555,18 +598,28 @@ Result<json::Value> DoExtend(Engine* engine, const Session& session,
   if (sit == cmd.options.end()) {
     return Status::InvalidArgument("missing series=<index or name>");
   }
-  const auto pit = cmd.options.find("points");
-  if (pit == cmd.options.end()) {
-    return Status::InvalidArgument("missing points=<comma-separated values>");
-  }
   std::vector<double> points;
-  for (const std::string& token : SplitKeepEmpty(pit->second, ',')) {
-    if (points.size() >= kMaxExtendPoints) {
+  const auto pit = cmd.options.find("points");
+  if (pit != cmd.options.end()) {
+    for (const std::string& token : SplitKeepEmpty(pit->second, ',')) {
+      if (points.size() >= kMaxExtendPoints) {
+        return Status::InvalidArgument(StrFormat(
+            "EXTEND accepts at most %zu points per frame", kMaxExtendPoints));
+      }
+      ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+      points.push_back(v);
+    }
+  } else if (!cmd.payload.empty()) {
+    // Binary payloads honor the same cap as the text form: the transport
+    // changed, the streaming-tail contract did not.
+    if (cmd.payload.size() > kMaxExtendPoints) {
       return Status::InvalidArgument(StrFormat(
           "EXTEND accepts at most %zu points per frame", kMaxExtendPoints));
     }
-    ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
-    points.push_back(v);
+    points = cmd.payload;
+  } else {
+    return Status::InvalidArgument(
+        "missing points=<comma-separated values> (or a binary value payload)");
   }
 
   // The target series: an index, or a name resolved against the dataset.
@@ -716,7 +769,7 @@ Result<json::Value> DoLoad(Engine* engine, const Command& cmd) {
 }
 
 Result<json::Value> Dispatch(Engine* engine, Session* session,
-                             const Command& cmd) {
+                             const Command& cmd, const ExecContext& ctx) {
   if (cmd.verb == "PING") {
     json::Value v = Ok();
     v.Set("pong", true);
@@ -787,9 +840,13 @@ Result<json::Value> Dispatch(Engine* engine, Session* session,
   }
   if (cmd.verb == "STATS") return DoStats(engine, *session, cmd);
   if (cmd.verb == "OVERVIEW") return DoOverview(engine, *session, cmd);
-  if (cmd.verb == "MATCH") return DoMatch(engine, *session, cmd, /*knn=*/false);
-  if (cmd.verb == "KNN") return DoMatch(engine, *session, cmd, /*knn=*/true);
-  if (cmd.verb == "BATCH") return DoBatch(engine, *session, cmd);
+  if (cmd.verb == "MATCH") {
+    return DoMatch(engine, *session, cmd, /*knn=*/false, ctx);
+  }
+  if (cmd.verb == "KNN") {
+    return DoMatch(engine, *session, cmd, /*knn=*/true, ctx);
+  }
+  if (cmd.verb == "BATCH") return DoBatch(engine, *session, cmd, ctx);
   if (cmd.verb == "SEASONAL") return DoSeasonal(engine, *session, cmd);
   if (cmd.verb == "THRESHOLD") return DoThreshold(engine, *session, cmd);
   if (cmd.verb == "QUIT") {
@@ -831,10 +888,15 @@ json::Value ErrorResponse(const Status& status) {
 }
 
 json::Value ExecuteCommand(Engine* engine, Session* session,
-                           const Command& command) {
-  Result<json::Value> result = Dispatch(engine, session, command);
+                           const Command& command, const ExecContext& context) {
+  Result<json::Value> result = Dispatch(engine, session, command, context);
   if (!result.ok()) return ErrorResponse(result.status());
   return std::move(result).value();
+}
+
+json::Value ExecuteCommand(Engine* engine, Session* session,
+                           const Command& command) {
+  return ExecuteCommand(engine, session, command, ExecContext{});
 }
 
 json::Value ExecuteCommand(Engine* engine, const Command& command) {

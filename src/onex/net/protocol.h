@@ -1,6 +1,8 @@
 #ifndef ONEX_NET_PROTOCOL_H_
 #define ONEX_NET_PROTOCOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -68,11 +70,11 @@ namespace onex::net {
 ///   CATALOG [points=24]                              series list + previews
 ///   OVERVIEW [length=0] [top=12]
 ///   MATCH q=<series>:<start>:<len> [window=-1] [topgroups=1]
-///         [exhaustive=0] [threads=1]
+///         [exhaustive=0] [threads=1] [deadline_ms=0]
 ///   KNN q=<series>:<start>:<len> [k=3] [window=-1] [exhaustive=0]
-///       [threads=1]
+///       [threads=1] [deadline_ms=0]
 ///   BATCH q=<s>:<st>:<len>[;<s>:<st>:<len>...] [k=1] [window=-1]
-///         [topgroups=1] [exhaustive=0] [threads=1]
+///         [topgroups=1] [exhaustive=0] [threads=1] [deadline_ms=0]
 ///       Executes every query in one round-trip, fanned across the engine's
 ///       task pool (a dashboard refreshing its linked views issues one
 ///       BATCH instead of N MATCHes). Responds with results in query order:
@@ -80,6 +82,17 @@ namespace onex::net {
 ///   SEASONAL series=<idx> [length=0] [minocc=2] [top=5]
 ///   THRESHOLD [pairs=2000] [minlen=4] [maxlen=0]
 ///   QUIT
+///
+/// `deadline_ms=` (MATCH/KNN/BATCH) bounds wall time from request *arrival*
+/// (queue time included): the cancellation token is polled between cascade
+/// stages and an expired query answers {"ok":false,"code":
+/// "DeadlineExceeded"} instead of holding its connection's pipeline.
+///
+/// The reactor front end (reactor.h) adds two verbs of its own — BIN, which
+/// upgrades a connection to the ONEXB binary frame (frame.h), and METRICS,
+/// which reports serving statistics. Both live in the serving layer, not
+/// here: they concern a *connection* and a *server*, which this executor
+/// deliberately knows nothing about.
 ///
 /// Responses: {"ok":true, ...payload...} or {"ok":false,"error":"...",
 /// "code":"..."} — always a single line. Size-driving options (GEN
@@ -91,6 +104,11 @@ struct Command {
   std::string verb;  ///< Upper-cased.
   std::vector<std::string> args;
   std::map<std::string, std::string> options;
+  /// Raw float64 payload from a binary frame (frame.h). APPEND and EXTEND
+  /// consume it in place of v=/points= when those options are absent, so a
+  /// binary client ships bulk points without ASCII round-trips. Empty for
+  /// text-protocol commands.
+  std::vector<double> payload;
 };
 
 /// Per-connection protocol state: the current dataset selected with USE.
@@ -101,11 +119,33 @@ struct Session {
 /// Splits a protocol line; ParseError on empty input or malformed k=v.
 Result<Command> ParseCommandLine(const std::string& line);
 
+/// Serving-layer context threaded into one command execution. The plain
+/// ExecuteCommand overloads pass defaults, so the text server and in-process
+/// callers are unaffected; the reactor fills it in per request.
+struct ExecContext {
+  /// When the request came off the wire; deadline_ms counts from here, so a
+  /// request that sat queued behind a deep pipeline pays for the wait.
+  std::chrono::steady_clock::time_point arrival =
+      std::chrono::steady_clock::now();
+  /// Connection-level kill switch (set on disconnect); owned by the caller
+  /// and must outlive the execution.
+  const std::atomic<bool>* disconnected = nullptr;
+  /// When non-null, MATCH/KNN/BATCH append each match's normalized values
+  /// here (concatenated in match order) for the binary response's raw
+  /// float64 section. The JSON body is byte-identical either way.
+  std::vector<double>* out_values = nullptr;
+};
+
 /// Runs one command against the engine, reading and updating the session's
 /// current dataset. Never fails — errors become {"ok":false,...} payloads,
 /// so one bad command cannot kill a session.
 json::Value ExecuteCommand(Engine* engine, Session* session,
                            const Command& command);
+
+/// Full-context form used by the reactor (deadlines, disconnect
+/// cancellation, binary value payloads).
+json::Value ExecuteCommand(Engine* engine, Session* session,
+                           const Command& command, const ExecContext& context);
 
 /// Session-less convenience (in-process callers, tests): every command must
 /// carry its dataset explicitly.

@@ -5,7 +5,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <string>
 #include <string_view>
 #include <sys/socket.h>
@@ -22,12 +24,11 @@ Status Errno(const char* what) {
 
 }  // namespace
 
-Status Socket::SendAll(std::string_view data) {
-  if (!valid()) return Status::IoError("send on closed socket");
+Status WriteAll(int fd, std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
-        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("send");
@@ -35,6 +36,27 @@ Status Socket::SendAll(std::string_view data) {
     sent += static_cast<std::size_t>(n);
   }
   return Status::OK();
+}
+
+void SetTcpNoDelay(int fd) {
+  // Best-effort: a socket that rejects the option (already closing, not
+  // TCP) still works, just with Nagle latency.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SendAll(std::string_view data) {
+  if (!valid()) return Status::IoError("send on closed socket");
+  return WriteAll(fd_, data);
 }
 
 void Socket::Shutdown() {
@@ -99,10 +121,11 @@ Result<Socket> ConnectTcp(const std::string& host, std::uint16_t port) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Errno("connect");
   }
+  SetTcpNoDelay(fd);
   return sock;
 }
 
-Result<ServerSocket> ServerSocket::Listen(std::uint16_t port) {
+Result<ServerSocket> ServerSocket::Listen(std::uint16_t port, int backlog) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   ServerSocket server;
@@ -118,7 +141,7 @@ Result<ServerSocket> ServerSocket::Listen(std::uint16_t port) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Errno("bind");
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, backlog) != 0) {
     return Errno("listen");
   }
   socklen_t len = sizeof(addr);
@@ -134,7 +157,10 @@ Result<Socket> ServerSocket::Accept() {
   if (listener < 0) return Status::IoError("accept on closed listener");
   while (true) {
     const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd >= 0) return Socket(fd);
+    if (fd >= 0) {
+      SetTcpNoDelay(fd);
+      return Socket(fd);
+    }
     if (errno == EINTR) continue;
     return Errno("accept");
   }

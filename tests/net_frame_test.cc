@@ -1,0 +1,251 @@
+/// ONEXB binary frame codec: golden wire bytes, roundtrips, incremental
+/// truncation, mutation fuzz, and the anti-allocation contract — a header's
+/// declared lengths are capped before any body allocation. Run under ASan
+/// in CI, same harness style as net_protocol_fuzz_test.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "onex/common/random.h"
+#include "onex/net/frame.h"
+
+namespace onex::net {
+namespace {
+
+/// A representative request frame with every field exercised.
+Frame SampleRequest() {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.flags = 0;
+  f.request_id = 0x0102030405060708ull;
+  f.text = "PING";
+  f.values = {1.5};
+  return f;
+}
+
+TEST(FrameTest, GoldenEncodeBytes) {
+  const std::string wire = EncodeFrame(SampleRequest());
+  // 24-byte LE header + "PING" + 1.5 (0x3FF8000000000000).
+  const unsigned char expected[] = {
+      'O',  'N',  'E',  'X',  'B',         // magic
+      0x01,                                // version
+      0x01,                                // type = request
+      0x00,                                // flags
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // request id LE
+      0x04, 0x00, 0x00, 0x00,              // text length
+      0x01, 0x00, 0x00, 0x00,              // value count
+      'P',  'I',  'N',  'G',               // text
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,  // 1.5 LE float64
+  };
+  ASSERT_EQ(wire.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(wire[i]), expected[i])
+        << "byte " << i;
+  }
+}
+
+TEST(FrameTest, RoundTripPreservesEveryField) {
+  std::vector<Frame> cases;
+  cases.push_back(SampleRequest());
+  {
+    Frame f;  // empty everything
+    cases.push_back(f);
+  }
+  {
+    Frame f;
+    f.type = FrameType::kResponse;
+    f.flags = kFrameFlagError;
+    f.request_id = std::numeric_limits<std::uint64_t>::max();
+    f.text = "{\"ok\":false,\"error\":\"x\"}";
+    cases.push_back(f);
+  }
+  {
+    Frame f;
+    f.type = FrameType::kResponse;
+    f.request_id = 42;
+    f.text = std::string("\0with\0nuls\xff", 11);  // text is bytes, not ASCII
+    // Bit-exact value transport, including non-finite and signed zero.
+    f.values = {0.0, -0.0, 1e308, -1e-308,
+                std::numeric_limits<double>::infinity(),
+                -std::numeric_limits<double>::infinity()};
+    cases.push_back(f);
+  }
+  for (const Frame& f : cases) {
+    const std::string wire = EncodeFrame(f);
+    const FrameDecodeResult r = DecodeFrame(wire);
+    ASSERT_EQ(r.state, FrameDecodeState::kFrame);
+    EXPECT_EQ(r.consumed, wire.size());
+    EXPECT_EQ(r.frame.type, f.type);
+    EXPECT_EQ(r.frame.flags, f.flags);
+    EXPECT_EQ(r.frame.request_id, f.request_id);
+    EXPECT_EQ(r.frame.text, f.text);
+    ASSERT_EQ(r.frame.values.size(), f.values.size());
+    for (std::size_t i = 0; i < f.values.size(); ++i) {
+      EXPECT_EQ(std::signbit(r.frame.values[i]), std::signbit(f.values[i]));
+      EXPECT_EQ(r.frame.values[i], f.values[i]) << "value " << i;
+    }
+  }
+  // NaN roundtrips bit-exactly too (== would be false, so check bits).
+  Frame nan_frame;
+  nan_frame.values = {std::numeric_limits<double>::quiet_NaN()};
+  const FrameDecodeResult r = DecodeFrame(EncodeFrame(nan_frame));
+  ASSERT_EQ(r.state, FrameDecodeState::kFrame);
+  ASSERT_EQ(r.frame.values.size(), 1u);
+  EXPECT_TRUE(std::isnan(r.frame.values[0]));
+}
+
+TEST(FrameTest, EveryTruncationPrefixAsksForMoreAndConsumesNothing) {
+  const std::string wire = EncodeFrame(SampleRequest());
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const FrameDecodeResult r =
+        DecodeFrame(std::string_view(wire).substr(0, len));
+    EXPECT_EQ(r.state, FrameDecodeState::kNeedMore) << "prefix " << len;
+    EXPECT_EQ(r.consumed, 0u) << "prefix " << len;
+  }
+}
+
+TEST(FrameTest, BackToBackFramesDecodeInOrder) {
+  Frame a = SampleRequest();
+  Frame b;
+  b.type = FrameType::kResponse;
+  b.request_id = 7;
+  b.text = "{\"ok\":true}";
+  std::string stream = EncodeFrame(a) + EncodeFrame(b);
+  const FrameDecodeResult first = DecodeFrame(stream);
+  ASSERT_EQ(first.state, FrameDecodeState::kFrame);
+  EXPECT_EQ(first.frame.text, "PING");
+  const FrameDecodeResult second =
+      DecodeFrame(std::string_view(stream).substr(first.consumed));
+  ASSERT_EQ(second.state, FrameDecodeState::kFrame);
+  EXPECT_EQ(second.frame.request_id, 7u);
+  EXPECT_EQ(first.consumed + second.consumed, stream.size());
+}
+
+TEST(FrameTest, BadMagicVersionAndTypeAreErrors) {
+  const std::string good = EncodeFrame(SampleRequest());
+  for (std::size_t corrupt : {std::size_t{0}, std::size_t{4},
+                              std::size_t{5}, std::size_t{6}}) {
+    std::string bad = good;
+    bad[corrupt] = static_cast<char>(0x7E);
+    const FrameDecodeResult r = DecodeFrame(bad);
+    EXPECT_EQ(r.state, FrameDecodeState::kError) << "byte " << corrupt;
+    EXPECT_FALSE(r.error.ok());
+  }
+  // Flags byte is opaque, not validated: any value still decodes.
+  std::string flags = good;
+  flags[7] = static_cast<char>(0xFF);
+  EXPECT_EQ(DecodeFrame(flags).state, FrameDecodeState::kFrame);
+}
+
+TEST(FrameTest, DeclaredLengthsAreCappedBeforeAllocation) {
+  // A 24-byte header claiming a huge body must be rejected from the header
+  // alone — kError, not kNeedMore: the decoder may never wait for (or
+  // allocate) a body the limits forbid.
+  const auto header_claiming = [](std::uint32_t text_len,
+                                  std::uint32_t value_count) {
+    Frame f;
+    std::string wire = EncodeFrame(f);  // valid empty frame
+    wire.resize(kFrameHeaderBytes);
+    for (int i = 0; i < 4; ++i) {
+      wire[16 + i] = static_cast<char>((text_len >> (8 * i)) & 0xff);
+      wire[20 + i] = static_cast<char>((value_count >> (8 * i)) & 0xff);
+    }
+    return wire;
+  };
+  const FrameLimits limits;  // server-side defaults
+  const std::uint32_t big = std::numeric_limits<std::uint32_t>::max();
+  for (const auto& [text_len, value_count] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {big, 0},
+           {0, big},
+           {static_cast<std::uint32_t>(limits.max_text_bytes) + 1, 0},
+           {0, static_cast<std::uint32_t>(limits.max_values) + 1},
+       }) {
+    const FrameDecodeResult r =
+        DecodeFrame(header_claiming(text_len, value_count), limits);
+    EXPECT_EQ(r.state, FrameDecodeState::kError)
+        << "text_len=" << text_len << " value_count=" << value_count;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+  // Declared lengths at the cap are legal (given the body).
+  const FrameDecodeResult at_cap = DecodeFrame(
+      header_claiming(static_cast<std::uint32_t>(limits.max_text_bytes), 0),
+      limits);
+  EXPECT_EQ(at_cap.state, FrameDecodeState::kNeedMore);
+
+  // Tighter custom limits bite at their own threshold.
+  FrameLimits tiny;
+  tiny.max_text_bytes = 8;
+  tiny.max_values = 2;
+  EXPECT_EQ(DecodeFrame(header_claiming(9, 0), tiny).state,
+            FrameDecodeState::kError);
+  EXPECT_EQ(DecodeFrame(header_claiming(0, 3), tiny).state,
+            FrameDecodeState::kError);
+  EXPECT_EQ(DecodeFrame(header_claiming(8, 2), tiny).state,
+            FrameDecodeState::kNeedMore);
+}
+
+TEST(FrameTest, MutationFuzzNeverCrashesOrOverconsumes) {
+  Rng rng(0x0E0B);
+  const std::string base = EncodeFrame(SampleRequest());
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string wire = base;
+    const std::size_t rounds = 1 + rng.UniformIndex(3);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      switch (rng.UniformIndex(4)) {
+        case 0:  // truncate
+          wire.resize(rng.UniformIndex(wire.size() + 1));
+          break;
+        case 1:  // flip a byte
+          if (!wire.empty()) {
+            wire[rng.UniformIndex(wire.size())] =
+                static_cast<char>(rng.UniformInt(0, 255));
+          }
+          break;
+        case 2:  // insert garbage
+          wire.insert(rng.UniformIndex(wire.size() + 1),
+                      std::string(rng.UniformIndex(16) + 1,
+                                  static_cast<char>(rng.UniformInt(0, 255))));
+          break;
+        default:  // splice two frames
+          wire += base.substr(rng.UniformIndex(base.size() + 1));
+          break;
+      }
+    }
+    const FrameDecodeResult r = DecodeFrame(wire);
+    switch (r.state) {
+      case FrameDecodeState::kFrame:
+        EXPECT_LE(r.consumed, wire.size());
+        EXPECT_GE(r.consumed, kFrameHeaderBytes);
+        break;
+      case FrameDecodeState::kError:
+        EXPECT_FALSE(r.error.ok());
+        EXPECT_EQ(r.consumed, 0u);
+        break;
+      case FrameDecodeState::kNeedMore:
+        EXPECT_EQ(r.consumed, 0u);
+        break;
+    }
+  }
+}
+
+TEST(FrameTest, RandomBytesNeverDecodeAsAFrame) {
+  // 24+ random bytes essentially never start with "ONEXB": the decoder must
+  // call them errors (connection-fatal), not wait for more input forever.
+  Rng rng(0xA11C);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string junk(kFrameHeaderBytes + rng.UniformIndex(64), '\0');
+    for (char& c : junk) c = static_cast<char>(rng.UniformInt(0, 255));
+    junk[0] = 'X';  // guarantee the magic mismatch
+    const FrameDecodeResult r = DecodeFrame(junk);
+    EXPECT_EQ(r.state, FrameDecodeState::kError);
+  }
+}
+
+}  // namespace
+}  // namespace onex::net

@@ -43,8 +43,11 @@ const std::vector<std::string>& Corpus() {
       "OVERVIEW s top=5",
       "MATCH s q=0:2:8 exhaustive=1",
       "MATCH dataset=s q=1:0:6",
+      "MATCH s q=0:2:8 deadline_ms=50",
       "KNN s q=0:0:8 k=3",
+      "KNN s q=0:0:8 k=2 deadline_ms=0",
       "BATCH s q=0:0:6;1:2:8 k=2",
+      "BATCH s q=0:0:6;1:2:8 k=2 deadline_ms=1000",
       "SEASONAL s series=0 length=8",
       "THRESHOLD s pairs=50",
       // Safe on a non-durable engine: FailedPrecondition, never a file
