@@ -7,6 +7,7 @@
 ///
 ///   $ ./onexd [port] [--data-dir=DIR] [--checkpoint-every=N] [--no-fsync]
 ///            [--legacy-threads]
+///            [--cluster-nodes=host:port,host:port,...] [--cluster-self=N]
 ///
 /// With --data-dir, the server is durable (DESIGN.md §13): state found in
 /// DIR is recovered before the first client connects, every acknowledged
@@ -14,6 +15,13 @@
 /// the background every N journaled mutations (default 256; 0 = manual
 /// CHECKPOINT only). Kill the process however you like — the next start
 /// with the same --data-dir answers queries identically.
+///
+/// With --cluster-nodes, the server joins a cluster (DESIGN.md §16): the
+/// list names every node (identical on all of them), --cluster-self=N is
+/// this node's index into it, and the node's own port comes from the listed
+/// endpoint. Cluster mode requires --data-dir (replication ships the WAL)
+/// and forces --checkpoint-every=0 (replica catch-up replays the log from
+/// its start). See README.md "Running a 3-node cluster".
 ///
 /// Try it with the bundled CLI:
 ///   $ ./onexd 7700 --data-dir=/tmp/onex-data &
@@ -26,15 +34,32 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "onex/common/logging.h"
 #include "onex/engine/engine.h"
+#include "onex/net/cluster.h"
 #include "onex/net/reactor.h"
 #include "onex/net/server.h"
 
 namespace {
 std::atomic<bool> g_stop{false};
 void HandleSignal(int) { g_stop.store(true); }
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(begin));
+      break;
+    }
+    out.push_back(csv.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return out;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,6 +67,8 @@ int main(int argc, char** argv) {
   bool legacy_threads = false;
   onex::DurabilityOptions durability;
   durability.checkpoint_every = 256;
+  std::vector<std::string> cluster_nodes;
+  long long cluster_self = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -59,15 +86,52 @@ int main(int argc, char** argv) {
       durability.checkpoint_every = static_cast<std::uint64_t>(every);
     } else if (arg == "--no-fsync") {
       durability.fsync = false;
+    } else if (arg.rfind("--cluster-nodes=", 0) == 0) {
+      cluster_nodes = SplitCsv(arg.substr(std::strlen("--cluster-nodes=")));
+    } else if (arg.rfind("--cluster-self=", 0) == 0) {
+      cluster_self = std::atoll(arg.c_str() + std::strlen("--cluster-self="));
     } else if (!arg.empty() && arg[0] != '-') {
       port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
     } else {
       std::fprintf(stderr,
                    "onexd: unknown flag '%s'\nusage: onexd [port] "
                    "[--data-dir=DIR] [--checkpoint-every=N] [--no-fsync] "
-                   "[--legacy-threads]\n",
+                   "[--legacy-threads] [--cluster-nodes=h:p,...] "
+                   "[--cluster-self=N]\n",
                    arg.c_str());
       return 2;
+    }
+  }
+
+  const bool cluster_mode = !cluster_nodes.empty();
+  if (cluster_mode) {
+    if (cluster_self < 0 ||
+        static_cast<std::size_t>(cluster_self) >= cluster_nodes.size()) {
+      std::fprintf(stderr,
+                   "onexd: cluster mode needs --cluster-self=N with N "
+                   "indexing --cluster-nodes\n");
+      return 2;
+    }
+    if (durability.dir.empty()) {
+      std::fprintf(stderr,
+                   "onexd: cluster mode requires --data-dir (replication "
+                   "ships the write-ahead log)\n");
+      return 2;
+    }
+    if (legacy_threads) {
+      std::fprintf(stderr,
+                   "onexd: cluster mode needs the reactor server (drop "
+                   "--legacy-threads)\n");
+      return 2;
+    }
+    // Replica catch-up replays the primary's WAL from its first record; a
+    // checkpoint rotation would truncate exactly that (DESIGN.md §16).
+    durability.checkpoint_every = 0;
+    const std::string& self =
+        cluster_nodes[static_cast<std::size_t>(cluster_self)];
+    const std::size_t colon = self.rfind(':');
+    if (colon != std::string::npos) {
+      port = static_cast<std::uint16_t>(std::atoi(self.c_str() + colon + 1));
     }
   }
 
@@ -82,8 +146,18 @@ int main(int argc, char** argv) {
     std::printf("onexd: durable in %s (%zu dataset(s) recovered)\n",
                 durability.dir.c_str(), engine.registry().Describe().size());
   }
+
+  std::unique_ptr<onex::net::ClusterNode> cluster;
+  if (cluster_mode) {
+    onex::net::ClusterNode::Options copt;
+    copt.nodes = cluster_nodes;
+    copt.self = static_cast<std::size_t>(cluster_self);
+    cluster = std::make_unique<onex::net::ClusterNode>(&engine, copt);
+  }
+
   onex::net::OnexServer legacy_server(&engine);
   onex::net::ReactorServer reactor_server(&engine);
+  if (cluster != nullptr) reactor_server.SetCluster(cluster.get());
   std::uint16_t bound_port = 0;
   if (legacy_threads) {
     if (onex::Status s = legacy_server.Start(port); !s.ok()) {
@@ -97,6 +171,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     bound_port = reactor_server.port();
+  }
+  if (cluster != nullptr) {
+    // After the listener is up: peers dial in for replication as soon as
+    // their own hubs start, and this node's hub starts shipping to them.
+    if (onex::Status s = cluster->Start(); !s.ok()) {
+      std::fprintf(stderr, "onexd: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("onexd: cluster node %lld of %zu\n", cluster_self,
+                cluster_nodes.size());
   }
   std::printf("onexd listening on 127.0.0.1:%u (%s)\n", bound_port,
               legacy_threads ? "thread-per-connection" : "epoll reactor");
@@ -114,5 +198,8 @@ int main(int argc, char** argv) {
   std::printf("onexd: shutting down\n");
   legacy_server.Stop();
   reactor_server.Stop();
+  // The hub's WAL sink is uninstalled only here, after the server stopped
+  // executing commands that could fire it.
+  if (cluster != nullptr) cluster->Stop();
   return 0;
 }

@@ -20,3 +20,50 @@ ctest --output-on-failure -j"$(nproc)"
 # serving path underneath, a pipelined binary batch, METRICS sanity, and
 # text/binary dialect equivalence. Exits nonzero if any of those fail.
 ./bench_e12_load --smoke
+
+# Cluster smoke (DESIGN.md §16): boot a real 3-process cluster, route
+# traffic through every node, kill -9 the shard that owns "demo", and
+# demand the survivors keep answering after promotion. HRW placement
+# depends only on the dataset name and node *index*, so "demo" lands on
+# node index 2 for any 3-node cluster regardless of ports.
+CLUSTER_ROOT="$(mktemp -d)"
+CLUSTER_NODES="127.0.0.1:7741,127.0.0.1:7742,127.0.0.1:7743"
+./onexd --cluster-nodes="$CLUSTER_NODES" --cluster-self=0 \
+  --data-dir="$CLUSTER_ROOT/n0" --no-fsync >/dev/null 2>&1 &
+N0=$!
+./onexd --cluster-nodes="$CLUSTER_NODES" --cluster-self=1 \
+  --data-dir="$CLUSTER_ROOT/n1" --no-fsync >/dev/null 2>&1 &
+N1=$!
+./onexd --cluster-nodes="$CLUSTER_NODES" --cluster-self=2 \
+  --data-dir="$CLUSTER_ROOT/n2" --no-fsync >/dev/null 2>&1 &
+N2=$!
+cleanup_cluster() {
+  kill -9 "$N0" "$N1" "$N2" 2>/dev/null || :
+  rm -rf "$CLUSTER_ROOT"
+}
+trap cleanup_cluster EXIT
+
+for port in 7741 7742 7743; do
+  tries=0
+  until ./onex_cli "$port" PING >/dev/null 2>&1; do
+    tries=$((tries + 1))
+    [ "$tries" -lt 150 ] || { echo "cluster node :$port never came up"; exit 1; }
+    sleep 0.2
+  done
+done
+
+./onex_cli 7741 "GEN demo sine num=4 len=32 seed=7" | grep -q '"ok": true'
+./onex_cli 7741 "PREPARE demo st=0.2 maxlen=16" | grep -q '"ok": true'
+./onex_cli 7742 "KNN demo q=0:0:12 k=2" | grep -q '"ok": true'
+./onex_cli 7743 "MATCH datasets=demo q=1:2:10" | grep -q '"ok": true'
+
+# Fault injection: node 2 is demo's primary; the coordinator must notice,
+# promote a caught-up replica, and keep serving bit-identical answers.
+kill -9 "$N2"
+./onex_cli 7741 CLUSTER | grep -q '"ok": true'
+./onex_cli 7741 "KNN demo q=0:0:12 k=2" | grep -q '"ok": true'
+./onex_cli 7742 "MATCH demo q=1:2:10" | grep -q '"ok": true'
+
+cleanup_cluster
+trap - EXIT
+echo "cluster smoke: OK"

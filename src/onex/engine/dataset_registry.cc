@@ -83,6 +83,81 @@ struct ReplayedSlot {
   std::uint64_t last_ckpt_seq = 0;
 };
 
+/// One WAL record applied to one snapshot — the per-record state transition
+/// shared by recovery replay (ReplayWal below) and the replication apply
+/// path (ApplyReplicated), both routed through the same snapshot writers the
+/// live engine uses (snapshot_ops.h). Same inputs, same code, same order:
+/// a replica at seq S, a recovery at seq S and the pre-crash primary at
+/// seq S are the same bytes. `snap` is null only before the first record;
+/// kLoad is the only type legal there. kCheckpoint never applies here —
+/// rotation owns it, and both callers reject it in a record stream.
+Result<std::shared_ptr<const PreparedDataset>> ApplyWalRecordToSnapshot(
+    const std::string& name, std::shared_ptr<const PreparedDataset> snap,
+    const WalRecord& rec, bool* ever_prepared, TaskPool* pool) {
+  if (snap == nullptr && rec.type != WalRecordType::kLoad) {
+    return Status::ParseError(StrFormat(
+        "wal record %llu (%s) arrives before any load or checkpoint",
+        static_cast<unsigned long long>(rec.seq),
+        WalRecordTypeToString(rec.type)));
+  }
+  switch (rec.type) {
+    case WalRecordType::kLoad: {
+      if (snap != nullptr) {
+        return Status::ParseError("duplicate load record in wal");
+      }
+      auto fresh = std::make_shared<PreparedDataset>();
+      fresh->name = name;
+      fresh->raw = std::make_shared<const Dataset>(rec.dataset);
+      snap = std::move(fresh);
+      break;
+    }
+    case WalRecordType::kAppend: {
+      ONEX_ASSIGN_OR_RETURN(snap, ApplyAppend(*snap, rec.series));
+      break;
+    }
+    case WalRecordType::kExtend: {
+      ONEX_ASSIGN_OR_RETURN(ExtendOutcome outcome,
+                            ApplyExtend(*snap, rec.extensions));
+      snap = std::move(outcome.snapshot);
+      break;
+    }
+    case WalRecordType::kPrepare: {
+      ONEX_ASSIGN_OR_RETURN(snap, BuildSnapshot(snap, rec.options, rec.norm,
+                                                /*renormalize=*/true, pool));
+      *ever_prepared = true;
+      break;
+    }
+    case WalRecordType::kRebuild: {
+      if (!*ever_prepared) {
+        return Status::ParseError("rebuild record before any prepare");
+      }
+      ONEX_ASSIGN_OR_RETURN(
+          snap, BuildSnapshot(snap, snap->build_options, snap->norm_kind,
+                              /*renormalize=*/false, pool));
+      break;
+    }
+    case WalRecordType::kEvict: {
+      if (snap->prepared()) {
+        auto stripped = std::make_shared<PreparedDataset>(*snap);
+        stripped->base = nullptr;
+        snap = std::move(stripped);
+      }
+      break;
+    }
+    case WalRecordType::kRegroup: {
+      ONEX_ASSIGN_OR_RETURN(
+          std::shared_ptr<const PreparedDataset> next,
+          ApplyRegroup(*snap, rec.lengths));
+      snap = std::move(next);
+      break;
+    }
+    case WalRecordType::kCheckpoint:
+      return Status::ParseError(
+          "checkpoint record in the replay tail (log was never rotated)");
+  }
+  return snap;
+}
+
 /// Replays a scanned WAL through the same snapshot writers the live engine
 /// uses (snapshot_ops.h), which is what makes the recovered slot bit-equal
 /// to the pre-crash in-memory state: same inputs, same code, same order.
@@ -111,67 +186,9 @@ Result<ReplayedSlot> ReplayWal(const std::string& dir, const WalScan& scan,
 
   for (std::size_t i = start; i < scan.records.size(); ++i) {
     const WalRecord& rec = scan.records[i];
-    if (snap == nullptr && rec.type != WalRecordType::kLoad) {
-      return Status::ParseError(StrFormat(
-          "wal record %llu (%s) arrives before any load or checkpoint",
-          static_cast<unsigned long long>(rec.seq),
-          WalRecordTypeToString(rec.type)));
-    }
-    switch (rec.type) {
-      case WalRecordType::kLoad: {
-        if (snap != nullptr) {
-          return Status::ParseError("duplicate load record in wal");
-        }
-        auto fresh = std::make_shared<PreparedDataset>();
-        fresh->name = out.name;
-        fresh->raw = std::make_shared<const Dataset>(rec.dataset);
-        snap = std::move(fresh);
-        break;
-      }
-      case WalRecordType::kAppend: {
-        ONEX_ASSIGN_OR_RETURN(snap, ApplyAppend(*snap, rec.series));
-        break;
-      }
-      case WalRecordType::kExtend: {
-        ONEX_ASSIGN_OR_RETURN(ExtendOutcome outcome,
-                              ApplyExtend(*snap, rec.extensions));
-        snap = std::move(outcome.snapshot);
-        break;
-      }
-      case WalRecordType::kPrepare: {
-        ONEX_ASSIGN_OR_RETURN(snap, BuildSnapshot(snap, rec.options, rec.norm,
-                                                  /*renormalize=*/true, pool));
-        out.ever_prepared = true;
-        break;
-      }
-      case WalRecordType::kRebuild: {
-        if (!out.ever_prepared) {
-          return Status::ParseError("rebuild record before any prepare");
-        }
-        ONEX_ASSIGN_OR_RETURN(
-            snap, BuildSnapshot(snap, snap->build_options, snap->norm_kind,
-                                /*renormalize=*/false, pool));
-        break;
-      }
-      case WalRecordType::kEvict: {
-        if (snap->prepared()) {
-          auto stripped = std::make_shared<PreparedDataset>(*snap);
-          stripped->base = nullptr;
-          snap = std::move(stripped);
-        }
-        break;
-      }
-      case WalRecordType::kRegroup: {
-        ONEX_ASSIGN_OR_RETURN(
-            std::shared_ptr<const PreparedDataset> next,
-            ApplyRegroup(*snap, rec.lengths));
-        snap = std::move(next);
-        break;
-      }
-      case WalRecordType::kCheckpoint:
-        return Status::ParseError(
-            "checkpoint record in the replay tail (log was never rotated)");
-    }
+    ONEX_ASSIGN_OR_RETURN(
+        snap, ApplyWalRecordToSnapshot(out.name, std::move(snap), rec,
+                                       &out.ever_prepared, pool));
     out.last_seq = rec.seq;
     ++out.records_since_ckpt;
   }
@@ -510,7 +527,7 @@ PrepareTicket DatasetRegistry::PrepareAsync(const std::string& name,
 Result<bool> DatasetRegistry::Install(
     const std::shared_ptr<Slot>& slot, const std::string& name,
     std::shared_ptr<const PreparedDataset> snapshot,
-    const PreparedDataset* expected, WalRecord* record) {
+    const PreparedDataset* expected, WalRecord* record, bool replicated) {
   const std::size_t new_bytes =
       snapshot->prepared() ? snapshot->base->MemoryUsage() : 0;
   {
@@ -531,9 +548,21 @@ Result<bool> DatasetRegistry::Install(
       // visible, under the same lock, so WAL order always equals install
       // order. A journal failure aborts the install — the caller sees the
       // error and nothing was acknowledged.
-      ONEX_RETURN_IF_ERROR(slot->journal->writer->Append(record));
+      if (replicated) {
+        ONEX_RETURN_IF_ERROR(slot->journal->writer->AppendAt(*record));
+      } else {
+        ONEX_RETURN_IF_ERROR(slot->journal->writer->Append(record));
+      }
       slot->journal->last_seq.store(record->seq);
       slot->journal->records_since_ckpt.fetch_add(1);
+      // Replication observes the append under the same lock, so per-dataset
+      // sink order is exactly WAL order (DESIGN.md §16). Replicated
+      // installs stay silent: replicas relay nothing.
+      if (!replicated) {
+        if (auto sink = CurrentSink()) {
+          (*sink)(name, *record, EncodeWalRecord(*record));
+        }
+      }
     }
     slot->snapshot = std::move(snapshot);
     if (slot->snapshot->prepared()) {
@@ -553,7 +582,7 @@ Result<bool> DatasetRegistry::Install(
     // orphan unaccounted — it dies with the last reference.
   }
   EvictOverBudget(slot.get());
-  if (record != nullptr) MaybeScheduleCheckpoint(name, slot);
+  if (record != nullptr && !replicated) MaybeScheduleCheckpoint(name, slot);
   return true;
 }
 
@@ -597,6 +626,9 @@ void DatasetRegistry::EvictOverBudget(const Slot* keep) {
           if (!victim->journal->writer->Append(&record).ok()) return;
           victim->journal->last_seq.store(record.seq);
           victim->journal->records_since_ckpt.fetch_add(1);
+          if (auto sink = CurrentSink()) {
+            (*sink)(victim_name, record, EncodeWalRecord(record));
+          }
         }
         auto stripped = std::make_shared<PreparedDataset>(*victim->snapshot);
         stripped->base = nullptr;
@@ -786,6 +818,9 @@ Status DatasetRegistry::CreateSlotJournal(const std::string& name,
       journal->last_seq.store(record.seq);
       journal->records_since_ckpt.store(1);
       journal->has_floor.store(true);
+      if (auto sink = CurrentSink()) {
+        (*sink)(name, record, EncodeWalRecord(record));
+      }
     }
     // Without a load record the floor arrives with the caller's bootstrap
     // checkpoint; until then installs skip journaling.
@@ -1221,6 +1256,144 @@ Result<SlotDurability> DatasetRegistry::Durability(
   out.last_checkpoint_seq = slot->journal->last_ckpt_seq.load();
   out.checkpoints_completed = slot->journal->checkpoints_completed.load();
   return out;
+}
+
+// --- Replication -----------------------------------------------------------
+
+void DatasetRegistry::SetWalSink(WalSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  wal_sink_ =
+      sink ? std::make_shared<const WalSink>(std::move(sink)) : nullptr;
+}
+
+std::shared_ptr<const DatasetRegistry::WalSink> DatasetRegistry::CurrentSink()
+    const {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  return wal_sink_;
+}
+
+Status DatasetRegistry::ApplyReplicated(const std::string& name,
+                                        const WalRecord& record) {
+  if (!durable_.load()) {
+    return Status::FailedPrecondition(
+        "replication requires a durable registry (enable durability first)");
+  }
+  if (record.type == WalRecordType::kCheckpoint) {
+    return Status::InvalidArgument(
+        "checkpoint markers never ship: replicas keep the full log");
+  }
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    const auto it = slots_.find(name);
+    if (it != slots_.end()) slot = it->second;
+  }
+
+  if (slot == nullptr) {
+    // Slot birth. Only a load record can create state from nothing — any
+    // other type means the stream skipped the beginning of the log and the
+    // link must resubscribe from seq 0.
+    if (record.type != WalRecordType::kLoad) {
+      return Status::FailedPrecondition(StrFormat(
+          "replicated %s record %llu for unknown dataset '%s' (resubscribe "
+          "from the log start)",
+          WalRecordTypeToString(record.type),
+          static_cast<unsigned long long>(record.seq), name.c_str()));
+    }
+    if (record.dataset.empty()) {
+      return Status::InvalidArgument(
+          "replicated load record carries no series");
+    }
+    bool ever_prepared = false;
+    ONEX_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PreparedDataset> snap,
+        ApplyWalRecordToSnapshot(name, nullptr, record, &ever_prepared,
+                                 pool_));
+    auto fresh = std::make_shared<Slot>();
+    fresh->snapshot = std::move(snap);
+    TouchLocked(fresh.get());
+    // Mirrors Adopt: the whole birth — journal dir, WAL, the load record at
+    // the primary's seq — happens before the slot becomes findable, under
+    // the same serialization against Recover.
+    std::lock_guard<std::mutex> recover_lock(recover_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(map_mutex_);
+      if (slots_.contains(name)) {
+        // Lost a race against another creator (e.g. a duplicate delivery
+        // already applied); the caller's floor check on retry sorts it out.
+        return Status::AlreadyExists("dataset '" + name +
+                                     "' is already loaded");
+      }
+    }
+    ONEX_RETURN_IF_ERROR(
+        CreateSlotJournal(name, fresh, /*load_record=*/false));
+    Status journaled = [&]() -> Status {
+      std::unique_lock<std::shared_mutex> lock(fresh->mutex);
+      ONEX_RETURN_IF_ERROR(fresh->journal->writer->AppendAt(record));
+      fresh->journal->last_seq.store(record.seq);
+      fresh->journal->records_since_ckpt.store(1);
+      fresh->journal->has_floor.store(true);
+      return Status::OK();
+    }();
+    if (!journaled.ok()) {
+      std::string journal_dir;
+      {
+        std::shared_lock<std::shared_mutex> lock(fresh->mutex);
+        if (fresh->journal != nullptr) journal_dir = fresh->journal->dir;
+      }
+      if (!journal_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(journal_dir, ec);
+      }
+      return journaled;
+    }
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    slots_.emplace(name, std::move(fresh));
+    return Status::OK();
+  }
+
+  // Existing slot: idempotent, gap-checked apply. The link delivers one
+  // dataset's records in seq order from a single thread, so the floor read
+  // here cannot go stale against another replicated writer; a local writer
+  // (this node is also a primary for the dataset — a misconfiguration)
+  // is caught by the conditional install below.
+  std::shared_ptr<SlotJournal> journal;
+  std::shared_ptr<const PreparedDataset> current;
+  bool ever_prepared = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(slot->mutex);
+    journal = slot->journal;
+    current = slot->snapshot;
+    ever_prepared = slot->has_recipe;
+  }
+  if (journal == nullptr || !journal->has_floor.load()) {
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' has no journal floor to replicate onto");
+  }
+  const std::uint64_t floor = journal->last_seq.load();
+  if (record.seq <= floor) return Status::OK();  // duplicate delivery
+  if (record.seq != floor + 1) {
+    return Status::FailedPrecondition(StrFormat(
+        "replicated record seq %llu leaves a gap after %llu for dataset "
+        "'%s' (resubscribe)",
+        static_cast<unsigned long long>(record.seq),
+        static_cast<unsigned long long>(floor), name.c_str()));
+  }
+  ONEX_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PreparedDataset> next,
+      ApplyWalRecordToSnapshot(name, current, record, &ever_prepared, pool_));
+  WalRecord copy = record;
+  ONEX_ASSIGN_OR_RETURN(
+      const bool installed,
+      Install(slot, name, std::move(next), current.get(), &copy,
+              /*replicated=*/true));
+  if (!installed) {
+    return Status::FailedPrecondition(
+        "dataset '" + name +
+        "' changed under a replicated apply (local writes and replication "
+        "must not share a slot)");
+  }
+  return Status::OK();
 }
 
 }  // namespace onex

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -296,6 +297,37 @@ class DatasetRegistry {
   /// Durability counters for one slot.
   Result<SlotDurability> Durability(const std::string& name) const;
 
+  // --- Replication (DESIGN.md §16) ----------------------------------------
+
+  /// Observer of every record this registry journals on its own behalf (the
+  /// primary role). Fired under the owning slot's exclusive lock immediately
+  /// after the write-ahead append succeeds, so sink order is exactly WAL
+  /// order per dataset; the callback must therefore be cheap (enqueue, not
+  /// ship). `encoded` is the full WAL line including the trailing newline —
+  /// the very bytes on disk, ready to stream verbatim. Records applied via
+  /// ApplyReplicated do NOT reach the sink: replicas relay nothing.
+  using WalSink = std::function<void(const std::string& dataset,
+                                     const WalRecord& record,
+                                     const std::string& encoded)>;
+
+  /// Installs (or clears, with nullptr) the sink. Set before traffic starts;
+  /// swapping sinks mid-stream is not synchronized against in-flight
+  /// installs.
+  void SetWalSink(WalSink sink);
+
+  /// Applies one record shipped from a primary's WAL, preserving its
+  /// sequence number: journals it via WalWriter::AppendAt under the slot
+  /// lock, then installs the snapshot produced by the same per-record
+  /// apply switch recovery uses — so a replica that has acked seq S is
+  /// bit-identical to a primary recovered at seq S. Requirements: the
+  /// registry is durable, and records for one dataset arrive in seq order
+  /// (the replication link is a single ordered stream). A record at or
+  /// below the slot's floor is skipped as a duplicate delivery (OK); a gap
+  /// is FailedPrecondition — the caller must resubscribe from its floor.
+  /// kLoad creates the slot; the dataset must not already exist locally
+  /// unless the record is a duplicate.
+  Status ApplyReplicated(const std::string& name, const WalRecord& record);
+
  private:
   struct Slot {
     /// Shared by queries reading the snapshot pointer, exclusive for swaps
@@ -335,12 +367,16 @@ class DatasetRegistry {
   /// slot still holds `expected` (returns false otherwise), which is how
   /// the transparent rebuild avoids clobbering a Replace or Prepare that
   /// landed while it was building. A journal failure is an error: nothing
-  /// was installed and the slot's WAL is latched read-only.
+  /// was installed and the slot's WAL is latched read-only. With
+  /// `replicated` the record keeps its primary-assigned seq (AppendAt), the
+  /// WAL sink stays silent (replicas relay nothing) and no background
+  /// checkpoint is scheduled (a rotation would truncate the history a
+  /// promoted replica re-ships).
   Result<bool> Install(const std::shared_ptr<Slot>& slot,
                        const std::string& name,
                        std::shared_ptr<const PreparedDataset> snapshot,
                        const PreparedDataset* expected = nullptr,
-                       WalRecord* record = nullptr);
+                       WalRecord* record = nullptr, bool replicated = false);
 
   /// Evicts least-recently-used prepared bases until the total fits the
   /// budget. `keep` (may be null) is never evicted — it is the slot whose
@@ -395,9 +431,16 @@ class DatasetRegistry {
   std::atomic<double> drift_threshold_{0.0};
   mutable std::atomic<std::uint64_t> clock_{0};
 
+  /// The sink currently observing journal appends (may be null). Read under
+  /// sink_mutex_ into a shared_ptr copy so firing it never blocks SetWalSink.
+  std::shared_ptr<const WalSink> CurrentSink() const;
+
   std::atomic<bool> durable_{false};
   DurabilityOptions durability_;  ///< Written once by Recover.
   std::mutex recover_mutex_;      ///< Serializes concurrent Recover calls.
+
+  mutable std::mutex sink_mutex_;  ///< Guards wal_sink_.
+  std::shared_ptr<const WalSink> wal_sink_;
 
   std::mutex jobs_mutex_;  ///< Guards jobs_.
   std::vector<TaskHandle> jobs_;

@@ -635,6 +635,34 @@ Status WalWriter::Append(WalRecord* record) {
   return Status::OK();
 }
 
+Status WalWriter::AppendAt(const WalRecord& record) {
+  if (file_ == nullptr || failed_) {
+    return Status::IoError("wal '" + path_ +
+                           "' is in a failed state; slot is read-only");
+  }
+  if (record.seq != next_seq_) {
+    return Status::FailedPrecondition(StrFormat(
+        "replicated record seq %llu does not continue this wal (expect %llu)",
+        static_cast<unsigned long long>(record.seq),
+        static_cast<unsigned long long>(next_seq_)));
+  }
+  const std::string line = EncodeWalRecord(record);
+  if (line.size() > kMaxWalLineBytes) {
+    return Status::InvalidArgument(StrFormat(
+        "wal record of %zu bytes exceeds the replayable line cap (%zu)",
+        line.size(), kMaxWalLineBytes));
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0 ||
+      (sync_ && ::fsync(::fileno(file_)) != 0)) {
+    failed_ = true;
+    return Status::IoError(ErrnoMessage("wal append to '" + path_ +
+                                        "' failed"));
+  }
+  ++next_seq_;
+  return Status::OK();
+}
+
 Status WalWriter::Reopen(std::uint64_t next_seq) {
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "ab");

@@ -152,6 +152,14 @@ class WalWriter {
   /// otherwise an acknowledged write would hold the next recovery hostage.
   Status Append(WalRecord* record);
 
+  /// Appends a record that already carries its sequence number — the
+  /// replication path, where seqs are a property of the primary's log and a
+  /// replica must reproduce them verbatim so both WALs are byte-identical.
+  /// FailedPrecondition unless record.seq == next_seq(): a gap means the
+  /// stream skipped acknowledged history and the replica must resubscribe,
+  /// never paper over it.
+  Status AppendAt(const WalRecord& record);
+
   /// Re-opens the handle after a rotation replaced the file on disk (the
   /// checkpoint path), continuing at `next_seq`.
   Status Reopen(std::uint64_t next_seq);

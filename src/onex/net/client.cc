@@ -85,12 +85,25 @@ Result<WireResponse> OnexClient::CallWire(const WireRequest& request) {
 
 Result<std::vector<WireResponse>> OnexClient::SendMany(
     const std::vector<WireRequest>& requests, std::size_t window) {
+  SendManyOutcome outcome = SendManyTracked(requests, window);
+  if (!outcome.status.ok()) return outcome.status;
+  return std::move(outcome.responses);
+}
+
+SendManyOutcome OnexClient::SendManyTracked(
+    const std::vector<WireRequest>& requests, std::size_t window) {
+  const std::size_t n = requests.size();
+  SendManyOutcome outcome;
+  outcome.responses.resize(n);
+  outcome.completed.assign(n, false);
+  auto fail = [&outcome](Status status) -> SendManyOutcome {
+    outcome.status = std::move(status);
+    return std::move(outcome);
+  };
   if (socket_ == nullptr || !socket_->valid()) {
-    return Status::IoError("client is not connected");
+    return fail(Status::IoError("client is not connected"));
   }
   if (window == 0) window = 1;
-  const std::size_t n = requests.size();
-  std::vector<WireResponse> results(n);
   // Frame id → request index, for matching the reactor's out-of-order
   // binary completions back to their slots. Text responses are positional.
   std::map<std::uint64_t, std::size_t> pending;
@@ -114,33 +127,43 @@ Result<std::vector<WireResponse>> OnexClient::SendMany(
           burst += EncodeFrame(frame);
         } else {
           if (!request.values.empty()) {
-            return Status::InvalidArgument(
-                "binary value payloads need UpgradeBinary() first");
+            return fail(Status::InvalidArgument(
+                "binary value payloads need UpgradeBinary() first"));
           }
           burst += request.command;
           burst += '\n';
         }
         ++sent;
       }
-      ONEX_RETURN_IF_ERROR(socket_->SendAll(burst));
+      if (Status s = socket_->SendAll(burst); !s.ok()) {
+        return fail(std::move(s));
+      }
     }
     if (binary()) {
-      ONEX_ASSIGN_OR_RETURN(Frame frame, frames_->ReadFrame());
-      auto it = pending.find(frame.request_id);
+      Result<Frame> frame = frames_->ReadFrame();
+      if (!frame.ok()) return fail(frame.status());
+      auto it = pending.find(frame->request_id);
       if (it == pending.end()) {
-        return Status::IoError("response for unknown request id " +
-                               std::to_string(frame.request_id));
+        return fail(Status::IoError("response for unknown request id " +
+                                    std::to_string(frame->request_id)));
       }
-      WireResponse& slot = results[it->second];
+      const std::size_t slot = it->second;
       pending.erase(it);
-      ONEX_ASSIGN_OR_RETURN(slot.body, json::Parse(frame.text));
-      slot.values = std::move(frame.values);
+      Result<json::Value> body = json::Parse(frame->text);
+      if (!body.ok()) return fail(body.status());
+      outcome.responses[slot].body = std::move(*body);
+      outcome.responses[slot].values = std::move(frame->values);
+      outcome.completed[slot] = true;
     } else {
-      ONEX_ASSIGN_OR_RETURN(results[received], ReadOneResponse());
+      Result<WireResponse> response = ReadOneResponse();
+      if (!response.ok()) return fail(response.status());
+      outcome.responses[received] = std::move(*response);
+      outcome.completed[received] = true;
     }
     ++received;
   }
-  return results;
+  outcome.status = Status::OK();
+  return outcome;
 }
 
 void OnexClient::Close() {

@@ -30,6 +30,20 @@ struct WireResponse {
   std::vector<double> values;
 };
 
+/// Full outcome of a pipelined batch. On transport failure mid-stream the
+/// status is the error and `completed` records exactly which request
+/// indices finished (response fully received and decoded) before the
+/// connection died — in binary mode completions can be out of order, so
+/// this is a per-id map, not a prefix length. `responses[i]` is meaningful
+/// iff `completed[i]`. This is what lets the cluster coordinator (and any
+/// careful caller) keep the answers it already has and retry only the
+/// unacknowledged idempotent reads on a fresh connection.
+struct SendManyOutcome {
+  Status status;  ///< OK when every request completed.
+  std::vector<WireResponse> responses;
+  std::vector<bool> completed;
+};
+
 /// Synchronous client for the ONEX protocol — what the demo's browser
 /// front-end would be. Starts in the newline/JSON text dialect;
 /// UpgradeBinary() negotiates the ONEXB frame (frame.h) after which every
@@ -69,6 +83,14 @@ class OnexClient {
   /// errors.
   Result<std::vector<WireResponse>> SendMany(
       const std::vector<WireRequest>& requests, std::size_t window = 32);
+
+  /// SendMany with per-request completion detail: never "throws away" the
+  /// responses that landed before a mid-stream transport error. See
+  /// SendManyOutcome. After a non-OK outcome the connection is unusable
+  /// (the stream position is ambiguous); reconnect before retrying the
+  /// incomplete requests.
+  SendManyOutcome SendManyTracked(const std::vector<WireRequest>& requests,
+                                  std::size_t window = 32);
 
   void Close();
 

@@ -1,0 +1,786 @@
+#include "onex/net/cluster.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "onex/common/string_utils.h"
+#include "onex/engine/wal.h"
+#include "onex/net/cluster_merge.h"
+
+namespace onex::net {
+namespace {
+
+/// Mutators that reach the registry journal: the coordinator pins them to
+/// the owner, never auto-retries them, and (on the owner) holds the
+/// response until every live replica acked the append.
+bool IsReplicatedMutator(const std::string& verb) {
+  return verb == "GEN" || verb == "LOAD" || verb == "PREPARE" ||
+         verb == "APPEND" || verb == "EXTEND";
+}
+
+/// Verbs the coordinator routes by dataset. Everything else either runs
+/// locally, scatters, or is blocked in cluster mode.
+bool IsDatasetScoped(const std::string& verb) {
+  return IsReplicatedMutator(verb) || verb == "USE" || verb == "DRIFT" ||
+         verb == "STATS" || verb == "CATALOG" || verb == "OVERVIEW" ||
+         verb == "MATCH" || verb == "KNN" || verb == "BATCH" ||
+         verb == "SEASONAL" || verb == "THRESHOLD";
+}
+
+/// Node-local durability and lifecycle controls make no sense through a
+/// coordinator: a checkpoint would truncate the WAL replicas catch up from,
+/// and a DROP on one shard could not be undone on its replicas.
+bool IsBlockedInCluster(const std::string& verb) {
+  return verb == "PERSIST" || verb == "CHECKPOINT" || verb == "BUDGET" ||
+         verb == "DROP" || verb == "SAVEBASE" || verb == "LOADBASE";
+}
+
+/// Verbs that must answer from this node even in cluster mode.
+bool IsAlwaysLocal(const std::string& verb) {
+  return verb == "PING" || verb == "QUIT" || verb == "REPLHELLO" ||
+         verb == "REPLAPPLY" || verb == "REPLSTATUS";
+}
+
+/// Mirror of the executor's per-verb dataset resolution (protocol.cc), so
+/// the coordinator routes exactly the dataset the owner will act on. A
+/// resolution failure is not an error here — the command runs locally and
+/// the executor produces its canonical message.
+Result<std::string> RouteDataset(const Command& cmd, const Session& session) {
+  if (cmd.verb == "GEN") {
+    if (cmd.args.empty()) return Status::InvalidArgument("unroutable");
+    return cmd.args[0];
+  }
+  if (cmd.verb == "LOAD") {
+    if (!cmd.args.empty()) return cmd.args[0];
+    const auto it = cmd.options.find("name");
+    if (it != cmd.options.end() && !it->second.empty()) return it->second;
+    return Status::InvalidArgument("unroutable");
+  }
+  if (cmd.verb == "USE") {
+    if (!cmd.args.empty()) return cmd.args[0];
+    for (const char* key : {"name", "dataset"}) {
+      const auto it = cmd.options.find(key);
+      if (it != cmd.options.end()) return it->second;
+    }
+    return Status::InvalidArgument("unroutable");
+  }
+  if (!cmd.args.empty()) return cmd.args[0];
+  const auto it = cmd.options.find("dataset");
+  if (it != cmd.options.end()) return it->second;
+  if (!session.dataset.empty()) return session.dataset;
+  return Status::InvalidArgument("unroutable");
+}
+
+/// Re-serializes a command for the owning shard: same verb, args and
+/// options, plus the resolved dataset (the shard session is fresh) and the
+/// fwd=1 pin that stops the shard from routing it onward.
+WireRequest BuildForward(const Command& cmd, const std::string& dataset) {
+  std::string line = cmd.verb;
+  for (const std::string& arg : cmd.args) line += " " + arg;
+  for (const auto& [key, value] : cmd.options) {
+    if (key == "fwd") continue;
+    line += " " + key + "=" + value;
+  }
+  line += " dataset=" + dataset + " fwd=1";
+  WireRequest req;
+  req.command = std::move(line);
+  req.values = cmd.payload;
+  return req;
+}
+
+/// Single-dataset shard query for the datasets= fan-out. MATCH becomes
+/// KNN k=1 on the shard — the same reduction DoMatchMulti applies — so the
+/// coordinator merge sees uniform k-lists.
+WireRequest BuildShardQuery(const Command& cmd, const std::string& dataset) {
+  const bool match = cmd.verb == "MATCH";
+  std::string line = cmd.verb == "BATCH" ? "BATCH" : "KNN";
+  for (const auto& [key, value] : cmd.options) {
+    if (key == "datasets" || key == "dataset" || key == "fwd") continue;
+    if (match && key == "k") continue;  // MATCH ignores k; the shard must too.
+    line += " " + key + "=" + value;
+  }
+  if (match) line += " k=1";
+  line += " dataset=" + dataset + " fwd=1";
+  WireRequest req;
+  req.command = std::move(line);
+  req.values = cmd.payload;
+  return req;
+}
+
+/// Cuts the next match's values out of a shard response's float64 section.
+std::vector<double> SliceValues(const std::vector<double>& values,
+                                std::size_t* cursor, std::size_t length) {
+  const std::size_t begin = std::min(*cursor, values.size());
+  const std::size_t end = std::min(begin + length, values.size());
+  *cursor = end;
+  return std::vector<double>(values.begin() + static_cast<std::ptrdiff_t>(begin),
+                             values.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+json::Value Ok() {
+  json::Value v = json::Value::MakeObject();
+  v.Set("ok", true);
+  return v;
+}
+
+/// Allocation caps shared with protocol.cc (the single-node executor keeps
+/// its own copies in an anonymous namespace; the values must match so the
+/// coordinator's combined-volume error is byte-identical to the oracle's).
+constexpr long long kMaxKnnK = 100'000;
+constexpr std::size_t kMaxBatchSpecs = 1024;
+
+Result<std::pair<std::string, std::uint16_t>> SplitHostPort(
+    const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("cluster node must be host:port, got '" +
+                                   endpoint + "'");
+  }
+  ONEX_ASSIGN_OR_RETURN(long long port, ParseInt(endpoint.substr(colon + 1)));
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("cluster node port out of range in '" +
+                                   endpoint + "'");
+  }
+  return std::make_pair(endpoint.substr(0, colon),
+                        static_cast<std::uint16_t>(port));
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(Engine* engine, Options options)
+    : engine_(engine),
+      options_(std::move(options)),
+      alive_(options_.nodes.size(), true),
+      pools_(options_.nodes.size()) {}
+
+ClusterNode::~ClusterNode() { Stop(); }
+
+Status ClusterNode::Start() {
+  if (options_.nodes.empty() || options_.self >= options_.nodes.size()) {
+    return Status::InvalidArgument(
+        "cluster needs a node list containing this node's own index");
+  }
+  for (const std::string& endpoint : options_.nodes) {
+    ONEX_RETURN_IF_ERROR(SplitHostPort(endpoint).status());
+  }
+  ReplicationHub::Options hub;
+  for (std::size_t i = 0; i < options_.nodes.size(); ++i) {
+    if (i != options_.self) hub.peers.push_back(options_.nodes[i]);
+  }
+  hub.ack_timeout = options_.ack_timeout;
+  hub_ = std::make_unique<ReplicationHub>(engine_, hub);
+  hub_->Start();
+  return Status::OK();
+}
+
+void ClusterNode::Stop() {
+  if (hub_ != nullptr) hub_->Stop();
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  for (auto& pool : pools_) pool.clear();
+}
+
+std::uint64_t ClusterNode::HrwWeight(const std::string& dataset,
+                                     std::size_t node_index) {
+  return Fnv1a64(dataset + "#" + std::to_string(node_index));
+}
+
+std::size_t ClusterNode::OwnerOf(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return OwnerOfLocked(dataset);
+}
+
+std::size_t ClusterNode::OwnerOfLocked(const std::string& dataset) const {
+  const auto it = overrides_.find(dataset);
+  if (it != overrides_.end() && alive_[it->second]) return it->second;
+  std::size_t best = kNoNode;
+  std::uint64_t best_weight = 0;
+  for (std::size_t i = 0; i < options_.nodes.size(); ++i) {
+    if (!alive_[i]) continue;
+    const std::uint64_t w = HrwWeight(dataset, i);
+    // Strict > keeps the lowest index on a (vanishingly unlikely) weight tie.
+    if (best == kNoNode || w > best_weight) {
+      best = i;
+      best_weight = w;
+    }
+  }
+  return best;
+}
+
+bool ClusterNode::IsAlive(std::size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return node < alive_.size() && alive_[node];
+}
+
+Result<std::unique_ptr<OnexClient>> ClusterNode::Acquire(std::size_t node) {
+  if (!IsAlive(node)) {
+    return Status::IoError("node " + options_.nodes[node] + " is down");
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pools_[node].empty()) {
+      std::unique_ptr<OnexClient> client = std::move(pools_[node].back());
+      pools_[node].pop_back();
+      return client;
+    }
+  }
+  ONEX_ASSIGN_OR_RETURN(auto endpoint, SplitHostPort(options_.nodes[node]));
+  ONEX_ASSIGN_OR_RETURN(OnexClient client,
+                        OnexClient::Connect(endpoint.first, endpoint.second));
+  ONEX_RETURN_IF_ERROR(client.UpgradeBinary());
+  return std::unique_ptr<OnexClient>(new OnexClient(std::move(client)));
+}
+
+void ClusterNode::Release(std::size_t node, std::unique_ptr<OnexClient> client) {
+  if (!IsAlive(node)) return;  // Dropping the client closes the socket.
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pools_[node].push_back(std::move(client));
+}
+
+Result<WireResponse> ClusterNode::CallNode(std::size_t node,
+                                           const WireRequest& request) {
+  ONEX_ASSIGN_OR_RETURN(std::unique_ptr<OnexClient> client, Acquire(node));
+  Result<WireResponse> response = client->CallWire(request);
+  // A failed connection's stream position is ambiguous; never pool it.
+  if (response.ok()) Release(node, std::move(client));
+  return response;
+}
+
+void ClusterNode::HandleNodeFailure(std::size_t node) {
+  if (node >= options_.nodes.size() || node == options_.self) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!alive_[node]) return;  // Another caller already promoted around it.
+    alive_[node] = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pools_[node].clear();
+  }
+
+  // Promotion sweep: with full replication every survivor holds a copy of
+  // every dataset, so re-owning is a pure election — per dataset, the live
+  // node with the longest acked journal wins (it is bit-identical to the
+  // lost primary at that floor); ties break by HRW weight then index so
+  // every coordinator elects the same node.
+  std::lock_guard<std::mutex> sweep(promotion_mutex_);
+  std::vector<bool> alive_now;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    alive_now = alive_;
+  }
+  const auto mark_dead = [&](std::size_t j) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      alive_[j] = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      pools_[j].clear();
+    }
+    alive_now[j] = false;
+  };
+
+  std::map<std::string, std::map<std::size_t, std::uint64_t>> floors;
+  for (const std::string& name : engine_->ListDatasets()) {
+    const Result<SlotDurability> d = engine_->registry().Durability(name);
+    if (d.ok() && d->durable) floors[name][options_.self] = d->last_seq;
+  }
+  WireRequest status_req;
+  status_req.command = "REPLSTATUS";
+  for (std::size_t j = 0; j < options_.nodes.size(); ++j) {
+    if (j == options_.self || !alive_now[j]) continue;
+    const Result<WireResponse> r = CallNode(j, status_req);
+    if (!r.ok() || !r->body["ok"].as_bool()) {
+      // A peer failing mid-sweep just drops out of this election; its own
+      // datasets get re-elected when a later request trips over it.
+      mark_dead(j);
+      continue;
+    }
+    for (const auto& [name, floor] : r->body["datasets"].as_object()) {
+      floors[name][j] = static_cast<std::uint64_t>(floor.as_number());
+    }
+  }
+
+  std::map<std::string, std::size_t> elected;
+  for (const auto& [name, per_node] : floors) {
+    std::size_t best = kNoNode;
+    std::uint64_t best_floor = 0;
+    for (const auto& [candidate, floor] : per_node) {
+      if (!alive_now[candidate]) continue;
+      if (best == kNoNode || floor > best_floor) {
+        best = candidate;
+        best_floor = floor;
+      } else if (floor == best_floor) {
+        const std::uint64_t wb = HrwWeight(name, best);
+        const std::uint64_t wc = HrwWeight(name, candidate);
+        if (wc > wb || (wc == wb && candidate < best)) best = candidate;
+      }
+    }
+    if (best == kNoNode) continue;
+    // Only a winner that differs from the hash's pick needs recording; the
+    // rest is what OwnerOf computes anyway.
+    std::size_t hrw = kNoNode;
+    std::uint64_t hrw_weight = 0;
+    for (std::size_t i = 0; i < options_.nodes.size(); ++i) {
+      if (!alive_now[i]) continue;
+      const std::uint64_t w = HrwWeight(name, i);
+      if (hrw == kNoNode || w > hrw_weight) {
+        hrw = i;
+        hrw_weight = w;
+      }
+    }
+    if (best != hrw) elected[name] = best;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  overrides_ = std::move(elected);
+}
+
+json::Value ClusterNode::ExecuteLocal(Engine* engine, Session* session,
+                                      const Command& cmd,
+                                      const ExecContext& ctx) {
+  ExecContext local = ctx;
+  local.cluster = nullptr;
+  json::Value body = ExecuteCommand(engine, session, cmd, local);
+  if (hub_ != nullptr && IsReplicatedMutator(cmd.verb) &&
+      body["ok"].as_bool()) {
+    // Sync replication: the ack floor this write reaches before we answer
+    // is exactly what promotion relies on — an acked write exists, bit for
+    // bit, on every live peer.
+    const Result<std::string> dataset = RouteDataset(cmd, *session);
+    if (dataset.ok()) {
+      const Result<SlotDurability> d = engine->registry().Durability(*dataset);
+      if (d.ok() && d->durable && d->last_seq > 0) {
+        hub_->AwaitReplication(*dataset, d->last_seq);
+      }
+    }
+  }
+  return body;
+}
+
+WireResponse ClusterNode::ExecuteLocalWire(Engine* engine,
+                                           const WireRequest& request,
+                                           const ExecContext& ctx) {
+  WireResponse out;
+  Result<Command> parsed = ParseCommandLine(request.command);
+  if (!parsed.ok()) {
+    out.body = ErrorResponse(parsed.status());
+    return out;
+  }
+  Command cmd = std::move(parsed).value();
+  if (cmd.payload.empty()) cmd.payload = request.values;
+  ExecContext local = ctx;
+  local.cluster = nullptr;
+  local.out_values = &out.values;
+  Session scratch;  // Shard-side requests always carry dataset= explicitly.
+  out.body = ExecuteLocal(engine, &scratch, cmd, local);
+  return out;
+}
+
+json::Value ClusterNode::RouteSingle(Engine* engine, Session* session,
+                                     const std::string& dataset,
+                                     const Command& cmd,
+                                     const ExecContext& ctx) {
+  const bool mutator = IsReplicatedMutator(cmd.verb);
+  for (std::size_t attempt = 0; attempt <= options_.nodes.size(); ++attempt) {
+    const std::size_t owner = OwnerOf(dataset);
+    if (owner == kNoNode) {
+      return ErrorResponse(Status::IoError("no live node owns dataset '" +
+                                           dataset + "'"));
+    }
+    if (owner == options_.self) return ExecuteLocal(engine, session, cmd, ctx);
+    const Result<WireResponse> response =
+        CallNode(owner, BuildForward(cmd, dataset));
+    if (response.ok()) {
+      if (ctx.out_values != nullptr) {
+        ctx.out_values->insert(ctx.out_values->end(), response->values.begin(),
+                               response->values.end());
+      }
+      return response->body;
+    }
+    HandleNodeFailure(owner);
+    if (mutator) {
+      // The owner died with the write in flight: it may or may not have
+      // journaled (and replicated) it. Surfacing that is the only honest
+      // answer — a blind retry could double-apply an APPEND.
+      return ErrorResponse(Status::IoError(
+          "node " + options_.nodes[owner] + " failed while executing " +
+          cmd.verb + " on '" + dataset +
+          "'; the write may or may not have applied — verify before retrying"));
+    }
+    // Idempotent read: loop again against whoever the election promoted.
+  }
+  return ErrorResponse(Status::IoError("no live node could answer " +
+                                       cmd.verb + " for dataset '" + dataset +
+                                       "'"));
+}
+
+Result<std::vector<WireResponse>> ClusterNode::ScatterPerDataset(
+    Engine* engine, const std::vector<std::string>& names,
+    const std::vector<WireRequest>& requests, const ExecContext& ctx) {
+  std::vector<WireResponse> results(names.size());
+  std::vector<bool> done(names.size(), false);
+  for (std::size_t round = 0; round <= options_.nodes.size(); ++round) {
+    std::map<std::size_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (done[i]) continue;
+      const std::size_t owner = OwnerOf(names[i]);
+      if (owner == kNoNode) {
+        return Status::IoError("no live node owns dataset '" + names[i] + "'");
+      }
+      groups[owner].push_back(i);
+    }
+    if (groups.empty()) return results;
+
+    for (const auto& [owner, indices] : groups) {
+      if (owner == options_.self) {
+        for (const std::size_t i : indices) {
+          results[i] = ExecuteLocalWire(engine, requests[i], ctx);
+          done[i] = true;
+        }
+        continue;
+      }
+      std::vector<WireRequest> batch;
+      batch.reserve(indices.size());
+      for (const std::size_t i : indices) batch.push_back(requests[i]);
+      Result<std::unique_ptr<OnexClient>> client = Acquire(owner);
+      if (!client.ok()) {
+        HandleNodeFailure(owner);
+        continue;  // Next round re-groups these datasets under the winner.
+      }
+      SendManyOutcome outcome = (*client)->SendManyTracked(batch);
+      // Keep every answer that completed before any failure — the per-id
+      // completion map is what confines a mid-stream crash to re-asking
+      // only the unacknowledged requests.
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        if (j < outcome.completed.size() && outcome.completed[j]) {
+          results[indices[j]] = std::move(outcome.responses[j]);
+          done[indices[j]] = true;
+        }
+      }
+      if (outcome.status.ok()) {
+        Release(owner, std::move(client).value());
+      } else {
+        HandleNodeFailure(owner);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!done[i]) {
+      return Status::IoError("no live node could answer for dataset '" +
+                             names[i] + "'");
+    }
+  }
+  return results;
+}
+
+json::Value ClusterNode::ScatterMulti(Engine* engine, const Command& cmd,
+                                      const ExecContext& ctx) {
+  const bool batch = cmd.verb == "BATCH";
+  const bool knn = cmd.verb == "KNN";
+  Result<std::vector<std::string>> parsed =
+      ParseDatasetsOption(cmd.options.at("datasets"));
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const std::vector<std::string> names = std::move(parsed).value();
+
+  // k as the merge truncates it. An unparseable or out-of-range k is left
+  // to the shards, whose rejection (identical to the single-node message)
+  // comes back as the first per-dataset error below.
+  long long k = 1;
+  bool k_known = true;
+  if (!cmd.options.count("k") || cmd.verb == "MATCH") {
+    k = batch ? 1 : (knn ? 3 : 1);
+  } else {
+    const Result<long long> kr = ParseInt(cmd.options.at("k"));
+    if (kr.ok() && *kr >= 1 && *kr <= kMaxKnnK) {
+      k = *kr;
+    } else {
+      k_known = false;
+    }
+  }
+  if (batch && k_known) {
+    const auto qit = cmd.options.find("q");
+    const std::size_t specs =
+        qit == cmd.options.end()
+            ? 0
+            : SplitKeepEmpty(qit->second, ';').size();
+    // The shards each enforce specs x k; only the coordinator sees the
+    // full specs x datasets x k volume, mirroring DoBatchMulti's cap.
+    if (specs > 0 && specs <= kMaxBatchSpecs &&
+        static_cast<long long>(specs * names.size()) * k > kMaxKnnK) {
+      return ErrorResponse(Status::InvalidArgument(StrFormat(
+          "BATCH result volume (queries x datasets x k) is capped at %lld",
+          kMaxKnnK)));
+    }
+  }
+
+  std::vector<WireRequest> requests;
+  requests.reserve(names.size());
+  for (const std::string& name : names) {
+    requests.push_back(BuildShardQuery(cmd, name));
+  }
+  Result<std::vector<WireResponse>> scattered =
+      ScatterPerDataset(engine, names, requests, ctx);
+  if (!scattered.ok()) return ErrorResponse(scattered.status());
+  const std::vector<WireResponse>& responses = *scattered;
+
+  // A shard-side rejection wins in user dataset order, exactly where the
+  // single-node loop would have stopped.
+  for (const WireResponse& r : responses) {
+    if (!r.body["ok"].as_bool()) return r.body;
+  }
+  const std::size_t top_k = static_cast<std::size_t>(k < 1 ? 1 : k);
+
+  if (!batch) {
+    std::vector<ShardMatch> cands;
+    json::Value stats = json::Value::MakeObject();
+    bool any_stats = false;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const json::Value& body = responses[i].body;
+      std::size_t cursor = 0;
+      for (const json::Value& m : body["matches"].as_array()) {
+        ShardMatch c;
+        c.dataset = names[i];
+        c.match = m;
+        c.match.Set("dataset", names[i]);
+        c.values = SliceValues(responses[i].values, &cursor,
+                               static_cast<std::size_t>(m["length"].as_number()));
+        cands.push_back(std::move(c));
+      }
+      if (!body["matches"].as_array().empty()) {
+        AccumulateStats(&stats, body["stats"]);
+        any_stats = true;
+      }
+    }
+    MergeTopK(&cands, top_k);
+
+    json::Value v = Ok();
+    if (knn) {
+      json::Value arr = json::Value::MakeArray();
+      for (const ShardMatch& c : cands) {
+        arr.Append(c.match);
+        if (ctx.out_values != nullptr) {
+          ctx.out_values->insert(ctx.out_values->end(), c.values.begin(),
+                                 c.values.end());
+        }
+      }
+      v.Set("matches", std::move(arr));
+      if (any_stats) v.Set("stats", std::move(stats));
+    } else {
+      if (cands.empty()) {
+        return ErrorResponse(
+            Status::NotFound("no match in any of the named datasets"));
+      }
+      v.Set("match", cands.front().match);
+      v.Set("stats", std::move(stats));
+      if (ctx.out_values != nullptr) {
+        ctx.out_values->insert(ctx.out_values->end(),
+                               cands.front().values.begin(),
+                               cands.front().values.end());
+      }
+    }
+    return v;
+  }
+
+  // BATCH: per-query merge across datasets, in user dataset order.
+  struct ShardEntry {
+    std::vector<ShardMatch> cands;
+    json::Value stats;
+    bool has_stats = false;
+  };
+  std::vector<std::vector<ShardEntry>> per_dataset(names.size());
+  std::size_t num_queries = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const json::Value& body = responses[i].body;
+    std::size_t cursor = 0;
+    for (const json::Value& entry : body["results"].as_array()) {
+      ShardEntry e;
+      for (const json::Value& m : entry["matches"].as_array()) {
+        ShardMatch c;
+        c.dataset = names[i];
+        c.match = m;
+        c.match.Set("dataset", names[i]);
+        c.values = SliceValues(responses[i].values, &cursor,
+                               static_cast<std::size_t>(m["length"].as_number()));
+        e.cands.push_back(std::move(c));
+      }
+      if (!e.cands.empty()) {
+        e.stats = entry["stats"];
+        e.has_stats = true;
+      }
+      per_dataset[i].push_back(std::move(e));
+    }
+    num_queries = std::max(num_queries, per_dataset[i].size());
+  }
+
+  json::Value v = Ok();
+  json::Value results = json::Value::MakeArray();
+  for (std::size_t qi = 0; qi < num_queries; ++qi) {
+    std::vector<ShardMatch> cands;
+    json::Value stats = json::Value::MakeObject();
+    bool any_stats = false;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (qi >= per_dataset[i].size()) continue;
+      ShardEntry& e = per_dataset[i][qi];
+      for (ShardMatch& c : e.cands) cands.push_back(std::move(c));
+      if (e.has_stats) {
+        AccumulateStats(&stats, e.stats);
+        any_stats = true;
+      }
+    }
+    MergeTopK(&cands, top_k);
+    json::Value entry = json::Value::MakeObject();
+    json::Value arr = json::Value::MakeArray();
+    for (const ShardMatch& c : cands) {
+      arr.Append(c.match);
+      if (ctx.out_values != nullptr) {
+        ctx.out_values->insert(ctx.out_values->end(), c.values.begin(),
+                               c.values.end());
+      }
+    }
+    entry.Set("matches", std::move(arr));
+    if (any_stats) entry.Set("stats", std::move(stats));
+    results.Append(std::move(entry));
+  }
+  v.Set("results", std::move(results));
+  return v;
+}
+
+json::Value ClusterNode::ScatterList(Engine* engine) {
+  std::set<std::string> names;
+  for (const std::string& name : engine->ListDatasets()) names.insert(name);
+  WireRequest list_req;
+  list_req.command = "LIST";
+  for (std::size_t j = 0; j < options_.nodes.size(); ++j) {
+    if (j == options_.self || !IsAlive(j)) continue;
+    const Result<WireResponse> r = CallNode(j, list_req);
+    if (!r.ok()) {
+      HandleNodeFailure(j);
+      continue;
+    }
+    if (!r->body["ok"].as_bool()) continue;
+    for (const json::Value& name : r->body["datasets"].as_array()) {
+      names.insert(name.as_string());
+    }
+  }
+  json::Value v = Ok();
+  json::Value arr = json::Value::MakeArray();
+  for (const std::string& name : names) arr.Append(json::Value(name));
+  v.Set("datasets", std::move(arr));
+  return v;
+}
+
+json::Value ClusterNode::ScatterDatasets(Engine* engine) {
+  Command cmd;
+  cmd.verb = "DATASETS";
+  Session scratch;
+  ExecContext local;
+  local.cluster = nullptr;
+  const json::Value self_body = ExecuteCommand(engine, &scratch, cmd, local);
+
+  // Row per dataset, taken from its owner when reachable (the owner's
+  // prepared/evicted flags are the authoritative ones), else from whichever
+  // replica answered.
+  std::map<std::string, json::Value> rows;
+  const auto absorb = [&](std::size_t node, const json::Value& body) {
+    if (!body["ok"].as_bool()) return;
+    for (const json::Value& row : body["datasets"].as_array()) {
+      const std::string& name = row["name"].as_string();
+      if (node == OwnerOf(name) || rows.count(name) == 0) rows[name] = row;
+    }
+  };
+  absorb(options_.self, self_body);
+  WireRequest req;
+  req.command = "DATASETS";
+  for (std::size_t j = 0; j < options_.nodes.size(); ++j) {
+    if (j == options_.self || !IsAlive(j)) continue;
+    const Result<WireResponse> r = CallNode(j, req);
+    if (!r.ok()) {
+      HandleNodeFailure(j);
+      continue;
+    }
+    absorb(j, r->body);
+  }
+
+  json::Value v = self_body;  // Keeps the local budget/durability summary.
+  json::Value arr = json::Value::MakeArray();
+  for (auto& [name, row] : rows) arr.Append(std::move(row));
+  v.Set("datasets", std::move(arr));
+  return v;
+}
+
+json::Value ClusterNode::StatusReport(Engine* engine) {
+  (void)engine;
+  // Health probe: a dead node found here triggers the same promotion path a
+  // failed forward would, which is how the fault harness forces detection
+  // at a deterministic point instead of waiting for query traffic.
+  WireRequest ping;
+  ping.command = "PING";
+  for (std::size_t j = 0; j < options_.nodes.size(); ++j) {
+    if (j == options_.self || !IsAlive(j)) continue;
+    const Result<WireResponse> r = CallNode(j, ping);
+    if (!r.ok() || !r->body["ok"].as_bool()) HandleNodeFailure(j);
+  }
+
+  json::Value v = Ok();
+  v.Set("enabled", true);
+  v.Set("self", options_.self);
+  json::Value nodes = json::Value::MakeArray();
+  json::Value overrides = json::Value::MakeObject();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < options_.nodes.size(); ++i) {
+      json::Value row = json::Value::MakeObject();
+      row.Set("index", i);
+      row.Set("endpoint", options_.nodes[i]);
+      row.Set("alive", static_cast<bool>(alive_[i]));
+      row.Set("self", i == options_.self);
+      nodes.Append(std::move(row));
+    }
+    for (const auto& [name, node] : overrides_) overrides.Set(name, node);
+  }
+  v.Set("nodes", std::move(nodes));
+  v.Set("overrides", std::move(overrides));
+  v.Set("replication",
+        hub_ != nullptr ? hub_->StatusJson() : json::Value::MakeArray());
+  return v;
+}
+
+json::Value ClusterNode::Execute(Engine* engine, Session* session,
+                                 const Command& cmd, const ExecContext& ctx) {
+  // fwd=1 pins execution here: the sending coordinator already routed.
+  if (cmd.options.count("fwd") != 0) {
+    return ExecuteLocal(engine, session, cmd, ctx);
+  }
+  if (IsAlwaysLocal(cmd.verb)) return ExecuteLocal(engine, session, cmd, ctx);
+  if (cmd.verb == "CLUSTER") return StatusReport(engine);
+  if (IsBlockedInCluster(cmd.verb)) {
+    return ErrorResponse(Status::FailedPrecondition(
+        cmd.verb +
+        " is node-local state and is disabled in cluster mode (durability is "
+        "fixed at startup; checkpointing would truncate the replicated WAL)"));
+  }
+  if (cmd.verb == "LIST") return ScatterList(engine);
+  if (cmd.verb == "DATASETS") return ScatterDatasets(engine);
+  if ((cmd.verb == "MATCH" || cmd.verb == "KNN" || cmd.verb == "BATCH") &&
+      cmd.options.count("datasets") != 0) {
+    return ScatterMulti(engine, cmd, ctx);
+  }
+  if (IsDatasetScoped(cmd.verb)) {
+    const Result<std::string> dataset = RouteDataset(cmd, *session);
+    if (!dataset.ok()) {
+      // Let the local executor produce its canonical resolution error.
+      return ExecuteLocal(engine, session, cmd, ctx);
+    }
+    json::Value body = RouteSingle(engine, session, *dataset, cmd, ctx);
+    // USE is validated on the owner; the session it changes is this one.
+    if (cmd.verb == "USE" && body["ok"].as_bool()) session->dataset = *dataset;
+    return body;
+  }
+  // Unknown verbs (and anything new) answer locally, same as single-node.
+  return ExecuteLocal(engine, session, cmd, ctx);
+}
+
+}  // namespace onex::net

@@ -1,0 +1,65 @@
+#include "onex/net/cluster_merge.h"
+
+#include <algorithm>
+#include <set>
+
+#include "onex/common/string_utils.h"
+
+namespace onex::net {
+
+namespace {
+
+double NumberKey(const json::Value& match, const std::string& field) {
+  return match[field].as_number();
+}
+
+}  // namespace
+
+bool ShardMatchBefore(const ShardMatch& a, const ShardMatch& b) {
+  const double da = NumberKey(a.match, "normalized_dtw");
+  const double db = NumberKey(b.match, "normalized_dtw");
+  if (da != db) return da < db;
+  if (a.dataset != b.dataset) return a.dataset < b.dataset;
+  const double sa = NumberKey(a.match, "series");
+  const double sb = NumberKey(b.match, "series");
+  if (sa != sb) return sa < sb;
+  const double oa = NumberKey(a.match, "start");
+  const double ob = NumberKey(b.match, "start");
+  if (oa != ob) return oa < ob;
+  return NumberKey(a.match, "length") < NumberKey(b.match, "length");
+}
+
+void MergeTopK(std::vector<ShardMatch>* candidates, std::size_t k) {
+  std::stable_sort(candidates->begin(), candidates->end(), ShardMatchBefore);
+  if (candidates->size() > k) candidates->resize(k);
+}
+
+void AccumulateStats(json::Value* total, const json::Value& stats) {
+  if (!stats.is_object()) return;
+  for (const auto& [key, value] : stats.as_object()) {
+    if (!value.is_number()) continue;
+    (*total).Set(key, (*total)[key].as_number() + value.as_number());
+  }
+}
+
+Result<std::vector<std::string>> ParseDatasetsOption(const std::string& value) {
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  for (const std::string& part : SplitKeepEmpty(value, ',')) {
+    const std::string name(TrimString(part));
+    if (name.empty()) {
+      return Status::InvalidArgument(
+          "datasets= entries must be non-empty names");
+    }
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("datasets= lists '" + name + "' twice");
+    }
+    names.push_back(name);
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("datasets= names at least one dataset");
+  }
+  return names;
+}
+
+}  // namespace onex::net

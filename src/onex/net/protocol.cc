@@ -12,9 +12,13 @@
 #include "onex/common/cancellation.h"
 #include "onex/common/string_utils.h"
 #include "onex/distance/kernels.h"
+#include "onex/engine/wal.h"
 #include "onex/gen/economic_panel.h"
 #include "onex/gen/electricity.h"
 #include "onex/gen/generators.h"
+#include "onex/net/cluster.h"
+#include "onex/net/cluster_merge.h"
+#include "onex/net/replication.h"
 
 namespace onex::net {
 namespace {
@@ -376,9 +380,87 @@ void ExportMatchValues(const MatchResult& r, const ExecContext& ctx) {
                          r.match_values.end());
 }
 
+/// MATCH/KNN with datasets=<a,b,c>: the query runs against every named
+/// dataset (q= resolves within each independently) and the per-dataset
+/// results merge through cluster_merge.h. This is the single-node twin of
+/// the coordinator's scatter-gather: same candidates, same comparator, same
+/// truncation — so a cluster and a single node answer byte-identically.
+Result<json::Value> DoMatchMulti(Engine* engine, const Command& cmd, bool knn,
+                                 const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ParseDatasetsOption(cmd.options.at("datasets")));
+  const auto qit = cmd.options.find("q");
+  if (qit == cmd.options.end()) {
+    return Status::InvalidArgument("missing q=<series>:<start>:<len>");
+  }
+  ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(qit->second));
+  ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  qopt.cancel = &cancel;
+  long long k = 1;
+  if (knn) {
+    ONEX_ASSIGN_OR_RETURN(k, OptInt(cmd, "k", 3));
+    if (k < 1 || k > kMaxKnnK) {
+      return Status::InvalidArgument(
+          StrFormat("k must be in [1, %lld]", kMaxKnnK));
+    }
+  }
+
+  std::vector<ShardMatch> cands;
+  json::Value stats = json::Value::MakeObject();
+  bool any_stats = false;
+  for (const std::string& name : names) {
+    ONEX_ASSIGN_OR_RETURN(
+        std::vector<MatchResult> results,
+        engine->Knn(name, spec, static_cast<std::size_t>(k), qopt));
+    for (const MatchResult& r : results) {
+      ShardMatch c;
+      c.dataset = name;
+      c.match = MatchToJson(r);
+      c.match.Set("dataset", name);
+      c.values = r.match_values;
+      cands.push_back(std::move(c));
+    }
+    if (!results.empty()) {
+      AccumulateStats(&stats, StatsToJson(results.front().stats));
+      any_stats = true;
+    }
+  }
+  MergeTopK(&cands, static_cast<std::size_t>(k));
+
+  json::Value v = Ok();
+  if (knn) {
+    json::Value arr = json::Value::MakeArray();
+    for (const ShardMatch& c : cands) {
+      arr.Append(c.match);
+      if (ctx.out_values != nullptr) {
+        ctx.out_values->insert(ctx.out_values->end(), c.values.begin(),
+                               c.values.end());
+      }
+    }
+    v.Set("matches", std::move(arr));
+    if (any_stats) v.Set("stats", std::move(stats));
+  } else {
+    if (cands.empty()) {
+      return Status::NotFound("no match in any of the named datasets");
+    }
+    v.Set("match", cands.front().match);
+    v.Set("stats", std::move(stats));
+    if (ctx.out_values != nullptr) {
+      ctx.out_values->insert(ctx.out_values->end(),
+                             cands.front().values.begin(),
+                             cands.front().values.end());
+    }
+  }
+  return v;
+}
+
 Result<json::Value> DoMatch(Engine* engine, const Session& session,
                             const Command& cmd, bool knn,
                             const ExecContext& ctx) {
+  if (cmd.options.count("datasets") != 0) {
+    return DoMatchMulti(engine, cmd, knn, ctx);
+  }
   ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto qit = cmd.options.find("q");
   if (qit == cmd.options.end()) {
@@ -417,8 +499,95 @@ Result<json::Value> DoMatch(Engine* engine, const Session& session,
   return v;
 }
 
+/// BATCH with datasets=: every query in the batch fans across all named
+/// datasets; each query's per-dataset k-lists merge independently with the
+/// shared deterministic comparator (see DoMatchMulti).
+Result<json::Value> DoBatchMulti(Engine* engine, const Command& cmd,
+                                 const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        ParseDatasetsOption(cmd.options.at("datasets")));
+  const auto qit = cmd.options.find("q");
+  if (qit == cmd.options.end()) {
+    return Status::InvalidArgument(
+        "missing q=<series>:<start>:<len>[;<series>:<start>:<len>...]");
+  }
+  std::vector<QuerySpec> specs;
+  for (const std::string& ref : SplitKeepEmpty(qit->second, ';')) {
+    if (specs.size() >= kMaxBatchSpecs) {
+      return Status::InvalidArgument(StrFormat(
+          "BATCH accepts at most %zu queries per frame", kMaxBatchSpecs));
+    }
+    ONEX_ASSIGN_OR_RETURN(QuerySpec spec, ParseQueryRef(ref));
+    specs.push_back(std::move(spec));
+  }
+  ONEX_ASSIGN_OR_RETURN(QueryOptions qopt, ParseQueryOptions(cmd));
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  qopt.cancel = &cancel;
+  ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 1));
+  if (k < 1 || k > kMaxKnnK) {
+    return Status::InvalidArgument(
+        StrFormat("k must be in [1, %lld]", kMaxKnnK));
+  }
+  if (static_cast<long long>(specs.size() * names.size()) * k > kMaxKnnK) {
+    return Status::InvalidArgument(StrFormat(
+        "BATCH result volume (queries x datasets x k) is capped at %lld",
+        kMaxKnnK));
+  }
+
+  // One KnnBatch per dataset, then a per-query merge across datasets.
+  std::vector<std::vector<std::vector<MatchResult>>> per_dataset;
+  per_dataset.reserve(names.size());
+  for (const std::string& name : names) {
+    ONEX_ASSIGN_OR_RETURN(
+        std::vector<std::vector<MatchResult>> results,
+        engine->KnnBatch(name, specs, static_cast<std::size_t>(k), qopt));
+    per_dataset.push_back(std::move(results));
+  }
+
+  json::Value v = Ok();
+  json::Value results = json::Value::MakeArray();
+  for (std::size_t qi = 0; qi < specs.size(); ++qi) {
+    std::vector<ShardMatch> cands;
+    json::Value stats = json::Value::MakeObject();
+    bool any_stats = false;
+    for (std::size_t di = 0; di < names.size(); ++di) {
+      const std::vector<MatchResult>& matches = per_dataset[di][qi];
+      for (const MatchResult& r : matches) {
+        ShardMatch c;
+        c.dataset = names[di];
+        c.match = MatchToJson(r);
+        c.match.Set("dataset", names[di]);
+        c.values = r.match_values;
+        cands.push_back(std::move(c));
+      }
+      if (!matches.empty()) {
+        AccumulateStats(&stats, StatsToJson(matches.front().stats));
+        any_stats = true;
+      }
+    }
+    MergeTopK(&cands, static_cast<std::size_t>(k));
+    json::Value entry = json::Value::MakeObject();
+    json::Value arr = json::Value::MakeArray();
+    for (const ShardMatch& c : cands) {
+      arr.Append(c.match);
+      if (ctx.out_values != nullptr) {
+        ctx.out_values->insert(ctx.out_values->end(), c.values.begin(),
+                               c.values.end());
+      }
+    }
+    entry.Set("matches", std::move(arr));
+    if (any_stats) entry.Set("stats", std::move(stats));
+    results.Append(std::move(entry));
+  }
+  v.Set("results", std::move(results));
+  return v;
+}
+
 Result<json::Value> DoBatch(Engine* engine, const Session& session,
                             const Command& cmd, const ExecContext& ctx) {
+  if (cmd.options.count("datasets") != 0) {
+    return DoBatchMulti(engine, cmd, ctx);
+  }
   ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   const auto qit = cmd.options.find("q");
   if (qit == cmd.options.end()) {
@@ -768,6 +937,97 @@ Result<json::Value> DoLoad(Engine* engine, const Command& cmd) {
   return v;
 }
 
+// --- Replication verbs (DESIGN.md §16) -------------------------------------
+
+Result<std::uint64_t> ParseHex64(const std::string& text) {
+  if (text.empty() || text.size() > 16) {
+    return Status::InvalidArgument("crc must be 1..16 hex digits");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("crc must be hexadecimal");
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+Result<std::string> ReplDatasetArg(const Command& cmd) {
+  const auto it = cmd.options.find("dataset");
+  if (it == cmd.options.end() || it->second.empty()) {
+    return Status::InvalidArgument(cmd.verb + " needs dataset=<name>");
+  }
+  return it->second;
+}
+
+Result<json::Value> DoReplHello(Engine* engine, const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, ReplDatasetArg(cmd));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  Result<SlotDurability> d = engine->registry().Durability(name);
+  if (!d.ok()) {
+    if (d.status().code() != StatusCode::kNotFound) return d.status();
+    // Unknown slot: the replica starts from the log's beginning.
+    v.Set("last_seq", 0);
+    return v;
+  }
+  if (!d->durable) {
+    return Status::FailedPrecondition(
+        "dataset '" + name +
+        "' has no journal here; replication needs a durable registry");
+  }
+  v.Set("last_seq", d->last_seq);
+  return v;
+}
+
+Result<json::Value> DoReplApply(Engine* engine, const Command& cmd) {
+  if (cmd.blob.empty()) {
+    return Status::InvalidArgument(
+        "REPLAPPLY carries WAL lines after the command line and is only "
+        "meaningful over the binary frame");
+  }
+  ONEX_ASSIGN_OR_RETURN(std::string name, ReplDatasetArg(cmd));
+  ONEX_ASSIGN_OR_RETURN(long long first, OptInt(cmd, "first", 0));
+  ONEX_ASSIGN_OR_RETURN(long long count, OptInt(cmd, "count", 0));
+  if (first < 1 || count < 1) {
+    return Status::InvalidArgument("REPLAPPLY needs first=>=1 and count=>=1");
+  }
+  ONEX_ASSIGN_OR_RETURN(std::uint64_t crc,
+                        ParseHex64(OptString(cmd, "crc", "")));
+  ONEX_ASSIGN_OR_RETURN(
+      std::vector<WalRecord> records,
+      DecodeWalBatchBlob(cmd.blob, crc, static_cast<std::uint64_t>(first),
+                         static_cast<std::uint64_t>(count)));
+  for (const WalRecord& record : records) {
+    ONEX_RETURN_IF_ERROR(engine->registry().ApplyReplicated(name, record));
+  }
+  ONEX_ASSIGN_OR_RETURN(SlotDurability d, engine->registry().Durability(name));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("applied", records.size());
+  v.Set("last_seq", d.last_seq);
+  return v;
+}
+
+Result<json::Value> DoReplStatus(Engine* engine) {
+  json::Value v = Ok();
+  json::Value floors = json::Value::MakeObject();
+  for (const std::string& name : engine->ListDatasets()) {
+    Result<SlotDurability> d = engine->registry().Durability(name);
+    if (d.ok() && d->durable) floors.Set(name, d->last_seq);
+  }
+  v.Set("datasets", std::move(floors));
+  return v;
+}
+
 Result<json::Value> Dispatch(Engine* engine, Session* session,
                              const Command& cmd, const ExecContext& ctx) {
   if (cmd.verb == "PING") {
@@ -854,6 +1114,16 @@ Result<json::Value> Dispatch(Engine* engine, Session* session,
     v.Set("bye", true);
     return v;
   }
+  if (cmd.verb == "REPLHELLO") return DoReplHello(engine, cmd);
+  if (cmd.verb == "REPLAPPLY") return DoReplApply(engine, cmd);
+  if (cmd.verb == "REPLSTATUS") return DoReplStatus(engine);
+  if (cmd.verb == "CLUSTER") {
+    // Single-node answer; a cluster coordinator intercepts this verb in
+    // ExecuteCommand before Dispatch ever sees it.
+    json::Value v = Ok();
+    v.Set("enabled", false);
+    return v;
+  }
   return Status::InvalidArgument("unknown command: '" + cmd.verb + "'");
 }
 
@@ -889,6 +1159,11 @@ json::Value ErrorResponse(const Status& status) {
 
 json::Value ExecuteCommand(Engine* engine, Session* session,
                            const Command& command, const ExecContext& context) {
+  if (context.cluster != nullptr) {
+    // Cluster mode: the coordinator routes the command — forwarding it to
+    // the owning shard or re-entering this executor with cluster cleared.
+    return context.cluster->Execute(engine, session, command, context);
+  }
   Result<json::Value> result = Dispatch(engine, session, command, context);
   if (!result.ok()) return ErrorResponse(result.status());
   return std::move(result).value();

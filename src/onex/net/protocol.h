@@ -83,6 +83,29 @@ namespace onex::net {
 ///   THRESHOLD [pairs=2000] [minlen=4] [maxlen=0]
 ///   QUIT
 ///
+/// MATCH/KNN/BATCH also accept datasets=<a,b,c> in place of a single
+/// dataset: the query runs against every named dataset (q= resolves within
+/// each dataset independently) and the per-dataset top-k lists are merged
+/// with the deterministic order of cluster_merge.h — ascending
+/// normalized_dtw, ties by (dataset, series, start, length). Each merged
+/// match carries a "dataset" field; stats are summed in the given dataset
+/// order. The cluster coordinator scatter-gathers the same fan-out across
+/// shards and merges with the same comparator, which is what makes a
+/// cluster answer bitwise equal to a single node holding all the data.
+///
+/// Replication verbs (DESIGN.md §16; spoken between cluster nodes over the
+/// ONEXB frame, not meant for interactive use):
+///
+///   REPLHELLO dataset=<name>           replica's journal floor for a slot
+///   REPLAPPLY dataset=<n> first=<seq> count=<k> crc=<fnv64hex>  + blob
+///       Applies a checksummed batch of the primary's WAL lines (carried
+///       after the first '\n' of the frame text). The response is the ack:
+///       {"ok":true,"last_seq":<floor>}. Corrupt, truncated, reordered or
+///       non-contiguous batches install nothing.
+///   REPLSTATUS                         all journal floors of this node
+///   CLUSTER                            cluster topology/health (single-node
+///                                      servers answer {"enabled":false})
+///
 /// `deadline_ms=` (MATCH/KNN/BATCH) bounds wall time from request *arrival*
 /// (queue time included): the cancellation token is polled between cascade
 /// stages and an expired query answers {"ok":false,"code":
@@ -109,6 +132,12 @@ struct Command {
   /// binary client ships bulk points without ASCII round-trips. Empty for
   /// text-protocol commands.
   std::vector<double> payload;
+  /// Everything after the first '\n' of a binary frame's text section: the
+  /// replication layer ships raw WAL lines here (REPLAPPLY), outside the
+  /// tokenizer so arbitrary journal bytes never fight the k=v grammar. The
+  /// text protocol is line-delimited and therefore can never produce a
+  /// blob; REPLAPPLY over text is rejected for exactly that reason.
+  std::string blob;
 };
 
 /// Per-connection protocol state: the current dataset selected with USE.
@@ -134,6 +163,11 @@ struct ExecContext {
   /// here (concatenated in match order) for the binary response's raw
   /// float64 section. The JSON body is byte-identical either way.
   std::vector<double>* out_values = nullptr;
+  /// Cluster-mode routing (DESIGN.md §16): when non-null, ExecuteCommand
+  /// hands the command to the coordinator, which either forwards it to the
+  /// owning shard or re-enters the executor locally with this pointer
+  /// cleared. Single-node servers leave it null and nothing changes.
+  class ClusterNode* cluster = nullptr;
 };
 
 /// Runs one command against the engine, reading and updating the session's

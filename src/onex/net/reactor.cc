@@ -34,8 +34,20 @@ ReactorServer::~ReactorServer() { Stop(); }
 ReactorServer::VerbKind ReactorServer::ClassifyVerb(const std::string& verb) {
   // PING rides inline too: a stateless no-op answered on the reactor
   // thread, so a pipelined burst never pays the executor handoff per ping.
+  //
+  // The replication verbs are inline for liveness, not latency: the
+  // executor pool can be saturated by commands that are themselves blocked
+  // waiting for replication acks (a forwarded mutator parks its pool
+  // thread in a network call whose reply depends on this node applying a
+  // shipped batch — on a one-core pool that is a guaranteed deadlock until
+  // the ack timeout falsely kills the link). The reactor thread is the one
+  // thread that is always live, so applying on it keeps WAL shipping
+  // independent of executor availability. Inline requests still wait for
+  // the connection's in-flight requests, and the hub uses a dedicated
+  // connection, so shipped batches apply strictly in order.
   if (verb == "BIN" || verb == "METRICS" || verb == "QUIT" ||
-      verb == "PING") {
+      verb == "PING" || verb == "REPLHELLO" || verb == "REPLAPPLY" ||
+      verb == "REPLSTATUS") {
     return VerbKind::kInline;
   }
   // Everything that writes the engine or the session runs as a barrier.
@@ -284,9 +296,19 @@ bool ReactorServer::ParseInputLocked(const std::shared_ptr<Conn>& conn) {
       consumed += r.consumed;
       req.binary = true;
       req.request_id = r.frame.request_id;
-      Result<Command> parsed = ParseCommandLine(r.frame.text);
+      // The frame text is the command line; anything after the first '\n'
+      // is an opaque blob (REPLAPPLY's shipped WAL lines) that must never
+      // meet the tokenizer. Text connections are line-delimited and so can
+      // never produce a blob.
+      const std::size_t nl = r.frame.text.find('\n');
+      Result<Command> parsed = ParseCommandLine(
+          nl == std::string::npos ? r.frame.text
+                                  : r.frame.text.substr(0, nl));
       if (parsed.ok()) {
         req.cmd = std::move(parsed).value();
+        if (nl != std::string::npos) {
+          req.cmd.blob = r.frame.text.substr(nl + 1);
+        }
         req.cmd.payload = std::move(r.frame.values);
         req.verb_index = ServerMetrics::VerbIndex(req.cmd.verb);
         req.kind = ClassifyVerb(req.cmd.verb);
@@ -374,14 +396,18 @@ void ReactorServer::ExecuteInlineLocked(const std::shared_ptr<Conn>& conn,
     metrics_.BinaryUpgrade();
   } else if (req.cmd.verb == "METRICS") {
     resp = metrics_.ToJson();
-  } else if (req.cmd.verb == "PING") {
-    // Through the real executor so option handling (deadline_ms and friends)
-    // stays byte-identical with the dispatched path; PING itself touches
-    // neither the engine nor the session, so running it under the conn
-    // mutex on the reactor thread is free.
+  } else if (req.cmd.verb == "PING" || req.cmd.verb == "REPLHELLO" ||
+             req.cmd.verb == "REPLAPPLY" || req.cmd.verb == "REPLSTATUS") {
+    // Through the real executor so the bodies stay byte-identical with the
+    // dispatched path. PING touches neither the engine nor the session;
+    // the replication verbs run here so WAL application never waits on
+    // executor-pool availability (see ClassifyVerb) — a shipped kPrepare
+    // does stall the loop for its rebuild, the documented cost of keeping
+    // the ack path deadlock-free.
     ExecContext ctx;
     ctx.arrival = req.arrival;
     ctx.disconnected = &conn->disconnected;
+    ctx.cluster = cluster_;
     resp = ExecuteCommand(engine_, &conn->session, req.cmd, ctx);
   } else {  // QUIT — same body ExecuteCommand produces for it.
     resp = json::Value::MakeObject();
@@ -421,6 +447,7 @@ void ReactorServer::DispatchLocked(const std::shared_ptr<Conn>& conn,
         ctx.arrival = req.arrival;
         ctx.disconnected = &conn->disconnected;
         ctx.out_values = req.binary ? &values : nullptr;
+        ctx.cluster = cluster_;
         json::Value resp = ExecuteCommand(engine_, &session, req.cmd, ctx);
         CompleteRequest(conn, req, std::move(resp), std::move(values),
                         std::move(session));

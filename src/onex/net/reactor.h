@@ -114,6 +114,12 @@ class ReactorServer {
   /// Live serving statistics (also served on-wire by METRICS).
   const ServerMetrics& metrics() const { return metrics_; }
 
+  /// Cluster-mode hookup (DESIGN.md §16): every executed command carries
+  /// this pointer in its ExecContext, routing it through the coordinator.
+  /// Must be set before Start() and outlive the server; single-node servers
+  /// never call this.
+  void SetCluster(ClusterNode* cluster) { cluster_ = cluster; }
+
  private:
   /// How a verb interacts with its connection's pipeline.
   enum class VerbKind {
@@ -207,6 +213,7 @@ class ReactorServer {
 
   Engine* engine_;
   ReactorOptions options_;
+  ClusterNode* cluster_ = nullptr;
   ServerMetrics metrics_;
 
   ServerSocket listener_;

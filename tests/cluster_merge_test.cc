@@ -1,0 +1,156 @@
+// Satellite regression for the coordinator's deterministic top-k merge:
+// equal-distance candidates must order by (dataset, series, start, length)
+// so the merged answer is bitwise identical for ANY shard assignment or
+// arrival order (DESIGN.md §16).
+
+#include "onex/net/cluster_merge.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "onex/json/json.h"
+
+namespace onex::net {
+namespace {
+
+ShardMatch Candidate(const std::string& dataset, double ndtw, int series,
+                     int start, int length) {
+  ShardMatch c;
+  c.dataset = dataset;
+  json::Value m = json::Value::MakeObject();
+  m.Set("dataset", dataset);
+  m.Set("normalized_dtw", ndtw);
+  m.Set("series", series);
+  m.Set("start", start);
+  m.Set("length", length);
+  c.match = std::move(m);
+  c.values = {static_cast<double>(series), static_cast<double>(start)};
+  return c;
+}
+
+std::string DumpOrder(const std::vector<ShardMatch>& merged) {
+  std::string out;
+  for (const ShardMatch& c : merged) out += c.match.Dump() + "\n";
+  return out;
+}
+
+TEST(ClusterMerge, DistanceOrdersFirst) {
+  std::vector<ShardMatch> cands;
+  cands.push_back(Candidate("b", 0.50, 0, 0, 32));
+  cands.push_back(Candidate("a", 0.25, 9, 9, 32));
+  cands.push_back(Candidate("c", 0.75, 1, 1, 32));
+  MergeTopK(&cands, 3);
+  EXPECT_EQ(cands[0].dataset, "a");
+  EXPECT_EQ(cands[1].dataset, "b");
+  EXPECT_EQ(cands[2].dataset, "c");
+}
+
+TEST(ClusterMerge, EqualDistanceBreaksTiesStructurally) {
+  // All candidates share the exact same distance; the ordering must come
+  // entirely from (dataset, series, start, length).
+  std::vector<ShardMatch> cands;
+  cands.push_back(Candidate("b", 0.5, 0, 0, 16));
+  cands.push_back(Candidate("a", 0.5, 2, 0, 16));
+  cands.push_back(Candidate("a", 0.5, 1, 7, 16));
+  cands.push_back(Candidate("a", 0.5, 1, 3, 16));
+  cands.push_back(Candidate("a", 0.5, 1, 3, 8));
+  MergeTopK(&cands, 5);
+  const std::string order = DumpOrder(cands);
+  EXPECT_EQ(cands[0].dataset, "a");
+  EXPECT_EQ(cands[0].match["series"].as_number(), 1);
+  EXPECT_EQ(cands[0].match["start"].as_number(), 3);
+  EXPECT_EQ(cands[0].match["length"].as_number(), 8);
+  EXPECT_EQ(cands[4].dataset, "b");
+  // The same candidates in any permutation (any shard assignment / arrival
+  // order) must merge to the byte-identical order.
+  std::vector<std::size_t> idx(cands.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<ShardMatch> base = cands;
+  do {
+    std::vector<ShardMatch> perm;
+    for (std::size_t i : idx) perm.push_back(base[i]);
+    MergeTopK(&perm, perm.size());
+    EXPECT_EQ(DumpOrder(perm), order);
+  } while (std::next_permutation(idx.begin(), idx.end()));
+}
+
+TEST(ClusterMerge, PermutedShardAssignmentsMergeIdentically) {
+  // Simulates 3 shards: candidates are partitioned by dataset, each shard
+  // returns its list already distance-sorted, and the coordinator merges in
+  // whatever order shard responses land. Every assignment of datasets to
+  // shards and every response arrival order must yield the same top-k.
+  std::vector<ShardMatch> all;
+  for (int d = 0; d < 3; ++d) {
+    const std::string name(1, static_cast<char>('a' + d));
+    for (int s = 0; s < 4; ++s) {
+      // Collisions on purpose: distances drawn from a tiny set of exact
+      // doubles so cross-dataset ties are guaranteed.
+      all.push_back(Candidate(name, 0.25 * ((s + d) % 3), s, 10 * d + s, 24));
+    }
+  }
+  std::vector<ShardMatch> expected = all;
+  MergeTopK(&expected, 5);
+  const std::string want = DumpOrder(expected);
+
+  std::vector<std::size_t> arrival = {0, 1, 2};
+  do {
+    // Arrival permutation: concatenate per-dataset groups in this order.
+    std::vector<ShardMatch> merged;
+    for (std::size_t which : arrival) {
+      const std::string name(1, static_cast<char>('a' + which));
+      for (const ShardMatch& c : all) {
+        if (c.dataset == name) merged.push_back(c);
+      }
+    }
+    MergeTopK(&merged, 5);
+    EXPECT_EQ(DumpOrder(merged), want);
+  } while (std::next_permutation(arrival.begin(), arrival.end()));
+}
+
+TEST(ClusterMerge, TruncatesToK) {
+  std::vector<ShardMatch> cands;
+  for (int i = 0; i < 10; ++i) cands.push_back(Candidate("a", i * 0.1, i, 0, 8));
+  MergeTopK(&cands, 3);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[2].match["series"].as_number(), 2);
+}
+
+TEST(ClusterMerge, ValuesTravelWithTheirMatch) {
+  std::vector<ShardMatch> cands;
+  cands.push_back(Candidate("a", 0.9, 5, 50, 8));
+  cands.push_back(Candidate("b", 0.1, 7, 70, 8));
+  MergeTopK(&cands, 2);
+  EXPECT_EQ(cands[0].values, (std::vector<double>{7, 70}));
+  EXPECT_EQ(cands[1].values, (std::vector<double>{5, 50}));
+}
+
+TEST(ClusterMerge, AccumulateStatsSumsFieldwise) {
+  json::Value a = json::Value::MakeObject();
+  a.Set("dtw_evals", 3);
+  a.Set("pruned_kim", 5);
+  json::Value b = json::Value::MakeObject();
+  b.Set("dtw_evals", 4);
+  b.Set("groups_total", 2);
+  json::Value total = json::Value::MakeObject();
+  AccumulateStats(&total, a);
+  AccumulateStats(&total, b);
+  EXPECT_EQ(total["dtw_evals"].as_number(), 7);
+  EXPECT_EQ(total["pruned_kim"].as_number(), 5);
+  EXPECT_EQ(total["groups_total"].as_number(), 2);
+}
+
+TEST(ClusterMerge, ParseDatasetsOption) {
+  auto names = ParseDatasetsOption("a, b ,c");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_FALSE(ParseDatasetsOption("a,,b").ok());
+  EXPECT_FALSE(ParseDatasetsOption("a,b,a").ok());
+  EXPECT_FALSE(ParseDatasetsOption("").ok());
+}
+
+}  // namespace
+}  // namespace onex::net

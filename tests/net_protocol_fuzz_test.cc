@@ -6,15 +6,21 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "onex/common/random.h"
+#include "onex/engine/wal.h"
 #include "onex/json/json.h"
 #include "onex/net/protocol.h"
+#include "onex/net/replication.h"
 
 namespace onex::net {
 namespace {
@@ -312,6 +318,160 @@ TEST(ProtocolFuzzTest, SizeDrivingOptionsAreCapped) {
     EXPECT_FALSE(v["ok"].as_bool()) << line;
     EXPECT_EQ(v["code"].as_string(), "InvalidArgument") << line;
   }
+}
+
+TEST(ProtocolFuzzTest, ShippedWalFramesNeverInstallCorruptRecords) {
+  const std::string dir_p = ::testing::TempDir() + "/onex_fuzz_repl_primary";
+  const std::string dir_r = ::testing::TempDir() + "/onex_fuzz_repl_replica";
+  std::filesystem::remove_all(dir_p);
+  std::filesystem::remove_all(dir_r);
+
+  // A primary's genuine history, captured off its WAL sink: the only bytes
+  // a replica may ever install, no matter what arrives on the wire.
+  Engine primary;
+  Session psession;
+  DurabilityOptions popt;
+  popt.dir = dir_p;
+  popt.fsync = false;
+  ASSERT_TRUE(primary.EnableDurability(popt).ok());
+  std::vector<std::pair<WalRecord, std::string>> genuine;  // record, line
+  primary.registry().SetWalSink([&genuine](const std::string&,
+                                           const WalRecord& record,
+                                           const std::string& encoded) {
+    genuine.emplace_back(record, encoded);
+  });
+  for (const char* line :
+       {"GEN s sine num=4 len=24 seed=9", "PREPARE s st=0.2 maxlen=12",
+        "APPEND s series=x v=0.1,0.3,0.5,0.4,0.2,0.1",
+        "EXTEND s series=0 points=0.2,0.6"}) {
+    const json::Value v =
+        ExecuteCommand(&primary, &psession, *ParseCommandLine(line));
+    ASSERT_TRUE(v["ok"].as_bool()) << line << ": " << v.Dump();
+  }
+  primary.registry().SetWalSink(nullptr);
+  ASSERT_EQ(genuine.size(), 4u);
+
+  // The replica mirrors the history up to seq 2; records 3 and 4 are the
+  // held-out tail the hostile frames pretend to ship.
+  Engine replica;
+  Session rsession;
+  DurabilityOptions ropt;
+  ropt.dir = dir_r;
+  ropt.fsync = false;
+  ASSERT_TRUE(replica.EnableDurability(ropt).ok());
+  ASSERT_TRUE(replica.registry().ApplyReplicated("s", genuine[0].first).ok());
+  ASSERT_TRUE(replica.registry().ApplyReplicated("s", genuine[1].first).ok());
+  const std::string l1 = genuine[0].second;
+  const std::string l3 = genuine[2].second;
+  const std::string l4 = genuine[3].second;
+  const std::string wal_path =
+      dir_r + "/" + SlotDirName("s") + "/wal";
+  const std::string base = [&] {
+    std::ifstream in(wal_path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  ASSERT_FALSE(base.empty());
+
+  // Executes only REPLAPPLY frames: a mutation that splices the line into a
+  // different verb entirely (GEN, EXTEND, ...) is ordinary traffic, covered
+  // by the session fuzz above — here it would just confuse the
+  // journal-prefix invariant with legitimate local writes.
+  auto run = [&](const std::string& command_line, const std::string& blob) {
+    const Result<Command> cmd = ParseCommandLine(command_line);
+    if (!cmd.ok() || cmd->verb != "REPLAPPLY") return json::Value();
+    Command with_blob = *cmd;
+    with_blob.blob = blob;
+    return ExecuteCommand(&replica, &rsession, with_blob);
+  };
+  auto head = [](const std::string& dataset, std::uint64_t first,
+                 std::size_t count, std::uint64_t crc) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "REPLAPPLY dataset=%s first=%llu count=%zu crc=%016llx",
+                  dataset.c_str(), static_cast<unsigned long long>(first),
+                  count, static_cast<unsigned long long>(crc));
+    return std::string(buf);
+  };
+  // THE invariant: whatever the frame said, the replica's journal is still
+  // a prefix of the primary's genuine journal, and no foreign slot exists.
+  auto check_installed_only_genuine = [&](const std::string& input) {
+    std::ifstream in(wal_path, std::ios::binary);
+    const std::string wal(std::istreambuf_iterator<char>(in), {});
+    ASSERT_TRUE(wal == base || wal == base + l3 || wal == base + l3 + l4)
+        << "non-genuine bytes installed by: " << input;
+    ASSERT_EQ(replica.ListDatasets(), std::vector<std::string>{"s"}) << input;
+  };
+
+  // Crafted batches with honest checksums: the crc is right, the *shape* is
+  // the attack — reordered, duplicated, torn, miscounted, gapped, stale and
+  // misaddressed deliveries.
+  const struct {
+    const char* what;
+    std::string header;
+    std::string blob;
+    bool may_apply;  ///< Duplicate deliveries are OK-and-skipped, not errors.
+  } crafted[] = {
+      {"reordered", head("s", 3, 2, Fnv1a64(l4 + l3)), l4 + l3, false},
+      {"duplicated-line", head("s", 3, 2, Fnv1a64(l3 + l3)), l3 + l3, false},
+      {"torn-line", head("s", 3, 1, Fnv1a64(l3.substr(0, l3.size() / 2))),
+       l3.substr(0, l3.size() / 2), false},
+      {"count-over", head("s", 3, 2, Fnv1a64(l3)), l3, false},
+      {"count-under", head("s", 3, 1, Fnv1a64(l3 + l4)), l3 + l4, false},
+      {"first-mismatch", head("s", 4, 1, Fnv1a64(l3)), l3, false},
+      {"seq-gap", head("s", 4, 1, Fnv1a64(l4)), l4, false},
+      {"wrong-dataset", head("zzz", 3, 1, Fnv1a64(l3)), l3, false},
+      {"bad-crc", head("s", 3, 1, Fnv1a64(l3) ^ 1), l3, false},
+      {"stale-duplicate", head("s", 1, 1, Fnv1a64(l1)), l1, true},
+  };
+  for (const auto& c : crafted) {
+    const json::Value v = run(c.header, c.blob);
+    CheckResponse(v, c.what);
+    if (!c.may_apply) {
+      EXPECT_FALSE(v["ok"].as_bool()) << c.what << ": " << v.Dump();
+    }
+    check_installed_only_genuine(c.what);
+    // Nothing above ships seq 3, so the floor must still be exactly 2.
+    const Result<SlotDurability> d = replica.registry().Durability("s");
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->last_seq, 2u) << c.what;
+  }
+
+  // Random mutation storm over the genuine seq-3 frame. A mutation that
+  // happens to leave the frame semantically intact (e.g. an inserted space
+  // between tokens) may legitimately install the genuine record — the
+  // invariant is never-install-corrupt, not never-install.
+  const std::string valid_frame = EncodeReplApplyText("s", 3, {l3});
+  Rng rng(0x5EED);
+  for (int iter = 0; iter < 2500; ++iter) {
+    std::string frame = valid_frame;
+    const std::size_t rounds = 1 + rng.UniformIndex(2);
+    for (std::size_t r = 0; r < rounds; ++r) frame = MutateLine(&rng, frame);
+    if (frame == valid_frame) continue;
+    const std::size_t newline = frame.find('\n');
+    const std::string command_line =
+        newline == std::string::npos ? frame : frame.substr(0, newline);
+    const std::string blob =
+        newline == std::string::npos ? std::string() : frame.substr(newline + 1);
+    const json::Value v = run(command_line, blob);
+    if (!v.is_object()) continue;  // parse error: nothing executed
+    CheckResponse(v, command_line);
+    check_installed_only_genuine(command_line);
+  }
+
+  // After the bombardment the genuine tail still applies cleanly and the
+  // journal it leaves recovers.
+  for (std::size_t i = 2; i < genuine.size(); ++i) {
+    const Status s = replica.registry().ApplyReplicated("s", genuine[i].first);
+    ASSERT_TRUE(s.ok()) << "seq " << genuine[i].first.seq << ": " << s;
+  }
+  const json::Value match =
+      ExecuteCommand(&replica, &rsession, *ParseCommandLine("MATCH s q=0:2:8"));
+  EXPECT_TRUE(match["ok"].as_bool()) << match.Dump();
+  Engine recovered;
+  ASSERT_TRUE(recovered.EnableDurability(ropt).ok());
+  EXPECT_TRUE(recovered.Get("s").ok());
+  std::filesystem::remove_all(dir_p);
+  std::filesystem::remove_all(dir_r);
 }
 
 }  // namespace
