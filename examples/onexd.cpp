@@ -6,8 +6,13 @@
 /// the original thread-per-connection server instead.
 ///
 ///   $ ./onexd [port] [--data-dir=DIR] [--checkpoint-every=N] [--no-fsync]
-///            [--legacy-threads]
+///            [--budget=BYTES] [--no-mmap-tier] [--legacy-threads]
 ///            [--cluster-nodes=host:port,host:port,...] [--cluster-self=N]
+///
+/// --budget bounds resident prepared bases (0 = unlimited); with durability
+/// on, over-budget slots downgrade to their mmap'd arena checkpoints (the
+/// mapped tier, DESIGN.md §17) instead of being stripped — disable with
+/// --no-mmap-tier to get strip-and-rebuild eviction back.
 ///
 /// With --data-dir, the server is durable (DESIGN.md §13): state found in
 /// DIR is recovered before the first client connects, every acknowledged
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
   bool legacy_threads = false;
   onex::DurabilityOptions durability;
   durability.checkpoint_every = 256;
+  onex::DatasetRegistryOptions registry_options;
   std::vector<std::string> cluster_nodes;
   long long cluster_self = -1;
 
@@ -86,6 +92,16 @@ int main(int argc, char** argv) {
       durability.checkpoint_every = static_cast<std::uint64_t>(every);
     } else if (arg == "--no-fsync") {
       durability.fsync = false;
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      const long long bytes = std::atoll(arg.c_str() + std::strlen("--budget="));
+      if (bytes < 0) {
+        std::fprintf(stderr, "onexd: --budget must be >= 0 bytes\n");
+        return 2;
+      }
+      registry_options.prepared_budget_bytes =
+          static_cast<std::size_t>(bytes);
+    } else if (arg == "--no-mmap-tier") {
+      registry_options.mapped_tier = false;
     } else if (arg.rfind("--cluster-nodes=", 0) == 0) {
       cluster_nodes = SplitCsv(arg.substr(std::strlen("--cluster-nodes=")));
     } else if (arg.rfind("--cluster-self=", 0) == 0) {
@@ -96,6 +112,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "onexd: unknown flag '%s'\nusage: onexd [port] "
                    "[--data-dir=DIR] [--checkpoint-every=N] [--no-fsync] "
+                   "[--budget=BYTES] [--no-mmap-tier] "
                    "[--legacy-threads] [--cluster-nodes=h:p,...] "
                    "[--cluster-self=N]\n",
                    arg.c_str());
@@ -136,7 +153,7 @@ int main(int argc, char** argv) {
   }
 
   onex::SetLogLevel(onex::LogLevel::kInfo);
-  onex::Engine engine;
+  onex::Engine engine(registry_options);
   if (!durability.dir.empty()) {
     if (onex::Status s = engine.EnableDurability(durability); !s.ok()) {
       std::fprintf(stderr, "onexd: recovery failed: %s\n",

@@ -16,8 +16,12 @@
 #                           10k idle connections on the epoll reactor,
 #                           pipelined-binary vs blocking-text throughput,
 #                           text/binary dialect equivalence (DESIGN.md §15)
+#   BENCH_tier.json         bench_e13_coldstart — tiered-storage cold
+#                           start: time-to-first-query off an mmap'd arena
+#                           checkpoint vs evicted-rebuild vs resident, at
+#                           16/64/256 datasets (DESIGN.md §17)
 #
-# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json [net.json]]]]
+# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json [net.json [tier.json]]]]]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,10 +29,12 @@ QUERY_OUT="${1:-BENCH_query.json}"
 MAINT_OUT="${2:-BENCH_maintenance.json}"
 KERNEL_OUT="${3:-BENCH_kernels.json}"
 NET_OUT="${4:-BENCH_net.json}"
+TIER_OUT="${5:-BENCH_tier.json}"
 
 cmake -B build -S . -DONEX_BUILD_BENCHES=ON >/dev/null
 cmake --build build -j --target bench_e2_query_speedup \
-  bench_e10_maintenance bench_e11_kernel_sweep bench_e12_load >/dev/null
+  bench_e10_maintenance bench_e11_kernel_sweep bench_e12_load \
+  bench_e13_coldstart >/dev/null
 
 ./build/bench_e2_query_speedup --json "$QUERY_OUT"
 echo "perf record: $QUERY_OUT"
@@ -38,3 +44,5 @@ echo "perf record: $MAINT_OUT"
 echo "perf record: $KERNEL_OUT"
 ./build/bench_e12_load --json "$NET_OUT"
 echo "perf record: $NET_OUT"
+./build/bench_e13_coldstart --json "$TIER_OUT"
+echo "perf record: $TIER_OUT"

@@ -21,6 +21,11 @@ ctest --output-on-failure -j"$(nproc)"
 # text/binary dialect equivalence. Exits nonzero if any of those fail.
 ./bench_e12_load --smoke
 
+# Cold-restart smoke (DESIGN.md §17): checkpoint a small fleet, restart
+# with the mapped tier on, and demand the first MATCH is served off the
+# mmap'd arena with answers identical to resident and evicted-rebuild.
+./bench_e13_coldstart --smoke
+
 # Cluster smoke (DESIGN.md §16): boot a real 3-process cluster, route
 # traffic through every node, kill -9 the shard that owns "demo", and
 # demand the survivors keep answering after promotion. HRW placement

@@ -1,0 +1,14 @@
+#include "onex/common/hash.h"
+
+namespace onex {
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace onex

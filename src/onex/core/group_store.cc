@@ -43,11 +43,38 @@ void GroupBuilder::RecomputeFromMembers(const Dataset& dataset,
 
 std::size_t GroupStore::MemoryUsage() const {
   return sizeof(GroupStore) +
-         (centroids_.size() + env_lower_.size() + env_upper_.size() +
-          cent_env_lower_.size() + cent_env_upper_.size()) *
+         (centroids_span().size() + env_lower_span().size() +
+          env_upper_span().size() + cent_env_lower_span().size() +
+          cent_env_upper_span().size()) *
              sizeof(double) +
-         member_arena_.size() * sizeof(SubseqRef) +
-         member_offsets_.size() * sizeof(std::size_t);
+         members_span().size() * sizeof(SubseqRef) +
+         offsets_span().size() * sizeof(std::size_t);
+}
+
+GroupStore GroupStore::Borrow(const Columns& cols) {
+  GroupStore store;
+  store.length_ = cols.length;
+  store.cent_env_window_ = cols.cent_env_window;
+  store.borrowed_ = true;
+  store.cols_ = cols;
+  return store;
+}
+
+GroupStore GroupStore::CopyFrom(const Columns& cols) {
+  GroupStore store;
+  store.length_ = cols.length;
+  store.cent_env_window_ = cols.cent_env_window;
+  store.centroids_.assign(cols.centroids.begin(), cols.centroids.end());
+  store.env_lower_.assign(cols.env_lower.begin(), cols.env_lower.end());
+  store.env_upper_.assign(cols.env_upper.begin(), cols.env_upper.end());
+  store.cent_env_lower_.assign(cols.cent_env_lower.begin(),
+                               cols.cent_env_lower.end());
+  store.cent_env_upper_.assign(cols.cent_env_upper.begin(),
+                               cols.cent_env_upper.end());
+  store.member_arena_.assign(cols.members.begin(), cols.members.end());
+  store.member_offsets_.assign(cols.member_offsets.begin(),
+                               cols.member_offsets.end());
+  return store;
 }
 
 GroupStore GroupStore::Pack(std::size_t length,

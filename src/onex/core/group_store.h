@@ -83,6 +83,15 @@ class GroupBuilder {
 /// one allocation, no pointer chasing, hardware-prefetcher friendly — which
 /// is what makes the parallel RankGroups pass memory-bandwidth-bound rather
 /// than latency-bound. Immutable after Pack; safe to share across threads.
+///
+/// Storage comes in two flavors (DESIGN.md §17). An OWNED store (Pack,
+/// CopyFrom) holds its matrices in vectors, like always. A BORROWED store
+/// (Borrow) holds only spans over columns that live elsewhere — an mmap'd
+/// ONEXARENA checkpoint — so a cold dataset serves queries straight off the
+/// page cache. Borrowed stores never own or free anything; whoever creates
+/// them (OnexBase keeps a keepalive handle) guarantees the backing bytes
+/// outlive the store. Every accessor reads through the same span-returning
+/// switch, so query code cannot tell the flavors apart.
 class GroupStore {
  public:
   GroupStore() = default;
@@ -93,19 +102,48 @@ class GroupStore {
   static GroupStore Pack(std::size_t length,
                          const std::vector<GroupBuilder>& groups);
 
+  /// Raw columns of one length class as they sit in an ONEXARENA section
+  /// set (arena_layout.h). Shapes must be consistent — num_groups*length
+  /// entries per matrix, member_offsets carrying num_groups+1 entries that
+  /// end at members.size() — which the arena parser enforces before any
+  /// store is constructed.
+  struct Columns {
+    std::size_t length = 0;
+    std::size_t num_groups = 0;
+    int cent_env_window = -1;
+    std::span<const double> centroids;
+    std::span<const double> env_lower;
+    std::span<const double> env_upper;
+    std::span<const double> cent_env_lower;
+    std::span<const double> cent_env_upper;
+    std::span<const SubseqRef> members;
+    std::span<const std::size_t> member_offsets;
+  };
+
+  /// A store serving directly out of `cols` — zero copies, zero ownership.
+  static GroupStore Borrow(const Columns& cols);
+
+  /// An owned store holding a deep copy of `cols` — the materialized load
+  /// path, and the copy-on-write target when a mutation thaws a borrowed
+  /// class.
+  static GroupStore CopyFrom(const Columns& cols);
+
+  /// True when this store borrows external storage instead of owning it.
+  bool borrowed() const { return borrowed_; }
+
   std::size_t length() const { return length_; }
   std::size_t num_groups() const {
-    return member_offsets_.empty() ? 0 : member_offsets_.size() - 1;
+    const std::span<const std::size_t> offs = offsets_span();
+    return offs.empty() ? 0 : offs.size() - 1;
   }
-  std::size_t total_members() const { return member_arena_.size(); }
+  std::size_t total_members() const { return members_span().size(); }
 
   std::span<const double> centroid(std::size_t g) const {
-    return std::span<const double>(centroids_).subspan(g * length_, length_);
+    return centroids_span().subspan(g * length_, length_);
   }
   EnvelopeView envelope(std::size_t g) const {
-    return EnvelopeView{
-        std::span<const double>(env_lower_).subspan(g * length_, length_),
-        std::span<const double>(env_upper_).subspan(g * length_, length_)};
+    return EnvelopeView{env_lower_span().subspan(g * length_, length_),
+                        env_upper_span().subspan(g * length_, length_)};
   }
   /// Keogh envelope of group g's centroid, precomputed at Pack time with
   /// band half-width centroid_envelope_window(). Backs the reversed
@@ -114,10 +152,8 @@ class GroupStore {
   /// construction. Stored unconstrained (window < 0), it stays admissible
   /// for every query window (see EnvelopeWindowCovers in kernels.h).
   EnvelopeView centroid_envelope(std::size_t g) const {
-    return EnvelopeView{
-        std::span<const double>(cent_env_lower_).subspan(g * length_, length_),
-        std::span<const double>(cent_env_upper_).subspan(g * length_,
-                                                         length_)};
+    return EnvelopeView{cent_env_lower_span().subspan(g * length_, length_),
+                        cent_env_upper_span().subspan(g * length_, length_)};
   }
   /// Band half-width the centroid envelopes were computed with (negative =
   /// unconstrained). Callers must check EnvelopeWindowCovers against their
@@ -125,27 +161,53 @@ class GroupStore {
   int centroid_envelope_window() const { return cent_env_window_; }
 
   std::span<const SubseqRef> members(std::size_t g) const {
-    return std::span<const SubseqRef>(member_arena_)
-        .subspan(member_offsets_[g], member_offsets_[g + 1] -
-                                         member_offsets_[g]);
+    const std::span<const std::size_t> offs = offsets_span();
+    return members_span().subspan(offs[g], offs[g + 1] - offs[g]);
   }
   std::size_t group_size(std::size_t g) const {
-    return member_offsets_[g + 1] - member_offsets_[g];
+    const std::span<const std::size_t> offs = offsets_span();
+    return offs[g + 1] - offs[g];
   }
 
   /// The whole centroid matrix (num_groups x length, row-major); benches
   /// and kernels that want one linear pass read it directly.
-  std::span<const double> centroid_matrix() const {
-    return std::span<const double>(centroids_);
-  }
+  std::span<const double> centroid_matrix() const { return centroids_span(); }
 
   /// Payload bytes of this store: centroid + envelope matrices, member
   /// arena and offset table. Deterministic for a given base (element counts,
-  /// not allocator capacities), so the engine's LRU cache can budget
-  /// prepared bases reproducibly (DESIGN.md §11).
+  /// not allocator capacities — identical for owned and borrowed flavors),
+  /// so the engine's LRU cache can budget prepared bases reproducibly
+  /// (DESIGN.md §11); the registry accounts a borrowed store's bytes as
+  /// mapped, not resident.
   std::size_t MemoryUsage() const;
 
  private:
+  std::span<const double> centroids_span() const {
+    return borrowed_ ? cols_.centroids : std::span<const double>(centroids_);
+  }
+  std::span<const double> env_lower_span() const {
+    return borrowed_ ? cols_.env_lower : std::span<const double>(env_lower_);
+  }
+  std::span<const double> env_upper_span() const {
+    return borrowed_ ? cols_.env_upper : std::span<const double>(env_upper_);
+  }
+  std::span<const double> cent_env_lower_span() const {
+    return borrowed_ ? cols_.cent_env_lower
+                     : std::span<const double>(cent_env_lower_);
+  }
+  std::span<const double> cent_env_upper_span() const {
+    return borrowed_ ? cols_.cent_env_upper
+                     : std::span<const double>(cent_env_upper_);
+  }
+  std::span<const SubseqRef> members_span() const {
+    return borrowed_ ? cols_.members
+                     : std::span<const SubseqRef>(member_arena_);
+  }
+  std::span<const std::size_t> offsets_span() const {
+    return borrowed_ ? cols_.member_offsets
+                     : std::span<const std::size_t>(member_offsets_);
+  }
+
   std::size_t length_ = 0;
   std::vector<double> centroids_;
   std::vector<double> env_lower_;
@@ -155,6 +217,9 @@ class GroupStore {
   int cent_env_window_ = -1;  ///< Unconstrained: admissible for any window.
   std::vector<SubseqRef> member_arena_;
   std::vector<std::size_t> member_offsets_;  ///< num_groups + 1 entries.
+  /// Borrowed flavor: spans over external storage; the vectors stay empty.
+  bool borrowed_ = false;
+  Columns cols_;
 };
 
 }  // namespace onex

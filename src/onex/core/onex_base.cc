@@ -206,6 +206,51 @@ Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
   return base;
 }
 
+Result<OnexBase> OnexBase::FromStores(
+    std::shared_ptr<const Dataset> dataset, const BaseBuildOptions& options,
+    std::vector<std::shared_ptr<const GroupStore>> stores,
+    std::size_t repaired_members, std::shared_ptr<const void> storage) {
+  if (dataset == nullptr || dataset->empty()) {
+    return Status::InvalidArgument("cannot assemble a base without a dataset");
+  }
+  ONEX_RETURN_IF_ERROR(options.Validate());
+  if (stores.empty()) {
+    return Status::InvalidArgument("cannot assemble a base with no stores");
+  }
+
+  OnexBase base;
+  base.dataset_ = std::move(dataset);
+  base.options_ = options;
+  base.stats_.repaired_members = repaired_members;
+  base.storage_ = std::move(storage);
+
+  std::size_t prev_length = 0;
+  for (std::shared_ptr<const GroupStore>& store : stores) {
+    if (store == nullptr || store->num_groups() == 0) {
+      return Status::InvalidArgument("assembled length class has no groups");
+    }
+    if (store->length() <= prev_length) {
+      return Status::InvalidArgument(
+          "length classes must be strictly increasing");
+    }
+    prev_length = store->length();
+
+    LengthClass cls;
+    cls.length = store->length();
+    cls.store = std::move(store);
+    cls.groups.reserve(cls.store->num_groups());
+    for (std::size_t g = 0; g < cls.store->num_groups(); ++g) {
+      cls.groups.emplace_back(cls.store.get(), g);
+    }
+    cls.total_members = cls.store->total_members();
+    base.stats_.num_subsequences += cls.total_members;
+    base.stats_.num_groups += cls.groups.size();
+    base.classes_.push_back(std::move(cls));
+  }
+  base.stats_.num_length_classes = base.classes_.size();
+  return base;
+}
+
 std::size_t OnexBase::MemoryUsage() const {
   std::size_t total = 0;
   for (const LengthClass& cls : classes_) {

@@ -113,6 +113,18 @@ class OnexBase {
                                   std::vector<LengthClassDraft> classes,
                                   std::size_t repaired_members);
 
+  /// Assembles a base directly from already-columnar stores — the ONEXARENA
+  /// load path (arena_layout.h), which carries centroids and envelopes
+  /// verbatim and so must NOT go through Restore's recompute. Stores must be
+  /// non-null, non-empty, strictly increasing in length, with members the
+  /// caller has validated against `dataset` (the arena parser does). When
+  /// the stores borrow external bytes (an mmap'd arena), `storage` keeps
+  /// those bytes alive for the base's whole lifetime.
+  static Result<OnexBase> FromStores(
+      std::shared_ptr<const Dataset> dataset, const BaseBuildOptions& options,
+      std::vector<std::shared_ptr<const GroupStore>> stores,
+      std::size_t repaired_members, std::shared_ptr<const void> storage);
+
   const Dataset& dataset() const { return *dataset_; }
   std::shared_ptr<const Dataset> shared_dataset() const { return dataset_; }
   const BaseBuildOptions& options() const { return options_; }
@@ -133,6 +145,10 @@ class OnexBase {
   /// the shared dataset is excluded — it stays resident after eviction.
   std::size_t MemoryUsage() const;
 
+  /// Non-null when this base serves out of borrowed storage (FromStores
+  /// over an mmap'd arena): the handle pinning the mapped bytes.
+  const std::shared_ptr<const void>& storage() const { return storage_; }
+
  private:
   OnexBase() = default;
 
@@ -140,6 +156,10 @@ class OnexBase {
   BaseBuildOptions options_;
   BaseStats stats_;
   std::vector<LengthClass> classes_;  ///< Sorted by length ascending.
+  /// Keepalive for borrowed group-store columns (null for owned bases).
+  /// Destruction order vs classes_ is irrelevant: stores never dereference
+  /// their borrowed spans while being destroyed.
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace onex

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "onex/common/string_utils.h"
+#include "onex/core/arena_layout.h"
 #include "onex/engine/snapshot_ops.h"
 #include "onex/engine/wal.h"
 
@@ -140,6 +141,7 @@ Result<std::shared_ptr<const PreparedDataset>> ApplyWalRecordToSnapshot(
       if (snap->prepared()) {
         auto stripped = std::make_shared<PreparedDataset>(*snap);
         stripped->base = nullptr;
+        stripped->arena.reset();
         snap = std::move(stripped);
       }
       break;
@@ -162,7 +164,7 @@ Result<std::shared_ptr<const PreparedDataset>> ApplyWalRecordToSnapshot(
 /// uses (snapshot_ops.h), which is what makes the recovered slot bit-equal
 /// to the pre-crash in-memory state: same inputs, same code, same order.
 Result<ReplayedSlot> ReplayWal(const std::string& dir, const WalScan& scan,
-                               TaskPool* pool) {
+                               TaskPool* pool, bool mapped_tier) {
   ReplayedSlot out;
   out.name = scan.dataset_name;
 
@@ -177,11 +179,26 @@ Result<ReplayedSlot> ReplayWal(const std::string& dir, const WalScan& scan,
     start = 1;
     out.last_ckpt_seq = scan.records.front().checkpoint_seq;
     out.last_seq = scan.records.front().seq;
-    ONEX_ASSIGN_OR_RETURN(
-        PreparedDataset from_ckpt,
-        ReadCheckpointFile(CheckpointPath(dir, out.last_ckpt_seq), out.name));
-    snap = std::make_shared<const PreparedDataset>(std::move(from_ckpt));
-    out.ever_prepared = true;
+    const std::string ckpt_path = CheckpointPath(dir, out.last_ckpt_seq);
+    if (mapped_tier && scan.records.size() == 1) {
+      // The log is just the rotation marker: the checkpoint IS the state,
+      // so serve it from the mapping — cold start pays a page-in per
+      // touched page instead of materializing every dataset up front. A
+      // legacy (non-arena) or unmappable checkpoint falls back to the
+      // materialized read below; corruption surfaces there as usual.
+      if (Result<PreparedDataset> mapped = MapCheckpointFile(ckpt_path,
+                                                             out.name);
+          mapped.ok()) {
+        snap = std::make_shared<const PreparedDataset>(*std::move(mapped));
+        out.ever_prepared = true;
+      }
+    }
+    if (snap == nullptr) {
+      ONEX_ASSIGN_OR_RETURN(PreparedDataset from_ckpt,
+                            ReadCheckpointFile(ckpt_path, out.name));
+      snap = std::make_shared<const PreparedDataset>(std::move(from_ckpt));
+      out.ever_prepared = true;
+    }
   }
 
   for (std::size_t i = start; i < scan.records.size(); ++i) {
@@ -213,6 +230,7 @@ DatasetRegistry::DatasetRegistry(TaskPool* pool,
                                  const DatasetRegistryOptions& options)
     : pool_(pool != nullptr ? pool : &TaskPool::Shared()),
       budget_bytes_(options.prepared_budget_bytes),
+      mapped_tier_enabled_(options.mapped_tier),
       drift_threshold_(options.drift_threshold < 0.0
                            ? 0.0
                            : options.drift_threshold) {}
@@ -274,7 +292,11 @@ Status DatasetRegistry::Adopt(const std::string& name,
     slot->has_recipe = true;
     slot->recipe_options = slot->snapshot->build_options;
     slot->recipe_norm = slot->snapshot->norm_kind;
-    slot->base_bytes.store(slot->snapshot->base->MemoryUsage());
+    if (slot->snapshot->mapped()) {
+      slot->mapped_bytes.store(slot->snapshot->arena->size());
+    } else {
+      slot->base_bytes.store(slot->snapshot->base->MemoryUsage());
+    }
   }
   TouchLocked(slot.get());
   // Serialized against Recover: a slot is either fully born before the
@@ -328,6 +350,7 @@ Status DatasetRegistry::Adopt(const std::string& name,
       return Status::AlreadyExists("dataset '" + name + "' is already loaded");
     }
     total_bytes_ += slot->base_bytes.load();
+    total_mapped_bytes_ += slot->mapped_bytes.load();
   }
   EvictOverBudget(slot.get());
   return Status::OK();
@@ -376,6 +399,8 @@ Status DatasetRegistry::Drop(const std::string& name) {
     }
     total_bytes_ -= it->second->base_bytes.load();
     it->second->base_bytes.store(0);
+    total_mapped_bytes_ -= it->second->mapped_bytes.load();
+    it->second->mapped_bytes.store(0);
     slots_.erase(it);
   }
   if (!tombstone.empty()) {
@@ -411,6 +436,13 @@ std::vector<DatasetSlotInfo> DatasetRegistry::Describe() const {
     info.prepared = slot->snapshot != nullptr && slot->snapshot->prepared();
     info.evicted = slot->has_recipe && !info.prepared;
     info.prepared_bytes = slot->base_bytes.load();
+    if (info.prepared) {
+      info.tier = slot->snapshot->mapped() ? "mapped" : "resident";
+    } else {
+      info.tier = slot->has_recipe ? "evicted" : "raw";
+    }
+    info.mapped_bytes = slot->mapped_bytes.load();
+    info.pinned = slot->pinned.load();
     info.regrouping = slot->regroup_inflight.load();
     info.last_max_drift = slot->last_max_drift.load();
     if (slot->journal != nullptr) {
@@ -528,8 +560,16 @@ Result<bool> DatasetRegistry::Install(
     const std::shared_ptr<Slot>& slot, const std::string& name,
     std::shared_ptr<const PreparedDataset> snapshot,
     const PreparedDataset* expected, WalRecord* record, bool replicated) {
-  const std::size_t new_bytes =
-      snapshot->prepared() ? snapshot->base->MemoryUsage() : 0;
+  // A mapped snapshot costs page cache, not budgeted heap: base_bytes stays
+  // 0 (also excluding it from the LRU victim set) and its arena size goes
+  // into the separate mapped-bytes gauge. Writers produce owned snapshots
+  // (snapshot_ops clears the arena handle), so an install over a mapped
+  // snapshot is the copy-on-write promotion back to resident.
+  const bool is_mapped = snapshot->mapped();
+  const std::size_t new_bytes = (snapshot->prepared() && !is_mapped)
+                                    ? snapshot->base->MemoryUsage()
+                                    : 0;
+  const std::size_t new_mapped = is_mapped ? snapshot->arena->size() : 0;
   {
     std::unique_lock<std::shared_mutex> lock(slot->mutex);
     if (expected != nullptr && slot->snapshot.get() != expected) {
@@ -577,6 +617,9 @@ Result<bool> DatasetRegistry::Install(
       total_bytes_ += new_bytes;
       total_bytes_ -= slot->base_bytes.load();
       slot->base_bytes.store(new_bytes);
+      total_mapped_bytes_ += new_mapped;
+      total_mapped_bytes_ -= slot->mapped_bytes.load();
+      slot->mapped_bytes.store(new_mapped);
     }
     // else: the slot was dropped while the snapshot built; leave the
     // orphan unaccounted — it dies with the last reference.
@@ -596,7 +639,10 @@ void DatasetRegistry::EvictOverBudget(const Slot* keep) {
       if (budget_bytes_ == 0 || total_bytes_ <= budget_bytes_) return;
       std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
       for (const auto& [name, slot] : slots_) {
-        if (slot.get() == keep || slot->base_bytes.load() == 0) continue;
+        if (slot.get() == keep || slot->base_bytes.load() == 0 ||
+            slot->pinned.load()) {
+          continue;
+        }
         const std::uint64_t used = slot->last_used.load();
         if (used < oldest) {
           oldest = used;
@@ -616,6 +662,34 @@ void DatasetRegistry::EvictOverBudget(const Slot* keep) {
         continue;
       }
       if (victim->snapshot != nullptr && victim->snapshot->prepared()) {
+        // Mapped tier first (DESIGN.md §17): a clean journaled slot whose
+        // checkpoint covers every record can swap its owned base for a
+        // borrowed one over the checkpoint's mapping — the next query is a
+        // page-in, not a rebuild, and no WAL record is needed (the live
+        // snapshot IS the checkpoint's image, so replay converges either
+        // way). Ineligible or failed: fall through to the legacy strip.
+        if (std::shared_ptr<const PreparedDataset> mapped =
+                TryDowngradeLocked(victim_name, victim.get())) {
+          const std::size_t arena_bytes = mapped->arena->size();
+          const std::shared_ptr<const ArenaMapping> mapping = mapped->arena;
+          victim->snapshot = std::move(mapped);
+          {
+            std::lock_guard<std::mutex> map_lock(map_mutex_);
+            const auto it = slots_.find(victim_name);
+            if (it != slots_.end() && it->second == victim) {
+              total_bytes_ -= victim->base_bytes.load();
+              total_mapped_bytes_ += arena_bytes;
+              total_mapped_bytes_ -= victim->mapped_bytes.load();
+              victim->mapped_bytes.store(arena_bytes);
+            }
+            victim->base_bytes.store(0);
+          }
+          // Parsing faulted the whole file in (checksums); release the
+          // pages — the point of the downgrade is freeing memory, and the
+          // next query faults back only what it touches.
+          mapping->AdviseDontNeed();
+          continue;
+        }
         if (victim->journal != nullptr && victim->journal->has_floor.load()) {
           // Evictions are journaled: the transparent rebuild they provoke
           // regroups from scratch, so replay must strip the base at the
@@ -632,16 +706,99 @@ void DatasetRegistry::EvictOverBudget(const Slot* keep) {
         }
         auto stripped = std::make_shared<PreparedDataset>(*victim->snapshot);
         stripped->base = nullptr;
+        stripped->arena.reset();
         victim->snapshot = std::move(stripped);
       }
       std::lock_guard<std::mutex> map_lock(map_mutex_);
       const auto it = slots_.find(victim_name);
       if (it != slots_.end() && it->second == victim) {
         total_bytes_ -= victim->base_bytes.load();
+        total_mapped_bytes_ -= victim->mapped_bytes.load();
       }
       victim->base_bytes.store(0);
+      victim->mapped_bytes.store(0);
     }
   }
+}
+
+std::shared_ptr<const PreparedDataset> DatasetRegistry::TryDowngradeLocked(
+    const std::string& name, Slot* slot) {
+  if (!mapped_tier_enabled_ || slot->pinned.load()) return nullptr;
+  if (slot->snapshot == nullptr || !slot->snapshot->prepared() ||
+      slot->snapshot->mapped()) {
+    return nullptr;
+  }
+  const std::shared_ptr<SlotJournal>& journal = slot->journal;
+  if (journal == nullptr || !journal->has_floor.load()) return nullptr;
+  // The arena on disk is current only when the checkpoint covers every
+  // journaled record; after RunCheckpoint the slot holds the canonical
+  // image the file decodes to, so the swap changes no answer bits.
+  if (journal->records_since_ckpt.load() != 0 ||
+      journal->last_ckpt_seq.load() == 0) {
+    return nullptr;
+  }
+  Result<PreparedDataset> mapped = MapCheckpointFile(
+      CheckpointPath(journal->dir, journal->last_ckpt_seq.load()), name);
+  if (!mapped.ok()) return nullptr;  // legacy/missing/corrupt: caller strips
+  return std::make_shared<const PreparedDataset>(*std::move(mapped));
+}
+
+Result<std::string> DatasetRegistry::Tier(const std::string& name) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  std::shared_lock<std::shared_mutex> lock(slot->mutex);
+  if (slot->snapshot != nullptr && slot->snapshot->prepared()) {
+    return std::string(slot->snapshot->mapped() ? "mapped" : "resident");
+  }
+  return std::string(slot->has_recipe ? "evicted" : "raw");
+}
+
+Status DatasetRegistry::SetPinned(const std::string& name, bool pinned) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  slot->pinned.store(pinned);
+  return Status::OK();
+}
+
+Status DatasetRegistry::Demote(const std::string& name) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<Slot> slot, FindSlot(name));
+  std::unique_lock<std::shared_mutex> lock(slot->mutex);
+  if (slot->snapshot == nullptr || !slot->snapshot->prepared()) {
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' has no resident base to demote");
+  }
+  if (slot->snapshot->mapped()) return Status::OK();  // already cold
+  if (slot->pinned.load()) {
+    return Status::FailedPrecondition(
+        "dataset '" + name + "' is pinned; unpin it first");
+  }
+  std::shared_ptr<const PreparedDataset> mapped =
+      TryDowngradeLocked(name, slot.get());
+  if (mapped == nullptr) {
+    return Status::FailedPrecondition(
+        "dataset '" + name +
+        "' cannot be demoted: it needs durability on and a checkpoint "
+        "covering every journaled record (run CHECKPOINT first)");
+  }
+  const std::size_t arena_bytes = mapped->arena->size();
+  const std::shared_ptr<const ArenaMapping> mapping = mapped->arena;
+  slot->snapshot = std::move(mapped);
+  {
+    std::lock_guard<std::mutex> map_lock(map_mutex_);
+    const auto it = slots_.find(name);
+    if (it != slots_.end() && it->second == slot) {
+      total_bytes_ -= slot->base_bytes.load();
+      total_mapped_bytes_ += arena_bytes;
+      total_mapped_bytes_ -= slot->mapped_bytes.load();
+      slot->mapped_bytes.store(arena_bytes);
+    }
+    slot->base_bytes.store(0);
+  }
+  mapping->AdviseDontNeed();
+  return Status::OK();
+}
+
+std::size_t DatasetRegistry::mapped_bytes() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return total_mapped_bytes_;
 }
 
 void DatasetRegistry::SetPreparedBudget(std::size_t bytes) {
@@ -941,6 +1098,10 @@ Status DatasetRegistry::RunCheckpoint(const std::string& name,
         total_bytes_ += new_bytes;
         total_bytes_ -= slot->base_bytes.load();
         slot->base_bytes.store(new_bytes);
+        // The canonical image owns its storage: a previously mapped slot
+        // is promoted back to resident by the adoption.
+        total_mapped_bytes_ -= slot->mapped_bytes.load();
+        slot->mapped_bytes.store(0);
       }
     }
     if (info != nullptr) {
@@ -1062,7 +1223,8 @@ DatasetRegistry::RecoverSlotDir(const std::string& dir_path) {
     }
   }
 
-  Result<ReplayedSlot> replayed = ReplayWal(dir_path, scan, pool_);
+  Result<ReplayedSlot> replayed =
+      ReplayWal(dir_path, scan, pool_, mapped_tier_enabled_);
   if (!replayed.ok()) {
     return Status(replayed.status().code(),
                   "recovering slot '" + scan.dataset_name + "' from '" +
@@ -1078,7 +1240,14 @@ DatasetRegistry::RecoverSlotDir(const std::string& dir_path) {
     slot->recipe_norm = rs.snapshot->norm_kind;
   }
   if (rs.snapshot->prepared()) {
-    slot->base_bytes.store(rs.snapshot->base->MemoryUsage());
+    if (rs.snapshot->mapped()) {
+      // Mapped bases cost page cache, not owned heap: they are accounted
+      // in mapped_bytes and excluded from the eviction budget (base_bytes
+      // stays 0, which also keeps them out of the LRU victim set).
+      slot->mapped_bytes.store(rs.snapshot->arena->size());
+    } else {
+      slot->base_bytes.store(rs.snapshot->base->MemoryUsage());
+    }
   }
   auto journal = std::make_shared<SlotJournal>();
   journal->dir = dir_path;
@@ -1237,6 +1406,7 @@ Status DatasetRegistry::Recover(const DurabilityOptions& options) {
                                      "' collides with a loaded slot");
       }
       total_bytes_ += slot->base_bytes.load();
+      total_mapped_bytes_ += slot->mapped_bytes.load();
     }
   }
   durable_.store(true);

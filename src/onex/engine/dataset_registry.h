@@ -23,6 +23,7 @@ namespace onex {
 
 struct WalRecord;    // engine/wal.h
 struct SlotJournal;  // dataset_registry.cc
+class ArenaMapping;  // core/arena_layout.h
 
 /// A dataset registered with the engine: raw values, their normalized copy,
 /// and (after Prepare) the ONEX base. Immutable once built, so concurrent
@@ -36,8 +37,15 @@ struct PreparedDataset {
   /// Null until Prepare() has run (or after the LRU cache evicted the base).
   std::shared_ptr<const OnexBase> base;
   BaseBuildOptions build_options;
+  /// Non-null when `base` serves out of an mmap'd ONEXARENA checkpoint (the
+  /// mapped tier, DESIGN.md §17). The base itself also pins the mapping, so
+  /// this handle is tier bookkeeping, not a lifetime requirement. Every
+  /// mutation writer (snapshot_ops) clears it: a mutated snapshot owns its
+  /// storage again — copy-on-write promotion back to the resident tier.
+  std::shared_ptr<const ArenaMapping> arena;
 
   bool prepared() const { return base != nullptr; }
+  bool mapped() const { return arena != nullptr; }
 };
 
 /// Completion ticket for an asynchronous job scheduled on the shared
@@ -71,6 +79,11 @@ struct DatasetRegistryOptions {
   /// (DESIGN.md §12). 0 disables automatic regrouping; DRIFT/RegroupAsync
   /// still allow manual repair.
   double drift_threshold = 0.0;
+  /// Serve clean over-budget slots from their mmap'd arena checkpoint
+  /// instead of stripping the base (DESIGN.md §17): the first query after
+  /// eviction is a page-in, not a rebuild. Off reverts to strip + rebuild.
+  /// Only effective once durability is on — the arena IS the checkpoint.
+  bool mapped_tier = true;
 };
 
 /// Configuration of the durability layer (DESIGN.md §13): where slot
@@ -124,6 +137,12 @@ struct DatasetSlotInfo {
   std::uint64_t wal_seq = 0;
   std::uint64_t wal_dirty = 0;  ///< Records since the last checkpoint.
   std::uint64_t checkpoints = 0;
+  /// Serving tier (DESIGN.md §17): "resident" (owned base in RAM),
+  /// "mapped" (serving from an mmap'd arena checkpoint), "evicted" (recipe
+  /// only, rebuild on next use) or "raw" (never prepared).
+  std::string tier;
+  std::size_t mapped_bytes = 0;  ///< Arena bytes backing a mapped base.
+  bool pinned = false;           ///< TIER pin: exempt from downgrade/evict.
 };
 
 /// Maintenance view of one slot: the streaming-ingest counters the DRIFT
@@ -263,6 +282,29 @@ class DatasetRegistry {
   PrepareTicket MaybeScheduleRegroup(const std::string& name,
                                      const std::vector<LengthClassDrift>& drift);
 
+  // --- Tiered storage (DESIGN.md §17) -------------------------------------
+
+  /// Current serving tier of `name`: "resident", "mapped", "evicted" or
+  /// "raw" (see DatasetSlotInfo::tier).
+  Result<std::string> Tier(const std::string& name) const;
+
+  /// Pins or unpins a slot. A pinned slot is exempt from LRU eviction and
+  /// from the mapped-tier downgrade — it stays resident once prepared.
+  Status SetPinned(const std::string& name, bool pinned);
+
+  /// Downgrades `name` to its mmap'd arena checkpoint now (the TIER verb's
+  /// manual demote). Requires durability on, a checkpoint covering every
+  /// journaled record (wal_dirty == 0 — otherwise the arena on disk is
+  /// stale), a resident base, and no pin. The swap needs no WAL record:
+  /// with zero records since the checkpoint the live snapshot IS the
+  /// checkpoint's canonical image, so replay converges either way.
+  Status Demote(const std::string& name);
+
+  /// Bytes of arena-mapped bases currently serving cold slots; accounted
+  /// separately from prepared_bytes() (mapped pages are reclaimable cache,
+  /// not owned heap).
+  std::size_t mapped_bytes() const;
+
   // --- Durability (DESIGN.md §13) -----------------------------------------
 
   /// Opens `options.dir`, replays every slot directory found there
@@ -354,6 +396,11 @@ class DatasetRegistry {
     std::atomic<std::uint64_t> regroups_completed{0};
     /// Write-ahead journal; null until durability is enabled.
     std::shared_ptr<SlotJournal> journal;
+    /// TIER pin: exempt from LRU eviction and mapped-tier downgrade.
+    std::atomic<bool> pinned{false};
+    /// Arena bytes backing this slot while mapped; mutated under map_mutex_
+    /// (same discipline as base_bytes).
+    std::atomic<std::size_t> mapped_bytes{0};
   };
 
   Result<std::shared_ptr<Slot>> FindSlot(const std::string& name) const;
@@ -382,6 +429,16 @@ class DatasetRegistry {
   /// budget. `keep` (may be null) is never evicted — it is the slot whose
   /// base was just installed for immediate use.
   void EvictOverBudget(const Slot* keep);
+
+  /// Attempts the mapped-tier downgrade (DESIGN.md §17): maps the slot's
+  /// newest arena checkpoint and assembles a snapshot whose base borrows the
+  /// mapping. Caller holds the slot's exclusive lock (NOT map_mutex_ — the
+  /// map+parse does file I/O) and performs the swap and all byte accounting
+  /// itself. Returns null when the slot is ineligible (mapped tier off,
+  /// pinned, no journal floor, dirty WAL, no checkpoint, already mapped) or
+  /// the map/parse failed — callers fall back to the legacy strip.
+  std::shared_ptr<const PreparedDataset> TryDowngradeLocked(
+      const std::string& name, Slot* slot);
 
   /// Enqueues the regroup job for a slot whose regroup_inflight flag the
   /// caller just claimed; the job releases the flag when it retires.
@@ -428,6 +485,10 @@ class DatasetRegistry {
   std::map<std::string, std::shared_ptr<Slot>> slots_;
   std::size_t budget_bytes_ = 0;
   std::size_t total_bytes_ = 0;
+  /// Arena bytes across all mapped slots; guarded by map_mutex_ like
+  /// total_bytes_, surfaced by mapped_bytes().
+  std::size_t total_mapped_bytes_ = 0;
+  const bool mapped_tier_enabled_;
   std::atomic<double> drift_threshold_{0.0};
   mutable std::atomic<std::uint64_t> clock_{0};
 

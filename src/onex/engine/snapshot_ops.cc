@@ -75,6 +75,9 @@ Result<std::shared_ptr<const PreparedDataset>> ApplyAppend(
     return Status::InvalidArgument("appended series needs >= 2 points");
   }
   auto next = std::make_shared<PreparedDataset>(current);
+  // Any mutation promotes a mapped snapshot back to the resident tier: the
+  // new base owns its storage (copy-on-write), the arena handle is stale.
+  next->arena.reset();
   // Extended raw dataset.
   Dataset raw(current.raw->name());
   for (const TimeSeries& ts : current.raw->series()) raw.Add(ts);
@@ -123,6 +126,7 @@ Result<ExtendOutcome> ApplyExtend(
     outcome.points_appended += tail.size();
   }
   auto next = std::make_shared<PreparedDataset>(current);
+  next->arena.reset();  // Mutation = copy-on-write promotion off the arena.
   next->raw =
       std::make_shared<const Dataset>(ExtendTails(*current.raw, pending));
 
@@ -170,6 +174,7 @@ Result<std::shared_ptr<const PreparedDataset>> ApplyRegroup(
   ONEX_ASSIGN_OR_RETURN(OnexBase rebuilt,
                         RegroupLengthClasses(*current.base, lengths));
   auto next = std::make_shared<PreparedDataset>(current);
+  next->arena.reset();  // Mutation = copy-on-write promotion off the arena.
   next->base = std::make_shared<const OnexBase>(std::move(rebuilt));
   return std::shared_ptr<const PreparedDataset>(std::move(next));
 }
@@ -200,6 +205,7 @@ Result<std::shared_ptr<const PreparedDataset>> CanonicalizeSnapshot(
                         std::move(drafts),
                         current.base->stats().repaired_members));
   auto next = std::make_shared<PreparedDataset>(current);
+  next->arena.reset();  // The restored base owns its storage again.
   next->base = std::make_shared<const OnexBase>(std::move(restored));
   next->normalized = next->base->shared_dataset();
   return std::shared_ptr<const PreparedDataset>(std::move(next));

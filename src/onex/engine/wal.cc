@@ -9,12 +9,14 @@
 #include <fstream>
 #include <istream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "onex/common/string_utils.h"
+#include "onex/core/arena_layout.h"
 #include "onex/engine/snapshot_io.h"
 #include "onex/json/json.h"
 
@@ -199,15 +201,6 @@ bool ReadLineBounded(std::istream& in, std::string* line, bool* newline,
 }
 
 }  // namespace
-
-std::uint64_t Fnv1a64(std::string_view bytes) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 const char* WalRecordTypeToString(WalRecordType type) {
   switch (type) {
@@ -675,20 +668,32 @@ Status WalWriter::Reopen(std::uint64_t next_seq) {
   return Status::OK();
 }
 
+/// Snapshot fields shared by the materialized and mapped arena load paths.
+/// The authoritative dataset name is the caller's (WAL header / slot), not
+/// the one stored in the arena — same contract as the legacy reader.
+static PreparedDataset AssembleArenaSnapshot(const ArenaView& view,
+                                             RealizedArena realized,
+                                             const std::string& name) {
+  PreparedDataset ds;
+  ds.name = name;
+  ds.raw = std::move(realized.raw);
+  ds.normalized = std::move(realized.normalized);
+  ds.base = std::move(realized.base);
+  ds.norm_kind = view.norm_kind;
+  ds.norm_params = view.norm_params;
+  ds.build_options = view.build_options;
+  return ds;
+}
+
 Result<std::string> EncodeCheckpoint(const PreparedDataset& ds) {
-  std::ostringstream payload;
-  payload << "raw " << ds.raw->size() << '\n';
-  for (const TimeSeries& ts : ds.raw->series()) {
-    std::string line = "s";
-    AppendSeriesText(&line, ts);
-    payload << line << '\n';
+  if (ds.raw == nullptr || ds.base == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpoint requires a resident prepared snapshot");
   }
-  ONEX_RETURN_IF_ERROR(WritePreparedPayload(ds, payload));
-  const std::string body = payload.str();
-  const std::string header =
-      StrFormat("%s %d %zu %016llx\n", kCkptMagic, kCkptVersion, body.size(),
-                static_cast<unsigned long long>(Fnv1a64(body)));
-  return header + body;
+  // ONEXARENA (core/arena_layout.h): raw values verbatim (denormalization
+  // is not a bit-exact inverse), normalized values, and the full columnar
+  // group state — mmap-able, so this checkpoint can also SERVE (§17).
+  return EncodeArena(*ds.raw, ds.norm_kind, ds.norm_params, *ds.base);
 }
 
 Status WriteCheckpointFile(const PreparedDataset& ds, const std::string& path,
@@ -712,6 +717,16 @@ Result<PreparedDataset> ReadCheckpointFile(const std::string& path,
       return Status::IoError("cannot read checkpoint '" + path + "'");
     }
   }
+  if (LooksLikeArena(content)) {
+    // Arena-era checkpoint: parse + deep-copy into owned storage (the
+    // materialized path; MapCheckpointFile is the zero-copy sibling).
+    const auto bytes =
+        std::as_bytes(std::span<const char>(content.data(), content.size()));
+    ONEX_ASSIGN_OR_RETURN(ArenaView view, ParseArena(bytes));
+    ONEX_ASSIGN_OR_RETURN(RealizedArena realized, RealizeArena(view, nullptr));
+    return AssembleArenaSnapshot(view, std::move(realized), name);
+  }
+
   const std::size_t eol = content.find('\n');
   if (eol == std::string::npos) {
     return Status::ParseError("checkpoint '" + path + "' has no header");
@@ -792,6 +807,22 @@ Result<PreparedDataset> ReadCheckpointFile(const std::string& path,
   }
   raw.set_name(ds.normalized->name());
   ds.raw = std::make_shared<const Dataset>(std::move(raw));
+  return ds;
+}
+
+Result<PreparedDataset> MapCheckpointFile(const std::string& path,
+                                          const std::string& name) {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const ArenaMapping> mapping,
+                        ArenaMapping::Map(path));
+  if (!LooksLikeArena(mapping->bytes())) {
+    return Status::FailedPrecondition(
+        "checkpoint '" + path +
+        "' is a legacy ONEXCKPT file; it cannot be served in place");
+  }
+  ONEX_ASSIGN_OR_RETURN(ArenaView view, ParseArena(mapping->bytes()));
+  ONEX_ASSIGN_OR_RETURN(RealizedArena realized, RealizeArena(view, mapping));
+  PreparedDataset ds = AssembleArenaSnapshot(view, std::move(realized), name);
+  ds.arena = std::move(mapping);
   return ds;
 }
 

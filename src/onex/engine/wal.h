@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "onex/common/hash.h"
 #include "onex/common/result.h"
 #include "onex/core/incremental.h"
 #include "onex/core/onex_base.h"
@@ -41,10 +42,6 @@ namespace onex {
 /// precision; replay renormalizes them through the same shared writers the
 /// live path used (snapshot_ops.h), which is what makes recovery converge
 /// with the live engine bit for bit.
-
-/// FNV-1a 64-bit — the record checksum (and the fingerprint the golden
-/// tests use).
-std::uint64_t Fnv1a64(std::string_view bytes);
 
 enum class WalRecordType {
   kLoad = 0,      ///< Slot creation: the full raw dataset (LOAD/GEN).
@@ -183,16 +180,26 @@ class WalWriter {
   bool failed_ = false;
 };
 
-/// Checkpoint files ("ONEXCKPT 1"): a length- and checksum-guarded wrapper
-/// around the exact raw series values plus the standard ONEXPREP payload
-/// (snapshot_io.h). Raw values are stored verbatim because the ONEXPREP
-/// payload only carries normalized values, and denormalization does not
-/// round-trip bit-exactly; recovery must hand back the very raw bytes the
-/// live engine held.
+/// Checkpoint files. New checkpoints are written in the ONEXARENA format
+/// (core/arena_layout.h): one relocatable, section-checksummed blob holding
+/// the exact raw values, the normalized values and the full columnar group
+/// state — so a checkpoint can be mmap'd and served in place (the mapped
+/// tier, DESIGN.md §17), not just replayed. ReadCheckpointFile sniffs the
+/// magic and still reads the legacy text format ("ONEXCKPT 1": raw series
+/// plus the ONEXPREP payload, length- and FNV-guarded), so checkpoints
+/// written before the arena era recover unchanged.
 Status WriteCheckpointFile(const PreparedDataset& ds, const std::string& path,
                            bool sync);
 Result<PreparedDataset> ReadCheckpointFile(const std::string& path,
                                            const std::string& name);
+
+/// Maps an arena checkpoint read-only and assembles a snapshot whose base
+/// borrows the mapping (PreparedDataset::arena set, storage pinned via the
+/// base's keepalive). FailedPrecondition when the file is not an arena —
+/// legacy checkpoints cannot be served in place; callers fall back to
+/// ReadCheckpointFile.
+Result<PreparedDataset> MapCheckpointFile(const std::string& path,
+                                          const std::string& name);
 
 /// The checkpoint file's bytes (header + guarded payload) without the file
 /// write — the registry serializes outside its slot lock and then only

@@ -33,7 +33,8 @@ bool IsDatasetScoped(const std::string& verb) {
 /// and a DROP on one shard could not be undone on its replicas.
 bool IsBlockedInCluster(const std::string& verb) {
   return verb == "PERSIST" || verb == "CHECKPOINT" || verb == "BUDGET" ||
-         verb == "DROP" || verb == "SAVEBASE" || verb == "LOADBASE";
+         verb == "DROP" || verb == "SAVEBASE" || verb == "LOADBASE" ||
+         verb == "TIER";
 }
 
 /// Verbs that must answer from this node even in cluster mode.

@@ -13,11 +13,11 @@ namespace {
 /// (protocol.h) plus the serving-layer verbs; the last entry absorbs
 /// everything unrecognized (typos, fuzz noise).
 constexpr const char* kMetricVerbs[] = {
-    "PING",     "LIST",    "DATASETS", "USE",       "BUDGET",  "GEN",
-    "LOAD",     "DROP",    "PREPARE",  "APPEND",    "EXTEND",  "DRIFT",
-    "SAVEBASE", "LOADBASE", "PERSIST", "CHECKPOINT", "STATS",  "CATALOG",
-    "OVERVIEW", "MATCH",   "KNN",      "BATCH",     "SEASONAL", "THRESHOLD",
-    "BIN",      "METRICS", "QUIT",     "OTHER",
+    "PING",     "LIST",    "DATASETS", "USE",       "BUDGET",  "TIER",
+    "GEN",      "LOAD",    "DROP",     "PREPARE",   "APPEND",  "EXTEND",
+    "DRIFT",    "SAVEBASE", "LOADBASE", "PERSIST", "CHECKPOINT", "STATS",
+    "CATALOG",  "OVERVIEW", "MATCH",   "KNN",      "BATCH",   "SEASONAL",
+    "THRESHOLD", "BIN",    "METRICS",  "QUIT",     "OTHER",
 };
 constexpr std::size_t kNumVerbs =
     sizeof(kMetricVerbs) / sizeof(kMetricVerbs[0]);

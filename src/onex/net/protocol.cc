@@ -284,6 +284,11 @@ Result<json::Value> DoStats(Engine* engine, const Session& session,
     v.Set("st", ds->build_options.st);
     v.Set("normalization", NormalizationKindToString(ds->norm_kind));
   }
+  if (const Result<std::string> tier = engine->registry().Tier(name);
+      tier.ok()) {
+    v.Set("tier", *tier);
+  }
+  v.Set("mapped_bytes", engine->registry().mapped_bytes());
   if (const Result<MaintenanceStatus> m = engine->registry().Maintenance(name);
       m.ok()) {
     v.Set("last_max_drift", m->last_max_drift);
@@ -877,6 +882,9 @@ Result<json::Value> DoDatasets(Engine* engine) {
     row.Set("prepared", info.prepared);
     row.Set("evicted", info.evicted);
     row.Set("bytes", info.prepared_bytes);
+    row.Set("tier", info.tier);
+    row.Set("mapped_bytes", info.mapped_bytes);
+    row.Set("pinned", info.pinned);
     row.Set("regrouping", info.regrouping);
     row.Set("last_max_drift", info.last_max_drift);
     row.Set("durable", info.durable);
@@ -890,6 +898,7 @@ Result<json::Value> DoDatasets(Engine* engine) {
   v.Set("datasets", std::move(arr));
   v.Set("budget", engine->registry().prepared_budget());
   v.Set("prepared_bytes", engine->registry().prepared_bytes());
+  v.Set("mapped_bytes", engine->registry().mapped_bytes());
   v.Set("durable", engine->registry().durable());
   return v;
 }
@@ -917,6 +926,38 @@ Result<json::Value> DoBudget(Engine* engine, const Command& cmd) {
   json::Value v = Ok();
   v.Set("budget", engine->registry().prepared_budget());
   v.Set("prepared_bytes", engine->registry().prepared_bytes());
+  return v;
+}
+
+Result<json::Value> DoTier(Engine* engine, const Session& session,
+                           const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  if (const auto it = cmd.options.find("pin"); it != cmd.options.end()) {
+    ONEX_ASSIGN_OR_RETURN(long long pin, ParseInt(it->second));
+    if (pin != 0 && pin != 1) {
+      return Status::InvalidArgument("pin must be 0 or 1");
+    }
+    ONEX_RETURN_IF_ERROR(engine->registry().SetPinned(name, pin == 1));
+  }
+  if (const auto it = cmd.options.find("demote"); it != cmd.options.end()) {
+    ONEX_ASSIGN_OR_RETURN(long long demote, ParseInt(it->second));
+    if (demote != 0 && demote != 1) {
+      return Status::InvalidArgument("demote must be 0 or 1");
+    }
+    if (demote == 1) {
+      ONEX_RETURN_IF_ERROR(engine->registry().Demote(name));
+    }
+  }
+  ONEX_ASSIGN_OR_RETURN(std::string tier, engine->registry().Tier(name));
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("tier", tier);
+  for (const DatasetSlotInfo& info : engine->registry().Describe()) {
+    if (info.name != name) continue;
+    v.Set("pinned", info.pinned);
+    v.Set("mapped_bytes", info.mapped_bytes);
+    break;
+  }
   return v;
 }
 
@@ -1047,6 +1088,7 @@ Result<json::Value> Dispatch(Engine* engine, Session* session,
   if (cmd.verb == "DATASETS") return DoDatasets(engine);
   if (cmd.verb == "USE") return DoUse(engine, session, cmd);
   if (cmd.verb == "BUDGET") return DoBudget(engine, cmd);
+  if (cmd.verb == "TIER") return DoTier(engine, *session, cmd);
   if (cmd.verb == "GEN") return DoGen(engine, cmd);
   if (cmd.verb == "LOAD") return DoLoad(engine, cmd);
   if (cmd.verb == "DROP") {

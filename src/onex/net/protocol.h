@@ -32,6 +32,12 @@ namespace onex::net {
 ///   USE <name>|name=<name>                           session default dataset
 ///   BUDGET [bytes=N]                                 get/set prepared-base
 ///                                                    LRU byte budget (0 = off)
+///   TIER [<name>] [pin=0|1] [demote=1]               serving-tier control
+///       Reports the slot's tier (resident|mapped|evicted|raw, DESIGN.md
+///       §17) plus pinned/mapped_bytes. pin=1 exempts the slot from LRU
+///       eviction and downgrade; demote=1 swaps a clean checkpointed base
+///       for its mmap'd arena now (FailedPrecondition if the WAL is dirty
+///       or durability is off).
 ///   GEN <name> <kind> [num=50] [len=100] [seed=42]   kind: walk|sine|shapes|
 ///                                                    electricity|economic
 ///   LOAD <name> <path> | LOAD name=<n> path=<p>      UCR-format file

@@ -54,7 +54,7 @@ ReactorServer::VerbKind ReactorServer::ClassifyVerb(const std::string& verb) {
   if (verb == "GEN" || verb == "LOAD" || verb == "DROP" || verb == "PREPARE" ||
       verb == "APPEND" || verb == "EXTEND" || verb == "SAVEBASE" ||
       verb == "LOADBASE" || verb == "PERSIST" || verb == "CHECKPOINT" ||
-      verb == "BUDGET" || verb == "USE") {
+      verb == "BUDGET" || verb == "USE" || verb == "TIER") {
     return VerbKind::kMutator;
   }
   // Queries, reports, and unknown verbs (whose error responses are

@@ -35,6 +35,10 @@ const std::vector<std::string>& Corpus() {
       "DATASETS",
       "USE s",
       "BUDGET bytes=100000",
+      "TIER s",
+      "TIER s pin=1",
+      "TIER s pin=0 demote=1",
+      "TIER dataset=s demote=1",
       "GEN s sine num=4 len=12 seed=7",
       "GEN w walk num=3 len=10",
       "PREPARE s st=0.2 maxlen=8",
@@ -249,6 +253,12 @@ TEST(ProtocolFuzzTest, DurabilityFramesNeverCrashOrEscapeTheDataDir) {
         "STATS s",
         "DATASETS",
         "EXTEND s series=0 points=0.2,0.4",
+        // The mapped tier's wire surface: on this durable engine demote=1
+        // can genuinely swap the base for its arena and back.
+        "TIER s",
+        "TIER s demote=1",
+        "TIER s pin=1",
+        "TIER s pin=0",
     };
     Rng rng(0xD00D);
     for (int iter = 0; iter < 3000; ++iter) {
@@ -472,6 +482,160 @@ TEST(ProtocolFuzzTest, ShippedWalFramesNeverInstallCorruptRecords) {
   EXPECT_TRUE(recovered.Get("s").ok());
   std::filesystem::remove_all(dir_p);
   std::filesystem::remove_all(dir_r);
+}
+
+/// Hostile ONEXARENA files through the LOADBASE verb. The contract: a
+/// declared section length or count NEVER drives an allocation (inflated
+/// sizes are rejected by bounds checks before any byte is trusted, even
+/// when the attacker keeps the whole-file checksum honest), every corrupt
+/// file yields a clean error response, and arena mappings never outlive
+/// their slot — a demoted dataset can be dropped and its checkpoint file
+/// destroyed with nothing dangling (ASan proves the negative).
+TEST(ProtocolFuzzTest, HostileArenaFilesThroughLoadbaseNeverCrash) {
+  const std::string dir = ::testing::TempDir() + "/onex_fuzz_arena";
+  std::filesystem::remove_all(dir);
+  Engine engine;
+  Session session;
+  DurabilityOptions durability;
+  durability.dir = dir;
+  durability.fsync = false;
+  ASSERT_TRUE(engine.EnableDurability(durability).ok());
+  for (const char* line :
+       {"GEN s sine num=4 len=16 seed=3", "PREPARE s st=0.2 maxlen=8",
+        "CHECKPOINT s"}) {
+    const json::Value v =
+        ExecuteCommand(&engine, &session, *ParseCommandLine(line));
+    ASSERT_TRUE(v["ok"].as_bool()) << line << ": " << v.Dump();
+  }
+  // The checkpoint the engine just wrote is a genuine arena blob.
+  std::string genuine;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/" + SlotDirName("s"))) {
+    if (entry.path().filename().string().rfind("ckpt-", 0) != 0) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    genuine.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(genuine.size(), 64u);
+
+  const std::string hostile_path = dir + "/hostile.arena";
+  auto loadbase = [&](const std::string& bytes) {
+    {
+      std::ofstream out(hostile_path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+    const json::Value v = ExecuteCommand(
+        &engine, &session,
+        *ParseCommandLine("LOADBASE h " + hostile_path));
+    CheckResponse(v, "LOADBASE (" + std::to_string(bytes.size()) + " bytes)");
+    if (v["ok"].as_bool()) {
+      EXPECT_TRUE(engine.DropDataset("h").ok());  // keep the name reusable
+    }
+    return v;
+  };
+  // Sanity: the untouched arena loads and answers.
+  {
+    std::ofstream out(hostile_path, std::ios::binary | std::ios::trunc);
+    out << genuine;
+  }
+  const json::Value loaded = ExecuteCommand(
+      &engine, &session, *ParseCommandLine("LOADBASE h " + hostile_path));
+  ASSERT_TRUE(loaded["ok"].as_bool()) << loaded.Dump();
+  const json::Value match = ExecuteCommand(
+      &engine, &session, *ParseCommandLine("MATCH h q=0:2:8"));
+  EXPECT_TRUE(match["ok"].as_bool()) << match.Dump();
+  ASSERT_TRUE(engine.DropDataset("h").ok());
+
+  auto put32 = [](std::string* b, std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      (*b)[at + static_cast<std::size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  };
+  auto put64 = [](std::string* b, std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      (*b)[at + static_cast<std::size_t>(i)] =
+          static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  };
+  // Keeping the whole-file FNV honest lets a patch reach the structural
+  // validators instead of dying at the checksum — the adversarial case.
+  auto refnv = [&put64](std::string* b) {
+    put64(b, 32, Fnv1a64(std::string_view(*b).substr(64)));
+  };
+
+  // Crafted attacks on the framing itself. Each must be a structured error
+  // (under ASan, an allocation driven by the planted number would abort).
+  {
+    std::string b = genuine;  // file_size claims 2^62 bytes
+    put64(&b, 16, std::uint64_t{1} << 62);
+    EXPECT_FALSE(loadbase(b)["ok"].as_bool()) << "huge file_size";
+  }
+  {
+    std::string b = genuine;  // section table of 4 billion entries
+    put32(&b, 24, 0xffffffffu);
+    refnv(&b);
+    EXPECT_FALSE(loadbase(b)["ok"].as_bool()) << "huge section_count";
+  }
+  {
+    std::string b = genuine;  // first section claims 2^60 bytes
+    put64(&b, 64 + 16, std::uint64_t{1} << 60);
+    refnv(&b);
+    EXPECT_FALSE(loadbase(b)["ok"].as_bool()) << "huge section size";
+  }
+  {
+    std::string b = genuine;  // offset + size wraps past 2^64
+    put64(&b, 64 + 8, 0xffffffffffffffc0ull);
+    put64(&b, 64 + 16, std::uint64_t{0x80});
+    refnv(&b);
+    EXPECT_FALSE(loadbase(b)["ok"].as_bool()) << "offset overflow";
+  }
+  {
+    std::string b = genuine;  // duplicate section identity
+    b.replace(64 + 32, 8, b, 64, 8);  // desc1 kind/index := desc0's
+    refnv(&b);
+    EXPECT_FALSE(loadbase(b)["ok"].as_bool()) << "duplicate section";
+  }
+
+  // Random storm: flips (half with an honest re-checksum so they pierce the
+  // FNV layer), truncations, and garbage tails.
+  Rng rng(0xA12E7A);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string b = genuine;
+    switch (rng.UniformIndex(3)) {
+      case 0: {
+        const std::size_t flips = 1 + rng.UniformIndex(3);
+        for (std::size_t f = 0; f < flips; ++f) {
+          b[rng.UniformIndex(b.size())] =
+              static_cast<char>(rng.UniformInt(0, 255));
+        }
+        if (rng.Bernoulli(0.5)) refnv(&b);
+        break;
+      }
+      case 1:
+        b.resize(rng.UniformIndex(b.size()));
+        break;
+      default:
+        b += std::string(1 + rng.UniformIndex(200),
+                         static_cast<char>(rng.UniformInt(0, 255)));
+        break;
+    }
+    loadbase(b);  // any well-formed outcome; the property is no crash/OOM
+  }
+
+  // Mapping lifetime over the wire: demote s onto its arena, drop it, and
+  // destroy the file it was mapped from. Nothing may dangle.
+  const json::Value demoted = ExecuteCommand(
+      &engine, &session, *ParseCommandLine("TIER s demote=1"));
+  ASSERT_TRUE(demoted["ok"].as_bool()) << demoted.Dump();
+  EXPECT_EQ(demoted["tier"].as_string(), "mapped");
+  const json::Value dropped =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("DROP s"));
+  ASSERT_TRUE(dropped["ok"].as_bool()) << dropped.Dump();
+  std::filesystem::remove_all(dir + "/" + SlotDirName("s"));
+  const json::Value regen = ExecuteCommand(
+      &engine, &session, *ParseCommandLine("GEN s sine num=2 len=10 seed=1"));
+  EXPECT_TRUE(regen["ok"].as_bool()) << regen.Dump();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
