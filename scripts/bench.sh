@@ -20,8 +20,12 @@
 #                           start: time-to-first-query off an mmap'd arena
 #                           checkpoint vs evicted-rebuild vs resident, at
 #                           16/64/256 datasets (DESIGN.md §17)
+#   BENCH_analytics.json    bench_e14_analytics — analytics on the group
+#                           structure: ANOMALY/MOTIF/FORECAST fast paths
+#                           vs index-blind scans, BOCPD truncation vs the
+#                           exact recursion (DESIGN.md §18)
 #
-# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json [net.json [tier.json]]]]]
+# Usage: scripts/bench.sh [query.json [maintenance.json [kernels.json [net.json [tier.json [analytics.json]]]]]]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,11 +34,12 @@ MAINT_OUT="${2:-BENCH_maintenance.json}"
 KERNEL_OUT="${3:-BENCH_kernels.json}"
 NET_OUT="${4:-BENCH_net.json}"
 TIER_OUT="${5:-BENCH_tier.json}"
+ANALYTICS_OUT="${6:-BENCH_analytics.json}"
 
 cmake -B build -S . -DONEX_BUILD_BENCHES=ON >/dev/null
 cmake --build build -j --target bench_e2_query_speedup \
   bench_e10_maintenance bench_e11_kernel_sweep bench_e12_load \
-  bench_e13_coldstart >/dev/null
+  bench_e13_coldstart bench_e14_analytics >/dev/null
 
 ./build/bench_e2_query_speedup --json "$QUERY_OUT"
 echo "perf record: $QUERY_OUT"
@@ -46,3 +51,5 @@ echo "perf record: $KERNEL_OUT"
 echo "perf record: $NET_OUT"
 ./build/bench_e13_coldstart --json "$TIER_OUT"
 echo "perf record: $TIER_OUT"
+./build/bench_e14_analytics --json "$ANALYTICS_OUT"
+echo "perf record: $ANALYTICS_OUT"

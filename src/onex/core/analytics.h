@@ -1,0 +1,242 @@
+#ifndef ONEX_CORE_ANALYTICS_H_
+#define ONEX_CORE_ANALYTICS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "onex/common/cancellation.h"
+#include "onex/common/result.h"
+#include "onex/core/incremental.h"
+#include "onex/core/onex_base.h"
+#include "onex/ts/subsequence.h"
+
+namespace onex {
+
+/// Analytics verbs on the group structure (DESIGN.md §18): the compacted
+/// similarity groups are an index, not just a MATCH/KNN accelerator. Each
+/// query family below answers directly off the GroupStore — centroids
+/// bound member distances (triangle inequality), group populations are
+/// density estimates, and group radii make cross-group pruning admissible —
+/// so the accelerated paths return *the same answers* as a scan that never
+/// heard of groups. core_analytics_diff_test proves exactly that: exact
+/// equivalence for ANOMALY scores and MOTIF/DISCORD distances, bounded
+/// (with the bound reported by the algorithm itself) for CHANGEPOINT.
+///
+/// Every entry point polls an optional Cancellation between stages (length
+/// classes, groups, BOCPD steps), so `deadline_ms=` and client disconnects
+/// stop analytics mid-flight the same way they stop the query cascade.
+
+// ---------------------------------------------------------------------------
+// ANOMALY — nearest-centroid scoring + DBSCAN-style outlier flags
+// ---------------------------------------------------------------------------
+
+struct AnomalyOptions {
+  /// Restrict to one length class; 0 = every class in the base.
+  std::size_t length = 0;
+  /// Report at most this many findings (descending score).
+  std::size_t top_k = 10;
+  /// Neighborhood radius for the outlier rule. 0 = the base's ST/2 — the
+  /// same radius the PR 4 drift machinery checks members against.
+  double eps = 0.0;
+  /// A member is *clustered* when some centroid within `eps` of it heads a
+  /// group with at least `min_pts` members (the DBSCAN core-point rule with
+  /// group population as the density estimate). Everything else is flagged.
+  std::size_t min_pts = 2;
+  const Cancellation* cancel = nullptr;
+};
+
+/// One scored subsequence. `score` is the exact distance to the nearest
+/// centroid of its length class (normalized ED, the grouping metric).
+struct AnomalyFinding {
+  SubseqRef ref;
+  double score = 0.0;
+  bool outlier = false;
+};
+
+struct AnomalyReport {
+  /// Top findings across all scanned classes, by (score desc, ref asc).
+  std::vector<AnomalyFinding> findings;
+  /// Per-class drift (PR 4 machinery): members beyond ST/2 of their *own*
+  /// centroid — the maintenance view of the same outlier population.
+  std::vector<LengthClassDrift> drift;
+  std::size_t members_scanned = 0;
+  std::size_t outliers = 0;  ///< Flagged members across scanned classes.
+  /// Centroid distance evaluations abandoned early (the work the index
+  /// saved relative to the oracle's exhaustive centroid scan).
+  std::size_t distance_evals = 0;
+  std::size_t evals_abandoned = 0;
+};
+
+/// Scores every member of the selected length class(es) by its distance to
+/// the nearest centroid and applies the DBSCAN-style outlier rule. Exact:
+/// early abandonment never changes a score, only skips arithmetic.
+Result<AnomalyReport> DetectAnomalies(const OnexBase& base,
+                                      const AnomalyOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// CHANGEPOINT — Bayesian online changepoint detection (BOCPD)
+// ---------------------------------------------------------------------------
+
+struct ChangepointOptions {
+  /// Constant hazard rate: prior probability that any step is a change.
+  double hazard = 0.01;
+  /// Run-length distribution cap. Mass beyond the `max_run` most probable
+  /// run lengths is dropped (and accounted in `mass_dropped`); the report's
+  /// `error_bound` converts that into a guarantee on every probability.
+  std::size_t max_run = 256;
+  /// Report step t as a changepoint when the posterior that a new regime
+  /// began at t exceeds this. The statistic is the weight of the one-step-
+  /// old run once its first point has been scored: in the BOCPD recursion
+  /// P(run = 0) is identically the hazard (change and growth share every
+  /// predictive factor), so the run-0 mass carries no evidence — the
+  /// run-1 mass is where a fresh regime first beats the old ones.
+  double threshold = 0.5;
+  /// Evaluate only the last `last` points (0 = the whole series): the
+  /// streamed-EXTEND shape, where only the fresh tail is in question.
+  std::size_t last = 0;
+  const Cancellation* cancel = nullptr;
+};
+
+struct ChangepointHit {
+  std::size_t index = 0;     ///< Position in the evaluated window.
+  double probability = 0.0;  ///< Posterior that a new regime began there.
+};
+
+struct ChangepointReport {
+  std::vector<ChangepointHit> changepoints;
+  /// Posterior that a new regime began at each evaluated step (the run-1
+  /// weight; see ChangepointOptions::threshold), for charting.
+  std::vector<double> change_probability;
+  /// MAP run length after the final step.
+  std::size_t map_run_length = 0;
+  std::size_t evaluated = 0;  ///< Points the recursion consumed.
+  /// Total posterior mass dropped by the max_run truncation, and the total-
+  /// variation bound it implies on any reported probability vs. the exact
+  /// (unpruned) recursion: |p_pruned - p_exact| <= error_bound. Zero when
+  /// nothing was dropped — then the pruned answer IS the exact answer.
+  double mass_dropped = 0.0;
+  double error_bound = 0.0;
+};
+
+/// Runs the BOCPD recursion (normal observations, Normal-Inverse-Gamma
+/// conjugate prior, Student-t predictive) over `values`. Pure function of
+/// the input window — the engine feeds it a series' normalized values, so
+/// streamed EXTEND tails are evaluated in the same units the base groups.
+Result<ChangepointReport> DetectChangepoints(
+    std::span<const double> values, const ChangepointOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// MOTIF / DISCORD — densest groups, closest pair, loneliest members
+// ---------------------------------------------------------------------------
+
+struct MotifOptions {
+  /// Restrict to one length class; 0 = every class.
+  std::size_t length = 0;
+  /// Densest groups to report per class.
+  std::size_t top_k = 5;
+  /// Loneliest members (discords) to report per class.
+  std::size_t discords = 3;
+  const Cancellation* cancel = nullptr;
+};
+
+/// One dense group: the motif as the *paper's* structure sees it.
+struct MotifGroup {
+  std::size_t group = 0;  ///< Index within its length class.
+  std::size_t count = 0;  ///< Members.
+  double radius = 0.0;    ///< Exact max member-to-centroid distance.
+};
+
+/// One discord: the member whose nearest non-overlapping same-length
+/// neighbor is farthest away. `distance` is that exact nearest-neighbor
+/// distance (normalized ED).
+struct Discord {
+  SubseqRef ref;
+  double distance = 0.0;
+};
+
+struct MotifClassReport {
+  std::size_t length = 0;
+  std::vector<MotifGroup> densest;  ///< By (count desc, group asc).
+  /// The exact closest non-overlapping pair in the class (the classical
+  /// motif pair), found by centroid-distance pruning.
+  SubseqRef motif_a, motif_b;
+  double motif_distance = 0.0;
+  bool has_motif = false;  ///< False when no non-overlapping pair exists.
+  std::vector<Discord> discords;  ///< By (distance desc, ref asc).
+};
+
+struct MotifReport {
+  std::vector<MotifClassReport> classes;
+  std::size_t members_scanned = 0;
+  /// Pair distance evaluations skipped by the group bound
+  /// d(a,b) >= d(c_a,c_b) - r_a - r_b (admissible, so results stay exact).
+  std::size_t pairs_pruned = 0;
+  std::size_t pairs_evaluated = 0;
+};
+
+/// Exact motif-pair and discord discovery per length class, plus the
+/// densest-group ranking. Group centroids and radii prune candidate pairs
+/// without ever changing an answer; core_analytics_diff_test holds the
+/// result to the O(n^2) scan's, bit for bit.
+Result<MotifReport> FindMotifs(const OnexBase& base,
+                               const MotifOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// FORECAST — nearest-group continuations and seasonal-naive baselines
+// ---------------------------------------------------------------------------
+
+enum class ForecastMethod {
+  /// k nearest same-length members of the base (by tail distance) vote with
+  /// their observed continuations — the analog method, served off the group
+  /// index with admissible pruning.
+  kGroupNn = 0,
+  /// Repeat the last observed period verbatim. The baseline every other
+  /// forecaster must beat; exact and index-free by construction.
+  kSeasonalNaive = 1,
+};
+
+struct ForecastOptions {
+  std::size_t horizon = 8;
+  /// Tail length to match (and the length class consulted). 0 = the longest
+  /// class that fits the series.
+  std::size_t length = 0;
+  std::size_t k = 3;  ///< Neighbors for kGroupNn.
+  ForecastMethod method = ForecastMethod::kGroupNn;
+  /// Season length for kSeasonalNaive. 0 = the resolved tail length.
+  std::size_t period = 0;
+  const Cancellation* cancel = nullptr;
+};
+
+struct ForecastNeighbor {
+  SubseqRef ref;
+  double distance = 0.0;  ///< Normalized ED from the tail to the member.
+};
+
+struct ForecastReport {
+  ForecastMethod method = ForecastMethod::kGroupNn;
+  std::size_t series = 0;
+  std::size_t tail_start = 0;   ///< Where the matched tail begins.
+  std::size_t tail_length = 0;  ///< Resolved tail / pattern length.
+  std::size_t period = 0;       ///< Resolved season (kSeasonalNaive only).
+  /// Predicted values in normalized units (the engine denormalizes).
+  std::vector<double> values;
+  /// The neighbors that voted, ascending by (distance, ref). Empty for
+  /// kSeasonalNaive.
+  std::vector<ForecastNeighbor> neighbors;
+  std::size_t candidates = 0;  ///< Members with a full continuation.
+  std::size_t groups_pruned = 0;
+};
+
+/// Forecasts `horizon` points past the end of series `series` from the
+/// base's normalized dataset. kGroupNn finds the exact k nearest members
+/// with a full `horizon`-point continuation (group-bound pruning, early
+/// abandonment) and averages their continuations; kSeasonalNaive repeats
+/// the last `period` points.
+Result<ForecastReport> ForecastSeries(const OnexBase& base,
+                                      std::size_t series,
+                                      const ForecastOptions& options = {});
+
+}  // namespace onex
+
+#endif  // ONEX_CORE_ANALYTICS_H_

@@ -180,6 +180,11 @@ Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
           "length classes must be strictly increasing");
     }
     prev_length = draft.length;
+    // Build() never materializes a class with zero members, but the ONEXBASE
+    // text format can carry one ("groups 0"). Skip it rather than install a
+    // memberless LengthClass that every later consumer (drift ratios, group
+    // scans) would have to special-case.
+    if (draft.groups.empty()) continue;
     for (GroupBuilder& g : draft.groups) {
       if (g.empty()) {
         return Status::InvalidArgument("restored group has no members");
@@ -198,6 +203,9 @@ Result<OnexBase> OnexBase::Restore(std::shared_ptr<const Dataset> dataset,
     base.stats_.num_subsequences += cls.total_members;
     base.stats_.num_groups += cls.groups.size();
     base.classes_.push_back(std::move(cls));
+  }
+  if (base.classes_.empty()) {
+    return Status::InvalidArgument("cannot restore a base with no groups");
   }
   base.stats_.num_length_classes = base.classes_.size();
   base.stats_.build_seconds =

@@ -352,6 +352,45 @@ Engine::QueryCounters Engine::query_counters() const {
   return c;
 }
 
+Result<AnomalyReport> Engine::Anomaly(const std::string& name,
+                                      const AnomalyOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  return DetectAnomalies(*ds->base, options);
+}
+
+Result<ChangepointReport> Engine::Changepoint(
+    const std::string& name, std::size_t series,
+    const ChangepointOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  ONEX_RETURN_IF_ERROR(ds->normalized->CheckIndex(series));
+  return DetectChangepoints((*ds->normalized)[series].AsSpan(), options);
+}
+
+Result<MotifReport> Engine::Motif(const std::string& name,
+                                  const MotifOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  return FindMotifs(*ds->base, options);
+}
+
+Result<Engine::ForecastResult> Engine::Forecast(
+    const std::string& name, std::size_t series,
+    const ForecastOptions& options) const {
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        GetPrepared(name));
+  ForecastResult result;
+  ONEX_ASSIGN_OR_RETURN(result.report,
+                        ForecastSeries(*ds->base, series, options));
+  result.series_name = (*ds->raw)[series].name();
+  result.raw_values.reserve(result.report.values.size());
+  for (const double v : result.report.values) {
+    result.raw_values.push_back(Denormalize(ds->norm_params, series, v));
+  }
+  return result;
+}
+
 Result<std::vector<SeasonalPattern>> Engine::Seasonal(
     const std::string& name, std::size_t series_idx,
     const SeasonalOptions& options) const {

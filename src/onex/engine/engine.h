@@ -10,6 +10,7 @@
 
 #include "onex/common/result.h"
 #include "onex/common/task_pool.h"
+#include "onex/core/analytics.h"
 #include "onex/core/incremental.h"
 #include "onex/core/onex_base.h"
 #include "onex/core/overview.h"
@@ -183,6 +184,37 @@ class Engine {
   Result<std::vector<std::vector<MatchResult>>> KnnBatch(
       const std::string& name, const std::vector<QuerySpec>& queries,
       std::size_t k, const QueryOptions& options = {}) const;
+
+  /// Analytics verbs on the group structure (core/analytics.h, DESIGN.md
+  /// §18). All four run against the prepared base snapshot — an evicted
+  /// base is transparently re-prepared, exactly like a query.
+
+  /// Nearest-centroid anomaly scores + DBSCAN-style outlier flags.
+  Result<AnomalyReport> Anomaly(const std::string& name,
+                                const AnomalyOptions& options = {}) const;
+
+  /// BOCPD over one series' normalized values (streamed EXTEND tails
+  /// included — the recursion sees whatever the series holds now).
+  Result<ChangepointReport> Changepoint(
+      const std::string& name, std::size_t series,
+      const ChangepointOptions& options = {}) const;
+
+  /// Densest groups, exact motif pair and discords per length class.
+  Result<MotifReport> Motif(const std::string& name,
+                            const MotifOptions& options = {}) const;
+
+  /// A forecast in both unit systems: the analytics layer predicts in
+  /// normalized units; the engine maps the points back through the
+  /// dataset's frozen normalization so clients chart domain units.
+  struct ForecastResult {
+    ForecastReport report;
+    std::vector<double> raw_values;  ///< report.values, denormalized.
+    std::string series_name;
+  };
+
+  /// Nearest-group-continuation or seasonal-naive baseline forecast.
+  Result<ForecastResult> Forecast(const std::string& name, std::size_t series,
+                                  const ForecastOptions& options = {}) const;
 
   /// Repeating patterns within one series (Seasonal View).
   Result<std::vector<SeasonalPattern>> Seasonal(

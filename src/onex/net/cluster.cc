@@ -25,7 +25,8 @@ bool IsDatasetScoped(const std::string& verb) {
   return IsReplicatedMutator(verb) || verb == "USE" || verb == "DRIFT" ||
          verb == "STATS" || verb == "CATALOG" || verb == "OVERVIEW" ||
          verb == "MATCH" || verb == "KNN" || verb == "BATCH" ||
-         verb == "SEASONAL" || verb == "THRESHOLD";
+         verb == "SEASONAL" || verb == "THRESHOLD" || verb == "ANOMALY" ||
+         verb == "CHANGEPOINT" || verb == "MOTIF" || verb == "FORECAST";
 }
 
 /// Node-local durability and lifecycle controls make no sense through a

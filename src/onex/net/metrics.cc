@@ -17,7 +17,8 @@ constexpr const char* kMetricVerbs[] = {
     "GEN",      "LOAD",    "DROP",     "PREPARE",   "APPEND",  "EXTEND",
     "DRIFT",    "SAVEBASE", "LOADBASE", "PERSIST", "CHECKPOINT", "STATS",
     "CATALOG",  "OVERVIEW", "MATCH",   "KNN",      "BATCH",   "SEASONAL",
-    "THRESHOLD", "BIN",    "METRICS",  "QUIT",     "OTHER",
+    "THRESHOLD", "ANOMALY", "CHANGEPOINT", "MOTIF", "FORECAST",
+    "BIN",      "METRICS", "QUIT",     "OTHER",
 };
 constexpr std::size_t kNumVerbs =
     sizeof(kMetricVerbs) / sizeof(kMetricVerbs[0]);
@@ -125,17 +126,21 @@ json::Value ServerMetrics::ToJson() const {
     if (count == 0) continue;  // keep the response proportional to traffic
     json::Value row = json::Value::MakeObject();
     row.Set("count", count);
-    // Percentiles from the histogram: walk buckets to the target rank.
+    // Percentiles from the histogram, nearest-rank: the p-th percentile is
+    // the ceil(p * count)-th smallest sample (1-indexed). The old
+    // floor(p * (count-1)) walk truncated the rank, so a tail of one slow
+    // request among many fast ones never surfaced — p99 of {10 x 2us,
+    // 1 x 100ms} reported the 2us bucket.
     const double targets[] = {0.50, 0.95, 0.99};
     const char* names[] = {"p50_ms", "p95_ms", "p99_ms"};
     for (int t = 0; t < 3; ++t) {
       const auto rank = static_cast<std::uint64_t>(
-          targets[t] * static_cast<double>(count - 1));
+          std::ceil(targets[t] * static_cast<double>(count)));
       std::uint64_t seen = 0;
       double value = 0.0;
       for (std::size_t b = 0; b < kHistBuckets; ++b) {
         seen += vs.hist[b].load(kRelaxed);
-        if (seen > rank) {
+        if (seen >= rank) {
           value = BucketMidMs(b);
           break;
         }

@@ -80,7 +80,7 @@ class ServerMetrics {
 
   std::chrono::steady_clock::time_point start_;
   // One VerbStats per kMetricVerbs entry; sized in the .cc against the table.
-  static constexpr std::size_t kMaxVerbs = 32;
+  static constexpr std::size_t kMaxVerbs = 40;
   std::array<VerbStats, kMaxVerbs> verbs_;
   std::array<QpsSlot, kQpsSlots> qps_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -31,11 +32,37 @@ Result<long long> OptInt(const Command& cmd, const std::string& key,
   return ParseInt(it->second);
 }
 
+/// Wire numerics must be finite: strtod happily admits "nan"/"inf"
+/// spellings, and a NaN that slips into a threshold or a data point
+/// poisons every later distance comparison *silently* (NaN compares false
+/// against everything, so cascades neither prune nor match). Reject at
+/// parse time, uniformly, for every numeric option and value path.
+Result<double> FiniteWireDouble(const std::string& token) {
+  ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("numeric values must be finite, got '" +
+                                   token + "'");
+  }
+  return v;
+}
+
 Result<double> OptDouble(const Command& cmd, const std::string& key,
                          double fallback) {
   const auto it = cmd.options.find(key);
   if (it == cmd.options.end()) return fallback;
-  return ParseDouble(it->second);
+  return FiniteWireDouble(it->second);
+}
+
+/// Binary-frame payloads carry raw float64 bits, so NaN/Inf ride past the
+/// ASCII parser entirely; both dialects enforce the same contract.
+Status CheckPayloadFinite(const std::vector<double>& payload) {
+  for (const double v : payload) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "binary value payload contains a non-finite number");
+    }
+  }
+  return Status::OK();
 }
 
 std::string OptString(const Command& cmd, const std::string& key,
@@ -66,6 +93,16 @@ constexpr std::size_t kMaxExtendPoints = 100'000;
 /// Background-checkpoint threshold: one frame must not be able to arm a
 /// policy that never fires (overflow) or fires pathologically.
 constexpr long long kMaxCheckpointEvery = 1'000'000'000;
+/// Analytics result sizing (ANOMALY top/minpts, MOTIF top/discords): far
+/// above any useful report, low enough that a hostile frame cannot command
+/// an unbounded allocation.
+constexpr long long kMaxAnalyticsTop = 100'000;
+/// CHANGEPOINT run-length cap ceiling: the recursion keeps maxrun
+/// hypotheses alive, so the option bounds live memory.
+constexpr long long kMaxChangepointRun = 100'000;
+/// FORECAST horizon: the response carries horizon points twice (raw +
+/// normalized units).
+constexpr long long kMaxForecastHorizon = 100'000;
 
 /// Resolves the dataset a command targets: positional name, then
 /// `dataset=<name>`, then the session's USE default.
@@ -733,12 +770,14 @@ Result<json::Value> DoAppend(Engine* engine, const Session& session,
   const auto vit = cmd.options.find("v");
   if (vit != cmd.options.end()) {
     for (const std::string& token : SplitKeepEmpty(vit->second, ',')) {
-      ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+      ONEX_ASSIGN_OR_RETURN(double v, FiniteWireDouble(token));
       values.push_back(v);
     }
   } else if (!cmd.payload.empty()) {
     // Binary frame: the values rode as raw float64s (already capped by the
-    // frame decoder), no ASCII parse at all.
+    // frame decoder), no ASCII parse at all — but the finite-number
+    // contract is the same in both dialects.
+    ONEX_RETURN_IF_ERROR(CheckPayloadFinite(cmd.payload));
     values = cmd.payload;
   } else {
     return Status::InvalidArgument(
@@ -765,13 +804,250 @@ json::Value DriftToJson(const LengthClassDrift& d) {
   return row;
 }
 
-Result<json::Value> DoExtend(Engine* engine, const Session& session,
-                             const Command& cmd) {
-  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+/// series=<idx|name> resolution against the dataset's current snapshot,
+/// shared by EXTEND, CHANGEPOINT and FORECAST.
+Result<std::size_t> ResolveSeriesOption(Engine* engine,
+                                        const std::string& name,
+                                        const Command& cmd) {
   const auto sit = cmd.options.find("series");
   if (sit == cmd.options.end()) {
     return Status::InvalidArgument("missing series=<index or name>");
   }
+  const Result<long long> idx = ParseInt(sit->second);
+  if (idx.ok()) {
+    if (*idx < 0) {
+      return Status::InvalidArgument("series index must be >= 0");
+    }
+    return static_cast<std::size_t>(*idx);
+  }
+  ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
+                        engine->Get(name));
+  return ds->raw->FindByName(sit->second);
+}
+
+json::Value RefToJson(const SubseqRef& ref) {
+  json::Value v = json::Value::MakeObject();
+  v.Set("series", ref.series);
+  v.Set("start", ref.start);
+  v.Set("length", ref.length);
+  return v;
+}
+
+Result<json::Value> DoAnomaly(Engine* engine, const Session& session,
+                              const Command& cmd, const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
+  ONEX_ASSIGN_OR_RETURN(long long top, OptInt(cmd, "top", 10));
+  ONEX_ASSIGN_OR_RETURN(long long minpts, OptInt(cmd, "minpts", 2));
+  ONEX_ASSIGN_OR_RETURN(double eps, OptDouble(cmd, "eps", 0.0));
+  if (length < 0 || top < 1 || top > kMaxAnalyticsTop || minpts < 1 ||
+      minpts > kMaxAnalyticsTop || eps < 0.0) {
+    return Status::InvalidArgument(StrFormat(
+        "ANOMALY needs length>=0, top/minpts in [1, %lld] and eps>=0",
+        kMaxAnalyticsTop));
+  }
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  AnomalyOptions opt;
+  opt.length = static_cast<std::size_t>(length);
+  opt.top_k = static_cast<std::size_t>(top);
+  opt.min_pts = static_cast<std::size_t>(minpts);
+  opt.eps = eps;
+  opt.cancel = &cancel;
+  ONEX_ASSIGN_OR_RETURN(AnomalyReport report, engine->Anomaly(name, opt));
+
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("members_scanned", report.members_scanned);
+  v.Set("outliers", report.outliers);
+  v.Set("distance_evals", report.distance_evals);
+  v.Set("evals_abandoned", report.evals_abandoned);
+  json::Value arr = json::Value::MakeArray();
+  for (const AnomalyFinding& f : report.findings) {
+    json::Value row = RefToJson(f.ref);
+    row.Set("score", f.score);
+    row.Set("outlier", f.outlier);
+    arr.Append(std::move(row));
+  }
+  v.Set("findings", std::move(arr));
+  json::Value drift = json::Value::MakeArray();
+  for (const LengthClassDrift& d : report.drift) {
+    drift.Append(DriftToJson(d));
+  }
+  v.Set("drift", std::move(drift));
+  return v;
+}
+
+Result<json::Value> DoChangepoint(Engine* engine, const Session& session,
+                                  const Command& cmd,
+                                  const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  ONEX_ASSIGN_OR_RETURN(std::size_t series,
+                        ResolveSeriesOption(engine, name, cmd));
+  ONEX_ASSIGN_OR_RETURN(double hazard, OptDouble(cmd, "hazard", 0.01));
+  ONEX_ASSIGN_OR_RETURN(double threshold, OptDouble(cmd, "threshold", 0.5));
+  ONEX_ASSIGN_OR_RETURN(long long maxrun, OptInt(cmd, "maxrun", 256));
+  ONEX_ASSIGN_OR_RETURN(long long last, OptInt(cmd, "last", 0));
+  ONEX_ASSIGN_OR_RETURN(long long probs, OptInt(cmd, "probs", 0));
+  if (maxrun < 2 || maxrun > kMaxChangepointRun || last < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "CHANGEPOINT needs maxrun in [2, %lld] and last>=0",
+        kMaxChangepointRun));
+  }
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  ChangepointOptions opt;
+  opt.hazard = hazard;
+  opt.threshold = threshold;
+  opt.max_run = static_cast<std::size_t>(maxrun);
+  opt.last = static_cast<std::size_t>(last);
+  opt.cancel = &cancel;
+  ONEX_ASSIGN_OR_RETURN(ChangepointReport report,
+                        engine->Changepoint(name, series, opt));
+
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("series", series);
+  v.Set("evaluated", report.evaluated);
+  v.Set("map_run_length", report.map_run_length);
+  v.Set("mass_dropped", report.mass_dropped);
+  v.Set("error_bound", report.error_bound);
+  json::Value arr = json::Value::MakeArray();
+  for (const ChangepointHit& hit : report.changepoints) {
+    json::Value row = json::Value::MakeObject();
+    row.Set("index", hit.index);
+    row.Set("probability", hit.probability);
+    arr.Append(std::move(row));
+  }
+  v.Set("changepoints", std::move(arr));
+  if (probs != 0) {
+    v.Set("probabilities",
+          json::Value::NumberArray(report.change_probability));
+  }
+  return v;
+}
+
+Result<json::Value> DoMotif(Engine* engine, const Session& session,
+                            const Command& cmd, const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
+  ONEX_ASSIGN_OR_RETURN(long long top, OptInt(cmd, "top", 5));
+  ONEX_ASSIGN_OR_RETURN(long long discords, OptInt(cmd, "discords", 3));
+  if (length < 0 || top < 0 || top > kMaxAnalyticsTop || discords < 0 ||
+      discords > kMaxAnalyticsTop) {
+    return Status::InvalidArgument(StrFormat(
+        "MOTIF needs length>=0 and top/discords in [0, %lld]",
+        kMaxAnalyticsTop));
+  }
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  MotifOptions opt;
+  opt.length = static_cast<std::size_t>(length);
+  opt.top_k = static_cast<std::size_t>(top);
+  opt.discords = static_cast<std::size_t>(discords);
+  opt.cancel = &cancel;
+  ONEX_ASSIGN_OR_RETURN(MotifReport report, engine->Motif(name, opt));
+
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("members_scanned", report.members_scanned);
+  v.Set("pairs_evaluated", report.pairs_evaluated);
+  v.Set("pairs_pruned", report.pairs_pruned);
+  json::Value classes = json::Value::MakeArray();
+  for (const MotifClassReport& cls : report.classes) {
+    json::Value row = json::Value::MakeObject();
+    row.Set("length", cls.length);
+    json::Value densest = json::Value::MakeArray();
+    for (const MotifGroup& g : cls.densest) {
+      json::Value gr = json::Value::MakeObject();
+      gr.Set("group", g.group);
+      gr.Set("count", g.count);
+      gr.Set("radius", g.radius);
+      densest.Append(std::move(gr));
+    }
+    row.Set("densest", std::move(densest));
+    if (cls.has_motif) {
+      json::Value pair = json::Value::MakeObject();
+      pair.Set("a", RefToJson(cls.motif_a));
+      pair.Set("b", RefToJson(cls.motif_b));
+      pair.Set("distance", cls.motif_distance);
+      row.Set("motif", std::move(pair));
+    }
+    json::Value lonely = json::Value::MakeArray();
+    for (const Discord& d : cls.discords) {
+      json::Value dr = RefToJson(d.ref);
+      dr.Set("distance", d.distance);
+      lonely.Append(std::move(dr));
+    }
+    row.Set("discords", std::move(lonely));
+    classes.Append(std::move(row));
+  }
+  v.Set("classes", std::move(classes));
+  return v;
+}
+
+Result<json::Value> DoForecast(Engine* engine, const Session& session,
+                               const Command& cmd, const ExecContext& ctx) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
+  ONEX_ASSIGN_OR_RETURN(std::size_t series,
+                        ResolveSeriesOption(engine, name, cmd));
+  ONEX_ASSIGN_OR_RETURN(long long horizon, OptInt(cmd, "horizon", 8));
+  ONEX_ASSIGN_OR_RETURN(long long length, OptInt(cmd, "length", 0));
+  ONEX_ASSIGN_OR_RETURN(long long k, OptInt(cmd, "k", 3));
+  ONEX_ASSIGN_OR_RETURN(long long period, OptInt(cmd, "period", 0));
+  const std::string method = ToLower(OptString(cmd, "method", "group"));
+  if (horizon < 1 || horizon > kMaxForecastHorizon || length < 0 ||
+      k < 1 || k > kMaxKnnK || period < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "FORECAST needs horizon in [1, %lld], k in [1, %lld], "
+        "length>=0 and period>=0",
+        kMaxForecastHorizon, kMaxKnnK));
+  }
+  ONEX_ASSIGN_OR_RETURN(Cancellation cancel, ParseCancellation(cmd, ctx));
+  ForecastOptions opt;
+  opt.horizon = static_cast<std::size_t>(horizon);
+  opt.length = static_cast<std::size_t>(length);
+  opt.k = static_cast<std::size_t>(k);
+  opt.period = static_cast<std::size_t>(period);
+  opt.cancel = &cancel;
+  if (method == "group") {
+    opt.method = ForecastMethod::kGroupNn;
+  } else if (method == "seasonal") {
+    opt.method = ForecastMethod::kSeasonalNaive;
+  } else {
+    return Status::InvalidArgument("method must be group or seasonal");
+  }
+  ONEX_ASSIGN_OR_RETURN(Engine::ForecastResult result,
+                        engine->Forecast(name, series, opt));
+
+  json::Value v = Ok();
+  v.Set("dataset", name);
+  v.Set("series", series);
+  v.Set("series_name", result.series_name);
+  v.Set("method", method);
+  v.Set("tail_start", result.report.tail_start);
+  v.Set("tail_length", result.report.tail_length);
+  if (result.report.period != 0) v.Set("period", result.report.period);
+  v.Set("values", json::Value::NumberArray(result.raw_values));
+  v.Set("values_norm", json::Value::NumberArray(result.report.values));
+  json::Value neighbors = json::Value::MakeArray();
+  for (const ForecastNeighbor& n : result.report.neighbors) {
+    json::Value row = RefToJson(n.ref);
+    row.Set("distance", n.distance);
+    neighbors.Append(std::move(row));
+  }
+  v.Set("neighbors", std::move(neighbors));
+  v.Set("candidates", result.report.candidates);
+  v.Set("groups_pruned", result.report.groups_pruned);
+  // Binary clients get the raw forecast as a float64 section, like MATCH
+  // values; the JSON body stays byte-identical across dialects.
+  if (ctx.out_values != nullptr) {
+    ctx.out_values->insert(ctx.out_values->end(), result.raw_values.begin(),
+                           result.raw_values.end());
+  }
+  return v;
+}
+
+Result<json::Value> DoExtend(Engine* engine, const Session& session,
+                             const Command& cmd) {
+  ONEX_ASSIGN_OR_RETURN(std::string name, DatasetArg(cmd, session));
   std::vector<double> points;
   const auto pit = cmd.options.find("points");
   if (pit != cmd.options.end()) {
@@ -780,36 +1056,26 @@ Result<json::Value> DoExtend(Engine* engine, const Session& session,
         return Status::InvalidArgument(StrFormat(
             "EXTEND accepts at most %zu points per frame", kMaxExtendPoints));
       }
-      ONEX_ASSIGN_OR_RETURN(double v, ParseDouble(token));
+      ONEX_ASSIGN_OR_RETURN(double v, FiniteWireDouble(token));
       points.push_back(v);
     }
   } else if (!cmd.payload.empty()) {
-    // Binary payloads honor the same cap as the text form: the transport
-    // changed, the streaming-tail contract did not.
+    // Binary payloads honor the same caps as the text form: the transport
+    // changed, neither the streaming-tail contract nor the finite-number
+    // contract did.
     if (cmd.payload.size() > kMaxExtendPoints) {
       return Status::InvalidArgument(StrFormat(
           "EXTEND accepts at most %zu points per frame", kMaxExtendPoints));
     }
+    ONEX_RETURN_IF_ERROR(CheckPayloadFinite(cmd.payload));
     points = cmd.payload;
   } else {
     return Status::InvalidArgument(
         "missing points=<comma-separated values> (or a binary value payload)");
   }
 
-  // The target series: an index, or a name resolved against the dataset.
-  std::size_t series = 0;
-  const Result<long long> idx = ParseInt(sit->second);
-  if (idx.ok()) {
-    if (*idx < 0) {
-      return Status::InvalidArgument("series index must be >= 0");
-    }
-    series = static_cast<std::size_t>(*idx);
-  } else {
-    ONEX_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedDataset> ds,
-                          engine->Get(name));
-    ONEX_ASSIGN_OR_RETURN(series, ds->raw->FindByName(sit->second));
-  }
-
+  ONEX_ASSIGN_OR_RETURN(std::size_t series,
+                        ResolveSeriesOption(engine, name, cmd));
   ONEX_ASSIGN_OR_RETURN(Engine::ExtendSummary summary,
                         engine->ExtendSeries(name, series, std::move(points)));
   json::Value v = Ok();
@@ -841,7 +1107,7 @@ Result<json::Value> DoDrift(Engine* engine, const Session& session,
                         engine->Get(name));
   const auto tit = cmd.options.find("threshold");
   if (tit != cmd.options.end()) {
-    ONEX_ASSIGN_OR_RETURN(double threshold, ParseDouble(tit->second));
+    ONEX_ASSIGN_OR_RETURN(double threshold, FiniteWireDouble(tit->second));
     if (!(threshold >= 0.0) || threshold > 1.0) {
       return Status::InvalidArgument("threshold must be in [0, 1]");
     }
@@ -1151,6 +1417,12 @@ Result<json::Value> Dispatch(Engine* engine, Session* session,
   if (cmd.verb == "BATCH") return DoBatch(engine, *session, cmd, ctx);
   if (cmd.verb == "SEASONAL") return DoSeasonal(engine, *session, cmd);
   if (cmd.verb == "THRESHOLD") return DoThreshold(engine, *session, cmd);
+  if (cmd.verb == "ANOMALY") return DoAnomaly(engine, *session, cmd, ctx);
+  if (cmd.verb == "CHANGEPOINT") {
+    return DoChangepoint(engine, *session, cmd, ctx);
+  }
+  if (cmd.verb == "MOTIF") return DoMotif(engine, *session, cmd, ctx);
+  if (cmd.verb == "FORECAST") return DoForecast(engine, *session, cmd, ctx);
   if (cmd.verb == "QUIT") {
     json::Value v = Ok();
     v.Set("bye", true);

@@ -87,6 +87,32 @@ namespace onex::net {
 ///       {"ok":true,"results":[{"matches":[...]}, ...]}.
 ///   SEASONAL series=<idx> [length=0] [minocc=2] [top=5]
 ///   THRESHOLD [pairs=2000] [minlen=4] [maxlen=0]
+///   ANOMALY [length=0] [top=10] [eps=0] [minpts=2] [deadline_ms=0]
+///       Scores every member of the selected length class(es) by its exact
+///       distance to the nearest centroid and flags outliers with the
+///       DBSCAN-style rule (no centroid within eps heading a group of
+///       >= minpts members). eps=0 uses the base's ST/2. Reports the top
+///       findings plus the per-class drift view (DESIGN.md §18).
+///   CHANGEPOINT series=<idx|name> [hazard=0.01] [maxrun=256]
+///               [threshold=0.5] [last=0] [probs=0] [deadline_ms=0]
+///       Bayesian online changepoint detection over the series' normalized
+///       values (last= restricts to the streamed tail). Reports steps whose
+///       new-regime posterior exceeds threshold=, the final MAP run length,
+///       and the truncation error bound; probs=1 adds the full per-step
+///       probability array.
+///   MOTIF [length=0] [top=5] [discords=3] [deadline_ms=0]
+///       Per length class: the densest groups (the motifs as the group
+///       structure sees them), the exact closest non-overlapping pair, and
+///       the exact loneliest members (discords), via admissible
+///       centroid-distance pruning.
+///   FORECAST series=<idx|name> [horizon=8] [length=0] [k=3]
+///            [method=group|seasonal] [period=0] [deadline_ms=0]
+///       Predicts horizon= points past the series' end. method=group
+///       averages the continuations of the k exact nearest same-length
+///       members; method=seasonal repeats the last period= points. Values
+///       are reported in original units ("values") and normalized units
+///       ("values_norm"); binary clients additionally receive the raw
+///       forecast as the frame's float64 section.
 ///   QUIT
 ///
 /// MATCH/KNN/BATCH also accept datasets=<a,b,c> in place of a single
@@ -125,10 +151,14 @@ namespace onex::net {
 ///
 /// Responses: {"ok":true, ...payload...} or {"ok":false,"error":"...",
 /// "code":"..."} — always a single line. Size-driving options (GEN
-/// num/len, CATALOG points, KNN/BATCH k, THRESHOLD pairs) are capped so a
-/// malformed or hostile frame cannot make the server allocate unbounded
+/// num/len, CATALOG points, KNN/BATCH k, THRESHOLD pairs, ANOMALY/MOTIF
+/// top/minpts/discords, CHANGEPOINT maxrun, FORECAST horizon) are capped so
+/// a malformed or hostile frame cannot make the server allocate unbounded
 /// memory; the caps are far above anything the line protocol can usefully
-/// carry and surface as InvalidArgument.
+/// carry and surface as InvalidArgument. Numeric option values and binary
+/// value payloads must be finite: "nan"/"inf" tokens and NaN/Inf float64s
+/// are rejected at parse time (InvalidArgument) before they can poison
+/// distance comparisons downstream.
 struct Command {
   std::string verb;  ///< Upper-cased.
   std::vector<std::string> args;

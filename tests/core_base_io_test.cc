@@ -1,6 +1,7 @@
 #include "onex/core/base_io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "onex/core/incremental.h"
 #include "onex/core/query_processor.h"
 #include "onex/distance/euclidean.h"
 #include "onex/gen/generators.h"
@@ -208,6 +210,62 @@ TEST(BaseIoTest, RejectsCorruptedInput) {
     std::istringstream in("");
     EXPECT_FALSE(LoadBase(in).ok());
   }
+}
+
+/// Regression: the ONEXBASE text format accepts a "groups 0" class header,
+/// but Build() never materializes a memberless length class — Restore must
+/// skip such drafts instead of installing a LengthClass every drift ratio
+/// and group scan would have to special-case. Pre-fix, the empty class
+/// leaked through and the loaded base disagreed with the saved one.
+TEST(BaseIoTest, LoadSkipsEmptyLengthClassFromFile) {
+  const OnexBase base = MakeBase();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  std::string text = buf.str();
+
+  // Splice in a zero-group class between the length-4 and length-6 classes
+  // and bump the class count to match.
+  const std::size_t cls_pos = text.find("\nclass 6 ");
+  ASSERT_NE(cls_pos, std::string::npos);
+  text.insert(cls_pos + 1, "class 5 groups 0\n");
+  const std::size_t count_pos = text.find("classes 4\n");
+  ASSERT_NE(count_pos, std::string::npos);
+  text.replace(count_pos, 9, "classes 5");
+
+  std::istringstream in(text);
+  Result<OnexBase> back = LoadBase(in);
+  ASSERT_TRUE(back.ok()) << back.status();
+  // The empty class is gone: same classes as the saved base, none of
+  // length 5, and every structural total intact.
+  ExpectBasesEquivalent(base, *back);
+  for (const LengthClass& cls : back->length_classes()) {
+    EXPECT_NE(cls.length, 5u);
+    EXPECT_GT(cls.total_members, 0u);
+  }
+  // The maintenance view of the loaded base stays finite everywhere.
+  for (const LengthClassDrift& d : ComputeDrift(*back)) {
+    EXPECT_TRUE(std::isfinite(d.fraction()));
+    EXPECT_GE(d.members, 1u);
+  }
+}
+
+/// A file whose every class is empty cannot restore: there is no group
+/// structure to serve queries from.
+TEST(BaseIoTest, LoadRejectsBaseWithOnlyEmptyClasses) {
+  const OnexBase base = MakeBase();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveBase(base, buf).ok());
+  const std::string good = buf.str();
+
+  const std::size_t classes_pos = good.find("classes 4\n");
+  ASSERT_NE(classes_pos, std::string::npos);
+  const std::size_t footer_pos = good.find("repaired ");
+  ASSERT_NE(footer_pos, std::string::npos);
+  const std::string bad = good.substr(0, classes_pos) +
+                          "classes 1\nclass 4 groups 0\n" +
+                          good.substr(footer_pos);
+  std::istringstream in(bad);
+  EXPECT_FALSE(LoadBase(in).ok());
 }
 
 TEST(BaseIoTest, RestoreValidatesArguments) {

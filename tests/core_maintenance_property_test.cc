@@ -7,6 +7,7 @@
 #include "onex/core/incremental.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -268,6 +269,49 @@ TEST_P(MaintenancePropertyTest, ExtendWhileEvictedSurvivesRegistryRebuild) {
   Result<MatchResult> match = engine.SimilaritySearch("live", spec, qopt);
   ASSERT_TRUE(match.ok()) << match.status();
   EXPECT_NEAR(match->match.normalized_dtw, 0.0, 1e-9);
+}
+
+/// Regression: a length grid that outruns the data (explicit max_length and
+/// stride leaving grid lengths with zero subsequences) must never install a
+/// 0-member length class, and the drift report over such a base must stay
+/// finite — a 0-member class reports fraction 0.0, never NaN or inf.
+TEST(DriftEmptyClassTest, LengthGridBeyondTheDataStaysFinite) {
+  Rng rng(7);
+  Dataset ds("sparse");
+  ds.Add(TimeSeries("short_a", testing::SmoothSeries(&rng, 8)));
+  ds.Add(TimeSeries("short_b", testing::SmoothSeries(&rng, 9)));
+
+  BaseBuildOptions opt;
+  opt.st = 0.25;
+  opt.min_length = 4;
+  opt.max_length = 24;  // grid lengths 10..24 have no subsequences at all
+  opt.length_step = 2;
+  opt.stride = 3;
+  Result<OnexBase> built =
+      OnexBase::Build(std::make_shared<const Dataset>(std::move(ds)), opt);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const OnexBase& base = *built;
+
+  for (const LengthClass& cls : base.length_classes()) {
+    EXPECT_GT(cls.total_members, 0u) << "length " << cls.length;
+    EXPECT_LE(cls.length, 9u);
+  }
+  const std::vector<LengthClassDrift> drift = ComputeDrift(base);
+  EXPECT_EQ(drift.size(), base.length_classes().size());
+  for (const LengthClassDrift& d : drift) {
+    EXPECT_GE(d.members, 1u);
+    EXPECT_TRUE(std::isfinite(d.fraction())) << "length " << d.length;
+    EXPECT_GE(d.fraction(), 0.0);
+    EXPECT_LE(d.fraction(), 1.0);
+  }
+
+  // Belt assert on the accessor itself: the 0-member case is defined as
+  // exactly 0.0, not 0/0.
+  LengthClassDrift empty;
+  empty.length = 24;
+  EXPECT_EQ(empty.fraction(), 0.0);
+  empty.outliers = 3;  // inconsistent input still must not divide by zero
+  EXPECT_EQ(empty.fraction(), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MaintenancePropertyTest,

@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,6 +61,15 @@ const std::vector<std::string>& Corpus() {
       "BATCH s q=0:0:6;1:2:8 k=2 deadline_ms=1000",
       "SEASONAL s series=0 length=8",
       "THRESHOLD s pairs=50",
+      "ANOMALY s top=4 minpts=2",
+      "ANOMALY s length=8 eps=0.5 deadline_ms=50",
+      "ANOMALY dataset=s top=3",
+      "CHANGEPOINT s series=0 hazard=0.05 maxrun=32",
+      "CHANGEPOINT s series=0 last=8 probs=1 threshold=0.4",
+      "MOTIF s top=3 discords=2",
+      "MOTIF dataset=s length=8",
+      "FORECAST s series=0 horizon=4 k=2",
+      "FORECAST s series=1 horizon=3 method=seasonal period=6",
       // Safe on a non-durable engine: FailedPrecondition, never a file
       // write. PERSIST dir=... lives only in the durability fuzz below,
       // where the engine is already rooted and re-rooting is rejected.
@@ -224,6 +234,51 @@ TEST(ProtocolFuzzTest, MutatedSessionFramesNeverCrashExecutor) {
   EXPECT_TRUE(match["ok"].as_bool()) << match.Dump();
 }
 
+TEST(ProtocolFuzzTest, NonFiniteBinaryPayloadsAreRejectedNotInstalled) {
+  Engine engine;
+  Session session;
+  for (const char* line :
+       {"GEN s sine num=3 len=12 seed=5", "PREPARE s st=0.2 maxlen=8"}) {
+    const json::Value v =
+        ExecuteCommand(&engine, &session, *ParseCommandLine(line));
+    ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  }
+
+  // A binary client ships bulk points as a raw float64 payload, skipping
+  // the text tokenizer entirely — so the finite-number check must live in
+  // the executor, not the parser. Poison one slot per frame with a
+  // NaN/Inf and demand a clean InvalidArgument every time.
+  const double kPoison[] = {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity()};
+  Rng rng(0xFADE);
+  for (int iter = 0; iter < 500; ++iter) {
+    Command cmd;
+    cmd.args.push_back("s");
+    if (rng.Bernoulli(0.5)) {
+      cmd.verb = "EXTEND";
+      cmd.options["series"] = "0";
+    } else {
+      cmd.verb = "APPEND";
+      cmd.options["series"] = "fuzz_" + std::to_string(iter);
+    }
+    cmd.payload.assign(1 + rng.UniformIndex(16), 0.25);
+    cmd.payload[rng.UniformIndex(cmd.payload.size())] =
+        kPoison[rng.UniformIndex(std::size(kPoison))];
+    const json::Value v = ExecuteCommand(&engine, &session, cmd);
+    CheckResponse(v, cmd.verb + " <binary payload>");
+    EXPECT_FALSE(v["ok"].as_bool()) << v.Dump();
+    EXPECT_EQ(v["code"].as_string(), "InvalidArgument") << v.Dump();
+  }
+
+  // Nothing leaked: still 3 series of 12 points, no fuzz_* series.
+  const json::Value stats =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("STATS s"));
+  ASSERT_TRUE(stats["ok"].as_bool()) << stats.Dump();
+  EXPECT_EQ(stats["series"].as_number(), 3.0);
+  EXPECT_EQ(stats["total_points"].as_number(), 36.0);
+}
+
 TEST(ProtocolFuzzTest, DurabilityFramesNeverCrashOrEscapeTheDataDir) {
   const std::string dir = ::testing::TempDir() + "/onex_fuzz_durability";
   std::filesystem::remove_all(dir);
@@ -320,6 +375,13 @@ TEST(ProtocolFuzzTest, SizeDrivingOptionsAreCapped) {
            std::string("KNN s q=0:0:8 k=999999999"),
            std::string("BATCH s q=0:0:8 k=999999999"),
            std::string("THRESHOLD s pairs=999999999"),
+           std::string("ANOMALY s top=999999999"),
+           std::string("ANOMALY s minpts=999999999"),
+           std::string("CHANGEPOINT s series=0 maxrun=999999999"),
+           std::string("MOTIF s top=999999999"),
+           std::string("MOTIF s discords=999999999"),
+           std::string("FORECAST s series=0 horizon=999999999"),
+           std::string("FORECAST s series=0 k=999999999"),
            flood,  // spec-count flood: 2001 queries x max k
            extend_flood,
        }) {

@@ -1,7 +1,9 @@
 #include "onex/net/protocol.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -443,6 +445,202 @@ TEST(ProtocolTest, DriftReportsAndSetsThreshold) {
   ASSERT_TRUE(v["ok"].as_bool());
   EXPECT_TRUE(v["last_max_drift"].is_number());
   EXPECT_FALSE(v["regrouping"].as_bool());
+}
+
+TEST(ProtocolTest, AnalyticsVerbsAnswerOverTheWire) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN a sine num=6 len=24 seed=3"))
+                  ["ok"]
+                      .as_bool());
+  ASSERT_TRUE(
+      ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("PREPARE a st=0.2 maxlen=12"))["ok"]
+          .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("USE a"))["ok"]
+                  .as_bool());
+
+  json::Value v = ExecuteCommand(&engine, &session,
+                                 *ParseCommandLine("ANOMALY top=5 minpts=2"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_GT(v["members_scanned"].as_number(), 0.0);
+  ASSERT_FALSE(v["findings"].as_array().empty());
+  const json::Value& f = v["findings"][0];
+  EXPECT_TRUE(f["score"].is_number());
+  EXPECT_TRUE(f["outlier"].is_bool());
+  EXPECT_GE(f["length"].as_number(), 4.0);
+  ASSERT_FALSE(v["drift"].as_array().empty());
+  // Findings arrive sorted by descending score.
+  double prev = v["findings"][0]["score"].as_number();
+  for (const json::Value& row : v["findings"].as_array()) {
+    EXPECT_LE(row["score"].as_number(), prev + 1e-12);
+    prev = row["score"].as_number();
+  }
+
+  v = ExecuteCommand(
+      &engine, &session,
+      *ParseCommandLine("CHANGEPOINT series=0 hazard=0.05 maxrun=64 probs=1"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_EQ(v["evaluated"].as_number(), 24.0);
+  EXPECT_GE(v["error_bound"].as_number(), 0.0);
+  EXPECT_EQ(v["probabilities"].as_array().size(), 24u);
+  // By name, against the generated series naming.
+  const json::Value by_name = ExecuteCommand(
+      &engine, &session,
+      *ParseCommandLine("CHANGEPOINT series=sine_family_0 last=8"));
+  ASSERT_TRUE(by_name["ok"].as_bool()) << by_name.Dump();
+  EXPECT_EQ(by_name["evaluated"].as_number(), 8.0);
+
+  v = ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("MOTIF top=3 discords=2"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  ASSERT_FALSE(v["classes"].as_array().empty());
+  for (const json::Value& cls : v["classes"].as_array()) {
+    EXPECT_GT(cls["length"].as_number(), 0.0);
+    ASSERT_LE(cls["densest"].as_array().size(), 3u);
+    ASSERT_LE(cls["discords"].as_array().size(), 2u);
+    if (cls.as_object().contains("motif")) {
+      EXPECT_GE(cls["motif"]["distance"].as_number(), 0.0);
+    }
+  }
+
+  v = ExecuteCommand(&engine, &session,
+                     *ParseCommandLine("FORECAST series=1 horizon=4 k=2"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_EQ(v["values"].as_array().size(), 4u);
+  EXPECT_EQ(v["values_norm"].as_array().size(), 4u);
+  EXPECT_EQ(v["neighbors"].as_array().size(), 2u);
+  EXPECT_EQ(v["tail_length"].as_number(), 12.0);
+
+  v = ExecuteCommand(
+      &engine, &session,
+      *ParseCommandLine("FORECAST series=0 horizon=3 method=seasonal period=6"));
+  ASSERT_TRUE(v["ok"].as_bool()) << v.Dump();
+  EXPECT_EQ(v["period"].as_number(), 6.0);
+  EXPECT_EQ(v["values"].as_array().size(), 3u);
+
+  // Validation failures stay clean errors, never crashes.
+  for (const char* line : {
+           "ANOMALY top=0",
+           "ANOMALY top=9999999",
+           "ANOMALY minpts=0",
+           "ANOMALY eps=-1",
+           "CHANGEPOINT",               // missing series
+           "CHANGEPOINT series=0 hazard=0",
+           "CHANGEPOINT series=0 hazard=1.5",
+           "CHANGEPOINT series=0 maxrun=1",
+           "CHANGEPOINT series=0 maxrun=9999999",
+           "CHANGEPOINT series=0 threshold=2",
+           "MOTIF top=9999999",
+           "MOTIF discords=9999999",
+           "FORECAST",                  // missing series
+           "FORECAST series=0 horizon=0",
+           "FORECAST series=0 horizon=9999999",
+           "FORECAST series=0 k=0",
+           "FORECAST series=0 method=oracle",
+       }) {
+    const json::Value bad = ExecuteCommand(&engine, &session,
+                                           *ParseCommandLine(line));
+    EXPECT_FALSE(bad["ok"].as_bool()) << line;
+    EXPECT_EQ(bad["code"].as_string(), "InvalidArgument") << line;
+  }
+  // Resolution failures carry their own codes but stay clean errors too.
+  for (const char* line : {
+           "ANOMALY length=13",         // no such length class (NotFound)
+           "CHANGEPOINT series=99",     // out of range
+           "FORECAST series=0 length=13",
+           "ANOMALY dataset=nosuch",
+       }) {
+    const json::Value bad = ExecuteCommand(&engine, &session,
+                                           *ParseCommandLine(line));
+    EXPECT_FALSE(bad["ok"].as_bool()) << line;
+  }
+
+  // An already-expired deadline (request arrived long ago, deadline_ms
+  // counts from arrival) stops each verb with DeadlineExceeded.
+  ExecContext stale;
+  stale.arrival =
+      std::chrono::steady_clock::now() - std::chrono::seconds(10);
+  for (const char* line : {
+           "ANOMALY deadline_ms=1",
+           "CHANGEPOINT series=0 deadline_ms=1",
+           "MOTIF deadline_ms=1",
+           "FORECAST series=0 deadline_ms=1",
+       }) {
+    const json::Value bad =
+        ExecuteCommand(&engine, &session, *ParseCommandLine(line), stale);
+    EXPECT_FALSE(bad["ok"].as_bool()) << line;
+    EXPECT_EQ(bad["code"].as_string(), "DeadlineExceeded") << line;
+  }
+  // And a negative deadline is malformed input, rejected up front.
+  const json::Value neg = ExecuteCommand(&engine, &session,
+                                         *ParseCommandLine("MOTIF deadline_ms=-1"));
+  EXPECT_FALSE(neg["ok"].as_bool());
+  EXPECT_EQ(neg["code"].as_string(), "InvalidArgument");
+}
+
+/// Regression (wire-input hardening): "nan"/"inf" in any numeric option and
+/// NaN/Inf float64s in binary value payloads are rejected at parse time.
+/// Pre-fix, EXTEND points=nan and APPEND v=nan were accepted — the poisoned
+/// values joined the base and silently broke every later distance
+/// comparison (NaN compares false against any cutoff).
+TEST(ProtocolTest, NonFiniteNumericWireInputIsRejected) {
+  Engine engine;
+  Session session;
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("GEN s sine num=3 len=12"))["ok"]
+                  .as_bool());
+  ASSERT_TRUE(ExecuteCommand(&engine, &session,
+                             *ParseCommandLine("USE s"))["ok"]
+                  .as_bool());
+
+  for (const char* line : {
+           "EXTEND series=0 points=1,nan,2",
+           "EXTEND series=0 points=inf",
+           "EXTEND series=0 points=-inf",
+           "EXTEND series=0 points=NaN",
+           "APPEND v=0.5,nan",
+           "APPEND v=infinity",
+           "ANOMALY eps=nan",
+           "CHANGEPOINT series=0 hazard=nan",
+           "CHANGEPOINT series=0 threshold=inf",
+           "DRIFT threshold=nan",
+       }) {
+    const json::Value bad = ExecuteCommand(&engine, &session,
+                                           *ParseCommandLine(line));
+    EXPECT_FALSE(bad["ok"].as_bool()) << line;
+    EXPECT_EQ(bad["code"].as_string(), "InvalidArgument") << line;
+  }
+
+  // Binary dialect: the same contract for raw float64 payloads.
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double poison : {qnan, inf, -inf}) {
+    Command extend;
+    extend.verb = "EXTEND";
+    extend.options["series"] = "0";
+    extend.payload = {0.25, poison, 0.5};
+    const json::Value bad = ExecuteCommand(&engine, &session, extend);
+    EXPECT_FALSE(bad["ok"].as_bool());
+    EXPECT_EQ(bad["code"].as_string(), "InvalidArgument");
+
+    Command append;
+    append.verb = "APPEND";
+    append.payload = {poison};
+    const json::Value bad2 = ExecuteCommand(&engine, &session, append);
+    EXPECT_FALSE(bad2["ok"].as_bool());
+    EXPECT_EQ(bad2["code"].as_string(), "InvalidArgument");
+  }
+
+  // Nothing leaked into the dataset: the series kept its original length.
+  const json::Value stats =
+      ExecuteCommand(&engine, &session, *ParseCommandLine("CATALOG points=1"));
+  ASSERT_TRUE(stats["ok"].as_bool());
+  for (const json::Value& row : stats["series"].as_array()) {
+    EXPECT_EQ(row["length"].as_number(), 12.0);
+  }
 }
 
 TEST(ProtocolTest, UseSetsSessionDefaultDataset) {

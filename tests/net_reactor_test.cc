@@ -20,6 +20,7 @@
 #include "onex/json/json.h"
 #include "onex/net/client.h"
 #include "onex/net/frame.h"
+#include "onex/net/metrics.h"
 #include "onex/net/server.h"
 #include "onex/net/socket.h"
 
@@ -61,6 +62,13 @@ std::vector<std::string> SessionScript() {
       "OVERVIEW top=4",
       "CATALOG points=6",
       "SEASONAL series=0 length=8",
+      "ANOMALY top=4 minpts=2",
+      "CHANGEPOINT series=0 hazard=0.05 maxrun=32 last=16",
+      "MOTIF top=3 discords=2",
+      "FORECAST series=1 horizon=4 k=2",
+      "FORECAST series=1 horizon=3 method=seasonal period=6",
+      "ANOMALY eps=nan",
+      "FORECAST series=0 horizon=99999999",
       "NOT_A_COMMAND foo",
       "MATCH q=999:0:8",
       "LIST",
@@ -440,6 +448,60 @@ TEST_F(ReactorTest, MetricsCountVerbsAndLatencies) {
             ping_stats["p50_ms"].as_number());
   EXPECT_GE((*m)["bytes_in"].as_number(), 10.0 * 5);
   EXPECT_GE((*m)["bytes_out"].as_number(), 10.0 * 10);
+}
+
+/// Regression (nearest-rank percentiles): one slow request among many fast
+/// ones must surface in the tail. The old floor(p * (count-1)) walk
+/// truncated the rank, so p99 of {10 x 2us, 1 x 100ms} reported the 2us
+/// bucket and a latency spike was invisible in METRICS.
+TEST(ServerMetricsTest, TailPercentilesUseNearestRank) {
+  ServerMetrics metrics;
+  const std::size_t ping = ServerMetrics::VerbIndex("PING");
+  for (int i = 0; i < 10; ++i) {
+    metrics.RecordRequest(ping, 0.002, /*deadline_expired=*/false);
+  }
+  metrics.RecordRequest(ping, 100.0, /*deadline_expired=*/false);
+
+  const json::Value m = metrics.ToJson();
+  const json::Value& stats = m["verbs"]["PING"];
+  ASSERT_TRUE(stats.is_object()) << m.Dump();
+  EXPECT_EQ(stats["count"].as_number(), 11.0);
+  // p50 stays in the fast bucket; p99 must land in the 100ms bucket
+  // (rank ceil(0.99 * 11) = 11, the slowest sample).
+  EXPECT_LT(stats["p50_ms"].as_number(), 1.0);
+  EXPECT_GT(stats["p99_ms"].as_number(), 50.0);
+  // p95: rank ceil(0.95 * 11) = 11 as well — also the slow sample.
+  EXPECT_GT(stats["p95_ms"].as_number(), 50.0);
+
+  // With the tail fattened to 2 of 12, p50 still reports the fast bucket.
+  metrics.RecordRequest(ping, 100.0, false);
+  const json::Value m2 = metrics.ToJson();
+  EXPECT_LT(m2["verbs"]["PING"]["p50_ms"].as_number(), 1.0);
+}
+
+/// Regression (zero-traffic percentile walk): before any request completes,
+/// METRICS must report requests=0 and an empty verbs object — never a
+/// first-bucket-midpoint percentile conjured from an all-zero histogram.
+TEST(ServerMetricsTest, NoTrafficReportsNoPercentiles) {
+  ServerMetrics metrics;
+  const json::Value m = metrics.ToJson();
+  EXPECT_EQ(m["requests"].as_number(), 0.0);
+  ASSERT_TRUE(m["verbs"].is_object());
+  EXPECT_TRUE(m["verbs"].as_object().empty()) << m.Dump();
+}
+
+TEST_F(ReactorTest, MetricsBeforeAnyTrafficAreAllZero) {
+  StartServer();
+  OnexClient client = Connect();
+  // The very first request on the server: the snapshot is taken before the
+  // METRICS request itself is recorded, so everything reads zero.
+  Result<json::Value> m = client.Call("METRICS");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE((*m)["ok"].as_bool());
+  EXPECT_EQ((*m)["requests"].as_number(), 0.0);
+  EXPECT_EQ((*m)["deadline_expired"].as_number(), 0.0);
+  ASSERT_TRUE((*m)["verbs"].is_object());
+  EXPECT_TRUE((*m)["verbs"].as_object().empty()) << m->Dump();
 }
 
 TEST_F(ReactorTest, StopWithInFlightWorkDrainsCleanly) {
